@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Every bench prints the table/figure it regenerates, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+evaluation artifacts.  ``REPRO_BENCH_SCALE=quick`` (the default for CI)
+shrinks the Table I run; set ``REPRO_BENCH_SCALE=paper`` for the
+full-scale multi-seed version with significance testing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

@@ -1,0 +1,69 @@
+"""Ablation bench: rank vs adaptability/efficiency (Sec. VI's open question).
+
+The paper's discussion asks how to balance "enhanced adaptability and
+preserved parameter efficiency".  This bench sweeps the adapter rank for
+the static and meta variants at reduced protocol scale and reports KNN
+accuracy next to the trainable-parameter count — the empirical trade-off
+curve behind DESIGN.md's ablation entry.
+
+At the default quick scale a single (small) seed is used; set
+REPRO_BENCH_SCALE=paper for the full sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import PAPER
+from repro.eval.protocol import build_adapted_model, run_table1
+from repro.utils.rng import new_rng
+
+
+def _sweep_config(scale: str):
+    ranks = (1, 2, 4) if scale == "quick" else (1, 2, 4, 8)
+    base = replace(
+        PAPER,
+        methods=("lora", "meta_lora_tr"),
+        num_tasks=7 if scale == "quick" else PAPER.num_tasks,
+        adapt_episodes=100 if scale == "quick" else PAPER.adapt_episodes,
+        support_per_task=32 if scale == "quick" else PAPER.support_per_task,
+        query_per_task=32 if scale == "quick" else PAPER.query_per_task,
+        pretrain_epochs=4 if scale == "quick" else PAPER.pretrain_epochs,
+    )
+    return base, ranks
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_rank_sweep(benchmark, scale):
+    base, ranks = _sweep_config(scale)
+
+    def pretrained_state(config):
+        from repro.eval.protocol import build_backbone
+
+        return build_backbone(config, new_rng(1)).state_dict()
+
+    def run():
+        results = {}
+        for rank in ranks:
+            config = replace(base, rank=rank)
+            rows = run_table1(config, seed=0)
+            # parameter budget of the meta model at this rank
+            meta_model = build_adapted_model(
+                "meta_lora_tr", config, pretrained_state(config), new_rng(0)
+            )
+            trainable = meta_model.parameter_count(trainable_only=True)
+            results[rank] = (rows, trainable)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'rank':>4}  {'LoRA K=5':>9}  {'MetaTR K=5':>11}  {'meta trainable':>14}")
+    for rank, (rows, trainable) in results.items():
+        print(
+            f"{rank:>4}  {100 * rows['lora'].accuracy_by_k[5]:>8.1f}%  "
+            f"{100 * rows['meta_lora_tr'].accuracy_by_k[5]:>10.1f}%  {trainable:>14,}"
+        )
+    # Parameter cost must grow with rank (the efficiency side of the trade).
+    budgets = [results[rank][1] for rank in results]
+    assert all(b > a for a, b in zip(budgets, budgets[1:]))

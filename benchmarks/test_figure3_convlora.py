@@ -1,0 +1,106 @@
+"""Bench: **Figure 3** — LoRA and Conv-LoRA as tensor networks.
+
+Figure 3's claim: Conv-LoRA's update ``ΔW = A ×₄ B`` (Eq. 5) *is* a small
+convolution followed by a 1×1 channel-recovery convolution.  The bench
+
+1. verifies the identity numerically across a rank sweep,
+2. regenerates the parameter/FLOP economics that make the factorization
+   worthwhile (the figure's reason to exist), and
+3. times the factored path against materializing ΔW and convolving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d
+from repro.nn import Conv2d
+from repro.peft import ConvLoRA
+from repro.tensornet import TensorNetwork
+
+CHANNELS_IN, CHANNELS_OUT, KERNEL = 8, 16, 3
+
+
+def _adapter(rank: int, rng) -> tuple[Conv2d, ConvLoRA]:
+    base = Conv2d(CHANNELS_IN, CHANNELS_OUT, KERNEL, padding=1, rng=rng)
+    adapter = ConvLoRA(base, rank=rank, rng=rng)
+    adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(np.float32)
+    return base, adapter
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_equivalence_rank_sweep(benchmark):
+    """Factored forward ≡ base + conv(ΔW) for every rank."""
+    rng = np.random.default_rng(0)
+
+    def run() -> float:
+        worst = 0.0
+        for rank in (1, 2, 4, 8):
+            base, adapter = _adapter(rank, rng)
+            x = Tensor(rng.normal(size=(2, CHANNELS_IN, 8, 8)).astype(np.float32))
+            factored = adapter(x).data
+            delta = Tensor(adapter.delta_weight().astype(np.float32))
+            materialized = base(x).data + conv2d(x, delta, padding=1).data
+            worst = max(worst, float(np.abs(factored - materialized).max()))
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nworst equivalence gap over ranks 1..8: {worst:.2e}")
+    assert worst < 1e-3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_parameter_economics(benchmark):
+    """The table behind the figure: adapter size and FLOPs vs full ΔW."""
+    rng = np.random.default_rng(1)
+    spatial = 8 * 8
+    full_params = KERNEL * KERNEL * CHANNELS_IN * CHANNELS_OUT
+    full_flops = 2 * full_params * spatial
+
+    def run():
+        rows = []
+        for rank in (1, 2, 4, 8):
+            __, adapter = _adapter(rank, rng)
+            params = adapter.extra_parameter_count()
+            # small conv (K·K·I·R) + 1x1 recovery (R·O), per output pixel
+            flops = 2 * (KERNEL * KERNEL * CHANNELS_IN * rank + rank * CHANNELS_OUT) * spatial
+            rows.append((rank, params, params / full_params, flops / full_flops))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfull ΔW: {full_params} params")
+    print(f"{'rank':>4}  {'params':>7}  {'vs full':>8}  {'flops vs full':>13}")
+    for rank, params, ratio, flop_ratio in rows:
+        print(f"{rank:>4}  {params:>7}  {100 * ratio:>7.1f}%  {100 * flop_ratio:>12.1f}%")
+    # Low ranks must be a small fraction of the full update.
+    assert rows[0][2] < 0.25
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_factored_forward_timing(benchmark):
+    """Times the factored (small conv + 1×1) forward — the production path."""
+    rng = np.random.default_rng(2)
+    __, adapter = _adapter(2, rng)
+    x = Tensor(rng.normal(size=(8, CHANNELS_IN, 16, 16)).astype(np.float32))
+    out = benchmark(lambda: adapter(x))
+    assert out.shape == (8, CHANNELS_OUT, 16, 16)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_tensor_network_view(benchmark):
+    """The figure's left panel: LoRA as a two-node tensor network whose
+    contraction is the dense update."""
+    rng = np.random.default_rng(3)
+
+    def run():
+        net = TensorNetwork()
+        a = rng.normal(size=(KERNEL, KERNEL, CHANNELS_IN, 2))
+        b = rng.normal(size=(2, CHANNELS_OUT))
+        net.add("A", a, ("kh", "kw", "i", "r"))
+        net.add("B", b, ("r", "o"))
+        return net.contract(), a, b
+
+    delta, a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert delta.shape == (KERNEL, KERNEL, CHANNELS_IN, CHANNELS_OUT)
+    assert np.allclose(delta, np.einsum("abir,ro->abio", a, b), atol=1e-10)

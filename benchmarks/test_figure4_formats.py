@@ -1,0 +1,140 @@
+"""Bench: **Figure 4** — MetaLoRA's design: seed generation + CP/TR integration.
+
+Figure 4 diagrams the full architecture: the mapping net generates ``c``
+(CP) or ``C`` (TR), which is integrated into weight matrices and
+convolutional tensors through the two tensor formats.  The bench
+
+1. regenerates the parameter-count comparison across formats and ranks
+   (matrix and conv targets, as in the figure's bottom panels),
+2. measures seed→ΔW sensitivity — how much the generated update moves as
+   the seed moves (the mechanism enabling per-sample adaptation), and
+3. times end-to-end seed generation + integration for a full model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models import FeatureExtractor, resnet_small
+from repro.nn import Conv2d, Linear
+from repro.peft import (
+    MetaLoRACPConv,
+    MetaLoRACPLinear,
+    MetaLoRAModel,
+    MetaLoRATRConv,
+    MetaLoRATRLinear,
+    inject_adapters,
+)
+
+IN_FEATURES, OUT_FEATURES = 16, 32
+CHANNELS_IN, CHANNELS_OUT, KERNEL = 8, 16, 3
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_parameter_counts(benchmark):
+    """Adapter parameters per format/target across ranks (figure bottom)."""
+    rng = np.random.default_rng(0)
+
+    def run():
+        rows = []
+        for rank in (1, 2, 4, 8):
+            cp_lin = MetaLoRACPLinear(Linear(IN_FEATURES, OUT_FEATURES, rng=rng), rank, rng=rng)
+            tr_lin = MetaLoRATRLinear(Linear(IN_FEATURES, OUT_FEATURES, rng=rng), rank, rng=rng)
+            cp_conv = MetaLoRACPConv(
+                Conv2d(CHANNELS_IN, CHANNELS_OUT, KERNEL, rng=rng), rank, rng=rng
+            )
+            tr_conv = MetaLoRATRConv(
+                Conv2d(CHANNELS_IN, CHANNELS_OUT, KERNEL, rng=rng), rank, rng=rng
+            )
+            rows.append(
+                (
+                    rank,
+                    cp_lin.extra_parameter_count(),
+                    tr_lin.extra_parameter_count(),
+                    cp_conv.extra_parameter_count(),
+                    tr_conv.extra_parameter_count(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    full_linear = IN_FEATURES * OUT_FEATURES
+    full_conv = KERNEL * KERNEL * CHANNELS_IN * CHANNELS_OUT
+    print(f"\nfull ΔW: linear={full_linear}, conv={full_conv}")
+    print(f"{'rank':>4}  {'CP-lin':>7}  {'TR-lin':>7}  {'CP-conv':>8}  {'TR-conv':>8}")
+    for rank, cp_l, tr_l, cp_c, tr_c in rows:
+        print(f"{rank:>4}  {cp_l:>7}  {tr_l:>7}  {cp_c:>8}  {tr_c:>8}")
+    # TR pays O(R²) where CP pays O(R): at equal rank TR is bigger, and the
+    # gap must grow with rank (the expressiveness/efficiency trade-off the
+    # paper discusses in Sec. VI).
+    gaps = [tr_l - cp_l for __, cp_l, tr_l, *_ in rows]
+    assert all(later >= earlier for earlier, later in zip(gaps, gaps[1:]))
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_seed_sensitivity(benchmark):
+    """‖ΔW(c) − ΔW(c′)‖ grows with ‖c − c′‖: the seed really steers the
+    update (and TR's matrix seed has more directions to steer in)."""
+    rng = np.random.default_rng(1)
+    rank = 4
+    cp = MetaLoRACPLinear(Linear(IN_FEATURES, OUT_FEATURES, rng=rng), rank, rng=rng)
+    cp.factor_b.data[...] = rng.normal(size=cp.factor_b.shape).astype(np.float32)
+    tr = MetaLoRATRLinear(Linear(IN_FEATURES, OUT_FEATURES, rng=rng), rank, rng=rng)
+    tr.core_b.data[...] = rng.normal(size=tr.core_b.shape).astype(np.float32)
+
+    def delta_cp(seed: np.ndarray) -> np.ndarray:
+        return np.einsum("ir,ro,r->io", cp.factor_a.data, cp.factor_b.data, seed)
+
+    def delta_tr(seed: np.ndarray) -> np.ndarray:
+        return np.einsum("pir,roq,qp->io", tr.core_a.data, tr.core_b.data, seed)
+
+    def run():
+        base_cp = rng.normal(size=rank)
+        base_tr = rng.normal(size=(rank, rank))
+        rows = []
+        for eps in (0.1, 0.5, 1.0, 2.0):
+            d_cp = np.linalg.norm(delta_cp(base_cp + eps) - delta_cp(base_cp))
+            perturb = eps * np.ones((rank, rank)) / rank
+            d_tr = np.linalg.norm(delta_tr(base_tr + perturb) - delta_tr(base_tr))
+            rows.append((eps, float(d_cp), float(d_tr)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{'‖δseed‖':>8}  {'‖δΔW‖ CP':>10}  {'‖δΔW‖ TR':>10}")
+    for eps, d_cp, d_tr in rows:
+        print(f"{eps:>8.1f}  {d_cp:>10.3f}  {d_tr:>10.3f}")
+    # Sensitivity is monotone in the perturbation (linear maps of the seed).
+    cps = [r[1] for r in rows]
+    trs = [r[2] for r in rows]
+    assert all(b >= a for a, b in zip(cps, cps[1:]))
+    assert all(b >= a for a, b in zip(trs, trs[1:]))
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_end_to_end_generation(benchmark):
+    """Times the full Fig. 4 pipeline: extract features → mapping net →
+    per-layer seeds → adapted forward pass."""
+    rng = np.random.default_rng(2)
+    backbone = resnet_small(4, rng)
+    extractor_backbone = resnet_small(4, np.random.default_rng(3))
+    inject_adapters(
+        backbone,
+        lambda m: (
+            MetaLoRATRConv(m, 2, rng=rng)
+            if isinstance(m, Conv2d)
+            else MetaLoRATRLinear(m, 2, rng=rng)
+        ),
+        (Conv2d, Linear),
+    )
+    model = MetaLoRAModel(backbone, FeatureExtractor(extractor_backbone), rng=rng)
+    model.eval()
+    x = Tensor(rng.normal(size=(8, 3, 16, 16)).astype(np.float32))
+
+    out = benchmark(lambda: model(x))
+    assert out.shape == (8, 4)
+
+    seeds = model.generate_seeds(x)
+    print(f"\n{len(seeds)} per-layer seeds generated per batch; shapes: "
+          f"{sorted({tuple(s.shape[1:]) for s in seeds})}")

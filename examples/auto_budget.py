@@ -1,0 +1,41 @@
+"""Automatic PEFT configuration under a parameter budget.
+
+Given a pretrained model and a hard trainable-parameter budget, the
+planner picks per-layer ranks from each weight's spectrum
+(`repro.tensornet.rank_selection`) and shrinks the most expensive layers
+until the projection fits.  The summary view shows the result per layer.
+
+Run:  python examples/auto_budget.py
+"""
+
+import numpy as np
+
+from repro.models import resnet_small
+from repro.nn import summarize
+from repro.peft import apply_plan, count_parameters, plan_adapters
+
+rng = np.random.default_rng(0)
+
+
+def main() -> None:
+    for budget in (1_500, 4_000, 12_000):
+        model = resnet_small(num_classes=8, rng=np.random.default_rng(0))
+        plan = plan_adapters(model, budget=budget, family="meta_tr", max_rank=6)
+        apply_plan(model, plan, rng=rng)
+        counts = count_parameters(model)
+        print(f"=== budget {budget:,} ===")
+        print(plan.describe())
+        print(
+            f"actual trainable: {counts.trainable:,} "
+            f"({100 * counts.trainable_fraction:.1f}% of the model)\n"
+        )
+
+    model = resnet_small(num_classes=8, rng=np.random.default_rng(0))
+    plan = plan_adapters(model, budget=4_000, family="meta_tr", max_rank=6)
+    apply_plan(model, plan, rng=rng)
+    print("layer-by-layer view (4k budget):")
+    print(summarize(model))
+
+
+if __name__ == "__main__":
+    main()

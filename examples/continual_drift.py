@@ -1,0 +1,88 @@
+"""Continual drift: tracking a stream of shifting tasks without retraining.
+
+The abstract motivates MetaLoRA with "dynamic task requirements".  Here
+both a static LoRA model and a MetaLoRA model are adapted *once* on a
+fixed set of anchor tasks, then exposed to a drifting stream whose style
+interpolates between anchors — so most stream steps are styles neither
+model ever trained on.  Per-step classification accuracy shows how each
+method tracks the drift with frozen parameters.
+
+Run:  python examples/continual_drift.py   (~3 min)
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.data import TaskDistribution, TaskStream, generate_task_data
+from repro.models import FeatureExtractor
+from repro.eval.protocol import Table1Config, build_adapted_model, pretrain_backbone
+from repro.train import Adam, MetaTrainer, Trainer
+from repro.utils.rng import spawn_rngs
+
+STREAM_STEPS = 20
+
+
+def accuracy(model, images: np.ndarray, labels: np.ndarray) -> float:
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(images))
+    return float((logits.data.argmax(axis=1) == labels).mean())
+
+
+def main() -> None:
+    config = Table1Config(
+        num_tasks=9,
+        adapt_episodes=200,
+        methods=("lora", "meta_lora_tr"),
+    )
+    rng_pre, rng_tasks, rng_stream, rng_lora, rng_meta = spawn_rngs(0, 5)
+
+    print("pretraining backbone ...")
+    __, state = pretrain_backbone(config, rng_pre)
+    tasks = TaskDistribution(
+        config.num_tasks, image_size=config.image_size,
+        seed=7, noise_level=config.noise_level,
+    )
+    train_sets = [
+        generate_task_data(
+            t, config.adapt_samples_per_task, config.num_classes,
+            config.image_size, rng_tasks,
+        )
+        for t in tasks.shifted_tasks()
+    ]
+
+    models = {}
+    for method, rng in (("lora", rng_lora), ("meta_lora_tr", rng_meta)):
+        print(f"adapting {method} on the anchor tasks ...")
+        model = build_adapted_model(method, config, state, rng)
+        trainer = Trainer(
+            model, Adam(list(model.trainable_parameters()), lr=config.adapt_lr),
+            grad_clip=5.0,
+        )
+        MetaTrainer(trainer, train_sets).run(
+            episodes=config.adapt_episodes, batch_size=config.adapt_batch, rng=rng
+        )
+        model.eval()
+        models[method] = model
+
+    print(f"\nstreaming {STREAM_STEPS} drifting steps (styles between anchors):")
+    stream = TaskStream(
+        tasks, config.num_classes, samples_per_step=48,
+        segment_length=5, rng=rng_stream,
+    )
+    totals = {name: [] for name in models}
+    print(f"{'step':>4}  " + "  ".join(f"{name:>13}" for name in models))
+    for step in stream.steps(STREAM_STEPS):
+        row = []
+        for name, model in models.items():
+            acc = accuracy(model, step.data.images, step.data.labels)
+            totals[name].append(acc)
+            row.append(f"{100 * acc:12.1f}%")
+        print(f"{step.step:>4}  " + "  ".join(row))
+    print("\nmean over the stream:")
+    for name, values in totals.items():
+        print(f"  {name:<14} {100 * float(np.mean(values)):5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

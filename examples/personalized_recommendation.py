@@ -1,0 +1,148 @@
+"""Personalized recommendation with MetaLoRA (Sec. III-E).
+
+The paper singles out recommendation as a natural fit for MetaLoRA:
+"models need to adapt to individual user preferences".  Here each *user*
+plays the role of a task:
+
+- a shared scoring MLP is pre-trained on pooled interaction data,
+- each user's taste rotates the item-feature space differently
+  (the per-user analogue of the per-task color direction in the vision
+  experiments),
+- a static LoRA must serve all users with one update; MetaLoRA generates
+  a per-interaction seed from the input profile and specializes.
+
+This example exercises the PEFT API on plain feature vectors — no images,
+no convolutions — showing the adapters are architecture-agnostic.
+
+Run:  python examples/personalized_recommendation.py
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.models.feature_extractor import FeatureExtractor
+from repro.nn import Linear, Module, ReLU, Sequential
+from repro.peft import (
+    LoRALinear,
+    MetaLoRAModel,
+    MetaLoRATRLinear,
+    inject_adapters,
+)
+from repro.train import Adam, Trainer, cross_entropy
+from repro.utils.rng import spawn_rngs
+
+FEATURE_DIM = 12
+NUM_USERS = 8
+RANK = 2
+
+
+class ScoringNet(Module):
+    """Interaction features -> like/dislike logits, with an embedding head."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.body = Sequential(
+            Linear(FEATURE_DIM, 24, rng=rng), ReLU(), Linear(24, 16, rng=rng), ReLU()
+        )
+        self.head = Linear(16, 2, rng=rng)
+        self.embedding_dim = 16
+
+    def features(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.features(x))
+
+
+def make_user_rotations(rng: np.random.Generator) -> list[np.ndarray]:
+    """Each user perceives item features through their own rotation."""
+    rotations = []
+    for __ in range(NUM_USERS):
+        q, __r = np.linalg.qr(rng.normal(size=(FEATURE_DIM, FEATURE_DIM)))
+        rotations.append(q.astype(np.float32))
+    return rotations
+
+
+def sample_interactions(
+    user: int,
+    rotations: list[np.ndarray],
+    taste: np.ndarray,
+    n: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Items a user saw, with like/dislike labels from their latent taste.
+
+    The user's id is softly encoded in the profile bias (first feature
+    block), mirroring how real systems concatenate user covariates — this
+    is the signal MetaLoRA's extractor can exploit.
+    """
+    items = rng.normal(size=(n, FEATURE_DIM)).astype(np.float32)
+    scores = items @ taste
+    labels = (scores > 0).astype(np.int64)
+    observed = items @ rotations[user].T
+    observed[:, :2] += user * 0.5  # user signature visible in the input
+    return observed.astype(np.float32), labels
+
+
+def main() -> None:
+    rng_model, rng_data, rng_adapt = spawn_rngs(seed=0, count=3)
+    rotations = make_user_rotations(rng_data)
+    taste = rng_data.normal(size=FEATURE_DIM)
+
+    # Pre-train the shared scorer on user 0 only (the "pooled" model).
+    x0, y0 = sample_interactions(0, rotations, taste, 800, rng_data)
+    scorer = ScoringNet(rng_model)
+    Trainer(scorer, Adam(scorer.parameters(), lr=3e-3)).fit(
+        x0, y0, epochs=8, batch_size=32, rng=rng_data
+    )
+    state = scorer.state_dict()
+
+    # Training mixture over all users; evaluation held out per user.
+    train_x, train_y = [], []
+    eval_sets = []
+    for user in range(NUM_USERS):
+        x, y = sample_interactions(user, rotations, taste, 120, rng_data)
+        train_x.append(x[:80])
+        train_y.append(y[:80])
+        eval_sets.append((user, x[80:], y[80:]))
+    mixture_x = np.concatenate(train_x)
+    mixture_y = np.concatenate(train_y)
+
+    def fresh(method: str) -> Module:
+        model = ScoringNet(rng_model)
+        model.load_state_dict(state)
+        if method == "frozen":
+            model.freeze()
+            return model
+        if method == "lora":
+            inject_adapters(model, lambda m: LoRALinear(m, RANK, rng=rng_adapt), (Linear,))
+            return model
+        # meta: a frozen copy of the pooled scorer provides profile features.
+        inject_adapters(
+            model, lambda m: MetaLoRATRLinear(m, RANK, rng=rng_adapt), (Linear,)
+        )
+        extractor_net = ScoringNet(rng_model)
+        extractor_net.load_state_dict(state)
+        return MetaLoRAModel(model, FeatureExtractor(extractor_net), rng=rng_adapt)
+
+    print(f"{'method':<12} {'mean acc':>9}   per-user accuracy")
+    for method in ("frozen", "lora", "meta_lora_tr"):
+        model = fresh(method)
+        trainable = list(model.trainable_parameters())
+        if trainable:
+            trainer = Trainer(model, Adam(trainable, lr=5e-3))
+            trainer.fit(mixture_x, mixture_y, epochs=12, batch_size=32, rng=rng_adapt)
+        else:
+            trainer = Trainer(model, Adam([p for p in model.parameters()][:1], lr=1e-9))
+        accs = [trainer.evaluate(x, y) for __, x, y in eval_sets]
+        per_user = " ".join(f"{100 * a:4.0f}" for a in accs)
+        print(f"{method:<12} {100 * float(np.mean(accs)):8.1f}%   {per_user}")
+    print(
+        "\nMetaLoRA reads the user signature from the input profile and "
+        "generates a per-interaction weight update; static LoRA serves all "
+        "users with one compromise update."
+    )
+
+
+if __name__ == "__main__":
+    main()

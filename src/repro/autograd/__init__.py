@@ -1,0 +1,56 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This package is the substrate that replaces PyTorch in this reproduction:
+a :class:`Tensor` records the operations applied to it, and
+:meth:`Tensor.backward` walks the recorded graph in reverse topological
+order accumulating gradients.  All neural layers, LoRA variants and the
+MetaLoRA contraction formats are differentiated through this engine.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, tensor, zeros_like
+from repro.autograd.ops import (
+    concat,
+    dropout,
+    einsum,
+    exp,
+    gelu,
+    log,
+    log_softmax,
+    maximum,
+    relu,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    tanh,
+    where,
+)
+from repro.autograd.conv_ops import avg_pool2d, conv2d, max_pool2d, pad2d
+from repro.autograd.grad_check import check_gradients
+
+__all__ = [
+    "Tensor",
+    "avg_pool2d",
+    "check_gradients",
+    "concat",
+    "conv2d",
+    "dropout",
+    "einsum",
+    "exp",
+    "gelu",
+    "log",
+    "log_softmax",
+    "max_pool2d",
+    "maximum",
+    "no_grad",
+    "pad2d",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "sqrt",
+    "stack",
+    "tanh",
+    "tensor",
+    "where",
+    "zeros_like",
+]

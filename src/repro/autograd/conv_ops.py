@@ -1,0 +1,187 @@
+"""Differentiable 2-D convolution and pooling.
+
+Convolution is implemented with im2col: patches are unfolded into a matrix
+so the convolution becomes a single matmul, which is the fastest approach
+available in pure numpy.  The backward pass uses the exact adjoint
+(col2im scatter-add), and is validated against finite differences in the
+test suite.
+
+Layout convention: activations are ``(N, C, H, W)`` and convolution
+weights are ``(K_h, K_w, C_in, C_out)`` — the latter matches the paper's
+``W ∈ R^{K×K×I×O}`` notation for Conv-LoRA (Eq. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output size would be {out} "
+            f"(input {size}, kernel {kernel}, stride {stride}, padding {padding})"
+        )
+    return out
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into ``(N, out_h, out_w, C, kh, kw)`` patches."""
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kh, stride, padding)
+    out_w = _out_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    stride_n, stride_c, stride_h, stride_w = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, out_h, out_w, c, kh, kw),
+        strides=(stride_n, stride_h * stride, stride_w * stride, stride_c, stride_h, stride_w),
+        writeable=False,
+    )
+    return patches, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add patches back into an image."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    out_h, out_w = cols.shape[1], cols.shape[2]
+    for i in range(kh):
+        for j in range(kw):
+            padded[
+                :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+            ] += cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    if padding:
+        return padded[:, :, padding : padding + h, padding : padding + w]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution of ``(N, C_in, H, W)`` with ``(K_h, K_w, C_in, C_out)``.
+
+    Returns ``(N, C_out, H_out, W_out)``.  ``bias``, if given, has shape
+    ``(C_out,)`` and is added per output channel.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"conv2d expects 4-d input (N, C, H, W), got {x.shape}")
+    if weight.ndim != 4:
+        raise ShapeError(f"conv2d expects 4-d weight (Kh, Kw, Cin, Cout), got {weight.shape}")
+    kh, kw, c_in, c_out = weight.shape
+    if x.shape[1] != c_in:
+        raise ShapeError(
+            f"input channels {x.shape[1]} do not match weight channels {c_in}"
+        )
+
+    patches, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
+    n = x.shape[0]
+    # (N, oh, ow, C*kh*kw) @ (C*kh*kw, Cout)
+    cols = patches.reshape(n, out_h, out_w, c_in * kh * kw)
+    w_mat = weight.data.transpose(2, 0, 1, 3).reshape(c_in * kh * kw, c_out)
+    out = cols @ w_mat  # (N, oh, ow, Cout)
+    out = out.transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    x_shape = x.shape
+
+    def grad_x(g: np.ndarray) -> np.ndarray:
+        g_cols = g.transpose(0, 2, 3, 1)  # (N, oh, ow, Cout)
+        d_cols = g_cols @ w_mat.T  # (N, oh, ow, C*kh*kw)
+        d_patches = d_cols.reshape(n, out_h, out_w, c_in, kh, kw)
+        return _col2im(d_patches, x_shape, kh, kw, stride, padding)
+
+    def grad_w(g: np.ndarray) -> np.ndarray:
+        g_cols = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        cols_flat = cols.reshape(-1, c_in * kh * kw)
+        d_w_mat = cols_flat.T @ g_cols  # (C*kh*kw, Cout)
+        return d_w_mat.reshape(c_in, kh, kw, c_out).transpose(1, 2, 0, 3)
+
+    parents: tuple[Tensor, ...]
+    grad_fns: tuple
+    if bias is not None:
+
+        def grad_b(g: np.ndarray) -> np.ndarray:
+            return g.sum(axis=(0, 2, 3))
+
+        parents = (x, weight, bias)
+        grad_fns = (grad_x, grad_w, grad_b)
+    else:
+        parents = (x, weight)
+        grad_fns = (grad_x, grad_w)
+    return Tensor._result(out, parents, grad_fns)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the spatial dimensions of a ``(N, C, H, W)`` tensor."""
+    if padding < 0:
+        raise ShapeError(f"padding must be non-negative, got {padding}")
+    if padding == 0:
+        return x
+    out = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return g[:, :, padding:-padding, padding:-padding]
+
+    return Tensor._result(out, (x,), (grad_fn,))
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) spatial windows."""
+    stride = stride or kernel
+    patches, out_h, out_w = _im2col(x.data, kernel, kernel, stride, padding=0)
+    n, c = x.shape[0], x.shape[1]
+    windows = patches.reshape(n, out_h, out_w, c, kernel * kernel)
+    arg = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+    out = out.transpose(0, 3, 1, 2)
+    x_shape = x.shape
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        g_windows = np.zeros((n, out_h, out_w, c, kernel * kernel), dtype=g.dtype)
+        np.put_along_axis(
+            g_windows, arg[..., None], g.transpose(0, 2, 3, 1)[..., None], axis=-1
+        )
+        d_patches = g_windows.reshape(n, out_h, out_w, c, kernel, kernel)
+        return _col2im(d_patches, x_shape, kernel, kernel, stride, padding=0)
+
+    return Tensor._result(out, (x,), (grad_fn,))
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over spatial windows."""
+    stride = stride or kernel
+    patches, out_h, out_w = _im2col(x.data, kernel, kernel, stride, padding=0)
+    n, c = x.shape[0], x.shape[1]
+    out = patches.reshape(n, out_h, out_w, c, kernel * kernel).mean(axis=-1)
+    out = out.transpose(0, 3, 1, 2)
+    x_shape = x.shape
+    scale = 1.0 / (kernel * kernel)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        g_spread = np.broadcast_to(
+            (g.transpose(0, 2, 3, 1) * scale)[..., None, None],
+            (n, out_h, out_w, c, kernel, kernel),
+        )
+        return _col2im(np.ascontiguousarray(g_spread), x_shape, kernel, kernel, stride, 0)
+
+    return Tensor._result(out, (x,), (grad_fn,))

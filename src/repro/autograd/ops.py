@@ -1,0 +1,255 @@
+"""Differentiable functional operations.
+
+The most important op here is :func:`einsum`: every tensor-network
+contraction in the library (CP, Tensor Ring, Conv-LoRA, the MetaLoRA
+formats) is expressed as an einsum, so making einsum differentiable makes
+the whole tensor-network layer differentiable for free.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.tensor import GradFn, Tensor, grad_enabled, unbroadcast
+from repro.errors import ShapeError
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+# -- elementwise -------------------------------------------------------------
+
+
+def exp(x: Tensor) -> Tensor:
+    out = np.exp(x.data)
+    return Tensor._result(out, (x,), (lambda g: g * out,))
+
+
+def log(x: Tensor) -> Tensor:
+    data = x.data
+    return Tensor._result(np.log(data), (x,), (lambda g: g / data,))
+
+
+def sqrt(x: Tensor) -> Tensor:
+    out = np.sqrt(x.data)
+    return Tensor._result(out, (x,), (lambda g: g * 0.5 / out,))
+
+
+def tanh(x: Tensor) -> Tensor:
+    out = np.tanh(x.data)
+    return Tensor._result(out, (x,), (lambda g: g * (1.0 - out**2),))
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-x.data))
+    return Tensor._result(out, (x,), (lambda g: g * out * (1.0 - out),))
+
+
+def relu(x: Tensor) -> Tensor:
+    data = x.data
+    out = np.maximum(data, 0.0)
+    return Tensor._result(out, (x,), (lambda g: g * (data > 0),))
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in MLP-Mixer)."""
+    data = x.data
+    inner = _SQRT_2_OVER_PI * (data + 0.044715 * data**3)
+    t = np.tanh(inner)
+    out = 0.5 * data * (1.0 + t)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * data**2)
+        return g * (0.5 * (1.0 + t) + 0.5 * data * (1.0 - t**2) * d_inner)
+
+    return Tensor._result(out, (x,), (grad_fn,))
+
+
+def maximum(x: Tensor, y: Tensor) -> Tensor:
+    """Elementwise max; at ties the gradient is split evenly."""
+    out = np.maximum(x.data, y.data)
+    x_wins = (x.data > y.data).astype(x.data.dtype)
+    tie = (x.data == y.data).astype(x.data.dtype) * 0.5
+    wx, wy = x_wins + tie, (1.0 - x_wins) - tie
+
+    return Tensor._result(
+        out,
+        (x, y),
+        (
+            lambda g: unbroadcast(g * wx, x.shape),
+            lambda g: unbroadcast(g * wy, y.shape),
+        ),
+    )
+
+
+def where(condition: np.ndarray, x: Tensor, y: Tensor) -> Tensor:
+    """Select from ``x`` where ``condition`` else ``y`` (condition is constant)."""
+    cond = np.asarray(condition, dtype=bool)
+    out = np.where(cond, x.data, y.data)
+    return Tensor._result(
+        out,
+        (x, y),
+        (
+            lambda g: unbroadcast(g * cond, x.shape),
+            lambda g: unbroadcast(g * ~cond, y.shape),
+        ),
+    )
+
+
+# -- softmax family -----------------------------------------------------------
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        return out * (g - dot)
+
+    return Tensor._result(out, (x,), (grad_fn,))
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    soft = np.exp(out)
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return Tensor._result(out, (x,), (grad_fn,))
+
+
+# -- structural ----------------------------------------------------------------
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate along ``axis``; gradient splits back to each input."""
+    if not tensors:
+        raise ShapeError("concat requires at least one tensor")
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_grad(i: int) -> GradFn:
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+            return g[tuple(index)]
+
+        return grad_fn
+
+    return Tensor._result(
+        out, tuple(tensors), tuple(make_grad(i) for i in range(len(tensors)))
+    )
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack along a new axis; gradient indexes back per input."""
+    if not tensors:
+        raise ShapeError("stack requires at least one tensor")
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_grad(i: int) -> GradFn:
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            return np.take(g, i, axis=axis)
+
+        return grad_fn
+
+    return Tensor._result(
+        out, tuple(tensors), tuple(make_grad(i) for i in range(len(tensors)))
+    )
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: scales kept units by 1/(1-rate) during training."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out = x.data * mask
+    return Tensor._result(out, (x,), (lambda g: g * mask,))
+
+
+# -- einsum ---------------------------------------------------------------------
+
+
+def _parse_einsum_spec(spec: str, operand_count: int) -> tuple[list[str], str]:
+    if "..." in spec:
+        raise ShapeError("ellipsis einsum specs are not supported")
+    if "->" not in spec:
+        raise ShapeError("einsum spec must be explicit (contain '->')")
+    inputs_part, output = spec.split("->")
+    inputs = [part.strip() for part in inputs_part.split(",")]
+    for labels in inputs:
+        if len(set(labels)) != len(labels):
+            raise ShapeError(
+                f"einsum spec {labels!r} repeats a label within one operand; "
+                "diagonal extraction is not differentiable in this engine"
+            )
+    if len(inputs) != operand_count:
+        raise ShapeError(
+            f"einsum spec {spec!r} names {len(inputs)} operands, got {operand_count}"
+        )
+    return inputs, output.strip()
+
+
+def einsum(spec: str, *operands: Tensor) -> Tensor:
+    """Differentiable Einstein summation with an explicit output spec.
+
+    The gradient with respect to operand ``i`` is itself an einsum: contract
+    the output gradient with every *other* operand, targeting operand ``i``'s
+    index string.  Indices that appear only in operand ``i`` (summed out on
+    their own) receive a broadcast gradient.
+    """
+    inputs, output = _parse_einsum_spec(spec, len(operands))
+    arrays = [op.data for op in operands]
+    for labels, array in zip(inputs, arrays):
+        if len(labels) != array.ndim:
+            raise ShapeError(
+                f"einsum operand with spec {labels!r} has {array.ndim} axes; "
+                f"shape {array.shape}"
+            )
+    out = np.einsum(spec, *arrays)
+
+    def make_grad(i: int) -> GradFn:
+        target = inputs[i]
+        other_specs = [output] + [inputs[j] for j in range(len(inputs)) if j != i]
+        available = set("".join(other_specs))
+        direct = [label for label in target if label in available]
+        missing = [label for label in target if label not in available]
+        direct_spec = ",".join(other_specs) + "->" + "".join(direct)
+        target_shape = arrays[i].shape
+        label_dims = {label: target_shape[k] for k, label in enumerate(target)}
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            others = [arrays[j] for j in range(len(arrays)) if j != i]
+            partial = np.einsum(direct_spec, g, *others)
+            if missing:
+                # Axes summed out alone in the forward pass: the gradient is
+                # constant along them, so broadcast to the full shape.
+                partial = np.broadcast_to(
+                    np.expand_dims(partial, tuple(range(len(missing)))),
+                    tuple(label_dims[m] for m in missing) + partial.shape,
+                )
+                current = "".join(missing) + "".join(direct)
+                perm = tuple(current.index(label) for label in target)
+                partial = partial.transpose(perm)
+            else:
+                perm = tuple("".join(direct).index(label) for label in target)
+                partial = partial.transpose(perm)
+            return np.ascontiguousarray(partial)
+
+        return grad_fn
+
+    if not grad_enabled():
+        return Tensor(out)
+    return Tensor._result(
+        np.asarray(out), tuple(operands), tuple(make_grad(i) for i in range(len(operands)))
+    )

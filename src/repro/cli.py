@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+Usage::
+
+    python -m repro table1 --backbone resnet --seeds 0 1 2
+    python -m repro table1 --backbone mixer --quick
+    python -m repro inspect --method meta_lora_tr
+    python -m repro figures
+
+``table1`` regenerates the paper's Table I (with t-test markers when more
+than one seed is given); ``inspect`` prints a method's adapter layout and
+parameter budget; ``figures`` runs the Figure 1-3 numerical checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+import numpy as np
+
+from repro.config import PAPER, PAPER_MIXER
+from repro.eval.protocol import (
+    METHODS,
+    build_adapted_model,
+    build_backbone,
+    format_table1,
+    run_table1,
+)
+from repro.eval.significance import two_sided_t_test
+from repro.peft.counts import adapter_parameter_table, count_parameters, format_table
+from repro.utils.rng import new_rng
+
+
+def _table1(args: argparse.Namespace) -> int:
+    config = PAPER if args.backbone == "resnet" else PAPER_MIXER
+    if args.quick:
+        config = replace(
+            config,
+            num_tasks=9,
+            adapt_episodes=150,
+            support_per_task=40,
+            query_per_task=40,
+            pretrain_epochs=4,
+        )
+    rows_by_seed = []
+    for seed in args.seeds:
+        print(f"running seed {seed} ...", flush=True)
+        rows_by_seed.append(run_table1(config, seed))
+    print()
+    print(format_table1(rows_by_seed, config))
+    if len(args.seeds) >= 2:
+        baselines = [m for m in config.methods if not m.startswith("meta")]
+        print("\nsignificance vs best baseline (two-sided paired t-test):")
+        for k in config.ks:
+            per_method = {
+                m: [rows[m].accuracy_by_k[k] for rows in rows_by_seed]
+                for m in config.methods
+            }
+            best = max(baselines, key=lambda m: float(np.mean(per_method[m])))
+            for meta in ("meta_lora_cp", "meta_lora_tr"):
+                result = two_sided_t_test(per_method[meta], per_method[best])
+                marker = "*" if result.significant and result.statistic > 0 else ""
+                print(f"  K={k}: {meta} vs {best}: p={result.p_value:.3f} {marker}")
+    return 0
+
+
+def _inspect(args: argparse.Namespace) -> int:
+    config = PAPER if args.backbone == "resnet" else PAPER_MIXER
+    rng = new_rng(args.seed)
+    state = build_backbone(config, rng).state_dict()
+    model = build_adapted_model(args.method, config, state, rng)
+    counts = count_parameters(model)
+    print(f"method:   {args.method}")
+    print(f"backbone: {args.backbone}")
+    print(
+        f"params:   total={counts.total:,}  trainable={counts.trainable:,} "
+        f"({100 * counts.trainable_fraction:.2f}%)"
+    )
+    backbone = getattr(model, "backbone", model)
+    rows = adapter_parameter_table(backbone)
+    if rows:
+        print()
+        print(format_table(rows))
+    return 0
+
+
+def _figures(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(0)
+    from repro.autograd import Tensor, conv2d
+    from repro.tensornet import (
+        conv1d_direct,
+        conv1d_via_dummy,
+        conv2d_via_dummy,
+    )
+
+    print("Fig. 2 — dummy-tensor convolution identity:")
+    worst = 0.0
+    for stride, padding in [(1, 0), (1, 1), (2, 1), (3, 2)]:
+        signal, kernel = rng.normal(size=15), rng.normal(size=4)
+        gap = np.abs(
+            conv1d_via_dummy(signal, kernel, stride, padding)
+            - conv1d_direct(signal, kernel, stride, padding)
+        ).max()
+        worst = max(worst, float(gap))
+    print(f"  1-D worst gap over sweep: {worst:.2e}")
+    x = rng.normal(size=(2, 3, 10, 10))
+    w = rng.normal(size=(3, 3, 3, 4))
+    ours = conv2d(Tensor(x.astype(np.float64)), Tensor(w.astype(np.float64)), padding=1).data
+    gap = np.abs(ours - conv2d_via_dummy(x, w, 1, 1)).max()
+    print(f"  2-D gap (stride 1, pad 1):  {gap:.2e}")
+
+    print("\nFig. 3 — Conv-LoRA factorization identity:")
+    from repro.nn import Conv2d
+    from repro.peft import ConvLoRA
+
+    base = Conv2d(4, 8, 3, padding=1, rng=rng)
+    adapter = ConvLoRA(base, rank=2, rng=rng)
+    adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(np.float32)
+    xin = Tensor(rng.normal(size=(2, 4, 8, 8)).astype(np.float32))
+    factored = adapter(xin).data
+    delta = Tensor(adapter.delta_weight().astype(np.float32))
+    materialized = base(xin).data + conv2d(xin, delta, padding=1).data
+    print(f"  gap: {np.abs(factored - materialized).max():.2e}")
+    print(
+        f"  params: adapter={adapter.extra_parameter_count()} vs "
+        f"full ΔW={3 * 3 * 4 * 8}"
+    )
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    import glob
+    import os
+
+    from repro.eval.protocol import METHOD_LABELS
+    from repro.eval.reporting import load_record, render_markdown
+
+    paths = sorted(glob.glob(os.path.join(args.results_dir, "table1_*.json")))
+    if not paths:
+        print(f"no table1_*.json records under {args.results_dir!r}; "
+              "run the Table I bench first")
+        return 1
+    for path in paths:
+        record = load_record(path)
+        print(f"## Table I — {record.backbone} (seeds {record.seeds})\n")
+        print(render_markdown(record, METHOD_LABELS))
+        if record.significance:
+            baselines = [m for m in record.accuracy if not m.startswith("meta")]
+            print("\nt-test p-values vs best static baseline "
+                  "(* = significantly better):")
+            for method, per_k in record.significance.items():
+                cells = []
+                for k, p in sorted(per_k.items(), key=lambda kv: int(kv[0])):
+                    best = max(baselines, key=lambda m: record.accuracy[m][k])
+                    better = record.accuracy[method][k] > record.accuracy[best][k]
+                    star = "*" if (p < 0.05 and better) else ""
+                    cells.append(f"K={k}: {p:.3f}{star}")
+                print(f"  {METHOD_LABELS.get(method, method)}: {', '.join(cells)}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MetaLoRA reproduction — regenerate the paper's artifacts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--backbone", choices=("resnet", "mixer"), default="resnet")
+    table1.add_argument("--seeds", type=int, nargs="+", default=[0])
+    table1.add_argument(
+        "--quick", action="store_true", help="reduced scale (~2 min instead of ~7/seed)"
+    )
+    table1.set_defaults(func=_table1)
+
+    inspect = sub.add_parser("inspect", help="show a method's adapter layout")
+    inspect.add_argument("--method", choices=METHODS, default="meta_lora_tr")
+    inspect.add_argument("--backbone", choices=("resnet", "mixer"), default="resnet")
+    inspect.add_argument("--seed", type=int, default=0)
+    inspect.set_defaults(func=_inspect)
+
+    figures = sub.add_parser("figures", help="run the Figure 2/3 numerical checks")
+    figures.set_defaults(func=_figures)
+
+    report = sub.add_parser(
+        "report", help="render saved results/ records as markdown tables"
+    )
+    report.add_argument("--results-dir", default="results")
+    report.set_defaults(func=_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Experiment configuration presets.
+
+``QUICK`` runs in seconds (integration tests); ``PAPER`` is the scale the
+benchmark harness uses to regenerate Table I.  Both are plain dataclass
+instances — copy with :func:`dataclasses.replace` to customize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.eval.protocol import Table1Config
+
+#: Full-scale (for this CPU reproduction) Table I configuration.
+PAPER = Table1Config()
+
+#: Paper config on the MLP-Mixer backbone.
+PAPER_MIXER = replace(PAPER, backbone="mixer")
+
+#: Seconds-scale configuration for tests and smoke runs.
+QUICK = PAPER.quick()
+
+#: Seeds used for the significance test in the Table I bench.
+TABLE1_SEEDS = (0, 1, 2)

@@ -1,0 +1,19 @@
+"""Synthetic multi-task vision data (the offline substitute for the
+paper's image datasets — see DESIGN.md, substitution table)."""
+
+from repro.data.tasks import TaskDistribution, TaskSpec
+from repro.data.synthetic import SyntheticTaskData, generate_task_data, merge_tasks
+from repro.data.loaders import batches
+from repro.data.stream import StreamStep, TaskStream, interpolate_tasks
+
+__all__ = [
+    "StreamStep",
+    "SyntheticTaskData",
+    "TaskDistribution",
+    "TaskSpec",
+    "TaskStream",
+    "batches",
+    "generate_task_data",
+    "interpolate_tasks",
+    "merge_tasks",
+]

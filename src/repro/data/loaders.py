@@ -1,0 +1,30 @@
+"""Minibatching."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def batches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(images, labels)`` minibatches, shuffled when ``rng`` is given."""
+    if batch_size <= 0:
+        raise DataError(f"batch_size must be positive, got {batch_size}")
+    count = images.shape[0]
+    if labels.shape[0] != count:
+        raise DataError(f"images ({count}) and labels ({labels.shape[0]}) disagree")
+    order = rng.permutation(count) if rng is not None else np.arange(count)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and index.shape[0] < batch_size:
+            return
+        yield images[index], labels[index]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors whose shapes are incompatible."""
+
+
+class GradientError(ReproError):
+    """Backward pass failed or was requested on a non-differentiable graph."""
+
+
+class DecompositionError(ReproError):
+    """A tensor decomposition (CP / TR / Tucker) could not be computed."""
+
+
+class AdapterError(ReproError):
+    """A PEFT adapter was attached, merged or configured incorrectly."""
+
+
+class ConfigError(ReproError):
+    """An experiment configuration is inconsistent or out of range."""
+
+
+class DataError(ReproError):
+    """A dataset or task specification is invalid."""
+
+
+class TrainingError(ReproError):
+    """The training loop encountered an unrecoverable condition."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation protocol was invoked with invalid inputs."""

@@ -1,0 +1,81 @@
+"""Embedding cluster-quality metrics.
+
+Table I measures embedding quality indirectly through KNN accuracy;
+these metrics measure it directly (no classifier in the loop), and back
+the ablation analyses: the meta variants should *tighten* per-class
+clusters within each task, which is exactly what higher silhouette /
+lower intra-over-inter ratios capture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def _validate(embeddings: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels)
+    if embeddings.ndim != 2:
+        raise EvaluationError(f"embeddings must be 2-d, got {embeddings.shape}")
+    if labels.shape != (embeddings.shape[0],):
+        raise EvaluationError(
+            f"labels shape {labels.shape} does not match {embeddings.shape[0]} rows"
+        )
+    if np.unique(labels).size < 2:
+        raise EvaluationError("cluster metrics need at least two classes")
+    return embeddings, labels
+
+
+def silhouette_score(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over samples (euclidean), in [-1, 1]."""
+    embeddings, labels = _validate(embeddings, labels)
+    n = embeddings.shape[0]
+    distances = np.sqrt(
+        ((embeddings[:, None, :] - embeddings[None, :, :]) ** 2).sum(axis=2)
+    )
+    classes = np.unique(labels)
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels[i]
+        same = (labels == own) & (np.arange(n) != i)
+        if not same.any():
+            scores[i] = 0.0  # singleton cluster, silhouette undefined -> 0
+            continue
+        a = distances[i, same].mean()
+        b = min(
+            distances[i, labels == other].mean()
+            for other in classes
+            if other != own
+        )
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def intra_inter_ratio(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Mean intra-class distance over mean inter-class distance (lower = tighter)."""
+    embeddings, labels = _validate(embeddings, labels)
+    distances = np.sqrt(
+        ((embeddings[:, None, :] - embeddings[None, :, :]) ** 2).sum(axis=2)
+    )
+    same = labels[:, None] == labels[None, :]
+    off_diagonal = ~np.eye(labels.shape[0], dtype=bool)
+    intra = distances[same & off_diagonal]
+    inter = distances[~same]
+    if intra.size == 0 or inter.size == 0:
+        raise EvaluationError("need both intra- and inter-class pairs")
+    return float(intra.mean() / inter.mean())
+
+
+def class_centroid_separation(embeddings: np.ndarray, labels: np.ndarray) -> float:
+    """Minimum pairwise distance between class centroids (higher = better)."""
+    embeddings, labels = _validate(embeddings, labels)
+    classes = np.unique(labels)
+    centroids = np.stack([embeddings[labels == c].mean(axis=0) for c in classes])
+    gaps = [
+        float(np.linalg.norm(centroids[i] - centroids[j]))
+        for i in range(len(classes))
+        for j in range(i)
+    ]
+    return min(gaps)

@@ -1,0 +1,31 @@
+"""Embedding extraction for the KNN protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import EvaluationError
+from repro.nn.module import Module
+
+
+def extract_embeddings(
+    model: Module, images: np.ndarray, batch_size: int = 64
+) -> np.ndarray:
+    """Run ``model.features`` over ``images`` in eval mode, without grads.
+
+    Works for plain backbones and for :class:`MetaLoRAModel` alike — meta
+    models regenerate their per-sample seeds inside ``features``.
+    """
+    if not hasattr(model, "features"):
+        raise EvaluationError(
+            f"{type(model).__name__} does not expose features(); cannot embed"
+        )
+    model.eval()
+    chunks = []
+    with no_grad():
+        for start in range(0, images.shape[0], batch_size):
+            batch = Tensor(images[start : start + batch_size])
+            chunks.append(model.features(batch).data.copy())
+    model.train()
+    return np.concatenate(chunks, axis=0)

@@ -1,0 +1,82 @@
+"""K-nearest-neighbour classifier over embeddings (Table I's evaluator).
+
+The paper scores each method by fitting a KNN on adapted embeddings and
+reporting query accuracy at K=5 and K=10 — a linear-probe-free measure of
+how well the embedding space clusters by class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+class KNNClassifier:
+    """Majority-vote KNN with cosine or euclidean distance."""
+
+    def __init__(self, metric: str = "cosine") -> None:
+        if metric not in ("cosine", "euclidean"):
+            raise EvaluationError(f"unknown metric {metric!r}")
+        self.metric = metric
+        self._embeddings: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    def fit(self, embeddings: np.ndarray, labels: np.ndarray) -> "KNNClassifier":
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        labels = np.asarray(labels)
+        if embeddings.ndim != 2:
+            raise EvaluationError(f"embeddings must be 2-d, got {embeddings.shape}")
+        if labels.shape != (embeddings.shape[0],):
+            raise EvaluationError(
+                f"labels shape {labels.shape} does not match "
+                f"{embeddings.shape[0]} embeddings"
+            )
+        self._embeddings = embeddings
+        self._labels = labels
+        return self
+
+    def _distances(self, queries: np.ndarray) -> np.ndarray:
+        assert self._embeddings is not None
+        if self.metric == "cosine":
+            support = self._embeddings / (
+                np.linalg.norm(self._embeddings, axis=1, keepdims=True) + 1e-12
+            )
+            q = queries / (np.linalg.norm(queries, axis=1, keepdims=True) + 1e-12)
+            return 1.0 - q @ support.T
+        diff = queries[:, None, :] - self._embeddings[None, :, :]
+        return np.sqrt((diff**2).sum(axis=2))
+
+    def predict(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """Labels of the majority among the ``k`` nearest supports.
+
+        Ties are broken toward the class whose members are nearest in
+        total distance, which keeps predictions deterministic.
+        """
+        if self._embeddings is None or self._labels is None:
+            raise EvaluationError("predict() called before fit()")
+        if k <= 0:
+            raise EvaluationError(f"k must be positive, got {k}")
+        queries = np.asarray(queries, dtype=np.float64)
+        k = min(k, self._embeddings.shape[0])
+        distances = self._distances(queries)
+        nearest = np.argsort(distances, axis=1)[:, :k]
+        predictions = np.empty(queries.shape[0], dtype=self._labels.dtype)
+        for i in range(queries.shape[0]):
+            neighbour_labels = self._labels[nearest[i]]
+            neighbour_distances = distances[i, nearest[i]]
+            classes, votes = np.unique(neighbour_labels, return_counts=True)
+            best = classes[votes == votes.max()]
+            if best.shape[0] == 1:
+                predictions[i] = best[0]
+            else:
+                totals = [
+                    neighbour_distances[neighbour_labels == c].sum() for c in best
+                ]
+                predictions[i] = best[int(np.argmin(totals))]
+        return predictions
+
+    def score(self, queries: np.ndarray, labels: np.ndarray, k: int) -> float:
+        """Accuracy of :meth:`predict` against ``labels``."""
+        predictions = self.predict(queries, k)
+        return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,348 @@
+"""The Table I experiment protocol.
+
+Pipeline (mirroring the paper's preliminary study):
+
+1. **Pre-train** a backbone (ResNet or MLP-Mixer) on the base task — the
+   stand-in for the upstream pre-trained model.
+2. **Adapt** one copy per method on an episodic mixture of shifted tasks:
+   Original (no adaptation), LoRA, Multi-LoRA, Meta-LoRA CP, Meta-LoRA TR.
+   Only adapter parameters train; the backbone stays frozen.
+3. **Evaluate** by KNN over embeddings: per shifted task, fit a KNN on a
+   support split and classify a query split, at K=5 and K=10; report the
+   mean accuracy over tasks.
+
+``run_table1`` executes one seed; the Table I bench repeats it over seeds
+and applies the two-sided t-test, reproducing the table's ``*`` markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticTaskData, generate_task_data
+from repro.data.tasks import TaskDistribution
+from repro.errors import ConfigError
+from repro.eval.embeddings import extract_embeddings
+from repro.eval.knn import KNNClassifier
+from repro.models.feature_extractor import FeatureExtractor
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.peft.base import inject_adapters
+from repro.peft.conv_lora import ConvLoRA
+from repro.peft.lora import LoRALinear
+from repro.peft.meta_cp import MetaLoRACPConv, MetaLoRACPLinear
+from repro.peft.meta_model import MetaLoRAModel
+from repro.peft.meta_tr import MetaLoRATRConv, MetaLoRATRLinear
+from repro.peft.multi_lora import MultiLoRAConv, MultiLoRALinear
+from repro.train.optim import Adam
+from repro.train.meta_trainer import MetaTrainer
+from repro.train.trainer import Trainer
+from repro.utils.rng import spawn_rngs
+
+METHODS = ("original", "lora", "multi_lora", "meta_lora_cp", "meta_lora_tr")
+
+#: Pretty names matching the rows of Table I.
+METHOD_LABELS = {
+    "original": "Original",
+    "lora": "LoRA",
+    "multi_lora": "Multi-LoRA",
+    "meta_lora_cp": "Meta-LoRA CP",
+    "meta_lora_tr": "Meta-LoRA TR",
+}
+
+
+@dataclass
+class Table1Config:
+    """All knobs of the Table I experiment; defaults are CPU-quick."""
+
+    backbone: str = "resnet"  # "resnet" | "mixer"
+    num_tasks: int = 21  # base task + (num_tasks - 1) shifted tasks
+    num_classes: int = 8
+    image_size: int = 16
+    rank: int = 4
+    branches: int = 3  # Multi-LoRA branch count
+    mapping_hidden: int = 32
+    resnet_channels: tuple[int, ...] = (4, 8, 16)
+    mixer_hidden: int = 16
+    pretrain_samples: int = 512
+    pretrain_epochs: int = 6
+    pretrain_batch: int = 32
+    pretrain_lr: float = 3e-3
+    adapt_samples_per_task: int = 64
+    adapt_episodes: int = 600
+    adapt_batch: int = 16
+    adapt_lr: float = 3e-3
+    support_per_task: int = 64
+    query_per_task: int = 64
+    ks: tuple[int, ...] = (5, 10)
+    noise_level: float = 0.5
+    knn_metric: str = "cosine"
+    methods: tuple[str, ...] = METHODS
+
+    def __post_init__(self) -> None:
+        if self.backbone not in ("resnet", "mixer"):
+            raise ConfigError(f"unknown backbone {self.backbone!r}")
+        if self.num_tasks < 2:
+            raise ConfigError("need the base task plus at least one shifted task")
+        unknown = set(self.methods) - set(METHODS)
+        if unknown:
+            raise ConfigError(f"unknown methods: {sorted(unknown)}")
+
+    def quick(self) -> "Table1Config":
+        """A miniature copy for integration tests."""
+        return replace(
+            self,
+            num_tasks=3,
+            num_classes=4,
+            pretrain_samples=128,
+            pretrain_epochs=2,
+            adapt_samples_per_task=48,
+            adapt_episodes=20,
+            support_per_task=20,
+            query_per_task=20,
+        )
+
+
+@dataclass
+class Table1Row:
+    """One method's accuracies, keyed by K."""
+
+    method: str
+    accuracy_by_k: dict[int, float] = field(default_factory=dict)
+
+
+def build_backbone(config: Table1Config, rng: np.random.Generator) -> Module:
+    """Fresh, randomly initialized backbone of the configured architecture.
+
+    Widths are deliberately small (see DESIGN.md): beyond CPU economy, a
+    narrow backbone prevents static adapters from doing task inference
+    internally, which is the regime where the paper's comparison is
+    meaningful.
+    """
+    if config.backbone == "resnet":
+        from repro.models.resnet import ResNet
+
+        return ResNet(
+            in_channels=3,
+            stage_channels=config.resnet_channels,
+            blocks_per_stage=1,
+            num_classes=config.num_classes,
+            rng=rng,
+        )
+    from repro.models.mlp_mixer import MLPMixer
+
+    return MLPMixer(
+        image_size=config.image_size,
+        patch_size=4,
+        in_channels=3,
+        hidden_dim=config.mixer_hidden,
+        token_mlp_dim=config.mixer_hidden,
+        channel_mlp_dim=config.mixer_hidden * 2,
+        depth=2,
+        num_classes=config.num_classes,
+        rng=rng,
+    )
+
+
+def pretrain_backbone(
+    config: Table1Config, rng: np.random.Generator
+) -> tuple[Module, dict[str, np.ndarray]]:
+    """Train a backbone on the base task; returns it plus its state dict."""
+    tasks = TaskDistribution(
+        config.num_tasks,
+        image_size=config.image_size,
+        seed=int(rng.integers(2**31)),
+        noise_level=config.noise_level,
+    )
+    data = generate_task_data(
+        tasks.base_task, config.pretrain_samples, config.num_classes, config.image_size, rng
+    )
+    backbone = build_backbone(config, rng)
+    trainer = Trainer(backbone, Adam(backbone.parameters(), lr=config.pretrain_lr))
+    trainer.fit(
+        data.images,
+        data.labels,
+        epochs=config.pretrain_epochs,
+        batch_size=config.pretrain_batch,
+        rng=rng,
+    )
+    backbone.eval()
+    return backbone, backbone.state_dict()
+
+
+def build_adapted_model(
+    method: str,
+    config: Table1Config,
+    pretrained_state: dict[str, np.ndarray],
+    rng: np.random.Generator,
+    extractor_state: dict[str, np.ndarray] | None = None,
+) -> Module:
+    """A fresh copy of the pretrained backbone wearing ``method``'s adapters.
+
+    For meta methods the returned module is a :class:`MetaLoRAModel`.  The
+    feature extractor follows the paper (Sec. III-B.1): a frozen
+    *pre-trained ResNet*, regardless of the adapted backbone's
+    architecture.  ``extractor_state`` supplies that ResNet's weights;
+    when omitted (and the backbone is a ResNet) the backbone's own
+    pretrained state is reused.
+    """
+    backbone = build_backbone(config, rng)
+    backbone.load_state_dict(pretrained_state)
+
+    if method == "original":
+        backbone.freeze()
+        return backbone
+
+    target_types = (Conv2d, Linear)
+    if method == "lora":
+        def factory(layer: Module):
+            if isinstance(layer, Conv2d):
+                return ConvLoRA(layer, config.rank, rng=rng)
+            return LoRALinear(layer, config.rank, rng=rng)
+    elif method == "multi_lora":
+        def factory(layer: Module):
+            if isinstance(layer, Conv2d):
+                return MultiLoRAConv(layer, config.rank, branches=config.branches, rng=rng)
+            return MultiLoRALinear(layer, config.rank, branches=config.branches, rng=rng)
+    elif method == "meta_lora_cp":
+        def factory(layer: Module):
+            if isinstance(layer, Conv2d):
+                return MetaLoRACPConv(layer, config.rank, rng=rng)
+            return MetaLoRACPLinear(layer, config.rank, rng=rng)
+    elif method == "meta_lora_tr":
+        def factory(layer: Module):
+            if isinstance(layer, Conv2d):
+                return MetaLoRATRConv(layer, config.rank, rng=rng)
+            return MetaLoRATRLinear(layer, config.rank, rng=rng)
+    else:
+        raise ConfigError(f"unknown method {method!r}")
+
+    inject_adapters(backbone, factory, target_types)
+    if method in ("meta_lora_cp", "meta_lora_tr"):
+        resnet_config = replace(config, backbone="resnet")
+        extractor_backbone = build_backbone(resnet_config, rng)
+        if extractor_state is not None:
+            extractor_backbone.load_state_dict(extractor_state)
+        elif config.backbone == "resnet":
+            extractor_backbone.load_state_dict(pretrained_state)
+        else:
+            raise ConfigError(
+                "meta methods on a non-ResNet backbone need extractor_state "
+                "(the pretrained ResNet feature source, per Sec. III-B.1)"
+            )
+        extractor = FeatureExtractor(extractor_backbone)
+        return MetaLoRAModel(
+            backbone, extractor, mapping_hidden=config.mapping_hidden, rng=rng
+        )
+    return backbone
+
+
+def _adapt(
+    model: Module,
+    task_datasets: list[SyntheticTaskData],
+    config: Table1Config,
+    rng: np.random.Generator,
+) -> None:
+    """Episodic adapter training; 'original' (nothing trainable) is a no-op."""
+    trainable = list(model.trainable_parameters())
+    if not trainable:
+        return
+    trainer = Trainer(model, Adam(trainable, lr=config.adapt_lr), grad_clip=5.0)
+    MetaTrainer(trainer, task_datasets).run(
+        episodes=config.adapt_episodes, batch_size=config.adapt_batch, rng=rng
+    )
+    model.eval()
+
+
+def _knn_accuracy(
+    model: Module,
+    eval_sets: list[tuple[SyntheticTaskData, SyntheticTaskData]],
+    k: int,
+    metric: str,
+) -> float:
+    """Mean per-task KNN accuracy: fit on support, score on query."""
+    scores = []
+    for support, query in eval_sets:
+        knn = KNNClassifier(metric=metric).fit(
+            extract_embeddings(model, support.images), support.labels
+        )
+        scores.append(
+            knn.score(extract_embeddings(model, query.images), query.labels, k)
+        )
+    return float(np.mean(scores))
+
+
+def run_table1(config: Table1Config, seed: int) -> dict[str, Table1Row]:
+    """One full Table I run (all methods) at ``seed``.
+
+    Every method sees the same pretrained weights, the same task
+    distribution, the same adaptation stream order (per-method RNGs are
+    spawned from the same root) and the same evaluation splits.
+    """
+    rng_pretrain, rng_tasks, rng_eval, *method_rngs = spawn_rngs(
+        seed, 4 + len(config.methods)
+    )
+
+    backbone, state = pretrain_backbone(config, rng_pretrain)
+    if config.backbone == "resnet":
+        extractor_state = state
+    else:
+        # The paper's feature extractor is a pre-trained ResNet regardless
+        # of the adapted architecture (Sec. III-B.1).
+        __, extractor_state = pretrain_backbone(
+            replace(config, backbone="resnet"), rng_pretrain
+        )
+
+    tasks = TaskDistribution(
+        config.num_tasks,
+        image_size=config.image_size,
+        seed=int(rng_tasks.integers(2**31)),
+        noise_level=config.noise_level,
+    )
+    train_sets = [
+        generate_task_data(
+            task, config.adapt_samples_per_task, config.num_classes, config.image_size, rng_tasks
+        )
+        for task in tasks.shifted_tasks()
+    ]
+    eval_sets = []
+    for task in tasks.shifted_tasks():
+        support = generate_task_data(
+            task, config.support_per_task, config.num_classes, config.image_size, rng_eval
+        )
+        query = generate_task_data(
+            task, config.query_per_task, config.num_classes, config.image_size, rng_eval
+        )
+        eval_sets.append((support, query))
+
+    rows: dict[str, Table1Row] = {}
+    for method, method_rng in zip(config.methods, method_rngs):
+        model = build_adapted_model(
+            method, config, state, method_rng, extractor_state=extractor_state
+        )
+        _adapt(model, train_sets, config, method_rng)
+        row = Table1Row(method=method)
+        for k in config.ks:
+            row.accuracy_by_k[k] = _knn_accuracy(
+                model, eval_sets, k, config.knn_metric
+            )
+        rows[method] = row
+    return rows
+
+
+def format_table1(rows_by_seed: list[dict[str, Table1Row]], config: Table1Config) -> str:
+    """Render mean accuracies over seeds in the paper's row/column layout."""
+    lines = [
+        f"Backbone: {config.backbone}   (mean over {len(rows_by_seed)} seed(s))",
+        "Method        " + "".join(f"  K={k:<6}" for k in config.ks),
+    ]
+    for method in config.methods:
+        cells = []
+        for k in config.ks:
+            values = [rows[method].accuracy_by_k[k] for rows in rows_by_seed]
+            cells.append(f"  {100 * float(np.mean(values)):6.2f}%")
+        lines.append(f"{METHOD_LABELS[method]:<14}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Retrieval metrics over embeddings.
+
+A second, classifier-free view of embedding quality alongside the KNN
+protocol: treat every query embedding as a retrieval probe against the
+support set and score whether same-class items come back first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def _ranked_matches(
+    queries: np.ndarray,
+    query_labels: np.ndarray,
+    support: np.ndarray,
+    support_labels: np.ndarray,
+) -> np.ndarray:
+    """Boolean matrix: row i = same-class flags of supports ranked by
+    ascending cosine distance to query i."""
+    queries = np.asarray(queries, dtype=np.float64)
+    support = np.asarray(support, dtype=np.float64)
+    if queries.ndim != 2 or support.ndim != 2:
+        raise EvaluationError("embeddings must be 2-d")
+    if queries.shape[1] != support.shape[1]:
+        raise EvaluationError(
+            f"dimension mismatch: queries {queries.shape[1]}, "
+            f"support {support.shape[1]}"
+        )
+    query_labels = np.asarray(query_labels)
+    support_labels = np.asarray(support_labels)
+    if query_labels.shape != (queries.shape[0],):
+        raise EvaluationError("query labels shape mismatch")
+    if support_labels.shape != (support.shape[0],):
+        raise EvaluationError("support labels shape mismatch")
+
+    q = queries / (np.linalg.norm(queries, axis=1, keepdims=True) + 1e-12)
+    s = support / (np.linalg.norm(support, axis=1, keepdims=True) + 1e-12)
+    distances = 1.0 - q @ s.T
+    order = np.argsort(distances, axis=1)
+    return support_labels[order] == query_labels[:, None]
+
+
+def recall_at_k(
+    queries: np.ndarray,
+    query_labels: np.ndarray,
+    support: np.ndarray,
+    support_labels: np.ndarray,
+    k: int,
+) -> float:
+    """Fraction of queries with at least one same-class hit in the top k."""
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+    matches = _ranked_matches(queries, query_labels, support, support_labels)
+    k = min(k, matches.shape[1])
+    return float(matches[:, :k].any(axis=1).mean())
+
+
+def mean_average_precision(
+    queries: np.ndarray,
+    query_labels: np.ndarray,
+    support: np.ndarray,
+    support_labels: np.ndarray,
+) -> float:
+    """Mean (over queries) of average precision over the full ranking.
+
+    Queries whose class has no support items are skipped; if none remain,
+    an :class:`EvaluationError` is raised.
+    """
+    matches = _ranked_matches(queries, query_labels, support, support_labels)
+    scores = []
+    for row in matches:
+        relevant = row.sum()
+        if relevant == 0:
+            continue
+        hits = np.flatnonzero(row)
+        precision_at_hit = (np.arange(1, relevant + 1)) / (hits + 1)
+        scores.append(float(precision_at_hit.mean()))
+    if not scores:
+        raise EvaluationError("no query has a same-class support item")
+    return float(np.mean(scores))

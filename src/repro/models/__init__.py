@@ -1,0 +1,20 @@
+"""Backbone architectures: ResNet, MLP-Mixer, and the frozen feature extractor."""
+
+from repro.models.resnet import BasicBlock, ResNet, resnet_small
+from repro.models.mlp_mixer import MixerBlock, MLPMixer, mixer_small
+from repro.models.tiny_vit import MultiHeadSelfAttention, TinyViT, TransformerBlock, vit_small
+from repro.models.feature_extractor import FeatureExtractor
+
+__all__ = [
+    "BasicBlock",
+    "FeatureExtractor",
+    "MLPMixer",
+    "MixerBlock",
+    "MultiHeadSelfAttention",
+    "ResNet",
+    "TinyViT",
+    "TransformerBlock",
+    "mixer_small",
+    "resnet_small",
+    "vit_small",
+]

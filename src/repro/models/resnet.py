@@ -1,0 +1,113 @@
+"""Residual convolutional backbone (He et al., 2016), CPU-scale.
+
+The paper fine-tunes a pre-trained ResNet; this is a faithful small-scale
+instance: a convolutional stem, stages of :class:`BasicBlock` (two 3×3
+convolutions with batch norm and an identity or projection shortcut),
+global average pooling and a linear head.  ``features()`` exposes the
+pooled embedding used by both the KNN protocol and MetaLoRA's mapping net.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ModuleList,
+    Sequential,
+)
+
+
+class BasicBlock(Module):
+    """conv3×3 → BN → ReLU → conv3×3 → BN, plus a (projected) shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module | None = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        identity = self.shortcut(x) if self.shortcut is not None else x
+        return ops.relu(out + identity)
+
+
+class ResNet(Module):
+    """Configurable small ResNet.
+
+    ``stage_channels`` gives the width of each stage; each stage has
+    ``blocks_per_stage`` basic blocks, with spatial downsampling (stride 2)
+    at every stage transition after the first.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        stage_channels: tuple[int, ...] = (16, 32, 64),
+        blocks_per_stage: int = 1,
+        num_classes: int = 10,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.stem = Conv2d(in_channels, stage_channels[0], 3, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(stage_channels[0])
+        blocks: list[Module] = []
+        channels = stage_channels[0]
+        for stage, width in enumerate(stage_channels):
+            for block_index in range(blocks_per_stage):
+                stride = 2 if (stage > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(channels, width, stride=stride, rng=rng))
+                channels = width
+        self.blocks = ModuleList(blocks)
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(channels, num_classes, rng=rng)
+        self.embedding_dim = channels
+        self.num_classes = num_classes
+
+    def features(self, x: Tensor) -> Tensor:
+        """Pooled embedding ``(N, embedding_dim)`` before the classifier."""
+        out = ops.relu(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            out = block(out)
+        return self.pool(out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.features(x))
+
+
+def resnet_small(
+    num_classes: int, rng: np.random.Generator, in_channels: int = 3
+) -> ResNet:
+    """The CPU-scale ResNet used throughout the benchmarks."""
+    return ResNet(
+        in_channels=in_channels,
+        stage_channels=(8, 16, 32),
+        blocks_per_stage=1,
+        num_classes=num_classes,
+        rng=rng,
+    )

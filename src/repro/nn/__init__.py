@@ -1,0 +1,33 @@
+"""Neural-network layers built on the autograd engine."""
+
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.activations import GELU, ReLU, Sigmoid, Tanh
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.norm import BatchNorm2d, LayerNorm
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.summary import summarize
+from repro.nn import init
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "GELU",
+    "GlobalAvgPool2d",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "init",
+    "summarize",
+]

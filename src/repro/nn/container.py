@@ -1,0 +1,36 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Applies child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

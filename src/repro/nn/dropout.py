@@ -1,0 +1,24 @@
+"""Dropout layer with an owned, reseedable random stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.ops import dropout
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode or at rate 0."""
+
+    def __init__(self, rate: float, seed: int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng: np.random.Generator = new_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.rate, self._rng, training=self.training)

@@ -1,0 +1,56 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with ``W ∈ R^{in × out}``.
+
+    The weight is stored input-major (``(in_features, out_features)``), the
+    orientation used throughout the paper's equations (``ΔW = A B`` with
+    ``A ∈ R^{I×R}, B ∈ R^{R×O}``), so adapters add to it directly.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError(
+                f"Linear dimensions must be positive, got ({in_features}, {out_features})"
+            )
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform(rng, (in_features, out_features), fan_in=in_features)
+        )
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear({self.in_features}->{self.out_features}) got input "
+                f"with last dim {x.shape[-1]}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

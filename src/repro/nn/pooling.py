@@ -1,0 +1,34 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.autograd.conv_ops import avg_pool2d, max_pool2d
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride or kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: ``(N, C, H, W) -> (N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

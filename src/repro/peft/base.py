@@ -1,0 +1,133 @@
+"""Adapter base class and model surgery (injection / merging).
+
+``inject_adapters`` walks a model, replaces every target layer with an
+adapter wrapping it, and freezes the base weights — the defining PEFT
+mechanic: only adapter parameters receive gradients.  ``merge_adapters``
+reverses the surgery, baking each static adapter's ``ΔW`` into the base
+layer so inference costs exactly the original model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import AdapterError
+from repro.nn.module import Module
+
+
+class Adapter(Module):
+    """Base class for adapters wrapping a frozen ``base`` layer.
+
+    Subclasses implement ``forward`` (base output + low-rank delta) and,
+    for static adapters, ``delta_weight`` so merging is possible.  Meta
+    adapters (input-conditioned ΔW) override ``set_seed`` and report
+    ``is_meta = True``; their ΔW differs per sample, so they cannot merge.
+    """
+
+    is_meta = False
+
+    def __init__(self, base: Module) -> None:
+        super().__init__()
+        base.freeze()
+        self.base = base
+
+    def delta_weight(self) -> np.ndarray:
+        """The materialized weight update ``ΔW`` (static adapters only)."""
+        raise AdapterError(f"{type(self).__name__} cannot materialize a static ΔW")
+
+    def merge(self) -> Module:
+        """Return the base layer with ``ΔW`` folded into its weight."""
+        delta = self.delta_weight()
+        if delta.shape != self.base.weight.data.shape:
+            raise AdapterError(
+                f"delta shape {delta.shape} does not match base weight "
+                f"{self.base.weight.data.shape}"
+            )
+        self.base.weight.data[...] = self.base.weight.data + delta
+        return self.base
+
+    def set_seed(self, seed: Tensor | None) -> None:
+        """Install the per-sample seed (meta adapters only)."""
+        raise AdapterError(f"{type(self).__name__} does not take a generated seed")
+
+
+def get_module(root: Module, dotted_name: str) -> Module:
+    """Resolve ``"blocks.0.conv1"`` style paths."""
+    module: Module = root
+    for part in dotted_name.split("."):
+        children = module._modules
+        if part not in children:
+            raise AdapterError(f"no child {part!r} under {type(module).__name__}")
+        module = children[part]
+    return module
+
+
+def set_module(root: Module, dotted_name: str, new_module: Module) -> None:
+    """Replace the child at ``dotted_name`` with ``new_module``."""
+    parts = dotted_name.split(".")
+    parent = get_module(root, ".".join(parts[:-1])) if len(parts) > 1 else root
+    leaf = parts[-1]
+    if leaf not in parent._modules:
+        raise AdapterError(f"no child {leaf!r} under {type(parent).__name__}")
+    parent.register_module(leaf, new_module)
+    # Keep Sequential/ModuleList internal lists consistent.
+    items = getattr(parent, "_items", None)
+    if items is not None and leaf.isdigit():
+        items[int(leaf)] = new_module
+
+
+def inject_adapters(
+    model: Module,
+    factory: Callable[[Module], Adapter],
+    target_types: Sequence[type],
+    skip: Sequence[str] = (),
+) -> tuple[Module, dict[str, Adapter]]:
+    """Replace every instance of ``target_types`` in ``model`` with an adapter.
+
+    ``factory`` receives the layer being wrapped and returns the adapter.
+    ``skip`` lists dotted names to leave untouched (e.g. the classifier
+    head).  The whole model is frozen first, so afterwards only the
+    adapters' own parameters are trainable.  Returns the model (modified in
+    place) and the mapping of dotted name -> adapter.
+    """
+    model.freeze()
+    targets = [
+        name
+        for name, module in model.named_modules()
+        if isinstance(module, tuple(target_types)) and name and name not in skip
+    ]
+    if not targets:
+        raise AdapterError(
+            f"no layers of type {[t.__name__ for t in target_types]} found to adapt"
+        )
+    adapters: dict[str, Adapter] = {}
+    for name in targets:
+        layer = get_module(model, name)
+        if isinstance(layer, Adapter):
+            raise AdapterError(f"layer {name!r} already adapted")
+        adapter = factory(layer)
+        set_module(model, name, adapter)
+        adapters[name] = adapter
+    return model, adapters
+
+
+def iter_adapters(model: Module) -> Iterator[tuple[str, Adapter]]:
+    """Yield every adapter in the model with its dotted name."""
+    for name, module in model.named_modules():
+        if isinstance(module, Adapter):
+            yield name, module
+
+
+def merge_adapters(model: Module) -> Module:
+    """Merge every static adapter back into its base layer, in place."""
+    merged = [(name, adapter) for name, adapter in iter_adapters(model)]
+    for name, adapter in merged:
+        if adapter.is_meta:
+            raise AdapterError(
+                f"adapter {name!r} is input-conditioned (meta) and cannot be merged"
+            )
+        set_module(model, name, adapter.merge())
+    return model

@@ -1,0 +1,55 @@
+"""Bottleneck adapter tuning (Houlsby-style; the "Adapter Tuning" of Sec. V).
+
+A small down-project → nonlinearity → up-project block added *after* the
+frozen layer's output (rather than LoRA's parallel weight update).  The
+up-projection is zero-initialized so the block starts as the identity.
+Included as the classic non-LoRA PEFT baseline the related-work section
+lists first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.errors import AdapterError
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Parameter
+from repro.peft.base import Adapter
+
+
+class BottleneckAdapter(Adapter):
+    """``y = base(x); y + up(relu(down(y)))`` with a small bottleneck."""
+
+    def __init__(
+        self,
+        base: Linear,
+        bottleneck: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not isinstance(base, Linear):
+            raise AdapterError(
+                f"BottleneckAdapter wraps Linear, got {type(base).__name__}"
+            )
+        if bottleneck <= 0:
+            raise AdapterError(f"bottleneck must be positive, got {bottleneck}")
+        super().__init__(base)
+        rng = rng or np.random.default_rng()
+        self.bottleneck = bottleneck
+        out = base.out_features
+        self.down = Parameter(init.normal(rng, (out, bottleneck), std=0.02))
+        self.down_bias = Parameter(init.zeros((bottleneck,)))
+        self.up = Parameter(init.zeros((bottleneck, out)))
+        self.up_bias = Parameter(init.zeros((out,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = self.base(x)
+        hidden = ops.relu(y @ self.down + self.down_bias)
+        return y + hidden @ self.up + self.up_bias
+
+    def extra_parameter_count(self) -> int:
+        return (
+            self.down.size + self.down_bias.size + self.up.size + self.up_bias.size
+        )

@@ -1,0 +1,104 @@
+"""Adapter-only checkpointing.
+
+The operational payoff of PEFT: a fine-tuned model ships as the frozen
+base (shared across tasks) plus a tiny adapter file per task.  These
+helpers extract and restore the adaptation state:
+
+- every **trainable parameter** (adapters, mapping nets), and
+- every **buffer** (BatchNorm running statistics) — frozen weights never
+  change during adapter training, but normalization statistics *do*, and
+  omitting them silently degrades a restored model.
+
+Keys are namespaced (``param::`` / ``buffer::``) so the two kinds restore
+through the right path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import AdapterError
+from repro.nn.module import Module
+from repro.utils.serialization import load_arrays, save_arrays
+
+_PARAM = "param::"
+_BUFFER = "buffer::"
+
+
+def _buffer_items(model: Module) -> dict[str, tuple[Module, str]]:
+    items: dict[str, tuple[Module, str]] = {}
+    for name, module in model.named_modules():
+        for buf_name in getattr(module, "_buffers", {}):
+            key = f"{name}.{buf_name}" if name else buf_name
+            items[key] = (module, buf_name)
+    return items
+
+
+def adapter_state_dict(model: Module) -> dict[str, np.ndarray]:
+    """Copies of every trainable parameter and every buffer."""
+    state = {
+        _PARAM + name: param.data.copy()
+        for name, param in model.named_parameters()
+        if param.requires_grad
+    }
+    if not state:
+        raise AdapterError("model has no trainable parameters to checkpoint")
+    for key, (module, buf_name) in _buffer_items(model).items():
+        state[_BUFFER + key] = module._buffers[buf_name].copy()
+    return state
+
+
+def load_adapter_state_dict(model: Module, state: Mapping[str, np.ndarray]) -> None:
+    """Restore a state produced by :func:`adapter_state_dict`.
+
+    Every parameter key must name a currently-trainable parameter with a
+    matching shape; base (frozen) weights are never touched.
+    """
+    trainable = {
+        _PARAM + name: param
+        for name, param in model.named_parameters()
+        if param.requires_grad
+    }
+    buffers = {
+        _BUFFER + key: value for key, value in _buffer_items(model).items()
+    }
+    missing = (set(trainable) | set(buffers)) - set(state)
+    unexpected = set(state) - set(trainable) - set(buffers)
+    if missing or unexpected:
+        raise AdapterError(
+            f"adapter state mismatch: missing={sorted(missing)} "
+            f"unexpected={sorted(unexpected)}"
+        )
+    for key, value in state.items():
+        value = np.asarray(value)
+        if key in trainable:
+            param = trainable[key]
+            if value.shape != param.data.shape:
+                raise AdapterError(
+                    f"adapter parameter {key!r}: expected {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data[...] = value
+        else:
+            module, buf_name = buffers[key]
+            if value.shape != module._buffers[buf_name].shape:
+                raise AdapterError(
+                    f"buffer {key!r}: expected "
+                    f"{module._buffers[buf_name].shape}, got {value.shape}"
+                )
+            module._buffers[buf_name][...] = value
+
+
+def save_adapter(model: Module, path: str | os.PathLike) -> int:
+    """Write the adapter checkpoint; returns the number of scalars saved."""
+    state = adapter_state_dict(model)
+    save_arrays(path, state)
+    return sum(int(np.asarray(v).size) for v in state.values())
+
+
+def load_adapter(model: Module, path: str | os.PathLike) -> None:
+    """Load an adapter checkpoint written by :func:`save_adapter`."""
+    load_adapter_state_dict(model, load_arrays(path))

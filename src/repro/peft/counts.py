@@ -1,0 +1,66 @@
+"""Parameter accounting.
+
+The PEFT literature's headline number is the trainable-parameter fraction;
+these helpers compute it per model and per adapter, and back the Figure 4
+parameter-count bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.module import Module
+from repro.peft.base import iter_adapters
+
+
+@dataclass
+class ParameterCounts:
+    """Totals for one model."""
+
+    total: int
+    trainable: int
+
+    @property
+    def trainable_fraction(self) -> float:
+        return self.trainable / self.total if self.total else 0.0
+
+
+def count_parameters(model: Module) -> ParameterCounts:
+    """Total and trainable scalar counts for ``model``."""
+    return ParameterCounts(
+        total=model.parameter_count(),
+        trainable=model.parameter_count(trainable_only=True),
+    )
+
+
+def adapter_parameter_table(model: Module) -> list[dict[str, object]]:
+    """Per-adapter rows: name, type, rank, and added parameter count."""
+    rows = []
+    for name, adapter in iter_adapters(model):
+        rows.append(
+            {
+                "layer": name,
+                "type": type(adapter).__name__,
+                "rank": getattr(adapter, "rank", None),
+                "added_parameters": adapter.extra_parameter_count(),
+                "base_parameters": adapter.base.parameter_count(),
+            }
+        )
+    return rows
+
+
+def format_table(rows: list[dict[str, object]]) -> str:
+    """Plain-text rendering of :func:`adapter_parameter_table` output."""
+    if not rows:
+        return "(no adapters)"
+    headers = list(rows[0])
+    widths = {
+        h: max(len(h), max(len(str(row[h])) for row in rows)) for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

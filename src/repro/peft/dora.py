@@ -1,0 +1,71 @@
+"""DoRA: weight-decomposed low-rank adaptation (Liu et al., 2024).
+
+A prominent member of the LoRA-variant space the paper is situated in.
+The frozen weight is decomposed into magnitude and direction,
+
+    W' = m ⊙ ( (W + A B) / ‖W + A B‖_col ),
+
+with a learned per-output-column magnitude ``m`` (initialized to the base
+weight's column norms) and a LoRA update on the direction.  Included as
+an extension baseline for the static-adapter comparison bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.errors import AdapterError
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Parameter
+from repro.peft.base import Adapter
+
+
+class DoRALinear(Adapter):
+    """DoRA adapter around a frozen linear layer."""
+
+    def __init__(
+        self,
+        base: Linear,
+        rank: int,
+        alpha: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not isinstance(base, Linear):
+            raise AdapterError(f"DoRALinear wraps Linear, got {type(base).__name__}")
+        if rank <= 0:
+            raise AdapterError(f"rank must be positive, got {rank}")
+        super().__init__(base)
+        rng = rng or np.random.default_rng()
+        self.rank = rank
+        self.scaling = float(alpha if alpha is not None else rank) / rank
+        self.lora_a = Parameter(init.normal(rng, (base.in_features, rank), std=0.02))
+        self.lora_b = Parameter(init.zeros((rank, base.out_features)))
+        # Magnitude per output feature, initialized so the adapter starts
+        # as the identity: m = ‖W‖ column norms and direction = W / m.
+        column_norms = np.linalg.norm(base.weight.data, axis=0)
+        self.magnitude = Parameter(column_norms.astype(np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        adapted = self.base.weight + (self.lora_a @ self.lora_b) * self.scaling
+        norms = ops.sqrt((adapted * adapted).sum(axis=0, keepdims=True) + 1e-12)
+        direction = adapted / norms
+        out = x @ (direction * self.magnitude)
+        if self.base.bias is not None:
+            out = out + self.base.bias
+        return out
+
+    def delta_weight(self) -> np.ndarray:
+        """Effective ΔW = m ⊙ dir(W + AB) − W (materialized)."""
+        adapted = (
+            self.base.weight.data
+            + (self.lora_a.data @ self.lora_b.data) * self.scaling
+        )
+        norms = np.linalg.norm(adapted, axis=0, keepdims=True) + 1e-12
+        effective = adapted / norms * self.magnitude.data
+        return effective - self.base.weight.data
+
+    def extra_parameter_count(self) -> int:
+        return self.lora_a.size + self.lora_b.size + self.magnitude.size

@@ -1,0 +1,60 @@
+"""Parameter-space mapping net (Sec. III-B.2).
+
+An MLP that maps extracted input features into the parameter seed used by
+the tensor integration formats: the vector ``c ∈ R^R`` for MetaLoRA (CP)
+or the matrix ``C ∈ R^{R×R}`` for MetaLoRA (TR).  The output passes
+through tanh and a learned scale, keeping seeds bounded so the generated
+ΔW cannot blow up early in training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn import init
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList, Parameter
+
+
+class MappingNet(Module):
+    """MLP: features → hidden layers (ReLU) → tanh-bounded seed vector.
+
+    ``output_dim`` is the flattened seed size (``R`` for CP, ``R²`` for
+    TR); callers reshape.  The final layer is zero-initialized with bias
+    1, so at initialization every sample receives the same neutral seed —
+    meta adaptation then *grows* out of a LoRA-like starting point.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        output_dim: int,
+        hidden_dims: tuple[int, ...] = (32,),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if feature_dim <= 0 or output_dim <= 0:
+            raise ConfigError(
+                f"mapping net dims must be positive, got ({feature_dim}, {output_dim})"
+            )
+        rng = rng or np.random.default_rng()
+        self.feature_dim = feature_dim
+        self.output_dim = output_dim
+        dims = (feature_dim,) + tuple(hidden_dims)
+        self.hidden = ModuleList(
+            [Linear(dims[i], dims[i + 1], rng=rng) for i in range(len(dims) - 1)]
+        )
+        self.out = Linear(dims[-1], output_dim, rng=rng)
+        # Neutral start: every input maps to the constant seed tanh(1)·scale.
+        self.out.weight.data[...] = 0.0
+        self.out.bias.data[...] = 1.0
+        self.scale = Parameter(init.ones((1,)))
+
+    def forward(self, features: Tensor) -> Tensor:
+        h = features
+        for layer in self.hidden:
+            h = ops.relu(layer(h))
+        return ops.tanh(self.out(h)) * self.scale

@@ -1,0 +1,81 @@
+"""Tensor-network substrate: contraction, CP, Tensor Ring, Tucker, dummy
+tensors and tensor-network graphs.
+
+This package implements the mathematical machinery of Sections II and III
+of the paper: generalized tensor contraction (Eq. 1), the dummy-tensor
+representation of convolution (Eq. 2, Fig. 2), the CP format (Eqs. 3–4),
+the Tensor Ring format, and graph-structured tensor networks with greedy
+contraction planning (Fig. 1).
+"""
+
+from repro.tensornet.contraction import (
+    contract,
+    fold,
+    mode_product,
+    unfold,
+)
+from repro.tensornet.cp import (
+    CPTensor,
+    cp_decompose,
+    cp_to_tensor,
+    random_cp,
+)
+from repro.tensornet.tensor_ring import (
+    TRTensor,
+    tr_decompose,
+    tr_to_tensor,
+    random_tr,
+)
+from repro.tensornet.tensor_train import (
+    TTTensor,
+    factorize_dim,
+    random_tt,
+    tt_decompose,
+    tt_to_tensor,
+)
+from repro.tensornet.rank_selection import (
+    suggest_adapter_rank,
+    tr_decompose_adaptive,
+    tt_decompose_adaptive,
+)
+from repro.tensornet.tucker import TuckerTensor, tucker_decompose, tucker_to_tensor
+from repro.tensornet.dummy import (
+    conv1d_direct,
+    conv1d_via_dummy,
+    conv2d_via_dummy,
+    dummy_tensor,
+)
+from repro.tensornet.network import TensorNetwork
+from repro.tensornet.diagrams import render_diagram
+
+__all__ = [
+    "CPTensor",
+    "TRTensor",
+    "TTTensor",
+    "TensorNetwork",
+    "TuckerTensor",
+    "factorize_dim",
+    "random_tt",
+    "suggest_adapter_rank",
+    "tr_decompose_adaptive",
+    "tt_decompose",
+    "tt_decompose_adaptive",
+    "tt_to_tensor",
+    "contract",
+    "conv1d_direct",
+    "conv1d_via_dummy",
+    "conv2d_via_dummy",
+    "cp_decompose",
+    "cp_to_tensor",
+    "dummy_tensor",
+    "fold",
+    "mode_product",
+    "random_cp",
+    "random_tr",
+    "render_diagram",
+    "tr_decompose",
+    "tr_to_tensor",
+    "tucker_decompose",
+    "tucker_to_tensor",
+    "unfold",
+]

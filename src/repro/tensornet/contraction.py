@@ -1,0 +1,100 @@
+"""Generalized tensor contraction (Eq. 1) and matricization.
+
+``contract(A, B, modes_a, modes_b)`` implements the paper's
+``A ×_{(n₁..n_S)}^{(m₁..m_S)} B``: the shared indices are summed, producing
+a tensor of order ``N + M − 2S``.  ``mode_product`` is the special case of
+contracting one tensor mode with the first mode of a matrix (the ``×ₖ¹``
+used throughout Eqs. 3–6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def contract(
+    a: np.ndarray,
+    b: np.ndarray,
+    modes_a: tuple[int, ...] | int,
+    modes_b: tuple[int, ...] | int,
+) -> np.ndarray:
+    """Contract ``a`` and ``b`` over paired modes (0-indexed).
+
+    The result's axes are the free axes of ``a`` (in order) followed by the
+    free axes of ``b``, matching :func:`numpy.tensordot` semantics.
+    """
+    if isinstance(modes_a, int):
+        modes_a = (modes_a,)
+    if isinstance(modes_b, int):
+        modes_b = (modes_b,)
+    if len(modes_a) != len(modes_b):
+        raise ShapeError(
+            f"contraction pairs {len(modes_a)} modes of A with {len(modes_b)} of B"
+        )
+    for ma, mb in zip(modes_a, modes_b):
+        if not (-a.ndim <= ma < a.ndim) or not (-b.ndim <= mb < b.ndim):
+            raise ShapeError(
+                f"mode pair ({ma}, {mb}) out of range for orders "
+                f"({a.ndim}, {b.ndim})"
+            )
+        if a.shape[ma] != b.shape[mb]:
+            raise ShapeError(
+                f"contracted dimensions differ: A mode {ma} has size "
+                f"{a.shape[ma]}, B mode {mb} has size {b.shape[mb]}"
+            )
+    return np.tensordot(a, b, axes=(modes_a, modes_b))
+
+
+def mode_product(tensor: np.ndarray, matrix: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``k`` product ``T ×ₖ M`` with ``M ∈ R^{I_k × J}``.
+
+    Contracts tensor mode ``mode`` against the matrix's first axis; the
+    matrix's second axis takes the contracted mode's place, preserving the
+    mode order of the input tensor.
+    """
+    if matrix.ndim != 2:
+        raise ShapeError(f"mode_product needs a matrix, got order {matrix.ndim}")
+    if tensor.shape[mode] != matrix.shape[0]:
+        raise ShapeError(
+            f"tensor mode {mode} has size {tensor.shape[mode]}, "
+            f"matrix first axis has size {matrix.shape[0]}"
+        )
+    moved = np.moveaxis(tensor, mode, -1)
+    result = moved @ matrix
+    return np.moveaxis(result, -1, mode)
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``k`` matricization: ``(I_k, prod of other dims)``.
+
+    Follows the Kolda–Bader convention used by the ALS solver in
+    :mod:`repro.tensornet.cp`.
+    """
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`unfold` for a tensor of the given full ``shape``."""
+    if matrix.shape[0] != shape[mode]:
+        raise ShapeError(
+            f"matrix first axis {matrix.shape[0]} does not match "
+            f"shape[{mode}] = {shape[mode]}"
+        )
+    moved_shape = (shape[mode],) + tuple(s for i, s in enumerate(shape) if i != mode)
+    return np.moveaxis(matrix.reshape(moved_shape), 0, mode)
+
+
+def khatri_rao(matrices: list[np.ndarray]) -> np.ndarray:
+    """Column-wise Khatri–Rao product of factor matrices (ALS workhorse)."""
+    if not matrices:
+        raise ShapeError("khatri_rao of an empty list")
+    rank = matrices[0].shape[1]
+    for m in matrices:
+        if m.ndim != 2 or m.shape[1] != rank:
+            raise ShapeError("khatri_rao requires matrices with equal column count")
+    result = matrices[0]
+    for m in matrices[1:]:
+        result = np.einsum("ir,jr->ijr", result, m).reshape(-1, rank)
+    return result

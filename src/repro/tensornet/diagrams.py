@@ -1,0 +1,50 @@
+"""ASCII tensor diagrams (Fig. 1).
+
+The paper's Figure 1 introduces tensor-diagram notation: a node per
+tensor, one leg per index, legs joined when contracted.  This module
+renders a :class:`~repro.tensornet.network.TensorNetwork` as text — used
+by the Figure 1 bench and the quickstart example to show the LoRA,
+Conv-LoRA and MetaLoRA networks in diagram form.
+"""
+
+from __future__ import annotations
+
+from repro.tensornet.network import TensorNetwork
+
+
+def render_diagram(network: TensorNetwork) -> str:
+    """A multi-line textual rendering of the network.
+
+    Bonds are drawn as ``A ──label(dim)── B``; free legs as
+    ``A ──label(dim)──○`` (the open circle marks a dangling edge).
+    """
+    lines = []
+    for name in network.names:
+        labels = network._labels[name]
+        dims = network._tensors[name].shape
+        legs = ", ".join(f"{lab}({dim})" for lab, dim in zip(labels, dims))
+        lines.append(f"{name}[{legs}]  (order {len(labels)})")
+    lines.append("")
+    seen = set()
+    for name in network.names:
+        for label in network._labels[name]:
+            if label in seen:
+                continue
+            seen.add(label)
+            holders = network._holders(label)
+            dim = network._dims[label]
+            if len(holders) == 2:
+                lines.append(f"  {holders[0]} ──{label}({dim})── {holders[1]}")
+            else:
+                lines.append(f"  {holders[0]} ──{label}({dim})──○")
+    return "\n".join(lines)
+
+
+def describe_order(network: TensorNetwork) -> dict[str, str]:
+    """Classify each tensor as vector / matrix / higher-order (Fig. 1 roles)."""
+    kinds = {1: "vector (1st-order tensor)", 2: "matrix (2nd-order tensor)"}
+    out = {}
+    for name in network.names:
+        order = network.order(name)
+        out[name] = kinds.get(order, f"{order}th-order tensor")
+    return out

@@ -1,0 +1,107 @@
+"""Dummy-tensor representation of convolution (Eq. 2, Fig. 2).
+
+The binary tensor ``P ∈ {0,1}^{α × α' × β}`` with ``P[j, j', k] = 1`` iff
+``j = s·j' + k − p`` turns convolution into a multilinear contraction:
+
+    y_{j'} = Σ_{j,k} P_{j,j',k} a_j b_k
+
+Two dummy tensors (one per spatial axis) express a full 2-D convolution as
+a single tensor-network contraction, which the Figure 2 bench validates
+against the im2col convolution used by the neural layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_size(input_size: int, kernel_size: int, stride: int, padding: int) -> int:
+    """Spatial output length of a strided, padded convolution."""
+    out = (input_size + 2 * padding - kernel_size) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output would be empty (input {input_size}, "
+            f"kernel {kernel_size}, stride {stride}, padding {padding})"
+        )
+    return out
+
+
+def dummy_tensor(
+    input_size: int, kernel_size: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """The binary tensor ``P`` of Eq. 2 for one spatial axis.
+
+    Shape is ``(α, α', β)`` = (input, output, kernel); ``P[j, j', k] = 1``
+    when input position ``j`` contributes through kernel tap ``k`` to
+    output position ``j'``, i.e. ``j = stride·j' + k − padding``.
+    """
+    if stride <= 0:
+        raise ShapeError(f"stride must be positive, got {stride}")
+    if padding < 0:
+        raise ShapeError(f"padding must be non-negative, got {padding}")
+    out_size = conv_output_size(input_size, kernel_size, stride, padding)
+    p = np.zeros((input_size, out_size, kernel_size), dtype=np.float64)
+    for j_out in range(out_size):
+        for k in range(kernel_size):
+            j_in = stride * j_out + k - padding
+            if 0 <= j_in < input_size:
+                p[j_in, j_out, k] = 1.0
+    return p
+
+
+def conv1d_direct(
+    signal: np.ndarray, kernel: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Reference 1-D convolution (cross-correlation, the DL convention)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if signal.ndim != 1 or kernel.ndim != 1:
+        raise ShapeError("conv1d_direct expects 1-d signal and kernel")
+    if padding:
+        signal = np.pad(signal, (padding, padding))
+    out_size = (signal.shape[0] - kernel.shape[0]) // stride + 1
+    if out_size <= 0:
+        raise ShapeError("convolution output would be empty")
+    return np.array(
+        [
+            float(signal[j * stride : j * stride + kernel.shape[0]] @ kernel)
+            for j in range(out_size)
+        ]
+    )
+
+
+def conv1d_via_dummy(
+    signal: np.ndarray, kernel: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Eq. 2 evaluated literally: contract ``P`` with the signal and kernel."""
+    signal = np.asarray(signal, dtype=np.float64)
+    kernel = np.asarray(kernel, dtype=np.float64)
+    p = dummy_tensor(signal.shape[0], kernel.shape[0], stride, padding)
+    return np.einsum("jok,j,k->o", p, signal, kernel)
+
+
+def conv2d_via_dummy(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2-D convolution as a tensor-network contraction with two dummy tensors.
+
+    ``x`` is ``(N, C, H, W)``; ``weight`` is ``(K_h, K_w, C_in, C_out)``
+    (the paper's layout).  Returns ``(N, C_out, H', W')``.  This is the
+    Figure 2 construction generalized to batched multi-channel images.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ShapeError("conv2d_via_dummy expects (N,C,H,W) input and (Kh,Kw,Cin,Cout) weight")
+    kh, kw, c_in, __ = weight.shape
+    if x.shape[1] != c_in:
+        raise ShapeError(f"channels mismatch: input {x.shape[1]}, weight {c_in}")
+    p_h = dummy_tensor(x.shape[2], kh, stride, padding)
+    p_w = dummy_tensor(x.shape[3], kw, stride, padding)
+    # y[n,o,p,q] = sum_{h,w,i,j,c} P_h[h,p,i] P_w[w,q,j] x[n,c,h,w] W[i,j,c,o]
+    return np.einsum("hpi,wqj,nchw,ijco->nopq", p_h, p_w, x, weight, optimize=True)

@@ -1,0 +1,91 @@
+"""Adaptive rank selection for tensor decompositions.
+
+The paper cites adaptive TR rank selection (Sedighin et al., 2021) as
+part of the tensor-network toolbox.  This module implements the
+error-budget strategy those methods share: given a relative target error
+``ε``, each sequential SVD keeps the smallest rank whose discarded
+singular values fit within the remaining error budget
+(``δ = ε·‖X‖/√(N−1)`` per split, the TT-SVD bound), yielding per-bond
+ranks instead of one global maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DecompositionError, ShapeError
+from repro.tensornet.tensor_ring import TRTensor
+from repro.tensornet.tensor_train import TTTensor
+
+
+def _rank_for_budget(singular_values: np.ndarray, budget: float) -> int:
+    """Smallest rank whose tail energy is within ``budget`` (Frobenius)."""
+    tail = np.cumsum(singular_values[::-1] ** 2)[::-1]
+    within = np.flatnonzero(tail <= budget**2)
+    if within.size:
+        return max(int(within[0]), 1)
+    return singular_values.shape[0]
+
+
+def _sequential_svd_cores(
+    tensor: np.ndarray, epsilon: float, max_rank: int | None
+) -> list[np.ndarray]:
+    shape = tensor.shape
+    delta = epsilon * np.linalg.norm(tensor) / np.sqrt(max(len(shape) - 1, 1))
+    cores: list[np.ndarray] = []
+    remaining = tensor.reshape(shape[0], -1)
+    left_rank = 1
+    for k in range(len(shape) - 1):
+        matrix = remaining.reshape(left_rank * shape[k], -1)
+        try:
+            u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+        except np.linalg.LinAlgError as exc:
+            raise DecompositionError(f"SVD failed: {exc}") from exc
+        rank = _rank_for_budget(s, delta)
+        if max_rank is not None:
+            rank = min(rank, max_rank)
+        cores.append(u[:, :rank].reshape(left_rank, shape[k], rank))
+        remaining = (s[:rank, None] * vt[:rank]).reshape(rank, -1)
+        left_rank = rank
+    cores.append(remaining.reshape(left_rank, shape[-1], 1))
+    return cores
+
+
+def tt_decompose_adaptive(
+    tensor: np.ndarray, epsilon: float, max_rank: int | None = None
+) -> TTTensor:
+    """TT decomposition with per-bond ranks chosen from an error budget.
+
+    Guarantees relative Frobenius error at most ``epsilon`` when
+    ``max_rank`` does not bind (the standard TT-SVD bound).
+    """
+    if not 0.0 <= epsilon < 1.0:
+        raise ShapeError(f"epsilon must be in [0, 1), got {epsilon}")
+    if tensor.ndim < 2:
+        raise ShapeError("adaptive decomposition needs order >= 2")
+    return TTTensor(cores=_sequential_svd_cores(tensor, epsilon, max_rank))
+
+
+def tr_decompose_adaptive(
+    tensor: np.ndarray, epsilon: float, max_rank: int | None = None
+) -> TRTensor:
+    """Adaptive-rank TR decomposition (boundary ranks 1, TT ⊂ TR)."""
+    tt = tt_decompose_adaptive(tensor, epsilon, max_rank)
+    return TRTensor(cores=list(tt.cores))
+
+
+def suggest_adapter_rank(
+    weight: np.ndarray, epsilon: float, max_rank: int = 16
+) -> int:
+    """Suggest a LoRA-style rank for adapting ``weight``.
+
+    Uses the spectrum of the weight matrix itself as a proxy for the
+    update's effective dimensionality: the rank capturing all but an
+    ``epsilon`` fraction of the spectral energy, clipped to ``max_rank``.
+    A pragmatic default for choosing ``rank=`` per layer.
+    """
+    if weight.ndim != 2:
+        weight = weight.reshape(-1, weight.shape[-1])
+    singular_values = np.linalg.svd(weight, compute_uv=False)
+    budget = epsilon * np.linalg.norm(singular_values)
+    return min(_rank_for_budget(singular_values, budget), max_rank)

@@ -1,0 +1,109 @@
+"""Tensor Ring (TR) format.
+
+An order-``N`` TR tensor is a cyclic chain of 3-way cores
+``G_k ∈ R^{R_{k-1} × I_k × R_k}`` with ``R_N = R_0`` (the ring closure):
+
+    X_{i₁..i_N} = Trace( G₁[:, i₁, :] G₂[:, i₂, :] … G_N[:, i_N, :] )
+
+MetaLoRA (TR) (Eq. 7) is the order-2 instance: two learned cores ``A`` and
+``B`` plus a meta-generated closure matrix ``C ∈ R^{R×R}`` that ties the
+ring together.
+
+``tr_decompose`` uses TT-SVD: a tensor train is exactly a tensor ring with
+boundary ranks 1, so the result is a valid TR representation and is exact
+whenever the requested ranks are large enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompositionError, ShapeError
+
+
+@dataclass
+class TRTensor:
+    """A list of 3-way cores forming a closed ring."""
+
+    cores: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.cores = [np.asarray(core) for core in self.cores]
+        if not self.cores:
+            raise ShapeError("a TR tensor needs at least one core")
+        for k, core in enumerate(self.cores):
+            if core.ndim != 3:
+                raise ShapeError(f"TR core {k} must be 3-way, got order {core.ndim}")
+        for k, core in enumerate(self.cores):
+            next_core = self.cores[(k + 1) % len(self.cores)]
+            if core.shape[2] != next_core.shape[0]:
+                raise ShapeError(
+                    f"TR ring broken between core {k} (right rank {core.shape[2]}) "
+                    f"and core {(k + 1) % len(self.cores)} "
+                    f"(left rank {next_core.shape[0]})"
+                )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(core.shape[1] for core in self.cores)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """Ring ranks ``(R₀, R₁, …, R_{N-1})`` with ``R_N = R₀`` implied."""
+        return tuple(core.shape[0] for core in self.cores)
+
+    def parameter_count(self) -> int:
+        return sum(core.size for core in self.cores)
+
+
+def tr_to_tensor(tr: TRTensor) -> np.ndarray:
+    """Materialize the full tensor by chaining the cores and closing the ring."""
+    result = tr.cores[0]  # (R0, I1, R1)
+    for core in tr.cores[1:]:
+        # (R0, ..., Rk) x (Rk, I_{k+1}, R_{k+1}) -> (R0, ..., I_{k+1}, R_{k+1})
+        result = np.tensordot(result, core, axes=(result.ndim - 1, 0))
+    # Close the ring: trace over (R0 ... R0).
+    return np.trace(result, axis1=0, axis2=result.ndim - 1)
+
+
+def random_tr(
+    shape: tuple[int, ...], rank: int, rng: np.random.Generator
+) -> TRTensor:
+    """A random TR tensor with uniform ring rank ``rank``."""
+    if rank <= 0:
+        raise ShapeError(f"TR rank must be positive, got {rank}")
+    cores = [rng.normal(size=(rank, dim, rank)) / rank for dim in shape]
+    return TRTensor(cores=cores)
+
+
+def tr_decompose(tensor: np.ndarray, max_rank: int) -> TRTensor:
+    """TR decomposition via TT-SVD (boundary ranks fixed at 1).
+
+    Exact when ``max_rank`` is at least the TT-rank of ``tensor``; otherwise
+    the best rank-truncated SVD is used at every split, giving a
+    quasi-optimal approximation.
+    """
+    if max_rank <= 0:
+        raise ShapeError(f"max_rank must be positive, got {max_rank}")
+    if tensor.ndim < 2:
+        raise ShapeError("TR decomposition needs a tensor of order >= 2")
+
+    shape = tensor.shape
+    cores: list[np.ndarray] = []
+    remaining = tensor.reshape(shape[0], -1)
+    left_rank = 1
+    for k in range(len(shape) - 1):
+        matrix = remaining.reshape(left_rank * shape[k], -1)
+        try:
+            u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+        except np.linalg.LinAlgError as exc:
+            raise DecompositionError(f"SVD failed during TT-SVD: {exc}") from exc
+        rank = min(max_rank, int((s > s[0] * 1e-12).sum()) if s.size else 1)
+        rank = max(rank, 1)
+        cores.append(u[:, :rank].reshape(left_rank, shape[k], rank))
+        remaining = (s[:rank, None] * vt[:rank]).reshape(rank, -1)
+        left_rank = rank
+    cores.append(remaining.reshape(left_rank, shape[-1], 1))
+    return TRTensor(cores=cores)

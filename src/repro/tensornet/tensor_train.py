@@ -1,0 +1,137 @@
+"""Tensor Train (TT) format.
+
+The open-chain special case of the Tensor Ring (boundary ranks fixed at
+1): cores ``G_k ∈ R^{R_{k-1} × I_k × R_k}`` with ``R_0 = R_N = 1``.  TT is
+the format behind the LoRETTA / TT-LoRA family the related-work section
+situates MetaLoRA against, so the repository ships it both as a
+stand-alone format and as the :class:`~repro.peft.tt_lora.TTLoRALinear`
+baseline adapter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompositionError, ShapeError
+
+
+@dataclass
+class TTTensor:
+    """An open chain of 3-way cores with unit boundary ranks."""
+
+    cores: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.cores = [np.asarray(core) for core in self.cores]
+        if not self.cores:
+            raise ShapeError("a TT tensor needs at least one core")
+        for k, core in enumerate(self.cores):
+            if core.ndim != 3:
+                raise ShapeError(f"TT core {k} must be 3-way, got order {core.ndim}")
+        if self.cores[0].shape[0] != 1 or self.cores[-1].shape[2] != 1:
+            raise ShapeError(
+                "TT boundary ranks must be 1, got "
+                f"{self.cores[0].shape[0]} and {self.cores[-1].shape[2]}"
+            )
+        for k in range(len(self.cores) - 1):
+            if self.cores[k].shape[2] != self.cores[k + 1].shape[0]:
+                raise ShapeError(
+                    f"TT chain broken between cores {k} and {k + 1}: "
+                    f"{self.cores[k].shape[2]} vs {self.cores[k + 1].shape[0]}"
+                )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(core.shape[1] for core in self.cores)
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """Interior bond ranks ``(R₁, …, R_{N-1})``."""
+        return tuple(core.shape[2] for core in self.cores[:-1])
+
+    def parameter_count(self) -> int:
+        return sum(core.size for core in self.cores)
+
+
+def tt_to_tensor(tt: TTTensor) -> np.ndarray:
+    """Materialize the full tensor by chaining the cores."""
+    result = tt.cores[0]  # (1, I1, R1)
+    for core in tt.cores[1:]:
+        result = np.tensordot(result, core, axes=(result.ndim - 1, 0))
+    return result.reshape(result.shape[1:-1])
+
+
+def random_tt(
+    shape: tuple[int, ...], rank: int, rng: np.random.Generator
+) -> TTTensor:
+    """A random TT tensor with uniform interior rank ``rank``."""
+    if rank <= 0:
+        raise ShapeError(f"TT rank must be positive, got {rank}")
+    if len(shape) < 1:
+        raise ShapeError("TT tensor needs at least one mode")
+    cores = []
+    left = 1
+    for k, dim in enumerate(shape):
+        right = 1 if k == len(shape) - 1 else rank
+        cores.append(rng.normal(size=(left, dim, right)) / np.sqrt(max(left, 1)))
+        left = right
+    return TTTensor(cores=cores)
+
+
+def tt_decompose(tensor: np.ndarray, max_rank: int) -> TTTensor:
+    """TT-SVD (Oseledets): sequential truncated SVDs along the chain.
+
+    Exact when ``max_rank`` is at least the TT-rank of the input.
+    """
+    if max_rank <= 0:
+        raise ShapeError(f"max_rank must be positive, got {max_rank}")
+    if tensor.ndim < 1:
+        raise ShapeError("TT decomposition needs at least one mode")
+    shape = tensor.shape
+    if tensor.ndim == 1:
+        return TTTensor(cores=[tensor.reshape(1, -1, 1)])
+
+    cores: list[np.ndarray] = []
+    remaining = tensor.reshape(shape[0], -1)
+    left_rank = 1
+    for k in range(len(shape) - 1):
+        matrix = remaining.reshape(left_rank * shape[k], -1)
+        try:
+            u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+        except np.linalg.LinAlgError as exc:
+            raise DecompositionError(f"SVD failed during TT-SVD: {exc}") from exc
+        effective = int((s > s[0] * 1e-12).sum()) if s.size else 1
+        rank = max(1, min(max_rank, effective))
+        cores.append(u[:, :rank].reshape(left_rank, shape[k], rank))
+        remaining = (s[:rank, None] * vt[:rank]).reshape(rank, -1)
+        left_rank = rank
+    cores.append(remaining.reshape(left_rank, shape[-1], 1))
+    return TTTensor(cores=cores)
+
+
+def factorize_dim(dim: int, parts: int) -> tuple[int, ...]:
+    """Split ``dim`` into ``parts`` roughly balanced integer factors.
+
+    TT adapters reshape a weight axis of size ``I`` into a grid
+    ``I₁ × … × I_p``; this helper picks the factorization (largest prime
+    factors spread first), e.g. ``factorize_dim(12, 2) == (4, 3)``.
+    """
+    if dim <= 0 or parts <= 0:
+        raise ShapeError(f"dim and parts must be positive, got ({dim}, {parts})")
+    factors = [1] * parts
+    remaining = dim
+    divisor = 2
+    primes = []
+    while divisor * divisor <= remaining:
+        while remaining % divisor == 0:
+            primes.append(divisor)
+            remaining //= divisor
+        divisor += 1
+    if remaining > 1:
+        primes.append(remaining)
+    for prime in sorted(primes, reverse=True):
+        smallest = int(np.argmin(factors))
+        factors[smallest] *= prime
+    return tuple(sorted(factors, reverse=True))

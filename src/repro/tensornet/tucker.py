@@ -1,0 +1,75 @@
+"""Tucker format via higher-order SVD (HOSVD).
+
+Included as the third classical format the related-work section discusses;
+used in the ablation benches to contrast parameter counts against CP/TR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompositionError, ShapeError
+from repro.tensornet.contraction import mode_product, unfold
+
+
+@dataclass
+class TuckerTensor:
+    """Core ``G ∈ R^{R₁×…×R_N}`` plus per-mode factors ``U^(n) ∈ R^{I_n×R_n}``."""
+
+    core: np.ndarray
+    factors: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.core = np.asarray(self.core)
+        self.factors = [np.asarray(f) for f in self.factors]
+        if self.core.ndim != len(self.factors):
+            raise ShapeError(
+                f"Tucker core order {self.core.ndim} does not match "
+                f"{len(self.factors)} factors"
+            )
+        for n, factor in enumerate(self.factors):
+            if factor.ndim != 2 or factor.shape[1] != self.core.shape[n]:
+                raise ShapeError(
+                    f"Tucker factor {n} must have shape (I_{n}, {self.core.shape[n]}), "
+                    f"got {factor.shape}"
+                )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(f.shape[0] for f in self.factors)
+
+    def parameter_count(self) -> int:
+        return self.core.size + sum(f.size for f in self.factors)
+
+
+def tucker_to_tensor(tucker: TuckerTensor) -> np.ndarray:
+    """Materialize ``G ×₁ U^(1) ×₂ U^(2) … ×_N U^(N)``."""
+    result = tucker.core
+    for mode, factor in enumerate(tucker.factors):
+        result = mode_product(result, factor.T, mode)
+    return result
+
+
+def tucker_decompose(tensor: np.ndarray, ranks: tuple[int, ...]) -> TuckerTensor:
+    """HOSVD: per-mode truncated SVD of the unfoldings, then core projection."""
+    if len(ranks) != tensor.ndim:
+        raise ShapeError(
+            f"need one rank per mode: got {len(ranks)} ranks for order {tensor.ndim}"
+        )
+    factors = []
+    for mode, rank in enumerate(ranks):
+        if rank <= 0 or rank > tensor.shape[mode]:
+            raise ShapeError(
+                f"rank {rank} invalid for mode {mode} of size {tensor.shape[mode]}"
+            )
+        try:
+            u, __, __vt = np.linalg.svd(unfold(tensor, mode), full_matrices=False)
+        except np.linalg.LinAlgError as exc:
+            raise DecompositionError(f"SVD failed in HOSVD: {exc}") from exc
+        factors.append(u[:, :rank])
+    core = tensor
+    for mode, factor in enumerate(factors):
+        core = mode_product(core, factor, mode)
+    return TuckerTensor(core=core, factors=factors)

@@ -1,0 +1,47 @@
+"""Early stopping on a monitored metric."""
+
+from __future__ import annotations
+
+from repro.errors import TrainingError
+
+
+class EarlyStopping:
+    """Stop when a monitored value fails to improve for ``patience`` rounds.
+
+    >>> stopper = EarlyStopping(patience=2, mode="max")
+    >>> [stopper.update(v) for v in (0.5, 0.6, 0.59, 0.58)]
+    [False, False, False, True]
+    """
+
+    def __init__(
+        self, patience: int, mode: str = "max", min_delta: float = 0.0
+    ) -> None:
+        if patience <= 0:
+            raise TrainingError(f"patience must be positive, got {patience}")
+        if mode not in ("max", "min"):
+            raise TrainingError(f"mode must be 'max' or 'min', got {mode!r}")
+        if min_delta < 0:
+            raise TrainingError(f"min_delta must be non-negative, got {min_delta}")
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.best: float | None = None
+        self.stale_rounds = 0
+
+    def update(self, value: float) -> bool:
+        """Record a new metric value; True means training should stop."""
+        improved = self.best is None or (
+            value > self.best + self.min_delta
+            if self.mode == "max"
+            else value < self.best - self.min_delta
+        )
+        if improved:
+            self.best = value
+            self.stale_rounds = 0
+        else:
+            self.stale_rounds += 1
+        return self.stale_rounds >= self.patience
+
+    @property
+    def should_stop(self) -> bool:
+        return self.stale_rounds >= self.patience

@@ -1,0 +1,39 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.ops import log_softmax
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of integer ``labels`` under ``logits``.
+
+    ``labels`` are constants (no gradient), so they are accepted as a raw
+    integer array rather than a Tensor.
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, classes) logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+        )
+    if labels.min() < 0 or labels.max() >= logits.shape[1]:
+        raise ShapeError(
+            f"labels out of range [0, {logits.shape[1]}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error against a constant target."""
+    target_tensor = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    diff = prediction - target_tensor
+    return (diff * diff).mean()

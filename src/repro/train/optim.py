@@ -1,0 +1,115 @@
+"""First-order optimizers.
+
+Parameters whose gradient is ``None`` are skipped (e.g. the static seeds
+of meta adapters when per-sample seeds are active) — the optimizer only
+touches what the loss actually reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base: holds the parameter list and the shared step/zero_grad API."""
+
+    def __init__(self, parameters, lr: float) -> None:
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise TrainingError("optimizer received no parameters")
+        if lr <= 0:
+            raise TrainingError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def _apply_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        # Classic Adam: L2 folded into the gradient.
+        if self.weight_decay:
+            return grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for i, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = self._apply_decay(param, param.grad)
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with *decoupled* weight decay (Loshchilov & Hutter)."""
+
+    def _apply_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            param.data -= self.lr * self.weight_decay * param.data
+        return grad

@@ -1,0 +1,47 @@
+"""Learning-rate schedules; called once per step with the step index."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TrainingError
+
+
+class ConstantSchedule:
+    """Always the base rate."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class CosineSchedule:
+    """Cosine decay from ``lr`` to ``final_lr`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, final_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise TrainingError(f"total_steps must be positive, got {total_steps}")
+        self.lr = lr
+        self.final_lr = final_lr
+        self.total_steps = total_steps
+
+    def __call__(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.final_lr + (self.lr - self.final_lr) * cosine
+
+
+class StepSchedule:
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise TrainingError(f"step_size must be positive, got {step_size}")
+        self.lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.gamma ** (step // self.step_size)

@@ -1,0 +1,157 @@
+"""Supervised training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.loaders import batches
+from repro.errors import TrainingError
+from repro.nn.module import Module
+from repro.train.early_stopping import EarlyStopping
+from repro.train.losses import cross_entropy
+from repro.train.optim import Optimizer
+from repro.utils.logging import get_logger
+
+_logger = get_logger("train")
+
+
+@dataclass
+class TrainResult:
+    """Loss/accuracy trajectory of one fit() call."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    validation_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise TrainingError("no training steps were run")
+        return self.losses[-1]
+
+    @property
+    def best_validation_accuracy(self) -> float:
+        if not self.validation_accuracies:
+            raise TrainingError("fit() was not given a validation set")
+        return max(self.validation_accuracies)
+
+
+class Trainer:
+    """Minibatch trainer for any module mapping images to logits."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
+        schedule: Callable[[int], float] | None = None,
+        grad_clip: float | None = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.schedule = schedule
+        self.grad_clip = grad_clip
+        self._step = 0
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """One optimization step; returns the batch loss."""
+        if self.schedule is not None:
+            self.optimizer.set_lr(self.schedule(self._step))
+        self.model.train()
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(images))
+        loss = self.loss_fn(logits, labels)
+        if not np.isfinite(loss.data).all():
+            raise TrainingError(
+                f"non-finite loss at step {self._step}; "
+                "lower the learning rate or enable grad_clip"
+            )
+        loss.backward()
+        if self.grad_clip is not None:
+            self._clip_gradients()
+        self.optimizer.step()
+        self._step += 1
+        return float(loss.data)
+
+    def _clip_gradients(self) -> None:
+        total = 0.0
+        grads = [p.grad for p in self.optimizer.parameters if p.grad is not None]
+        for grad in grads:
+            total += float((grad**2).sum())
+        norm = np.sqrt(total)
+        if norm > self.grad_clip:
+            scale = self.grad_clip / (norm + 1e-12)
+            for grad in grads:
+                grad *= scale
+
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        early_stopping: "EarlyStopping | None" = None,
+        log_every: int | None = None,
+    ) -> TrainResult:
+        """Train for ``epochs`` passes; records per-epoch mean loss/accuracy.
+
+        ``validation``, if given, is a held-out ``(images, labels)`` pair
+        evaluated after every epoch (recorded in
+        ``result.validation_accuracies``).  ``early_stopping`` monitors the
+        validation accuracy and ends training early when it stalls;
+        requires ``validation``.
+        """
+        if epochs <= 0:
+            raise TrainingError(f"epochs must be positive, got {epochs}")
+        if early_stopping is not None and validation is None:
+            raise TrainingError("early_stopping requires a validation set")
+        result = TrainResult()
+        for epoch in range(epochs):
+            epoch_losses = []
+            for x_batch, y_batch in batches(images, labels, batch_size, rng):
+                epoch_losses.append(self.train_step(x_batch, y_batch))
+            mean_loss = float(np.mean(epoch_losses))
+            accuracy = self.evaluate(images, labels, batch_size)
+            result.losses.append(mean_loss)
+            result.accuracies.append(accuracy)
+            if validation is not None:
+                val_accuracy = self.evaluate(validation[0], validation[1], batch_size)
+                result.validation_accuracies.append(val_accuracy)
+                if early_stopping is not None and early_stopping.update(val_accuracy):
+                    _logger.info(
+                        "early stop at epoch %d/%d (best val acc %.3f)",
+                        epoch + 1,
+                        epochs,
+                        early_stopping.best,
+                    )
+                    break
+            if log_every and (epoch + 1) % log_every == 0:
+                _logger.info(
+                    "epoch %d/%d  loss=%.4f  acc=%.3f",
+                    epoch + 1,
+                    epochs,
+                    mean_loss,
+                    accuracy,
+                )
+        return result
+
+    def evaluate(
+        self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64
+    ) -> float:
+        """Classification accuracy with the model in eval mode."""
+        self.model.eval()
+        correct = 0
+        with no_grad():
+            for x_batch, y_batch in batches(images, labels, batch_size):
+                logits = self.model(Tensor(x_batch))
+                predictions = logits.data.argmax(axis=1)
+                correct += int((predictions == y_batch).sum())
+        self.model.train()
+        return correct / images.shape[0]

@@ -1,0 +1,19 @@
+"""Shared utilities: seeded RNG, registries, serialization, timing."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.registry import Registry
+from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.timing import Timer
+from repro.utils.logging import enable_console_logging, get_logger
+
+__all__ = [
+    "Registry",
+    "RngMixin",
+    "Timer",
+    "enable_console_logging",
+    "get_logger",
+    "load_arrays",
+    "new_rng",
+    "save_arrays",
+    "spawn_rngs",
+]

@@ -1,0 +1,30 @@
+"""Library logging.
+
+Library code never prints: progress goes through a shared ``repro``
+logger so applications control verbosity.  ``enable_console_logging``
+is the one-liner examples and the CLI use to see progress.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The library logger, or a child of it (``get_logger("train")``)."""
+    if name:
+        return logging.getLogger(f"{_ROOT_NAME}.{name}")
+    return logging.getLogger(_ROOT_NAME)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler with a compact format (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    logger.addHandler(handler)

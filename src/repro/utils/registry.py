@@ -1,0 +1,62 @@
+"""A small name -> factory registry.
+
+Used to register PEFT methods, backbones and datasets under string names so
+benchmark harnesses and examples can be driven by configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Maps string keys to factories, with decorator-style registration.
+
+    >>> methods = Registry("peft-method")
+    >>> @methods.register("lora")
+    ... def build_lora():
+    ...     return "lora-instance"
+    >>> methods.create("lora")
+    'lora-instance'
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[..., T]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[..., T]], Callable[..., T]]:
+        """Return a decorator registering its target under ``name``."""
+
+        def decorator(factory: Callable[..., T]) -> Callable[..., T]:
+            if name in self._factories:
+                raise KeyError(f"{self.kind} {name!r} is already registered")
+            self._factories[name] = factory
+            return factory
+
+        return decorator
+
+    def create(self, name: str, *args: object, **kwargs: object) -> T:
+        """Instantiate the factory registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+        return factory(*args, **kwargs)
+
+    def names(self) -> list[str]:
+        """Sorted list of registered names."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def __len__(self) -> int:
+        return len(self._factories)

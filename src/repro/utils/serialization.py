@@ -1,0 +1,26 @@
+"""Array checkpointing.
+
+Model state is a flat mapping of parameter names to numpy arrays; it is
+persisted as a compressed ``.npz`` archive, the simplest portable format
+that round-trips dtype and shape exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping
+
+import numpy as np
+
+
+def save_arrays(path: str | os.PathLike, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write ``arrays`` to ``path`` as a compressed npz archive."""
+    if not arrays:
+        raise ValueError("refusing to save an empty state dict")
+    np.savez_compressed(path, **{name: np.asarray(a) for name, a in arrays.items()})
+
+
+def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Load an archive written by :func:`save_arrays`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}

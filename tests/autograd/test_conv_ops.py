@@ -1,0 +1,126 @@
+"""Tests for conv2d / pooling / padding ops against references and FD."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    avg_pool2d,
+    check_gradients,
+    conv2d,
+    max_pool2d,
+    pad2d,
+    tensor,
+)
+from repro.errors import ShapeError
+from repro.tensornet.dummy import conv2d_via_dummy
+
+
+def _t(rng, shape):
+    return tensor(rng.normal(size=shape), requires_grad=True, dtype=np.float64)
+
+
+class TestConvForward:
+    def test_output_shape(self, rng):
+        x, w = _t(rng, (2, 3, 8, 8)), _t(rng, (3, 3, 3, 6))
+        assert conv2d(x, w, padding=1).shape == (2, 6, 8, 8)
+        assert conv2d(x, w, stride=2, padding=1).shape == (2, 6, 4, 4)
+        assert conv2d(x, w).shape == (2, 6, 6, 6)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)])
+    def test_matches_dummy_tensor_reference(self, rng, stride, padding):
+        x, w = _t(rng, (2, 3, 9, 9)), _t(rng, (3, 3, 3, 4))
+        ours = conv2d(x, w, stride=stride, padding=padding).data
+        reference = conv2d_via_dummy(x.data, w.data, stride=stride, padding=padding)
+        assert np.allclose(ours, reference, atol=1e-10)
+
+    def test_1x1_conv_is_channel_matmul(self, rng):
+        x, w = _t(rng, (2, 4, 5, 5)), _t(rng, (1, 1, 4, 3))
+        out = conv2d(x, w).data
+        manual = np.einsum("nchw,co->nohw", x.data, w.data[0, 0])
+        assert np.allclose(out, manual)
+
+    def test_bias_added_per_channel(self, rng):
+        x, w = _t(rng, (1, 2, 4, 4)), _t(rng, (3, 3, 2, 5))
+        bias = tensor(np.arange(5, dtype=np.float64), requires_grad=True)
+        with_bias = conv2d(x, w, bias).data
+        without = conv2d(x, w).data
+        assert np.allclose(with_bias - without, np.arange(5)[None, :, None, None])
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d(_t(rng, (1, 3, 4, 4)), _t(rng, (3, 3, 5, 2)))
+
+    def test_wrong_rank_raises(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d(_t(rng, (3, 4, 4)), _t(rng, (3, 3, 3, 2)))
+
+    def test_empty_output_raises(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d(_t(rng, (1, 1, 2, 2)), _t(rng, (5, 5, 1, 1)))
+
+
+class TestConvGradients:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1)])
+    def test_full_gradients(self, rng, stride, padding):
+        x, w = _t(rng, (2, 2, 6, 6)), _t(rng, (3, 3, 2, 3))
+        b = _t(rng, (3,))
+        check_gradients(
+            lambda x, w, b: conv2d(x, w, b, stride=stride, padding=padding), [x, w, b]
+        )
+
+    def test_gradient_without_bias(self, rng):
+        x, w = _t(rng, (1, 2, 5, 5)), _t(rng, (2, 2, 2, 2))
+        check_gradients(lambda x, w: conv2d(x, w), [x, w])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_gradient_spreads(self):
+        x = tensor(np.zeros((1, 1, 4, 4)), requires_grad=True)
+        avg_pool2d(x, 2).sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_pool_gradients_fd(self, rng):
+        x = _t(rng, (2, 2, 6, 6))
+        check_gradients(lambda x: avg_pool2d(x, 2), [x])
+        check_gradients(lambda x: max_pool2d(x, 3, stride=3), [x])
+
+    def test_strided_pooling_shape(self, rng):
+        x = _t(rng, (1, 1, 8, 8))
+        assert max_pool2d(x, 2, stride=1).shape == (1, 1, 7, 7)
+
+
+class TestPad:
+    def test_pad_shape_and_values(self):
+        x = tensor(np.ones((1, 1, 2, 2)))
+        out = pad2d(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data[0, 0, 0, 0] == 0.0
+        assert out.data[0, 0, 1, 1] == 1.0
+
+    def test_pad_zero_is_identity(self):
+        x = tensor(np.ones((1, 1, 2, 2)))
+        assert pad2d(x, 0) is x
+
+    def test_pad_negative_raises(self):
+        with pytest.raises(ShapeError):
+            pad2d(tensor(np.ones((1, 1, 2, 2))), -1)
+
+    def test_pad_gradient(self, rng):
+        check_gradients(lambda x: pad2d(x, 2), [_t(rng, (1, 2, 3, 3))])

@@ -1,0 +1,105 @@
+"""Tests for the differentiable einsum — the backbone of every tensor-
+network contraction in the library."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import check_gradients, einsum, tensor
+from repro.errors import ShapeError
+
+
+def _t(rng, shape):
+    return tensor(rng.normal(size=shape), requires_grad=True, dtype=np.float64)
+
+
+class TestForwardValues:
+    def test_matmul_equivalence(self, rng):
+        a, b = _t(rng, (3, 4)), _t(rng, (4, 5))
+        assert np.allclose(einsum("ij,jk->ik", a, b).data, a.data @ b.data)
+
+    def test_trace_style_contraction(self, rng):
+        a, b = _t(rng, (3, 4)), _t(rng, (4, 3))
+        out = einsum("ij,ji->", a, b)
+        assert out.data == pytest.approx(np.trace(a.data @ b.data))
+
+    def test_cp_contraction_eq6(self, rng):
+        """ΔW = Σ_r A[:,r] B[r,:] c_r — the MetaLoRA (CP) core expression."""
+        a, b, c = _t(rng, (6, 3)), _t(rng, (3, 5)), _t(rng, (3,))
+        out = einsum("ir,ro,r->io", a, b, c)
+        manual = sum(
+            c.data[r] * np.outer(a.data[:, r], b.data[r]) for r in range(3)
+        )
+        assert np.allclose(out.data, manual)
+
+    def test_tr_contraction_eq7(self, rng):
+        """ΔW = Σ A[p,:,r] B[r,:,q] C[q,p] — the MetaLoRA (TR) core expression."""
+        a, b, c = _t(rng, (2, 6, 3)), _t(rng, (3, 5, 2)), _t(rng, (2, 2))
+        out = einsum("pir,roq,qp->io", a, b, c)
+        manual = np.einsum("pir,roq,qp->io", a.data, b.data, c.data)
+        assert np.allclose(out.data, manual)
+
+    def test_single_operand_permutation(self, rng):
+        x = _t(rng, (2, 3, 4))
+        assert einsum("abc->cab", x).shape == (4, 2, 3)
+
+
+class TestGradients:
+    def test_two_operand(self, rng):
+        check_gradients(lambda a, b: einsum("ij,jk->ik", a, b), [_t(rng, (3, 4)), _t(rng, (4, 2))])
+
+    def test_three_operand_cp(self, rng):
+        check_gradients(
+            lambda a, b, c: einsum("ir,ro,r->io", a, b, c),
+            [_t(rng, (4, 3)), _t(rng, (3, 5)), _t(rng, (3,))],
+        )
+
+    def test_four_operand_batched(self, rng):
+        check_gradients(
+            lambda x, a, b, c: einsum("ni,ir,ro,nr->no", x, a, b, c),
+            [_t(rng, (2, 4)), _t(rng, (4, 3)), _t(rng, (3, 5)), _t(rng, (2, 3))],
+        )
+
+    def test_solo_summed_index_broadcast_gradient(self, rng):
+        # 'b' appears only in the input: grad must broadcast back over it.
+        check_gradients(lambda x: einsum("ab->a", x), [_t(rng, (3, 5))])
+
+    def test_solo_summed_middle_index(self, rng):
+        check_gradients(lambda x: einsum("abc->ac", x), [_t(rng, (2, 4, 3))])
+
+    def test_solo_summed_with_other_operand(self, rng):
+        check_gradients(
+            lambda x, y: einsum("abc,cd->ad", x, y),
+            [_t(rng, (2, 3, 4)), _t(rng, (4, 5))],
+        )
+
+    def test_full_reduction(self, rng):
+        check_gradients(lambda x: einsum("ab->", x) * 1.0, [_t(rng, (3, 3))])
+
+    def test_tr_per_sample_conv_spec(self, rng):
+        # The exact spec used by MetaLoRATRConv's forward.
+        check_gradients(
+            lambda m, b, c: einsum("nprhw,roq,nqp->nohw", m, b, c),
+            [_t(rng, (2, 2, 2, 3, 3)), _t(rng, (2, 4, 2)), _t(rng, (2, 2, 2))],
+        )
+
+
+class TestValidation:
+    def test_requires_explicit_output(self, rng):
+        with pytest.raises(ShapeError):
+            einsum("ij,jk", _t(rng, (2, 2)), _t(rng, (2, 2)))
+
+    def test_rejects_ellipsis(self, rng):
+        with pytest.raises(ShapeError):
+            einsum("...i->...", _t(rng, (2, 3)))
+
+    def test_rejects_repeated_label_in_operand(self, rng):
+        with pytest.raises(ShapeError):
+            einsum("ii->i", _t(rng, (3, 3)))
+
+    def test_operand_count_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            einsum("ij,jk->ik", _t(rng, (2, 2)))
+
+    def test_rank_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            einsum("ij->ij", _t(rng, (2, 2, 2)))

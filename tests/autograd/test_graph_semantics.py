@@ -1,0 +1,89 @@
+"""Tests for subtler autograd graph semantics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, tensor
+
+
+class TestGraphPruning:
+    def test_constant_branches_not_tracked(self, rng):
+        """Results of ops on constants carry no graph."""
+        a = tensor(rng.normal(size=3))
+        b = tensor(rng.normal(size=3))
+        out = a * b + a
+        assert out._parents == ()
+        assert not out.requires_grad
+
+    def test_mixed_branch_keeps_only_grad_paths(self, rng):
+        x = tensor(rng.normal(size=3), requires_grad=True)
+        c = tensor(rng.normal(size=3))
+        out = x * c
+        # the constant c is pruned from the recorded parents
+        assert all(p is not c for p in out._parents)
+        out.sum().backward()
+        assert np.allclose(x.grad, c.data)
+
+    def test_requires_grad_propagates_transitively(self, rng):
+        x = tensor(rng.normal(size=3), requires_grad=True)
+        y = x * 2
+        z = y + 1
+        assert z.requires_grad
+
+    def test_backward_twice_on_same_graph_accumulates(self, rng):
+        x = tensor(rng.normal(size=3), requires_grad=True)
+        y = (x * 3).sum()
+        y.backward()
+        y.backward()
+        assert np.allclose(x.grad, 6.0)
+
+
+class TestSharedSubgraphs:
+    def test_shared_intermediate_counted_once_per_use(self, rng):
+        x = tensor(np.array([2.0]), requires_grad=True)
+        shared = x * x  # x^2
+        out = shared + shared  # 2 x^2, d/dx = 4x = 8
+        out.backward(np.array([1.0], dtype=np.float32))
+        assert x.grad[0] == pytest.approx(8.0)
+
+    def test_two_outputs_from_one_graph(self, rng):
+        x = tensor(np.array([3.0]), requires_grad=True)
+        base = x * 2
+        out_a = base * 1.0
+        out_b = base * 10.0
+        out_a.backward(np.array([1.0], dtype=np.float32))
+        out_b.backward(np.array([1.0], dtype=np.float32))
+        assert x.grad[0] == pytest.approx(2.0 + 20.0)
+
+
+class TestNoGradInterleaving:
+    def test_graph_built_outside_usable_after_no_grad_block(self, rng):
+        x = tensor(rng.normal(size=3), requires_grad=True)
+        y = x * 2
+        with no_grad():
+            __ = x * 100  # untracked
+        y.sum().backward()
+        assert np.allclose(x.grad, 2.0)
+
+    def test_tensor_created_inside_no_grad_never_requires(self):
+        with no_grad():
+            t = tensor(np.ones(3), requires_grad=True)
+        assert not t.requires_grad
+
+    def test_detach_mid_graph_blocks_upstream(self, rng):
+        x = tensor(rng.normal(size=3), requires_grad=True)
+        mid = (x * 2).detach()
+        y = mid * 3
+        # y has no path to x
+        assert y._parents == ()
+
+
+class TestDtypePropagation:
+    def test_float64_preserved_through_ops(self, rng):
+        x = tensor(rng.normal(size=(3, 3)), dtype=np.float64, requires_grad=True)
+        y = (x @ x).sum()
+        y.backward()
+        assert x.grad.dtype == np.float64
+
+    def test_float32_default(self):
+        assert tensor([1.0, 2.0]).dtype == np.float32

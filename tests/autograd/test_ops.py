@@ -1,0 +1,186 @@
+"""Unit tests for the functional ops (elementwise, softmax, structural)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    check_gradients,
+    concat,
+    dropout,
+    exp,
+    gelu,
+    log,
+    log_softmax,
+    maximum,
+    relu,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    tanh,
+    tensor,
+    where,
+)
+from repro.errors import ShapeError
+
+
+def _t(rng, shape):
+    return tensor(rng.normal(size=shape), requires_grad=True, dtype=np.float64)
+
+
+class TestElementwiseValues:
+    def test_exp_log_roundtrip(self, rng):
+        x = tensor(np.abs(rng.normal(size=5)) + 0.5, dtype=np.float64)
+        assert np.allclose(log(exp(x)).data, x.data)
+
+    def test_sqrt(self):
+        assert np.allclose(sqrt(tensor([4.0, 9.0])).data, [2.0, 3.0])
+
+    def test_relu_zeroes_negatives(self):
+        out = relu(tensor([-1.0, 0.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range(self, rng):
+        out = sigmoid(_t(rng, (10,)))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_tanh_matches_numpy(self, rng):
+        data = rng.normal(size=7)
+        assert np.allclose(tanh(tensor(data, dtype=np.float64)).data, np.tanh(data))
+
+    def test_gelu_zero_fixed_point(self):
+        assert gelu(tensor([0.0])).data[0] == pytest.approx(0.0)
+
+    def test_gelu_approaches_identity_for_large_x(self):
+        assert gelu(tensor([10.0])).data[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_maximum_values(self):
+        out = maximum(tensor([1.0, 5.0]), tensor([3.0, 2.0]))
+        assert np.allclose(out.data, [3.0, 5.0])
+
+    def test_where_selects(self):
+        out = where(np.array([True, False]), tensor([1.0, 2.0]), tensor([9.0, 8.0]))
+        assert np.allclose(out.data, [1.0, 8.0])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "op", [exp, tanh, sigmoid, gelu], ids=["exp", "tanh", "sigmoid", "gelu"]
+    )
+    def test_smooth_ops(self, rng, op):
+        check_gradients(op, [_t(rng, (3, 4))])
+
+    def test_log_gradient(self, rng):
+        x = tensor(np.abs(rng.normal(size=(3, 4))) + 0.5, requires_grad=True, dtype=np.float64)
+        check_gradients(log, [x])
+
+    def test_sqrt_gradient(self, rng):
+        x = tensor(np.abs(rng.normal(size=(3, 4))) + 0.5, requires_grad=True, dtype=np.float64)
+        check_gradients(sqrt, [x])
+
+    def test_relu_gradient_away_from_kink(self, rng):
+        x = tensor(
+            rng.choice([-1.0, 1.0], size=(4, 4)) * (1 + np.abs(rng.normal(size=(4, 4)))),
+            requires_grad=True,
+            dtype=np.float64,
+        )
+        check_gradients(relu, [x])
+
+    def test_maximum_gradient(self, rng):
+        a, b = _t(rng, (5,)), _t(rng, (5,))
+        check_gradients(maximum, [a, b])
+
+    def test_maximum_tie_splits_gradient(self):
+        a = tensor([2.0], requires_grad=True)
+        b = tensor([2.0], requires_grad=True)
+        maximum(a, b).backward(np.array([1.0], dtype=np.float32))
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(0.5)
+
+    def test_where_gradient(self, rng):
+        cond = rng.random((4, 4)) > 0.5
+        a, b = _t(rng, (4, 4)), _t(rng, (4, 4))
+        check_gradients(lambda a, b: where(cond, a, b), [a, b])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = softmax(_t(rng, (6, 5)))
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_shift_invariance(self, rng):
+        data = rng.normal(size=(3, 4))
+        a = softmax(tensor(data, dtype=np.float64)).data
+        b = softmax(tensor(data + 100.0, dtype=np.float64)).data
+        assert np.allclose(a, b)
+
+    def test_log_softmax_consistency(self, rng):
+        x = _t(rng, (4, 7))
+        assert np.allclose(np.exp(log_softmax(x).data), softmax(x).data)
+
+    def test_softmax_gradient(self, rng):
+        check_gradients(lambda x: softmax(x, axis=1), [_t(rng, (3, 5))])
+
+    def test_log_softmax_gradient(self, rng):
+        check_gradients(lambda x: log_softmax(x, axis=0), [_t(rng, (5, 3))])
+
+    def test_softmax_axis0(self, rng):
+        out = softmax(_t(rng, (6, 5)), axis=0)
+        assert np.allclose(out.data.sum(axis=0), 1.0)
+
+
+class TestStructural:
+    def test_concat_values(self, rng):
+        a, b = _t(rng, (2, 3)), _t(rng, (4, 3))
+        out = concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        assert np.allclose(out.data[:2], a.data)
+
+    def test_concat_gradient_splits(self, rng):
+        a, b = _t(rng, (2, 3)), _t(rng, (2, 5))
+        check_gradients(lambda a, b: concat([a, b], axis=1), [a, b])
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ShapeError):
+            concat([], axis=0)
+
+    def test_stack_new_axis(self, rng):
+        parts = [_t(rng, (3, 2)) for __ in range(4)]
+        out = stack(parts, axis=1)
+        assert out.shape == (3, 4, 2)
+
+    def test_stack_gradient(self, rng):
+        parts = [_t(rng, (2, 2)) for __ in range(3)]
+        check_gradients(lambda *ps: stack(list(ps), axis=0), parts)
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(ShapeError):
+            stack([], axis=0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = tensor(np.ones((10, 10)))
+        out = dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_rate_zero_is_identity(self, rng):
+        x = tensor(np.ones(8))
+        assert dropout(x, 0.0, rng, training=True) is x
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        x = tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_mask_reused_in_backward(self, rng):
+        x = tensor(np.ones(1000), requires_grad=True)
+        out = dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        dropped = out.data == 0
+        assert np.all(x.grad[dropped] == 0)
+        assert np.all(x.grad[~dropped] == 2.0)
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            dropout(tensor(np.ones(3)), 1.0, rng)

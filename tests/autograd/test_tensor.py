@@ -1,0 +1,296 @@
+"""Unit tests for the core Tensor type and its arithmetic gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, tensor, zeros_like
+from repro.autograd.tensor import unbroadcast
+from repro.errors import GradientError, ShapeError
+
+
+class TestConstruction:
+    def test_wraps_array(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+
+    def test_int_input_becomes_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_tensor_factory_dtype(self):
+        t = tensor([1.0, 2.0], dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_scalar_item(self):
+        assert tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_item_rejects_non_scalar(self):
+        with pytest.raises(ShapeError):
+            tensor([1.0, 2.0]).item()
+
+    def test_zeros_like(self):
+        t = tensor(np.ones((4, 2)))
+        z = zeros_like(t)
+        assert z.shape == (4, 2)
+        assert np.all(z.data == 0)
+
+    def test_len(self):
+        assert len(tensor(np.zeros((5, 2)))) == 5
+
+    def test_len_of_scalar_raises(self):
+        with pytest.raises(ShapeError):
+            len(tensor(1.0))
+
+    def test_repr_mentions_grad(self):
+        t = tensor(1.0, requires_grad=True)
+        assert "requires_grad" in repr(t)
+
+
+class TestBackwardMechanics:
+    def test_simple_chain(self):
+        x = tensor(2.0, requires_grad=True)
+        y = x * x + x
+        y.backward()
+        assert x.grad == pytest.approx(5.0)  # 2x + 1 at x=2
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        (x * 3).backward()
+        assert x.grad == pytest.approx(5.0)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = tensor(3.0, requires_grad=True)
+        a = x * 2
+        b = x * 5
+        (a + b).backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_deep_chain_does_not_recurse(self):
+        x = tensor(1.0, requires_grad=True)
+        y = x
+        for __ in range(3000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_backward_needs_scalar_or_gradient(self):
+        x = tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(GradientError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = tensor(np.ones(3), requires_grad=True)
+        (x * 2).backward(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        assert np.allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_backward_gradient_shape_mismatch(self):
+        x = tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ShapeError):
+            (x * 2).backward(np.ones(4, dtype=np.float32))
+
+    def test_backward_on_graphless_tensor_raises(self):
+        with pytest.raises(GradientError):
+            tensor(1.0).backward()
+
+    def test_zero_grad(self):
+        x = tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_cuts_graph(self):
+        x = tensor(2.0, requires_grad=True)
+        d = (x * 3).detach()
+        assert d._parents == ()
+        assert not d.requires_grad
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = tensor(2.0, requires_grad=True)
+        with no_grad():
+            y = x * x
+        assert y._parents == ()
+
+    def test_no_grad_restores_on_exit(self):
+        x = tensor(2.0, requires_grad=True)
+        with no_grad():
+            pass
+        y = x * x
+        y.backward()
+        assert x.grad is not None
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        x = tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        assert x.grad is not None
+
+
+class TestBroadcasting:
+    def test_unbroadcast_sums_leading_axes(self):
+        grad = np.ones((4, 3))
+        assert unbroadcast(grad, (3,)).shape == (3,)
+        assert np.allclose(unbroadcast(grad, (3,)), 4.0)
+
+    def test_unbroadcast_sums_kept_axes(self):
+        grad = np.ones((4, 3))
+        out = unbroadcast(grad, (1, 3))
+        assert out.shape == (1, 3)
+        assert np.allclose(out, 4.0)
+
+    def test_add_broadcast_gradients(self):
+        a = tensor(np.ones((2, 3)), requires_grad=True)
+        b = tensor(np.ones(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_mul_broadcast_gradients(self):
+        a = tensor(np.full((2, 3), 2.0), requires_grad=True)
+        b = tensor(np.full((1, 3), 3.0), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+        assert np.allclose(b.grad, 4.0)  # sum over the broadcast axis of 2 rows
+
+    def test_scalar_plus_tensor(self):
+        a = tensor(np.ones(3), requires_grad=True)
+        y = 2.0 + a
+        y.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_rsub_and_rdiv(self):
+        a = tensor(np.full(3, 2.0), requires_grad=True)
+        (10.0 - a).sum().backward()
+        assert np.allclose(a.grad, -1.0)
+        a.zero_grad()
+        (8.0 / a).sum().backward()
+        assert np.allclose(a.grad, -2.0)  # -8/a^2 = -2
+
+
+class TestOpsNumerics:
+    def test_matmul_vector_cases(self, rng):
+        m = tensor(rng.normal(size=(3, 4)), requires_grad=True, dtype=np.float64)
+        v = tensor(rng.normal(size=4), requires_grad=True, dtype=np.float64)
+        out = m @ v
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert m.grad.shape == (3, 4)
+        assert v.grad.shape == (4,)
+        assert np.allclose(v.grad, m.data.sum(axis=0))
+
+    def test_batched_matmul(self, rng):
+        a = tensor(rng.normal(size=(5, 3, 4)), requires_grad=True, dtype=np.float64)
+        b = tensor(rng.normal(size=(5, 4, 2)), requires_grad=True, dtype=np.float64)
+        out = a @ b
+        assert out.shape == (5, 3, 2)
+        out.sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+    def test_pow_gradient(self):
+        x = tensor(3.0, requires_grad=True)
+        (x**3).backward()
+        assert x.grad == pytest.approx(27.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        x = tensor(3.0, requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** tensor(2.0)
+
+    def test_neg(self):
+        x = tensor(np.ones(3), requires_grad=True)
+        (-x).sum().backward()
+        assert np.allclose(x.grad, -1.0)
+
+    def test_div_gradients(self):
+        a = tensor(6.0, requires_grad=True)
+        b = tensor(2.0, requires_grad=True)
+        (a / b).backward()
+        assert a.grad == pytest.approx(0.5)
+        assert b.grad == pytest.approx(-1.5)
+
+    def test_abs(self):
+        x = tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.abs().sum().backward()
+        assert np.allclose(x.grad, [-1.0, 1.0])
+
+    def test_clip_gradient_zero_outside(self):
+        x = tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestShaping:
+    def test_reshape_roundtrip_gradient(self, rng):
+        x = tensor(rng.normal(size=(2, 6)), requires_grad=True, dtype=np.float64)
+        y = x.reshape(3, 4)
+        y.sum().backward()
+        assert x.grad.shape == (2, 6)
+
+    def test_transpose_default_reverses(self):
+        x = tensor(np.zeros((2, 3, 4)))
+        assert x.T.shape == (4, 3, 2)
+
+    def test_transpose_gradient_permutes_back(self, rng):
+        x = tensor(rng.normal(size=(2, 3, 4)), requires_grad=True, dtype=np.float64)
+        y = x.transpose(2, 0, 1)
+        assert y.shape == (4, 2, 3)
+        (y * 2).sum().backward()
+        assert x.grad.shape == (2, 3, 4)
+        assert np.allclose(x.grad, 2.0)
+
+    def test_flatten(self):
+        x = tensor(np.zeros((2, 3, 4)))
+        assert x.flatten(1).shape == (2, 12)
+        assert x.flatten().shape == (24,)
+
+    def test_getitem_scatter_gradient(self):
+        x = tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        assert np.allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_getitem_fancy_index_repeats_accumulate(self):
+        x = tensor(np.zeros(3), requires_grad=True)
+        index = np.array([0, 0, 2])
+        x[index].sum().backward()
+        assert np.allclose(x.grad, [2.0, 0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_axis_tuple(self, rng):
+        x = tensor(rng.normal(size=(2, 3, 4)), requires_grad=True, dtype=np.float64)
+        x.sum(axis=(0, 2)).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_sum_negative_axis(self, rng):
+        x = tensor(rng.normal(size=(2, 3)), requires_grad=True, dtype=np.float64)
+        x.sum(axis=-1).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_scales_gradient(self):
+        x = tensor(np.zeros((2, 5)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 0.1)
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.normal(size=(3, 7))
+        x = tensor(data, dtype=np.float64)
+        assert np.allclose(x.var(axis=1).data, data.var(axis=1))
+
+    def test_max_gradient_splits_ties(self):
+        x = tensor(np.array([1.0, 2.0, 2.0]), requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.0, 0.5, 0.5])
+
+    def test_max_axis_keepdims(self, rng):
+        x = tensor(rng.normal(size=(4, 5)), dtype=np.float64)
+        assert x.max(axis=1, keepdims=True).shape == (4, 1)

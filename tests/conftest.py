@@ -1,0 +1,18 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng64() -> np.random.Generator:
+    """Alias kept for tests that draw float64 samples for grad checks."""
+    return np.random.default_rng(54321)

@@ -1,0 +1,170 @@
+"""Tests for the synthetic multi-task data generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticTaskData,
+    TaskDistribution,
+    batches,
+    generate_task_data,
+    merge_tasks,
+)
+from repro.errors import DataError
+
+
+class TestTaskDistribution:
+    def test_base_task_is_canonical(self):
+        tasks = TaskDistribution(5, seed=0)
+        base = tasks.base_task
+        assert base.task_id == 0
+        assert base.tint == (0.0, 0.0, 0.0)
+        assert base.shift == (0, 0)
+        assert base.orientation_offset == 0.0
+
+    def test_reproducible_from_seed(self):
+        a = TaskDistribution(6, seed=3)
+        b = TaskDistribution(6, seed=3)
+        assert a[2] == b[2]
+
+    def test_different_seeds_differ(self):
+        a = TaskDistribution(6, seed=3)
+        b = TaskDistribution(6, seed=4)
+        assert a[1].color_direction != b[1].color_direction
+
+    def test_shifted_tasks_excludes_base(self):
+        tasks = TaskDistribution(4, seed=0)
+        shifted = tasks.shifted_tasks()
+        assert len(shifted) == 3
+        assert all(t.task_id != 0 for t in shifted)
+
+    def test_color_directions_are_unit(self):
+        tasks = TaskDistribution(8, seed=1)
+        for task in tasks.shifted_tasks():
+            assert np.linalg.norm(task.color_vector()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_shifted_directions_mostly_orthogonal_to_base(self):
+        tasks = TaskDistribution(10, seed=2, max_alignment=0.35)
+        base = np.asarray(tasks.base_task.color_direction)
+        base /= np.linalg.norm(base)
+        for task in tasks.shifted_tasks():
+            alignment = abs(task.color_vector() @ base)
+            assert alignment <= 0.35 + 1e-6
+
+    def test_shift_bounds(self):
+        tasks = TaskDistribution(20, seed=0, max_shift=2)
+        for task in tasks:
+            assert abs(task.shift[0]) <= 2 and abs(task.shift[1]) <= 2
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            TaskDistribution(0)
+        with pytest.raises(DataError):
+            TaskDistribution(3, image_size=4, max_shift=4)
+
+    def test_iteration_and_len(self):
+        tasks = TaskDistribution(4, seed=0)
+        assert len(tasks) == 4
+        assert len(list(tasks)) == 4
+
+
+class TestGenerateTaskData:
+    def test_shapes_and_dtypes(self, rng):
+        tasks = TaskDistribution(3, seed=0)
+        data = generate_task_data(tasks[1], 20, 4, 16, rng)
+        assert data.images.shape == (20, 3, 16, 16)
+        assert data.images.dtype == np.float32
+        assert data.labels.shape == (20,)
+        assert data.labels.dtype == np.int64
+
+    def test_labels_in_range(self, rng):
+        tasks = TaskDistribution(3, seed=0)
+        data = generate_task_data(tasks[0], 100, 5, 16, rng)
+        assert data.labels.min() >= 0 and data.labels.max() < 5
+
+    def test_deterministic_given_rng(self):
+        tasks = TaskDistribution(3, seed=0)
+        a = generate_task_data(tasks[1], 10, 4, 16, np.random.default_rng(7))
+        b = generate_task_data(tasks[1], 10, 4, 16, np.random.default_rng(7))
+        assert np.allclose(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_same_class_differs_across_tasks(self, rng):
+        """The same class looks different under different task styles."""
+        tasks = TaskDistribution(3, seed=0)
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        a = generate_task_data(tasks[1], 50, 2, 16, rng1)
+        b = generate_task_data(tasks[2], 50, 2, 16, rng2)
+        mean_a = a.images[a.labels == 0].mean(axis=0)
+        mean_b = b.images[b.labels == 0].mean(axis=0)
+        assert not np.allclose(mean_a, mean_b, atol=0.1)
+
+    def test_tint_identifies_task(self, rng):
+        """Mean channel values differ across tasks (the meta signal)."""
+        tasks = TaskDistribution(4, seed=0)
+        means = []
+        for task in tasks.shifted_tasks():
+            data = generate_task_data(task, 50, 4, 16, rng)
+            means.append(data.images.mean(axis=(0, 2, 3)))
+        gaps = [np.linalg.norm(means[i] - means[j]) for i in range(3) for j in range(i)]
+        assert min(gaps) > 0.05
+
+    def test_validation(self, rng):
+        tasks = TaskDistribution(2, seed=0)
+        with pytest.raises(DataError):
+            generate_task_data(tasks[0], 0, 4, 16, rng)
+        with pytest.raises(DataError):
+            generate_task_data(tasks[0], 10, 1, 16, rng)
+
+    def test_split(self, rng):
+        tasks = TaskDistribution(2, seed=0)
+        data = generate_task_data(tasks[0], 20, 4, 16, rng)
+        head, tail = data.split(5)
+        assert len(head) == 5 and len(tail) == 15
+        with pytest.raises(DataError):
+            data.split(20)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            SyntheticTaskData(0, np.zeros((3, 3, 4, 4), np.float32), np.zeros(2, np.int64))
+
+
+class TestMergeAndBatches:
+    def test_merge_tasks(self, rng):
+        tasks = TaskDistribution(3, seed=0)
+        sets = [generate_task_data(t, 10, 4, 16, rng) for t in tasks]
+        images, labels, task_ids = merge_tasks(sets)
+        assert images.shape[0] == 30
+        assert set(np.unique(task_ids)) == {0, 1, 2}
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(DataError):
+            merge_tasks([])
+
+    def test_batches_cover_everything(self, rng):
+        x = np.arange(25).reshape(25, 1).astype(np.float32)
+        y = np.arange(25)
+        seen = []
+        for bx, by in batches(x, y, 4):
+            assert bx.shape[0] == by.shape[0]
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(25))
+
+    def test_batches_shuffles_with_rng(self, rng):
+        x = np.arange(100).reshape(100, 1).astype(np.float32)
+        y = np.arange(100)
+        first = next(iter(batches(x, y, 10, rng)))[1]
+        assert not np.array_equal(first, np.arange(10))
+
+    def test_drop_last(self):
+        x = np.zeros((10, 1), np.float32)
+        y = np.zeros(10)
+        chunks = list(batches(x, y, 4, drop_last=True))
+        assert all(c[0].shape[0] == 4 for c in chunks)
+        assert len(chunks) == 2
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            list(batches(np.zeros((4, 1)), np.zeros(4), 0))
+        with pytest.raises(DataError):
+            list(batches(np.zeros((4, 1)), np.zeros(5), 2))

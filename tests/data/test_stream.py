@@ -1,0 +1,83 @@
+"""Tests for the continual task stream."""
+
+import numpy as np
+import pytest
+
+from repro.data import TaskDistribution, TaskStream, interpolate_tasks
+from repro.errors import DataError
+
+
+@pytest.fixture
+def tasks():
+    return TaskDistribution(5, seed=0)
+
+
+class TestInterpolateTasks:
+    def test_endpoints(self, tasks):
+        a, b = tasks[1], tasks[2]
+        start = interpolate_tasks(a, b, 0.0, task_id=99)
+        end = interpolate_tasks(a, b, 1.0, task_id=99)
+        assert np.allclose(start.color_vector(), a.color_vector(), atol=1e-6)
+        assert np.allclose(end.color_vector(), b.color_vector(), atol=1e-6)
+        assert start.shift == a.shift
+        assert end.shift == b.shift
+
+    def test_midpoint_direction_unit_norm(self, tasks):
+        mid = interpolate_tasks(tasks[1], tasks[2], 0.5, task_id=99)
+        assert np.linalg.norm(mid.color_vector()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_tint_linear(self, tasks):
+        a, b = tasks[1], tasks[2]
+        mid = interpolate_tasks(a, b, 0.5, task_id=99)
+        expected = 0.5 * (a.tint_vector() + b.tint_vector())
+        assert np.allclose(mid.tint_vector(), expected, atol=1e-6)
+
+    def test_identical_anchors(self, tasks):
+        same = interpolate_tasks(tasks[1], tasks[1], 0.5, task_id=99)
+        assert np.allclose(same.color_vector(), tasks[1].color_vector(), atol=1e-6)
+
+    def test_weight_validated(self, tasks):
+        with pytest.raises(DataError):
+            interpolate_tasks(tasks[1], tasks[2], 1.5, task_id=99)
+
+
+class TestTaskStream:
+    def test_yields_requested_count(self, tasks, rng):
+        stream = TaskStream(tasks, num_classes=4, samples_per_step=8, rng=rng)
+        steps = list(stream.steps(12))
+        assert len(steps) == 12
+        assert [s.step for s in steps] == list(range(12))
+
+    def test_step_data_shapes(self, tasks, rng):
+        stream = TaskStream(tasks, num_classes=4, samples_per_step=8, rng=rng)
+        step = next(iter(stream.steps(1)))
+        assert step.data.images.shape == (8, 3, 16, 16)
+        assert step.data.labels.shape == (8,)
+
+    def test_styles_drift_within_segment(self, tasks, rng):
+        stream = TaskStream(
+            tasks, num_classes=4, samples_per_step=4, segment_length=6, rng=rng
+        )
+        steps = list(stream.steps(6))
+        directions = [s.task.color_vector() for s in steps]
+        # consecutive steps move gradually (small angle), first to last more
+        step_angle = np.arccos(np.clip(directions[0] @ directions[1], -1, 1))
+        total_angle = np.arccos(np.clip(directions[0] @ directions[-1], -1, 1))
+        assert total_angle >= step_angle - 1e-9
+
+    def test_reproducible_given_rng(self, tasks):
+        a = TaskStream(tasks, 4, 4, rng=np.random.default_rng(3))
+        b = TaskStream(tasks, 4, 4, rng=np.random.default_rng(3))
+        sa = list(a.steps(5))
+        sb = list(b.steps(5))
+        for x, y in zip(sa, sb):
+            assert np.allclose(x.data.images, y.data.images)
+
+    def test_validation(self, tasks, rng):
+        with pytest.raises(DataError):
+            TaskStream(tasks, 4, 4, segment_length=0, rng=rng)
+        with pytest.raises(DataError):
+            TaskStream(TaskDistribution(2, seed=0), 4, 4, rng=rng)
+        stream = TaskStream(tasks, 4, 4, rng=rng)
+        with pytest.raises(DataError):
+            list(stream.steps(0))

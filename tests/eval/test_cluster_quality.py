@@ -1,0 +1,81 @@
+"""Tests for embedding cluster-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    class_centroid_separation,
+    intra_inter_ratio,
+    silhouette_score,
+)
+
+
+def blobs(rng, gap: float, n=20, dim=4):
+    a = rng.normal(size=(n, dim)) + gap
+    b = rng.normal(size=(n, dim)) - gap
+    x = np.concatenate([a, b])
+    y = np.concatenate([np.zeros(n, np.int64), np.ones(n, np.int64)])
+    return x, y
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self, rng):
+        x, y = blobs(rng, gap=20.0)
+        assert silhouette_score(x, y) > 0.9
+
+    def test_overlapping_near_zero(self, rng):
+        x, y = blobs(rng, gap=0.0)
+        assert abs(silhouette_score(x, y)) < 0.2
+
+    def test_better_separation_higher_score(self, rng):
+        x1, y1 = blobs(rng, gap=1.0)
+        x2, y2 = blobs(rng, gap=5.0)
+        assert silhouette_score(x2, y2) > silhouette_score(x1, y1)
+
+    def test_range(self, rng):
+        x, y = blobs(rng, gap=2.0)
+        assert -1.0 <= silhouette_score(x, y) <= 1.0
+
+    def test_singleton_cluster_scored_zero(self, rng):
+        x = rng.normal(size=(5, 3))
+        y = np.array([0, 0, 0, 0, 1])
+        score = silhouette_score(x, y)
+        assert np.isfinite(score)
+
+    def test_validation(self, rng):
+        with pytest.raises(EvaluationError):
+            silhouette_score(rng.normal(size=(5, 3)), np.zeros(5))
+        with pytest.raises(EvaluationError):
+            silhouette_score(rng.normal(size=(5, 3, 2)), np.zeros(5))
+
+
+class TestIntraInterRatio:
+    def test_tight_clusters_small_ratio(self, rng):
+        x, y = blobs(rng, gap=20.0)
+        assert intra_inter_ratio(x, y) < 0.2
+
+    def test_overlap_near_one(self, rng):
+        x, y = blobs(rng, gap=0.0)
+        assert 0.7 < intra_inter_ratio(x, y) < 1.3
+
+    def test_monotone_in_separation(self, rng):
+        x1, y1 = blobs(rng, gap=1.0)
+        x2, y2 = blobs(rng, gap=5.0)
+        assert intra_inter_ratio(x2, y2) < intra_inter_ratio(x1, y1)
+
+
+class TestCentroidSeparation:
+    def test_grows_with_gap(self, rng):
+        x1, y1 = blobs(rng, gap=1.0)
+        x2, y2 = blobs(rng, gap=5.0)
+        assert class_centroid_separation(x2, y2) > class_centroid_separation(x1, y1)
+
+    def test_three_classes_min_pair(self, rng):
+        x = np.concatenate(
+            [rng.normal(size=(10, 2)), rng.normal(size=(10, 2)) + 10,
+             rng.normal(size=(10, 2)) + 10.5]
+        )
+        y = np.repeat([0, 1, 2], 10)
+        # classes 1 and 2 are the closest pair
+        assert class_centroid_separation(x, y) < 3.0

@@ -1,0 +1,86 @@
+"""Tests for the KNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import KNNClassifier
+
+
+def two_blobs(rng, n=40, dim=8, gap=6.0):
+    a = rng.normal(size=(n, dim)) + gap
+    b = rng.normal(size=(n, dim)) - gap
+    x = np.concatenate([a, b])
+    y = np.concatenate([np.zeros(n, np.int64), np.ones(n, np.int64)])
+    return x, y
+
+
+class TestKNN:
+    def test_separable_blobs_perfect(self, rng):
+        x, y = two_blobs(rng)
+        knn = KNNClassifier(metric="euclidean").fit(x, y)
+        assert knn.score(x, y, k=5) == 1.0
+
+    def test_cosine_metric(self, rng):
+        # Classes separated by direction, not magnitude.
+        a = np.abs(rng.normal(size=(30, 4))) * [1, 1, 0.01, 0.01]
+        b = np.abs(rng.normal(size=(30, 4))) * [0.01, 0.01, 1, 1]
+        x = np.concatenate([a, b])
+        y = np.concatenate([np.zeros(30, np.int64), np.ones(30, np.int64)])
+        knn = KNNClassifier(metric="cosine").fit(x, y)
+        assert knn.score(x, y, k=5) == 1.0
+
+    def test_k_larger_than_support_clamped(self, rng):
+        x, y = two_blobs(rng, n=3)
+        knn = KNNClassifier().fit(x, y)
+        predictions = knn.predict(x, k=100)
+        assert predictions.shape == (6,)
+
+    def test_k1_nearest_neighbour_on_train_is_self(self, rng):
+        x, y = two_blobs(rng, n=10)
+        knn = KNNClassifier(metric="euclidean").fit(x, y)
+        assert np.array_equal(knn.predict(x, k=1), y)
+
+    def test_majority_vote(self):
+        # 3 supports of class 0 near origin, 2 of class 1 slightly closer.
+        support = np.array([[1.0], [1.1], [1.2], [0.8], [0.9]])
+        labels = np.array([0, 0, 0, 1, 1])
+        knn = KNNClassifier(metric="euclidean").fit(support, labels)
+        assert knn.predict(np.array([[1.0]]), k=5)[0] == 0
+
+    def test_tie_broken_by_distance(self):
+        support = np.array([[0.0], [0.2], [10.0], [10.2]])
+        labels = np.array([0, 0, 1, 1])
+        knn = KNNClassifier(metric="euclidean").fit(support, labels)
+        # k=4: two votes each; class 0 is much closer.
+        assert knn.predict(np.array([[0.1]]), k=4)[0] == 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(EvaluationError):
+            KNNClassifier().predict(np.zeros((1, 2)), k=1)
+
+    def test_invalid_metric(self):
+        with pytest.raises(EvaluationError):
+            KNNClassifier(metric="manhattan")
+
+    def test_invalid_k(self, rng):
+        x, y = two_blobs(rng, n=5)
+        knn = KNNClassifier().fit(x, y)
+        with pytest.raises(EvaluationError):
+            knn.predict(x, k=0)
+
+    def test_fit_validation(self, rng):
+        with pytest.raises(EvaluationError):
+            KNNClassifier().fit(np.zeros((3, 2, 2)), np.zeros(3))
+        with pytest.raises(EvaluationError):
+            KNNClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_noisy_clusters_degrade_with_large_k(self, rng):
+        """With small class counts, K > class size forces errors —
+        the effect behind the K=5 vs K=10 columns of Table I."""
+        x = rng.normal(size=(12, 4))
+        y = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3])
+        knn = KNNClassifier(metric="euclidean").fit(x, y)
+        acc_k3 = knn.score(x, y, k=3)
+        acc_k12 = knn.score(x, y, k=12)
+        assert acc_k12 <= acc_k3

@@ -1,0 +1,107 @@
+"""Tests for metrics, the t-test, and embedding extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    accuracy,
+    confusion_matrix,
+    extract_embeddings,
+    two_sided_t_test,
+)
+from repro.models import resnet_small
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(EvaluationError):
+            accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(EvaluationError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(
+            predictions=np.array([0, 1, 1, 2]),
+            labels=np.array([0, 1, 2, 2]),
+            num_classes=3,
+        )
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_confusion_matrix_diagonal_equals_accuracy(self, rng):
+        predictions = rng.integers(0, 4, 50)
+        labels = rng.integers(0, 4, 50)
+        matrix = confusion_matrix(predictions, labels, 4)
+        assert np.trace(matrix) / 50 == pytest.approx(accuracy(predictions, labels))
+
+
+class TestTTest:
+    def test_clear_difference_significant(self):
+        result = two_sided_t_test([0.9, 0.91, 0.92], [0.5, 0.51, 0.52])
+        assert result.significant
+        assert result.p_value < 0.05
+        assert result.statistic > 0
+
+    def test_identical_samples_not_significant(self):
+        result = two_sided_t_test([0.5, 0.6, 0.7], [0.5, 0.6, 0.7])
+        assert not result.significant
+        assert result.p_value == 1.0
+
+    def test_noisy_overlap_not_significant(self, rng):
+        a = [0.5, 0.9, 0.4]
+        b = [0.6, 0.5, 0.8]
+        result = two_sided_t_test(a, b)
+        assert not result.significant
+
+    def test_constant_positive_difference_maximally_significant(self):
+        result = two_sided_t_test([0.9, 0.8, 0.7], [0.5, 0.4, 0.3])
+        assert result.significant
+        assert result.p_value == 0.0
+        assert result.statistic > 0
+
+    def test_constant_negative_difference_significant_but_negative(self):
+        result = two_sided_t_test([0.5, 0.4], [0.9, 0.8])
+        assert result.significant
+        assert result.statistic < 0
+
+    def test_unpaired_welch(self):
+        result = two_sided_t_test(
+            [0.9, 0.91, 0.92, 0.93], [0.5, 0.52], paired=False
+        )
+        assert result.significant
+
+    def test_paired_requires_equal_counts(self):
+        with pytest.raises(EvaluationError):
+            two_sided_t_test([0.9, 0.91], [0.5], paired=True)
+
+    def test_minimum_samples(self):
+        with pytest.raises(EvaluationError):
+            two_sided_t_test([0.9], [0.5])
+
+
+class TestExtractEmbeddings:
+    def test_shape_and_batching(self, rng):
+        model = resnet_small(4, rng)
+        images = rng.normal(size=(10, 3, 16, 16)).astype(np.float32)
+        emb = extract_embeddings(model, images, batch_size=3)
+        assert emb.shape == (10, model.embedding_dim)
+
+    def test_batch_size_does_not_change_result(self, rng):
+        model = resnet_small(4, rng)
+        images = rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
+        a = extract_embeddings(model, images, batch_size=2)
+        b = extract_embeddings(model, images, batch_size=8)
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_requires_features_method(self, rng):
+        from repro.nn import Linear
+
+        with pytest.raises(EvaluationError):
+            extract_embeddings(Linear(3, 3, rng=rng), np.zeros((2, 3), np.float32))

@@ -1,0 +1,131 @@
+"""Tests for the Table I protocol plumbing (fast pieces only)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.protocol import (
+    METHOD_LABELS,
+    METHODS,
+    Table1Config,
+    Table1Row,
+    build_adapted_model,
+    build_backbone,
+    format_table1,
+)
+from repro.peft import MetaLoRAModel, iter_adapters
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = Table1Config()
+        assert config.backbone == "resnet"
+        assert set(config.methods) == set(METHODS)
+
+    def test_quick_is_smaller(self):
+        config = Table1Config()
+        quick = config.quick()
+        assert quick.num_tasks < config.num_tasks
+        assert quick.pretrain_samples < config.pretrain_samples
+
+    def test_invalid_backbone(self):
+        with pytest.raises(ConfigError):
+            Table1Config(backbone="vit")
+
+    def test_invalid_method(self):
+        with pytest.raises(ConfigError):
+            Table1Config(methods=("lora", "dora"))
+
+    def test_needs_shifted_tasks(self):
+        with pytest.raises(ConfigError):
+            Table1Config(num_tasks=1)
+
+
+class TestBuilders:
+    def test_build_backbone_resnet(self, rng):
+        model = build_backbone(Table1Config(), rng)
+        assert type(model).__name__ == "ResNet"
+
+    def test_build_backbone_mixer(self, rng):
+        model = build_backbone(Table1Config(backbone="mixer"), rng)
+        assert type(model).__name__ == "MLPMixer"
+
+    def _pretrained_state(self, config, rng):
+        model = build_backbone(config, rng)
+        return model.state_dict()
+
+    def test_original_is_frozen_copy(self, rng):
+        config = Table1Config()
+        state = self._pretrained_state(config, rng)
+        model = build_adapted_model("original", config, state, rng)
+        assert model.parameter_count(trainable_only=True) == 0
+
+    @pytest.mark.parametrize("method", ["lora", "multi_lora"])
+    def test_static_methods_have_trainable_adapters(self, rng, method):
+        config = Table1Config()
+        state = self._pretrained_state(config, rng)
+        model = build_adapted_model(method, config, state, rng)
+        assert model.parameter_count(trainable_only=True) > 0
+        assert list(iter_adapters(model))
+
+    @pytest.mark.parametrize("method", ["meta_lora_cp", "meta_lora_tr"])
+    def test_meta_methods_return_meta_model(self, rng, method):
+        config = Table1Config()
+        state = self._pretrained_state(config, rng)
+        model = build_adapted_model(method, config, state, rng)
+        assert isinstance(model, MetaLoRAModel)
+
+    def test_meta_on_mixer_requires_extractor_state(self, rng):
+        """Sec. III-B.1: the feature extractor is a pretrained ResNet, so
+        non-ResNet backbones must supply its weights explicitly."""
+        from repro.eval.protocol import Table1Config
+
+        config = Table1Config(backbone="mixer")
+        state = build_backbone(config, rng).state_dict()
+        with pytest.raises(ConfigError, match="extractor_state"):
+            build_adapted_model("meta_lora_tr", config, state, rng)
+
+    def test_meta_on_mixer_with_resnet_extractor(self, rng):
+        from dataclasses import replace
+
+        from repro.eval.protocol import Table1Config
+
+        config = Table1Config(backbone="mixer")
+        state = build_backbone(config, rng).state_dict()
+        resnet_state = build_backbone(
+            replace(config, backbone="resnet"), rng
+        ).state_dict()
+        model = build_adapted_model(
+            "meta_lora_tr", config, state, rng, extractor_state=resnet_state
+        )
+        assert isinstance(model, MetaLoRAModel)
+        assert type(model.extractor.backbone).__name__ == "ResNet"
+
+    def test_unknown_method_raises(self, rng):
+        config = Table1Config()
+        state = self._pretrained_state(config, rng)
+        with pytest.raises(ConfigError):
+            build_adapted_model("adapter_fusion", config, state, rng)
+
+    def test_adapted_copies_share_pretrained_weights(self, rng):
+        config = Table1Config()
+        state = self._pretrained_state(config, rng)
+        a = build_adapted_model("lora", config, state, rng)
+        b = build_adapted_model("multi_lora", config, state, rng)
+        wa = dict(a.named_parameters())
+        wb = dict(b.named_parameters())
+        key = next(k for k in wa if k.endswith("base.weight"))
+        assert np.allclose(wa[key].data, wb[key].data)
+
+
+class TestFormatting:
+    def test_format_table_contains_all_rows(self):
+        config = Table1Config(ks=(5, 10))
+        rows = {
+            m: Table1Row(method=m, accuracy_by_k={5: 0.5, 10: 0.6})
+            for m in config.methods
+        }
+        text = format_table1([rows], config)
+        for label in METHOD_LABELS.values():
+            assert label in text
+        assert "50.00%" in text and "60.00%" in text

@@ -1,0 +1,74 @@
+"""Tests for experiment-result persistence and rendering."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.protocol import METHOD_LABELS, Table1Row
+from repro.eval.reporting import (
+    Table1Record,
+    load_record,
+    record_from_rows,
+    render_markdown,
+    save_record,
+)
+
+
+def rows(acc5: float, acc10: float) -> dict:
+    return {
+        "lora": Table1Row("lora", {5: acc5, 10: acc10}),
+        "meta_lora_tr": Table1Row("meta_lora_tr", {5: acc5 + 0.05, 10: acc10 + 0.05}),
+    }
+
+
+class TestRecord:
+    def test_aggregates_means_over_seeds(self):
+        record = record_from_rows(
+            "resnet", [0, 1], [rows(0.8, 0.7), rows(0.6, 0.5)], ks=(5, 10)
+        )
+        assert record.accuracy["lora"]["5"] == pytest.approx(0.7)
+        assert record.accuracy["lora"]["10"] == pytest.approx(0.6)
+        assert record.accuracy["meta_lora_tr"]["5"] == pytest.approx(0.75)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(EvaluationError):
+            record_from_rows("resnet", [], [], ks=(5,))
+
+    def test_json_roundtrip(self):
+        record = record_from_rows("mixer", [0], [rows(0.8, 0.7)], ks=(5, 10))
+        clone = Table1Record.from_json(record.to_json())
+        assert clone == record
+
+    def test_save_and_load(self, tmp_path):
+        record = record_from_rows("resnet", [0], [rows(0.8, 0.7)], ks=(5, 10))
+        path = save_record(record, tmp_path)
+        assert path.endswith("table1_resnet.json")
+        assert load_record(path) == record
+
+    def test_per_seed_values_stored(self):
+        record = record_from_rows(
+            "resnet", [0, 1], [rows(0.8, 0.7), rows(0.6, 0.5)], ks=(5, 10)
+        )
+        assert record.per_seed["lora"]["5"] == [0.8, 0.6]
+
+    def test_significance_computed_for_meta_methods(self):
+        record = record_from_rows(
+            "resnet",
+            [0, 1, 2],
+            [rows(0.8, 0.7), rows(0.82, 0.72), rows(0.78, 0.68)],
+            ks=(5, 10),
+        )
+        assert "meta_lora_tr" in record.significance
+        assert "lora" not in record.significance
+        # meta is +0.05 over lora at every seed: constant positive diff
+        assert record.significance["meta_lora_tr"]["5"] < 0.05
+
+    def test_no_significance_with_one_seed(self):
+        record = record_from_rows("resnet", [0], [rows(0.8, 0.7)], ks=(5,))
+        assert record.significance == {}
+
+    def test_render_markdown(self):
+        record = record_from_rows("resnet", [0], [rows(0.8, 0.7)], ks=(5, 10))
+        text = render_markdown(record, METHOD_LABELS)
+        assert "| Method | K=5 | K=10 |" in text
+        assert "| LoRA | 80.00 | 70.00 |" in text
+        assert "Meta-LoRA TR" in text

@@ -1,0 +1,114 @@
+"""Tests for retrieval metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import mean_average_precision, recall_at_k
+
+
+def separated(rng, n=10, dim=4, gap=10.0):
+    support = np.concatenate(
+        [rng.normal(size=(n, dim)) + gap, rng.normal(size=(n, dim)) - gap]
+    )
+    support_labels = np.concatenate([np.zeros(n, np.int64), np.ones(n, np.int64)])
+    queries = np.concatenate(
+        [rng.normal(size=(4, dim)) + gap, rng.normal(size=(4, dim)) - gap]
+    )
+    query_labels = np.concatenate([np.zeros(4, np.int64), np.ones(4, np.int64)])
+    return queries, query_labels, support, support_labels
+
+
+class TestRecallAtK:
+    def test_perfect_on_separated_blobs(self, rng):
+        q, ql, s, sl = separated(rng)
+        assert recall_at_k(q, ql, s, sl, k=1) == 1.0
+
+    def test_k_one_harder_than_k_many(self, rng):
+        q, ql, s, sl = separated(rng, gap=0.3)
+        assert recall_at_k(q, ql, s, sl, k=10) >= recall_at_k(q, ql, s, sl, k=1)
+
+    def test_k_clamped_to_support(self, rng):
+        q, ql, s, sl = separated(rng, n=3)
+        assert 0.0 <= recall_at_k(q, ql, s, sl, k=100) <= 1.0
+
+    def test_validation(self, rng):
+        q, ql, s, sl = separated(rng)
+        with pytest.raises(EvaluationError):
+            recall_at_k(q, ql, s, sl, k=0)
+        with pytest.raises(EvaluationError):
+            recall_at_k(q[:, :2], ql, s, sl, k=1)
+
+
+class TestMeanAveragePrecision:
+    def test_perfect_ranking(self, rng):
+        q, ql, s, sl = separated(rng)
+        assert mean_average_precision(q, ql, s, sl) == pytest.approx(1.0)
+
+    def test_random_embeddings_near_class_prior(self, rng):
+        support = rng.normal(size=(100, 8))
+        support_labels = rng.integers(0, 2, 100)
+        queries = rng.normal(size=(40, 8))
+        query_labels = rng.integers(0, 2, 40)
+        score = mean_average_precision(queries, query_labels, support, support_labels)
+        assert 0.3 < score < 0.7
+
+    def test_better_embeddings_higher_map(self, rng):
+        good = separated(rng, gap=10.0)
+        bad = separated(rng, gap=0.1)
+        assert mean_average_precision(*good) > mean_average_precision(*bad)
+
+    def test_no_relevant_items_raises(self, rng):
+        support = rng.normal(size=(5, 3))
+        support_labels = np.zeros(5, np.int64)
+        queries = rng.normal(size=(3, 3))
+        query_labels = np.ones(3, np.int64)
+        with pytest.raises(EvaluationError):
+            mean_average_precision(queries, query_labels, support, support_labels)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        from repro.train import EarlyStopping
+
+        stopper = EarlyStopping(patience=2, mode="max")
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.6)
+        assert not stopper.update(0.59)
+        assert stopper.update(0.58)
+        assert stopper.should_stop
+
+    def test_improvement_resets(self):
+        from repro.train import EarlyStopping
+
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.update(0.5)
+        stopper.update(0.4)
+        stopper.update(0.6)  # new best resets the counter
+        assert stopper.stale_rounds == 0
+
+    def test_min_mode(self):
+        from repro.train import EarlyStopping
+
+        stopper = EarlyStopping(patience=1, mode="min")
+        assert not stopper.update(1.0)
+        assert not stopper.update(0.5)
+        assert stopper.update(0.6)
+
+    def test_min_delta(self):
+        from repro.train import EarlyStopping
+
+        stopper = EarlyStopping(patience=1, mode="max", min_delta=0.1)
+        assert not stopper.update(0.5)
+        assert stopper.update(0.55)  # below min_delta: counts as stale
+
+    def test_validation(self):
+        from repro.errors import TrainingError
+        from repro.train import EarlyStopping
+
+        with pytest.raises(TrainingError):
+            EarlyStopping(patience=0)
+        with pytest.raises(TrainingError):
+            EarlyStopping(patience=1, mode="median")
+        with pytest.raises(TrainingError):
+            EarlyStopping(patience=1, min_delta=-1.0)

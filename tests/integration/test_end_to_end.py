@@ -1,0 +1,89 @@
+"""Integration tests: the full pipeline at miniature scale.
+
+These exercise pretraining, adapter injection, episodic adaptation and the
+KNN protocol end to end — slow-ish (tens of seconds total), but they are
+the tests that catch cross-module breakage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import Table1Config, pretrain_backbone, run_table1
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    config = Table1Config().quick()
+    # Trim further: 2 methods only, tiny eval splits.
+    from dataclasses import replace
+
+    return replace(
+        config,
+        methods=("original", "meta_lora_tr"),
+        adapt_episodes=10,
+        support_per_task=16,
+        query_per_task=16,
+    )
+
+
+class TestPretraining:
+    def test_pretraining_learns_base_task(self):
+        config = Table1Config().quick()
+        rng = new_rng(0)
+        backbone, state = pretrain_backbone(config, rng)
+        assert state  # non-empty state dict
+        assert backbone.parameter_count() > 0
+
+    def test_pretrained_state_loadable_into_fresh_model(self):
+        from repro.eval.protocol import build_backbone
+
+        config = Table1Config().quick()
+        __, state = pretrain_backbone(config, new_rng(0))
+        fresh = build_backbone(config, new_rng(1))
+        fresh.load_state_dict(state)  # must not raise
+
+
+class TestFullProtocol:
+    def test_run_table1_produces_all_methods_and_ks(self, quick_config):
+        rows = run_table1(quick_config, seed=0)
+        assert set(rows) == set(quick_config.methods)
+        for row in rows.values():
+            assert set(row.accuracy_by_k) == set(quick_config.ks)
+            for acc in row.accuracy_by_k.values():
+                assert 0.0 <= acc <= 1.0
+
+    def test_accuracies_above_chance(self, quick_config):
+        rows = run_table1(quick_config, seed=0)
+        chance = 1.0 / quick_config.num_classes
+        for method, row in rows.items():
+            assert row.accuracy_by_k[5] > chance, method
+
+    def test_deterministic_given_seed(self, quick_config):
+        from dataclasses import replace
+
+        tiny = replace(
+            quick_config,
+            methods=("original",),
+            pretrain_samples=64,
+            pretrain_epochs=1,
+        )
+        a = run_table1(tiny, seed=3)
+        b = run_table1(tiny, seed=3)
+        assert a["original"].accuracy_by_k == b["original"].accuracy_by_k
+
+
+class TestMixerPipeline:
+    def test_mixer_backbone_runs(self):
+        from dataclasses import replace
+
+        config = replace(
+            Table1Config().quick(),
+            backbone="mixer",
+            methods=("lora", "meta_lora_cp"),
+            adapt_episodes=5,
+            support_per_task=16,
+            query_per_task=16,
+        )
+        rows = run_table1(config, seed=0)
+        assert set(rows) == {"lora", "meta_lora_cp"}

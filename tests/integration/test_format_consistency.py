@@ -1,0 +1,106 @@
+"""Cross-subsystem consistency: the PEFT adapters' updates are exactly the
+tensor-network formats from repro.tensornet.
+
+These tests tie the two halves of the library together: building the
+adapter's ΔW through the generic format classes must give the same tensor
+the adapter computes internally — i.e. Eqs. 5-7 really are CP/TR tensors.
+"""
+
+import numpy as np
+
+from repro.nn import Conv2d, Linear
+from repro.peft import (
+    MetaLoRACPLinear,
+    MetaLoRATRConv,
+    MetaLoRATRLinear,
+    TTLoRALinear,
+)
+from repro.tensornet import (
+    CPTensor,
+    TRTensor,
+    TTTensor,
+    cp_to_tensor,
+    tr_to_tensor,
+    tt_to_tensor,
+)
+
+
+class TestCPConsistency:
+    def test_meta_cp_delta_is_a_cp_tensor(self, rng):
+        """Eq. 6 == a 2-mode CP tensor with λ = the seed."""
+        adapter = MetaLoRACPLinear(Linear(6, 5, rng=rng), rank=3, rng=rng)
+        adapter.factor_b.data[...] = rng.normal(size=adapter.factor_b.shape).astype(
+            np.float32
+        )
+        seed = rng.normal(size=3)
+        cp = CPTensor(
+            lam=seed,
+            factors=[adapter.factor_a.data, adapter.factor_b.data.T],
+        )
+        via_format = cp_to_tensor(cp) * adapter.scaling
+        via_adapter = np.einsum(
+            "ir,ro,r->io", adapter.factor_a.data, adapter.factor_b.data, seed
+        ) * adapter.scaling
+        assert np.allclose(via_format, via_adapter, atol=1e-6)
+
+
+class TestTRConsistency:
+    def test_meta_tr_linear_delta_is_a_tr_tensor(self, rng):
+        """Eq. 7 == a ring of [A, B, C-as-core] with a dummy mode on C."""
+        adapter = MetaLoRATRLinear(Linear(6, 5, rng=rng), rank=2, rng=rng)
+        adapter.core_b.data[...] = rng.normal(size=adapter.core_b.shape).astype(
+            np.float32
+        )
+        seed = rng.normal(size=(2, 2))
+        # C[r2, r0] viewed as a TR core of shape (r2, 1, r0).
+        ring = TRTensor(
+            cores=[
+                adapter.core_a.data,  # (r0, I, r1)
+                adapter.core_b.data,  # (r1, O, r2)
+                seed.reshape(2, 1, 2),  # (r2, 1, r0)
+            ]
+        )
+        via_format = tr_to_tensor(ring)[:, :, 0] * adapter.scaling
+        via_adapter = np.einsum(
+            "pir,roq,qp->io", adapter.core_a.data, adapter.core_b.data, seed
+        ) * adapter.scaling
+        assert np.allclose(via_format, via_adapter, atol=1e-6)
+
+    def test_meta_tr_conv_delta_is_a_tr_tensor(self, rng):
+        adapter = MetaLoRATRConv(Conv2d(3, 4, 3, rng=rng), rank=2, rng=rng)
+        adapter.core_b.data[...] = rng.normal(size=adapter.core_b.shape).astype(
+            np.float32
+        )
+        seed = rng.normal(size=(2, 2))
+        adapter.static_seed.data[...] = seed.astype(np.float32)
+        k, c_in = 3, 3
+        spatial_core = adapter.core_a.data.reshape(2, k * k * c_in, 2)
+        ring = TRTensor(
+            cores=[spatial_core, adapter.core_b.data,
+                   adapter.static_seed.data.reshape(2, 1, 2)]
+        )
+        via_format = (
+            tr_to_tensor(ring)[:, :, 0].reshape(k, k, c_in, 4) * adapter.scaling
+        )
+        assert np.allclose(via_format, adapter.delta_weight(), atol=1e-5)
+
+
+class TestTTConsistency:
+    def test_tt_lora_delta_is_a_tt_tensor(self, rng):
+        adapter = TTLoRALinear(Linear(12, 10, rng=rng), rank=2, rng=rng)
+        adapter.core4.data[...] = rng.normal(size=adapter.core4.shape).astype(
+            np.float32
+        )
+        tt = TTTensor(
+            cores=[
+                adapter.core1.data,
+                adapter.core2.data,
+                adapter.core3.data,
+                adapter.core4.data,
+            ]
+        )
+        grid = tt_to_tensor(tt)  # (I1, I2, O1, O2)
+        i1, i2 = adapter.in_grid
+        o1, o2 = adapter.out_grid
+        via_format = grid.reshape(i1 * i2, o1 * o2) * adapter.scaling
+        assert np.allclose(via_format, adapter.delta_weight(), atol=1e-6)

@@ -1,0 +1,152 @@
+"""Tests for ResNet, MLP-Mixer and the feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ShapeError
+from repro.models import (
+    BasicBlock,
+    FeatureExtractor,
+    MLPMixer,
+    ResNet,
+    mixer_small,
+    resnet_small,
+)
+
+
+def batch(rng, n=4, size=16):
+    return Tensor(rng.normal(size=(n, 3, size, size)).astype(np.float32))
+
+
+class TestResNet:
+    def test_forward_shape(self, rng):
+        model = resnet_small(7, rng)
+        assert model(batch(rng)).shape == (4, 7)
+
+    def test_features_shape(self, rng):
+        model = resnet_small(7, rng)
+        feats = model.features(batch(rng))
+        assert feats.shape == (4, model.embedding_dim)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = resnet_small(3, rng)
+        model(batch(rng)).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_basic_block_identity_shortcut(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        assert block.shortcut is None
+
+    def test_basic_block_projection_shortcut(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        assert block.shortcut is not None
+        x = Tensor(rng.normal(size=(2, 8, 8, 8)).astype(np.float32))
+        assert block(x).shape == (2, 16, 4, 4)
+
+    def test_configurable_stages(self, rng):
+        model = ResNet(stage_channels=(4, 8), blocks_per_stage=2, num_classes=2, rng=rng)
+        assert model.embedding_dim == 8
+        assert model(batch(rng, size=8)).shape == (4, 2)
+
+    def test_downsampling_happens_between_stages(self, rng):
+        model = resnet_small(2, rng)
+        # 16x16 input, two stage transitions with stride 2 -> 4x4 spatial
+        out = model.stem(batch(rng))
+        assert out.shape[2] == 16
+
+
+class TestMixer:
+    def test_forward_shape(self, rng):
+        model = mixer_small(5, rng)
+        assert model(batch(rng)).shape == (4, 5)
+
+    def test_features_shape(self, rng):
+        model = mixer_small(5, rng)
+        assert model.features(batch(rng)).shape == (4, model.embedding_dim)
+
+    def test_patchify_shape(self, rng):
+        model = MLPMixer(image_size=16, patch_size=4, rng=rng)
+        tokens = model._patchify(batch(rng))
+        assert tokens.shape == (4, 16, 3 * 16)
+
+    def test_patchify_reassembles_content(self, rng):
+        model = MLPMixer(image_size=8, patch_size=4, rng=rng)
+        x = np.arange(4 * 3 * 8 * 8, dtype=np.float32).reshape(4, 3, 8, 8)
+        tokens = model._patchify(Tensor(x)).data
+        # first patch of first image is the top-left 4x4 of every channel
+        expected = x[0, :, :4, :4].reshape(-1)
+        assert np.allclose(tokens[0, 0], expected)
+
+    def test_rejects_indivisible_patch_size(self, rng):
+        with pytest.raises(ShapeError):
+            MLPMixer(image_size=10, patch_size=4, rng=rng)
+
+    def test_rejects_wrong_input_size(self, rng):
+        model = mixer_small(3, rng, image_size=16)
+        with pytest.raises(ShapeError):
+            model(batch(rng, size=8))
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = mixer_small(3, rng)
+        model(batch(rng)).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestFeatureExtractor:
+    def test_freezes_backbone(self, rng):
+        backbone = resnet_small(3, rng)
+        FeatureExtractor(backbone)
+        assert backbone.parameter_count(trainable_only=True) == 0
+
+    def test_output_normalized(self, rng):
+        fx = FeatureExtractor(resnet_small(3, rng), include_stats=False)
+        feats = fx(batch(rng)).data
+        assert np.allclose(np.linalg.norm(feats, axis=1), 1.0, atol=1e-5)
+
+    def test_output_not_normalized_when_disabled(self, rng):
+        fx = FeatureExtractor(resnet_small(3, rng), normalize=False, include_stats=False)
+        feats = fx(batch(rng)).data
+        assert not np.allclose(np.linalg.norm(feats, axis=1), 1.0)
+
+    def test_stats_appended_for_images(self, rng):
+        backbone = resnet_small(3, rng)
+        fx = FeatureExtractor(backbone, include_stats=True)
+        feats = fx(batch(rng)).data
+        assert feats.shape == (4, backbone.embedding_dim + 6)
+        x = batch(rng)
+        expected_means = x.data.mean(axis=(2, 3))
+        out = fx(x).data
+        assert np.allclose(out[:, backbone.embedding_dim : backbone.embedding_dim + 3],
+                           expected_means, atol=1e-5)
+
+    def test_stats_identify_task_style(self, rng):
+        """Channel means separate differently-tinted inputs — the meta signal."""
+        fx = FeatureExtractor(resnet_small(3, rng), include_stats=True)
+        a = batch(rng)
+        b = Tensor(a.data + np.array([1.0, -1.0, 0.5], dtype=np.float32)[None, :, None, None])
+        fa, fb = fx(a).data, fx(b).data
+        dim = fx.backbone.embedding_dim
+        assert np.abs(fa[:, dim : dim + 3] - fb[:, dim : dim + 3]).max() > 0.4
+
+    def test_no_graph_attached(self, rng):
+        fx = FeatureExtractor(resnet_small(3, rng))
+        out = fx(batch(rng))
+        assert out._parents == ()
+
+    def test_requires_features_method(self):
+        from repro.nn import Linear
+
+        with pytest.raises(TypeError):
+            FeatureExtractor(Linear(3, 3))
+
+    def test_output_dim(self, rng):
+        backbone = resnet_small(3, rng)
+        assert (
+            FeatureExtractor(backbone, include_stats=False).output_dim
+            == backbone.embedding_dim
+        )
+        assert (
+            FeatureExtractor(backbone, include_stats=True).output_dim
+            == backbone.embedding_dim + 6
+        )

@@ -1,0 +1,110 @@
+"""Tests for the TinyViT transformer extension (Sec. III-E future work)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ShapeError
+from repro.models import MultiHeadSelfAttention, TinyViT, TransformerBlock, vit_small
+from repro.nn import Linear
+from repro.peft import MetaLoRACPLinear, MetaLoRATRLinear, inject_adapters
+
+
+def batch(rng, n=4, size=16):
+    return Tensor(rng.normal(size=(n, 3, size, size)).astype(np.float32))
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadSelfAttention(32, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 9, 32)).astype(np.float32))
+        assert attention(x).shape == (2, 9, 32)
+
+    def test_heads_must_divide_dim(self, rng):
+        with pytest.raises(ShapeError):
+            MultiHeadSelfAttention(30, 4, rng=rng)
+
+    def test_input_validation(self, rng):
+        attention = MultiHeadSelfAttention(32, 4, rng=rng)
+        with pytest.raises(ShapeError):
+            attention(Tensor(np.zeros((2, 9, 16), dtype=np.float32)))
+
+    def test_permutation_equivariance(self, rng):
+        """Self-attention without position info commutes with token shuffles."""
+        attention = MultiHeadSelfAttention(16, 2, rng=rng)
+        x = rng.normal(size=(1, 6, 16)).astype(np.float32)
+        perm = rng.permutation(6)
+        out = attention(Tensor(x)).data
+        out_permuted = attention(Tensor(x[:, perm])).data
+        assert np.allclose(out[:, perm], out_permuted, atol=1e-4)
+
+    def test_gradients_reach_projections(self, rng):
+        attention = MultiHeadSelfAttention(16, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)).astype(np.float32))
+        attention(x).sum().backward()
+        for proj in (attention.q_proj, attention.k_proj, attention.v_proj, attention.out_proj):
+            assert proj.weight.grad is not None
+
+
+class TestTinyViT:
+    def test_forward_shape(self, rng):
+        model = vit_small(5, rng)
+        assert model(batch(rng)).shape == (4, 5)
+
+    def test_features_shape(self, rng):
+        model = vit_small(5, rng)
+        assert model.features(batch(rng)).shape == (4, model.embedding_dim)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = vit_small(3, rng)
+        model(batch(rng)).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_position_embedding_breaks_permutation_invariance(self, rng):
+        model = vit_small(3, rng)
+        x = batch(rng, n=1)
+        feats = model.features(x).data
+        # rolling the image changes patches -> different features
+        rolled = Tensor(np.roll(x.data, 4, axis=3))
+        assert not np.allclose(feats, model.features(rolled).data, atol=1e-3)
+
+    def test_rejects_indivisible_patches(self, rng):
+        with pytest.raises(ShapeError):
+            TinyViT(image_size=10, patch_size=4, rng=rng)
+
+    def test_rejects_wrong_input(self, rng):
+        model = vit_small(3, rng, image_size=16)
+        with pytest.raises(ShapeError):
+            model(batch(rng, size=8))
+
+    def test_transformer_block_residual_structure(self, rng):
+        block = TransformerBlock(16, 2, 32, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)).astype(np.float32))
+        assert block(x).shape == (2, 5, 16)
+
+
+class TestMetaLoRAOnTransformer:
+    """The Sec. III-E extension: MetaLoRA attaches to attention projections."""
+
+    @pytest.mark.parametrize("adapter_cls", [MetaLoRACPLinear, MetaLoRATRLinear])
+    def test_adapters_attach_to_all_projections(self, rng, adapter_cls):
+        model = vit_small(4, rng)
+        __, adapters = inject_adapters(
+            model, lambda m: adapter_cls(m, 2, rng=rng), (Linear,)
+        )
+        projection_names = [n for n in adapters if "proj" in n]
+        assert len(projection_names) == 4 * 2  # q/k/v/out per block, 2 blocks
+        out = model(batch(rng))
+        assert out.shape == (4, 4)
+
+    def test_full_meta_model_on_vit(self, rng):
+        from repro.models import FeatureExtractor
+        from repro.peft import MetaLoRAModel
+
+        model = vit_small(4, rng)
+        inject_adapters(model, lambda m: MetaLoRATRLinear(m, 2, rng=rng), (Linear,))
+        extractor = FeatureExtractor(vit_small(4, np.random.default_rng(5)))
+        meta = MetaLoRAModel(model, extractor, rng=rng)
+        out = meta(batch(rng))
+        out.sum().backward()
+        assert meta.trunk.weight.grad is not None

@@ -1,0 +1,104 @@
+"""Finite-difference gradient checks through whole layers.
+
+The op-level checks in tests/autograd validate each primitive; these
+validate the *compositions* each layer actually uses (including parameter
+gradients through the Module plumbing), in float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.grad_check import check_gradients
+from repro.nn import BatchNorm2d, Conv2d, LayerNorm, Linear
+from repro.nn.module import Parameter
+
+
+def _to64(module):
+    """Cast a layer's parameters to float64 in place (for FD stability)."""
+    for param in module.parameters():
+        param.data = param.data.astype(np.float64)
+    return module
+
+
+def _param_inputs(module):
+    return [p for p in module.parameters()]
+
+
+class TestLayerGradients:
+    def test_linear_parameter_gradients(self, rng):
+        layer = _to64(Linear(4, 3, rng=rng))
+        x = Tensor(rng.normal(size=(5, 4)))
+
+        check_gradients(lambda w, b: x @ w + b, [layer.weight, layer.bias])
+
+    def test_linear_full_layer_gradient_wrt_input(self, rng):
+        layer = _to64(Linear(4, 3, rng=rng))
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        check_gradients(lambda x: layer(x), [x])
+
+    def test_conv_layer_gradients(self, rng):
+        layer = _to64(Conv2d(2, 3, 3, padding=1, rng=rng))
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+        check_gradients(lambda x: layer(x), [x])
+        check_gradients(
+            lambda w, b: __import__("repro.autograd", fromlist=["conv2d"]).conv2d(
+                x, w, b, stride=1, padding=1
+            ),
+            [layer.weight, layer.bias],
+        )
+
+    def test_layernorm_gradients(self, rng):
+        layer = _to64(LayerNorm(6))
+        x = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        check_gradients(lambda x: layer(x), [x])
+        check_gradients(
+            lambda g, b: ((x - x.mean(axis=-1, keepdims=True))
+                          / (x.var(axis=-1, keepdims=True) + 1e-5) ** 0.5) * g + b,
+            [layer.gamma, layer.beta],
+        )
+
+    def test_batchnorm_train_mode_input_gradient(self, rng):
+        layer = _to64(BatchNorm2d(2))
+        x = Tensor(rng.normal(size=(3, 2, 4, 4)), requires_grad=True)
+
+        def run(x):
+            # Reset running stats so repeated FD calls see identical state.
+            layer._buffers["running_mean"][...] = 0.0
+            layer._buffers["running_var"][...] = 1.0
+            return layer(x)
+
+        check_gradients(run, [x], atol=1e-3, rtol=1e-2)
+
+    def test_lora_adapter_end_to_end_gradient(self, rng):
+        from repro.peft import LoRALinear
+
+        base = _to64(Linear(4, 3, rng=rng))
+        adapter = LoRALinear(base, rank=2, rng=rng)
+        _to64(adapter)
+        adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        check_gradients(lambda x: adapter(x), [x])
+        check_gradients(
+            lambda a, b: x @ base.weight + base.bias + (x @ a @ b) * adapter.scaling,
+            [adapter.lora_a, adapter.lora_b],
+        )
+
+    def test_meta_cp_adapter_gradient_through_seed(self, rng):
+        from repro.peft import MetaLoRACPLinear
+
+        base = _to64(Linear(4, 3, rng=rng))
+        adapter = MetaLoRACPLinear(base, rank=2, rng=rng)
+        _to64(adapter)
+        adapter.factor_b.data[...] = rng.normal(size=adapter.factor_b.shape)
+        x = Tensor(rng.normal(size=(5, 4)))
+        seed = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+
+        def run(seed):
+            adapter.set_seed(seed)
+            try:
+                return adapter(x)
+            finally:
+                adapter.set_seed(None)
+
+        check_gradients(run, [seed])

@@ -1,0 +1,129 @@
+"""Tests for the Module base: registration, traversal, freezing, state."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import ShapeError
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 2, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.child(x @ self.weight)
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        toy = Toy()
+        names = {name for name, __ in toy.named_parameters()}
+        assert names == {"weight", "child.weight", "child.bias"}
+
+    def test_reassigning_parameter_replaces(self):
+        toy = Toy()
+        toy.weight = Parameter(np.zeros((2, 2)))
+        assert np.all(dict(toy.named_parameters())["weight"].data == 0)
+        assert sum(1 for __ in toy.parameters()) == 3
+
+    def test_modules_traversal_preorder(self):
+        toy = Toy()
+        kinds = [type(m).__name__ for m in toy.modules()]
+        assert kinds == ["Toy", "Linear"]
+
+    def test_named_modules(self):
+        toy = Toy()
+        names = dict(toy.named_modules())
+        assert "" in names and "child" in names
+
+    def test_children(self):
+        toy = Toy()
+        assert [type(c).__name__ for c in toy.children()] == ["Linear"]
+
+    def test_module_list_registers(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 3)])
+        assert len(ml) == 2
+        assert ml.parameter_count() == (2 * 2 + 2) + (2 * 3 + 3)
+        assert type(ml[1]).__name__ == "Linear"
+
+
+class TestFreezeAndModes:
+    def test_freeze_stops_gradients(self):
+        toy = Toy()
+        toy.freeze()
+        assert toy.parameter_count(trainable_only=True) == 0
+        toy.unfreeze()
+        assert toy.parameter_count(trainable_only=True) == toy.parameter_count()
+
+    def test_train_eval_recursive(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training and not toy.child.training
+        toy.train()
+        assert toy.training and toy.child.training
+
+    def test_zero_grad_clears(self):
+        toy = Toy()
+        out = toy(Tensor(np.ones((1, 2), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        toy = Toy()
+        state = toy.state_dict()
+        toy.weight.data[...] = 7.0
+        toy.load_state_dict(state)
+        assert np.all(toy.weight.data == 1.0)
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["weight"][...] = 9.0
+        assert np.all(toy.weight.data == 1.0)
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["weight"]
+        with pytest.raises(ShapeError, match="missing"):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(ShapeError, match="unexpected"):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ShapeError, match="expected shape"):
+            toy.load_state_dict(state)
+
+    def test_buffers_in_state_dict(self):
+        from repro.nn import BatchNorm2d
+
+        bn = BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_sequential_state_roundtrip(self, rng):
+        net = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        state = net.state_dict()
+        net2 = Sequential(
+            Linear(3, 4, rng=np.random.default_rng(99)),
+            Linear(4, 2, rng=np.random.default_rng(98)),
+        )
+        net2.load_state_dict(state)
+        x = Tensor(rng.normal(size=(2, 3)).astype(np.float32))
+        assert np.allclose(net(x).data, net2(x).data)

@@ -1,0 +1,56 @@
+"""Tests for the model summary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.models import resnet_small
+from repro.nn import Conv2d, Linear, summarize
+from repro.nn.summary import collect_rows
+from repro.peft import ConvLoRA, LoRALinear, inject_adapters
+
+
+class TestSummary:
+    def test_lists_leaf_layers(self, rng):
+        model = resnet_small(4, rng)
+        text = summarize(model)
+        assert "Conv2d" in text
+        assert "Linear" in text
+        assert "total:" in text
+
+    def test_parameter_totals_match_model(self, rng):
+        model = resnet_small(4, rng)
+        rows = collect_rows(model)
+        assert sum(r.parameters for r in rows) == model.parameter_count()
+
+    def test_dry_run_forward_validates_wiring(self, rng):
+        model = resnet_small(4, rng)
+        text = summarize(model, input_shape=(3, 16, 16))
+        assert "total" in text
+
+    def test_dry_run_fails_on_wrong_shape(self, rng):
+        model = resnet_small(4, rng)
+        with pytest.raises(ShapeError):
+            summarize(model, input_shape=(5, 16, 16))
+
+    def test_adapters_marked(self, rng):
+        model = resnet_small(4, rng)
+        inject_adapters(
+            model,
+            lambda m: (
+                ConvLoRA(m, 2, rng=rng)
+                if isinstance(m, Conv2d)
+                else LoRALinear(m, 2, rng=rng)
+            ),
+            (Conv2d, Linear),
+        )
+        rows = collect_rows(model)
+        assert any(r.is_adapter for r in rows)
+        text = summarize(model)
+        assert "ConvLoRA" in text
+        assert "(* = adapter)" in text
+
+    def test_trainable_fraction_in_footer(self, rng):
+        model = resnet_small(4, rng)
+        model.freeze()
+        assert "(0.00%)" in summarize(model)

@@ -1,0 +1,104 @@
+"""Tests for automatic PEFT configuration."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import AdapterError
+from repro.models import resnet_small
+from repro.nn import Linear, ReLU, Sequential
+from repro.peft import apply_plan, iter_adapters, plan_adapters
+from repro.peft.auto import _added_parameters
+
+
+def mlp(rng):
+    return Sequential(Linear(16, 32, rng=rng), ReLU(), Linear(32, 8, rng=rng))
+
+
+class TestPlanAdapters:
+    def test_respects_budget(self, rng):
+        model = mlp(rng)
+        plan = plan_adapters(model, budget=500, family="lora")
+        assert plan.projected_parameters <= 500
+        assert set(plan.ranks) == {"0", "2"}
+        assert all(rank >= 1 for rank in plan.ranks.values())
+
+    def test_generous_budget_keeps_spectral_ranks(self, rng):
+        model = mlp(rng)
+        tight = plan_adapters(model, budget=200, family="lora")
+        generous = plan_adapters(model, budget=10_000, family="lora")
+        assert sum(generous.ranks.values()) >= sum(tight.ranks.values())
+
+    def test_infeasible_budget_raises(self, rng):
+        model = mlp(rng)
+        with pytest.raises(AdapterError, match="infeasible"):
+            plan_adapters(model, budget=10, family="lora")
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(AdapterError, match="family"):
+            plan_adapters(mlp(rng), budget=500, family="qlora")
+
+    def test_skip_layers(self, rng):
+        model = mlp(rng)
+        plan = plan_adapters(model, budget=500, skip=("2",))
+        assert set(plan.ranks) == {"0"}
+
+    def test_resnet_plan_covers_convs_and_head(self, rng):
+        model = resnet_small(4, rng)
+        plan = plan_adapters(model, budget=5000, family="meta_tr", max_rank=4)
+        assert "head" in plan.ranks
+        assert any("conv" in name for name in plan.ranks)
+
+    def test_describe(self, rng):
+        plan = plan_adapters(mlp(rng), budget=500)
+        text = plan.describe()
+        assert "family: lora" in text
+        assert "rank" in text
+
+
+class TestAppliedPlan:
+    def test_apply_injects_planned_ranks(self, rng):
+        model = mlp(rng)
+        plan = plan_adapters(model, budget=500, family="lora")
+        adapters = apply_plan(model, plan, rng=rng)
+        assert set(adapters) == set(plan.ranks)
+        for name, adapter in adapters.items():
+            assert adapter.rank == plan.ranks[name]
+
+    def test_projection_matches_reality(self, rng):
+        model = mlp(rng)
+        plan = plan_adapters(model, budget=800, family="lora")
+        apply_plan(model, plan, rng=rng)
+        actual = model.parameter_count(trainable_only=True)
+        assert actual == plan.projected_parameters
+
+    def test_applied_model_forward_works(self, rng):
+        model = mlp(rng)
+        plan = plan_adapters(model, budget=500, family="meta_cp")
+        apply_plan(model, plan, rng=rng)
+        out = model(Tensor(rng.normal(size=(3, 16)).astype(np.float32)))
+        assert out.shape == (3, 8)
+
+    def test_added_parameter_predictions(self, rng):
+        """The planner's cost model matches each adapter's real count."""
+        from repro.peft import (
+            ConvLoRA,
+            LoRALinear,
+            MetaLoRACPLinear,
+            MetaLoRATRLinear,
+        )
+        from repro.nn import Conv2d
+
+        linear = Linear(12, 8, rng=rng)
+        conv = Conv2d(4, 6, 3, rng=rng)
+        checks = [
+            ("lora", LoRALinear(linear, 3, rng=rng), linear),
+            ("meta_cp", MetaLoRACPLinear(Linear(12, 8, rng=rng), 3, rng=rng), linear),
+            ("meta_tr", MetaLoRATRLinear(Linear(12, 8, rng=rng), 3, rng=rng), linear),
+            ("lora", ConvLoRA(conv, 3, rng=rng), conv),
+        ]
+        for family, adapter, layer in checks:
+            assert (
+                _added_parameters(layer, family, 3)
+                == adapter.extra_parameter_count()
+            ), (family, type(adapter).__name__)

@@ -1,0 +1,125 @@
+"""Tests for adapter injection, lookup and merging."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import AdapterError
+from repro.models import resnet_small
+from repro.nn import Conv2d, Linear, ReLU, Sequential
+from repro.peft import (
+    ConvLoRA,
+    LoRALinear,
+    MetaLoRACPLinear,
+    get_module,
+    inject_adapters,
+    iter_adapters,
+    merge_adapters,
+    set_module,
+)
+
+
+def small_net(rng):
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng))
+
+
+class TestModuleSurgery:
+    def test_get_module_by_path(self, rng):
+        net = small_net(rng)
+        assert isinstance(get_module(net, "0"), Linear)
+
+    def test_get_module_nested(self, rng):
+        model = resnet_small(3, rng)
+        assert isinstance(get_module(model, "blocks.0.conv1"), Conv2d)
+
+    def test_get_module_missing_raises(self, rng):
+        with pytest.raises(AdapterError, match="no child"):
+            get_module(small_net(rng), "9")
+
+    def test_set_module_replaces_and_keeps_sequential_consistent(self, rng):
+        net = small_net(rng)
+        replacement = Linear(4, 8, rng=rng)
+        set_module(net, "0", replacement)
+        assert net[0] is replacement
+        out = net(Tensor(rng.normal(size=(2, 4)).astype(np.float32)))
+        assert out.shape == (2, 3)
+
+
+class TestInjection:
+    def test_injects_all_targets(self, rng):
+        net = small_net(rng)
+        __, adapters = inject_adapters(
+            net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,)
+        )
+        assert set(adapters) == {"0", "2"}
+
+    def test_base_frozen_adapters_trainable(self, rng):
+        net = small_net(rng)
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        trainable = {name for name, p in net.named_parameters() if p.requires_grad}
+        assert all("lora" in name for name in trainable)
+        assert trainable  # something is trainable
+
+    def test_skip_list(self, rng):
+        net = small_net(rng)
+        __, adapters = inject_adapters(
+            net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,), skip=("2",)
+        )
+        assert set(adapters) == {"0"}
+
+    def test_no_targets_raises(self, rng):
+        net = Sequential(ReLU())
+        with pytest.raises(AdapterError, match="no layers"):
+            inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+
+    def test_double_injection_raises(self, rng):
+        net = small_net(rng)
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        with pytest.raises(AdapterError):
+            inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (LoRALinear,))
+
+    def test_resnet_full_injection(self, rng):
+        model = resnet_small(3, rng)
+        def factory(layer):
+            if isinstance(layer, Conv2d):
+                return ConvLoRA(layer, 2, rng=rng)
+            return LoRALinear(layer, 2, rng=rng)
+        __, adapters = inject_adapters(model, factory, (Conv2d, Linear))
+        conv_count = sum(1 for a in adapters.values() if isinstance(a, ConvLoRA))
+        assert conv_count == 9  # stem + 6 block convs + 2 projection shortcuts
+        assert "head" in adapters
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (2, 3)
+
+
+class TestIterAndMerge:
+    def test_iter_adapters_finds_all(self, rng):
+        net = small_net(rng)
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        assert len(list(iter_adapters(net))) == 2
+
+    def test_merge_restores_plain_layers_same_output(self, rng):
+        net = small_net(rng)
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        for __, adapter in iter_adapters(net):
+            adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(
+                np.float32
+            )
+        x = Tensor(rng.normal(size=(5, 4)).astype(np.float32))
+        before = net(x).data.copy()
+        merge_adapters(net)
+        assert not list(iter_adapters(net))
+        assert np.allclose(net(x).data, before, atol=1e-5)
+
+    def test_merge_rejects_meta_adapters(self, rng):
+        net = small_net(rng)
+        inject_adapters(net, lambda m: MetaLoRACPLinear(m, 2, rng=rng), (Linear,))
+        with pytest.raises(AdapterError, match="meta"):
+            merge_adapters(net)
+
+    def test_merged_inference_cost_is_base_cost(self, rng):
+        net = small_net(rng)
+        base_params = net.parameter_count()
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        merge_adapters(net)
+        assert net.parameter_count() == base_params

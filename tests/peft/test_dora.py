@@ -1,0 +1,64 @@
+"""Tests for the DoRA extension adapter."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import AdapterError
+from repro.nn import Conv2d, Linear
+from repro.peft import DoRALinear
+
+
+class TestDoRA:
+    def test_identity_at_init(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = DoRALinear(base, rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data, atol=1e-5)
+
+    def test_magnitude_initialized_to_column_norms(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = DoRALinear(base, rank=2, rng=rng)
+        assert np.allclose(
+            adapter.magnitude.data, np.linalg.norm(base.weight.data, axis=0), atol=1e-6
+        )
+
+    def test_forward_matches_delta_weight(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = DoRALinear(base, rank=2, rng=rng)
+        adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(np.float32)
+        adapter.magnitude.data[...] *= 1.5
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        expected = x.data @ (base.weight.data + adapter.delta_weight()) + base.bias.data
+        assert np.allclose(adapter(x).data, expected, atol=1e-4)
+
+    def test_magnitude_scales_output_columns(self, rng):
+        base = Linear(6, 5, bias=False, rng=rng)
+        adapter = DoRALinear(base, rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        before = adapter(x).data.copy()
+        adapter.magnitude.data[...] *= 2.0
+        assert np.allclose(adapter(x).data, 2.0 * before, atol=1e-4)
+
+    def test_direction_normalized_unit_columns(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = DoRALinear(base, rank=2, rng=rng)
+        adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(np.float32)
+        effective = base.weight.data + adapter.delta_weight()
+        norms = np.linalg.norm(effective, axis=0)
+        assert np.allclose(norms, adapter.magnitude.data, atol=1e-4)
+
+    def test_gradients_flow_to_all_adapter_params(self, rng):
+        adapter = DoRALinear(Linear(6, 5, rng=rng), rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(3, 6)).astype(np.float32))
+        adapter(x).sum().backward()
+        assert adapter.lora_a.grad is not None
+        assert adapter.lora_b.grad is not None
+        assert adapter.magnitude.grad is not None
+        assert adapter.base.weight.grad is None
+
+    def test_validation(self, rng):
+        with pytest.raises(AdapterError):
+            DoRALinear(Conv2d(3, 3, 3, rng=rng), rank=2)
+        with pytest.raises(AdapterError):
+            DoRALinear(Linear(4, 4, rng=rng), rank=0)

@@ -1,0 +1,171 @@
+"""Tests for the extension adapters (TT-LoRA, bottleneck) and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import AdapterError
+from repro.nn import Conv2d, Linear, ReLU, Sequential
+from repro.peft import (
+    BottleneckAdapter,
+    LoRALinear,
+    MetaLoRATRLinear,
+    TTLoRALinear,
+    adapter_state_dict,
+    inject_adapters,
+    iter_adapters,
+    load_adapter,
+    load_adapter_state_dict,
+    save_adapter,
+)
+
+
+class TestTTLoRA:
+    def test_identity_at_init(self, rng):
+        base = Linear(12, 10, rng=rng)
+        adapter = TTLoRALinear(base, rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 12)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)
+
+    def test_forward_matches_materialized_delta(self, rng):
+        base = Linear(12, 10, rng=rng)
+        adapter = TTLoRALinear(base, rank=3, rng=rng)
+        adapter.core4.data[...] = rng.normal(size=adapter.core4.shape).astype(np.float32)
+        x = Tensor(rng.normal(size=(4, 12)).astype(np.float32))
+        expected = base(x).data + x.data @ adapter.delta_weight()
+        assert np.allclose(adapter(x).data, expected, atol=1e-4)
+
+    def test_grid_factorization(self, rng):
+        adapter = TTLoRALinear(Linear(12, 10, rng=rng), rank=2, rng=rng)
+        assert int(np.prod(adapter.in_grid)) == 12
+        assert int(np.prod(adapter.out_grid)) == 10
+
+    def test_3d_input(self, rng):
+        adapter = TTLoRALinear(Linear(12, 10, rng=rng), rank=2, rng=rng)
+        adapter.core4.data[...] = rng.normal(size=adapter.core4.shape).astype(np.float32)
+        x = Tensor(rng.normal(size=(2, 5, 12)).astype(np.float32))
+        assert adapter(x).shape == (2, 5, 10)
+
+    def test_parameter_count_scales_with_rank(self, rng):
+        small = TTLoRALinear(Linear(16, 16, rng=rng), rank=1, rng=rng)
+        large = TTLoRALinear(Linear(16, 16, rng=rng), rank=4, rng=rng)
+        assert large.extra_parameter_count() > small.extra_parameter_count()
+
+    def test_gradients_flow(self, rng):
+        adapter = TTLoRALinear(Linear(12, 10, rng=rng), rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(3, 12)).astype(np.float32))
+        adapter(x).sum().backward()
+        for core in (adapter.core1, adapter.core2, adapter.core3, adapter.core4):
+            assert core.grad is not None
+        assert adapter.base.weight.grad is None
+
+    def test_wrong_base_type(self, rng):
+        with pytest.raises(AdapterError):
+            TTLoRALinear(Conv2d(3, 3, 3, rng=rng), rank=2)
+
+    def test_merge_via_delta_weight(self, rng):
+        base = Linear(12, 10, rng=rng)
+        adapter = TTLoRALinear(base, rank=2, rng=rng)
+        adapter.core4.data[...] = rng.normal(size=adapter.core4.shape).astype(np.float32)
+        x = Tensor(rng.normal(size=(4, 12)).astype(np.float32))
+        before = adapter(x).data.copy()
+        merged = adapter.merge()
+        assert np.allclose(merged(x).data, before, atol=1e-4)
+
+
+class TestBottleneck:
+    def test_identity_at_init(self, rng):
+        base = Linear(8, 6, rng=rng)
+        adapter = BottleneckAdapter(base, bottleneck=3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 8)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)
+
+    def test_nonlinear_after_training_signal(self, rng):
+        adapter = BottleneckAdapter(Linear(8, 6, rng=rng), bottleneck=3, rng=rng)
+        adapter.up.data[...] = rng.normal(size=adapter.up.shape).astype(np.float32)
+        x = Tensor(rng.normal(size=(4, 8)).astype(np.float32))
+        assert not np.allclose(adapter(x).data, adapter.base(x).data)
+
+    def test_parameter_budget(self, rng):
+        adapter = BottleneckAdapter(Linear(32, 32, rng=rng), bottleneck=4, rng=rng)
+        assert adapter.extra_parameter_count() < 32 * 32
+
+    def test_no_static_delta(self, rng):
+        """Bottleneck adds a nonlinear block — there is no ΔW to merge."""
+        adapter = BottleneckAdapter(Linear(8, 6, rng=rng), bottleneck=3, rng=rng)
+        with pytest.raises(AdapterError):
+            adapter.delta_weight()
+
+    def test_validation(self, rng):
+        with pytest.raises(AdapterError):
+            BottleneckAdapter(Linear(8, 6, rng=rng), bottleneck=0)
+
+
+class TestCheckpoint:
+    def _adapted_net(self, rng):
+        net = Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        for __, adapter in iter_adapters(net):
+            adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(
+                np.float32
+            )
+        return net
+
+    def test_state_contains_only_trainable(self, rng):
+        net = self._adapted_net(rng)
+        state = adapter_state_dict(net)
+        assert all("lora" in key for key in state)
+
+    def test_roundtrip_restores_outputs(self, rng, tmp_path):
+        net = self._adapted_net(rng)
+        x = Tensor(rng.normal(size=(3, 6)).astype(np.float32))
+        before = net(x).data.copy()
+        path = tmp_path / "adapter.npz"
+        saved = save_adapter(net, path)
+        assert saved > 0
+        for __, adapter in iter_adapters(net):
+            adapter.lora_b.data[...] = 0.0
+        load_adapter(net, path)
+        assert np.allclose(net(x).data, before)
+
+    def test_checkpoint_much_smaller_than_model(self, rng):
+        net = self._adapted_net(rng)
+        state = adapter_state_dict(net)
+        adapter_scalars = sum(v.size for v in state.values())
+        assert adapter_scalars < net.parameter_count() / 2
+
+    def test_mismatch_rejected(self, rng):
+        net = self._adapted_net(rng)
+        state = adapter_state_dict(net)
+        state["ghost"] = np.zeros(3)
+        with pytest.raises(AdapterError, match="unexpected"):
+            load_adapter_state_dict(net, state)
+
+    def test_shape_mismatch_rejected(self, rng):
+        net = self._adapted_net(rng)
+        state = adapter_state_dict(net)
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(AdapterError, match="expected"):
+            load_adapter_state_dict(net, state)
+
+    def test_frozen_model_has_nothing_to_save(self, rng):
+        net = Sequential(Linear(4, 4, rng=rng))
+        net.freeze()
+        with pytest.raises(AdapterError):
+            adapter_state_dict(net)
+
+    def test_works_with_meta_model(self, rng, tmp_path):
+        from repro.models import FeatureExtractor, resnet_small
+        from repro.peft import MetaLoRAModel
+
+        backbone = resnet_small(4, rng)
+        inject_adapters(
+            backbone, lambda m: MetaLoRATRLinear(m, 2, rng=rng), (Linear,)
+        )
+        model = MetaLoRAModel(
+            backbone, FeatureExtractor(resnet_small(4, np.random.default_rng(3))), rng=rng
+        )
+        path = tmp_path / "meta_adapter.npz"
+        save_adapter(model, path)
+        load_adapter(model, path)  # must round-trip without error

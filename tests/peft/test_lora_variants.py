@@ -1,0 +1,157 @@
+"""Tests for static adapters: LoRA, Conv-LoRA (Eq. 5), Multi-LoRA."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d
+from repro.errors import AdapterError
+from repro.nn import Conv2d, Linear
+from repro.peft import ConvLoRA, LoRALinear, MultiLoRAConv, MultiLoRALinear
+
+
+def randomize(param, rng):
+    param.data[...] = rng.normal(size=param.shape).astype(np.float32)
+
+
+class TestLoRALinear:
+    def test_identity_at_init(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = LoRALinear(base, rank=3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)
+
+    def test_delta_weight_matches_forward(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = LoRALinear(base, rank=3, rng=rng)
+        randomize(adapter.lora_b, rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        expected = base(x).data + x.data @ adapter.delta_weight()
+        assert np.allclose(adapter(x).data, expected, atol=1e-5)
+
+    def test_scaling_alpha_over_rank(self, rng):
+        base = Linear(4, 4, rng=rng)
+        adapter = LoRALinear(base, rank=2, alpha=8.0, rng=rng)
+        assert adapter.scaling == pytest.approx(4.0)
+
+    def test_rank_bounds(self, rng):
+        with pytest.raises(AdapterError):
+            LoRALinear(Linear(4, 4, rng=rng), rank=0)
+
+    def test_wrong_base_type(self, rng):
+        with pytest.raises(AdapterError):
+            LoRALinear(Conv2d(3, 3, 3, rng=rng), rank=2)
+
+    def test_only_adapter_params_trainable(self, rng):
+        adapter = LoRALinear(Linear(6, 5, rng=rng), rank=2, rng=rng)
+        trainable = {n for n, p in adapter.named_parameters() if p.requires_grad}
+        assert trainable == {"lora_a", "lora_b"}
+
+    def test_extra_parameter_count(self, rng):
+        adapter = LoRALinear(Linear(6, 5, rng=rng), rank=2, rng=rng)
+        assert adapter.extra_parameter_count() == 6 * 2 + 2 * 5
+
+    def test_gradients_flow_to_adapter_only(self, rng):
+        adapter = LoRALinear(Linear(6, 5, rng=rng), rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(3, 6)).astype(np.float32))
+        adapter(x).sum().backward()
+        assert adapter.lora_a.grad is not None
+        assert adapter.lora_b.grad is not None
+        assert adapter.base.weight.grad is None
+
+
+class TestConvLoRA:
+    def test_identity_at_init(self, rng):
+        base = Conv2d(3, 5, 3, padding=1, rng=rng)
+        adapter = ConvLoRA(base, rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)
+
+    def test_fig3_identity_small_conv_then_1x1(self, rng):
+        """Forward (small conv + 1×1) equals base + conv with materialized ΔW."""
+        base = Conv2d(3, 5, 3, padding=1, rng=rng)
+        adapter = ConvLoRA(base, rank=2, rng=rng)
+        randomize(adapter.lora_b, rng)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        delta = Tensor(adapter.delta_weight().astype(np.float32))
+        expected = base(x).data + conv2d(x, delta, stride=1, padding=1).data
+        assert np.allclose(adapter(x).data, expected, atol=1e-4)
+
+    def test_respects_stride_and_padding(self, rng):
+        base = Conv2d(3, 4, 3, stride=2, padding=1, rng=rng)
+        adapter = ConvLoRA(base, rank=2, rng=rng)
+        randomize(adapter.lora_b, rng)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        assert adapter(x).shape == base(x).shape
+
+    def test_delta_weight_shape_eq5(self, rng):
+        base = Conv2d(3, 5, 3, rng=rng)
+        adapter = ConvLoRA(base, rank=2, rng=rng)
+        assert adapter.delta_weight().shape == (3, 3, 3, 5)  # (K, K, I, O)
+
+    def test_parameter_budget_below_full_delta(self, rng):
+        base = Conv2d(16, 32, 3, rng=rng)
+        adapter = ConvLoRA(base, rank=2, rng=rng)
+        full_delta = 3 * 3 * 16 * 32
+        assert adapter.extra_parameter_count() < full_delta / 4
+
+    def test_wrong_base_type(self, rng):
+        with pytest.raises(AdapterError):
+            ConvLoRA(Linear(4, 4, rng=rng), rank=2)
+
+
+class TestMultiLoRA:
+    def test_identity_at_init(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MultiLoRALinear(base, rank=2, branches=3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)
+
+    def test_delta_weight_sums_gated_branches(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MultiLoRALinear(base, rank=2, branches=3, rng=rng)
+        for branch in adapter.lora_branches:
+            randomize(branch.lora_b, rng)
+        randomize(adapter.gates, rng)
+        manual = sum(
+            float(adapter.gates.data[k]) * adapter.scaling * b.delta_weight()
+            for k, b in enumerate(adapter.lora_branches)
+        )
+        assert np.allclose(adapter.delta_weight(), manual, atol=1e-6)
+
+    def test_forward_matches_delta_weight(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MultiLoRALinear(base, rank=2, branches=2, rng=rng)
+        for branch in adapter.lora_branches:
+            randomize(branch.lora_b, rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        expected = base(x).data + x.data @ adapter.delta_weight()
+        assert np.allclose(adapter(x).data, expected, atol=1e-5)
+
+    def test_conv_variant_matches_delta_weight(self, rng):
+        base = Conv2d(3, 4, 3, padding=1, rng=rng)
+        adapter = MultiLoRAConv(base, rank=2, branches=2, rng=rng)
+        for branch in adapter.lora_branches:
+            randomize(branch.lora_b, rng)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        delta = Tensor(adapter.delta_weight().astype(np.float32))
+        expected = base(x).data + conv2d(x, delta, stride=1, padding=1).data
+        assert np.allclose(adapter(x).data, expected, atol=1e-4)
+
+    def test_gates_receive_gradients(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MultiLoRALinear(base, rank=2, branches=3, rng=rng)
+        for branch in adapter.lora_branches:
+            randomize(branch.lora_b, rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        adapter(x).sum().backward()
+        assert adapter.gates.grad is not None
+
+    def test_branch_count_validation(self, rng):
+        with pytest.raises(AdapterError):
+            MultiLoRALinear(Linear(4, 4, rng=rng), rank=2, branches=0)
+
+    def test_more_branches_more_parameters(self, rng):
+        base = Linear(6, 5, rng=rng)
+        two = MultiLoRALinear(base, rank=2, branches=2, rng=rng)
+        four = MultiLoRALinear(base, rank=2, branches=4, rng=rng)
+        assert four.extra_parameter_count() > two.extra_parameter_count()

@@ -1,0 +1,224 @@
+"""Tests for the MetaLoRA CP/TR adapters: per-sample ΔW semantics (Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d
+from repro.errors import AdapterError, ShapeError
+from repro.nn import Conv2d, Linear
+from repro.peft import (
+    MetaLoRACPConv,
+    MetaLoRACPLinear,
+    MetaLoRATRConv,
+    MetaLoRATRLinear,
+)
+
+
+def randomize(param, rng):
+    param.data[...] = rng.normal(size=param.shape).astype(np.float32)
+
+
+class TestMetaCPLinear:
+    def test_seed_shape_property(self, rng):
+        adapter = MetaLoRACPLinear(Linear(6, 5, rng=rng), rank=3, rng=rng)
+        assert adapter.seed_shape == (3,)
+        assert adapter.is_meta
+
+    def test_identity_at_init_static(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MetaLoRACPLinear(base, rank=3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)  # factor_b = 0
+
+    def test_eq6_per_sample_delta(self, rng):
+        """out[n] = x[n] (W + Σ_r A[:,r] B[r,:] c[n,r])."""
+        base = Linear(6, 5, rng=rng)
+        adapter = MetaLoRACPLinear(base, rank=3, rng=rng)
+        randomize(adapter.factor_b, rng)
+        seed = Tensor(rng.normal(size=(4, 3)).astype(np.float32))
+        adapter.set_seed(seed)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        out = adapter(x).data
+        for n in range(4):
+            delta = np.einsum(
+                "ir,ro,r->io",
+                adapter.factor_a.data,
+                adapter.factor_b.data,
+                seed.data[n],
+            ) * adapter.scaling
+            expected = base(Tensor(x.data[n : n + 1])).data + x.data[n : n + 1] @ delta
+            assert np.allclose(out[n : n + 1], expected, atol=1e-4)
+
+    def test_static_seed_fallback_matches_delta_weight(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MetaLoRACPLinear(base, rank=3, rng=rng)
+        randomize(adapter.factor_b, rng)
+        randomize(adapter.static_seed, rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        expected = base(x).data + x.data @ adapter.delta_weight()
+        assert np.allclose(adapter(x).data, expected, atol=1e-4)
+
+    def test_3d_input_token_axis(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MetaLoRACPLinear(base, rank=2, rng=rng)
+        randomize(adapter.factor_b, rng)
+        seed = Tensor(rng.normal(size=(2, 2)).astype(np.float32))
+        adapter.set_seed(seed)
+        x = Tensor(rng.normal(size=(2, 7, 6)).astype(np.float32))
+        assert adapter(x).shape == (2, 7, 5)
+
+    def test_seed_batch_mismatch_raises(self, rng):
+        adapter = MetaLoRACPLinear(Linear(6, 5, rng=rng), rank=2, rng=rng)
+        adapter.set_seed(Tensor(np.zeros((3, 2), dtype=np.float32)))
+        with pytest.raises(ShapeError, match="batch"):
+            adapter(Tensor(np.zeros((4, 6), dtype=np.float32)))
+
+    def test_seed_rank_mismatch_raises(self, rng):
+        adapter = MetaLoRACPLinear(Linear(6, 5, rng=rng), rank=2, rng=rng)
+        with pytest.raises(ShapeError):
+            adapter.set_seed(Tensor(np.zeros((4, 3), dtype=np.float32)))
+
+    def test_clearing_seed_restores_static(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MetaLoRACPLinear(base, rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        static_out = adapter(x).data.copy()
+        adapter.set_seed(Tensor(rng.normal(size=(4, 2)).astype(np.float32)))
+        adapter.set_seed(None)
+        assert np.allclose(adapter(x).data, static_out)
+
+
+class TestMetaCPConv:
+    def test_per_sample_delta_matches_materialized(self, rng):
+        base = Conv2d(3, 4, 3, padding=1, rng=rng)
+        adapter = MetaLoRACPConv(base, rank=2, rng=rng)
+        randomize(adapter.factor_b, rng)
+        seed = Tensor(rng.normal(size=(2, 2)).astype(np.float32))
+        adapter.set_seed(seed)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        out = adapter(x).data
+        for n in range(2):
+            delta = np.einsum(
+                "abir,ro,r->abio",
+                adapter.factor_a.data,
+                adapter.factor_b.data,
+                seed.data[n],
+            ) * adapter.scaling
+            expected = (
+                base(Tensor(x.data[n : n + 1])).data
+                + conv2d(
+                    Tensor(x.data[n : n + 1]),
+                    Tensor(delta.astype(np.float32)),
+                    stride=1,
+                    padding=1,
+                ).data
+            )
+            assert np.allclose(out[n : n + 1], expected, atol=1e-3)
+
+    def test_static_matches_delta_weight(self, rng):
+        base = Conv2d(3, 4, 3, padding=1, rng=rng)
+        adapter = MetaLoRACPConv(base, rank=2, rng=rng)
+        randomize(adapter.factor_b, rng)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        delta = Tensor(adapter.delta_weight().astype(np.float32))
+        expected = base(x).data + conv2d(x, delta, stride=1, padding=1).data
+        assert np.allclose(adapter(x).data, expected, atol=1e-4)
+
+    def test_wrong_base_type(self, rng):
+        with pytest.raises(AdapterError):
+            MetaLoRACPConv(Linear(4, 4, rng=rng), rank=2)
+
+
+class TestMetaTRLinear:
+    def test_seed_shape_is_matrix(self, rng):
+        adapter = MetaLoRATRLinear(Linear(6, 5, rng=rng), rank=3, rng=rng)
+        assert adapter.seed_shape == (3, 3)
+
+    def test_identity_at_init(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MetaLoRATRLinear(base, rank=3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)  # core_b = 0
+
+    def test_eq7_per_sample_delta(self, rng):
+        """out[n] = x[n] (W + Σ A[p,:,r] B[r,:,q] C[n,q,p])."""
+        base = Linear(6, 5, rng=rng)
+        adapter = MetaLoRATRLinear(base, rank=2, rng=rng)
+        randomize(adapter.core_b, rng)
+        seed = Tensor(rng.normal(size=(4, 2, 2)).astype(np.float32))
+        adapter.set_seed(seed)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        out = adapter(x).data
+        for n in range(4):
+            delta = np.einsum(
+                "pir,roq,qp->io",
+                adapter.core_a.data,
+                adapter.core_b.data,
+                seed.data[n],
+            ) * adapter.scaling
+            expected = base(Tensor(x.data[n : n + 1])).data + x.data[n : n + 1] @ delta
+            assert np.allclose(out[n : n + 1], expected, atol=1e-4)
+
+    def test_static_seed_is_identity_matrix(self, rng):
+        adapter = MetaLoRATRLinear(Linear(6, 5, rng=rng), rank=3, rng=rng)
+        assert np.allclose(adapter.static_seed.data, np.eye(3))
+
+    def test_tr_has_more_seed_dof_than_cp(self, rng):
+        cp = MetaLoRACPLinear(Linear(6, 5, rng=rng), rank=3, rng=rng)
+        tr = MetaLoRATRLinear(Linear(6, 5, rng=rng), rank=3, rng=rng)
+        assert int(np.prod(tr.seed_shape)) == int(np.prod(cp.seed_shape)) ** 2
+
+
+class TestMetaTRConv:
+    def test_static_matches_delta_weight(self, rng):
+        base = Conv2d(3, 4, 3, padding=1, rng=rng)
+        adapter = MetaLoRATRConv(base, rank=2, rng=rng)
+        randomize(adapter.core_b, rng)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        delta = Tensor(adapter.delta_weight().astype(np.float32))
+        expected = base(x).data + conv2d(x, delta, stride=1, padding=1).data
+        assert np.allclose(adapter(x).data, expected, atol=1e-4)
+
+    def test_per_sample_delta(self, rng):
+        base = Conv2d(3, 4, 3, padding=1, rng=rng)
+        adapter = MetaLoRATRConv(base, rank=2, rng=rng)
+        randomize(adapter.core_b, rng)
+        seed = Tensor(rng.normal(size=(2, 2, 2)).astype(np.float32))
+        adapter.set_seed(seed)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        out = adapter(x).data
+        for n in range(2):
+            delta = np.einsum(
+                "pabir,roq,qp->abio",
+                adapter.core_a.data,
+                adapter.core_b.data,
+                seed.data[n],
+            ) * adapter.scaling
+            expected = (
+                base(Tensor(x.data[n : n + 1])).data
+                + conv2d(
+                    Tensor(x.data[n : n + 1]),
+                    Tensor(delta.astype(np.float32)),
+                    stride=1,
+                    padding=1,
+                ).data
+            )
+            assert np.allclose(out[n : n + 1], expected, atol=1e-3)
+
+    def test_strided_base(self, rng):
+        base = Conv2d(3, 4, 3, stride=2, padding=1, rng=rng)
+        adapter = MetaLoRATRConv(base, rank=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        assert adapter(x).shape == base(x).shape
+
+    def test_gradients_flow_through_seed(self, rng):
+        base = Conv2d(3, 4, 3, padding=1, rng=rng)
+        adapter = MetaLoRATRConv(base, rank=2, rng=rng)
+        randomize(adapter.core_b, rng)
+        seed = Tensor(rng.normal(size=(2, 2, 2)).astype(np.float32), requires_grad=True)
+        adapter.set_seed(seed)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        adapter(x).sum().backward()
+        assert seed.grad is not None
+        assert adapter.core_a.grad is not None
+        assert adapter.core_b.grad is not None

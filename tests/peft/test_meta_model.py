@@ -1,0 +1,160 @@
+"""Tests for the full MetaLoRAModel (Fig. 4 architecture) and MappingNet."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import AdapterError, ConfigError
+from repro.models import FeatureExtractor, mixer_small, resnet_small
+from repro.nn import Conv2d, Linear
+from repro.peft import (
+    LoRALinear,
+    MappingNet,
+    MetaLoRACPConv,
+    MetaLoRACPLinear,
+    MetaLoRAModel,
+    MetaLoRATRConv,
+    MetaLoRATRLinear,
+    inject_adapters,
+)
+
+
+def make_meta_resnet(rng, fmt="tr"):
+    backbone = resnet_small(4, rng)
+    extractor = FeatureExtractor(resnet_small(4, np.random.default_rng(9)))
+    if fmt == "tr":
+        factory = lambda m: (
+            MetaLoRATRConv(m, 2, rng=rng)
+            if isinstance(m, Conv2d)
+            else MetaLoRATRLinear(m, 2, rng=rng)
+        )
+    else:
+        factory = lambda m: (
+            MetaLoRACPConv(m, 2, rng=rng)
+            if isinstance(m, Conv2d)
+            else MetaLoRACPLinear(m, 2, rng=rng)
+        )
+    inject_adapters(backbone, factory, (Conv2d, Linear))
+    return MetaLoRAModel(backbone, extractor, rng=rng)
+
+
+class TestMappingNet:
+    def test_output_shape(self, rng):
+        net = MappingNet(16, 9, hidden_dims=(8,), rng=rng)
+        out = net(Tensor(rng.normal(size=(5, 16)).astype(np.float32)))
+        assert out.shape == (5, 9)
+
+    def test_output_bounded_by_scale(self, rng):
+        net = MappingNet(16, 4, rng=rng)
+        out = net(Tensor((rng.normal(size=(8, 16)) * 100).astype(np.float32)))
+        assert np.all(np.abs(out.data) <= np.abs(net.scale.data[0]) + 1e-6)
+
+    def test_neutral_start_constant_seed(self, rng):
+        net = MappingNet(16, 4, rng=rng)
+        out = net(Tensor(rng.normal(size=(6, 16)).astype(np.float32))).data
+        assert np.allclose(out, out[0])  # same seed for every sample at init
+
+    def test_dim_validation(self, rng):
+        with pytest.raises(ConfigError):
+            MappingNet(0, 4)
+
+    def test_deeper_hidden_stack(self, rng):
+        net = MappingNet(16, 4, hidden_dims=(8, 8), rng=rng)
+        assert len(net.hidden) == 2
+
+
+class TestMetaLoRAModel:
+    def test_requires_meta_adapters(self, rng):
+        backbone = resnet_small(4, rng)
+        inject_adapters(backbone, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        extractor = FeatureExtractor(resnet_small(4, rng))
+        with pytest.raises(AdapterError, match="meta"):
+            MetaLoRAModel(backbone, extractor)
+
+    def test_forward_shape(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(3, 3, 16, 16)).astype(np.float32))
+        assert model(x).shape == (3, 4)
+
+    def test_features_shape(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(3, 3, 16, 16)).astype(np.float32))
+        assert model.features(x).shape == (3, model.embedding_dim)
+
+    def test_generate_seeds_one_per_adapter(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        seeds = model.generate_seeds(x)
+        assert len(seeds) == len(model.adapter_names)
+        for seed, adapter in zip(seeds, model._meta_adapters):
+            assert seed.shape == (2,) + adapter.seed_shape
+
+    def test_seeds_cleared_after_forward(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        model(x)
+        assert all(a._seed is None for a in model._meta_adapters)
+
+    def test_seeds_cleared_even_on_error(self, rng):
+        model = make_meta_resnet(rng)
+        bad = Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32))  # wrong spatial size is fine for resnet; use wrong channels
+        bad = Tensor(np.zeros((2, 5, 16, 16), dtype=np.float32))
+        with pytest.raises(Exception):
+            model(bad)
+        assert all(a._seed is None for a in model._meta_adapters)
+
+    def test_gradients_flow_to_mapping_net(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        model(x).sum().backward()
+        assert model.trunk.weight.grad is not None
+        assert all(head.weight.grad is not None for head in model.heads)
+
+    def test_backbone_base_weights_stay_frozen(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        model(x).sum().backward()
+        for name, param in model.backbone.named_parameters():
+            if "base" in name:
+                assert param.grad is None, name
+
+    def test_cp_variant_works(self, rng):
+        model = make_meta_resnet(rng, fmt="cp")
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        assert model(x).shape == (2, 4)
+
+    def test_mixer_backbone(self, rng):
+        backbone = mixer_small(4, rng)
+        extractor = FeatureExtractor(mixer_small(4, np.random.default_rng(3)))
+        inject_adapters(
+            backbone, lambda m: MetaLoRACPLinear(m, 2, rng=rng), (Linear,)
+        )
+        model = MetaLoRAModel(backbone, extractor, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        assert model(x).shape == (2, 4)
+
+    def test_head_gain_scales_seeds(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        base_seed = model.generate_seeds(x)[0].data.copy()
+        model.head_gains.data[0] = 3.0
+        scaled_seed = model.generate_seeds(x)[0].data
+        assert np.allclose(scaled_seed, 3.0 * base_seed, atol=1e-5)
+
+    def test_head_gains_receive_gradients(self, rng):
+        model = make_meta_resnet(rng)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        model(x).sum().backward()
+        assert model.head_gains.grad is not None
+
+    def test_different_inputs_get_different_seeds_after_training_signal(self, rng):
+        """After perturbing the trunk, seeds become input-dependent."""
+        model = make_meta_resnet(rng)
+        model.heads[0].weight.data[...] = rng.normal(
+            size=model.heads[0].weight.shape
+        ).astype(np.float32)
+        a = Tensor(rng.normal(size=(1, 3, 16, 16)).astype(np.float32))
+        b = Tensor((rng.normal(size=(1, 3, 16, 16)) + 3).astype(np.float32))
+        seed_a = model.generate_seeds(a)[0].data
+        seed_b = model.generate_seeds(b)[0].data
+        assert not np.allclose(seed_a, seed_b)

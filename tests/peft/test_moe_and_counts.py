@@ -1,0 +1,114 @@
+"""Tests for MoE-LoRA and parameter accounting."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import AdapterError, ShapeError
+from repro.nn import Linear
+from repro.peft import (
+    LoRALinear,
+    MoELoRALinear,
+    adapter_parameter_table,
+    count_parameters,
+    inject_adapters,
+)
+from repro.peft.counts import format_table
+from repro.nn import Sequential, ReLU
+
+
+def randomize(param, rng):
+    param.data[...] = rng.normal(size=param.shape).astype(np.float32)
+
+
+class TestMoELoRA:
+    def test_identity_at_init(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MoELoRALinear(base, rank=2, experts=3, rng=rng)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)
+
+    def test_static_gates_are_uniform_softmax(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MoELoRALinear(base, rank=2, experts=4, rng=rng)
+        for branch in adapter.expert_branches:
+            randomize(branch.lora_b, rng)
+        x = Tensor(rng.normal(size=(3, 6)).astype(np.float32))
+        out = adapter(x).data
+        manual = base(x).data
+        for branch in adapter.expert_branches:
+            manual = manual + 0.25 * branch.delta(x).data * adapter.scaling
+        assert np.allclose(out, manual, atol=1e-5)
+
+    def test_per_sample_gates_mix_experts(self, rng):
+        base = Linear(6, 5, rng=rng)
+        adapter = MoELoRALinear(base, rank=2, experts=2, rng=rng)
+        for branch in adapter.expert_branches:
+            randomize(branch.lora_b, rng)
+        # extreme logits: sample 0 -> expert 0, sample 1 -> expert 1
+        gates = Tensor(np.array([[50.0, -50.0], [-50.0, 50.0]], dtype=np.float32))
+        adapter.set_seed(gates)
+        x = Tensor(rng.normal(size=(2, 6)).astype(np.float32))
+        out = adapter(x).data
+        for n, expert in enumerate((0, 1)):
+            branch = adapter.expert_branches[expert]
+            expected = (
+                base(Tensor(x.data[n : n + 1])).data
+                + branch.delta(
+                    Tensor(x.data[n : n + 1].reshape(1, 1, 6))
+                ).data.reshape(1, 5)
+                * adapter.scaling
+            )
+            assert np.allclose(out[n : n + 1], expected, atol=1e-4), n
+
+    def test_is_meta(self, rng):
+        adapter = MoELoRALinear(Linear(4, 4, rng=rng), rank=2, rng=rng)
+        assert adapter.is_meta
+        assert adapter.seed_shape == (4,)
+
+    def test_gate_shape_validation(self, rng):
+        adapter = MoELoRALinear(Linear(4, 4, rng=rng), rank=2, experts=3, rng=rng)
+        with pytest.raises(ShapeError):
+            adapter.set_seed(Tensor(np.zeros((2, 5), dtype=np.float32)))
+
+    def test_expert_count_validation(self, rng):
+        with pytest.raises(AdapterError):
+            MoELoRALinear(Linear(4, 4, rng=rng), rank=2, experts=0)
+
+
+class TestCounts:
+    def test_count_parameters_totals(self, rng):
+        net = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng))
+        counts = count_parameters(net)
+        assert counts.total == (4 * 8 + 8) + (8 * 3 + 3)
+        assert counts.trainable == counts.total
+        assert counts.trainable_fraction == 1.0
+
+    def test_trainable_fraction_after_injection(self, rng):
+        net = Sequential(Linear(32, 64, rng=rng), ReLU(), Linear(64, 8, rng=rng))
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        counts = count_parameters(net)
+        assert 0 < counts.trainable_fraction < 0.25
+
+    def test_adapter_table_rows(self, rng):
+        net = Sequential(Linear(8, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        rows = adapter_parameter_table(net)
+        assert len(rows) == 2
+        assert rows[0]["type"] == "LoRALinear"
+        assert rows[0]["added_parameters"] == 8 * 2 + 2 * 8
+
+    def test_format_table_renders(self, rng):
+        net = Sequential(Linear(8, 8, rng=rng))
+        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        text = format_table(adapter_parameter_table(net))
+        assert "LoRALinear" in text
+        assert "added_parameters" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no adapters)"
+
+    def test_empty_fraction_is_zero(self):
+        from repro.peft.counts import ParameterCounts
+
+        assert ParameterCounts(0, 0).trainable_fraction == 0.0

@@ -1,0 +1,87 @@
+"""Tests for prefix tuning on transformer attention."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import AdapterError
+from repro.models import MultiHeadSelfAttention, vit_small
+from repro.nn import Linear
+from repro.peft import PrefixTuningAttention, inject_adapters
+
+
+class TestPrefixTuning:
+    def test_near_identity_at_init(self, rng):
+        """Zero-init prefix values contribute nothing to the weighted sum
+        except a small attention-mass shift toward the prefix slots."""
+        base = MultiHeadSelfAttention(16, 2, rng=rng)
+        adapter = PrefixTuningAttention(base, prefix_length=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)).astype(np.float32))
+        base_out = base(x).data
+        adapted_out = adapter(x).data
+        # values are zero -> output is a downweighted base attention;
+        # directions agree even though magnitudes shrink slightly
+        cosine = (base_out * adapted_out).sum() / (
+            np.linalg.norm(base_out) * np.linalg.norm(adapted_out) + 1e-9
+        )
+        assert cosine > 0.95
+
+    def test_output_shape(self, rng):
+        base = MultiHeadSelfAttention(16, 2, rng=rng)
+        adapter = PrefixTuningAttention(base, prefix_length=3, rng=rng)
+        x = Tensor(rng.normal(size=(3, 7, 16)).astype(np.float32))
+        assert adapter(x).shape == (3, 7, 16)
+
+    def test_prefix_changes_output_when_trained(self, rng):
+        base = MultiHeadSelfAttention(16, 2, rng=rng)
+        adapter = PrefixTuningAttention(base, prefix_length=2, rng=rng)
+        adapter.prefix_values.data[...] = rng.normal(
+            size=adapter.prefix_values.shape
+        ).astype(np.float32)
+        x = Tensor(rng.normal(size=(2, 5, 16)).astype(np.float32))
+        assert not np.allclose(adapter(x).data, base(x).data, atol=1e-3)
+
+    def test_only_prefix_trainable(self, rng):
+        base = MultiHeadSelfAttention(16, 2, rng=rng)
+        adapter = PrefixTuningAttention(base, prefix_length=2, rng=rng)
+        trainable = {n for n, p in adapter.named_parameters() if p.requires_grad}
+        assert trainable == {"prefix_keys", "prefix_values"}
+
+    def test_gradients_flow_to_prefix(self, rng):
+        base = MultiHeadSelfAttention(16, 2, rng=rng)
+        adapter = PrefixTuningAttention(base, prefix_length=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)).astype(np.float32))
+        adapter(x).sum().backward()
+        assert adapter.prefix_keys.grad is not None
+        assert adapter.prefix_values.grad is not None
+
+    def test_parameter_budget(self, rng):
+        base = MultiHeadSelfAttention(32, 4, rng=rng)
+        adapter = PrefixTuningAttention(base, prefix_length=4, rng=rng)
+        assert adapter.extra_parameter_count() == 2 * 4 * 4 * 8
+
+    def test_injection_into_vit(self, rng):
+        model = vit_small(4, rng)
+        __, adapters = inject_adapters(
+            model,
+            lambda m: PrefixTuningAttention(m, 2, rng=rng),
+            (MultiHeadSelfAttention,),
+        )
+        assert len(adapters) == 2  # one per block
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        out = model(x)
+        out.sum().backward()
+        assert out.shape == (2, 4)
+
+    def test_validation(self, rng):
+        with pytest.raises(AdapterError):
+            PrefixTuningAttention(Linear(4, 4, rng=rng), prefix_length=2)
+        base = MultiHeadSelfAttention(16, 2, rng=rng)
+        with pytest.raises(AdapterError):
+            PrefixTuningAttention(base, prefix_length=0)
+
+    def test_no_static_delta(self, rng):
+        base = MultiHeadSelfAttention(16, 2, rng=rng)
+        adapter = PrefixTuningAttention(base, prefix_length=2, rng=rng)
+        with pytest.raises(AdapterError):
+            adapter.delta_weight()

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, einsum, relu, softmax, tensor
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+
+def arrays(shape):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.floats(-10, 10, allow_nan=False, width=64),
+    )
+
+
+class TestAlgebraicIdentities:
+    @given(arrays((3, 4)), arrays((3, 4)))
+    @settings(**SETTINGS)
+    def test_addition_commutes(self, a, b):
+        lhs = (tensor(a, dtype=np.float64) + tensor(b, dtype=np.float64)).data
+        rhs = (tensor(b, dtype=np.float64) + tensor(a, dtype=np.float64)).data
+        assert np.allclose(lhs, rhs)
+
+    @given(arrays((3, 4)))
+    @settings(**SETTINGS)
+    def test_double_negation(self, a):
+        assert np.allclose((-(-tensor(a, dtype=np.float64))).data, a)
+
+    @given(arrays((2, 3)), arrays((3, 4)), arrays((4, 2)))
+    @settings(**SETTINGS)
+    def test_matmul_associative(self, a, b, c):
+        ta, tb, tc = (tensor(x, dtype=np.float64) for x in (a, b, c))
+        lhs = ((ta @ tb) @ tc).data
+        rhs = (ta @ (tb @ tc)).data
+        assert np.allclose(lhs, rhs, atol=1e-6)
+
+    @given(arrays((4, 5)))
+    @settings(**SETTINGS)
+    def test_relu_idempotent(self, a):
+        t = tensor(a, dtype=np.float64)
+        assert np.allclose(relu(relu(t)).data, relu(t).data)
+
+    @given(arrays((4, 5)))
+    @settings(**SETTINGS)
+    def test_softmax_is_distribution(self, a):
+        out = softmax(tensor(a, dtype=np.float64)).data
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+class TestGradientLinearity:
+    @given(arrays((3, 3)))
+    @settings(**SETTINGS)
+    def test_sum_gradient_is_ones(self, a):
+        t = tensor(a, requires_grad=True, dtype=np.float64)
+        t.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    @given(arrays((3, 3)), st.floats(-5, 5, allow_nan=False))
+    @settings(**SETTINGS)
+    def test_scaling_loss_scales_gradient(self, a, scale):
+        t1 = tensor(a, requires_grad=True, dtype=np.float64)
+        (t1 * t1).sum().backward()
+        t2 = tensor(a, requires_grad=True, dtype=np.float64)
+        ((t2 * t2) * scale).sum().backward()
+        assert np.allclose(t2.grad, scale * t1.grad, atol=1e-8)
+
+    @given(arrays((2, 4)))
+    @settings(**SETTINGS)
+    def test_gradient_of_identity_composition(self, a):
+        t = tensor(a, requires_grad=True, dtype=np.float64)
+        t.reshape(4, 2).transpose(1, 0).reshape(2, 4).sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+
+class TestEinsumProperties:
+    @given(arrays((3, 4)), arrays((4, 5)))
+    @settings(**SETTINGS)
+    def test_einsum_matches_matmul(self, a, b):
+        ta, tb = tensor(a, dtype=np.float64), tensor(b, dtype=np.float64)
+        assert np.allclose(einsum("ij,jk->ik", ta, tb).data, a @ b, atol=1e-8)
+
+    @given(arrays((3, 4)))
+    @settings(**SETTINGS)
+    def test_einsum_transpose_involution(self, a):
+        t = tensor(a, dtype=np.float64)
+        double = einsum("ji->ij", einsum("ij->ji", t))
+        assert np.allclose(double.data, a)
+
+    @given(arrays((3, 4)), arrays((3, 4)))
+    @settings(**SETTINGS)
+    def test_einsum_linear_in_first_argument(self, a, b):
+        w = tensor(np.ones((4, 2)), dtype=np.float64)
+        lhs = einsum("ij,jk->ik", tensor(a + b, dtype=np.float64), w).data
+        rhs = (
+            einsum("ij,jk->ik", tensor(a, dtype=np.float64), w).data
+            + einsum("ij,jk->ik", tensor(b, dtype=np.float64), w).data
+        )
+        assert np.allclose(lhs, rhs, atol=1e-8)

@@ -1,0 +1,77 @@
+"""Property-based tests for the convolution operator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, conv2d
+
+SETTINGS = dict(max_examples=25, deadline=None)
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _conv(x, w, stride=1, padding=0):
+    return conv2d(
+        Tensor(np.asarray(x, dtype=np.float64)),
+        Tensor(np.asarray(w, dtype=np.float64)),
+        stride=stride,
+        padding=padding,
+    ).data
+
+
+class TestConvProperties:
+    @given(seeds)
+    @settings(**SETTINGS)
+    def test_linearity_in_input(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(1, 2, 6, 6))
+        b = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(3, 3, 2, 4))
+        assert np.allclose(_conv(a + b, w), _conv(a, w) + _conv(b, w), atol=1e-10)
+
+    @given(seeds)
+    @settings(**SETTINGS)
+    def test_linearity_in_weight(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 6, 6))
+        w1 = rng.normal(size=(3, 3, 2, 4))
+        w2 = rng.normal(size=(3, 3, 2, 4))
+        assert np.allclose(
+            _conv(x, w1 + w2), _conv(x, w1) + _conv(x, w2), atol=1e-10
+        )
+
+    @given(seeds, st.integers(1, 3))
+    @settings(**SETTINGS)
+    def test_translation_equivariance(self, seed, shift):
+        """Rolling the (periodically padded) input rolls the output —
+        convolution's defining symmetry.  Checked with circular inputs by
+        comparing interior regions unaffected by boundary effects."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 1, 12, 12))
+        w = rng.normal(size=(3, 3, 1, 1))
+        out = _conv(x, w, padding=0)
+        shifted_out = _conv(np.roll(x, shift, axis=3), w, padding=0)
+        # interior columns of the shifted output equal shifted interior
+        interior = out[:, :, :, : out.shape[3] - shift]
+        assert np.allclose(shifted_out[:, :, :, shift:], interior, atol=1e-10)
+
+    @given(seeds)
+    @settings(**SETTINGS)
+    def test_delta_kernel_is_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 3, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        for c in range(3):
+            w[0, 0, c, c] = 1.0
+        assert np.allclose(_conv(x, w), x, atol=1e-12)
+
+    @given(seeds, st.integers(1, 2), st.integers(0, 2))
+    @settings(**SETTINGS)
+    def test_batch_independence(self, seed, stride, padding):
+        """conv(batch) row n == conv(single sample n)."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(3, 2, 7, 7))
+        w = rng.normal(size=(3, 3, 2, 4))
+        full = _conv(x, w, stride=stride, padding=padding)
+        for n in range(3):
+            single = _conv(x[n : n + 1], w, stride=stride, padding=padding)
+            assert np.allclose(full[n : n + 1], single, atol=1e-10)

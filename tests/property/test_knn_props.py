@@ -1,0 +1,63 @@
+"""Property-based tests for the KNN evaluator."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import KNNClassifier
+
+SETTINGS = dict(max_examples=25, deadline=None)
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestKNNProperties:
+    @given(seeds, st.integers(2, 5), st.integers(5, 20))
+    @settings(**SETTINGS)
+    def test_predictions_are_known_labels(self, seed, classes, n):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 4))
+        y = rng.integers(0, classes, n)
+        knn = KNNClassifier(metric="euclidean").fit(x, y)
+        predictions = knn.predict(rng.normal(size=(7, 4)), k=3)
+        assert set(predictions) <= set(y)
+
+    @given(seeds)
+    @settings(**SETTINGS)
+    def test_translation_invariance_euclidean(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(20, 4))
+        y = rng.integers(0, 3, 20)
+        q = rng.normal(size=(6, 4))
+        shift = rng.normal(size=4) * 10
+        a = KNNClassifier(metric="euclidean").fit(x, y).predict(q, k=3)
+        b = KNNClassifier(metric="euclidean").fit(x + shift, y).predict(q + shift, k=3)
+        assert np.array_equal(a, b)
+
+    @given(seeds, st.floats(0.1, 10.0))
+    @settings(**SETTINGS)
+    def test_scale_invariance_cosine(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(20, 4))
+        y = rng.integers(0, 3, 20)
+        q = rng.normal(size=(6, 4))
+        a = KNNClassifier(metric="cosine").fit(x, y).predict(q, k=3)
+        b = KNNClassifier(metric="cosine").fit(x * scale, y).predict(q, k=3)
+        assert np.array_equal(a, b)
+
+    @given(seeds)
+    @settings(**SETTINGS)
+    def test_score_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(15, 3))
+        y = rng.integers(0, 2, 15)
+        knn = KNNClassifier().fit(x, y)
+        score = knn.score(rng.normal(size=(9, 3)), rng.integers(0, 2, 9), k=5)
+        assert 0.0 <= score <= 1.0
+
+    @given(seeds)
+    @settings(**SETTINGS)
+    def test_single_class_always_predicted(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(10, 3))
+        y = np.full(10, 7, dtype=np.int64)
+        knn = KNNClassifier().fit(x, y)
+        assert np.all(knn.predict(rng.normal(size=(5, 3)), k=3) == 7)

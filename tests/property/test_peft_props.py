@@ -1,0 +1,100 @@
+"""Property-based tests for adapter invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.nn import Linear
+from repro.peft import LoRALinear, MetaLoRACPLinear, MetaLoRATRLinear
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+dims = st.integers(2, 10)
+ranks = st.integers(1, 4)
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestAdapterInvariants:
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_lora_identity_at_init(self, i, o, rank, seed):
+        """B = 0 at init ⇒ the adapter is exactly the base layer."""
+        rng = np.random.default_rng(seed)
+        base = Linear(i, o, rng=rng)
+        adapter = LoRALinear(base, rank=rank, rng=rng)
+        x = Tensor(rng.normal(size=(3, i)).astype(np.float32))
+        assert np.allclose(adapter(x).data, base(x).data)
+
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_lora_delta_rank_bounded(self, i, o, rank, seed):
+        """ΔW = A B has linear-algebra rank at most the LoRA rank."""
+        rng = np.random.default_rng(seed)
+        adapter = LoRALinear(Linear(i, o, rng=rng), rank=rank, rng=rng)
+        adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(
+            np.float32
+        )
+        assert np.linalg.matrix_rank(adapter.delta_weight(), tol=1e-5) <= rank
+
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_cp_delta_linear_in_seed(self, i, o, rank, seed):
+        """Eq. 6 is linear in c: ΔW(c₁ + c₂) = ΔW(c₁) + ΔW(c₂)."""
+        rng = np.random.default_rng(seed)
+        adapter = MetaLoRACPLinear(Linear(i, o, rng=rng), rank=rank, rng=rng)
+        adapter.factor_b.data[...] = rng.normal(size=adapter.factor_b.shape).astype(
+            np.float32
+        )
+        a_mat, b_mat = adapter.factor_a.data, adapter.factor_b.data
+        c1, c2 = rng.normal(size=rank), rng.normal(size=rank)
+        delta = lambda c: np.einsum("ir,ro,r->io", a_mat, b_mat, c)
+        assert np.allclose(delta(c1 + c2), delta(c1) + delta(c2), atol=1e-8)
+
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_tr_delta_linear_in_seed(self, i, o, rank, seed):
+        """Eq. 7 is linear in the closure matrix C."""
+        rng = np.random.default_rng(seed)
+        adapter = MetaLoRATRLinear(Linear(i, o, rng=rng), rank=rank, rng=rng)
+        adapter.core_b.data[...] = rng.normal(size=adapter.core_b.shape).astype(
+            np.float32
+        )
+        a_core, b_core = adapter.core_a.data, adapter.core_b.data
+        c1 = rng.normal(size=(rank, rank))
+        c2 = rng.normal(size=(rank, rank))
+        delta = lambda c: np.einsum("pir,roq,qp->io", a_core, b_core, c)
+        assert np.allclose(delta(c1 + c2), delta(c1) + delta(c2), atol=1e-8)
+
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_tr_delta_rank_bounded_by_r_squared(self, i, o, rank, seed):
+        """TR ΔW has matrix rank at most R² (the format's expressiveness cap)."""
+        rng = np.random.default_rng(seed)
+        adapter = MetaLoRATRLinear(Linear(i, o, rng=rng), rank=rank, rng=rng)
+        adapter.core_b.data[...] = rng.normal(size=adapter.core_b.shape).astype(
+            np.float32
+        )
+        seed_c = rng.normal(size=(rank, rank))
+        delta = np.einsum(
+            "pir,roq,qp->io", adapter.core_a.data, adapter.core_b.data, seed_c
+        )
+        assert np.linalg.matrix_rank(delta, tol=1e-5) <= rank * rank
+
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_per_sample_batch_equals_per_sample_loop(self, i, o, rank, seed):
+        """Batched meta forward ≡ one-sample-at-a-time forward."""
+        rng = np.random.default_rng(seed)
+        base = Linear(i, o, rng=rng)
+        adapter = MetaLoRACPLinear(base, rank=rank, rng=rng)
+        adapter.factor_b.data[...] = rng.normal(size=adapter.factor_b.shape).astype(
+            np.float32
+        )
+        x = rng.normal(size=(4, i)).astype(np.float32)
+        seeds_arr = rng.normal(size=(4, rank)).astype(np.float32)
+        adapter.set_seed(Tensor(seeds_arr))
+        batched = adapter(Tensor(x)).data
+        for n in range(4):
+            adapter.set_seed(Tensor(seeds_arr[n : n + 1]))
+            single = adapter(Tensor(x[n : n + 1])).data
+            assert np.allclose(batched[n : n + 1], single, atol=1e-4)

@@ -1,0 +1,120 @@
+"""Property-based tests for the tensor formats (CP / TR / Tucker / dummy)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.tensornet import (
+    conv1d_direct,
+    conv1d_via_dummy,
+    cp_to_tensor,
+    random_cp,
+    random_tr,
+    tr_decompose,
+    tr_to_tensor,
+    tucker_decompose,
+    tucker_to_tensor,
+)
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+dims = st.integers(2, 6)
+ranks = st.integers(1, 4)
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestCPProperties:
+    @given(dims, dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_reconstruction_shape(self, i, j, k, rank, seed):
+        cp = random_cp((i, j, k), rank, np.random.default_rng(seed))
+        assert cp_to_tensor(cp).shape == (i, j, k)
+
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_cp_matrix_rank_bound(self, i, j, rank, seed):
+        """A rank-R CP matrix has linear-algebra rank at most R."""
+        cp = random_cp((i, j), rank, np.random.default_rng(seed))
+        matrix = cp_to_tensor(cp)
+        assert np.linalg.matrix_rank(matrix, tol=1e-8) <= rank
+
+    @given(dims, dims, dims, ranks, seeds, st.floats(0.1, 10))
+    @settings(**SETTINGS)
+    def test_weight_scaling_homogeneous(self, i, j, k, rank, seed, scale):
+        cp = random_cp((i, j, k), rank, np.random.default_rng(seed))
+        scaled = type(cp)(lam=cp.lam * scale, factors=cp.factors)
+        assert np.allclose(
+            cp_to_tensor(scaled), scale * cp_to_tensor(cp), atol=1e-8
+        )
+
+
+class TestTRProperties:
+    @given(dims, dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_roundtrip_exact_with_generous_rank(self, i, j, k, rank, seed):
+        tr = random_tr((i, j, k), rank, np.random.default_rng(seed))
+        target = tr_to_tensor(tr)
+        est = tr_decompose(target, max_rank=i * j * k)
+        assert np.allclose(tr_to_tensor(est), target, atol=1e-6)
+
+    @given(dims, dims, ranks, seeds)
+    @settings(**SETTINGS)
+    def test_tr_matrix_rank_bound(self, i, j, rank, seed):
+        """An order-2 TR with ring rank R has matrix rank at most R²."""
+        tr = random_tr((i, j), rank, np.random.default_rng(seed))
+        matrix = tr_to_tensor(tr)
+        assert np.linalg.matrix_rank(matrix, tol=1e-8) <= rank * rank
+
+    @given(dims, dims, dims, seeds)
+    @settings(**SETTINGS)
+    def test_decompose_preserves_shape(self, i, j, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(i, j, k))
+        assert tr_decompose(x, max_rank=3).shape == (i, j, k)
+
+
+class TestTuckerProperties:
+    @given(dims, dims, seeds)
+    @settings(**SETTINGS)
+    def test_full_rank_reconstruction(self, i, j, seed):
+        x = np.random.default_rng(seed).normal(size=(i, j))
+        tk = tucker_decompose(x, (i, j))
+        assert np.allclose(tucker_to_tensor(tk), x, atol=1e-8)
+
+    @given(dims, dims, dims, seeds)
+    @settings(**SETTINGS)
+    def test_error_bounded_by_norm(self, i, j, k, seed):
+        x = np.random.default_rng(seed).normal(size=(i, j, k))
+        tk = tucker_decompose(x, (1, 1, 1))
+        err = np.linalg.norm(tucker_to_tensor(tk) - x)
+        assert err <= np.linalg.norm(x) + 1e-9
+
+
+class TestDummyConvProperties:
+    @given(
+        st.integers(5, 15),
+        st.integers(1, 4),
+        st.integers(1, 3),
+        st.integers(0, 2),
+        seeds,
+    )
+    @settings(**SETTINGS)
+    def test_dummy_equals_direct_everywhere(self, n, k, stride, padding, seed):
+        if n + 2 * padding < k:
+            return  # no valid output
+        rng = np.random.default_rng(seed)
+        signal, kernel = rng.normal(size=n), rng.normal(size=k)
+        assert np.allclose(
+            conv1d_via_dummy(signal, kernel, stride, padding),
+            conv1d_direct(signal, kernel, stride, padding),
+            atol=1e-10,
+        )
+
+    @given(st.integers(5, 12), st.integers(1, 3), seeds)
+    @settings(**SETTINGS)
+    def test_convolution_linear_in_signal(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=n), rng.normal(size=n)
+        kernel = rng.normal(size=k)
+        lhs = conv1d_via_dummy(a + b, kernel)
+        rhs = conv1d_via_dummy(a, kernel) + conv1d_via_dummy(b, kernel)
+        assert np.allclose(lhs, rhs, atol=1e-10)

@@ -1,0 +1,105 @@
+"""Tests for generalized contraction (Eq. 1), mode products, matricization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensornet import contract, fold, mode_product, unfold
+from repro.tensornet.contraction import khatri_rao
+
+
+class TestContract:
+    def test_matches_tensordot(self, rng):
+        a = rng.normal(size=(3, 4, 5))
+        b = rng.normal(size=(5, 4, 6))
+        out = contract(a, b, (1, 2), (1, 0))
+        assert np.allclose(out, np.tensordot(a, b, axes=((1, 2), (1, 0))))
+
+    def test_order_reduction_eq1(self, rng):
+        """Contracting S shared modes yields order N + M - 2S."""
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(4, 5))
+        out = contract(a, b, 2, 0)
+        assert out.ndim == 3 + 2 - 2
+
+    def test_single_int_modes(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 2))
+        assert np.allclose(contract(a, b, 1, 0), a @ b)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ShapeError, match="differ"):
+            contract(rng.normal(size=(3, 4)), rng.normal(size=(5, 2)), 1, 0)
+
+    def test_mode_count_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            contract(rng.normal(size=(3, 4)), rng.normal(size=(4, 3)), (0, 1), (1,))
+
+    def test_mode_out_of_range(self, rng):
+        with pytest.raises(ShapeError, match="out of range"):
+            contract(rng.normal(size=(3, 4)), rng.normal(size=(4, 3)), 5, 0)
+
+
+class TestModeProduct:
+    def test_matches_einsum_each_mode(self, rng):
+        x = rng.normal(size=(3, 4, 5))
+        specs = ["ib,ajk->ijk", "jb,aik->iak", "kb,aij->ija"]
+        for mode in range(3):
+            m = rng.normal(size=(x.shape[mode], 7))
+            out = mode_product(x, m, mode)
+            expected = np.moveaxis(
+                np.tensordot(x, m, axes=(mode, 0)), -1, mode
+            )
+            assert np.allclose(out, expected), mode
+
+    def test_preserves_other_modes(self, rng):
+        x = rng.normal(size=(3, 4, 5))
+        m = rng.normal(size=(4, 9))
+        assert mode_product(x, m, 1).shape == (3, 9, 5)
+
+    def test_requires_matrix(self, rng):
+        with pytest.raises(ShapeError):
+            mode_product(rng.normal(size=(3, 4)), rng.normal(size=(4, 2, 2)), 1)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            mode_product(rng.normal(size=(3, 4)), rng.normal(size=(5, 2)), 1)
+
+
+class TestUnfoldFold:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_roundtrip(self, rng, mode):
+        x = rng.normal(size=(2, 3, 4, 5))
+        assert np.allclose(fold(unfold(x, mode), mode, x.shape), x)
+
+    def test_unfold_shape(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        assert unfold(x, 1).shape == (3, 8)
+
+    def test_fold_validates_rows(self, rng):
+        with pytest.raises(ShapeError):
+            fold(rng.normal(size=(5, 6)), 0, (4, 6))
+
+    def test_unfold_rank_identity(self, rng):
+        """A rank-1 tensor has rank-1 unfoldings in every mode."""
+        a, b, c = rng.normal(size=3), rng.normal(size=4), rng.normal(size=5)
+        x = np.einsum("i,j,k->ijk", a, b, c)
+        for mode in range(3):
+            s = np.linalg.svd(unfold(x, mode), compute_uv=False)
+            assert s[1] < 1e-10 * s[0]
+
+
+class TestKhatriRao:
+    def test_two_matrices(self, rng):
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(4, 2))
+        kr = khatri_rao([a, b])
+        assert kr.shape == (12, 2)
+        for r in range(2):
+            assert np.allclose(kr[:, r], np.kron(a[:, r], b[:, r]))
+
+    def test_rank_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            khatri_rao([rng.normal(size=(3, 2)), rng.normal(size=(4, 3))])
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            khatri_rao([])

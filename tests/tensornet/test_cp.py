@@ -1,0 +1,88 @@
+"""Tests for the CP format (Eqs. 3-4) and the ALS decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensornet import CPTensor, cp_decompose, cp_to_tensor, random_cp
+
+
+class TestCPTensor:
+    def test_shape_and_rank(self, rng):
+        cp = random_cp((3, 4, 5), 2, rng)
+        assert cp.shape == (3, 4, 5)
+        assert cp.rank == 2
+
+    def test_parameter_count(self, rng):
+        cp = random_cp((3, 4), 2, rng)
+        assert cp.parameter_count() == 2 + 3 * 2 + 4 * 2
+
+    def test_validates_factor_shapes(self, rng):
+        with pytest.raises(ShapeError):
+            CPTensor(lam=np.ones(2), factors=[rng.normal(size=(3, 5))])
+
+    def test_validates_weights_vector(self, rng):
+        with pytest.raises(ShapeError):
+            CPTensor(lam=np.ones((2, 2)), factors=[rng.normal(size=(3, 2))])
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ShapeError):
+            random_cp((3, 4), 0, rng)
+
+
+class TestReconstruction:
+    def test_eq4_elementwise(self, rng):
+        """X_{i..} = Σ_r λ_r Π_n A^(n)[i_n, r] (Eq. 4)."""
+        cp = random_cp((3, 4, 5), 2, rng)
+        full = cp_to_tensor(cp)
+        i, j, k = 1, 2, 3
+        manual = sum(
+            cp.lam[r]
+            * cp.factors[0][i, r]
+            * cp.factors[1][j, r]
+            * cp.factors[2][k, r]
+            for r in range(2)
+        )
+        assert full[i, j, k] == pytest.approx(manual)
+
+    def test_matrix_case_is_scaled_outer_product(self, rng):
+        cp = random_cp((4, 6), 3, rng)
+        full = cp_to_tensor(cp)
+        manual = (cp.factors[0] * cp.lam) @ cp.factors[1].T
+        assert np.allclose(full, manual)
+
+    def test_weights_scale_linearly(self, rng):
+        cp = random_cp((3, 4), 2, rng)
+        doubled = CPTensor(lam=2 * cp.lam, factors=cp.factors)
+        assert np.allclose(cp_to_tensor(doubled), 2 * cp_to_tensor(cp))
+
+
+class TestDecomposition:
+    def test_exact_recovery_at_true_rank(self, rng):
+        true = random_cp((6, 5, 4), 3, rng)
+        target = cp_to_tensor(true)
+        est = cp_decompose(target, 3, rng, iterations=500)
+        err = np.linalg.norm(target - cp_to_tensor(est)) / np.linalg.norm(target)
+        assert err < 1e-5
+
+    def test_matrix_decomposition_matches_svd_error(self, rng):
+        matrix = rng.normal(size=(8, 6))
+        est = cp_decompose(matrix, 2, rng, iterations=300)
+        cp_err = np.linalg.norm(matrix - cp_to_tensor(est))
+        u, s, vt = np.linalg.svd(matrix)
+        svd_err = np.linalg.norm(matrix - (u[:, :2] * s[:2]) @ vt[:2])
+        assert cp_err <= svd_err * 1.05  # ALS should reach the SVD optimum
+
+    def test_higher_rank_never_worse(self, rng):
+        target = cp_to_tensor(random_cp((5, 5, 5), 4, rng))
+        err1 = np.linalg.norm(target - cp_to_tensor(cp_decompose(target, 1, rng)))
+        err4 = np.linalg.norm(target - cp_to_tensor(cp_decompose(target, 4, rng, iterations=400)))
+        assert err4 <= err1 + 1e-8
+
+    def test_rejects_vector(self, rng):
+        with pytest.raises(ShapeError):
+            cp_decompose(rng.normal(size=5), 2, rng)
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ShapeError):
+            cp_decompose(rng.normal(size=(3, 3)), 0, rng)

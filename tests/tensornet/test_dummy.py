@@ -1,0 +1,89 @@
+"""Tests for the dummy-tensor convolution representation (Eq. 2, Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d
+from repro.errors import ShapeError
+from repro.tensornet import (
+    conv1d_direct,
+    conv1d_via_dummy,
+    conv2d_via_dummy,
+    dummy_tensor,
+)
+from repro.tensornet.dummy import conv_output_size
+
+
+class TestDummyTensor:
+    def test_is_binary(self):
+        p = dummy_tensor(8, 3, stride=1, padding=0)
+        assert set(np.unique(p)) <= {0.0, 1.0}
+
+    def test_shape(self):
+        p = dummy_tensor(8, 3, stride=2, padding=1)
+        assert p.shape == (8, conv_output_size(8, 3, 2, 1), 3)
+
+    def test_membership_rule(self):
+        """P[j, j', k] = 1 iff j = s·j' + k − p."""
+        s, pad = 2, 1
+        p = dummy_tensor(9, 3, stride=s, padding=pad)
+        for j in range(p.shape[0]):
+            for jp in range(p.shape[1]):
+                for k in range(3):
+                    expected = 1.0 if j == s * jp + k - pad else 0.0
+                    assert p[j, jp, k] == expected
+
+    def test_invalid_stride(self):
+        with pytest.raises(ShapeError):
+            dummy_tensor(8, 3, stride=0)
+
+    def test_negative_padding(self):
+        with pytest.raises(ShapeError):
+            dummy_tensor(8, 3, padding=-1)
+
+    def test_empty_output(self):
+        with pytest.raises(ShapeError):
+            dummy_tensor(2, 5)
+
+
+class TestConv1d:
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_dummy_equals_direct(self, rng, stride, padding):
+        signal = rng.normal(size=13)
+        kernel = rng.normal(size=4)
+        assert np.allclose(
+            conv1d_via_dummy(signal, kernel, stride, padding),
+            conv1d_direct(signal, kernel, stride, padding),
+        )
+
+    def test_identity_kernel(self):
+        signal = np.arange(5.0)
+        assert np.allclose(conv1d_via_dummy(signal, np.array([1.0])), signal)
+
+    def test_direct_validates_rank(self, rng):
+        with pytest.raises(ShapeError):
+            conv1d_direct(rng.normal(size=(3, 3)), rng.normal(size=3))
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_dummy_equals_im2col_engine(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(3, 3, 3, 4))
+        engine = conv2d(
+            Tensor(x.astype(np.float64)),
+            Tensor(w.astype(np.float64)),
+            stride=stride,
+            padding=padding,
+        ).data
+        dummy = conv2d_via_dummy(x, w, stride, padding)
+        assert np.allclose(engine, dummy, atol=1e-10)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d_via_dummy(rng.normal(size=(1, 2, 4, 4)), rng.normal(size=(3, 3, 3, 2)))
+
+    def test_rank_validation(self, rng):
+        with pytest.raises(ShapeError):
+            conv2d_via_dummy(rng.normal(size=(2, 4, 4)), rng.normal(size=(3, 3, 3, 2)))

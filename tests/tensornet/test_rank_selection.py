@@ -1,0 +1,75 @@
+"""Tests for adaptive rank selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensornet import (
+    random_tt,
+    suggest_adapter_rank,
+    tr_decompose_adaptive,
+    tt_decompose_adaptive,
+    tt_to_tensor,
+    tr_to_tensor,
+)
+
+
+class TestAdaptiveTT:
+    def test_error_bound_honored(self, rng):
+        x = rng.normal(size=(6, 7, 8))
+        for epsilon in (0.1, 0.3, 0.5):
+            tt = tt_decompose_adaptive(x, epsilon)
+            err = np.linalg.norm(tt_to_tensor(tt) - x) / np.linalg.norm(x)
+            assert err <= epsilon + 1e-10, epsilon
+
+    def test_zero_epsilon_is_exact(self, rng):
+        x = rng.normal(size=(4, 5, 6))
+        tt = tt_decompose_adaptive(x, 0.0)
+        assert np.allclose(tt_to_tensor(tt), x, atol=1e-8)
+
+    def test_looser_budget_smaller_ranks(self, rng):
+        x = rng.normal(size=(6, 6, 6))
+        tight = tt_decompose_adaptive(x, 0.05)
+        loose = tt_decompose_adaptive(x, 0.6)
+        assert sum(loose.ranks) <= sum(tight.ranks)
+
+    def test_low_rank_input_gets_low_ranks(self, rng):
+        low = tt_to_tensor(random_tt((6, 6, 6), 2, rng))
+        tt = tt_decompose_adaptive(low, 0.01)
+        assert all(r <= 4 for r in tt.ranks)
+
+    def test_max_rank_cap(self, rng):
+        x = rng.normal(size=(8, 8, 8))
+        tt = tt_decompose_adaptive(x, 0.0, max_rank=3)
+        assert all(r <= 3 for r in tt.ranks)
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            tt_decompose_adaptive(rng.normal(size=(3, 3)), epsilon=1.0)
+        with pytest.raises(ShapeError):
+            tt_decompose_adaptive(rng.normal(size=5), epsilon=0.1)
+
+
+class TestAdaptiveTR:
+    def test_produces_valid_ring(self, rng):
+        x = rng.normal(size=(4, 5, 6))
+        tr = tr_decompose_adaptive(x, 0.2)
+        err = np.linalg.norm(tr_to_tensor(tr) - x) / np.linalg.norm(x)
+        assert err <= 0.2 + 1e-10
+
+
+class TestSuggestAdapterRank:
+    def test_low_rank_weight_gets_small_suggestion(self, rng):
+        u = rng.normal(size=(16, 2))
+        v = rng.normal(size=(2, 12))
+        rank = suggest_adapter_rank(u @ v, epsilon=0.05)
+        assert rank <= 3
+
+    def test_full_rank_weight_hits_cap(self, rng):
+        weight = rng.normal(size=(16, 16))
+        assert suggest_adapter_rank(weight, epsilon=0.01, max_rank=4) == 4
+
+    def test_accepts_conv_tensors(self, rng):
+        weight = rng.normal(size=(3, 3, 8, 16))
+        rank = suggest_adapter_rank(weight, epsilon=0.3)
+        assert 1 <= rank <= 16

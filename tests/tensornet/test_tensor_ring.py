@@ -1,0 +1,85 @@
+"""Tests for the Tensor Ring format and TT-SVD decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensornet import TRTensor, random_tr, tr_decompose, tr_to_tensor
+
+
+class TestTRTensor:
+    def test_shape_and_ranks(self, rng):
+        tr = random_tr((4, 5, 6), 3, rng)
+        assert tr.shape == (4, 5, 6)
+        assert tr.ranks == (3, 3, 3)
+
+    def test_parameter_count(self, rng):
+        tr = random_tr((4, 5), 2, rng)
+        assert tr.parameter_count() == 2 * 4 * 2 + 2 * 5 * 2
+
+    def test_broken_ring_raises(self, rng):
+        cores = [rng.normal(size=(2, 4, 3)), rng.normal(size=(3, 5, 5))]
+        with pytest.raises(ShapeError, match="ring broken"):
+            TRTensor(cores=cores)
+
+    def test_non_3way_core_raises(self, rng):
+        with pytest.raises(ShapeError, match="3-way"):
+            TRTensor(cores=[rng.normal(size=(2, 4))])
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            TRTensor(cores=[])
+
+
+class TestReconstruction:
+    def test_trace_formula_elementwise(self, rng):
+        tr = random_tr((3, 4, 5), 2, rng)
+        full = tr_to_tensor(tr)
+        for index in [(0, 0, 0), (2, 3, 4), (1, 2, 3)]:
+            i, j, k = index
+            chain = tr.cores[0][:, i, :] @ tr.cores[1][:, j, :] @ tr.cores[2][:, k, :]
+            assert full[index] == pytest.approx(np.trace(chain))
+
+    def test_order_two_ring(self, rng):
+        tr = random_tr((4, 6), 3, rng)
+        full = tr_to_tensor(tr)
+        manual = np.einsum("pir,rjq->pirjq", tr.cores[0], tr.cores[1])
+        manual = np.einsum("pirjp->ij", manual)
+        assert np.allclose(full, manual)
+
+    def test_rank_one_ring_is_scaled_outer_product(self, rng):
+        tr = random_tr((3, 4), 1, rng)
+        full = tr_to_tensor(tr)
+        assert np.linalg.matrix_rank(full, tol=1e-10) <= 1
+
+
+class TestDecomposition:
+    def test_exact_roundtrip_with_enough_rank(self, rng):
+        target = tr_to_tensor(random_tr((4, 5, 6), 2, rng))
+        est = tr_decompose(target, max_rank=32)
+        assert np.allclose(tr_to_tensor(est), target, atol=1e-8)
+
+    def test_boundary_ranks_are_one(self, rng):
+        est = tr_decompose(rng.normal(size=(3, 4, 5)), max_rank=8)
+        assert est.cores[0].shape[0] == 1
+        assert est.cores[-1].shape[2] == 1
+
+    def test_truncation_monotone(self, rng):
+        target = rng.normal(size=(6, 6, 6))
+        errs = []
+        for rank in (1, 3, 6):
+            est = tr_decompose(target, max_rank=rank)
+            errs.append(np.linalg.norm(tr_to_tensor(est) - target))
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_shapes_preserved(self, rng):
+        est = tr_decompose(rng.normal(size=(2, 7, 3)), max_rank=4)
+        assert est.shape == (2, 7, 3)
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ShapeError):
+            tr_decompose(rng.normal(size=(3, 3)), max_rank=0)
+
+    def test_rejects_vector(self, rng):
+        with pytest.raises(ShapeError):
+            tr_decompose(rng.normal(size=5), max_rank=2)

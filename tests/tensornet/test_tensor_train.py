@@ -1,0 +1,87 @@
+"""Tests for the Tensor Train format and factorize_dim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensornet import (
+    TTTensor,
+    factorize_dim,
+    random_tt,
+    tt_decompose,
+    tt_to_tensor,
+)
+
+
+class TestTTTensor:
+    def test_shape_and_ranks(self, rng):
+        tt = random_tt((3, 4, 5), 2, rng)
+        assert tt.shape == (3, 4, 5)
+        assert tt.ranks == (2, 2)
+
+    def test_boundary_ranks_enforced(self, rng):
+        with pytest.raises(ShapeError, match="boundary"):
+            TTTensor(cores=[rng.normal(size=(2, 3, 1))])
+
+    def test_chain_continuity_enforced(self, rng):
+        cores = [rng.normal(size=(1, 3, 2)), rng.normal(size=(3, 4, 1))]
+        with pytest.raises(ShapeError, match="chain broken"):
+            TTTensor(cores=cores)
+
+    def test_single_mode(self, rng):
+        tt = TTTensor(cores=[rng.normal(size=(1, 5, 1))])
+        assert tt_to_tensor(tt).shape == (5,)
+
+    def test_parameter_count(self, rng):
+        tt = random_tt((3, 4), 2, rng)
+        assert tt.parameter_count() == 1 * 3 * 2 + 2 * 4 * 1
+
+
+class TestTTDecompose:
+    def test_exact_roundtrip(self, rng):
+        target = tt_to_tensor(random_tt((4, 5, 6), 2, rng))
+        est = tt_decompose(target, max_rank=30)
+        assert np.allclose(tt_to_tensor(est), target, atol=1e-8)
+
+    def test_rank_respected(self, rng):
+        est = tt_decompose(rng.normal(size=(5, 5, 5)), max_rank=2)
+        assert all(r <= 2 for r in est.ranks)
+
+    def test_vector_passthrough(self, rng):
+        v = rng.normal(size=7)
+        est = tt_decompose(v, max_rank=3)
+        assert np.allclose(tt_to_tensor(est), v)
+
+    def test_truncation_monotone(self, rng):
+        target = rng.normal(size=(6, 6, 6))
+        errors = [
+            np.linalg.norm(tt_to_tensor(tt_decompose(target, max_rank=r)) - target)
+            for r in (1, 3, 6)
+        ]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_invalid_rank(self, rng):
+        with pytest.raises(ShapeError):
+            tt_decompose(rng.normal(size=(3, 3)), max_rank=0)
+
+
+class TestFactorizeDim:
+    def test_exact_products(self):
+        for dim in (4, 12, 30, 64, 100, 7):
+            for parts in (1, 2, 3):
+                factors = factorize_dim(dim, parts)
+                assert len(factors) == parts
+                assert int(np.prod(factors)) == dim
+
+    def test_balanced_split(self):
+        assert factorize_dim(12, 2) == (4, 3)
+        assert factorize_dim(64, 2) == (8, 8)
+
+    def test_prime_goes_to_one_factor(self):
+        assert factorize_dim(7, 2) == (7, 1)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            factorize_dim(0, 2)
+        with pytest.raises(ShapeError):
+            factorize_dim(4, 0)

@@ -1,0 +1,53 @@
+"""Tests for Tucker/HOSVD."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensornet import TuckerTensor, tucker_decompose, tucker_to_tensor
+
+
+class TestTucker:
+    def test_full_rank_exact(self, rng):
+        x = rng.normal(size=(4, 5, 6))
+        tk = tucker_decompose(x, (4, 5, 6))
+        assert np.allclose(tucker_to_tensor(tk), x, atol=1e-8)
+
+    def test_factors_orthonormal(self, rng):
+        x = rng.normal(size=(4, 5, 6))
+        tk = tucker_decompose(x, (2, 3, 4))
+        for factor in tk.factors:
+            gram = factor.T @ factor
+            assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-10)
+
+    def test_truncation_error_decreases_with_rank(self, rng):
+        x = rng.normal(size=(6, 6, 6))
+        errors = []
+        for rank in (1, 3, 6):
+            tk = tucker_decompose(x, (rank, rank, rank))
+            errors.append(np.linalg.norm(tucker_to_tensor(tk) - x))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_low_multilinear_rank_recovery(self, rng):
+        """A tensor with multilinear rank (2,2,2) is recovered exactly."""
+        core = rng.normal(size=(2, 2, 2))
+        factors = [np.linalg.qr(rng.normal(size=(d, 2)))[0] for d in (5, 6, 7)]
+        x = np.einsum("abc,ia,jb,kc->ijk", core, *factors)
+        tk = tucker_decompose(x, (2, 2, 2))
+        assert np.allclose(tucker_to_tensor(tk), x, atol=1e-8)
+
+    def test_parameter_count(self, rng):
+        tk = tucker_decompose(rng.normal(size=(4, 5)), (2, 2))
+        assert tk.parameter_count() == 4 + 4 * 2 + 5 * 2
+
+    def test_rank_per_mode_required(self, rng):
+        with pytest.raises(ShapeError):
+            tucker_decompose(rng.normal(size=(3, 3, 3)), (2, 2))
+
+    def test_rank_bounds_validated(self, rng):
+        with pytest.raises(ShapeError):
+            tucker_decompose(rng.normal(size=(3, 3)), (4, 2))
+
+    def test_shape_validation_in_dataclass(self, rng):
+        with pytest.raises(ShapeError):
+            TuckerTensor(core=rng.normal(size=(2, 2)), factors=[rng.normal(size=(3, 2))])

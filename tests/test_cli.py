@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.backbone == "resnet"
+        assert args.seeds == [0]
+        assert not args.quick
+
+    def test_table1_options(self):
+        args = build_parser().parse_args(
+            ["table1", "--backbone", "mixer", "--seeds", "0", "1", "--quick"]
+        )
+        assert args.backbone == "mixer"
+        assert args.seeds == [0, 1]
+        assert args.quick
+
+    def test_inspect_defaults(self):
+        args = build_parser().parse_args(["inspect"])
+        assert args.method == "meta_lora_tr"
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inspect", "--method", "qlora"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_figures_runs(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "Fig. 3" in out
+
+    def test_inspect_runs(self, capsys):
+        assert main(["inspect", "--method", "lora"]) == 0
+        out = capsys.readouterr().out
+        assert "trainable" in out
+        assert "LoRALinear" in out
+
+    def test_inspect_original_has_no_adapters(self, capsys):
+        assert main(["inspect", "--method", "original"]) == 0
+        out = capsys.readouterr().out
+        assert "trainable=0" in out
+
+    def test_report_renders_saved_records(self, capsys, tmp_path):
+        from repro.eval.protocol import Table1Row
+        from repro.eval.reporting import record_from_rows, save_record
+
+        rows = {
+            "lora": Table1Row("lora", {5: 0.8, 10: 0.7}),
+            "meta_lora_tr": Table1Row("meta_lora_tr", {5: 0.9, 10: 0.8}),
+        }
+        record = record_from_rows("resnet", [0], [rows], ks=(5, 10))
+        save_record(record, tmp_path)
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table I — resnet" in out
+        assert "| Meta-LoRA TR | 90.00 | 80.00 |" in out
+
+    def test_report_empty_dir_fails_gracefully(self, capsys, tmp_path):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 1
+
+    def test_table1_command_drives_protocol(self, capsys, monkeypatch):
+        from repro.eval.protocol import Table1Row
+        import repro.cli as cli
+
+        def fake_run(config, seed):
+            return {
+                m: Table1Row(m, {k: 0.5 for k in config.ks})
+                for m in config.methods
+            }
+
+        monkeypatch.setattr(cli, "run_table1", fake_run)
+        assert main(["table1", "--seeds", "0", "1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Backbone: resnet" in out
+        assert "significance" in out

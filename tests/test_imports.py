@@ -1,0 +1,50 @@
+"""Import smoke test: every module in the package imports cleanly and the
+public API surfaces declared in ``__all__`` actually exist."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for __, name, ___ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if name != "repro.__main__"  # executes the CLI on import, by design
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize(
+    "package_name",
+    [
+        "repro",
+        "repro.autograd",
+        "repro.nn",
+        "repro.models",
+        "repro.tensornet",
+        "repro.peft",
+        "repro.data",
+        "repro.train",
+        "repro.eval",
+        "repro.utils",
+    ],
+)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} has no __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_no_module_shadows_stdlib():
+    suspicious = {"logging", "json", "types"}
+    top_level = {name.split(".")[1] for name in MODULES if name.count(".") == 1}
+    # Submodules may reuse stdlib names (repro.utils.logging) — that is
+    # fine under a package; only top-level shadowing would be a problem.
+    assert not (top_level & suspicious)

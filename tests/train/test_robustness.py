@@ -1,0 +1,78 @@
+"""Failure-injection tests for the training stack."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import TrainingError
+from repro.nn import BatchNorm2d, Conv2d, Linear, Sequential
+from repro.train import SGD, Trainer
+
+
+class TestNonFiniteGuard:
+    def test_nan_loss_raises(self, rng):
+        model = Sequential(Linear(4, 2, rng=rng))
+        model[0].weight.data[...] = np.nan
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        with pytest.raises(TrainingError, match="non-finite"):
+            trainer.train_step(
+                rng.normal(size=(4, 4)).astype(np.float32),
+                np.zeros(4, dtype=np.int64),
+            )
+
+    def test_exploding_weights_raise_not_silently_corrupt(self, rng):
+        model = Sequential(Linear(4, 2, rng=rng))
+        model[0].weight.data[...] = 1e38
+        trainer = Trainer(model, SGD(model.parameters(), lr=1.0))
+        x = (rng.normal(size=(4, 4)) * 1e5).astype(np.float32)
+        with np.errstate(over="ignore", invalid="ignore"):
+            with pytest.raises(TrainingError):
+                for __ in range(20):
+                    trainer.train_step(x, np.zeros(4, dtype=np.int64))
+
+
+class TestNumericalEdges:
+    def test_batchnorm_single_sample_batch(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)).astype(np.float32))
+        out = bn(x)
+        assert np.isfinite(out.data).all()
+
+    def test_batchnorm_constant_input(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(np.full((4, 2, 3, 3), 5.0, dtype=np.float32))
+        out = bn(x)
+        assert np.isfinite(out.data).all()
+        assert np.allclose(out.data, 0.0, atol=1e-2)  # (x - μ)/σ ≈ 0
+
+    def test_conv_minimal_spatial(self, rng):
+        conv = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2, 1, 1)).astype(np.float32))
+        assert conv(x).shape == (1, 3, 1, 1)
+
+    def test_softmax_extreme_logits_finite(self):
+        from repro.autograd import softmax, tensor
+
+        x = tensor(np.array([[1e4, -1e4, 0.0]], dtype=np.float32))
+        out = softmax(x)
+        assert np.isfinite(out.data).all()
+        assert out.data[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_extreme_logits_finite(self):
+        from repro.autograd import log_softmax, tensor
+
+        x = tensor(np.array([[1e4, -1e4, 0.0]], dtype=np.float32))
+        out = log_softmax(x)
+        assert np.isfinite(out.data[0, 0])
+
+    def test_cross_entropy_gradient_finite_under_confidence(self, rng):
+        from repro.train import cross_entropy
+        from repro.autograd import tensor
+
+        logits = tensor(
+            np.array([[100.0, -100.0], [-100.0, 100.0]], dtype=np.float32),
+            requires_grad=True,
+        )
+        loss = cross_entropy(logits, np.array([0, 1]))
+        loss.backward()
+        assert np.isfinite(logits.grad).all()

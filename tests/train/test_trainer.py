@@ -1,0 +1,131 @@
+"""Tests for losses, Trainer and the episodic MetaTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, tensor
+from repro.data import TaskDistribution, generate_task_data
+from repro.errors import ShapeError, TrainingError
+from repro.nn import Linear, ReLU, Sequential
+from repro.train import Adam, MetaTrainer, SGD, Trainer, cross_entropy, mse_loss
+
+
+class Flatten(Sequential):
+    def forward(self, x):
+        return x.reshape(x.shape[0], -1)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform_logits(self):
+        logits = tensor(np.zeros((4, 10)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.data == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.full((2, 3), -100.0, dtype=np.float32)
+        logits[0, 1] = logits[1, 2] = 100.0
+        loss = cross_entropy(tensor(logits), np.array([1, 2]))
+        assert float(loss.data) < 1e-5
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([0])).backward()
+        assert logits.grad[0, 0] < 0  # pushes the true class up
+        assert logits.grad[0, 1] > 0
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(tensor(np.zeros((2, 3, 4))), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ShapeError):
+            cross_entropy(tensor(np.zeros((2, 3))), np.zeros(3, dtype=np.int64))
+        with pytest.raises(ShapeError):
+            cross_entropy(tensor(np.zeros((2, 3))), np.array([0, 5]))
+
+    def test_mse(self):
+        pred = tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.data == pytest.approx(2.5)
+        loss.backward()
+        assert np.allclose(pred.grad, [1.0, 2.0])
+
+
+class TestTrainer:
+    def _toy_problem(self, rng, n=128):
+        x = rng.normal(size=(n, 8)).astype(np.float32)
+        w = rng.normal(size=(8, 3)).astype(np.float32)
+        y = (x @ w).argmax(axis=1)
+        return x, y
+
+    def test_fit_reduces_loss(self, rng):
+        x, y = self._toy_problem(rng)
+        model = Sequential(Linear(8, 16, rng=rng), ReLU(), Linear(16, 3, rng=rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        result = trainer.fit(x, y, epochs=10, batch_size=16, rng=rng)
+        assert result.losses[-1] < result.losses[0] * 0.6
+        assert result.accuracies[-1] > 0.8
+
+    def test_evaluate_accuracy(self, rng):
+        x, y = self._toy_problem(rng, n=32)
+        model = Sequential(Linear(8, 3, rng=rng))
+        acc = Trainer(model, SGD(model.parameters(), lr=0.1)).evaluate(x, y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_schedule_applied(self, rng):
+        x, y = self._toy_problem(rng, n=16)
+        model = Sequential(Linear(8, 3, rng=rng))
+        opt = SGD(model.parameters(), lr=1.0)
+        trainer = Trainer(model, opt, schedule=lambda step: 0.123)
+        trainer.train_step(x, y)
+        assert opt.lr == 0.123
+
+    def test_grad_clip_bounds_norm(self, rng):
+        x, y = self._toy_problem(rng, n=16)
+        model = Sequential(Linear(8, 3, rng=rng))
+        model[0].weight.data[...] *= 100  # force huge gradients
+        opt = SGD(model.parameters(), lr=1e-9)
+        trainer = Trainer(model, opt, grad_clip=1.0)
+        trainer.train_step(x, y)
+        total = sum(float((p.grad**2).sum()) for p in model.parameters())
+        assert np.sqrt(total) <= 1.0 + 1e-4
+
+    def test_final_loss_requires_steps(self):
+        from repro.train.trainer import TrainResult
+
+        with pytest.raises(TrainingError):
+            TrainResult().final_loss
+
+    def test_fit_validation(self, rng):
+        x, y = self._toy_problem(rng, n=8)
+        model = Sequential(Linear(8, 3, rng=rng))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        with pytest.raises(TrainingError):
+            trainer.fit(x, y, epochs=0, batch_size=4, rng=rng)
+
+
+class TestMetaTrainer:
+    def _task_sets(self, rng):
+        tasks = TaskDistribution(3, seed=0)
+        return [
+            generate_task_data(t, 24, 4, 16, rng) for t in tasks.shifted_tasks()
+        ]
+
+    def test_episodes_logged(self, rng):
+        from repro.models import resnet_small
+
+        model = resnet_small(4, rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3))
+        meta = MetaTrainer(trainer, self._task_sets(rng))
+        log = meta.run(episodes=5, batch_size=8, rng=rng)
+        assert len(log.losses) == 5
+        assert set(log.task_ids) <= {1, 2}
+
+    def test_validation(self, rng):
+        from repro.models import resnet_small
+
+        model = resnet_small(4, rng)
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3))
+        with pytest.raises(TrainingError):
+            MetaTrainer(trainer, [])
+        meta = MetaTrainer(trainer, self._task_sets(rng))
+        with pytest.raises(TrainingError):
+            meta.run(episodes=0, batch_size=4, rng=rng)

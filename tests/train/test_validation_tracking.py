@@ -1,0 +1,74 @@
+"""Tests for validation tracking in Trainer.fit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import Linear, ReLU, Sequential
+from repro.train import Adam, Trainer
+from repro.train.trainer import TrainResult
+
+
+def toy_problem(rng, n=96, w=None):
+    x = rng.normal(size=(n, 6)).astype(np.float32)
+    if w is None:
+        w = rng.normal(size=(6, 3)).astype(np.float32)
+    return x, (x @ w).argmax(axis=1), w
+
+
+class TestValidationTracking:
+    def test_records_one_entry_per_epoch(self, rng):
+        x, y, w = toy_problem(rng)
+        vx, vy, __ = toy_problem(rng, n=32, w=w)
+        model = Sequential(Linear(6, 3, rng=rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        result = trainer.fit(x, y, epochs=4, batch_size=16, rng=rng, validation=(vx, vy))
+        assert len(result.validation_accuracies) == 4
+        assert all(0.0 <= a <= 1.0 for a in result.validation_accuracies)
+
+    def test_no_validation_by_default(self, rng):
+        x, y, __ = toy_problem(rng)
+        model = Sequential(Linear(6, 3, rng=rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        result = trainer.fit(x, y, epochs=2, batch_size=16, rng=rng)
+        assert result.validation_accuracies == []
+        with pytest.raises(TrainingError):
+            result.best_validation_accuracy
+
+    def test_best_validation_accuracy(self):
+        result = TrainResult(validation_accuracies=[0.4, 0.7, 0.6])
+        assert result.best_validation_accuracy == 0.7
+
+    def test_early_stopping_halts_training(self, rng):
+        from repro.train import EarlyStopping
+
+        x, y, w = toy_problem(rng, n=64)
+        vx, vy, __ = toy_problem(rng, n=32, w=w)
+        model = Sequential(Linear(6, 3, rng=rng))
+        # Zero LR: validation accuracy never changes -> stop after patience.
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-12))
+        result = trainer.fit(
+            x, y, epochs=20, batch_size=16, rng=rng,
+            validation=(vx, vy), early_stopping=EarlyStopping(patience=2),
+        )
+        assert len(result.validation_accuracies) <= 4
+
+    def test_early_stopping_requires_validation(self, rng):
+        from repro.train import EarlyStopping
+
+        x, y, __ = toy_problem(rng)
+        model = Sequential(Linear(6, 3, rng=rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        with pytest.raises(TrainingError, match="validation"):
+            trainer.fit(
+                x, y, epochs=2, batch_size=16, rng=rng,
+                early_stopping=EarlyStopping(patience=1),
+            )
+
+    def test_validation_improves_on_learnable_problem(self, rng):
+        x, y, w = toy_problem(rng, n=256)
+        vx, vy, __ = toy_problem(rng, n=64, w=w)
+        model = Sequential(Linear(6, 16, rng=rng), ReLU(), Linear(16, 3, rng=rng))
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-2))
+        result = trainer.fit(x, y, epochs=8, batch_size=16, rng=rng, validation=(vx, vy))
+        assert result.validation_accuracies[-1] > 0.6

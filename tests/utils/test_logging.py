@@ -1,0 +1,33 @@
+"""Tests for the library logger."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+class TestLogger:
+    def test_root_logger_name(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger(self):
+        assert get_logger("train").name == "repro.train"
+
+    def test_enable_console_idempotent(self):
+        enable_console_logging()
+        count = len(get_logger().handlers)
+        enable_console_logging()
+        assert len(get_logger().handlers) == count
+
+    def test_trainer_logs_through_library_logger(self, rng, caplog):
+        import numpy as np
+
+        from repro.nn import Linear, Sequential
+        from repro.train import SGD, Trainer
+
+        model = Sequential(Linear(4, 2, rng=rng))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.01))
+        x = rng.normal(size=(8, 4)).astype(np.float32)
+        y = rng.integers(0, 2, 8)
+        with caplog.at_level(logging.INFO, logger="repro.train"):
+            trainer.fit(x, y, epochs=1, batch_size=4, rng=rng, log_every=1)
+        assert any("epoch" in record.message for record in caplog.records)
