@@ -21,21 +21,11 @@ from repro.data.synthetic import generate_task_data
 from repro.data.tasks import TaskDistribution
 from repro.eval.protocol import _adapt, _knn_accuracy, build_backbone, pretrain_backbone
 from repro.nn.linear import Linear
-from repro.peft import (
-    BottleneckAdapter,
-    DoRALinear,
-    LoRALinear,
-    TTLoRALinear,
-    inject_adapters,
-)
+from repro.peft import attach
 from repro.utils.rng import spawn_rngs
 
-ADAPTERS = {
-    "lora": lambda layer, rng: LoRALinear(layer, 4, rng=rng),
-    "tt_lora": lambda layer, rng: TTLoRALinear(layer, 4, rng=rng),
-    "dora": lambda layer, rng: DoRALinear(layer, 4, rng=rng),
-    "bottleneck": lambda layer, rng: BottleneckAdapter(layer, 4, rng=rng),
-}
+#: registry method names, all at rank 4 (bottleneck width 4)
+ADAPTERS = ("lora", "tt_lora", "dora", "bottleneck")
 
 
 @pytest.mark.benchmark(group="ablation")
@@ -76,10 +66,10 @@ def test_ablation_static_baselines(benchmark, scale):
             eval_sets.append((support, query))
 
         results = {}
-        for (name, factory), rng in zip(ADAPTERS.items(), adapter_rngs):
+        for name, rng in zip(ADAPTERS, adapter_rngs):
             model = build_backbone(config, rng)
             model.load_state_dict(state)
-            inject_adapters(model, lambda m: factory(m, rng), (Linear,))
+            attach(model, name, rank=4, targets=(Linear,), rng=rng)
             _adapt(model, train_sets, config, rng)
             accuracy = _knn_accuracy(model, eval_sets, 5, config.knn_metric)
             budget = model.parameter_count(trainable_only=True)

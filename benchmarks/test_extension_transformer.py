@@ -19,13 +19,7 @@ from repro.data.tasks import TaskDistribution
 from repro.eval.protocol import _adapt, _knn_accuracy
 from repro.models import FeatureExtractor, MultiHeadSelfAttention, vit_small
 from repro.nn.linear import Linear
-from repro.peft import (
-    LoRALinear,
-    MetaLoRAModel,
-    MetaLoRATRLinear,
-    PrefixTuningAttention,
-    inject_adapters,
-)
+from repro.peft import MetaLoRAModel, PrefixTuningAttention, attach
 from repro.train import Adam, Trainer
 from repro.utils.rng import spawn_rngs
 
@@ -87,29 +81,28 @@ def test_extension_metalora_on_vit(benchmark, scale):
         results["frozen"] = _knn_accuracy(frozen, eval_sets, 5, config.knn_metric)
 
         lora = fresh()
-        inject_adapters(lora, lambda m: LoRALinear(m, config.rank, rng=rng_lora), (Linear,))
+        attach(lora, "lora", rank=config.rank, targets=(Linear,), rng=rng_lora)
         _adapt(lora, train_sets, config, rng_lora)
         results["lora"] = _knn_accuracy(lora, eval_sets, 5, config.knn_metric)
 
         prefix = fresh()
-        inject_adapters(
+        # Prefix tuning has no rank: attach with an explicit factory.
+        attach(
             prefix,
             lambda m: PrefixTuningAttention(m, prefix_length=4, rng=rng_prefix),
-            (MultiHeadSelfAttention,),
+            targets=(MultiHeadSelfAttention,),
         )
         _adapt(prefix, train_sets, config, rng_prefix)
         results["prefix"] = _knn_accuracy(prefix, eval_sets, 5, config.knn_metric)
 
         meta_backbone = fresh()
-        inject_adapters(
-            meta_backbone,
-            lambda m: MetaLoRATRLinear(m, config.rank, rng=rng_meta),
-            (Linear,),
+        meta_result = attach(
+            meta_backbone, "meta_tr", rank=config.rank, targets=(Linear,), rng=rng_meta
         )
         extractor_backbone = fresh()
         meta = MetaLoRAModel(
             meta_backbone, FeatureExtractor(extractor_backbone),
-            mapping_hidden=config.mapping_hidden, rng=rng_meta,
+            mapping_hidden=config.mapping_hidden, rng=rng_meta, adapters=meta_result,
         )
         _adapt(meta, train_sets, config, rng_meta)
         results["meta_lora_tr"] = _knn_accuracy(meta, eval_sets, 5, config.knn_metric)

@@ -25,7 +25,7 @@ from repro.peft import (
     MetaLoRAModel,
     MetaLoRATRConv,
     MetaLoRATRLinear,
-    inject_adapters,
+    attach,
 )
 
 IN_FEATURES, OUT_FEATURES = 16, 32
@@ -119,16 +119,10 @@ def test_figure4_end_to_end_generation(benchmark):
     rng = np.random.default_rng(2)
     backbone = resnet_small(4, rng)
     extractor_backbone = resnet_small(4, np.random.default_rng(3))
-    inject_adapters(
-        backbone,
-        lambda m: (
-            MetaLoRATRConv(m, 2, rng=rng)
-            if isinstance(m, Conv2d)
-            else MetaLoRATRLinear(m, 2, rng=rng)
-        ),
-        (Conv2d, Linear),
+    result = attach(backbone, "meta_tr", rank=2, rng=rng)
+    model = MetaLoRAModel(
+        backbone, FeatureExtractor(extractor_backbone), rng=rng, adapters=result
     )
-    model = MetaLoRAModel(backbone, FeatureExtractor(extractor_backbone), rng=rng)
     model.eval()
     x = Tensor(rng.normal(size=(8, 3, 16, 16)).astype(np.float32))
 

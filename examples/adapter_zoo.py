@@ -1,8 +1,11 @@
 """Adapter zoo: every PEFT method in the library on one model.
 
-A guided tour of the adapter API: injection, a short adaptation run, the
-parameter budget, and (for static adapters) merging back into the base.
-Useful as a template when wiring a new adapter into your own model.
+A guided tour of the adapter API: ``peft.attach`` resolves each method by
+its registry name, a short adaptation run follows, then the parameter
+budget and (for static adapters) merging back into the base via the
+returned :class:`AttachResult`.  Useful as a template when wiring a new
+adapter into your own model — register a factory in ``PEFT_METHODS`` and
+it slots straight into this loop.
 
 Run:  python examples/adapter_zoo.py   (~1 min)
 """
@@ -13,59 +16,21 @@ from repro.autograd import Tensor
 from repro.data import TaskDistribution, generate_task_data, merge_tasks
 from repro.models import resnet_small
 from repro.nn import Conv2d, Linear
-from repro.peft import (
-    BottleneckAdapter,
-    ConvLoRA,
-    DoRALinear,
-    LoRALinear,
-    MetaLoRACPConv,
-    MetaLoRACPLinear,
-    MoELoRALinear,
-    MultiLoRAConv,
-    MultiLoRALinear,
-    TTLoRALinear,
-    count_parameters,
-    inject_adapters,
-    merge_adapters,
-    save_adapter,
-)
+from repro.peft import attach, count_parameters, save_adapter
 from repro.train import Adam, Trainer
 from repro.utils.rng import spawn_rngs
 
 NUM_CLASSES = 4
 
+#: registry method name -> (rank, extra options, target types, mergeable)
 ZOO = {
-    "lora": (
-        lambda layer, rng: (
-            ConvLoRA(layer, 2, rng=rng)
-            if isinstance(layer, Conv2d)
-            else LoRALinear(layer, 2, rng=rng)
-        ),
-        (Conv2d, Linear),
-        True,  # mergeable
-    ),
-    "multi_lora": (
-        lambda layer, rng: (
-            MultiLoRAConv(layer, 2, branches=2, rng=rng)
-            if isinstance(layer, Conv2d)
-            else MultiLoRALinear(layer, 2, branches=2, rng=rng)
-        ),
-        (Conv2d, Linear),
-        True,
-    ),
-    "meta_lora_cp": (
-        lambda layer, rng: (
-            MetaLoRACPConv(layer, 2, rng=rng)
-            if isinstance(layer, Conv2d)
-            else MetaLoRACPLinear(layer, 2, rng=rng)
-        ),
-        (Conv2d, Linear),
-        False,  # input-conditioned: cannot merge
-    ),
-    "moe_lora": (lambda layer, rng: MoELoRALinear(layer, 2, experts=3, rng=rng), (Linear,), False),
-    "tt_lora": (lambda layer, rng: TTLoRALinear(layer, 2, rng=rng), (Linear,), True),
-    "dora": (lambda layer, rng: DoRALinear(layer, 2, rng=rng), (Linear,), True),
-    "bottleneck": (lambda layer, rng: BottleneckAdapter(layer, 4, rng=rng), (Linear,), False),
+    "lora": (2, {}, (Conv2d, Linear), True),
+    "multi_lora": (2, {"branches": 2}, (Conv2d, Linear), True),
+    "meta_lora_cp": (2, {}, (Conv2d, Linear), False),  # input-conditioned
+    "moe_lora": (2, {"experts": 3}, (Linear,), False),
+    "tt_lora": (2, {}, (Linear,), True),
+    "dora": (2, {}, (Linear,), True),
+    "bottleneck": (4, {}, (Linear,), False),  # rank = bottleneck width
 }
 
 
@@ -83,13 +48,13 @@ def main() -> None:
     x = Tensor(rng_data.normal(size=(4, 3, 16, 16)).astype(np.float32))
 
     print(f"{'adapter':<14} {'trainable':>10} {'fraction':>9}  {'merged?':>8}")
-    for name, (factory, targets, mergeable) in ZOO.items():
+    for name, (rank, options, targets, mergeable) in ZOO.items():
         model = resnet_small(NUM_CLASSES, rng_model)
         model.load_state_dict(state)
-        inject_adapters(model, lambda m: factory(m, rng_adapt), targets)
+        result = attach(model, name, rank=rank, targets=targets, rng=rng_adapt, **options)
 
         trainer = Trainer(
-            model, Adam(list(model.trainable_parameters()), lr=3e-3), grad_clip=5.0
+            model, Adam(list(result.trainable_parameters()), lr=3e-3), grad_clip=5.0
         )
         for __ in range(5):
             index = rng_adapt.choice(images.shape[0], 32, replace=False)
@@ -99,7 +64,7 @@ def main() -> None:
         merged_note = "-"
         if mergeable:
             before = model.eval()(x).data.copy()
-            merge_adapters(model)
+            result.merge()
             after = model(x).data
             merged_note = "exact" if np.allclose(before, after, atol=1e-3) else "DRIFT"
         print(
@@ -110,15 +75,7 @@ def main() -> None:
     # Adapter-only checkpointing: the PEFT deployment story.
     model = resnet_small(NUM_CLASSES, rng_model)
     model.load_state_dict(state)
-    inject_adapters(
-        model,
-        lambda m: (
-            ConvLoRA(m, 2, rng=rng_adapt)
-            if isinstance(m, Conv2d)
-            else LoRALinear(m, 2, rng=rng_adapt)
-        ),
-        (Conv2d, Linear),
-    )
+    attach(model, "lora", rank=2, rng=rng_adapt)
     scalars = save_adapter(model, "/tmp/repro_adapter_demo.npz")
     print(
         f"\nadapter checkpoint: {scalars:,} scalars "

@@ -22,12 +22,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.models.feature_extractor import FeatureExtractor
 from repro.nn import Linear, Module, ReLU, Sequential
-from repro.peft import (
-    LoRALinear,
-    MetaLoRAModel,
-    MetaLoRATRLinear,
-    inject_adapters,
-)
+from repro.peft import MetaLoRAModel, attach
 from repro.train import Adam, Trainer, cross_entropy
 from repro.utils.rng import spawn_rngs
 
@@ -115,15 +110,15 @@ def main() -> None:
             model.freeze()
             return model
         if method == "lora":
-            inject_adapters(model, lambda m: LoRALinear(m, RANK, rng=rng_adapt), (Linear,))
+            attach(model, "lora", rank=RANK, targets=(Linear,), rng=rng_adapt)
             return model
         # meta: a frozen copy of the pooled scorer provides profile features.
-        inject_adapters(
-            model, lambda m: MetaLoRATRLinear(m, RANK, rng=rng_adapt), (Linear,)
-        )
+        result = attach(model, method, rank=RANK, targets=(Linear,), rng=rng_adapt)
         extractor_net = ScoringNet(rng_model)
         extractor_net.load_state_dict(state)
-        return MetaLoRAModel(model, FeatureExtractor(extractor_net), rng=rng_adapt)
+        return MetaLoRAModel(
+            model, FeatureExtractor(extractor_net), rng=rng_adapt, adapters=result
+        )
 
     print(f"{'method':<12} {'mean acc':>9}   per-user accuracy")
     for method in ("frozen", "lora", "meta_lora_tr"):

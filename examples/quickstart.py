@@ -17,14 +17,11 @@ import numpy as np
 from repro.data import TaskDistribution, generate_task_data
 from repro.eval import KNNClassifier, extract_embeddings
 from repro.models import FeatureExtractor, resnet_small
-from repro.nn import Conv2d, Linear
 from repro.peft import (
     MetaLoRAModel,
-    MetaLoRATRConv,
-    MetaLoRATRLinear,
     adapter_parameter_table,
+    attach,
     count_parameters,
-    inject_adapters,
 )
 from repro.peft.counts import format_table
 from repro.train import Adam, MetaTrainer, Trainer
@@ -52,16 +49,11 @@ def main() -> None:
     extractor_backbone.load_state_dict(backbone.state_dict())
     extractor = FeatureExtractor(extractor_backbone)
 
-    # -- 2. inject MetaLoRA (TR) adapters ---------------------------------
-    def factory(layer):
-        if isinstance(layer, Conv2d):
-            return MetaLoRATRConv(layer, RANK, rng=rng_adapt)
-        return MetaLoRATRLinear(layer, RANK, rng=rng_adapt)
-
-    inject_adapters(backbone, factory, (Conv2d, Linear))
+    # -- 2. attach MetaLoRA (TR) adapters ---------------------------------
+    result = attach(backbone, "meta_tr", rank=RANK, rng=rng_adapt)
 
     # -- 3. wrap with the mapping net (Fig. 4) -----------------------------
-    model = MetaLoRAModel(backbone, extractor, rng=rng_adapt)
+    model = MetaLoRAModel(backbone, extractor, rng=rng_adapt, adapters=result)
 
     counts = count_parameters(model)
     print(

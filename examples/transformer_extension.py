@@ -15,12 +15,7 @@ from repro.data import TaskDistribution, generate_task_data
 from repro.eval import KNNClassifier, extract_embeddings
 from repro.models import FeatureExtractor, vit_small
 from repro.nn import Linear
-from repro.peft import (
-    LoRALinear,
-    MetaLoRAModel,
-    MetaLoRATRLinear,
-    inject_adapters,
-)
+from repro.peft import MetaLoRAModel, attach
 from repro.train import Adam, MetaTrainer, Trainer
 from repro.utils.rng import spawn_rngs
 
@@ -80,19 +75,19 @@ def main() -> None:
 
     lora_vit = vit_small(NUM_CLASSES, rng_pre)
     lora_vit.load_state_dict(state)
-    inject_adapters(lora_vit, lambda m: LoRALinear(m, RANK, rng=rng_adapt), (Linear,))
+    attach(lora_vit, "lora", rank=RANK, targets=(Linear,), rng=rng_adapt)
     evaluate("LoRA", lora_vit)
 
     meta_vit = vit_small(NUM_CLASSES, rng_pre)
     meta_vit.load_state_dict(state)
-    __, adapters = inject_adapters(
-        meta_vit, lambda m: MetaLoRATRLinear(m, RANK, rng=rng_adapt), (Linear,)
-    )
+    result = attach(meta_vit, "meta_tr", rank=RANK, targets=(Linear,), rng=rng_adapt)
     extractor_vit = vit_small(NUM_CLASSES, rng_pre)
     extractor_vit.load_state_dict(state)
-    meta = MetaLoRAModel(meta_vit, FeatureExtractor(extractor_vit), rng=rng_adapt)
-    attention_adapters = sum(1 for name in adapters if "proj" in name)
-    print(f"  (MetaLoRA attached to {len(adapters)} linears, "
+    meta = MetaLoRAModel(
+        meta_vit, FeatureExtractor(extractor_vit), rng=rng_adapt, adapters=result
+    )
+    attention_adapters = sum(1 for name in result.adapters if "proj" in name)
+    print(f"  (MetaLoRA attached to {len(result)} linears, "
           f"{attention_adapters} of them attention projections)")
     evaluate("MetaLoRA TR", meta)
 

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# CI smoke for the performance harness: run the bench_smoke-marked tests
+# (schema round-trip), then produce real BENCH_*.json records at tiny scale.
+#
+# Usage: scripts/bench_smoke.sh [out_dir]   (out_dir defaults to .)
+set -eu
+
+cd "$(dirname "$0")/.."
+out_dir="${1:-.}"
+
+PYTHONPATH=src python -m pytest tests/bench -m bench_smoke -q
+PYTHONPATH=src python -m repro bench --out "$out_dir" --scale tiny --repeats 2

@@ -13,10 +13,14 @@ weights are ``(K_h, K_w, C_in, C_out)`` — the latter matches the paper's
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.errors import ShapeError
+from repro.perf import FLAGS
+from repro.utils.profiling import PROFILER
 
 
 def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -30,14 +34,29 @@ def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def _im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    _use_workspace: bool = False,
 ) -> tuple[np.ndarray, int, int]:
-    """Unfold ``(N, C, H, W)`` into ``(N, out_h, out_w, C, kh, kw)`` patches."""
+    """Unfold ``(N, C, H, W)`` into ``(N, out_h, out_w, C, kh, kw)`` patches.
+
+    The returned array is a zero-copy strided view.  With
+    ``_use_workspace`` the padded input is written into a pooled scratch
+    buffer instead of a fresh allocation — only safe when the caller copies
+    the patches out before the next convolution (conv2d's path does; the
+    view must not escape the call).
+    """
     n, c, h, w = x.shape
     out_h = _out_size(h, kh, stride, padding)
     out_w = _out_size(w, kw, stride, padding)
     if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if _use_workspace and FLAGS.conv_pad_workspace:
+            x = _padded_workspace(x, padding)
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
     stride_n, stride_c, stride_h, stride_w = x.strides
     patches = np.lib.stride_tricks.as_strided(
         x,
@@ -46,6 +65,97 @@ def _im2col(
         writeable=False,
     )
     return patches, out_h, out_w
+
+
+# -- workspace + patch caches --------------------------------------------------
+#
+# Two flag-gated reuse layers sit in front of im2col:
+#
+# * a padded-input scratch buffer pooled by (shape, dtype), so repeated
+#   same-shape convolutions stop reallocating (and re-zeroing) the pad
+#   frame every call;
+# * a small LRU of materialized patch matrices keyed on the *identity* of
+#   the input array plus the convolution geometry.  MetaLoRA's conv
+#   adapters convolve the same activations twice per layer (frozen base
+#   conv + adapter conv, same kernel/stride/padding), so the second conv
+#   reuses the first one's unfolded patches.
+#
+# Cache entries hold a strong reference to the keyed input array, so its
+# ``id`` cannot be recycled while the entry is alive; entries are immutable
+# once stored.  Identity alone is not enough — finite-difference gradient
+# checking (and any caller doing in-place updates) perturbs the *same*
+# array object between forwards — so each entry also stores a cheap
+# content fingerprint (sum, sum-of-squares) that must match exactly for a
+# hit.  Both reductions are single read passes, far cheaper than the
+# kh*kw-amplified patch copy they guard.
+
+_PAD_POOL: dict[tuple[tuple[int, ...], np.dtype], np.ndarray] = {}
+_PATCH_CACHE: "OrderedDict[tuple, tuple[np.ndarray, tuple[float, float], np.ndarray, int, int]]" = (
+    OrderedDict()
+)
+_PATCH_CACHE_CAPACITY = 8
+_PATCH_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def conv_patch_cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current size of the patches cache."""
+    return dict(_PATCH_CACHE_STATS, size=len(_PATCH_CACHE))
+
+
+def clear_conv_caches() -> None:
+    """Drop pooled pad buffers and cached patch matrices (frees memory)."""
+    _PAD_POOL.clear()
+    _PATCH_CACHE.clear()
+    _PATCH_CACHE_STATS["hits"] = 0
+    _PATCH_CACHE_STATS["misses"] = 0
+
+
+def _padded_workspace(x: np.ndarray, padding: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    shape = (n, c, h + 2 * padding, w + 2 * padding)
+    key = (shape, x.dtype)
+    buffer = _PAD_POOL.get(key)
+    if buffer is None:
+        buffer = _PAD_POOL[key] = np.zeros(shape, dtype=x.dtype)
+    else:
+        # Interior is overwritten below; only the pad frame must be zero,
+        # and it already is (nothing ever writes into it).
+        pass
+    buffer[:, :, padding : padding + h, padding : padding + w] = x
+    return buffer
+
+
+def _im2col_contiguous(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Materialized (contiguous) im2col patches, with the LRU fast path."""
+    use_cache = FLAGS.conv_patches_cache
+    if use_cache:
+        key = (id(x), kh, kw, stride, padding)
+        fingerprint = _fingerprint(x)
+        entry = _PATCH_CACHE.get(key)
+        if entry is not None and entry[0] is x and entry[1] == fingerprint:
+            _PATCH_CACHE_STATS["hits"] += 1
+            _PATCH_CACHE.move_to_end(key)
+            if PROFILER.enabled:
+                PROFILER.bump("conv2d.patches_cache.hit")
+            return entry[2], entry[3], entry[4]
+    patches, out_h, out_w = _im2col(x, kh, kw, stride, padding, _use_workspace=True)
+    cols = np.ascontiguousarray(patches)
+    if use_cache:
+        _PATCH_CACHE_STATS["misses"] += 1
+        if PROFILER.enabled:
+            PROFILER.bump("conv2d.patches_cache.miss", cols.nbytes)
+        _PATCH_CACHE[key] = (x, fingerprint, cols, out_h, out_w)
+        if len(_PATCH_CACHE) > _PATCH_CACHE_CAPACITY:
+            _PATCH_CACHE.popitem(last=False)
+    return cols, out_h, out_w
+
+
+def _fingerprint(x: np.ndarray) -> tuple[float, float]:
+    """Cheap content check guarding the patch cache against in-place edits."""
+    flat = x.reshape(-1)
+    return float(flat.sum()), float(np.dot(flat, flat))
 
 
 def _col2im(
@@ -92,15 +202,18 @@ def conv2d(
             f"input channels {x.shape[1]} do not match weight channels {c_in}"
         )
 
-    patches, out_h, out_w = _im2col(x.data, kh, kw, stride, padding)
+    patches, out_h, out_w = _im2col_contiguous(x.data, kh, kw, stride, padding)
     n = x.shape[0]
-    # (N, oh, ow, C*kh*kw) @ (C*kh*kw, Cout)
+    # (N, oh, ow, C*kh*kw) @ (C*kh*kw, Cout) — patches are contiguous, so
+    # this reshape is a view (the copy happened once, inside the cache).
     cols = patches.reshape(n, out_h, out_w, c_in * kh * kw)
     w_mat = weight.data.transpose(2, 0, 1, 3).reshape(c_in * kh * kw, c_out)
     out = cols @ w_mat  # (N, oh, ow, Cout)
     out = out.transpose(0, 3, 1, 2)
     if bias is not None:
         out = out + bias.data.reshape(1, c_out, 1, 1)
+    if PROFILER.enabled:
+        PROFILER.bump("conv2d.forward", out.nbytes)
 
     x_shape = x.shape
 
@@ -108,12 +221,17 @@ def conv2d(
         g_cols = g.transpose(0, 2, 3, 1)  # (N, oh, ow, Cout)
         d_cols = g_cols @ w_mat.T  # (N, oh, ow, C*kh*kw)
         d_patches = d_cols.reshape(n, out_h, out_w, c_in, kh, kw)
-        return _col2im(d_patches, x_shape, kh, kw, stride, padding)
+        result = _col2im(d_patches, x_shape, kh, kw, stride, padding)
+        if PROFILER.enabled:
+            PROFILER.bump("conv2d.backward", result.nbytes)
+        return result
 
     def grad_w(g: np.ndarray) -> np.ndarray:
         g_cols = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
         cols_flat = cols.reshape(-1, c_in * kh * kw)
         d_w_mat = cols_flat.T @ g_cols  # (C*kh*kw, Cout)
+        if PROFILER.enabled:
+            PROFILER.bump("conv2d.backward", d_w_mat.nbytes)
         return d_w_mat.reshape(c_in, kh, kw, c_out).transpose(1, 2, 0, 3)
 
     parents: tuple[Tensor, ...]

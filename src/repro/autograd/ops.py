@@ -9,11 +9,14 @@ the whole tensor-network layer differentiable for free.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.autograd.tensor import GradFn, Tensor, grad_enabled, unbroadcast
 from repro.errors import ShapeError
+from repro.perf import FLAGS
+from repro.utils.profiling import PROFILER
 
 _SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
 
@@ -200,6 +203,132 @@ def _parse_einsum_spec(spec: str, operand_count: int) -> tuple[list[str], str]:
     return inputs, output.strip()
 
 
+def _contraction_path(
+    spec: str, shapes: tuple[tuple[int, ...], ...]
+) -> list | None:
+    """Optimal pairwise contraction order for >=3-operand einsums.
+
+    Pairwise contraction changes floating-point summation order, so the
+    path is only *applied* when ``FLAGS.einsum_optimize`` is set; 2-operand
+    contractions always use numpy's direct kernel (bit-identical to the
+    reference path).
+    """
+    if len(shapes) < 3:
+        return None
+    dummies = [np.broadcast_to(np.float32(0.0), shape) for shape in shapes]
+    path, __ = np.einsum_path(spec, *dummies, optimize="optimal")
+    return path
+
+
+class _GradPlan:
+    """Everything operand ``i``'s gradient einsum needs, derived once."""
+
+    __slots__ = ("direct_spec", "missing_dims", "perm", "path")
+
+    def __init__(
+        self,
+        direct_spec: str,
+        missing_dims: tuple[int, ...],
+        perm: tuple[int, ...],
+        path: list | None,
+    ) -> None:
+        self.direct_spec = direct_spec
+        self.missing_dims = missing_dims
+        self.perm = perm
+        self.path = path
+
+
+class _EinsumPlan:
+    """Parsed spec + contraction order + per-operand gradient plans.
+
+    Cached on ``(spec, shapes)`` so repeated contractions (every training
+    step re-runs the same adapter einsums) skip spec parsing, gradient-spec
+    derivation and contraction-order search entirely.  Gradient plans are
+    derived lazily: inference-only einsums never pay for them.
+    """
+
+    __slots__ = ("spec", "inputs", "output", "shapes", "path", "_grad_plans")
+
+    def __init__(self, spec: str, shapes: tuple[tuple[int, ...], ...], operand_count: int):
+        inputs, output = _parse_einsum_spec(spec, operand_count)
+        for labels, shape in zip(inputs, shapes):
+            if len(labels) != len(shape):
+                raise ShapeError(
+                    f"einsum operand with spec {labels!r} has {len(shape)} axes; "
+                    f"shape {shape}"
+                )
+        self.spec = spec
+        self.inputs = inputs
+        self.output = output
+        self.shapes = shapes
+        self.path = _contraction_path(spec, shapes)
+        self._grad_plans: list[_GradPlan] | None = None
+
+    def grad_plans(self) -> list[_GradPlan]:
+        if self._grad_plans is None:
+            self._grad_plans = [self._derive_grad(i) for i in range(len(self.inputs))]
+        return self._grad_plans
+
+    def _derive_grad(self, i: int) -> _GradPlan:
+        inputs, output = self.inputs, self.output
+        target = inputs[i]
+        other_specs = [output] + [inputs[j] for j in range(len(inputs)) if j != i]
+        available = set("".join(other_specs))
+        direct = [label for label in target if label in available]
+        missing = [label for label in target if label not in available]
+        direct_spec = ",".join(other_specs) + "->" + "".join(direct)
+        target_shape = self.shapes[i]
+        label_dims = {label: target_shape[k] for k, label in enumerate(target)}
+        current = "".join(missing) + "".join(direct)
+        perm = tuple(current.index(label) for label in target)
+        dims = {}
+        for labels, shape in zip(inputs, self.shapes):
+            dims.update(zip(labels, shape))
+        out_shape = tuple(dims[label] for label in output)
+        other_shapes = tuple(self.shapes[j] for j in range(len(inputs)) if j != i)
+        path = _contraction_path(direct_spec, (out_shape,) + other_shapes)
+        return _GradPlan(
+            direct_spec, tuple(label_dims[m] for m in missing), perm, path
+        )
+
+
+_PLAN_CACHE: "OrderedDict[tuple[str, tuple[tuple[int, ...], ...]], _EinsumPlan]" = (
+    OrderedDict()
+)
+_PLAN_CACHE_CAPACITY = 512
+_PLAN_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def einsum_plan_cache_stats() -> dict[str, int]:
+    """Hit/miss counters plus current size of the plan cache."""
+    return dict(_PLAN_CACHE_STATS, size=len(_PLAN_CACHE))
+
+
+def clear_einsum_plan_cache() -> None:
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_STATS["hits"] = 0
+    _PLAN_CACHE_STATS["misses"] = 0
+
+
+def _get_plan(spec: str, shapes: tuple[tuple[int, ...], ...], count: int) -> _EinsumPlan:
+    if not FLAGS.einsum_plan_cache:
+        return _EinsumPlan(spec, shapes, count)
+    key = (spec, shapes)
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None:
+        _PLAN_CACHE_STATS["hits"] += 1
+        _PLAN_CACHE.move_to_end(key)
+        PROFILER.enabled and PROFILER.bump("einsum.plan_cache.hit")
+        return plan
+    plan = _EinsumPlan(spec, shapes, count)
+    _PLAN_CACHE_STATS["misses"] += 1
+    PROFILER.enabled and PROFILER.bump("einsum.plan_cache.miss")
+    _PLAN_CACHE[key] = plan
+    if len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
+        _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
 def einsum(spec: str, *operands: Tensor) -> Tensor:
     """Differentiable Einstein summation with an explicit output spec.
 
@@ -207,49 +336,48 @@ def einsum(spec: str, *operands: Tensor) -> Tensor:
     the output gradient with every *other* operand, targeting operand ``i``'s
     index string.  Indices that appear only in operand ``i`` (summed out on
     their own) receive a broadcast gradient.
+
+    Spec parsing, gradient-spec derivation and (for >=3 operands) optimal
+    contraction-order search are memoized per ``(spec, shapes)`` — see
+    :class:`_EinsumPlan`; disable via ``repro.perf.FLAGS``.
     """
-    inputs, output = _parse_einsum_spec(spec, len(operands))
     arrays = [op.data for op in operands]
-    for labels, array in zip(inputs, arrays):
-        if len(labels) != array.ndim:
-            raise ShapeError(
-                f"einsum operand with spec {labels!r} has {array.ndim} axes; "
-                f"shape {array.shape}"
-            )
-    out = np.einsum(spec, *arrays)
+    shapes = tuple(a.shape for a in arrays)
+    plan = _get_plan(spec, shapes, len(operands))
+
+    if plan.path is not None and FLAGS.einsum_optimize:
+        out = np.einsum(spec, *arrays, optimize=plan.path)
+    else:
+        out = np.einsum(spec, *arrays)
+    if PROFILER.enabled:
+        PROFILER.bump("einsum.forward", np.asarray(out).nbytes)
+
+    if not grad_enabled():
+        return Tensor(out)
 
     def make_grad(i: int) -> GradFn:
-        target = inputs[i]
-        other_specs = [output] + [inputs[j] for j in range(len(inputs)) if j != i]
-        available = set("".join(other_specs))
-        direct = [label for label in target if label in available]
-        missing = [label for label in target if label not in available]
-        direct_spec = ",".join(other_specs) + "->" + "".join(direct)
-        target_shape = arrays[i].shape
-        label_dims = {label: target_shape[k] for k, label in enumerate(target)}
+        gplan = plan.grad_plans()[i]
 
         def grad_fn(g: np.ndarray) -> np.ndarray:
             others = [arrays[j] for j in range(len(arrays)) if j != i]
-            partial = np.einsum(direct_spec, g, *others)
-            if missing:
+            if gplan.path is not None and FLAGS.einsum_optimize:
+                partial = np.einsum(gplan.direct_spec, g, *others, optimize=gplan.path)
+            else:
+                partial = np.einsum(gplan.direct_spec, g, *others)
+            if gplan.missing_dims:
                 # Axes summed out alone in the forward pass: the gradient is
                 # constant along them, so broadcast to the full shape.
                 partial = np.broadcast_to(
-                    np.expand_dims(partial, tuple(range(len(missing)))),
-                    tuple(label_dims[m] for m in missing) + partial.shape,
+                    np.expand_dims(partial, tuple(range(len(gplan.missing_dims)))),
+                    gplan.missing_dims + partial.shape,
                 )
-                current = "".join(missing) + "".join(direct)
-                perm = tuple(current.index(label) for label in target)
-                partial = partial.transpose(perm)
-            else:
-                perm = tuple("".join(direct).index(label) for label in target)
-                partial = partial.transpose(perm)
+            partial = partial.transpose(gplan.perm)
+            if PROFILER.enabled:
+                PROFILER.bump("einsum.backward", partial.nbytes)
             return np.ascontiguousarray(partial)
 
         return grad_fn
 
-    if not grad_enabled():
-        return Tensor(out)
     return Tensor._result(
         np.asarray(out), tuple(operands), tuple(make_grad(i) for i in range(len(operands)))
     )

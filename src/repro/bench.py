@@ -1,0 +1,304 @@
+"""The ``repro bench`` performance harness.
+
+Times the optimized hot paths against the reference implementation —
+in the same process, flipped via :func:`repro.perf.perf_overrides` — and
+writes two JSON records:
+
+- ``BENCH_autograd.json`` — micro-benchmarks of the einsum plan cache /
+  contraction planner and the conv2d patch cache, with per-case speedup
+  and the max |optimized - reference| output gap;
+- ``BENCH_table1.json`` — the Table I protocol micro-bench: one episodic
+  training step (forward + backward) of a MetaLoRA model at reduced
+  scale, reference vs. optimized.
+
+Record schema (``validate_bench_record`` enforces it; the bench smoke
+test round-trips it)::
+
+    {
+      "schema": "repro.bench/v1",
+      "kind": "autograd" | "table1",
+      "scale": "tiny" | "small",
+      "repeats": int,
+      "entries": [
+        {
+          "name": str,
+          "reference_seconds": float,   # best-of-``repeats`` wall time
+          "optimized_seconds": float,
+          "speedup": float,             # reference / optimized
+          "max_abs_diff": float,        # output gap between the paths
+          "counters": {str: {"calls": int, "seconds": float, "bytes": int}},
+        }, ...
+      ],
+      "summary": {"min_speedup": float, "geomean_speedup": float},
+    }
+
+``counters`` holds the :data:`~repro.utils.profiling.PROFILER` snapshot
+of the optimized run (cache hit/miss counts, op calls, bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd import conv_ops, ops
+from repro.autograd.tensor import Tensor
+from repro.perf import reference_mode
+from repro.utils.profiling import PROFILER
+from repro.utils.timing import time_calls
+
+SCHEMA = "repro.bench/v1"
+
+#: problem sizes per scale; "tiny" is the CI smoke setting.
+_SCALES = {
+    "tiny": {"batch": 4, "tokens": 8, "rank": 4, "features": 32, "image": 12, "channels": 8},
+    "small": {"batch": 16, "tokens": 16, "rank": 8, "features": 128, "image": 16, "channels": 16},
+}
+
+
+def _clear_caches() -> None:
+    ops.clear_einsum_plan_cache()
+    conv_ops.clear_conv_caches()
+
+
+def _measure(
+    fn: Callable[[], np.ndarray], repeats: int
+) -> tuple[dict[str, float], np.ndarray, dict]:
+    """Time ``fn`` under reference then optimized flags.
+
+    Returns the timing/diff record fields, the reference output (for
+    callers that chain checks), and the optimized-run profiler counters.
+    """
+    with reference_mode():
+        _clear_caches()
+        ref_seconds, ref_out = time_calls(fn, repeats=repeats)
+    _clear_caches()
+    PROFILER.reset()
+    PROFILER.enable()
+    try:
+        opt_seconds, opt_out = time_calls(fn, repeats=repeats)
+    finally:
+        PROFILER.disable()
+    counters = PROFILER.as_dict()
+    diff = float(np.max(np.abs(np.asarray(ref_out) - np.asarray(opt_out))))
+    fields = {
+        "reference_seconds": float(ref_seconds),
+        "optimized_seconds": float(opt_seconds),
+        "speedup": float(ref_seconds / max(opt_seconds, 1e-12)),
+        "max_abs_diff": diff,
+    }
+    return fields, ref_out, counters
+
+
+def _entry(name: str, fn: Callable[[], np.ndarray], repeats: int) -> dict:
+    fields, __, counters = _measure(fn, repeats)
+    return {"name": name, **fields, "counters": counters}
+
+
+# -- autograd micro-benches ----------------------------------------------------
+
+
+def _tr_linear_case(sizes: dict) -> Callable[[], np.ndarray]:
+    """The MetaLoRA-TR linear contraction, forward + backward."""
+    rng = np.random.default_rng(0)
+    n, t, r, o = sizes["batch"], sizes["tokens"], sizes["rank"], sizes["features"]
+    t1 = rng.standard_normal((n, t, r, r))
+    core_b = rng.standard_normal((r, o, r))
+    seed = rng.standard_normal((n, r, r))
+
+    def fn() -> np.ndarray:
+        a = Tensor(t1, requires_grad=True)
+        b = Tensor(core_b, requires_grad=True)
+        c = Tensor(seed, requires_grad=True)
+        out = ops.einsum("ntpr,roq,nqp->nto", a, b, c)
+        out.sum().backward()
+        return np.concatenate([out.data.ravel(), b.grad.ravel()])
+
+    return fn
+
+
+def _cp_conv_case(sizes: dict) -> Callable[[], np.ndarray]:
+    """The MetaLoRA-CP conv mixing contraction, forward + backward."""
+    rng = np.random.default_rng(1)
+    n, r, o, hw = sizes["batch"], sizes["rank"], sizes["features"], sizes["image"]
+    mid = rng.standard_normal((n, r, hw, hw))
+    seed = rng.standard_normal((n, r))
+    factor_b = rng.standard_normal((r, o))
+
+    def fn() -> np.ndarray:
+        m = Tensor(mid, requires_grad=True)
+        s = Tensor(seed, requires_grad=True)
+        b = Tensor(factor_b, requires_grad=True)
+        out = ops.einsum("nrhw,nr,ro->nohw", m, s, b)
+        out.sum().backward()
+        return np.concatenate([out.data.ravel(), s.grad.ravel()])
+
+    return fn
+
+
+def _paired_conv_case(sizes: dict) -> Callable[[], np.ndarray]:
+    """Base conv + adapter conv over the same activations (patch-cache hit)."""
+    rng = np.random.default_rng(2)
+    n, c, hw, r = sizes["batch"], sizes["channels"], sizes["image"], sizes["rank"]
+    x = Tensor(rng.standard_normal((n, c, hw, hw)))
+    w_base = Tensor(rng.standard_normal((3, 3, c, c)) * 0.1, requires_grad=True)
+    w_adapter = Tensor(rng.standard_normal((3, 3, c, r)) * 0.1, requires_grad=True)
+
+    def fn() -> np.ndarray:
+        base = conv_ops.conv2d(x, w_base, None, stride=1, padding=1)
+        delta = conv_ops.conv2d(x, w_adapter, None, stride=1, padding=1)
+        loss = base.sum() + delta.sum()
+        loss.backward()
+        out = np.concatenate([base.data.ravel(), delta.data.ravel()])
+        w_base.zero_grad()
+        w_adapter.zero_grad()
+        return out
+
+    return fn
+
+
+def run_autograd_bench(scale: str = "tiny", repeats: int = 3) -> dict:
+    """Reference-vs-optimized timings for the autograd hot paths."""
+    sizes = _SCALES[scale]
+    entries = [
+        _entry("einsum.tr_linear_fwd_bwd", _tr_linear_case(sizes), repeats),
+        _entry("einsum.cp_conv_fwd_bwd", _cp_conv_case(sizes), repeats),
+        _entry("conv2d.paired_same_input", _paired_conv_case(sizes), repeats),
+    ]
+    return _finish_record("autograd", scale, repeats, entries)
+
+
+# -- Table I protocol micro-bench ---------------------------------------------
+
+
+def _meta_step_case(sizes: dict) -> Callable[[], np.ndarray]:
+    """One Table I adaptation step: MetaLoRA-TR forward + backward."""
+    from repro.models import FeatureExtractor, resnet_small
+    from repro.peft import MetaLoRAModel, attach
+    from repro.train.losses import cross_entropy
+    from repro.utils.rng import new_rng
+
+    rng = new_rng(0)
+    num_classes = 4
+    backbone = resnet_small(num_classes, rng)
+    result = attach(backbone, "meta_tr", rank=sizes["rank"] // 2 or 2, rng=rng)
+    extractor = FeatureExtractor(resnet_small(num_classes, new_rng(1)))
+    model = MetaLoRAModel(backbone, extractor, rng=rng, adapters=result)
+    data_rng = np.random.default_rng(2)
+    x = Tensor(data_rng.normal(size=(sizes["batch"], 3, 16, 16)).astype(np.float32))
+    labels = data_rng.integers(0, num_classes, size=sizes["batch"])
+
+    def fn() -> np.ndarray:
+        model.zero_grad()
+        logits = model(x)
+        loss = cross_entropy(logits, labels)
+        loss.backward()
+        grads = [
+            p.grad.ravel() for p in model.trainable_parameters() if p.grad is not None
+        ]
+        return np.concatenate([logits.data.ravel(), loss.data.reshape(1)] + grads)
+
+    return fn
+
+
+def run_table1_bench(scale: str = "tiny", repeats: int = 3) -> dict:
+    """Reference-vs-optimized timing of the Table I protocol training step."""
+    sizes = _SCALES[scale]
+    entries = [_entry("table1.meta_tr_train_step", _meta_step_case(sizes), repeats)]
+    return _finish_record("table1", scale, repeats, entries)
+
+
+# -- record assembly / validation / io ----------------------------------------
+
+
+def _finish_record(kind: str, scale: str, repeats: int, entries: list[dict]) -> dict:
+    speedups = [e["speedup"] for e in entries]
+    record = {
+        "schema": SCHEMA,
+        "kind": kind,
+        "scale": scale,
+        "repeats": repeats,
+        "entries": entries,
+        "summary": {
+            "min_speedup": float(min(speedups)),
+            "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
+        },
+    }
+    validate_bench_record(record)
+    return record
+
+
+def validate_bench_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the repro.bench/v1 schema."""
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            raise ValueError(f"invalid bench record: {message}")
+
+    expect(isinstance(record, dict), "not a mapping")
+    expect(record.get("schema") == SCHEMA, f"schema must be {SCHEMA!r}")
+    expect(record.get("kind") in ("autograd", "table1"), "kind must be autograd|table1")
+    expect(record.get("scale") in _SCALES, f"scale must be one of {sorted(_SCALES)}")
+    expect(isinstance(record.get("repeats"), int) and record["repeats"] >= 1,
+           "repeats must be a positive int")
+    entries = record.get("entries")
+    expect(isinstance(entries, list) and entries, "entries must be a non-empty list")
+    for entry in entries:
+        expect(isinstance(entry.get("name"), str) and entry["name"], "entry needs a name")
+        for key in ("reference_seconds", "optimized_seconds", "speedup", "max_abs_diff"):
+            value = entry.get(key)
+            expect(isinstance(value, (int, float)) and np.isfinite(value) and value >= 0,
+                   f"entry {entry.get('name')!r}: {key} must be a finite float >= 0")
+        counters = entry.get("counters")
+        expect(isinstance(counters, dict), f"entry {entry.get('name')!r}: counters must be a dict")
+        for cname, stats in counters.items():
+            expect(
+                isinstance(stats, dict) and {"calls", "seconds", "bytes"} <= set(stats),
+                f"counter {cname!r} must have calls/seconds/bytes",
+            )
+    summary = record.get("summary")
+    expect(isinstance(summary, dict), "summary must be a dict")
+    for key in ("min_speedup", "geomean_speedup"):
+        value = summary.get(key)
+        expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+               f"summary.{key} must be a finite float > 0")
+
+
+def write_bench_records(
+    out_dir: str = ".", scale: str = "tiny", repeats: int = 3
+) -> list[str]:
+    """Run both benches and write BENCH_autograd.json / BENCH_table1.json."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for kind, runner in (("autograd", run_autograd_bench), ("table1", run_table1_bench)):
+        record = runner(scale=scale, repeats=repeats)
+        path = os.path.join(out_dir, f"BENCH_{kind}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+def format_bench_record(record: dict) -> str:
+    """Human-readable table for one record (what the CLI prints)."""
+    lines = [
+        f"{record['kind']} bench  (scale={record['scale']}, "
+        f"best of {record['repeats']})",
+        f"{'case':<28} {'reference':>11} {'optimized':>11} {'speedup':>9}  {'max|diff|':>10}",
+    ]
+    for entry in record["entries"]:
+        lines.append(
+            f"{entry['name']:<28} {entry['reference_seconds'] * 1e3:>9.2f}ms "
+            f"{entry['optimized_seconds'] * 1e3:>9.2f}ms "
+            f"{entry['speedup']:>8.2f}x  {entry['max_abs_diff']:>10.2e}"
+        )
+    summary = record["summary"]
+    lines.append(
+        f"{'summary':<28} min {summary['min_speedup']:.2f}x   "
+        f"geomean {summary['geomean_speedup']:.2f}x"
+    )
+    return "\n".join(lines)

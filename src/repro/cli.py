@@ -6,10 +6,13 @@ Usage::
     python -m repro table1 --backbone mixer --quick
     python -m repro inspect --method meta_lora_tr
     python -m repro figures
+    python -m repro bench --out .
 
 ``table1`` regenerates the paper's Table I (with t-test markers when more
 than one seed is given); ``inspect`` prints a method's adapter layout and
-parameter budget; ``figures`` runs the Figure 1-3 numerical checks.
+parameter budget; ``figures`` runs the Figure 1-3 numerical checks;
+``bench`` times the optimized hot paths against the reference
+implementation and emits ``BENCH_autograd.json`` / ``BENCH_table1.json``.
 """
 
 from __future__ import annotations
@@ -162,6 +165,32 @@ def _report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench(args: argparse.Namespace) -> int:
+    if args.repeats < 1:
+        print(f"repro bench: error: --repeats must be >= 1, got {args.repeats}")
+        return 2
+    from repro.bench import (
+        format_bench_record,
+        run_autograd_bench,
+        run_table1_bench,
+        write_bench_records,
+    )
+
+    if args.out:
+        import json
+
+        paths = write_bench_records(args.out, scale=args.scale, repeats=args.repeats)
+        for path in paths:
+            with open(path, encoding="utf-8") as handle:
+                print(format_bench_record(json.load(handle)))
+            print(f"wrote {path}\n")
+    else:
+        for runner in (run_autograd_bench, run_table1_bench):
+            print(format_bench_record(runner(scale=args.scale, repeats=args.repeats)))
+            print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -191,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--results-dir", default="results")
     report.set_defaults(func=_report)
+
+    bench = sub.add_parser(
+        "bench", help="time optimized vs reference hot paths (BENCH_*.json)"
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="directory for BENCH_autograd.json / BENCH_table1.json "
+        "(omit to just print)",
+    )
+    bench.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.set_defaults(func=_bench)
     return parser
 
 

@@ -27,16 +27,9 @@ from repro.errors import ConfigError
 from repro.eval.embeddings import extract_embeddings
 from repro.eval.knn import KNNClassifier
 from repro.models.feature_extractor import FeatureExtractor
-from repro.nn.conv import Conv2d
-from repro.nn.linear import Linear
 from repro.nn.module import Module
-from repro.peft.base import inject_adapters
-from repro.peft.conv_lora import ConvLoRA
-from repro.peft.lora import LoRALinear
-from repro.peft.meta_cp import MetaLoRACPConv, MetaLoRACPLinear
+from repro.peft.api import PEFT_METHODS, attach
 from repro.peft.meta_model import MetaLoRAModel
-from repro.peft.meta_tr import MetaLoRATRConv, MetaLoRATRLinear
-from repro.peft.multi_lora import MultiLoRAConv, MultiLoRALinear
 from repro.train.optim import Adam
 from repro.train.meta_trainer import MetaTrainer
 from repro.train.trainer import Trainer
@@ -196,32 +189,11 @@ def build_adapted_model(
         backbone.freeze()
         return backbone
 
-    target_types = (Conv2d, Linear)
-    if method == "lora":
-        def factory(layer: Module):
-            if isinstance(layer, Conv2d):
-                return ConvLoRA(layer, config.rank, rng=rng)
-            return LoRALinear(layer, config.rank, rng=rng)
-    elif method == "multi_lora":
-        def factory(layer: Module):
-            if isinstance(layer, Conv2d):
-                return MultiLoRAConv(layer, config.rank, branches=config.branches, rng=rng)
-            return MultiLoRALinear(layer, config.rank, branches=config.branches, rng=rng)
-    elif method == "meta_lora_cp":
-        def factory(layer: Module):
-            if isinstance(layer, Conv2d):
-                return MetaLoRACPConv(layer, config.rank, rng=rng)
-            return MetaLoRACPLinear(layer, config.rank, rng=rng)
-    elif method == "meta_lora_tr":
-        def factory(layer: Module):
-            if isinstance(layer, Conv2d):
-                return MetaLoRATRConv(layer, config.rank, rng=rng)
-            return MetaLoRATRLinear(layer, config.rank, rng=rng)
-    else:
+    if method not in PEFT_METHODS:
         raise ConfigError(f"unknown method {method!r}")
-
-    inject_adapters(backbone, factory, target_types)
-    if method in ("meta_lora_cp", "meta_lora_tr"):
+    options = {"branches": config.branches} if method == "multi_lora" else {}
+    result = attach(backbone, method, rank=config.rank, rng=rng, **options)
+    if result.is_meta:
         resnet_config = replace(config, backbone="resnet")
         extractor_backbone = build_backbone(resnet_config, rng)
         if extractor_state is not None:
@@ -235,7 +207,11 @@ def build_adapted_model(
             )
         extractor = FeatureExtractor(extractor_backbone)
         return MetaLoRAModel(
-            backbone, extractor, mapping_hidden=config.mapping_hidden, rng=rng
+            backbone,
+            extractor,
+            mapping_hidden=config.mapping_hidden,
+            rng=rng,
+            adapters=result,
         )
     return backbone
 

@@ -3,13 +3,16 @@ and the MetaLoRA CP / Tensor-Ring formats (the paper's contribution).
 
 The typical flow is::
 
-    adapted, adapters = inject_adapters(backbone, factory, (Linear, Conv2d))
-    model = MetaLoRAModel(adapted, extractor, rank=4)   # for meta variants
+    result = attach(backbone, method="meta_tr", rank=4, rng=rng)
+    model = MetaLoRAModel(backbone, extractor, adapters=result)  # meta variants
     ... train adapters ...
-    merge_adapters(adapted)                              # bake static ΔW in
+    result.merge()    # static methods: bake ΔW in
+    result.detach()   # or restore the original layers
 
 Meta variants generate a per-sample seed from input features; static
-variants (LoRA / Multi-LoRA) keep fixed adapter weights.
+variants (LoRA / Multi-LoRA) keep fixed adapter weights.  Methods are
+looked up in :data:`~repro.peft.api.PEFT_METHODS`; the legacy
+``inject_adapters`` remains as a shim over :func:`~repro.peft.api.attach`.
 """
 
 from repro.peft.base import (
@@ -20,6 +23,7 @@ from repro.peft.base import (
     merge_adapters,
     set_module,
 )
+from repro.peft.api import PEFT_METHODS, AttachResult, attach
 from repro.peft.lora import LoRALinear
 from repro.peft.conv_lora import ConvLoRA
 from repro.peft.tt_lora import TTLoRALinear
@@ -44,6 +48,9 @@ from repro.peft.counts import adapter_parameter_table, count_parameters
 __all__ = [
     "Adapter",
     "AdapterPlan",
+    "AttachResult",
+    "PEFT_METHODS",
+    "attach",
     "apply_plan",
     "plan_adapters",
     "BottleneckAdapter",

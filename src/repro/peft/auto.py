@@ -18,7 +18,8 @@ from repro.errors import AdapterError
 from repro.nn.conv import Conv2d
 from repro.nn.linear import Linear
 from repro.nn.module import Module
-from repro.peft.base import Adapter, get_module, inject_adapters
+from repro.peft.api import attach
+from repro.peft.base import Adapter
 from repro.peft.conv_lora import ConvLoRA
 from repro.peft.lora import LoRALinear
 from repro.peft.meta_cp import MetaLoRACPConv, MetaLoRACPLinear
@@ -153,5 +154,6 @@ def apply_plan(
         and isinstance(module, (Linear, Conv2d))
         and name not in plan.ranks
     )
-    __, adapters = inject_adapters(model, factory, (Linear, Conv2d), skip=skip)
-    return adapters
+    # Callable-method attach: per-layer ranks need a custom factory.
+    result = attach(model, factory, targets=(Linear, Conv2d), skip=skip)
+    return result.adapters

@@ -39,7 +39,16 @@ class Adapter(Module):
         raise AdapterError(f"{type(self).__name__} cannot materialize a static ΔW")
 
     def merge(self) -> Module:
-        """Return the base layer with ``ΔW`` folded into its weight."""
+        """Return the base layer with ``ΔW`` folded into its weight.
+
+        Merging is one-shot: a second call would fold ΔW in twice and
+        silently corrupt the weights, so it raises instead.
+        """
+        if getattr(self, "_merged", False):
+            raise AdapterError(
+                f"{type(self).__name__} is already merged; merging again "
+                f"would apply ΔW twice"
+            )
         delta = self.delta_weight()
         if delta.shape != self.base.weight.data.shape:
             raise AdapterError(
@@ -47,6 +56,7 @@ class Adapter(Module):
                 f"{self.base.weight.data.shape}"
             )
         self.base.weight.data[...] = self.base.weight.data + delta
+        self._merged = True
         return self.base
 
     def set_seed(self, seed: Tensor | None) -> None:
@@ -66,17 +76,29 @@ def get_module(root: Module, dotted_name: str) -> Module:
 
 
 def set_module(root: Module, dotted_name: str, new_module: Module) -> None:
-    """Replace the child at ``dotted_name`` with ``new_module``."""
+    """Replace the child at ``dotted_name`` with ``new_module``.
+
+    Containers that iterate an internal ``_items`` list (Sequential,
+    ModuleList, and any custom block built the same way) are kept
+    consistent by *identity*: every slot holding the replaced child is
+    updated, regardless of what name the child was registered under.
+    Matching on the registered name alone would leave ``_items`` stale
+    whenever a container registers children under non-positional names —
+    forward() would keep calling the old module while named_modules()
+    reports the new one.
+    """
     parts = dotted_name.split(".")
     parent = get_module(root, ".".join(parts[:-1])) if len(parts) > 1 else root
     leaf = parts[-1]
     if leaf not in parent._modules:
         raise AdapterError(f"no child {leaf!r} under {type(parent).__name__}")
+    old_module = parent._modules[leaf]
     parent.register_module(leaf, new_module)
-    # Keep Sequential/ModuleList internal lists consistent.
     items = getattr(parent, "_items", None)
-    if items is not None and leaf.isdigit():
-        items[int(leaf)] = new_module
+    if isinstance(items, list):
+        for index, item in enumerate(items):
+            if item is old_module:
+                items[index] = new_module
 
 
 def inject_adapters(
@@ -92,26 +114,16 @@ def inject_adapters(
     head).  The whole model is frozen first, so afterwards only the
     adapters' own parameters are trainable.  Returns the model (modified in
     place) and the mapping of dotted name -> adapter.
+
+    .. deprecated::
+        Compatibility shim over :func:`repro.peft.api.attach`, which
+        returns an :class:`~repro.peft.api.AttachResult` with symmetric
+        ``detach()`` / ``merge()``.  New code should call ``attach``.
     """
-    model.freeze()
-    targets = [
-        name
-        for name, module in model.named_modules()
-        if isinstance(module, tuple(target_types)) and name and name not in skip
-    ]
-    if not targets:
-        raise AdapterError(
-            f"no layers of type {[t.__name__ for t in target_types]} found to adapt"
-        )
-    adapters: dict[str, Adapter] = {}
-    for name in targets:
-        layer = get_module(model, name)
-        if isinstance(layer, Adapter):
-            raise AdapterError(f"layer {name!r} already adapted")
-        adapter = factory(layer)
-        set_module(model, name, adapter)
-        adapters[name] = adapter
-    return model, adapters
+    from repro.peft.api import attach  # local import: api builds on base
+
+    result = attach(model, factory, targets=target_types, skip=skip)
+    return result.model, result.adapters
 
 
 def iter_adapters(model: Module) -> Iterator[tuple[str, Adapter]]:
@@ -122,12 +134,21 @@ def iter_adapters(model: Module) -> Iterator[tuple[str, Adapter]]:
 
 
 def merge_adapters(model: Module) -> Module:
-    """Merge every static adapter back into its base layer, in place."""
+    """Merge every static adapter back into its base layer, in place.
+
+    Meta adapters are rejected *before* any weight is touched, so a mixed
+    model is never left half-merged.  Each merged base layer is trainable
+    again afterwards — once the adapter is gone it is an ordinary layer,
+    not a frozen PEFT backbone.
+    """
     merged = [(name, adapter) for name, adapter in iter_adapters(model)]
     for name, adapter in merged:
         if adapter.is_meta:
             raise AdapterError(
                 f"adapter {name!r} is input-conditioned (meta) and cannot be merged"
             )
-        set_module(model, name, adapter.merge())
+    for name, adapter in merged:
+        base = adapter.merge()
+        set_module(model, name, base)
+        base.unfreeze()
     return model

@@ -18,6 +18,8 @@ falls back to its static seeds).
 
 from __future__ import annotations
 
+from typing import Iterable, Mapping
+
 import numpy as np
 
 from repro.autograd import ops
@@ -27,6 +29,7 @@ from repro.models.feature_extractor import FeatureExtractor
 from repro.nn.linear import Linear
 from repro.nn.module import Module, ModuleList, Parameter
 from repro.peft.base import Adapter, iter_adapters
+from repro.perf import FLAGS
 
 
 class MetaLoRAModel(Module):
@@ -38,6 +41,7 @@ class MetaLoRAModel(Module):
         extractor: FeatureExtractor,
         mapping_hidden: int = 32,
         rng: np.random.Generator | None = None,
+        adapters: Iterable[tuple[str, Adapter]] | Mapping[str, Adapter] | None = None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
@@ -45,7 +49,16 @@ class MetaLoRAModel(Module):
         self.extractor = extractor
         self._meta_names: list[str] = []
         self._meta_adapters: list[Adapter] = []
-        for name, adapter in iter_adapters(backbone):
+        # ``adapters`` is typically the AttachResult from peft.attach (it
+        # iterates as (name, adapter) pairs in injection order); a mapping
+        # works too.  Without it, fall back to re-walking the backbone.
+        if adapters is None:
+            named = iter_adapters(backbone)
+        elif isinstance(adapters, Mapping):
+            named = adapters.items()
+        else:
+            named = adapters
+        for name, adapter in named:
             if adapter.is_meta:
                 self._meta_names.append(name)
                 self._meta_adapters.append(adapter)
@@ -70,6 +83,11 @@ class MetaLoRAModel(Module):
         # which starves CP's diagonal modulation of dynamic range; the gain
         # lets training widen it per adapter.
         self.head_gains = Parameter(np.ones(len(heads), dtype=np.float32))
+        # Layout for the fused-head fast path: column span of each head in
+        # the concatenated output, and which gain each column belongs to.
+        sizes = [int(np.prod(a.seed_shape)) for a in self._meta_adapters]
+        self._seed_offsets = np.concatenate([[0], np.cumsum(sizes)]).tolist()
+        self._gain_index = np.repeat(np.arange(len(sizes)), sizes)
 
     @property
     def adapter_names(self) -> list[str]:
@@ -77,13 +95,33 @@ class MetaLoRAModel(Module):
         return list(self._meta_names)
 
     def generate_seeds(self, x: Tensor) -> list[Tensor]:
-        """Run feature extraction + mapping nets; one seed tensor per adapter."""
+        """Run feature extraction + mapping nets; one seed tensor per adapter.
+
+        With ``FLAGS.batched_seeds`` the per-head loop is replaced by one
+        matmul against the heads' concatenated weights: every head shares
+        the same ``hidden`` input, so the per-head GEMMs are just column
+        blocks of a single larger GEMM.  Each output column is the same
+        dot product either way, so the two paths agree to float precision;
+        ``perf_overrides(batched_seeds=False)`` recovers the loop.
+        """
         features = self.extractor(x)
         hidden = ops.relu(self.trunk(features))
+        if FLAGS.batched_seeds and len(self._meta_adapters) > 1:
+            return self._generate_seeds_fused(x, hidden)
         seeds = []
         for i, (adapter, head) in enumerate(zip(self._meta_adapters, self.heads)):
             raw = ops.tanh(head(hidden)) * self.head_gains[i]
             seeds.append(raw.reshape(x.shape[0], *adapter.seed_shape))
+        return seeds
+
+    def _generate_seeds_fused(self, x: Tensor, hidden: Tensor) -> list[Tensor]:
+        fused_w = ops.concat([head.weight for head in self.heads], axis=1)
+        fused_b = ops.concat([head.bias for head in self.heads], axis=0)
+        scaled = ops.tanh(hidden @ fused_w + fused_b) * self.head_gains[self._gain_index]
+        seeds = []
+        for i, adapter in enumerate(self._meta_adapters):
+            lo, hi = self._seed_offsets[i], self._seed_offsets[i + 1]
+            seeds.append(scaled[:, lo:hi].reshape(x.shape[0], *adapter.seed_shape))
         return seeds
 
     def _install(self, seeds: list[Tensor] | None) -> None:

@@ -1,12 +1,16 @@
-"""Shared utilities: seeded RNG, registries, serialization, timing."""
+"""Shared utilities: seeded RNG, registries, serialization, timing, profiling."""
 
 from repro.utils.rng import RngMixin, new_rng, spawn_rngs
 from repro.utils.registry import Registry
 from repro.utils.serialization import load_arrays, save_arrays
-from repro.utils.timing import Timer
+from repro.utils.timing import Timer, time_calls
+from repro.utils.profiling import PROFILER, OpStats, Profiler, profiled
 from repro.utils.logging import enable_console_logging, get_logger
 
 __all__ = [
+    "OpStats",
+    "PROFILER",
+    "Profiler",
     "Registry",
     "RngMixin",
     "Timer",
@@ -14,6 +18,8 @@ __all__ = [
     "get_logger",
     "load_arrays",
     "new_rng",
+    "profiled",
     "save_arrays",
     "spawn_rngs",
+    "time_calls",
 ]

@@ -1,0 +1,119 @@
+"""Lightweight per-op profiling registry.
+
+The autograd hot paths (einsum, conv2d) and the caches in front of them
+report into a process-wide :class:`Profiler`: per-op call counts,
+cumulative wall-time, and bytes allocated for op outputs.  Profiling is
+off by default and costs a single attribute check per op when disabled,
+so instrumentation can stay in the hot paths permanently.
+
+Typical use (what ``repro bench`` does)::
+
+    from repro.utils.profiling import PROFILER
+
+    PROFILER.enable()
+    ... run workload ...
+    for name, stats in PROFILER.snapshot().items():
+        print(name, stats.calls, stats.seconds, stats.bytes)
+    PROFILER.disable()
+
+Counter names are dotted: ``einsum.forward``, ``einsum.backward``,
+``conv2d.forward``, ``conv2d.backward``, ``einsum.plan_cache.hit`` /
+``.miss``, ``conv2d.patches_cache.hit`` / ``.miss``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+@dataclass
+class OpStats:
+    """Accumulated counters for one named operation."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    bytes: int = 0
+
+    def merge(self, seconds: float, nbytes: int) -> None:
+        self.calls += 1
+        self.seconds += seconds
+        self.bytes += nbytes
+
+
+@dataclass
+class Profiler:
+    """Process-wide registry of :class:`OpStats`, keyed by op name."""
+
+    enabled: bool = False
+    _stats: dict[str, OpStats] = field(default_factory=dict)
+
+    def enable(self) -> "Profiler":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Profiler":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+    def record(self, name: str, seconds: float, nbytes: int = 0) -> None:
+        """Add one completed call to ``name``'s counters (no-op if disabled)."""
+        if not self.enabled:
+            return
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = OpStats()
+        stats.merge(seconds, nbytes)
+
+    def bump(self, name: str, nbytes: int = 0) -> None:
+        """Count an event with no duration (cache hits, allocations)."""
+        self.record(name, 0.0, nbytes)
+
+    @contextlib.contextmanager
+    def track(self, name: str, nbytes: int = 0) -> Iterator[None]:
+        """Time the block and record it under ``name``."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, nbytes)
+
+    def snapshot(self) -> dict[str, OpStats]:
+        """A copy of the current counters (safe to hold across resets)."""
+        return {
+            name: OpStats(stats.calls, stats.seconds, stats.bytes)
+            for name, stats in sorted(self._stats.items())
+        }
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-friendly view of the counters."""
+        return {name: asdict(stats) for name, stats in self.snapshot().items()}
+
+
+#: The process-wide profiler every instrumented op reports into.
+PROFILER = Profiler()
+
+
+@contextlib.contextmanager
+def profiled() -> Iterator[Profiler]:
+    """Enable the global profiler for a block, restoring state after.
+
+    Counters accumulated before the block are preserved; use
+    ``PROFILER.reset()`` first for a clean window.
+    """
+    previous = PROFILER.enabled
+    PROFILER.enabled = True
+    try:
+        yield PROFILER
+    finally:
+        PROFILER.enabled = previous

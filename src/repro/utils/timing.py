@@ -1,8 +1,11 @@
-"""Wall-clock timing helper used by the benchmark harnesses."""
+"""Wall-clock timing helpers used by the benchmark harnesses."""
 
 from __future__ import annotations
 
 import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
 
 
 class Timer:
@@ -24,3 +27,26 @@ class Timer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.elapsed = time.perf_counter() - self._start
+
+
+def time_calls(
+    fn: Callable[[], T], repeats: int = 5, warmup: int = 1
+) -> tuple[float, T]:
+    """Best-of-``repeats`` wall time for ``fn()`` plus its last return value.
+
+    ``warmup`` untimed calls run first so one-time costs (plan-cache
+    population, buffer allocation) do not distort the measurement — the
+    point of a *cache* bench is steady-state behaviour.  Best-of is used
+    rather than mean because scheduler noise only ever adds time.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    result: T = fn()  # at least one warmup call always runs
+    for __ in range(warmup - 1):
+        result = fn()
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result

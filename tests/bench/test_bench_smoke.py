@@ -1,0 +1,59 @@
+"""Smoke test for the ``repro bench`` harness and its JSON schema."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    format_bench_record,
+    run_autograd_bench,
+    validate_bench_record,
+    write_bench_records,
+)
+
+pytestmark = pytest.mark.bench_smoke
+
+
+class TestBenchSmoke:
+    def test_write_bench_records_emits_valid_json(self, tmp_path):
+        paths = write_bench_records(str(tmp_path), scale="tiny", repeats=1)
+        assert sorted(p.rsplit("/", 1)[-1] for p in paths) == [
+            "BENCH_autograd.json",
+            "BENCH_table1.json",
+        ]
+        for path in paths:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+            validate_bench_record(record)  # schema round-trips through JSON
+            assert record["schema"] == SCHEMA
+            for entry in record["entries"]:
+                assert entry["optimized_seconds"] > 0
+                assert entry["max_abs_diff"] < 1e-8  # optimized matches reference
+
+    def test_optimized_paths_report_cache_activity(self):
+        record = run_autograd_bench(scale="tiny", repeats=1)
+        counters = {name for e in record["entries"] for name in e["counters"]}
+        assert "einsum.plan_cache.hit" in counters
+        assert "conv2d.patches_cache.hit" in counters
+
+    def test_format_is_human_readable(self):
+        record = run_autograd_bench(scale="tiny", repeats=1)
+        text = format_bench_record(record)
+        assert "speedup" in text
+        assert "geomean" in text
+
+    def test_validate_rejects_corrupt_records(self):
+        record = run_autograd_bench(scale="tiny", repeats=1)
+        for corrupt in (
+            {**record, "schema": "wrong/v0"},
+            {**record, "kind": "nope"},
+            {**record, "entries": []},
+            {**record, "summary": {}},
+        ):
+            with pytest.raises(ValueError, match="invalid bench record"):
+                validate_bench_record(corrupt)
+        broken_entry = json.loads(json.dumps(record))
+        broken_entry["entries"][0]["speedup"] = float("nan")
+        with pytest.raises(ValueError, match="speedup"):
+            validate_bench_record(broken_entry)

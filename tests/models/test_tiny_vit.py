@@ -7,7 +7,7 @@ from repro.autograd import Tensor
 from repro.errors import ShapeError
 from repro.models import MultiHeadSelfAttention, TinyViT, TransformerBlock, vit_small
 from repro.nn import Linear
-from repro.peft import MetaLoRACPLinear, MetaLoRATRLinear, inject_adapters
+from repro.peft import MetaLoRACPLinear, MetaLoRATRLinear, attach
 
 
 def batch(rng, n=4, size=16):
@@ -89,10 +89,8 @@ class TestMetaLoRAOnTransformer:
     @pytest.mark.parametrize("adapter_cls", [MetaLoRACPLinear, MetaLoRATRLinear])
     def test_adapters_attach_to_all_projections(self, rng, adapter_cls):
         model = vit_small(4, rng)
-        __, adapters = inject_adapters(
-            model, lambda m: adapter_cls(m, 2, rng=rng), (Linear,)
-        )
-        projection_names = [n for n in adapters if "proj" in n]
+        result = attach(model, lambda m: adapter_cls(m, 2, rng=rng), targets=(Linear,))
+        projection_names = [n for n in result.adapters if "proj" in n]
         assert len(projection_names) == 4 * 2  # q/k/v/out per block, 2 blocks
         out = model(batch(rng))
         assert out.shape == (4, 4)
@@ -102,9 +100,9 @@ class TestMetaLoRAOnTransformer:
         from repro.peft import MetaLoRAModel
 
         model = vit_small(4, rng)
-        inject_adapters(model, lambda m: MetaLoRATRLinear(m, 2, rng=rng), (Linear,))
+        result = attach(model, "meta_tr", rank=2, targets=(Linear,), rng=rng)
         extractor = FeatureExtractor(vit_small(4, np.random.default_rng(5)))
-        meta = MetaLoRAModel(model, extractor, rng=rng)
+        meta = MetaLoRAModel(model, extractor, rng=rng, adapters=result)
         out = meta(batch(rng))
         out.sum().backward()
         assert meta.trunk.weight.grad is not None

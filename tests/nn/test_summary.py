@@ -7,7 +7,7 @@ from repro.errors import ShapeError
 from repro.models import resnet_small
 from repro.nn import Conv2d, Linear, summarize
 from repro.nn.summary import collect_rows
-from repro.peft import ConvLoRA, LoRALinear, inject_adapters
+from repro.peft import attach
 
 
 class TestSummary:
@@ -35,15 +35,7 @@ class TestSummary:
 
     def test_adapters_marked(self, rng):
         model = resnet_small(4, rng)
-        inject_adapters(
-            model,
-            lambda m: (
-                ConvLoRA(m, 2, rng=rng)
-                if isinstance(m, Conv2d)
-                else LoRALinear(m, 2, rng=rng)
-            ),
-            (Conv2d, Linear),
-        )
+        attach(model, "lora", rank=2, rng=rng)
         rows = collect_rows(model)
         assert any(r.is_adapter for r in rows)
         text = summarize(model)

@@ -1,0 +1,216 @@
+"""Tests for the ``peft.attach`` API and the AttachResult lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import ops
+from repro.errors import AdapterError
+from repro.nn import Linear, Module, ModuleList
+from repro.peft import PEFT_METHODS, attach
+from repro.peft.base import Adapter, set_module
+from repro.peft.lora import LoRALinear
+
+#: methods whose ΔW is static, so AttachResult.merge() can fold it.
+MERGEABLE = ("lora", "multi_lora", "tt_lora", "dora")
+#: non-meta methods whose forward is not a weight delta (merge must refuse).
+UNMERGEABLE = ("moe_lora", "bottleneck")
+META = ("meta_cp", "meta_lora_cp", "meta_tr", "meta_lora_tr")
+
+
+class Block(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.fc = Linear(12, 12, rng=rng)
+
+    def forward(self, x):
+        return ops.relu(self.fc(x))
+
+
+class TinyMLP(Module):
+    """Two blocks held in a ModuleList plus a head — exercises nesting."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.blocks = ModuleList([Block(rng), Block(rng)])
+        self.head = Linear(12, 4, rng=rng)
+
+    def forward(self, x):
+        for block in self.blocks:
+            x = block(x)
+        return self.head(x)
+
+
+def snapshot(model):
+    weights = {n: p.data.copy() for n, p in model.named_parameters()}
+    trainable = {n: p.requires_grad for n, p in model.named_parameters()}
+    return weights, trainable
+
+
+class TestAttach:
+    def test_registry_covers_all_methods(self):
+        assert set(MERGEABLE) | set(UNMERGEABLE) | set(META) == set(
+            PEFT_METHODS.names()
+        )
+
+    def test_unknown_method_lists_registered(self, rng):
+        with pytest.raises(AdapterError, match="lora"):
+            attach(TinyMLP(rng), "no_such_method", rank=2, rng=rng)
+
+    def test_attach_wraps_all_targets(self, rng):
+        result = attach(TinyMLP(rng), "lora", rank=2, rng=rng)
+        assert sorted(result.adapters) == ["blocks.0.fc", "blocks.1.fc", "head"]
+        assert result.state == "attached"
+        assert result.method == "lora"
+
+    def test_skip_leaves_layers_alone(self, rng):
+        model = TinyMLP(rng)
+        result = attach(model, "lora", rank=2, skip=("head",), rng=rng)
+        assert "head" not in result.adapters
+        assert isinstance(model.head, Linear)
+
+    def test_base_weights_frozen_after_attach(self, rng):
+        model = TinyMLP(rng)
+        attach(model, "lora", rank=2, rng=rng)
+        for name, param in model.named_parameters():
+            if "base" in name:
+                assert not param.requires_grad, name
+
+    def test_double_attach_refused(self, rng):
+        model = TinyMLP(rng)
+        attach(model, "lora", rank=2, rng=rng)
+        with pytest.raises(AdapterError, match="already"):
+            attach(model, "lora", rank=2, rng=rng)
+
+    def test_callable_method(self, rng):
+        model = TinyMLP(rng)
+        result = attach(
+            model,
+            lambda layer: LoRALinear(layer, rank=2, rng=rng),
+            targets=(Linear,),
+        )
+        assert len(result) == 3
+        assert all(isinstance(a, LoRALinear) for __, a in result)
+
+    @pytest.mark.parametrize("method", sorted(PEFT_METHODS.names()))
+    def test_attach_detach_roundtrip(self, method, rng):
+        """Detach must restore weights, types, trainability, and outputs."""
+        model = TinyMLP(rng)
+        x = Tensor(rng.normal(size=(3, 12)).astype(np.float32))
+        before = model(x).data.copy()
+        weights, trainable = snapshot(model)
+
+        result = attach(model, method, rank=2, targets=(Linear,), rng=rng)
+        assert len(result) == 3
+        restored = result.detach()
+
+        assert restored is model
+        assert result.state == "detached"
+        assert not any(isinstance(m, Adapter) for __, m in model.named_modules())
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, weights[name], err_msg=name)
+            assert param.requires_grad == trainable[name], name
+        np.testing.assert_array_equal(model(x).data, before)
+
+    @pytest.mark.parametrize("method", MERGEABLE)
+    def test_merge_roundtrip(self, method, rng):
+        model = TinyMLP(rng)
+        x = Tensor(rng.normal(size=(3, 12)).astype(np.float32))
+        result = attach(model, method, rank=2, targets=(Linear,), rng=rng)
+        # Push the adapters off their zero-init so the merge moves weights.
+        for __, adapter in result:
+            for param in adapter.parameters():
+                if param.requires_grad:
+                    param.data[...] += 0.01 * rng.normal(size=param.shape)
+        adapted = model(x).data.copy()
+
+        merged = result.merge()
+
+        assert merged is model
+        assert result.state == "merged"
+        assert not any(isinstance(m, Adapter) for __, m in model.named_modules())
+        np.testing.assert_allclose(model(x).data, adapted, atol=1e-4)
+        assert model.head.weight.requires_grad  # folded layers become trainable
+
+    @pytest.mark.parametrize("method", META)
+    def test_meta_methods_refuse_merge(self, method, rng):
+        result = attach(TinyMLP(rng), method, rank=2, targets=(Linear,), rng=rng)
+        with pytest.raises(AdapterError, match="[Mm]eta"):
+            result.merge()
+        assert result.state == "attached"  # refusal leaves everything in place
+
+    @pytest.mark.parametrize("method", UNMERGEABLE)
+    def test_nonlinear_adapters_refuse_merge(self, method, rng):
+        result = attach(TinyMLP(rng), method, rank=2, targets=(Linear,), rng=rng)
+        with pytest.raises(AdapterError):
+            result.merge()
+
+    def test_detach_after_merge_refused(self, rng):
+        result = attach(TinyMLP(rng), "lora", rank=2, rng=rng)
+        result.merge()
+        with pytest.raises(AdapterError, match="merged"):
+            result.detach()
+
+    def test_double_merge_refused(self, rng):
+        result = attach(TinyMLP(rng), "lora", rank=2, rng=rng)
+        result.merge()
+        with pytest.raises(AdapterError):
+            result.merge()
+
+    def test_trainable_parameters_are_adapter_params(self, rng):
+        model = TinyMLP(rng)
+        result = attach(model, "lora", rank=2, rng=rng)
+        from_result = {id(p) for p in result.trainable_parameters()}
+        from_model = {id(p) for p in model.parameters() if p.requires_grad}
+        assert from_result == from_model
+
+
+class NamedStack(Module):
+    """A container that keeps children in ``_items`` under non-digit names.
+
+    Mimics user code that mirrors ModuleList's list-backing but registers
+    children under descriptive attribute names — set_module must fix the
+    list by identity, not by positional name.
+    """
+
+    def __init__(self, rng):
+        super().__init__()
+        self._items = [Linear(12, 12, rng=rng), Linear(12, 12, rng=rng)]
+        self.register_module("first", self._items[0])
+        self.register_module("second", self._items[1])
+
+    def forward(self, x):
+        for item in self._items:
+            x = item(x)
+        return x
+
+
+class TestSetModuleListConsistency:
+    def test_modulelist_items_swapped_by_identity(self, rng):
+        model = TinyMLP(rng)
+        result = attach(model, "lora", rank=2, rng=rng)
+        # The list the forward pass iterates must see the adapters too.
+        for index, block in enumerate(model.blocks):
+            assert block.fc is result.adapters[f"blocks.{index}.fc"]
+
+    def test_forward_uses_adapted_layers_inside_modulelist(self, rng):
+        model = TinyMLP(rng)
+        x = Tensor(rng.normal(size=(2, 12)).astype(np.float32))
+        result = attach(model, "lora", rank=2, rng=rng)
+        for __, adapter in result:
+            adapter.lora_b.data[...] = 1.0
+        adapted = model(x).data
+        result.detach()
+        assert not np.allclose(adapted, model(x).data)
+
+    def test_custom_items_container(self, rng):
+        model = NamedStack(rng)
+        x = Tensor(rng.normal(size=(2, 12)).astype(np.float32))
+        replacement = LoRALinear(model._items[1], rank=2, rng=rng)
+        set_module(model, "second", replacement)
+        assert model._items[1] is replacement
+        replacement.lora_b.data[...] = 1.0
+        baseline = model._items[0](x)
+        np.testing.assert_allclose(
+            model(x).data, replacement(baseline).data, atol=1e-6
+        )

@@ -8,11 +8,9 @@ from repro.errors import AdapterError
 from repro.nn import Conv2d, Linear, ReLU, Sequential
 from repro.peft import (
     BottleneckAdapter,
-    LoRALinear,
-    MetaLoRATRLinear,
     TTLoRALinear,
     adapter_state_dict,
-    inject_adapters,
+    attach,
     iter_adapters,
     load_adapter,
     load_adapter_state_dict,
@@ -104,7 +102,7 @@ class TestBottleneck:
 class TestCheckpoint:
     def _adapted_net(self, rng):
         net = Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, "lora", rank=2, targets=(Linear,), rng=rng)
         for __, adapter in iter_adapters(net):
             adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(
                 np.float32
@@ -160,11 +158,12 @@ class TestCheckpoint:
         from repro.peft import MetaLoRAModel
 
         backbone = resnet_small(4, rng)
-        inject_adapters(
-            backbone, lambda m: MetaLoRATRLinear(m, 2, rng=rng), (Linear,)
-        )
+        result = attach(backbone, "meta_tr", rank=2, targets=(Linear,), rng=rng)
         model = MetaLoRAModel(
-            backbone, FeatureExtractor(resnet_small(4, np.random.default_rng(3))), rng=rng
+            backbone,
+            FeatureExtractor(resnet_small(4, np.random.default_rng(3))),
+            rng=rng,
+            adapters=result,
         )
         path = tmp_path / "meta_adapter.npz"
         save_adapter(model, path)

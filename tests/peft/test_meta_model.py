@@ -6,36 +6,15 @@ import pytest
 from repro.autograd import Tensor
 from repro.errors import AdapterError, ConfigError
 from repro.models import FeatureExtractor, mixer_small, resnet_small
-from repro.nn import Conv2d, Linear
-from repro.peft import (
-    LoRALinear,
-    MappingNet,
-    MetaLoRACPConv,
-    MetaLoRACPLinear,
-    MetaLoRAModel,
-    MetaLoRATRConv,
-    MetaLoRATRLinear,
-    inject_adapters,
-)
+from repro.nn import Linear
+from repro.peft import MappingNet, MetaLoRAModel, attach
 
 
 def make_meta_resnet(rng, fmt="tr"):
     backbone = resnet_small(4, rng)
     extractor = FeatureExtractor(resnet_small(4, np.random.default_rng(9)))
-    if fmt == "tr":
-        factory = lambda m: (
-            MetaLoRATRConv(m, 2, rng=rng)
-            if isinstance(m, Conv2d)
-            else MetaLoRATRLinear(m, 2, rng=rng)
-        )
-    else:
-        factory = lambda m: (
-            MetaLoRACPConv(m, 2, rng=rng)
-            if isinstance(m, Conv2d)
-            else MetaLoRACPLinear(m, 2, rng=rng)
-        )
-    inject_adapters(backbone, factory, (Conv2d, Linear))
-    return MetaLoRAModel(backbone, extractor, rng=rng)
+    result = attach(backbone, f"meta_{fmt}", rank=2, rng=rng)
+    return MetaLoRAModel(backbone, extractor, rng=rng, adapters=result)
 
 
 class TestMappingNet:
@@ -66,7 +45,7 @@ class TestMappingNet:
 class TestMetaLoRAModel:
     def test_requires_meta_adapters(self, rng):
         backbone = resnet_small(4, rng)
-        inject_adapters(backbone, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(backbone, "lora", rank=2, targets=(Linear,), rng=rng)
         extractor = FeatureExtractor(resnet_small(4, rng))
         with pytest.raises(AdapterError, match="meta"):
             MetaLoRAModel(backbone, extractor)
@@ -126,10 +105,8 @@ class TestMetaLoRAModel:
     def test_mixer_backbone(self, rng):
         backbone = mixer_small(4, rng)
         extractor = FeatureExtractor(mixer_small(4, np.random.default_rng(3)))
-        inject_adapters(
-            backbone, lambda m: MetaLoRACPLinear(m, 2, rng=rng), (Linear,)
-        )
-        model = MetaLoRAModel(backbone, extractor, rng=rng)
+        result = attach(backbone, "meta_cp", rank=2, targets=(Linear,), rng=rng)
+        model = MetaLoRAModel(backbone, extractor, rng=rng, adapters=result)
         x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
         assert model(x).shape == (2, 4)
 

@@ -11,7 +11,7 @@ from repro.peft import (
     MoELoRALinear,
     adapter_parameter_table,
     count_parameters,
-    inject_adapters,
+    attach,
 )
 from repro.peft.counts import format_table
 from repro.nn import Sequential, ReLU
@@ -86,13 +86,13 @@ class TestCounts:
 
     def test_trainable_fraction_after_injection(self, rng):
         net = Sequential(Linear(32, 64, rng=rng), ReLU(), Linear(64, 8, rng=rng))
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, "lora", rank=2, targets=(Linear,), rng=rng)
         counts = count_parameters(net)
         assert 0 < counts.trainable_fraction < 0.25
 
     def test_adapter_table_rows(self, rng):
         net = Sequential(Linear(8, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, "lora", rank=2, targets=(Linear,), rng=rng)
         rows = adapter_parameter_table(net)
         assert len(rows) == 2
         assert rows[0]["type"] == "LoRALinear"
@@ -100,7 +100,7 @@ class TestCounts:
 
     def test_format_table_renders(self, rng):
         net = Sequential(Linear(8, 8, rng=rng))
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, "lora", rank=2, targets=(Linear,), rng=rng)
         text = format_table(adapter_parameter_table(net))
         assert "LoRALinear" in text
         assert "added_parameters" in text

@@ -7,7 +7,7 @@ from repro.autograd import Tensor
 from repro.errors import AdapterError
 from repro.models import MultiHeadSelfAttention, vit_small
 from repro.nn import Linear
-from repro.peft import PrefixTuningAttention, inject_adapters
+from repro.peft import PrefixTuningAttention, attach
 
 
 class TestPrefixTuning:
@@ -62,12 +62,12 @@ class TestPrefixTuning:
 
     def test_injection_into_vit(self, rng):
         model = vit_small(4, rng)
-        __, adapters = inject_adapters(
+        result = attach(
             model,
             lambda m: PrefixTuningAttention(m, 2, rng=rng),
-            (MultiHeadSelfAttention,),
+            targets=(MultiHeadSelfAttention,),
         )
-        assert len(adapters) == 2  # one per block
+        assert len(result.adapters) == 2  # one per block
         x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
         out = model(x)
         out.sum().backward()

@@ -1,0 +1,91 @@
+"""Tests for the per-op profiling registry."""
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd import conv_ops, ops
+from repro.utils.profiling import PROFILER, OpStats, Profiler, profiled
+
+
+class TestProfiler:
+    def test_disabled_by_default_records_nothing(self):
+        profiler = Profiler()
+        profiler.record("op", 1.0, 10)
+        assert profiler.snapshot() == {}
+
+    def test_record_accumulates(self):
+        profiler = Profiler(enabled=True)
+        profiler.record("op", 0.5, 10)
+        profiler.record("op", 0.25, 30)
+        stats = profiler.snapshot()["op"]
+        assert stats.calls == 2
+        assert stats.seconds == 0.75
+        assert stats.bytes == 40
+
+    def test_bump_counts_without_duration(self):
+        profiler = Profiler(enabled=True)
+        profiler.bump("cache.hit", 128)
+        stats = profiler.snapshot()["cache.hit"]
+        assert (stats.calls, stats.seconds, stats.bytes) == (1, 0.0, 128)
+
+    def test_track_times_block(self):
+        profiler = Profiler(enabled=True)
+        with profiler.track("block"):
+            pass
+        stats = profiler.snapshot()["block"]
+        assert stats.calls == 1
+        assert stats.seconds >= 0.0
+
+    def test_reset_clears(self):
+        profiler = Profiler(enabled=True)
+        profiler.bump("op")
+        profiler.reset()
+        assert profiler.snapshot() == {}
+
+    def test_snapshot_is_a_copy(self):
+        profiler = Profiler(enabled=True)
+        profiler.bump("op")
+        snap = profiler.snapshot()
+        profiler.bump("op")
+        assert snap["op"].calls == 1
+
+    def test_as_dict_is_json_friendly(self):
+        import json
+
+        profiler = Profiler(enabled=True)
+        profiler.record("op", 0.1, 5)
+        payload = json.dumps(profiler.as_dict())
+        assert '"calls": 1' in payload
+
+    def test_opstats_merge(self):
+        stats = OpStats()
+        stats.merge(1.0, 2)
+        assert (stats.calls, stats.seconds, stats.bytes) == (1, 1.0, 2)
+
+
+class TestGlobalProfilerInstrumentation:
+    def test_profiled_context_restores_state(self):
+        assert not PROFILER.enabled
+        with profiled():
+            assert PROFILER.enabled
+        assert not PROFILER.enabled
+
+    def test_einsum_counters_fire(self, rng):
+        ops.clear_einsum_plan_cache()
+        with profiled() as profiler:
+            a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+            b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+            ops.einsum("ij,jk->ik", a, b).sum().backward()
+            counters = profiler.as_dict()
+        assert counters["einsum.forward"]["calls"] >= 1
+        assert counters["einsum.backward"]["calls"] >= 1
+
+    def test_conv_counters_fire(self, rng):
+        conv_ops.clear_conv_caches()
+        with profiled() as profiler:
+            x = Tensor(rng.normal(size=(1, 2, 6, 6)))
+            w = Tensor(rng.normal(size=(3, 3, 2, 2)), requires_grad=True)
+            conv_ops.conv2d(x, w, None, stride=1, padding=1).sum().backward()
+            counters = profiler.as_dict()
+        assert counters["conv2d.forward"]["calls"] >= 1
+        assert counters["conv2d.backward"]["calls"] >= 1
