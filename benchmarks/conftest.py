@@ -5,6 +5,10 @@ Every bench prints the table/figure it regenerates, so
 evaluation artifacts.  ``REPRO_BENCH_SCALE=quick`` (the default for CI)
 shrinks the Table I run; set ``REPRO_BENCH_SCALE=paper`` for the
 full-scale multi-seed version with significance testing.
+
+``REPRO_BENCH_JOBS=N`` shards the grid benches (Table I, the rank
+ablation) over N worker processes via :mod:`repro.runtime` — results are
+bit-identical to the serial default (``1``).
 """
 
 from __future__ import annotations
@@ -18,6 +22,15 @@ def bench_scale() -> str:
     return os.environ.get("REPRO_BENCH_SCALE", "quick")
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 @pytest.fixture(scope="session")
 def scale() -> str:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    return bench_jobs()

@@ -7,7 +7,9 @@ accuracy next to the trainable-parameter count — the empirical trade-off
 curve behind DESIGN.md's ablation entry.
 
 At the default quick scale a single (small) seed is used; set
-REPRO_BENCH_SCALE=paper for the full sweep.
+REPRO_BENCH_SCALE=paper for the full sweep.  REPRO_BENCH_JOBS=N shards
+the rank cells over N worker processes (each rank is an independent cell
+keyed by its own config, so sharding is bit-identical to the serial loop).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import pytest
 
 from repro.config import PAPER
 from repro.eval.protocol import build_adapted_model, run_table1
+from repro.runtime import raise_failures, run_cells
 from repro.utils.rng import new_rng
 
 
@@ -35,27 +38,37 @@ def _sweep_config(scale: str):
     return base, ranks
 
 
+def _pretrained_state(config):
+    from repro.eval.protocol import build_backbone
+
+    return build_backbone(config, new_rng(1)).state_dict()
+
+
+def _rank_cell(config):
+    """One ablation cell: Table I rows + meta parameter budget at one rank.
+
+    Module-level so the cell pickles for REPRO_BENCH_JOBS>1 worker pools.
+    """
+    rows = run_table1(config, seed=0)
+    meta_model = build_adapted_model(
+        "meta_lora_tr", config, _pretrained_state(config), new_rng(0)
+    )
+    return rows, meta_model.parameter_count(trainable_only=True)
+
+
 @pytest.mark.benchmark(group="ablation")
-def test_ablation_rank_sweep(benchmark, scale):
+def test_ablation_rank_sweep(benchmark, scale, jobs):
     base, ranks = _sweep_config(scale)
 
-    def pretrained_state(config):
-        from repro.eval.protocol import build_backbone
-
-        return build_backbone(config, new_rng(1)).state_dict()
-
     def run():
-        results = {}
-        for rank in ranks:
-            config = replace(base, rank=rank)
-            rows = run_table1(config, seed=0)
-            # parameter budget of the meta model at this rank
-            meta_model = build_adapted_model(
-                "meta_lora_tr", config, pretrained_state(config), new_rng(0)
-            )
-            trainable = meta_model.parameter_count(trainable_only=True)
-            results[rank] = (rows, trainable)
-        return results
+        cell_results = run_cells(
+            _rank_cell,
+            [replace(base, rank=rank) for rank in ranks],
+            jobs=jobs,
+            keys=list(ranks),
+        )
+        raise_failures(cell_results)
+        return {result.key: result.value for result in cell_results}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"\n{'rank':>4}  {'LoRA K=5':>9}  {'MetaTR K=5':>11}  {'meta trainable':>14}")

@@ -18,6 +18,8 @@ best baseline — reproduced here over seeds when REPRO_BENCH_SCALE=paper.
 Scale:
     REPRO_BENCH_SCALE=quick  (default) one seed, reduced sizes, ~2 min/backbone
     REPRO_BENCH_SCALE=paper  three seeds + significance,  ~15 min/backbone
+    REPRO_BENCH_JOBS=N       shard the (seed, method) grid over N workers
+                             (bit-identical to the serial default)
 """
 
 from __future__ import annotations
@@ -28,9 +30,10 @@ import numpy as np
 import pytest
 
 from repro.config import PAPER, PAPER_MIXER, TABLE1_SEEDS
-from repro.eval.protocol import Table1Config, format_table1, run_table1
+from repro.eval.protocol import Table1Config, format_table1
 from repro.eval.reporting import record_from_rows, save_record
 from repro.eval.significance import two_sided_t_test
+from repro.runtime import run_table1_grid
 
 
 def _config_for(scale: str, backbone: str) -> tuple[Table1Config, tuple[int, ...]]:
@@ -49,9 +52,11 @@ def _config_for(scale: str, backbone: str) -> tuple[Table1Config, tuple[int, ...
 
 
 def _run_and_report(
-    config: Table1Config, seeds: tuple[int, ...], scale: str
+    config: Table1Config, seeds: tuple[int, ...], scale: str, jobs: int = 1
 ) -> list[dict]:
-    rows_by_seed = [run_table1(config, seed) for seed in seeds]
+    # Bit-identical to `[run_table1(config, seed) for seed in seeds]` at
+    # any worker count; jobs=1 (the default) is the in-process fallback.
+    rows_by_seed = run_table1_grid(config, seeds, jobs=jobs).rows_by_seed
     print()
     print(format_table1(rows_by_seed, config))
     if len(seeds) >= 2:
@@ -87,11 +92,11 @@ def _report_significance(rows_by_seed: list[dict], config: Table1Config) -> None
 
 
 @pytest.mark.benchmark(group="table1")
-def test_table1_resnet(benchmark, scale):
+def test_table1_resnet(benchmark, scale, jobs):
     """Table I, ResNet column pair."""
     config, seeds = _config_for(scale, "resnet")
     rows_by_seed = benchmark.pedantic(
-        lambda: _run_and_report(config, seeds, scale), rounds=1, iterations=1
+        lambda: _run_and_report(config, seeds, scale, jobs), rounds=1, iterations=1
     )
     rows = rows_by_seed[0]
     chance = 1.0 / config.num_classes
@@ -104,11 +109,11 @@ def test_table1_resnet(benchmark, scale):
 
 
 @pytest.mark.benchmark(group="table1")
-def test_table1_mixer(benchmark, scale):
+def test_table1_mixer(benchmark, scale, jobs):
     """Table I, MLP-Mixer column pair."""
     config, seeds = _config_for(scale, "mixer")
     rows_by_seed = benchmark.pedantic(
-        lambda: _run_and_report(config, seeds, scale), rounds=1, iterations=1
+        lambda: _run_and_report(config, seeds, scale, jobs), rounds=1, iterations=1
     )
     mean = lambda m, k: float(np.mean([r[m].accuracy_by_k[k] for r in rows_by_seed]))
     assert mean("meta_lora_tr", 5) > mean("original", 5)

@@ -9,4 +9,6 @@ cd "$(dirname "$0")/.."
 out_dir="${1:-.}"
 
 PYTHONPATH=src python -m pytest tests/bench -m bench_smoke -q
-PYTHONPATH=src python -m repro bench --out "$out_dir" --scale tiny --repeats 2
+# --jobs 2 also times the parallel Table I grid runtime and records the
+# `parallel` section (serial-vs-parallel wall-clock + bit-identity check).
+PYTHONPATH=src python -m repro bench --out "$out_dir" --scale tiny --repeats 2 --jobs 2

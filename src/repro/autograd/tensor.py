@@ -21,11 +21,14 @@ which the evaluation protocol uses to extract embeddings cheaply.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import GradientError, ShapeError
+from repro.perf import FLAGS
+from repro.utils.profiling import PROFILER
 
 GradFn = Callable[[np.ndarray], np.ndarray]
 
@@ -67,7 +70,7 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array that supports reverse-mode automatic differentiation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_grad_fns")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_grad_fns", "_released")
 
     # Make numpy defer to Tensor.__radd__ etc. instead of elementwise-looping.
     __array_priority__ = 100
@@ -84,6 +87,7 @@ class Tensor:
             array = array.astype(np.float32)
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
+        self._released = False
         self.requires_grad = bool(requires_grad) and _grad_enabled
         if _grad_enabled:
             self._parents = _parents
@@ -164,7 +168,25 @@ class Tensor:
 
         ``gradient`` defaults to ones (only valid to omit for scalars,
         matching common autograd semantics).
+
+        Two flag-guarded memory optimizations (see :mod:`repro.perf`):
+        with ``backward_inplace_accum`` (default on), gradients flowing
+        into a tensor with several consumers accumulate in place once the
+        buffer is owned by this sweep — bit-identical to the reference
+        ``existing + contribution``; with ``backward_release`` (opt-in),
+        each node's parents and gradient closures — which capture the
+        forward activations — are dropped as soon as the sweep has
+        consumed them, so peak memory no longer holds the whole graph.
+        A released graph raises :class:`GradientError` if backpropagated
+        again (the equivalent of PyTorch's ``retain_graph=False``).
         """
+        if self._released:
+            raise GradientError(
+                "backward() on a released graph: backward_release "
+                "(REPRO_BACKWARD_RELEASE) freed this graph during a previous "
+                "backward() pass; rebuild the graph or disable the flag to "
+                "backpropagate the same graph twice"
+            )
         if not self.requires_grad and not self._parents:
             raise GradientError("backward() called on a tensor with no graph")
         if gradient is None:
@@ -180,9 +202,26 @@ class Tensor:
                 f"gradient shape {gradient.shape} does not match output shape {self.shape}"
             )
 
+        inplace = FLAGS.backward_inplace_accum
+        release = FLAGS.backward_release
+        profile = PROFILER.enabled
+        start = time.perf_counter() if profile else 0.0
+        inplace_adds = 0
+        released_nodes = 0
+
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): gradient}
+        #: ids whose accumulation buffer is private to this sweep, hence
+        #: safe to mutate (first contributions may alias caller arrays).
+        owned: set[int] = set()
         for node in order:
+            if node._released:
+                raise GradientError(
+                    "backward() through a released graph: a backward() pass "
+                    "under backward_release (REPRO_BACKWARD_RELEASE) already "
+                    "consumed part of this graph; rebuild it or disable the "
+                    "flag to backpropagate shared subgraphs twice"
+                )
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
@@ -193,8 +232,27 @@ class Tensor:
                 existing = grads.get(id(parent))
                 if existing is None:
                     grads[id(parent)] = contribution
+                elif (
+                    inplace
+                    and id(parent) in owned
+                    and type(existing) is np.ndarray  # np scalars reject out=
+                    and existing.dtype == contribution.dtype
+                    and existing.shape == contribution.shape
+                ):
+                    np.add(existing, contribution, out=existing)
+                    inplace_adds += 1
                 else:
                     grads[id(parent)] = existing + contribution
+                    owned.add(id(parent))
+            if release and node._parents:
+                node._parents = ()
+                node._grad_fns = ()
+                node._released = True
+                released_nodes += 1
+        if profile:
+            PROFILER.record("backward.sweep", time.perf_counter() - start)
+            PROFILER.add("backward.inplace_accum", inplace_adds)
+            PROFILER.add("backward.released", released_nodes)
 
     def _topological_order(self) -> list["Tensor"]:
         """Nodes reachable from ``self``, outputs first (reverse topo order)."""

@@ -34,12 +34,27 @@ test round-trips it)::
 
 ``counters`` holds the :data:`~repro.utils.profiling.PROFILER` snapshot
 of the optimized run (cache hit/miss counts, op calls, bytes).
+
+The ``table1`` record optionally carries a ``parallel`` section (when the
+bench ran with ``--jobs N``, N >= 2) — the grid-runtime comparison from
+:func:`run_table1_parallel_bench`::
+
+    "parallel": {
+      "jobs": int, "host_cpus": int, "seeds": [int], "cells": int,
+      "per_cell_serial_seconds": float,   # naive sharding: context per cell
+      "seed_loop_serial_seconds": float,  # pre-runtime serial loop
+      "parallel_seconds": float,          # run_table1_grid at `jobs`
+      "speedup": float,                   # per_cell_serial / parallel
+      "speedup_vs_seed_loop": float,
+      "rows_equal": true,                 # bit-identity asserted in-process
+    }
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Callable
 
 import numpy as np
@@ -204,11 +219,137 @@ def _meta_step_case(sizes: dict) -> Callable[[], np.ndarray]:
     return fn
 
 
-def run_table1_bench(scale: str = "tiny", repeats: int = 3) -> dict:
-    """Reference-vs-optimized timing of the Table I protocol training step."""
+def run_table1_bench(scale: str = "tiny", repeats: int = 3, jobs: int = 0) -> dict:
+    """Reference-vs-optimized timing of the Table I protocol training step.
+
+    With ``jobs > 1`` the record also gains a ``parallel`` section from
+    :func:`run_table1_parallel_bench` — the grid-runtime wall-clock
+    comparison, with the serial/parallel equality check asserted
+    in-process.
+    """
     sizes = _SCALES[scale]
     entries = [_entry("table1.meta_tr_train_step", _meta_step_case(sizes), repeats)]
-    return _finish_record("table1", scale, repeats, entries)
+    record = _finish_record("table1", scale, repeats, entries)
+    if jobs > 1:
+        record["parallel"] = run_table1_parallel_bench(scale=scale, jobs=jobs)
+        validate_bench_record(record)
+    return record
+
+
+# -- Table I grid parallel bench ----------------------------------------------
+
+#: seeds for the parallel grid bench per scale (methods come from the config).
+_PARALLEL_SEEDS = {"tiny": (0, 1), "small": (0, 1, 2)}
+
+
+def _parallel_bench_config():
+    """The seeded Table I grid the parallel bench runs: the quick protocol
+    config with the *full* protocol's pretraining workload (samples and
+    epochs), so the per-seed context cost the runtime shares across cells
+    is represented at its real proportion."""
+    from dataclasses import replace as dc_replace
+
+    from repro.eval.protocol import Table1Config
+
+    full = Table1Config()
+    return dc_replace(
+        full.quick(),
+        pretrain_samples=full.pretrain_samples,
+        pretrain_epochs=full.pretrain_epochs,
+    )
+
+
+def _rows_equal(a: dict, b: dict) -> bool:
+    """Exact (bit-level) equality of two method->Table1Row mappings."""
+    if set(a) != set(b):
+        return False
+    return all(a[m].accuracy_by_k == b[m].accuracy_by_k for m in a)
+
+
+def run_table1_parallel_bench(
+    scale: str = "tiny",
+    jobs: int = 4,
+    seeds: tuple[int, ...] | None = None,
+    config=None,
+) -> dict:
+    """Serial-vs-parallel wall-clock of the Table I ``(method, seed)`` grid.
+
+    Three executions of the *same* grid, all required to produce
+    bit-identical rows (asserted in-process; the record only exists if the
+    check passed):
+
+    - ``per_cell_serial_seconds`` — every cell run independently, one at a
+      time, each rebuilding its seed context (what naive cell sharding
+      would do: pretraining redone per cell);
+    - ``seed_loop_serial_seconds`` — the pre-runtime serial baseline,
+      ``[run_table1(config, seed) for seed in seeds]`` (context shared
+      within a seed, one process);
+    - ``parallel_seconds`` — :func:`repro.runtime.run_table1_grid` at
+      ``jobs`` workers: contexts prepared once per seed in the pool, cells
+      sharded across workers with the autograd memory diet enabled.
+
+    ``speedup`` is ``per_cell_serial / parallel`` — what the runtime saves
+    over naive sharding.  ``speedup_vs_seed_loop`` is
+    ``seed_loop_serial / parallel``; on a single-CPU host (see
+    ``host_cpus``) it hovers near 1 and the win comes from context
+    sharing, while on a multicore host both multiply with the pool.
+    Timings are single-pass (the grid is too large for best-of-repeats).
+    """
+    from repro.eval.protocol import (
+        prepare_table1_seed,
+        run_table1,
+        run_table1_cell,
+    )
+    from repro.runtime import run_table1_grid
+
+    if config is None:
+        config = _parallel_bench_config()
+    if seeds is None:
+        seeds = _PARALLEL_SEEDS.get(scale, _PARALLEL_SEEDS["tiny"])
+
+    start = time.perf_counter()
+    per_cell_rows = []
+    for seed in seeds:
+        rows = {}
+        for method in config.methods:
+            context = prepare_table1_seed(config, seed)  # rebuilt per cell
+            rows[method] = run_table1_cell(config, context, method)
+        per_cell_rows.append(rows)
+    per_cell_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    seed_loop_rows = [run_table1(config, seed) for seed in seeds]
+    seed_loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    grid = run_table1_grid(config, seeds, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    for serial, pooled in zip(per_cell_rows, grid.rows_by_seed):
+        if not _rows_equal(serial, pooled):
+            raise ValueError(
+                "parallel Table I rows diverged from the per-cell serial rows"
+            )
+    for serial, pooled in zip(seed_loop_rows, grid.rows_by_seed):
+        if not _rows_equal(serial, pooled):
+            raise ValueError(
+                "parallel Table I rows diverged from the seed-loop serial rows"
+            )
+
+    return {
+        "jobs": int(jobs),
+        "host_cpus": int(os.cpu_count() or 1),
+        "seeds": [int(s) for s in seeds],
+        "cells": len(seeds) * len(config.methods),
+        "per_cell_serial_seconds": float(per_cell_seconds),
+        "seed_loop_serial_seconds": float(seed_loop_seconds),
+        "parallel_seconds": float(parallel_seconds),
+        "speedup": float(per_cell_seconds / max(parallel_seconds, 1e-12)),
+        "speedup_vs_seed_loop": float(
+            seed_loop_seconds / max(parallel_seconds, 1e-12)
+        ),
+        "rows_equal": True,
+    }
 
 
 # -- record assembly / validation / io ----------------------------------------
@@ -265,16 +406,48 @@ def validate_bench_record(record: dict) -> None:
         value = summary.get(key)
         expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
                f"summary.{key} must be a finite float > 0")
+    parallel = record.get("parallel")
+    if parallel is not None:
+        expect(record.get("kind") == "table1", "parallel section is table1-only")
+        expect(isinstance(parallel, dict), "parallel must be a dict")
+        expect(isinstance(parallel.get("jobs"), int) and parallel["jobs"] >= 2,
+               "parallel.jobs must be an int >= 2")
+        expect(isinstance(parallel.get("host_cpus"), int) and parallel["host_cpus"] >= 1,
+               "parallel.host_cpus must be a positive int")
+        expect(
+            isinstance(parallel.get("seeds"), list) and parallel["seeds"]
+            and all(isinstance(s, int) for s in parallel["seeds"]),
+            "parallel.seeds must be a non-empty list of ints",
+        )
+        expect(isinstance(parallel.get("cells"), int) and parallel["cells"] >= 1,
+               "parallel.cells must be a positive int")
+        for key in (
+            "per_cell_serial_seconds",
+            "seed_loop_serial_seconds",
+            "parallel_seconds",
+            "speedup",
+            "speedup_vs_seed_loop",
+        ):
+            value = parallel.get(key)
+            expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                   f"parallel.{key} must be a finite float > 0")
+        expect(parallel.get("rows_equal") is True,
+               "parallel.rows_equal must be True (equality is asserted in-process)")
 
 
 def write_bench_records(
-    out_dir: str = ".", scale: str = "tiny", repeats: int = 3
+    out_dir: str = ".", scale: str = "tiny", repeats: int = 3, jobs: int = 0
 ) -> list[str]:
-    """Run both benches and write BENCH_autograd.json / BENCH_table1.json."""
+    """Run both benches and write BENCH_autograd.json / BENCH_table1.json.
+
+    ``jobs > 1`` adds the grid-runtime ``parallel`` section to the Table I
+    record (markedly slower: it runs the quick Table I grid three times).
+    """
     os.makedirs(out_dir, exist_ok=True)
     paths = []
     for kind, runner in (("autograd", run_autograd_bench), ("table1", run_table1_bench)):
-        record = runner(scale=scale, repeats=repeats)
+        kwargs = {"jobs": jobs} if kind == "table1" else {}
+        record = runner(scale=scale, repeats=repeats, **kwargs)
         path = os.path.join(out_dir, f"BENCH_{kind}.json")
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
@@ -301,4 +474,20 @@ def format_bench_record(record: dict) -> str:
         f"{'summary':<28} min {summary['min_speedup']:.2f}x   "
         f"geomean {summary['geomean_speedup']:.2f}x"
     )
+    parallel = record.get("parallel")
+    if parallel:
+        lines.append(
+            f"parallel grid ({parallel['cells']} cells, {parallel['jobs']} workers, "
+            f"{parallel['host_cpus']} host cpu(s)):"
+        )
+        lines.append(
+            f"  per-cell serial {parallel['per_cell_serial_seconds']:.2f}s   "
+            f"seed-loop serial {parallel['seed_loop_serial_seconds']:.2f}s   "
+            f"parallel {parallel['parallel_seconds']:.2f}s"
+        )
+        lines.append(
+            f"  speedup {parallel['speedup']:.2f}x vs per-cell serial, "
+            f"{parallel['speedup_vs_seed_loop']:.2f}x vs seed loop  "
+            f"(rows bit-identical: {parallel['rows_equal']})"
+        )
     return "\n".join(lines)

@@ -4,9 +4,10 @@ Usage::
 
     python -m repro table1 --backbone resnet --seeds 0 1 2
     python -m repro table1 --backbone mixer --quick
+    python -m repro table1 --quick --seeds 0 1 2 --jobs 4
     python -m repro inspect --method meta_lora_tr
     python -m repro figures
-    python -m repro bench --out .
+    python -m repro bench --out . --jobs 4
 
 ``table1`` regenerates the paper's Table I (with t-test markers when more
 than one seed is given); ``inspect`` prints a method's adapter layout and
@@ -47,10 +48,24 @@ def _table1(args: argparse.Namespace) -> int:
             query_per_task=40,
             pretrain_epochs=4,
         )
-    rows_by_seed = []
-    for seed in args.seeds:
-        print(f"running seed {seed} ...", flush=True)
-        rows_by_seed.append(run_table1(config, seed))
+    if args.jobs > 1:
+        from repro.runtime import fork_available, run_table1_grid
+
+        if not fork_available():
+            print("(fork unavailable on this platform; falling back to jobs=1)")
+        cells = len(args.seeds) * len(config.methods)
+        print(
+            f"running {cells} cells ({len(args.seeds)} seed(s) x "
+            f"{len(config.methods)} methods) on {args.jobs} workers ...",
+            flush=True,
+        )
+        grid = run_table1_grid(config, tuple(args.seeds), jobs=args.jobs)
+        rows_by_seed = grid.rows_by_seed
+    else:
+        rows_by_seed = []
+        for seed in args.seeds:
+            print(f"running seed {seed} ...", flush=True)
+            rows_by_seed.append(run_table1(config, seed))
     print()
     print(format_table1(rows_by_seed, config))
     if len(args.seeds) >= 2:
@@ -179,15 +194,22 @@ def _bench(args: argparse.Namespace) -> int:
     if args.out:
         import json
 
-        paths = write_bench_records(args.out, scale=args.scale, repeats=args.repeats)
+        paths = write_bench_records(
+            args.out, scale=args.scale, repeats=args.repeats, jobs=args.jobs
+        )
         for path in paths:
             with open(path, encoding="utf-8") as handle:
                 print(format_bench_record(json.load(handle)))
             print(f"wrote {path}\n")
     else:
-        for runner in (run_autograd_bench, run_table1_bench):
-            print(format_bench_record(runner(scale=args.scale, repeats=args.repeats)))
-            print()
+        print(format_bench_record(run_autograd_bench(scale=args.scale, repeats=args.repeats)))
+        print()
+        print(
+            format_bench_record(
+                run_table1_bench(scale=args.scale, repeats=args.repeats, jobs=args.jobs)
+            )
+        )
+        print()
     return 0
 
 
@@ -203,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seeds", type=int, nargs="+", default=[0])
     table1.add_argument(
         "--quick", action="store_true", help="reduced scale (~2 min instead of ~7/seed)"
+    )
+    table1.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the (method, seed) grid; results are "
+        "bit-identical to --jobs 1 (default: 1, serial)",
     )
     table1.set_defaults(func=_table1)
 
@@ -232,6 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", choices=("tiny", "small"), default="tiny")
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="also bench the parallel Table I grid runtime with this many "
+        "workers and record a `parallel` section (default: 0, skip)",
+    )
     bench.set_defaults(func=_bench)
     return parser
 

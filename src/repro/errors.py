@@ -42,3 +42,12 @@ class TrainingError(ReproError):
 
 class EvaluationError(ReproError):
     """An evaluation protocol was invoked with invalid inputs."""
+
+
+class WorkerError(ReproError):
+    """One or more experiment cells failed inside the parallel runtime.
+
+    Raised in the *parent* process after the pool has drained: per-cell
+    failures are collected as structured records (exception type, message
+    and remote traceback), never left to hang or kill the pool.
+    """

@@ -3,6 +3,17 @@
 The paper scores each method by fitting a KNN on adapted embeddings and
 reporting query accuracy at K=5 and K=10 — a linear-probe-free measure of
 how well the embedding space clusters by class.
+
+Implementation notes: euclidean distances use the
+``||q||² − 2·q·sᵀ + ||s||²`` expansion, so the distance matrix is the
+only ``(Q, S)`` allocation (the naive broadcasted difference materializes
+a ``(Q, S, D)`` tensor, which dominates memory for realistic support
+sizes); the cosine path normalizes the support matrix once at ``fit()``
+time instead of on every query batch.  Prediction is fully vectorized:
+top-k via ``np.argpartition`` and a bincount-based majority vote, with
+the same deterministic distance-sum tie-break as the original per-query
+loop (ties on the vote go to the candidate class with the smallest total
+neighbour distance, then to the smallest class value).
 """
 
 from __future__ import annotations
@@ -21,6 +32,10 @@ class KNNClassifier:
         self.metric = metric
         self._embeddings: np.ndarray | None = None
         self._labels: np.ndarray | None = None
+        self._normalized: np.ndarray | None = None  # cosine support, unit rows
+        self._sq_norms: np.ndarray | None = None  # euclidean ||s||² per row
+        self._classes: np.ndarray | None = None  # sorted unique labels
+        self._class_index: np.ndarray | None = None  # label -> class position
 
     def fit(self, embeddings: np.ndarray, labels: np.ndarray) -> "KNNClassifier":
         embeddings = np.asarray(embeddings, dtype=np.float64)
@@ -34,18 +49,28 @@ class KNNClassifier:
             )
         self._embeddings = embeddings
         self._labels = labels
+        if self.metric == "cosine":
+            self._normalized = embeddings / (
+                np.linalg.norm(embeddings, axis=1, keepdims=True) + 1e-12
+            )
+        else:
+            self._sq_norms = np.einsum("ij,ij->i", embeddings, embeddings)
+        self._classes, self._class_index = np.unique(labels, return_inverse=True)
         return self
 
     def _distances(self, queries: np.ndarray) -> np.ndarray:
         assert self._embeddings is not None
         if self.metric == "cosine":
-            support = self._embeddings / (
-                np.linalg.norm(self._embeddings, axis=1, keepdims=True) + 1e-12
-            )
             q = queries / (np.linalg.norm(queries, axis=1, keepdims=True) + 1e-12)
-            return 1.0 - q @ support.T
-        diff = queries[:, None, :] - self._embeddings[None, :, :]
-        return np.sqrt((diff**2).sum(axis=2))
+            return 1.0 - q @ self._normalized.T
+        squared = (
+            np.einsum("ij,ij->i", queries, queries)[:, None]
+            - 2.0 * (queries @ self._embeddings.T)
+            + self._sq_norms[None, :]
+        )
+        # The expansion can go slightly negative under cancellation.
+        np.maximum(squared, 0.0, out=squared)
+        return np.sqrt(squared, out=squared)
 
     def predict(self, queries: np.ndarray, k: int) -> np.ndarray:
         """Labels of the majority among the ``k`` nearest supports.
@@ -60,21 +85,24 @@ class KNNClassifier:
         queries = np.asarray(queries, dtype=np.float64)
         k = min(k, self._embeddings.shape[0])
         distances = self._distances(queries)
-        nearest = np.argsort(distances, axis=1)[:, :k]
-        predictions = np.empty(queries.shape[0], dtype=self._labels.dtype)
-        for i in range(queries.shape[0]):
-            neighbour_labels = self._labels[nearest[i]]
-            neighbour_distances = distances[i, nearest[i]]
-            classes, votes = np.unique(neighbour_labels, return_counts=True)
-            best = classes[votes == votes.max()]
-            if best.shape[0] == 1:
-                predictions[i] = best[0]
-            else:
-                totals = [
-                    neighbour_distances[neighbour_labels == c].sum() for c in best
-                ]
-                predictions[i] = best[int(np.argmin(totals))]
-        return predictions
+        nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        rows = np.arange(queries.shape[0])[:, None]
+        neighbour_classes = self._class_index[nearest]  # (Q, k) in [0, C)
+        neighbour_distances = distances[rows, nearest]
+
+        num_classes = self._classes.shape[0]
+        flat = (rows * num_classes + neighbour_classes).ravel()
+        votes = np.bincount(flat, minlength=queries.shape[0] * num_classes)
+        votes = votes.reshape(queries.shape[0], num_classes)
+        totals = np.bincount(
+            flat,
+            weights=neighbour_distances.ravel(),
+            minlength=queries.shape[0] * num_classes,
+        ).reshape(queries.shape[0], num_classes)
+        # Majority vote; among tied classes the smallest distance total wins
+        # (argmin then prefers the smallest class value on exact total ties).
+        candidate_totals = np.where(votes == votes.max(axis=1, keepdims=True), totals, np.inf)
+        return self._classes[np.argmin(candidate_totals, axis=1)]
 
     def score(self, queries: np.ndarray, labels: np.ndarray, k: int) -> float:
         """Accuracy of :meth:`predict` against ``labels``."""

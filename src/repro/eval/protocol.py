@@ -251,18 +251,49 @@ def _knn_accuracy(
     return float(np.mean(scores))
 
 
-def run_table1(config: Table1Config, seed: int) -> dict[str, Table1Row]:
-    """One full Table I run (all methods) at ``seed``.
+@dataclass
+class Table1SeedContext:
+    """Everything a ``(method, seed)`` cell shares within one seed.
 
-    Every method sees the same pretrained weights, the same task
-    distribution, the same adaptation stream order (per-method RNGs are
-    spawned from the same root) and the same evaluation splits.
+    Produced once per seed by :func:`prepare_table1_seed` — the pretrained
+    backbone state, the (pretrained-ResNet) feature-extractor state and
+    the frozen task splits — then consumed by any number of
+    :func:`run_table1_cell` calls.  The fields are plain numpy containers,
+    so a context pickles cleanly to process-pool workers
+    (:mod:`repro.runtime`), which deserialize the shared frozen backbone
+    instead of redoing pretraining per cell.
     """
-    rng_pretrain, rng_tasks, rng_eval, *method_rngs = spawn_rngs(
-        seed, 4 + len(config.methods)
-    )
 
-    backbone, state = pretrain_backbone(config, rng_pretrain)
+    seed: int
+    state: dict[str, np.ndarray]
+    extractor_state: dict[str, np.ndarray]
+    train_sets: list[SyntheticTaskData]
+    eval_sets: list[tuple[SyntheticTaskData, SyntheticTaskData]]
+
+
+def _protocol_rngs(config: Table1Config, seed: int) -> list[np.random.Generator]:
+    """The seed's RNG fan-out: pretrain, tasks, eval, then one per method.
+
+    Spawned in one call so every consumer — serial loop or pool worker —
+    derives bit-identical streams from ``(seed, position)`` alone.  (The
+    historical count of ``4 + len(methods)`` leaves one spare stream; it
+    is kept so existing seeds keep reproducing bit-identically.)
+    """
+    return spawn_rngs(seed, 4 + len(config.methods))
+
+
+def method_rng(config: Table1Config, seed: int, method: str) -> np.random.Generator:
+    """The cell-keyed RNG for ``(method, seed)`` — position 3 + method index."""
+    if method not in config.methods:
+        raise ConfigError(f"method {method!r} not in config.methods")
+    return _protocol_rngs(config, seed)[3 + config.methods.index(method)]
+
+
+def prepare_table1_seed(config: Table1Config, seed: int) -> Table1SeedContext:
+    """Pretrain the backbone and freeze the task splits for one seed."""
+    rng_pretrain, rng_tasks, rng_eval = _protocol_rngs(config, seed)[:3]
+
+    __, state = pretrain_backbone(config, rng_pretrain)
     if config.backbone == "resnet":
         extractor_state = state
     else:
@@ -293,20 +324,52 @@ def run_table1(config: Table1Config, seed: int) -> dict[str, Table1Row]:
             task, config.query_per_task, config.num_classes, config.image_size, rng_eval
         )
         eval_sets.append((support, query))
+    return Table1SeedContext(
+        seed=seed,
+        state=state,
+        extractor_state=extractor_state,
+        train_sets=train_sets,
+        eval_sets=eval_sets,
+    )
 
-    rows: dict[str, Table1Row] = {}
-    for method, method_rng in zip(config.methods, method_rngs):
-        model = build_adapted_model(
-            method, config, state, method_rng, extractor_state=extractor_state
+
+def run_table1_cell(
+    config: Table1Config, context: Table1SeedContext, method: str
+) -> Table1Row:
+    """One independent Table I cell: adapt ``method`` on the seed's splits.
+
+    The cell's RNG is derived from ``(context.seed, method)`` alone, so
+    executing cells in any order — or in separate processes — yields
+    results bit-identical to the serial :func:`run_table1` loop.
+    """
+    rng = method_rng(config, context.seed, method)
+    model = build_adapted_model(
+        method, config, context.state, rng, extractor_state=context.extractor_state
+    )
+    _adapt(model, context.train_sets, config, rng)
+    row = Table1Row(method=method)
+    for k in config.ks:
+        row.accuracy_by_k[k] = _knn_accuracy(
+            model, context.eval_sets, k, config.knn_metric
         )
-        _adapt(model, train_sets, config, method_rng)
-        row = Table1Row(method=method)
-        for k in config.ks:
-            row.accuracy_by_k[k] = _knn_accuracy(
-                model, eval_sets, k, config.knn_metric
-            )
-        rows[method] = row
-    return rows
+    return row
+
+
+def run_table1(config: Table1Config, seed: int) -> dict[str, Table1Row]:
+    """One full Table I run (all methods) at ``seed``.
+
+    Every method sees the same pretrained weights, the same task
+    distribution, the same adaptation stream order (per-method RNGs are
+    spawned from the same root) and the same evaluation splits.  The
+    parallel grid runner (:func:`repro.runtime.run_table1_grid`) executes
+    the same :func:`prepare_table1_seed` + :func:`run_table1_cell`
+    pipeline across processes, bit-identically.
+    """
+    context = prepare_table1_seed(config, seed)
+    return {
+        method: run_table1_cell(config, context, method)
+        for method in config.methods
+    }
 
 
 def format_table1(rows_by_seed: list[dict[str, Table1Row]], config: Table1Config) -> str:

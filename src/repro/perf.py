@@ -12,7 +12,14 @@ Flags initialize from the environment:
 - ``REPRO_PERF=off`` (or ``reference``) disables every optimization;
 - ``REPRO_EINSUM_PLAN_CACHE=0``, ``REPRO_EINSUM_OPTIMIZE=0``,
   ``REPRO_CONV_PATCHES_CACHE=0``, ``REPRO_CONV_PAD_WORKSPACE=0``,
-  ``REPRO_BATCHED_SEEDS=0`` disable individual paths.
+  ``REPRO_BATCHED_SEEDS=0``, ``REPRO_BACKWARD_INPLACE_ACCUM=0`` disable
+  individual paths;
+- ``REPRO_BACKWARD_RELEASE=1`` opts in to the backward memory diet
+  (graph metadata is dropped as ``backward()`` consumes it; see
+  :meth:`repro.autograd.tensor.Tensor.backward`).  Off by default because
+  it trades the ability to re-run ``backward()`` on the same graph for a
+  smaller peak footprint; the parallel experiment runtime enables it per
+  worker, where graphs are never reused.
 
 Programmatic control uses :func:`perf_overrides` (a context manager), which
 the benchmark harness relies on to time reference vs. optimized runs in the
@@ -43,6 +50,14 @@ class PerfFlags:
     ``einsum_optimize`` additionally contracts >=3-operand einsums in the
     optimal pairwise order — numerically equivalent but not bit-identical
     (floating-point summation order changes).
+    ``backward_inplace_accum`` accumulates multi-consumer gradients into a
+    sweep-owned buffer with ``np.add(..., out=...)`` — bit-identical (the
+    in-place path only triggers once the buffer is private and dtypes
+    match).
+    ``backward_release`` frees graph metadata (parents + grad closures,
+    and with them the captured activations) as the backward sweep consumes
+    each node.  Bit-identical per sweep, but a released graph cannot be
+    backpropagated again — hence opt-in.
     """
 
     einsum_plan_cache: bool = True
@@ -50,6 +65,8 @@ class PerfFlags:
     conv_patches_cache: bool = True
     conv_pad_workspace: bool = True
     batched_seeds: bool = True
+    backward_inplace_accum: bool = True
+    backward_release: bool = False
 
 
 def _from_env() -> PerfFlags:
@@ -61,6 +78,8 @@ def _from_env() -> PerfFlags:
         conv_patches_cache=_env_bool("REPRO_CONV_PATCHES_CACHE", True),
         conv_pad_workspace=_env_bool("REPRO_CONV_PAD_WORKSPACE", True),
         batched_seeds=_env_bool("REPRO_BATCHED_SEEDS", True),
+        backward_inplace_accum=_env_bool("REPRO_BACKWARD_INPLACE_ACCUM", True),
+        backward_release=_env_bool("REPRO_BACKWARD_RELEASE", False),
     )
 
 

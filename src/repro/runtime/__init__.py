@@ -1,0 +1,36 @@
+"""Parallel experiment runtime: process-pool sharding of independent cells.
+
+Public surface:
+
+- :func:`run_cells` / :class:`CellResult` / :class:`CellFailure` — the
+  generic deterministic cell runner with crash isolation and a serial
+  fallback (``jobs=1`` or no ``fork``);
+- :func:`run_table1_grid` / :class:`Table1GridResult` — the Table I
+  ``seeds × methods`` grid sharded over workers, bit-identical to the
+  serial protocol loop;
+- :func:`fork_available` / :func:`resolve_jobs` — platform helpers the
+  CLI ``--jobs`` flags build on.
+
+See ``docs/runtime.md`` for the design and the determinism contract.
+"""
+
+from repro.runtime.pool import (
+    CellFailure,
+    CellResult,
+    fork_available,
+    raise_failures,
+    resolve_jobs,
+    run_cells,
+)
+from repro.runtime.table1 import Table1GridResult, run_table1_grid
+
+__all__ = [
+    "CellFailure",
+    "CellResult",
+    "Table1GridResult",
+    "fork_available",
+    "raise_failures",
+    "resolve_jobs",
+    "run_cells",
+    "run_table1_grid",
+]

@@ -1,0 +1,172 @@
+"""Generic process-pool execution of independent experiment cells.
+
+The experiment grids this library runs — Table I ``(method, seed)``
+pairs, significance-test repeats, the rank/format ablation sweeps — are
+embarrassingly parallel: every cell is a pure function of its key.
+:func:`run_cells` shards such cells across a ``fork`` process pool with
+
+- **determinism**: a cell must derive all randomness from its own key
+  (see :func:`repro.eval.protocol.method_rng` for the Table I scheme),
+  so results are bit-identical however cells land on workers;
+- **a serial fallback**: ``jobs=1``, a single cell, or a platform
+  without ``fork`` all run the exact same code in-process;
+- **crash isolation**: a worker exception is caught *inside* the worker
+  and shipped back as a structured :class:`CellFailure` (type, message,
+  remote traceback) on its :class:`CellResult` — one bad cell neither
+  hangs the pool nor takes down its siblings;
+- **profiler aggregation**: when the parent's profiler is enabled, each
+  worker records into its own profiler and the snapshot is merged back
+  into the parent's (:meth:`repro.utils.profiling.Profiler.merge_counters`).
+
+Workers execute cells under ``perf_overrides(**perf)`` — the Table I
+grid uses this to enable the autograd memory diet
+(``backward_release``), which is safe there because training steps never
+backpropagate the same graph twice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError, WorkerError
+from repro.perf import perf_overrides
+from repro.utils.profiling import PROFILER
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A structured record of one cell's exception."""
+
+    key: object
+    error_type: str
+    message: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"cell {self.key!r}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: either ``value`` or a ``failure``, plus timing."""
+
+    key: object
+    value: object = None
+    failure: CellFailure | None = None
+    seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean one CPU's worth."""
+    if jobs is None or jobs == 0:
+        return multiprocessing.cpu_count()
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _execute_cell(
+    fn: Callable[[object], object],
+    key: object,
+    cell: object,
+    perf: dict[str, bool] | None,
+    profile: bool,
+) -> CellResult:
+    """Run one cell, capturing exceptions and (optionally) profiler counters.
+
+    Module-level so it pickles for the pool; runs verbatim on the serial
+    fallback path.
+    """
+    start = time.perf_counter()
+    counters: dict = {}
+    try:
+        if profile:
+            PROFILER.reset()
+            PROFILER.enable()
+        try:
+            with perf_overrides(**(perf or {})):
+                value = fn(cell)
+        finally:
+            if profile:
+                PROFILER.disable()
+                counters = PROFILER.as_dict()
+        return CellResult(
+            key, value=value, seconds=time.perf_counter() - start, counters=counters
+        )
+    except Exception as exc:  # crash isolation: ship, don't hang the pool
+        failure = CellFailure(
+            key=key,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+        return CellResult(
+            key, failure=failure, seconds=time.perf_counter() - start, counters=counters
+        )
+
+
+def run_cells(
+    fn: Callable[[object], object],
+    cells: Sequence[object],
+    *,
+    jobs: int = 1,
+    keys: Sequence[object] | None = None,
+    perf: dict[str, bool] | None = None,
+) -> list[CellResult]:
+    """Execute ``fn(cell)`` for every cell, in order, possibly in parallel.
+
+    ``keys`` (default: the cells themselves) label results and failures.
+    ``perf`` is a set of :class:`repro.perf.PerfFlags` overrides applied
+    around each cell.  Results always come back in input order.
+    """
+    if keys is None:
+        keys = list(cells)
+    elif len(keys) != len(cells):
+        raise ConfigError(f"{len(keys)} keys for {len(cells)} cells")
+    jobs = resolve_jobs(jobs)
+    parallel = jobs > 1 and len(cells) > 1 and fork_available()
+
+    # In-process cells record straight into the parent profiler; pool
+    # workers snapshot their own and the parent merges the counters back,
+    # so `profiled()` spans a parallel region either way.
+    profile_workers = PROFILER.enabled and parallel
+    tasks = [(fn, key, cell, perf, profile_workers) for key, cell in zip(keys, cells)]
+
+    if not parallel:
+        results = [_execute_cell(*task) for task in tasks]
+    else:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(jobs, len(cells))) as pool:
+            results = pool.starmap(_execute_cell, tasks)
+        for result in results:
+            PROFILER.merge_counters(result.counters)
+    return results
+
+
+def raise_failures(results: Sequence[CellResult]) -> None:
+    """Raise :class:`WorkerError` summarizing every failed cell, if any."""
+    failures = [r.failure for r in results if not r.ok]
+    if not failures:
+        return
+    summary = "; ".join(str(f) for f in failures[:5])
+    if len(failures) > 5:
+        summary += f"; ... ({len(failures) - 5} more)"
+    detail = "\n\n".join(f.traceback for f in failures[:3])
+    raise WorkerError(
+        f"{len(failures)}/{len(results)} cells failed: {summary}\n"
+        f"first tracebacks:\n{detail}"
+    )

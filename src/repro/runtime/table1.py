@@ -1,0 +1,121 @@
+"""Process-pool sharding of the Table I experiment grid.
+
+The grid has two phases, both sharded over the same pool:
+
+1. **Seed contexts** — one :class:`~repro.eval.protocol.Table1SeedContext`
+   per seed: pretrain the backbone once, freeze the task splits.  Workers
+   return the context to the parent, which re-ships the *shared frozen
+   backbone* to every dependent cell instead of letting each cell redo
+   pretraining.
+2. **Cells** — one ``(seed, method)`` pair each, the independent unit of
+   the paper's Table I.  Each cell derives its RNG from its key alone
+   (:func:`repro.eval.protocol.method_rng`), so the grid is bit-identical
+   to the serial :func:`repro.eval.protocol.run_table1` loop at any
+   worker count — the property the bench harness asserts in-process.
+
+Cells run under the autograd memory diet (``backward_release``), which is
+safe because the training loops never backpropagate a graph twice, and
+bit-identical because releasing graph metadata does not change numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.eval.protocol import (
+    Table1Config,
+    Table1Row,
+    Table1SeedContext,
+    prepare_table1_seed,
+    run_table1_cell,
+)
+from repro.runtime.pool import CellResult, raise_failures, run_cells
+
+#: Perf overrides applied around every grid cell (see module docstring).
+CELL_PERF = {"backward_release": True}
+
+
+@dataclass
+class Table1GridResult:
+    """All rows of a multi-seed Table I grid, plus per-cell diagnostics."""
+
+    config: Table1Config
+    seeds: tuple[int, ...]
+    rows_by_seed: list[dict[str, Table1Row]]
+    cell_results: list[CellResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list:
+        return [r.failure for r in self.cell_results if not r.ok]
+
+
+def _prepare_seed(cell: tuple[Table1Config, int]) -> Table1SeedContext:
+    config, seed = cell
+    return prepare_table1_seed(config, seed)
+
+
+def _run_cell(cell: tuple[Table1Config, Table1SeedContext, str]) -> Table1Row:
+    config, context, method = cell
+    return run_table1_cell(config, context, method)
+
+
+def run_table1_grid(
+    config: Table1Config,
+    seeds: tuple[int, ...] | list[int],
+    jobs: int = 1,
+    strict: bool = True,
+) -> Table1GridResult:
+    """Shard the ``seeds × config.methods`` Table I grid over ``jobs`` workers.
+
+    Bit-identical to ``[run_table1(config, seed) for seed in seeds]`` at
+    any ``jobs`` (including the ``jobs=1`` serial fallback).  With
+    ``strict`` (default), any cell failure raises
+    :class:`repro.errors.WorkerError` after the whole grid has drained;
+    otherwise failed cells appear in ``result.cell_results`` and their
+    rows are omitted.
+    """
+    seeds = tuple(int(s) for s in seeds)
+    if not seeds:
+        raise ConfigError("run_table1_grid needs at least one seed")
+
+    context_results = run_cells(
+        _prepare_seed,
+        [(config, seed) for seed in seeds],
+        jobs=jobs,
+        keys=[("context", seed) for seed in seeds],
+    )
+    if strict:
+        raise_failures(context_results)
+    contexts = {
+        result.key[1]: result.value for result in context_results if result.ok
+    }
+
+    cells = []
+    keys = []
+    for seed in seeds:
+        if seed not in contexts:
+            continue  # non-strict: the seed's context failed; skip its cells
+        for method in config.methods:
+            cells.append((config, contexts[seed], method))
+            keys.append((seed, method))
+    cell_results = run_cells(
+        _run_cell, cells, jobs=jobs, keys=keys, perf=dict(CELL_PERF)
+    )
+    if strict:
+        raise_failures(cell_results)
+
+    rows_by_seed: list[dict[str, Table1Row]] = []
+    for seed in seeds:
+        rows = {
+            result.key[1]: result.value
+            for result in cell_results
+            if result.ok and result.key[0] == seed
+        }
+        rows_by_seed.append(rows)
+    return Table1GridResult(
+        config=config,
+        seeds=seeds,
+        rows_by_seed=rows_by_seed,
+        cell_results=context_results + cell_results,
+    )

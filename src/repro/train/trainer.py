@@ -89,6 +89,9 @@ class Trainer:
             for grad in grads:
                 grad *= scale
 
+    #: Training-set subsample size used by ``train_eval="subsampled"``.
+    TRAIN_EVAL_CAP = 256
+
     def fit(
         self,
         images: np.ndarray,
@@ -99,6 +102,7 @@ class Trainer:
         validation: tuple[np.ndarray, np.ndarray] | None = None,
         early_stopping: "EarlyStopping | None" = None,
         log_every: int | None = None,
+        train_eval: str = "subsampled",
     ) -> TrainResult:
         """Train for ``epochs`` passes; records per-epoch mean loss/accuracy.
 
@@ -107,20 +111,42 @@ class Trainer:
         ``result.validation_accuracies``).  ``early_stopping`` monitors the
         validation accuracy and ends training early when it stalls;
         requires ``validation``.
+
+        ``train_eval`` controls the per-epoch re-score of the *training*
+        set — a diagnostic that can cost more than the epoch itself on
+        large sets: ``"full"`` scores every sample (the original
+        behaviour), ``"subsampled"`` (default) scores a deterministic,
+        evenly spaced subset of at most :data:`TRAIN_EVAL_CAP` samples
+        (exact whenever the set is smaller), ``"off"`` skips it and leaves
+        ``result.accuracies`` empty.  The subsample indices are computed
+        without drawing from ``rng``, so the training trajectory is
+        bit-identical across all three settings.
         """
         if epochs <= 0:
             raise TrainingError(f"epochs must be positive, got {epochs}")
         if early_stopping is not None and validation is None:
             raise TrainingError("early_stopping requires a validation set")
+        if train_eval not in ("off", "subsampled", "full"):
+            raise TrainingError(
+                f"train_eval must be 'off', 'subsampled' or 'full', got {train_eval!r}"
+            )
+        eval_images, eval_labels = images, labels
+        if train_eval == "subsampled" and images.shape[0] > self.TRAIN_EVAL_CAP:
+            subsample = np.linspace(
+                0, images.shape[0] - 1, self.TRAIN_EVAL_CAP
+            ).astype(np.int64)
+            eval_images, eval_labels = images[subsample], labels[subsample]
         result = TrainResult()
         for epoch in range(epochs):
             epoch_losses = []
             for x_batch, y_batch in batches(images, labels, batch_size, rng):
                 epoch_losses.append(self.train_step(x_batch, y_batch))
             mean_loss = float(np.mean(epoch_losses))
-            accuracy = self.evaluate(images, labels, batch_size)
             result.losses.append(mean_loss)
-            result.accuracies.append(accuracy)
+            accuracy = None
+            if train_eval != "off":
+                accuracy = self.evaluate(eval_images, eval_labels, batch_size)
+                result.accuracies.append(accuracy)
             if validation is not None:
                 val_accuracy = self.evaluate(validation[0], validation[1], batch_size)
                 result.validation_accuracies.append(val_accuracy)
@@ -134,18 +160,24 @@ class Trainer:
                     break
             if log_every and (epoch + 1) % log_every == 0:
                 _logger.info(
-                    "epoch %d/%d  loss=%.4f  acc=%.3f",
+                    "epoch %d/%d  loss=%.4f  acc=%s",
                     epoch + 1,
                     epochs,
                     mean_loss,
-                    accuracy,
+                    "n/a" if accuracy is None else f"{accuracy:.3f}",
                 )
         return result
 
     def evaluate(
         self, images: np.ndarray, labels: np.ndarray, batch_size: int = 64
     ) -> float:
-        """Classification accuracy with the model in eval mode."""
+        """Classification accuracy with the model in eval mode.
+
+        The model's prior train/eval mode is restored afterwards, so
+        evaluating an already-``eval()``-ed model does not silently flip
+        it back into training mode.
+        """
+        was_training = getattr(self.model, "training", True)
         self.model.eval()
         correct = 0
         with no_grad():
@@ -153,5 +185,5 @@ class Trainer:
                 logits = self.model(Tensor(x_batch))
                 predictions = logits.data.argmax(axis=1)
                 correct += int((predictions == y_batch).sum())
-        self.model.train()
+        self.model.train(was_training)
         return correct / images.shape[0]

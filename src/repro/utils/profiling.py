@@ -18,7 +18,11 @@ Typical use (what ``repro bench`` does)::
 
 Counter names are dotted: ``einsum.forward``, ``einsum.backward``,
 ``conv2d.forward``, ``conv2d.backward``, ``einsum.plan_cache.hit`` /
-``.miss``, ``conv2d.patches_cache.hit`` / ``.miss``.
+``.miss``, ``conv2d.patches_cache.hit`` / ``.miss``, plus the backward
+sweep counters ``backward.sweep`` (one call per ``backward()``, wall
+seconds), ``backward.inplace_accum`` (in-place gradient accumulations)
+and ``backward.released`` (graph nodes freed under the
+``backward_release`` memory diet).
 """
 
 from __future__ import annotations
@@ -75,6 +79,37 @@ class Profiler:
     def bump(self, name: str, nbytes: int = 0) -> None:
         """Count an event with no duration (cache hits, allocations)."""
         self.record(name, 0.0, nbytes)
+
+    def add(self, name: str, calls: int, seconds: float = 0.0, nbytes: int = 0) -> None:
+        """Fold ``calls`` pre-counted events into ``name`` at once.
+
+        Hot loops (e.g. the backward sweep) count locally and report once,
+        so the profiler costs one call per sweep instead of one per node.
+        """
+        if not self.enabled or calls <= 0:
+            return
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = OpStats()
+        stats.calls += calls
+        stats.seconds += seconds
+        stats.bytes += nbytes
+
+    def merge_counters(self, counters: dict[str, dict[str, float]]) -> None:
+        """Fold an :meth:`as_dict`-style snapshot into this profiler.
+
+        The parallel experiment runtime uses this to aggregate per-worker
+        profiler snapshots into the parent process.  Works even when the
+        profiler is disabled, since the events were already gated by the
+        worker's own profiler.
+        """
+        for name, stats in counters.items():
+            own = self._stats.get(name)
+            if own is None:
+                own = self._stats[name] = OpStats()
+            own.calls += int(stats.get("calls", 0))
+            own.seconds += float(stats.get("seconds", 0.0))
+            own.bytes += int(stats.get("bytes", 0))
 
     @contextlib.contextmanager
     def track(self, name: str, nbytes: int = 0) -> Iterator[None]:

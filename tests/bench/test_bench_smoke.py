@@ -1,6 +1,7 @@
 """Smoke test for the ``repro bench`` harness and its JSON schema."""
 
 import json
+from dataclasses import replace
 
 import pytest
 
@@ -8,9 +9,12 @@ from repro.bench import (
     SCHEMA,
     format_bench_record,
     run_autograd_bench,
+    run_table1_parallel_bench,
     validate_bench_record,
     write_bench_records,
 )
+from repro.eval.protocol import Table1Config
+from repro.runtime import fork_available
 
 pytestmark = pytest.mark.bench_smoke
 
@@ -57,3 +61,67 @@ class TestBenchSmoke:
         broken_entry["entries"][0]["speedup"] = float("nan")
         with pytest.raises(ValueError, match="speedup"):
             validate_bench_record(broken_entry)
+
+
+class TestParallelBenchSection:
+    @pytest.mark.skipif(not fork_available(), reason="no fork start method")
+    def test_parallel_bench_on_a_micro_grid(self):
+        # A two-cell grid keeps the three grid executions cheap while still
+        # exercising the real pool + equality check end to end.
+        config = replace(
+            Table1Config().quick(), methods=("original", "lora"), adapt_episodes=5
+        )
+        section = run_table1_parallel_bench(jobs=2, seeds=(0,), config=config)
+        assert section["jobs"] == 2
+        assert section["cells"] == 2
+        assert section["seeds"] == [0]
+        assert section["rows_equal"] is True
+        assert section["parallel_seconds"] > 0
+        # Round-trips through the schema validator as part of a record.
+        record = {
+            **run_autograd_bench(scale="tiny", repeats=1),
+            "kind": "table1",
+            "parallel": section,
+        }
+        validate_bench_record(json.loads(json.dumps(record)))
+        text = format_bench_record(record)
+        assert "parallel grid" in text
+        assert "rows bit-identical: True" in text
+
+    def test_validate_rejects_corrupt_parallel_sections(self):
+        base = run_autograd_bench(scale="tiny", repeats=1)
+        good = {
+            "jobs": 2,
+            "host_cpus": 1,
+            "seeds": [0],
+            "cells": 2,
+            "per_cell_serial_seconds": 1.0,
+            "seed_loop_serial_seconds": 0.8,
+            "parallel_seconds": 0.5,
+            "speedup": 2.0,
+            "speedup_vs_seed_loop": 1.6,
+            "rows_equal": True,
+        }
+        validate_bench_record({**base, "kind": "table1", "parallel": good})
+        for corrupt, match in (
+            ({**base, "parallel": good}, "table1-only"),  # kind stays autograd
+            ({**base, "kind": "table1", "parallel": {**good, "jobs": 1}}, "jobs"),
+            (
+                {**base, "kind": "table1", "parallel": {**good, "seeds": []}},
+                "seeds",
+            ),
+            (
+                {
+                    **base,
+                    "kind": "table1",
+                    "parallel": {**good, "parallel_seconds": float("nan")},
+                },
+                "parallel_seconds",
+            ),
+            (
+                {**base, "kind": "table1", "parallel": {**good, "rows_equal": False}},
+                "rows_equal",
+            ),
+        ):
+            with pytest.raises(ValueError, match=match):
+                validate_bench_record(corrupt)

@@ -75,6 +75,79 @@ class TestKNN:
         with pytest.raises(EvaluationError):
             KNNClassifier().fit(np.zeros((3, 2)), np.zeros(4))
 
+def _reference_predict(knn, queries, k):
+    """The pre-vectorization per-query vote loop, kept verbatim as the
+    behavioural reference the fast path must match prediction-for-prediction
+    (same majority vote, same distance-sum tie-break, same class-value
+    preference on exact total ties)."""
+    queries = np.asarray(queries, dtype=np.float64)
+    k = min(k, knn._embeddings.shape[0])
+    distances = knn._distances(queries)
+    nearest = np.argsort(distances, axis=1)[:, :k]
+    predictions = np.empty(queries.shape[0], dtype=knn._labels.dtype)
+    for i in range(queries.shape[0]):
+        neighbour_labels = knn._labels[nearest[i]]
+        neighbour_distances = distances[i, nearest[i]]
+        classes, votes = np.unique(neighbour_labels, return_counts=True)
+        best = classes[votes == votes.max()]
+        if best.shape[0] == 1:
+            predictions[i] = best[0]
+        else:
+            totals = [
+                neighbour_distances[neighbour_labels == c].sum() for c in best
+            ]
+            predictions[i] = best[int(np.argmin(totals))]
+    return predictions
+
+
+class TestVectorizedRegression:
+    """The argpartition/bincount fast path must reproduce the original
+    per-query loop exactly — predictions are pinned, not just accuracy."""
+
+    @pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+    @pytest.mark.parametrize("k", [1, 3, 4, 10])
+    def test_predictions_match_reference_loop(self, rng, metric, k):
+        # Overlapping clusters with non-contiguous labels, so votes tie
+        # regularly and the class-index remapping is exercised.
+        x = rng.normal(size=(60, 6)) + rng.integers(0, 3, size=(60, 1)) * 1.5
+        y = np.array([2, 5, 9])[rng.integers(0, 3, size=60)]
+        queries = rng.normal(size=(25, 6)) + 1.0
+        knn = KNNClassifier(metric=metric).fit(x, y)
+        assert np.array_equal(
+            knn.predict(queries, k=k), _reference_predict(knn, queries, k)
+        )
+
+    def test_vote_tie_with_exact_total_tie_prefers_smaller_class(self):
+        # One neighbour of each class at identical distance: votes tie AND
+        # distance totals tie, so the smaller class value must win — the
+        # original loop's np.argmin-over-sorted-classes behaviour.
+        support = np.array([[1.0], [-1.0]])
+        labels = np.array([7, 3])
+        knn = KNNClassifier(metric="euclidean").fit(support, labels)
+        assert knn.predict(np.array([[0.0]]), k=2)[0] == 3
+
+    def test_euclidean_expansion_matches_naive_differences(self, rng):
+        # ||q||² − 2·q·sᵀ + ||s||² vs materializing the (Q, S, D) diff.
+        support = rng.normal(size=(40, 8)) * 3.0
+        queries = rng.normal(size=(15, 8)) * 3.0
+        knn = KNNClassifier(metric="euclidean").fit(support, np.zeros(40, np.int64))
+        diff = queries[:, None, :] - support[None, :, :]
+        naive = np.sqrt((diff**2).sum(axis=2))
+        np.testing.assert_allclose(knn._distances(queries), naive, atol=1e-9)
+
+    def test_euclidean_zero_distance_not_nan(self):
+        # Cancellation can drive the expansion slightly negative; the
+        # clamp must keep sqrt off the nan path for exact duplicates.
+        support = np.array([[1e8, -1e8], [3.0, 4.0]])
+        knn = KNNClassifier(metric="euclidean").fit(
+            support, np.array([0, 1], np.int64)
+        )
+        distances = knn._distances(support.copy())
+        assert np.all(np.isfinite(distances))
+        assert distances[0, 0] == 0.0 and distances[1, 1] == 0.0
+
+
+class TestKNNDegradation:
     def test_noisy_clusters_degrade_with_large_k(self, rng):
         """With small class counts, K > class size forces errors —
         the effect behind the K=5 vs K=10 columns of Table I."""

@@ -102,6 +102,75 @@ class TestTrainer:
             trainer.fit(x, y, epochs=0, batch_size=4, rng=rng)
 
 
+class TestTrainEval:
+    """The ``train_eval`` knob: what the per-epoch train re-score costs,
+    never what the training trajectory is."""
+
+    def _fit(self, train_eval, n=600, epochs=2):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, 8)).astype(np.float32)
+        w = rng.normal(size=(8, 3)).astype(np.float32)
+        y = (x @ w).argmax(axis=1)
+        model = Sequential(Linear(8, 3, rng=np.random.default_rng(1)))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05))
+        result = trainer.fit(
+            x,
+            y,
+            epochs=epochs,
+            batch_size=32,
+            rng=np.random.default_rng(2),
+            train_eval=train_eval,
+        )
+        return result, model
+
+    def test_off_skips_train_accuracies(self):
+        result, _ = self._fit("off")
+        assert result.accuracies == []
+        assert len(result.losses) == 2
+
+    def test_subsampled_caps_the_scored_set(self):
+        # n=600 > cap=256: the subsampled score differs from the full one
+        # (different sample set) but both are real accuracies.
+        full, _ = self._fit("full")
+        sub, _ = self._fit("subsampled")
+        assert len(full.accuracies) == len(sub.accuracies) == 2
+        assert all(0.0 <= a <= 1.0 for a in sub.accuracies)
+
+    def test_subsampled_is_exact_below_the_cap(self):
+        full, _ = self._fit("full", n=100)
+        sub, _ = self._fit("subsampled", n=100)
+        assert full.accuracies == sub.accuracies
+
+    def test_trajectory_identical_across_settings(self):
+        # The subsample indices never touch `rng`, so losses (and final
+        # weights) are bit-identical whatever the diagnostic costs.
+        results = {mode: self._fit(mode) for mode in ("off", "subsampled", "full")}
+        losses = {mode: result.losses for mode, (result, _) in results.items()}
+        assert losses["off"] == losses["subsampled"] == losses["full"]
+        weights = {
+            mode: model[0].weight.data.copy()
+            for mode, (_, model) in results.items()
+        }
+        assert np.array_equal(weights["off"], weights["subsampled"])
+        assert np.array_equal(weights["off"], weights["full"])
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(TrainingError, match="train_eval"):
+            self._fit("sometimes")
+
+    def test_evaluate_restores_prior_mode(self, rng):
+        x = rng.normal(size=(8, 8)).astype(np.float32)
+        y = np.zeros(8, dtype=np.int64)
+        model = Sequential(Linear(8, 3, rng=rng))
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.1))
+        model.eval()
+        trainer.evaluate(x, y)
+        assert model.training is False  # no silent flip back to training
+        model.train()
+        trainer.evaluate(x, y)
+        assert model.training is True
+
+
 class TestMetaTrainer:
     def _task_sets(self, rng):
         tasks = TaskDistribution(3, seed=0)
