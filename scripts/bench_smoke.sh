@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
 # CI smoke for the performance harness: run the bench_smoke-marked tests
-# (schema round-trip), then produce real BENCH_*.json records at tiny scale.
+# (schema round-trip), then produce real BENCH_*.json records at tiny scale,
+# then exercise the durable-run loop: a fault-injected partial Table I run
+# into a run directory, resumed to completion.
 #
 # Usage: scripts/bench_smoke.sh [out_dir]   (out_dir defaults to .)
 set -eu
@@ -12,3 +14,16 @@ PYTHONPATH=src python -m pytest tests/bench -m bench_smoke -q
 # --jobs 2 also times the parallel Table I grid runtime and records the
 # `parallel` section (serial-vs-parallel wall-clock + bit-identity check).
 PYTHONPATH=src python -m repro bench --out "$out_dir" --scale tiny --repeats 2 --jobs 2
+
+# Durable-run smoke: inject a crash into one cell so the first run exits 1
+# with a partial report and a checkpointed run dir, then resume it clean.
+run_dir="$out_dir/table1_smoke_run"
+rm -rf "$run_dir"
+if REPRO_FAULTS="crash:0/meta_lora_tr" PYTHONPATH=src \
+    python -m repro table1 --smoke --out-dir "$run_dir"; then
+  echo "bench_smoke: expected the fault-injected run to exit nonzero" >&2
+  exit 1
+fi
+# Resume re-runs only the crashed cell and must succeed.
+PYTHONPATH=src python -m repro table1 --smoke --resume "$run_dir"
+rm -rf "$run_dir"

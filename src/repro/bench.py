@@ -219,7 +219,7 @@ def _meta_step_case(sizes: dict) -> Callable[[], np.ndarray]:
     return fn
 
 
-def run_table1_bench(scale: str = "tiny", repeats: int = 3, jobs: int = 0) -> dict:
+def run_table1_bench(scale: str = "tiny", repeats: int = 3, jobs: int = 1) -> dict:
     """Reference-vs-optimized timing of the Table I protocol training step.
 
     With ``jobs > 1`` the record also gains a ``parallel`` section from
@@ -436,7 +436,7 @@ def validate_bench_record(record: dict) -> None:
 
 
 def write_bench_records(
-    out_dir: str = ".", scale: str = "tiny", repeats: int = 3, jobs: int = 0
+    out_dir: str = ".", scale: str = "tiny", repeats: int = 3, jobs: int = 1
 ) -> list[str]:
     """Run both benches and write BENCH_autograd.json / BENCH_table1.json.
 

@@ -5,15 +5,25 @@ Usage::
     python -m repro table1 --backbone resnet --seeds 0 1 2
     python -m repro table1 --backbone mixer --quick
     python -m repro table1 --quick --seeds 0 1 2 --jobs 4
+    python -m repro table1 --seeds 0 1 2 --jobs 4 --out-dir runs/t1
+    python -m repro table1 --resume runs/t1          # rerun only missing cells
     python -m repro inspect --method meta_lora_tr
     python -m repro figures
     python -m repro bench --out . --jobs 4
 
 ``table1`` regenerates the paper's Table I (with t-test markers when more
-than one seed is given); ``inspect`` prints a method's adapter layout and
+than one seed is given); with ``--out-dir`` every completed cell is
+checkpointed into a run directory and ``--resume`` picks a killed run
+back up, re-running only the missing cells — bit-identical to an
+uninterrupted run.  ``inspect`` prints a method's adapter layout and
 parameter budget; ``figures`` runs the Figure 1-3 numerical checks;
 ``bench`` times the optimized hot paths against the reference
 implementation and emits ``BENCH_autograd.json`` / ``BENCH_table1.json``.
+
+Flags shared between subcommands (``--backbone``, ``--jobs``, the
+fault-tolerance set ``--max-retries`` / ``--cell-timeout``) are defined
+once on parent parsers, so their names, types and help stay consistent
+everywhere they appear.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.config import PAPER, PAPER_MIXER
+from repro.errors import ReproError
 from repro.eval.protocol import (
     METHODS,
     build_adapted_model,
@@ -37,8 +48,11 @@ from repro.peft.counts import adapter_parameter_table, count_parameters, format_
 from repro.utils.rng import new_rng
 
 
-def _table1(args: argparse.Namespace) -> int:
+def _table1_config(args: argparse.Namespace):
     config = PAPER if args.backbone == "resnet" else PAPER_MIXER
+    if getattr(args, "smoke", False):
+        # Test-suite scale (seconds, not minutes): what CI smoke runs use.
+        return config.quick()
     if args.quick:
         config = replace(
             config,
@@ -48,19 +62,66 @@ def _table1(args: argparse.Namespace) -> int:
             query_per_task=40,
             pretrain_epochs=4,
         )
-    if args.jobs > 1:
-        from repro.runtime import fork_available, run_table1_grid
+    return config
 
-        if not fork_available():
+
+def _print_significance(config, rows_by_seed) -> None:
+    baselines = [m for m in config.methods if not m.startswith("meta")]
+    print("\nsignificance vs best baseline (two-sided paired t-test):")
+    for k in config.ks:
+        per_method = {
+            m: [rows[m].accuracy_by_k[k] for rows in rows_by_seed]
+            for m in config.methods
+        }
+        best = max(baselines, key=lambda m: float(np.mean(per_method[m])))
+        for meta in ("meta_lora_cp", "meta_lora_tr"):
+            result = two_sided_t_test(per_method[meta], per_method[best])
+            marker = "*" if result.significant and result.statistic > 0 else ""
+            print(f"  K={k}: {meta} vs {best}: p={result.p_value:.3f} {marker}")
+
+
+def _table1(args: argparse.Namespace) -> int:
+    from repro.runtime import fork_available, resolve_jobs, run_table1_grid
+
+    config = _table1_config(args)
+    jobs = resolve_jobs(args.jobs)
+    use_runtime = (
+        jobs > 1
+        or args.out_dir is not None
+        or args.resume is not None
+        or args.max_retries > 0
+        or args.cell_timeout is not None
+    )
+    failures = []
+    if use_runtime:
+        if jobs > 1 and not fork_available():
             print("(fork unavailable on this platform; falling back to jobs=1)")
         cells = len(args.seeds) * len(config.methods)
         print(
             f"running {cells} cells ({len(args.seeds)} seed(s) x "
-            f"{len(config.methods)} methods) on {args.jobs} workers ...",
+            f"{len(config.methods)} methods) on {jobs} worker(s) ...",
             flush=True,
         )
-        grid = run_table1_grid(config, tuple(args.seeds), jobs=args.jobs)
+        # Non-strict: a failed cell degrades the report instead of
+        # aborting the grid — completed cells are still checkpointed
+        # (with --out-dir) and printed, with failures marked.
+        grid = run_table1_grid(
+            config,
+            tuple(args.seeds),
+            jobs=jobs,
+            strict=False,
+            out_dir=args.out_dir,
+            resume=args.resume,
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+        )
+        if grid.restored:
+            print(
+                f"resumed {len(grid.restored)} completed cell(s) from "
+                f"{grid.run_dir}; re-ran only the missing ones"
+            )
         rows_by_seed = grid.rows_by_seed
+        failures = grid.failures
     else:
         rows_by_seed = []
         for seed in args.seeds:
@@ -68,19 +129,16 @@ def _table1(args: argparse.Namespace) -> int:
             rows_by_seed.append(run_table1(config, seed))
     print()
     print(format_table1(rows_by_seed, config))
+    if failures:
+        print(f"\nWARNING: partial results — {len(failures)} cell(s) failed:")
+        for failure in failures:
+            print(f"  {failure}")
+        if args.out_dir is not None or args.resume is not None:
+            rerun_dir = args.resume if args.resume is not None else args.out_dir
+            print(f"fix the cause and rerun with --resume {rerun_dir}")
+        return 1
     if len(args.seeds) >= 2:
-        baselines = [m for m in config.methods if not m.startswith("meta")]
-        print("\nsignificance vs best baseline (two-sided paired t-test):")
-        for k in config.ks:
-            per_method = {
-                m: [rows[m].accuracy_by_k[k] for rows in rows_by_seed]
-                for m in config.methods
-            }
-            best = max(baselines, key=lambda m: float(np.mean(per_method[m])))
-            for meta in ("meta_lora_cp", "meta_lora_tr"):
-                result = two_sided_t_test(per_method[meta], per_method[best])
-                marker = "*" if result.significant and result.statistic > 0 else ""
-                print(f"  K={k}: {meta} vs {best}: p={result.p_value:.3f} {marker}")
+        _print_significance(config, rows_by_seed)
     return 0
 
 
@@ -220,24 +278,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    table1 = sub.add_parser("table1", help="regenerate Table I")
-    table1.add_argument("--backbone", choices=("resnet", "mixer"), default="resnet")
-    table1.add_argument("--seeds", type=int, nargs="+", default=[0])
-    table1.add_argument(
-        "--quick", action="store_true", help="reduced scale (~2 min instead of ~7/seed)"
+    # Shared flag groups.  Each is defined exactly once here and inherited
+    # via ``parents=`` by every subcommand that takes it, so name, type,
+    # default and help text cannot drift between subcommands.
+    backbone_flags = argparse.ArgumentParser(add_help=False)
+    backbone_flags.add_argument(
+        "--backbone", choices=("resnet", "mixer"), default="resnet"
     )
-    table1.add_argument(
+
+    jobs_flags = argparse.ArgumentParser(add_help=False)
+    jobs_flags.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes for the (method, seed) grid; results are "
         "bit-identical to --jobs 1 (default: 1, serial)",
     )
+
+    fault_flags = argparse.ArgumentParser(add_help=False)
+    fault_flags.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="re-run a failed cell up to this many times with exponential "
+        "backoff before reporting it failed (default: 0)",
+    )
+    fault_flags.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="soft wall-clock budget per cell; a stalled cell is killed and "
+        "counts as failed (default: no limit)",
+    )
+
+    table1 = sub.add_parser(
+        "table1",
+        help="regenerate Table I",
+        parents=[backbone_flags, jobs_flags, fault_flags],
+    )
+    table1.add_argument("--seeds", type=int, nargs="+", default=[0])
+    table1.add_argument(
+        "--quick", action="store_true", help="reduced scale (~2 min instead of ~7/seed)"
+    )
+    table1.add_argument(
+        "--smoke",
+        action="store_true",
+        help="test-suite scale (seconds); for CI smoke runs, not paper numbers",
+    )
+    table1.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="run directory: checkpoint each completed cell so a killed run "
+        "can be picked up with --resume",
+    )
+    table1.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume a previous --out-dir run: re-run only the missing "
+        "cells; results are bit-identical to an uninterrupted run",
+    )
     table1.set_defaults(func=_table1)
 
-    inspect = sub.add_parser("inspect", help="show a method's adapter layout")
+    inspect = sub.add_parser(
+        "inspect", help="show a method's adapter layout", parents=[backbone_flags]
+    )
     inspect.add_argument("--method", choices=METHODS, default="meta_lora_tr")
-    inspect.add_argument("--backbone", choices=("resnet", "mixer"), default="resnet")
     inspect.add_argument("--seed", type=int, default=0)
     inspect.set_defaults(func=_inspect)
 
@@ -251,7 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=_report)
 
     bench = sub.add_parser(
-        "bench", help="time optimized vs reference hot paths (BENCH_*.json)"
+        "bench",
+        help="time optimized vs reference hot paths (BENCH_*.json)",
+        parents=[jobs_flags],
     )
     bench.add_argument(
         "--out",
@@ -261,13 +371,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", choices=("tiny", "small"), default="tiny")
     bench.add_argument("--repeats", type=int, default=3)
-    bench.add_argument(
-        "--jobs",
-        type=int,
-        default=0,
-        help="also bench the parallel Table I grid runtime with this many "
-        "workers and record a `parallel` section (default: 0, skip)",
-    )
     bench.set_defaults(func=_bench)
     return parser
 
@@ -275,7 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -51,3 +51,33 @@ class WorkerError(ReproError):
     failures are collected as structured records (exception type, message
     and remote traceback), never left to hang or kill the pool.
     """
+
+
+class CheckpointError(ReproError):
+    """A persisted artifact (adapter checkpoint, run-dir cell) is invalid.
+
+    Raised when a versioned artifact's manifest is missing or corrupt,
+    its format version is unsupported, or the stored arrays do not match
+    what the manifest — or the model being restored — declares.  The
+    point is to fail at the artifact boundary with a clear message
+    instead of deep inside numpy.
+    """
+
+
+class CellTimeoutError(ReproError):
+    """An experiment cell exceeded its soft wall-clock budget.
+
+    Raised *inside* the worker by the pool's alarm-based soft timeout;
+    the runtime converts it into a structured ``CellFailure`` like any
+    other cell exception, so a stalled cell neither hangs the grid nor
+    takes down its siblings.
+    """
+
+
+class FaultInjected(ReproError):
+    """A deterministic test fault (``REPRO_FAULTS``) fired in a worker.
+
+    Never raised in normal operation — only when fault injection is armed
+    via :func:`repro.perf.fire_faults`, which the retry/timeout/resume
+    tests use to crash or stall chosen cells on chosen attempts.
+    """

@@ -373,15 +373,34 @@ def run_table1(config: Table1Config, seed: int) -> dict[str, Table1Row]:
 
 
 def format_table1(rows_by_seed: list[dict[str, Table1Row]], config: Table1Config) -> str:
-    """Render mean accuracies over seeds in the paper's row/column layout."""
+    """Render mean accuracies over seeds in the paper's row/column layout.
+
+    Tolerates **partial** grids (the graceful-degradation path of
+    ``repro table1``): a method with no completed cell renders as
+    ``FAILED``, and a method missing from some seeds gets a ``*`` marker
+    plus a footnote saying how many seeds its mean covers.
+    """
     lines = [
         f"Backbone: {config.backbone}   (mean over {len(rows_by_seed)} seed(s))",
         "Method        " + "".join(f"  K={k:<6}" for k in config.ks),
     ]
+    partial: list[str] = []
     for method in config.methods:
-        cells = []
-        for k in config.ks:
-            values = [rows[method].accuracy_by_k[k] for rows in rows_by_seed]
-            cells.append(f"  {100 * float(np.mean(values)):6.2f}%")
+        present = [rows[method] for rows in rows_by_seed if method in rows]
+        if not present:
+            cells = [f"  {'FAILED':>7}" for __ in config.ks]
+        else:
+            marker = "*" if len(present) < len(rows_by_seed) else ""
+            cells = [
+                f"  {100 * float(np.mean([row.accuracy_by_k[k] for row in present])):6.2f}%{marker}"
+                for k in config.ks
+            ]
+            if marker:
+                partial.append(
+                    f"  * {METHOD_LABELS[method]}: mean over "
+                    f"{len(present)}/{len(rows_by_seed)} seeds "
+                    f"({len(rows_by_seed) - len(present)} cell(s) failed)"
+                )
         lines.append(f"{METHOD_LABELS[method]:<14}" + "".join(cells))
+    lines.extend(partial)
     return "\n".join(lines)

@@ -11,14 +11,12 @@ The typical flow is::
 
 Meta variants generate a per-sample seed from input features; static
 variants (LoRA / Multi-LoRA) keep fixed adapter weights.  Methods are
-looked up in :data:`~repro.peft.api.PEFT_METHODS`; the legacy
-``inject_adapters`` remains as a shim over :func:`~repro.peft.api.attach`.
+looked up in :data:`~repro.peft.api.PEFT_METHODS`.
 """
 
 from repro.peft.base import (
     Adapter,
     get_module,
-    inject_adapters,
     iter_adapters,
     merge_adapters,
     set_module,
@@ -75,7 +73,6 @@ __all__ = [
     "adapter_parameter_table",
     "count_parameters",
     "get_module",
-    "inject_adapters",
     "iter_adapters",
     "merge_adapters",
     "set_module",

@@ -18,9 +18,6 @@ returns an :class:`~repro.peft.base.Adapter`.
 callers that need full control (e.g. per-layer ranks in
 :func:`repro.peft.auto.apply_plan`); the callable receives each target
 layer and returns the adapter.
-
-The legacy :func:`repro.peft.base.inject_adapters` is kept as a thin
-compatibility shim over ``attach``.
 """
 
 from __future__ import annotations

@@ -1,15 +1,17 @@
-"""Adapter base class and model surgery (injection / merging).
+"""Adapter base class and model surgery primitives.
 
-``inject_adapters`` walks a model, replaces every target layer with an
-adapter wrapping it, and freezes the base weights — the defining PEFT
-mechanic: only adapter parameters receive gradients.  ``merge_adapters``
+:func:`repro.peft.api.attach` walks a model, replaces every target layer
+with an adapter wrapping it, and freezes the base weights — the defining
+PEFT mechanic: only adapter parameters receive gradients.  This module
+holds the pieces it is built from: the :class:`Adapter` base class and
+the ``get_module`` / ``set_module`` surgery helpers.  ``merge_adapters``
 reverses the surgery, baking each static adapter's ``ΔW`` into the base
 layer so inference costs exactly the original model.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
@@ -99,31 +101,6 @@ def set_module(root: Module, dotted_name: str, new_module: Module) -> None:
         for index, item in enumerate(items):
             if item is old_module:
                 items[index] = new_module
-
-
-def inject_adapters(
-    model: Module,
-    factory: Callable[[Module], Adapter],
-    target_types: Sequence[type],
-    skip: Sequence[str] = (),
-) -> tuple[Module, dict[str, Adapter]]:
-    """Replace every instance of ``target_types`` in ``model`` with an adapter.
-
-    ``factory`` receives the layer being wrapped and returns the adapter.
-    ``skip`` lists dotted names to leave untouched (e.g. the classifier
-    head).  The whole model is frozen first, so afterwards only the
-    adapters' own parameters are trainable.  Returns the model (modified in
-    place) and the mapping of dotted name -> adapter.
-
-    .. deprecated::
-        Compatibility shim over :func:`repro.peft.api.attach`, which
-        returns an :class:`~repro.peft.api.AttachResult` with symmetric
-        ``detach()`` / ``merge()``.  New code should call ``attach``.
-    """
-    from repro.peft.api import attach  # local import: api builds on base
-
-    result = attach(model, factory, targets=target_types, skip=skip)
-    return result.model, result.adapters
 
 
 def iter_adapters(model: Module) -> Iterator[tuple[str, Adapter]]:

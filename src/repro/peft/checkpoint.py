@@ -11,6 +11,16 @@ helpers extract and restore the adaptation state:
 
 Keys are namespaced (``param::`` / ``buffer::``) so the two kinds restore
 through the right path.
+
+On disk a checkpoint is a **versioned artifact**
+(:func:`repro.utils.serialization.save_artifact`): the arrays plus an
+embedded JSON manifest recording the format version, the adapter
+families and ranks present in the model, and every array's shape/dtype.
+:func:`load_adapter` validates the file against its manifest *and* the
+target model before touching a single weight, raising
+:class:`repro.errors.CheckpointError` with the exact mismatch instead of
+failing deep in numpy — the same format the experiment run directories
+(:mod:`repro.runtime.rundir`) use for cell checkpoints.
 """
 
 from __future__ import annotations
@@ -20,12 +30,15 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.errors import AdapterError
+from repro.errors import AdapterError, CheckpointError
 from repro.nn.module import Module
-from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.serialization import load_artifact, save_artifact
 
 _PARAM = "param::"
 _BUFFER = "buffer::"
+
+#: Artifact ``kind`` for adapter checkpoints.
+ADAPTER_KIND = "adapter"
 
 
 def _buffer_items(model: Module) -> dict[str, tuple[Module, str]]:
@@ -92,13 +105,45 @@ def load_adapter_state_dict(model: Module, state: Mapping[str, np.ndarray]) -> N
             module._buffers[buf_name][...] = value
 
 
+def _adapter_meta(model: Module) -> dict:
+    """Manifest metadata: which adapter families/ranks the model carries."""
+    from repro.peft.base import iter_adapters  # local import: avoid cycle
+
+    families = sorted({type(adapter).__name__ for __, adapter in iter_adapters(model)})
+    ranks = sorted(
+        {
+            int(rank)
+            for __, adapter in iter_adapters(model)
+            if isinstance(rank := getattr(adapter, "rank", None), (int, np.integer))
+        }
+    )
+    return {"families": families, "ranks": ranks}
+
+
 def save_adapter(model: Module, path: str | os.PathLike) -> int:
-    """Write the adapter checkpoint; returns the number of scalars saved."""
+    """Write the adapter checkpoint; returns the number of scalars saved.
+
+    The file is a versioned artifact: the trainable/buffer arrays plus a
+    manifest (format version, adapter families, ranks, per-array
+    shapes/dtypes) that :func:`load_adapter` validates against.
+    """
     state = adapter_state_dict(model)
-    save_arrays(path, state)
+    save_artifact(path, state, kind=ADAPTER_KIND, meta=_adapter_meta(model))
     return sum(int(np.asarray(v).size) for v in state.values())
 
 
 def load_adapter(model: Module, path: str | os.PathLike) -> None:
-    """Load an adapter checkpoint written by :func:`save_adapter`."""
-    load_adapter_state_dict(model, load_arrays(path))
+    """Load an adapter checkpoint written by :func:`save_adapter`.
+
+    Validation happens in two stages, both surfacing as
+    :class:`CheckpointError`: the artifact must match its own manifest
+    (version, array index, shapes, dtypes), and the stored state must
+    match ``model``'s current trainable parameters and buffers.
+    """
+    state, __ = load_artifact(path, kind=ADAPTER_KIND)
+    try:
+        load_adapter_state_dict(model, state)
+    except AdapterError as exc:
+        raise CheckpointError(
+            f"checkpoint {os.fspath(path)!r} does not fit this model: {exc}"
+        ) from exc

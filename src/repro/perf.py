@@ -24,14 +24,43 @@ Flags initialize from the environment:
 Programmatic control uses :func:`perf_overrides` (a context manager), which
 the benchmark harness relies on to time reference vs. optimized runs in the
 same process.
+
+Deterministic fault injection
+-----------------------------
+
+``REPRO_FAULTS`` arms the runtime's fault-injection hook so the
+retry/timeout/resume machinery in :mod:`repro.runtime` is testable
+without real hardware failures.  The value is a ``;``-separated list of
+fault specs::
+
+    <kind>:<key>[:<times>[:<seconds>]]
+
+- ``kind`` — ``crash`` (raise :class:`repro.errors.FaultInjected`) or
+  ``stall`` (sleep ``seconds``, default 30, inside the cell's soft
+  timeout window);
+- ``key`` — the cell key to hit, with tuple keys rendered as
+  ``part/part`` (so the Table I cell ``(0, 'lora')`` is ``0/lora``), or
+  ``*`` for every cell;
+- ``times`` — how many *attempts* the fault fires on (default ``-1``,
+  every attempt → a permanent fault).  ``crash:0/lora:2`` crashes
+  attempts 0 and 1 and lets attempt 2 succeed — a transient fault the
+  retry path must absorb.
+
+The attempt number is supplied by the pool (the parent counts retries),
+so fault behavior is a pure function of ``(key, attempt)`` — fully
+deterministic however cells land on workers.  Fired faults bump the
+``faults.crash`` / ``faults.stall`` profiler counters.
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
+import time
 from dataclasses import dataclass, fields
 from typing import Iterator
+
+from repro.errors import ConfigError, FaultInjected
 
 
 def _env_bool(name: str, default: bool) -> bool:
@@ -116,3 +145,99 @@ def reference_mode() -> Iterator[PerfFlags]:
     """Run the block with every optimization disabled (the reference path)."""
     with perf_overrides(**{f.name: False for f in fields(PerfFlags)}) as flags:
         yield flags
+
+
+# -- deterministic fault injection (REPRO_FAULTS) ------------------------------
+
+#: Environment variable holding the armed fault specs (see module docstring).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Default stall duration when a ``stall`` spec omits ``seconds`` — long
+#: enough that any reasonable cell timeout fires first.
+DEFAULT_STALL_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: what to do, to which cell, on which attempts."""
+
+    kind: str  # "crash" | "stall"
+    key: str  # rendered cell key, or "*" for every cell
+    times: int = -1  # attempts the fault fires on; -1 = every attempt
+    seconds: float = DEFAULT_STALL_SECONDS  # stall duration
+
+    def matches(self, key: str, attempt: int) -> bool:
+        if self.key != "*" and self.key != key:
+            return False
+        return self.times < 0 or attempt < self.times
+
+
+def render_fault_key(key: object) -> str:
+    """Canonical spec rendering of a cell key: tuples join with ``/``."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def parse_faults(raw: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS`` value; raises :class:`ConfigError` on junk."""
+    specs = []
+    for chunk in raw.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2 or len(parts) > 4 or parts[0] not in ("crash", "stall"):
+            raise ConfigError(
+                f"bad fault spec {chunk!r}; expected "
+                f"crash|stall:<key>[:<times>[:<seconds>]]"
+            )
+        kind, key = parts[0], parts[1]
+        if not key:
+            raise ConfigError(f"fault spec {chunk!r} has an empty key")
+        try:
+            times = int(parts[2]) if len(parts) > 2 and parts[2] else -1
+            seconds = (
+                float(parts[3])
+                if len(parts) > 3 and parts[3]
+                else DEFAULT_STALL_SECONDS
+            )
+        except ValueError as exc:
+            raise ConfigError(f"bad fault spec {chunk!r}: {exc}") from exc
+        if seconds < 0:
+            raise ConfigError(f"fault spec {chunk!r}: seconds must be >= 0")
+        specs.append(FaultSpec(kind=kind, key=key, times=times, seconds=seconds))
+    return tuple(specs)
+
+
+def active_faults() -> tuple[FaultSpec, ...]:
+    """The faults currently armed via the environment (usually none)."""
+    raw = os.environ.get(FAULTS_ENV, "")
+    return parse_faults(raw) if raw.strip() else ()
+
+
+def fire_faults(key: object, attempt: int = 0) -> None:
+    """Fire any armed fault matching ``(key, attempt)``.
+
+    Called by the cell runner at the top of every cell execution.  A
+    matching ``crash`` raises :class:`FaultInjected`; a matching
+    ``stall`` sleeps its duration (interruptible by the pool's soft
+    timeout).  No-op — one env read — when nothing is armed.
+    """
+    faults = active_faults()
+    if not faults:
+        return
+    from repro.utils.profiling import PROFILER  # local: keep perf import-light
+
+    rendered = render_fault_key(key)
+    for spec in faults:
+        if not spec.matches(rendered, attempt):
+            continue
+        if spec.kind == "stall":
+            PROFILER.bump("faults.stall")
+            time.sleep(spec.seconds)
+        else:
+            PROFILER.bump("faults.crash")
+            raise FaultInjected(
+                f"injected crash on cell {rendered!r} (attempt {attempt})"
+            )

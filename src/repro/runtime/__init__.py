@@ -1,17 +1,23 @@
-"""Parallel experiment runtime: process-pool sharding of independent cells.
+"""Parallel experiment runtime: durable process-pool sharding of cells.
 
 Public surface:
 
 - :func:`run_cells` / :class:`CellResult` / :class:`CellFailure` — the
-  generic deterministic cell runner with crash isolation and a serial
-  fallback (``jobs=1`` or no ``fork``);
+  generic deterministic cell runner with crash isolation, retry with
+  deterministic backoff, per-cell soft timeouts, streamed results and a
+  serial fallback (``jobs=1`` or no ``fork``);
 - :func:`run_table1_grid` / :class:`Table1GridResult` — the Table I
-  ``seeds × methods`` grid sharded over workers, bit-identical to the
-  serial protocol loop;
+  ``seeds × methods`` grid on top of ``run_cells``, bit-identical to the
+  serial protocol loop, with optional run-directory checkpointing and
+  resume (``out_dir=`` / ``resume=``);
+- :class:`RunDir` / :func:`config_fingerprint` — the run-directory
+  layer: a JSON manifest plus one versioned artifact per completed cell;
 - :func:`fork_available` / :func:`resolve_jobs` — platform helpers the
   CLI ``--jobs`` flags build on.
 
-See ``docs/runtime.md`` for the design and the determinism contract.
+See ``docs/runtime.md`` for the design, the determinism contract, and
+the fault-injection hook (``REPRO_FAULTS``) that makes the failure paths
+testable.
 """
 
 from repro.runtime.pool import (
@@ -22,12 +28,15 @@ from repro.runtime.pool import (
     resolve_jobs,
     run_cells,
 )
+from repro.runtime.rundir import RunDir, config_fingerprint
 from repro.runtime.table1 import Table1GridResult, run_table1_grid
 
 __all__ = [
     "CellFailure",
     "CellResult",
+    "RunDir",
     "Table1GridResult",
+    "config_fingerprint",
     "fork_available",
     "raise_failures",
     "resolve_jobs",

@@ -14,27 +14,58 @@ embarrassingly parallel: every cell is a pure function of its key.
   and shipped back as a structured :class:`CellFailure` (type, message,
   remote traceback) on its :class:`CellResult` — one bad cell neither
   hangs the pool nor takes down its siblings;
+- **retry with deterministic backoff**: with ``max_retries > 0``, failed
+  cells are re-executed up to that many times, sleeping
+  ``retry_backoff * 2**attempt`` between rounds — transient faults are
+  absorbed without surfacing; cells that fail every attempt come back as
+  failures exactly as before (``raise_failures`` turns them into one
+  :class:`~repro.errors.WorkerError`).  Because every cell derives its
+  randomness from its key, a retried cell recomputes the *identical*
+  result a first-try success would have produced;
+- **per-cell soft timeouts**: ``cell_timeout`` arms a SIGALRM-based
+  alarm inside the worker — a stalled cell raises
+  :class:`~repro.errors.CellTimeoutError`, becomes an ordinary
+  :class:`CellFailure` (so it is retryable), and frees its worker
+  instead of hanging the grid.  "Soft" because it interrupts Python
+  execution, not the OS process; platforms without ``SIGALRM`` run
+  without enforcement;
+- **streaming results**: ``on_result`` is invoked in the parent for each
+  cell as it *finally* completes (successes as they land, failures only
+  once retries are exhausted) — the hook run directories use to persist
+  every finished cell before the grid is done, so a killed run loses at
+  most the in-flight cells;
 - **profiler aggregation**: when the parent's profiler is enabled, each
   worker records into its own profiler and the snapshot is merged back
   into the parent's (:meth:`repro.utils.profiling.Profiler.merge_counters`).
+  Retries and timeouts bump ``retry.attempt`` / ``retry.backoff`` /
+  ``retry.recovered`` / ``retry.exhausted`` / ``timeout.cell`` in the
+  parent.
 
 Workers execute cells under ``perf_overrides(**perf)`` — the Table I
 grid uses this to enable the autograd memory diet
 (``backward_release``), which is safe there because training steps never
-backpropagate the same graph twice.
+backpropagate the same graph twice.  Deterministic fault injection
+(``REPRO_FAULTS``, :func:`repro.perf.fire_faults`) hooks in at the top
+of every cell execution so all of the above is testable.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
-from repro.errors import ConfigError, WorkerError
-from repro.perf import perf_overrides
+from repro.errors import CellTimeoutError, ConfigError, WorkerError
+from repro.perf import fire_faults, perf_overrides
 from repro.utils.profiling import PROFILER
+
+#: How long the parent sleeps between completion polls of the pool.
+_POLL_SECONDS = 0.005
 
 
 @dataclass(frozen=True)
@@ -52,13 +83,18 @@ class CellFailure:
 
 @dataclass
 class CellResult:
-    """Outcome of one cell: either ``value`` or a ``failure``, plus timing."""
+    """Outcome of one cell: either ``value`` or a ``failure``, plus timing.
+
+    ``attempts`` counts executions (1 = first try succeeded or no retries
+    were allowed); ``seconds`` is the wall time of the *final* attempt.
+    """
 
     key: object
     value: object = None
     failure: CellFailure | None = None
     seconds: float = 0.0
     counters: dict = field(default_factory=dict)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -71,12 +107,51 @@ def fork_available() -> bool:
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value: ``None``/``0`` mean one CPU's worth."""
-    if jobs is None or jobs == 0:
+    """Normalize a ``--jobs`` value: ``None`` means one CPU's worth.
+
+    Anything below 1 is rejected outright — a worker count of zero is
+    always a caller bug, and silently mapping it to something else has
+    historically hidden misconfigured sweeps.
+    """
+    if jobs is None:
         return multiprocessing.cpu_count()
-    if jobs < 0:
-        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    if jobs < 1:
+        raise ConfigError(
+            f"jobs must be >= 1, got {jobs} (pass None for one worker per CPU)"
+        )
     return jobs
+
+
+@contextlib.contextmanager
+def _soft_timeout(seconds: float | None, key: object) -> Iterator[None]:
+    """Arm a SIGALRM alarm that raises :class:`CellTimeoutError`.
+
+    Only effective in the main thread of a process on platforms with
+    ``SIGALRM`` (pool workers qualify: ``fork`` workers run tasks in
+    their main thread).  Elsewhere the block runs unguarded — the
+    timeout is a soft contract, not an OS-level kill.
+    """
+    if (
+        not seconds
+        or seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):  # pragma: no cover - trivially exercised via raise
+        raise CellTimeoutError(
+            f"cell {key!r} exceeded its {seconds:g}s soft timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _execute_cell(
@@ -85,11 +160,15 @@ def _execute_cell(
     cell: object,
     perf: dict[str, bool] | None,
     profile: bool,
+    attempt: int = 0,
+    timeout: float | None = None,
 ) -> CellResult:
     """Run one cell, capturing exceptions and (optionally) profiler counters.
 
     Module-level so it pickles for the pool; runs verbatim on the serial
-    fallback path.
+    fallback path.  ``attempt`` is supplied by the parent so injected
+    faults (and any attempt-aware cell) behave identically wherever the
+    retry lands.
     """
     start = time.perf_counter()
     counters: dict = {}
@@ -98,14 +177,19 @@ def _execute_cell(
             PROFILER.reset()
             PROFILER.enable()
         try:
-            with perf_overrides(**(perf or {})):
+            with perf_overrides(**(perf or {})), _soft_timeout(timeout, key):
+                fire_faults(key, attempt)
                 value = fn(cell)
         finally:
             if profile:
                 PROFILER.disable()
                 counters = PROFILER.as_dict()
         return CellResult(
-            key, value=value, seconds=time.perf_counter() - start, counters=counters
+            key,
+            value=value,
+            seconds=time.perf_counter() - start,
+            counters=counters,
+            attempts=attempt + 1,
         )
     except Exception as exc:  # crash isolation: ship, don't hang the pool
         failure = CellFailure(
@@ -115,8 +199,56 @@ def _execute_cell(
             traceback=traceback.format_exc(),
         )
         return CellResult(
-            key, failure=failure, seconds=time.perf_counter() - start, counters=counters
+            key,
+            failure=failure,
+            seconds=time.perf_counter() - start,
+            counters=counters,
+            attempts=attempt + 1,
         )
+
+
+def _run_batch(
+    tasks: list[tuple],
+    jobs: int,
+    parallel: bool,
+    emit: Callable[[int, CellResult], None],
+) -> dict[int, CellResult]:
+    """Execute one batch of ``(index, task)`` pairs, streaming completions.
+
+    ``emit(index, result)`` fires in the parent as each cell finishes —
+    in completion order when parallel, submission order when serial.
+    Returns results keyed by their original index.
+    """
+    results: dict[int, CellResult] = {}
+    if not parallel:
+        for index, task in tasks:
+            result = _execute_cell(*task)
+            results[index] = result
+            emit(index, result)
+        return results
+
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        handles = [
+            (index, pool.apply_async(_execute_cell, task)) for index, task in tasks
+        ]
+        pending = list(handles)
+        while pending:
+            still_pending = []
+            progressed = False
+            for index, handle in pending:
+                if handle.ready():
+                    result = handle.get()
+                    results[index] = result
+                    PROFILER.merge_counters(result.counters)
+                    emit(index, result)
+                    progressed = True
+                else:
+                    still_pending.append((index, handle))
+            pending = still_pending
+            if pending and not progressed:
+                time.sleep(_POLL_SECONDS)
+    return results
 
 
 def run_cells(
@@ -126,17 +258,29 @@ def run_cells(
     jobs: int = 1,
     keys: Sequence[object] | None = None,
     perf: dict[str, bool] | None = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.05,
+    cell_timeout: float | None = None,
+    on_result: Callable[[CellResult], None] | None = None,
 ) -> list[CellResult]:
     """Execute ``fn(cell)`` for every cell, in order, possibly in parallel.
 
     ``keys`` (default: the cells themselves) label results and failures.
     ``perf`` is a set of :class:`repro.perf.PerfFlags` overrides applied
-    around each cell.  Results always come back in input order.
+    around each cell.  ``max_retries`` re-runs failed cells with
+    deterministic exponential backoff (``retry_backoff * 2**attempt``
+    seconds between rounds); ``cell_timeout`` arms the per-cell soft
+    timeout.  ``on_result`` fires in the parent once per cell when its
+    outcome is final.  Results always come back in input order.
     """
     if keys is None:
         keys = list(cells)
     elif len(keys) != len(cells):
         raise ConfigError(f"{len(keys)} keys for {len(cells)} cells")
+    if max_retries < 0:
+        raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_backoff < 0:
+        raise ConfigError(f"retry_backoff must be >= 0, got {retry_backoff}")
     jobs = resolve_jobs(jobs)
     parallel = jobs > 1 and len(cells) > 1 and fork_available()
 
@@ -144,17 +288,54 @@ def run_cells(
     # workers snapshot their own and the parent merges the counters back,
     # so `profiled()` spans a parallel region either way.
     profile_workers = PROFILER.enabled and parallel
-    tasks = [(fn, key, cell, perf, profile_workers) for key, cell in zip(keys, cells)]
 
-    if not parallel:
-        results = [_execute_cell(*task) for task in tasks]
-    else:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(processes=min(jobs, len(cells))) as pool:
-            results = pool.starmap(_execute_cell, tasks)
-        for result in results:
-            PROFILER.merge_counters(result.counters)
-    return results
+    def task_for(index: int, attempt: int) -> tuple:
+        return (
+            fn,
+            keys[index],
+            cells[index],
+            perf,
+            profile_workers,
+            attempt,
+            cell_timeout,
+        )
+
+    def emit(index: int, result: CellResult) -> None:
+        if result.ok:
+            if on_result is not None:
+                on_result(result)
+        elif result.failure.error_type == CellTimeoutError.__name__:
+            PROFILER.bump("timeout.cell")
+
+    results: dict[int, CellResult] = {}
+    pending = list(range(len(cells)))
+    for attempt in range(max_retries + 1):
+        if attempt > 0:
+            delay = retry_backoff * 2 ** (attempt - 1)
+            PROFILER.record("retry.backoff", delay)
+            PROFILER.add("retry.attempt", len(pending))
+            if delay > 0:
+                time.sleep(delay)
+        batch = _run_batch(
+            [(index, task_for(index, attempt)) for index in pending],
+            jobs,
+            parallel,
+            emit,
+        )
+        recovered = [
+            index for index in pending if attempt > 0 and batch[index].ok
+        ]
+        PROFILER.add("retry.recovered", len(recovered))
+        results.update(batch)
+        pending = [index for index in pending if not batch[index].ok]
+        if not pending:
+            break
+    if pending:
+        PROFILER.add("retry.exhausted", len(pending) if max_retries else 0)
+        if on_result is not None:
+            for index in pending:
+                on_result(results[index])
+    return [results[index] for index in range(len(cells))]
 
 
 def raise_failures(results: Sequence[CellResult]) -> None:

@@ -1,0 +1,263 @@
+"""Durable experiment run directories: per-cell checkpoints + manifest.
+
+A *run directory* makes a multi-seed experiment grid survivable: every
+completed ``(seed, method)`` cell is persisted the moment it finishes,
+so a run killed N cells in — OOM, preemption, ctrl-C — resumes from its
+run dir re-running only the missing cells.  Because each cell derives
+all randomness from its key (:func:`repro.eval.protocol.method_rng`),
+the resumed rows are **bit-identical** to an uninterrupted serial run.
+
+Layout::
+
+    <run_dir>/
+      manifest.json            run-level manifest: format version, grid
+                               spec (backbone, seeds, methods), config
+                               fingerprint, the full config for humans
+      cells/
+        s<seed>__<method>.npz  one versioned artifact per completed cell
+                               (repro.utils.serialization.save_artifact)
+
+Both layers are written atomically (temp file + ``os.replace``), so a
+kill mid-write can never leave a truncated checkpoint that a resume
+would mistake for a completed cell.  Resuming validates the manifest —
+format version and config fingerprint — and raises
+:class:`repro.errors.CheckpointError` rather than silently mixing rows
+computed under different configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigError
+from repro.eval.protocol import Table1Config, Table1Row
+from repro.utils.serialization import load_artifact, save_artifact
+
+#: Version of the run-dir layout.  Bump on incompatible change; resuming
+#: a run dir written by a different version is refused.
+RUNDIR_VERSION = 1
+
+#: Artifact ``kind`` of a persisted grid cell.
+CELL_KIND = "table1_cell"
+
+_MANIFEST = "manifest.json"
+_CELLS = "cells"
+
+
+def config_fingerprint(config: Table1Config) -> str:
+    """A stable content hash of the full experiment configuration.
+
+    Two runs share a fingerprint iff every knob that feeds the grid's
+    numerics is identical — the invariant that makes mixing checkpointed
+    rows with freshly computed ones safe.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class RunDir:
+    """Handle over one run directory; see the module docstring for layout."""
+
+    def __init__(self, root: str | os.PathLike, manifest: dict) -> None:
+        self.root = os.fspath(root)
+        self.manifest = manifest
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | os.PathLike,
+        config: Table1Config,
+        seeds: tuple[int, ...],
+    ) -> "RunDir":
+        """Create (or adopt) a run dir for this grid.
+
+        A fresh directory gets a new manifest.  An existing run dir is
+        adopted only if its manifest matches this grid's configuration —
+        that is what makes ``--out-dir`` idempotent and ``--resume``
+        safe; a mismatch raises :class:`CheckpointError` instead of
+        contaminating the directory with rows from a different grid.
+        """
+        root = os.fspath(root)
+        os.makedirs(os.path.join(root, _CELLS), exist_ok=True)
+        manifest_path = os.path.join(root, _MANIFEST)
+        fingerprint = config_fingerprint(config)
+        if os.path.exists(manifest_path):
+            rundir = cls.open(root)
+            rundir.validate(config)
+            known = set(rundir.manifest["grid"]["seeds"])
+            if not set(seeds) <= known:
+                rundir.manifest["grid"]["seeds"] = sorted(
+                    known | {int(s) for s in seeds}
+                )
+                _atomic_write_text(
+                    manifest_path,
+                    json.dumps(rundir.manifest, indent=2, sort_keys=True) + "\n",
+                )
+            return rundir
+        manifest = {
+            "format_version": RUNDIR_VERSION,
+            "kind": "table1_run",
+            "config_fingerprint": fingerprint,
+            "grid": {
+                "backbone": config.backbone,
+                "methods": list(config.methods),
+                "seeds": sorted(int(s) for s in seeds),
+            },
+            "config": dataclasses.asdict(config),
+        }
+        _atomic_write_text(
+            manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        return cls(root, manifest)
+
+    @classmethod
+    def open(cls, root: str | os.PathLike) -> "RunDir":
+        """Open an existing run dir; raises :class:`CheckpointError` if
+        the manifest is absent, unparsable, or from another version."""
+        root = os.fspath(root)
+        manifest_path = os.path.join(root, _MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise CheckpointError(
+                f"{root!r} is not a run directory (no {_MANIFEST}); "
+                f"start one with out_dir=/--out-dir"
+            )
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"run dir {root!r} has a corrupt manifest: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("kind") != "table1_run":
+            raise CheckpointError(
+                f"run dir {root!r} manifest is not a table1_run manifest"
+            )
+        version = manifest.get("format_version")
+        if version != RUNDIR_VERSION:
+            raise CheckpointError(
+                f"run dir {root!r} has format version {version!r}; this "
+                f"build reads version {RUNDIR_VERSION}"
+            )
+        return cls(root, manifest)
+
+    def validate(self, config: Table1Config) -> None:
+        """Refuse to mix this run dir with a different configuration."""
+        recorded = self.manifest.get("config_fingerprint")
+        actual = config_fingerprint(config)
+        if recorded != actual:
+            raise CheckpointError(
+                f"run dir {self.root!r} was created for a different "
+                f"configuration (fingerprint {recorded} != {actual}); "
+                f"resuming would mix rows computed under different knobs — "
+                f"use a fresh --out-dir"
+            )
+
+    # -- cells ----------------------------------------------------------------
+
+    def cell_path(self, seed: int, method: str) -> str:
+        return os.path.join(self.root, _CELLS, f"s{int(seed)}__{method}.npz")
+
+    def save_cell(self, seed: int, method: str, row: Table1Row) -> str:
+        """Persist one completed cell as a versioned artifact; returns path."""
+        ks = sorted(row.accuracy_by_k)
+        path = self.cell_path(seed, method)
+        save_artifact(
+            path,
+            {
+                "ks": np.asarray(ks, dtype=np.int64),
+                "accuracy": np.asarray(
+                    [row.accuracy_by_k[k] for k in ks], dtype=np.float64
+                ),
+            },
+            kind=CELL_KIND,
+            meta={"seed": int(seed), "method": method},
+        )
+        return path
+
+    def load_cell(self, seed: int, method: str) -> Table1Row:
+        """Restore one cell; :class:`CheckpointError` on any mismatch."""
+        path = self.cell_path(seed, method)
+        arrays, manifest = load_artifact(path, kind=CELL_KIND)
+        meta = manifest.get("meta", {})
+        if meta.get("seed") != int(seed) or meta.get("method") != method:
+            raise CheckpointError(
+                f"cell artifact {path!r} claims "
+                f"(seed={meta.get('seed')!r}, method={meta.get('method')!r}) "
+                f"but was indexed as (seed={seed}, method={method!r})"
+            )
+        return Table1Row(
+            method=method,
+            accuracy_by_k={
+                int(k): float(a)
+                for k, a in zip(arrays["ks"], arrays["accuracy"])
+            },
+        )
+
+    def completed_cells(self) -> set[tuple[int, str]]:
+        """Keys of every persisted cell, by filename (cheap, no loading)."""
+        cells_dir = os.path.join(self.root, _CELLS)
+        completed = set()
+        if not os.path.isdir(cells_dir):
+            return completed
+        for name in os.listdir(cells_dir):
+            if not (name.startswith("s") and name.endswith(".npz")):
+                continue
+            stem = name[1 : -len(".npz")]
+            seed_part, sep, method = stem.partition("__")
+            if not sep or not seed_part.isdigit():
+                continue
+            completed.add((int(seed_part), method))
+        return completed
+
+    def load_completed(
+        self, seeds: tuple[int, ...], methods: tuple[str, ...]
+    ) -> dict[tuple[int, str], Table1Row]:
+        """Load every persisted cell belonging to this grid, validated."""
+        wanted = {(int(s), m) for s in seeds for m in methods}
+        return {
+            key: self.load_cell(*key)
+            for key in sorted(self.completed_cells() & wanted)
+        }
+
+
+def resolve_run_dirs(
+    out_dir: str | os.PathLike | None, resume: str | os.PathLike | None
+) -> tuple[str | None, bool]:
+    """Collapse the ``out_dir``/``resume`` pair into ``(root, resuming)``.
+
+    ``resume`` implies its own directory is also the output; passing both
+    with different paths is a configuration error.
+    """
+    if resume is not None and out_dir is not None:
+        if os.path.abspath(os.fspath(resume)) != os.path.abspath(os.fspath(out_dir)):
+            raise ConfigError(
+                f"--resume ({os.fspath(resume)!r}) and --out-dir "
+                f"({os.fspath(out_dir)!r}) point at different directories"
+            )
+    if resume is not None:
+        return os.fspath(resume), True
+    if out_dir is not None:
+        return os.fspath(out_dir), False
+    return None, False

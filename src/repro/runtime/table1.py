@@ -13,6 +13,15 @@ The grid has two phases, both sharded over the same pool:
    to the serial :func:`repro.eval.protocol.run_table1` loop at any
    worker count — the property the bench harness asserts in-process.
 
+Durability (``out_dir`` / ``resume``) layers on top without touching the
+numerics: with a run directory (:class:`repro.runtime.rundir.RunDir`)
+every completed cell is checkpointed as it finishes, and a resumed grid
+loads the persisted rows and schedules **only the missing cells** —
+contexts are rebuilt only for seeds that still have work.  Because the
+RNG scheme is key-derived, restored + freshly computed rows are
+bit-identical to an uninterrupted run.  ``max_retries`` /
+``cell_timeout`` pass straight through to :func:`~repro.runtime.pool.run_cells`.
+
 Cells run under the autograd memory diet (``backward_release``), which is
 safe because the training loops never backpropagate a graph twice, and
 bit-identical because releasing graph metadata does not change numerics.
@@ -20,6 +29,7 @@ bit-identical because releasing graph metadata does not change numerics.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -31,6 +41,7 @@ from repro.eval.protocol import (
     run_table1_cell,
 )
 from repro.runtime.pool import CellResult, raise_failures, run_cells
+from repro.runtime.rundir import RunDir, resolve_run_dirs
 
 #: Perf overrides applied around every grid cell (see module docstring).
 CELL_PERF = {"backward_release": True}
@@ -38,12 +49,19 @@ CELL_PERF = {"backward_release": True}
 
 @dataclass
 class Table1GridResult:
-    """All rows of a multi-seed Table I grid, plus per-cell diagnostics."""
+    """All rows of a multi-seed Table I grid, plus per-cell diagnostics.
+
+    ``restored`` lists the keys of cells whose rows were loaded from the
+    run directory rather than recomputed (``resume=``); ``run_dir`` is
+    the directory the grid persisted into, if any.
+    """
 
     config: Table1Config
     seeds: tuple[int, ...]
     rows_by_seed: list[dict[str, Table1Row]]
     cell_results: list[CellResult] = field(default_factory=list)
+    restored: list[tuple[int, str]] = field(default_factory=list)
+    run_dir: str | None = None
 
     @property
     def failures(self) -> list:
@@ -65,25 +83,64 @@ def run_table1_grid(
     seeds: tuple[int, ...] | list[int],
     jobs: int = 1,
     strict: bool = True,
+    *,
+    out_dir: str | os.PathLike | None = None,
+    resume: str | os.PathLike | None = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.05,
+    cell_timeout: float | None = None,
 ) -> Table1GridResult:
     """Shard the ``seeds × config.methods`` Table I grid over ``jobs`` workers.
 
     Bit-identical to ``[run_table1(config, seed) for seed in seeds]`` at
-    any ``jobs`` (including the ``jobs=1`` serial fallback).  With
-    ``strict`` (default), any cell failure raises
-    :class:`repro.errors.WorkerError` after the whole grid has drained;
-    otherwise failed cells appear in ``result.cell_results`` and their
-    rows are omitted.
+    any ``jobs`` (including the ``jobs=1`` serial fallback), with or
+    without a run directory.  With ``strict`` (default), any cell failure
+    raises :class:`repro.errors.WorkerError` after the whole grid has
+    drained; otherwise failed cells appear in ``result.cell_results`` and
+    their rows are omitted.
+
+    ``out_dir`` persists every completed cell into a run directory as it
+    finishes; ``resume`` additionally loads the directory's already-
+    completed cells and re-runs only the missing ones (``resume`` implies
+    ``out_dir``; pointing them at different paths is an error).  Failed
+    cells are retried ``max_retries`` times with deterministic
+    exponential backoff, and ``cell_timeout`` arms the per-cell soft
+    timeout — see :func:`repro.runtime.pool.run_cells`.
     """
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
         raise ConfigError("run_table1_grid needs at least one seed")
 
+    root, resuming = resolve_run_dirs(out_dir, resume)
+    rundir = None
+    if root is not None:
+        if resuming:
+            RunDir.open(root)  # a resume target must already exist
+        rundir = RunDir.create(root, config, seeds)
+    restored: dict[tuple[int, str], Table1Row] = {}
+    if rundir is not None and resuming:
+        restored = rundir.load_completed(seeds, config.methods)
+
+    pool_options = {
+        "jobs": jobs,
+        "max_retries": max_retries,
+        "retry_backoff": retry_backoff,
+        "cell_timeout": cell_timeout,
+    }
+
+    # Contexts are rebuilt only for seeds that still have missing cells.
+    missing = [
+        (seed, method)
+        for seed in seeds
+        for method in config.methods
+        if (seed, method) not in restored
+    ]
+    context_seeds = sorted({seed for seed, __ in missing})
     context_results = run_cells(
         _prepare_seed,
-        [(config, seed) for seed in seeds],
-        jobs=jobs,
-        keys=[("context", seed) for seed in seeds],
+        [(config, seed) for seed in context_seeds],
+        keys=[("context", seed) for seed in context_seeds],
+        **pool_options,
     )
     if strict:
         raise_failures(context_results)
@@ -93,29 +150,43 @@ def run_table1_grid(
 
     cells = []
     keys = []
-    for seed in seeds:
+    for seed, method in missing:
         if seed not in contexts:
             continue  # non-strict: the seed's context failed; skip its cells
-        for method in config.methods:
-            cells.append((config, contexts[seed], method))
-            keys.append((seed, method))
+        cells.append((config, contexts[seed], method))
+        keys.append((seed, method))
+
+    def checkpoint(result: CellResult) -> None:
+        if rundir is not None and result.ok:
+            rundir.save_cell(result.key[0], result.key[1], result.value)
+
     cell_results = run_cells(
-        _run_cell, cells, jobs=jobs, keys=keys, perf=dict(CELL_PERF)
+        _run_cell,
+        cells,
+        keys=keys,
+        perf=dict(CELL_PERF),
+        on_result=checkpoint,
+        **pool_options,
     )
     if strict:
         raise_failures(cell_results)
 
+    fresh = {
+        result.key: result.value for result in cell_results if result.ok
+    }
     rows_by_seed: list[dict[str, Table1Row]] = []
     for seed in seeds:
-        rows = {
-            result.key[1]: result.value
-            for result in cell_results
-            if result.ok and result.key[0] == seed
-        }
+        rows = {}
+        for method in config.methods:
+            row = restored.get((seed, method)) or fresh.get((seed, method))
+            if row is not None:
+                rows[method] = row
         rows_by_seed.append(rows)
     return Table1GridResult(
         config=config,
         seeds=seeds,
         rows_by_seed=rows_by_seed,
         cell_results=context_results + cell_results,
+        restored=sorted(restored),
+        run_dir=rundir.root if rundir is not None else None,
     )

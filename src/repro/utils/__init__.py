@@ -2,12 +2,20 @@
 
 from repro.utils.rng import RngMixin, new_rng, spawn_rngs
 from repro.utils.registry import Registry
-from repro.utils.serialization import load_arrays, save_arrays
+from repro.utils.serialization import (
+    ARTIFACT_VERSION,
+    load_arrays,
+    load_artifact,
+    read_manifest,
+    save_arrays,
+    save_artifact,
+)
 from repro.utils.timing import Timer, time_calls
 from repro.utils.profiling import PROFILER, OpStats, Profiler, profiled
 from repro.utils.logging import enable_console_logging, get_logger
 
 __all__ = [
+    "ARTIFACT_VERSION",
     "OpStats",
     "PROFILER",
     "Profiler",
@@ -17,9 +25,12 @@ __all__ = [
     "enable_console_logging",
     "get_logger",
     "load_arrays",
+    "load_artifact",
     "new_rng",
     "profiled",
+    "read_manifest",
     "save_arrays",
+    "save_artifact",
     "spawn_rngs",
     "time_calls",
 ]

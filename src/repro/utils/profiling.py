@@ -22,7 +22,12 @@ Counter names are dotted: ``einsum.forward``, ``einsum.backward``,
 sweep counters ``backward.sweep`` (one call per ``backward()``, wall
 seconds), ``backward.inplace_accum`` (in-place gradient accumulations)
 and ``backward.released`` (graph nodes freed under the
-``backward_release`` memory diet).
+``backward_release`` memory diet).  The experiment runtime adds its
+fault-tolerance counters: ``retry.attempt`` / ``retry.backoff`` /
+``retry.recovered`` / ``retry.exhausted`` (the pool's retry machinery),
+``timeout.cell`` (cells killed by the per-cell soft timeout) and
+``faults.crash`` / ``faults.stall`` (injected ``REPRO_FAULTS`` test
+faults that fired).
 """
 
 from __future__ import annotations

@@ -1,26 +1,196 @@
-"""Array checkpointing.
+"""Array checkpointing and the versioned artifact format.
 
-Model state is a flat mapping of parameter names to numpy arrays; it is
-persisted as a compressed ``.npz`` archive, the simplest portable format
-that round-trips dtype and shape exactly.
+Two layers:
+
+- :func:`save_arrays` / :func:`load_arrays` — the raw layer: a flat
+  mapping of names to numpy arrays persisted as a compressed ``.npz``
+  archive, the simplest portable format that round-trips dtype and shape
+  exactly.
+- :func:`save_artifact` / :func:`load_artifact` — the **versioned
+  artifact format** every durable thing in this repo uses (adapter
+  checkpoints, run-dir cell results): the same ``.npz`` archive plus an
+  embedded JSON *manifest* recording the format version, the artifact
+  ``kind``, caller metadata, and every array's shape/dtype.  Loading
+  validates the archive against its manifest and raises a clear
+  :class:`repro.errors.CheckpointError` on any mismatch — a truncated
+  file, a foreign ``.npz``, a version from the future, or an array whose
+  shape silently changed — instead of failing deep inside numpy.
+
+Writes are atomic (temp file + ``os.replace``), so a process killed
+mid-write never leaves a half-written artifact that a later resume would
+mistake for a completed one.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
+import zipfile
 from typing import Mapping
 
 import numpy as np
 
+from repro.errors import CheckpointError
+
+#: Version of the artifact manifest layout.  Bump on incompatible change;
+#: loaders reject artifacts written by a different version.
+ARTIFACT_VERSION = 1
+
+#: Reserved archive entry holding the JSON manifest.
+_MANIFEST_KEY = "__manifest__"
+
 
 def save_arrays(path: str | os.PathLike, arrays: Mapping[str, np.ndarray]) -> None:
-    """Write ``arrays`` to ``path`` as a compressed npz archive."""
+    """Write ``arrays`` to ``path`` as a compressed npz archive, atomically."""
     if not arrays:
         raise ValueError("refusing to save an empty state dict")
-    np.savez_compressed(path, **{name: np.asarray(a) for name, a in arrays.items()})
+    _atomic_savez(path, {name: np.asarray(a) for name, a in arrays.items()})
 
 
 def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:
     """Load an archive written by :func:`save_arrays`."""
     with np.load(path) as archive:
-        return {name: archive[name] for name in archive.files}
+        return {
+            name: archive[name] for name in archive.files if name != _MANIFEST_KEY
+        }
+
+
+def _atomic_savez(path: str | os.PathLike, arrays: dict[str, np.ndarray]) -> None:
+    """``np.savez_compressed`` into a temp file, then ``os.replace`` it in."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def build_manifest(
+    arrays: Mapping[str, np.ndarray], *, kind: str, meta: Mapping | None = None
+) -> dict:
+    """The manifest :func:`save_artifact` embeds: version, kind, array index."""
+    return {
+        "format_version": ARTIFACT_VERSION,
+        "kind": kind,
+        "meta": dict(meta or {}),
+        "arrays": {
+            name: {
+                "shape": list(np.asarray(array).shape),
+                "dtype": str(np.asarray(array).dtype),
+            }
+            for name, array in arrays.items()
+        },
+    }
+
+
+def save_artifact(
+    path: str | os.PathLike,
+    arrays: Mapping[str, np.ndarray],
+    *,
+    kind: str,
+    meta: Mapping | None = None,
+) -> dict:
+    """Write a versioned artifact: arrays + embedded JSON manifest.
+
+    ``kind`` names the artifact type (``"adapter"``, ``"table1_cell"``,
+    ...) and is checked back on load; ``meta`` is arbitrary
+    JSON-serializable caller metadata stored verbatim.  Returns the
+    manifest that was written.
+    """
+    if not arrays:
+        raise ValueError("refusing to save an empty artifact")
+    if _MANIFEST_KEY in arrays:
+        raise ValueError(f"array name {_MANIFEST_KEY!r} is reserved for the manifest")
+    manifest = build_manifest(arrays, kind=kind, meta=meta)
+    payload = {name: np.asarray(a) for name, a in arrays.items()}
+    # A 0-d unicode array round-trips through npz without pickling.
+    payload[_MANIFEST_KEY] = np.array(json.dumps(manifest, sort_keys=True))
+    _atomic_savez(path, payload)
+    return manifest
+
+
+def read_manifest(path: str | os.PathLike) -> dict:
+    """Read and structurally validate just the manifest of an artifact.
+
+    Cheap relative to :func:`load_artifact` — npz members load lazily, so
+    only the manifest entry is decompressed.
+    """
+    try:
+        with np.load(path) as archive:
+            if _MANIFEST_KEY not in archive.files:
+                raise CheckpointError(
+                    f"{os.fspath(path)!r} is not a versioned artifact "
+                    f"(no embedded manifest); it may predate the manifest "
+                    f"format or be a foreign .npz file"
+                )
+            raw = archive[_MANIFEST_KEY][()]
+    except (OSError, zipfile.BadZipFile, ValueError, EOFError) as exc:
+        raise CheckpointError(
+            f"cannot read artifact {os.fspath(path)!r}: {exc}"
+        ) from exc
+    try:
+        manifest = json.loads(str(raw))
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"artifact {os.fspath(path)!r} has a corrupt manifest: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or "format_version" not in manifest:
+        raise CheckpointError(
+            f"artifact {os.fspath(path)!r} has a malformed manifest "
+            f"(expected a mapping with a format_version)"
+        )
+    version = manifest["format_version"]
+    if version != ARTIFACT_VERSION:
+        raise CheckpointError(
+            f"artifact {os.fspath(path)!r} has format version {version!r}; "
+            f"this build reads version {ARTIFACT_VERSION}"
+        )
+    if not isinstance(manifest.get("arrays"), dict):
+        raise CheckpointError(
+            f"artifact {os.fspath(path)!r} manifest lacks its array index"
+        )
+    return manifest
+
+
+def load_artifact(
+    path: str | os.PathLike, *, kind: str | None = None
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Load and validate an artifact written by :func:`save_artifact`.
+
+    Checks, in order: the manifest parses and its version matches; the
+    ``kind`` matches (when requested); the stored arrays are exactly the
+    manifest's index, shape- and dtype-exact.  Any violation raises
+    :class:`CheckpointError`.  Returns ``(arrays, manifest)``.
+    """
+    manifest = read_manifest(path)
+    if kind is not None and manifest.get("kind") != kind:
+        raise CheckpointError(
+            f"artifact {os.fspath(path)!r} is of kind "
+            f"{manifest.get('kind')!r}, expected {kind!r}"
+        )
+    arrays = load_arrays(path)
+    declared = manifest["arrays"]
+    missing = set(declared) - set(arrays)
+    unexpected = set(arrays) - set(declared)
+    if missing or unexpected:
+        raise CheckpointError(
+            f"artifact {os.fspath(path)!r} does not match its manifest: "
+            f"missing={sorted(missing)} unexpected={sorted(unexpected)}"
+        )
+    for name, spec in declared.items():
+        array = arrays[name]
+        if list(array.shape) != list(spec.get("shape", [])) or str(
+            array.dtype
+        ) != spec.get("dtype"):
+            raise CheckpointError(
+                f"artifact {os.fspath(path)!r} array {name!r}: stored "
+                f"shape={list(array.shape)} dtype={array.dtype} but manifest "
+                f"declares shape={spec.get('shape')} dtype={spec.get('dtype')}"
+            )
+    return arrays, manifest

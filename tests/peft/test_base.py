@@ -1,4 +1,4 @@
-"""Tests for adapter injection, lookup and merging."""
+"""Tests for adapter attachment, lookup and merging via ``peft.attach``."""
 
 import numpy as np
 import pytest
@@ -11,8 +11,8 @@ from repro.peft import (
     ConvLoRA,
     LoRALinear,
     MetaLoRACPLinear,
+    attach,
     get_module,
-    inject_adapters,
     iter_adapters,
     merge_adapters,
     set_module,
@@ -45,49 +45,51 @@ class TestModuleSurgery:
         assert out.shape == (2, 3)
 
 
-class TestInjection:
-    def test_injects_all_targets(self, rng):
+class TestAttachment:
+    def test_attaches_to_all_targets(self, rng):
         net = small_net(rng)
-        __, adapters = inject_adapters(
-            net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,)
-        )
-        assert set(adapters) == {"0", "2"}
+        result = attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,))
+        assert set(result.adapters) == {"0", "2"}
 
     def test_base_frozen_adapters_trainable(self, rng):
         net = small_net(rng)
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,))
         trainable = {name for name, p in net.named_parameters() if p.requires_grad}
         assert all("lora" in name for name in trainable)
         assert trainable  # something is trainable
 
     def test_skip_list(self, rng):
         net = small_net(rng)
-        __, adapters = inject_adapters(
-            net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,), skip=("2",)
+        result = attach(
+            net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,), skip=("2",)
         )
-        assert set(adapters) == {"0"}
+        assert set(result.adapters) == {"0"}
 
     def test_no_targets_raises(self, rng):
         net = Sequential(ReLU())
         with pytest.raises(AdapterError, match="no layers"):
-            inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+            attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,))
 
-    def test_double_injection_raises(self, rng):
+    def test_double_attach_raises(self, rng):
         net = small_net(rng)
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,))
         with pytest.raises(AdapterError):
-            inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (LoRALinear,))
+            attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(LoRALinear,))
 
-    def test_resnet_full_injection(self, rng):
+    def test_resnet_full_attach(self, rng):
         model = resnet_small(3, rng)
+
         def factory(layer):
             if isinstance(layer, Conv2d):
                 return ConvLoRA(layer, 2, rng=rng)
             return LoRALinear(layer, 2, rng=rng)
-        __, adapters = inject_adapters(model, factory, (Conv2d, Linear))
-        conv_count = sum(1 for a in adapters.values() if isinstance(a, ConvLoRA))
+
+        result = attach(model, factory, targets=(Conv2d, Linear))
+        conv_count = sum(
+            1 for a in result.adapters.values() if isinstance(a, ConvLoRA)
+        )
         assert conv_count == 9  # stem + 6 block convs + 2 projection shortcuts
-        assert "head" in adapters
+        assert "head" in result.adapters
         out = model(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
         assert out.shape == (2, 3)
 
@@ -95,12 +97,12 @@ class TestInjection:
 class TestIterAndMerge:
     def test_iter_adapters_finds_all(self, rng):
         net = small_net(rng)
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,))
         assert len(list(iter_adapters(net))) == 2
 
     def test_merge_restores_plain_layers_same_output(self, rng):
         net = small_net(rng)
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,))
         for __, adapter in iter_adapters(net):
             adapter.lora_b.data[...] = rng.normal(size=adapter.lora_b.shape).astype(
                 np.float32
@@ -113,13 +115,19 @@ class TestIterAndMerge:
 
     def test_merge_rejects_meta_adapters(self, rng):
         net = small_net(rng)
-        inject_adapters(net, lambda m: MetaLoRACPLinear(m, 2, rng=rng), (Linear,))
+        attach(net, lambda m: MetaLoRACPLinear(m, 2, rng=rng), targets=(Linear,))
         with pytest.raises(AdapterError, match="meta"):
             merge_adapters(net)
 
     def test_merged_inference_cost_is_base_cost(self, rng):
         net = small_net(rng)
         base_params = net.parameter_count()
-        inject_adapters(net, lambda m: LoRALinear(m, 2, rng=rng), (Linear,))
+        attach(net, lambda m: LoRALinear(m, 2, rng=rng), targets=(Linear,))
         merge_adapters(net)
         assert net.parameter_count() == base_params
+
+    def test_inject_adapters_shim_is_gone(self):
+        import repro.peft
+
+        assert not hasattr(repro.peft, "inject_adapters")
+        assert not hasattr(repro.peft.base, "inject_adapters")

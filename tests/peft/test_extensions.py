@@ -168,3 +168,69 @@ class TestCheckpoint:
         path = tmp_path / "meta_adapter.npz"
         save_adapter(model, path)
         load_adapter(model, path)  # must round-trip without error
+
+
+class TestCheckpointManifest:
+    """The on-disk checkpoint is a versioned artifact; loads validate it."""
+
+    def _adapted_net(self, rng):
+        net = Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+        attach(net, "lora", rank=2, targets=(Linear,), rng=rng)
+        return net
+
+    def test_manifest_records_families_and_ranks(self, rng, tmp_path):
+        from repro.utils.serialization import ARTIFACT_VERSION, read_manifest
+
+        net = self._adapted_net(rng)
+        path = tmp_path / "adapter.npz"
+        save_adapter(net, path)
+        manifest = read_manifest(path)
+        assert manifest["format_version"] == ARTIFACT_VERSION
+        assert manifest["kind"] == "adapter"
+        assert manifest["meta"] == {"families": ["LoRALinear"], "ranks": [2]}
+        assert all(
+            "shape" in spec and "dtype" in spec
+            for spec in manifest["arrays"].values()
+        )
+
+    def test_plain_npz_rejected(self, rng, tmp_path):
+        from repro.errors import CheckpointError
+        from repro.utils.serialization import save_arrays
+
+        net = self._adapted_net(rng)
+        path = tmp_path / "legacy.npz"
+        save_arrays(path, adapter_state_dict(net))  # no manifest
+        with pytest.raises(CheckpointError, match="not a versioned artifact"):
+            load_adapter(net, path)
+
+    def test_wrong_kind_rejected(self, rng, tmp_path):
+        from repro.errors import CheckpointError
+        from repro.utils.serialization import save_artifact
+
+        net = self._adapted_net(rng)
+        path = tmp_path / "cell.npz"
+        save_artifact(path, adapter_state_dict(net), kind="table1_cell")
+        with pytest.raises(CheckpointError, match="kind"):
+            load_adapter(net, path)
+
+    def test_corrupted_checkpoint_rejected(self, rng, tmp_path):
+        from repro.errors import CheckpointError
+
+        net = self._adapted_net(rng)
+        path = tmp_path / "adapter.npz"
+        save_adapter(net, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(CheckpointError, match="cannot read artifact"):
+            load_adapter(net, path)
+
+    def test_model_mismatch_surfaces_as_checkpoint_error(self, rng, tmp_path):
+        from repro.errors import CheckpointError
+
+        net = self._adapted_net(rng)
+        path = tmp_path / "adapter.npz"
+        save_adapter(net, path)
+        other = Sequential(Linear(6, 8, rng=rng), ReLU(), Linear(8, 4, rng=rng))
+        attach(other, "lora", rank=3, targets=(Linear,), rng=rng)  # wrong rank
+        with pytest.raises(CheckpointError, match="does not fit this model"):
+            load_adapter(other, path)

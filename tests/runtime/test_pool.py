@@ -109,18 +109,18 @@ class TestCrashIsolation:
 
 
 class TestJobsResolution:
-    def test_none_and_zero_mean_cpu_count(self):
+    def test_none_means_cpu_count(self):
         import multiprocessing
 
         assert resolve_jobs(None) == multiprocessing.cpu_count()
-        assert resolve_jobs(0) == multiprocessing.cpu_count()
 
     def test_positive_passthrough(self):
         assert resolve_jobs(3) == 3
 
-    def test_negative_rejected(self):
-        with pytest.raises(ConfigError, match="jobs"):
-            resolve_jobs(-1)
+    @pytest.mark.parametrize("jobs", [0, -1, -8])
+    def test_below_one_rejected(self, jobs):
+        with pytest.raises(ConfigError, match="jobs must be >= 1"):
+            resolve_jobs(jobs)
 
 
 class TestPerfAndProfiler:

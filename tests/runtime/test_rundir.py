@@ -1,0 +1,149 @@
+"""Tests for run directories: manifest, per-cell checkpoints, adoption."""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigError
+from repro.eval.protocol import Table1Config, Table1Row
+from repro.runtime.rundir import (
+    RUNDIR_VERSION,
+    RunDir,
+    config_fingerprint,
+    resolve_run_dirs,
+)
+
+
+@pytest.fixture()
+def config():
+    return Table1Config().quick()
+
+
+def _row(method="lora"):
+    return Table1Row(method, {5: 0.8125, 10: 0.71875})
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, config):
+        assert config_fingerprint(config) == config_fingerprint(config)
+
+    def test_sensitive_to_any_knob(self, config):
+        nudged = replace(config, adapt_episodes=config.adapt_episodes + 1)
+        assert config_fingerprint(config) != config_fingerprint(nudged)
+
+
+class TestManifest:
+    def test_create_writes_versioned_manifest(self, config, tmp_path):
+        rundir = RunDir.create(tmp_path / "run", config, (0, 1))
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        # Tuples in the in-memory manifest land as JSON lists on disk.
+        assert manifest == json.loads(json.dumps(rundir.manifest, default=list))
+        assert manifest["format_version"] == RUNDIR_VERSION
+        assert manifest["kind"] == "table1_run"
+        assert manifest["config_fingerprint"] == config_fingerprint(config)
+        assert manifest["grid"]["backbone"] == config.backbone
+        assert manifest["grid"]["methods"] == list(config.methods)
+        assert manifest["grid"]["seeds"] == [0, 1]
+
+    def test_adopts_matching_existing_dir(self, config, tmp_path):
+        first = RunDir.create(tmp_path / "run", config, (0,))
+        first.save_cell(0, "lora", _row())
+        again = RunDir.create(tmp_path / "run", config, (0,))
+        assert again.completed_cells() == {(0, "lora")}
+
+    def test_adoption_unions_new_seeds(self, config, tmp_path):
+        RunDir.create(tmp_path / "run", config, (0,))
+        again = RunDir.create(tmp_path / "run", config, (2, 1))
+        assert again.manifest["grid"]["seeds"] == [0, 1, 2]
+
+    def test_different_config_refused(self, config, tmp_path):
+        RunDir.create(tmp_path / "run", config, (0,))
+        other = replace(config, adapt_episodes=config.adapt_episodes + 1)
+        with pytest.raises(CheckpointError, match="different\\s+configuration"):
+            RunDir.create(tmp_path / "run", other, (0,))
+
+    def test_open_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not a run directory"):
+            RunDir.open(tmp_path)
+
+    def test_open_corrupt_manifest_rejected(self, config, tmp_path):
+        RunDir.create(tmp_path / "run", config, (0,))
+        (tmp_path / "run" / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt manifest"):
+            RunDir.open(tmp_path / "run")
+
+    def test_open_foreign_manifest_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"kind": "something_else"}')
+        with pytest.raises(CheckpointError, match="not a table1_run"):
+            RunDir.open(tmp_path)
+
+    def test_open_other_version_rejected(self, config, tmp_path):
+        rundir = RunDir.create(tmp_path / "run", config, (0,))
+        manifest = dict(rundir.manifest, format_version=RUNDIR_VERSION + 1)
+        (tmp_path / "run" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="format version"):
+            RunDir.open(tmp_path / "run")
+
+
+class TestCells:
+    def test_cell_round_trip_is_exact(self, config, tmp_path):
+        rundir = RunDir.create(tmp_path / "run", config, (0,))
+        row = _row("multi_lora")
+        rundir.save_cell(0, "multi_lora", row)
+        loaded = rundir.load_cell(0, "multi_lora")
+        assert loaded.method == "multi_lora"
+        # Bit-exact: accuracies ride as float64, never reformatted.
+        assert loaded.accuracy_by_k == row.accuracy_by_k
+
+    def test_completed_cells_lists_saved_keys_only(self, config, tmp_path):
+        rundir = RunDir.create(tmp_path / "run", config, (0, 3))
+        rundir.save_cell(0, "lora", _row())
+        rundir.save_cell(3, "original", _row("original"))
+        (tmp_path / "run" / "cells" / "junk.txt").write_text("x")
+        (tmp_path / "run" / "cells" / "sbad__lora.npz").write_text("x")
+        assert rundir.completed_cells() == {(0, "lora"), (3, "original")}
+
+    def test_load_completed_restricts_to_the_grid(self, config, tmp_path):
+        rundir = RunDir.create(tmp_path / "run", config, (0, 1))
+        rundir.save_cell(0, "lora", _row())
+        rundir.save_cell(1, "lora", _row())
+        loaded = rundir.load_completed((0,), ("lora", "original"))
+        assert set(loaded) == {(0, "lora")}
+
+    def test_misfiled_cell_rejected(self, config, tmp_path):
+        rundir = RunDir.create(tmp_path / "run", config, (0, 1))
+        rundir.save_cell(0, "lora", _row())
+        shutil.copy(rundir.cell_path(0, "lora"), rundir.cell_path(1, "lora"))
+        with pytest.raises(CheckpointError, match="indexed as"):
+            rundir.load_cell(1, "lora")
+
+    def test_truncated_cell_rejected(self, config, tmp_path):
+        rundir = RunDir.create(tmp_path / "run", config, (0,))
+        path = rundir.save_cell(0, "lora", _row())
+        with open(path, "r+b") as handle:
+            handle.truncate(10)
+        with pytest.raises(CheckpointError):
+            rundir.load_cell(0, "lora")
+
+
+class TestResolveRunDirs:
+    def test_neither(self):
+        assert resolve_run_dirs(None, None) == (None, False)
+
+    def test_out_dir_means_fresh(self, tmp_path):
+        assert resolve_run_dirs(tmp_path / "r", None) == (str(tmp_path / "r"), False)
+
+    def test_resume_implies_out_dir(self, tmp_path):
+        assert resolve_run_dirs(None, tmp_path / "r") == (str(tmp_path / "r"), True)
+
+    def test_matching_pair_resumes(self, tmp_path):
+        root, resuming = resolve_run_dirs(tmp_path / "r", tmp_path / "r")
+        assert (root, resuming) == (str(tmp_path / "r"), True)
+
+    def test_conflicting_pair_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="different directories"):
+            resolve_run_dirs(tmp_path / "a", tmp_path / "b")

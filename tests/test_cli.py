@@ -20,6 +20,35 @@ class TestParser:
         assert args.seeds == [0, 1]
         assert args.quick
 
+    def test_table1_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.out_dir is None
+        assert args.resume is None
+        assert args.max_retries == 0
+        assert args.cell_timeout is None
+
+    def test_table1_rundir_flags(self):
+        args = build_parser().parse_args(
+            [
+                "table1", "--out-dir", "runs/t1", "--max-retries", "2",
+                "--cell-timeout", "30.5",
+            ]
+        )
+        assert args.out_dir == "runs/t1"
+        assert args.max_retries == 2
+        assert args.cell_timeout == 30.5
+
+    def test_shared_jobs_flag_consistent_across_subcommands(self):
+        # --jobs comes from one parent parser, so its default cannot drift.
+        table1 = build_parser().parse_args(["table1"])
+        bench = build_parser().parse_args(["bench"])
+        assert table1.jobs == bench.jobs == 1
+
+    def test_shared_backbone_flag_consistent_across_subcommands(self):
+        table1 = build_parser().parse_args(["table1", "--backbone", "mixer"])
+        inspect = build_parser().parse_args(["inspect", "--backbone", "mixer"])
+        assert table1.backbone == inspect.backbone == "mixer"
+
     def test_inspect_defaults(self):
         args = build_parser().parse_args(["inspect"])
         assert args.method == "meta_lora_tr"
@@ -84,3 +113,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Backbone: resnet" in out
         assert "significance" in out
+
+    @pytest.mark.parametrize("jobs", ["0", "-2"])
+    def test_table1_rejects_bad_jobs(self, capsys, jobs):
+        assert main(["table1", "--jobs", jobs]) == 2
+        err = capsys.readouterr().err
+        assert "jobs must be >= 1" in err
+
+    def test_table1_partial_report_on_failures(self, capsys, monkeypatch):
+        import repro.runtime as runtime
+        from repro.eval.protocol import Table1Row
+        from repro.runtime.pool import CellFailure, CellResult
+        from repro.runtime.table1 import Table1GridResult
+
+        def fake_grid(config, seeds, **kwargs):
+            assert kwargs["strict"] is False
+            rows = {
+                m: Table1Row(m, {k: 0.5 for k in config.ks})
+                for m in config.methods
+                if m != "meta_lora_tr"
+            }
+            failed = CellResult(
+                key=(0, "meta_lora_tr"),
+                value=None,
+                failure=CellFailure(
+                    key=(0, "meta_lora_tr"),
+                    error_type="FaultInjected",
+                    message="boom",
+                    traceback="",
+                ),
+            )
+            return Table1GridResult(
+                config=config,
+                seeds=tuple(seeds),
+                rows_by_seed=[rows],
+                cell_results=[failed],
+            )
+
+        monkeypatch.setattr(runtime, "run_table1_grid", fake_grid)
+        assert main(["table1", "--max-retries", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "partial results" in out
+        assert "1 cell(s) failed" in out

@@ -1,0 +1,142 @@
+"""Tests for the versioned artifact format (save_artifact / load_artifact)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.utils.serialization as serialization
+from repro.errors import CheckpointError
+from repro.utils.serialization import (
+    ARTIFACT_VERSION,
+    build_manifest,
+    load_arrays,
+    load_artifact,
+    read_manifest,
+    save_arrays,
+    save_artifact,
+)
+
+
+def _arrays():
+    return {
+        "weight": np.arange(12, dtype=np.float32).reshape(3, 4),
+        "bias": np.array([1.5, -2.5], dtype=np.float64),
+    }
+
+
+class TestRoundTrip:
+    def test_arrays_and_manifest_round_trip(self, tmp_path):
+        path = tmp_path / "a.npz"
+        written = save_artifact(path, _arrays(), kind="demo", meta={"rank": 4})
+        arrays, manifest = load_artifact(path, kind="demo")
+        assert manifest == written
+        assert manifest["format_version"] == ARTIFACT_VERSION
+        assert manifest["kind"] == "demo"
+        assert manifest["meta"] == {"rank": 4}
+        for name, original in _arrays().items():
+            assert arrays[name].dtype == original.dtype
+            np.testing.assert_array_equal(arrays[name], original)
+
+    def test_manifest_indexes_every_array(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(path, _arrays(), kind="demo")
+        manifest = read_manifest(path)
+        assert manifest["arrays"] == {
+            "weight": {"shape": [3, 4], "dtype": "float32"},
+            "bias": {"shape": [2], "dtype": "float64"},
+        }
+
+    def test_load_arrays_hides_the_manifest_entry(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(path, _arrays(), kind="demo")
+        assert set(load_arrays(path)) == {"weight", "bias"}
+
+    def test_empty_artifact_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_artifact(tmp_path / "a.npz", {}, kind="demo")
+
+    def test_reserved_array_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_artifact(
+                tmp_path / "a.npz", {"__manifest__": np.zeros(2)}, kind="demo"
+            )
+
+
+class TestValidation:
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(path, _arrays(), kind="adapter")
+        with pytest.raises(CheckpointError, match="kind 'adapter', expected"):
+            load_artifact(path, kind="table1_cell")
+
+    def test_kind_none_skips_the_kind_check(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(path, _arrays(), kind="adapter")
+        __, manifest = load_artifact(path)
+        assert manifest["kind"] == "adapter"
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        save_arrays(path, _arrays())  # raw layer: no manifest
+        with pytest.raises(CheckpointError, match="not a versioned artifact"):
+            read_manifest(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_artifact(path, _arrays(), kind="demo")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match="cannot read artifact"):
+            read_manifest(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read artifact"):
+            read_manifest(tmp_path / "nope.npz")
+
+    def test_version_from_the_future_rejected(self, tmp_path, monkeypatch):
+        path = tmp_path / "a.npz"
+        save_artifact(path, _arrays(), kind="demo")
+        monkeypatch.setattr(serialization, "ARTIFACT_VERSION", ARTIFACT_VERSION + 1)
+        with pytest.raises(CheckpointError, match="format version"):
+            read_manifest(path)
+
+    def _write_with_manifest(self, path, arrays, manifest):
+        payload = dict(arrays)
+        payload["__manifest__"] = np.array(json.dumps(manifest))
+        np.savez_compressed(path, **payload)
+
+    def test_manifest_array_index_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "a.npz"
+        manifest = build_manifest({"ghost": np.zeros(3)}, kind="demo")
+        self._write_with_manifest(path, {"weight": np.zeros(3)}, manifest)
+        with pytest.raises(CheckpointError, match="does not match its manifest"):
+            load_artifact(path)
+
+    def test_shape_drift_rejected(self, tmp_path):
+        path = tmp_path / "a.npz"
+        manifest = build_manifest({"weight": np.zeros((2, 2))}, kind="demo")
+        self._write_with_manifest(
+            path, {"weight": np.zeros((3, 3))}, manifest
+        )
+        with pytest.raises(CheckpointError, match="shape"):
+            load_artifact(path)
+
+    def test_dtype_drift_rejected(self, tmp_path):
+        path = tmp_path / "a.npz"
+        manifest = build_manifest(
+            {"weight": np.zeros(4, dtype=np.float32)}, kind="demo"
+        )
+        self._write_with_manifest(
+            path, {"weight": np.zeros(4, dtype=np.float64)}, manifest
+        )
+        with pytest.raises(CheckpointError, match="dtype"):
+            load_artifact(path)
+
+    def test_garbage_manifest_entry_rejected(self, tmp_path):
+        path = tmp_path / "a.npz"
+        self._write_with_manifest(path, {"weight": np.zeros(2)}, manifest="{{{")
+        with pytest.raises(CheckpointError, match="manifest"):
+            read_manifest(path)
