@@ -13,7 +13,13 @@ out_dir="${1:-.}"
 PYTHONPATH=src python -m pytest tests/bench -m bench_smoke -q
 # --jobs 2 also times the parallel Table I grid runtime and records the
 # `parallel` section (serial-vs-parallel wall-clock + bit-identity check).
+# All three suites run (autograd, table1, serve); the serve suite asserts
+# compiled-vs-reference bit-exactness in-process, so BENCH_serve.json
+# existing at all means the compiled engine matched exactly.
 PYTHONPATH=src python -m repro bench --out "$out_dir" --scale tiny --repeats 2 --jobs 2
+for record in BENCH_autograd.json BENCH_table1.json BENCH_serve.json; do
+  test -f "$out_dir/$record" || { echo "bench_smoke: missing $record" >&2; exit 1; }
+done
 
 # Durable-run smoke: inject a crash into one cell so the first run exits 1
 # with a partial report and a checkpointed run dir, then resume it clean.

@@ -180,6 +180,69 @@ def _col2im(
     return padded
 
 
+def fold_conv_weight(weight: np.ndarray) -> np.ndarray:
+    """Reshape a ``(Kh, Kw, Cin, Cout)`` kernel into the im2col matmul matrix.
+
+    This is the per-call weight layout work of :func:`conv2d`, exposed so
+    the serve compiler can fold it once at compile time instead of on
+    every request.
+    """
+    kh, kw, c_in, c_out = weight.shape
+    return weight.transpose(2, 0, 1, 3).reshape(c_in * kh * kw, c_out)
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    w_mat: np.ndarray,
+    bias: np.ndarray | None,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Graph-free convolution forward on raw arrays.
+
+    ``w_mat`` is the pre-folded ``(Cin*kh*kw, Cout)`` matrix from
+    :func:`fold_conv_weight`.  Returns ``(out, cols, out_h, out_w)`` —
+    ``cols`` is the flattened patch matrix the backward pass (and nothing
+    else) needs.  Both :func:`conv2d` and the serve compiler call this, so
+    the two paths are bit-identical by construction and share the padded
+    workspace / patch caches.
+    """
+    n, c_in = x.shape[0], x.shape[1]
+    patches, out_h, out_w = _im2col_contiguous(x, kh, kw, stride, padding)
+    # (N, oh, ow, C*kh*kw) @ (C*kh*kw, Cout) — patches are contiguous, so
+    # this reshape is a view (the copy happened once, inside the cache).
+    cols = patches.reshape(n, out_h, out_w, c_in * kh * kw)
+    out = cols @ w_mat  # (N, oh, ow, Cout)
+    out = out.transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.reshape(1, w_mat.shape[1], 1, 1)
+    if PROFILER.enabled:
+        PROFILER.bump("conv2d.forward", out.nbytes)
+    return out, cols, out_h, out_w
+
+
+def max_pool2d_forward(
+    x: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Graph-free max-pool forward; returns ``(out, argmax, out_h, out_w)``."""
+    patches, out_h, out_w = _im2col(x, kernel, kernel, stride, padding=0)
+    n, c = x.shape[0], x.shape[1]
+    windows = patches.reshape(n, out_h, out_w, c, kernel * kernel)
+    arg = windows.argmax(axis=-1)
+    out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
+    return out.transpose(0, 3, 1, 2), arg, out_h, out_w
+
+
+def avg_pool2d_forward(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, int, int]:
+    """Graph-free average-pool forward; returns ``(out, out_h, out_w)``."""
+    patches, out_h, out_w = _im2col(x, kernel, kernel, stride, padding=0)
+    n, c = x.shape[0], x.shape[1]
+    out = patches.reshape(n, out_h, out_w, c, kernel * kernel).mean(axis=-1)
+    return out.transpose(0, 3, 1, 2), out_h, out_w
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -202,18 +265,11 @@ def conv2d(
             f"input channels {x.shape[1]} do not match weight channels {c_in}"
         )
 
-    patches, out_h, out_w = _im2col_contiguous(x.data, kh, kw, stride, padding)
     n = x.shape[0]
-    # (N, oh, ow, C*kh*kw) @ (C*kh*kw, Cout) — patches are contiguous, so
-    # this reshape is a view (the copy happened once, inside the cache).
-    cols = patches.reshape(n, out_h, out_w, c_in * kh * kw)
-    w_mat = weight.data.transpose(2, 0, 1, 3).reshape(c_in * kh * kw, c_out)
-    out = cols @ w_mat  # (N, oh, ow, Cout)
-    out = out.transpose(0, 3, 1, 2)
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
-    if PROFILER.enabled:
-        PROFILER.bump("conv2d.forward", out.nbytes)
+    w_mat = fold_conv_weight(weight.data)
+    out, cols, out_h, out_w = conv2d_forward(
+        x.data, w_mat, bias.data if bias is not None else None, kh, kw, stride, padding
+    )
 
     x_shape = x.shape
 
@@ -266,12 +322,8 @@ def pad2d(x: Tensor, padding: int) -> Tensor:
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Max pooling over non-overlapping (or strided) spatial windows."""
     stride = stride or kernel
-    patches, out_h, out_w = _im2col(x.data, kernel, kernel, stride, padding=0)
     n, c = x.shape[0], x.shape[1]
-    windows = patches.reshape(n, out_h, out_w, c, kernel * kernel)
-    arg = windows.argmax(axis=-1)
-    out = np.take_along_axis(windows, arg[..., None], axis=-1)[..., 0]
-    out = out.transpose(0, 3, 1, 2)
+    out, arg, out_h, out_w = max_pool2d_forward(x.data, kernel, stride)
     x_shape = x.shape
 
     def grad_fn(g: np.ndarray) -> np.ndarray:
@@ -288,10 +340,8 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Average pooling over spatial windows."""
     stride = stride or kernel
-    patches, out_h, out_w = _im2col(x.data, kernel, kernel, stride, padding=0)
     n, c = x.shape[0], x.shape[1]
-    out = patches.reshape(n, out_h, out_w, c, kernel * kernel).mean(axis=-1)
-    out = out.transpose(0, 3, 1, 2)
+    out, out_h, out_w = avg_pool2d_forward(x.data, kernel, stride)
     x_shape = x.shape
     scale = 1.0 / (kernel * kernel)
 

@@ -21,6 +21,43 @@ from repro.utils.profiling import PROFILER
 _SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
 
 
+# -- graph-free forward kernels ----------------------------------------------
+#
+# The raw-array forward computations, split out so the serve compiler can
+# run them without Tensor wrapping or graph bookkeeping.  The autograd ops
+# below call the same functions, which keeps the two paths bit-identical.
+
+
+def relu_forward(data: np.ndarray) -> np.ndarray:
+    return np.maximum(data, 0.0)
+
+
+def tanh_forward(data: np.ndarray) -> np.ndarray:
+    return np.tanh(data)
+
+
+def sigmoid_forward(data: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-data))
+
+
+def gelu_forward(data: np.ndarray) -> np.ndarray:
+    out, __ = _gelu_parts(data)
+    return out
+
+
+def _gelu_parts(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """GELU output plus the inner tanh (which the backward pass reuses)."""
+    inner = _SQRT_2_OVER_PI * (data + 0.044715 * data**3)
+    t = np.tanh(inner)
+    return 0.5 * data * (1.0 + t), t
+
+
+def softmax_forward(data: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = data - data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
 # -- elementwise -------------------------------------------------------------
 
 
@@ -40,27 +77,25 @@ def sqrt(x: Tensor) -> Tensor:
 
 
 def tanh(x: Tensor) -> Tensor:
-    out = np.tanh(x.data)
+    out = tanh_forward(x.data)
     return Tensor._result(out, (x,), (lambda g: g * (1.0 - out**2),))
 
 
 def sigmoid(x: Tensor) -> Tensor:
-    out = 1.0 / (1.0 + np.exp(-x.data))
+    out = sigmoid_forward(x.data)
     return Tensor._result(out, (x,), (lambda g: g * out * (1.0 - out),))
 
 
 def relu(x: Tensor) -> Tensor:
     data = x.data
-    out = np.maximum(data, 0.0)
+    out = relu_forward(data)
     return Tensor._result(out, (x,), (lambda g: g * (data > 0),))
 
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation, as in MLP-Mixer)."""
     data = x.data
-    inner = _SQRT_2_OVER_PI * (data + 0.044715 * data**3)
-    t = np.tanh(inner)
-    out = 0.5 * data * (1.0 + t)
+    out, t = _gelu_parts(data)
 
     def grad_fn(g: np.ndarray) -> np.ndarray:
         d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * data**2)
@@ -104,9 +139,7 @@ def where(condition: np.ndarray, x: Tensor, y: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out = e / e.sum(axis=axis, keepdims=True)
+    out = softmax_forward(x.data, axis=axis)
 
     def grad_fn(g: np.ndarray) -> np.ndarray:
         dot = (g * out).sum(axis=axis, keepdims=True)
@@ -329,6 +362,29 @@ def _get_plan(spec: str, shapes: tuple[tuple[int, ...], ...], count: int) -> _Ei
     return plan
 
 
+def einsum_forward(spec: str, *arrays: np.ndarray) -> np.ndarray:
+    """Graph-free einsum on raw arrays, sharing the plan cache.
+
+    The serve compiler's pre-planned contractions call this: the first
+    request populates :data:`_PLAN_CACHE` (including the optimal pairwise
+    path for >=3 operands) and every subsequent request reuses it.  The
+    differentiable :func:`einsum` runs the identical forward, so the two
+    paths are bit-exact under the same ``FLAGS``.
+    """
+    shapes = tuple(a.shape for a in arrays)
+    plan = _get_plan(spec, shapes, len(arrays))
+    out = _apply_plan(plan, spec, arrays)
+    if PROFILER.enabled:
+        PROFILER.bump("einsum.forward", np.asarray(out).nbytes)
+    return out
+
+
+def _apply_plan(plan: _EinsumPlan, spec: str, arrays) -> np.ndarray:
+    if plan.path is not None and FLAGS.einsum_optimize:
+        return np.einsum(spec, *arrays, optimize=plan.path)
+    return np.einsum(spec, *arrays)
+
+
 def einsum(spec: str, *operands: Tensor) -> Tensor:
     """Differentiable Einstein summation with an explicit output spec.
 
@@ -345,10 +401,7 @@ def einsum(spec: str, *operands: Tensor) -> Tensor:
     shapes = tuple(a.shape for a in arrays)
     plan = _get_plan(spec, shapes, len(operands))
 
-    if plan.path is not None and FLAGS.einsum_optimize:
-        out = np.einsum(spec, *arrays, optimize=plan.path)
-    else:
-        out = np.einsum(spec, *arrays)
+    out = _apply_plan(plan, spec, arrays)
     if PROFILER.enabled:
         PROFILER.bump("einsum.forward", np.asarray(out).nbytes)
 

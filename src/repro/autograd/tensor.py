@@ -141,8 +141,13 @@ class Tensor:
         parents: tuple["Tensor", ...],
         grad_fns: tuple[GradFn, ...],
     ) -> "Tensor":
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
-        if not requires:
+        if not _grad_enabled:
+            # Under no_grad() the result carries no graph state at all: no
+            # parent references, no grad-fn closures.  The closures passed
+            # in are dropped here, so anything they captured (patch
+            # matrices, pre-activation buffers) is freed immediately.
+            return Tensor(data)
+        if not any(p.requires_grad for p in parents):
             return Tensor(data)
         kept_parents = []
         kept_fns = []

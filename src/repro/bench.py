@@ -9,14 +9,19 @@ writes two JSON records:
   and the max |optimized - reference| output gap;
 - ``BENCH_table1.json`` — the Table I protocol micro-bench: one episodic
   training step (forward + backward) of a MetaLoRA model at reduced
-  scale, reference vs. optimized.
+  scale, reference vs. optimized;
+- ``BENCH_serve.json`` — the serving bench: embedding throughput and
+  per-request latency of the compiled ``repro.serve`` engine against the
+  naive per-sample and batched autograd paths, with the compiled-vs-
+  reference bit-exactness check asserted in-process (``max_abs_diff``
+  is exactly ``0.0`` or the bench raises).
 
 Record schema (``validate_bench_record`` enforces it; the bench smoke
 test round-trips it)::
 
     {
       "schema": "repro.bench/v1",
-      "kind": "autograd" | "table1",
+      "kind": "autograd" | "table1" | "serve",
       "scale": "tiny" | "small",
       "repeats": int,
       "entries": [
@@ -48,6 +53,15 @@ bench ran with ``--jobs N``, N >= 2) — the grid-runtime comparison from
       "speedup_vs_seed_loop": float,
       "rows_equal": true,                 # bit-identity asserted in-process
     }
+
+``serve`` entries reinterpret the shared fields — ``reference_seconds``
+is the naive per-sample autograd total over the sample set,
+``optimized_seconds`` the compiled engine's batched total over the same
+samples (both timed under the *same* default flags, since the exactness
+contract is compiled-vs-reference, not optimized-vs-reference) — and add
+``samples``, ``batch_size``, ``batched_autograd_seconds``, ``throughput``
+(samples/sec: ``naive_per_sample`` / ``batched_autograd`` / ``compiled``)
+and ``latency_ms`` (per-request ``naive_p50/p99`` and ``compiled_p50/p99``).
 """
 
 from __future__ import annotations
@@ -352,6 +366,144 @@ def run_table1_parallel_bench(
     }
 
 
+# -- serving bench -------------------------------------------------------------
+
+#: sample-set and chunk sizes for the serve bench per scale.
+_SERVE_SCALES = {
+    "tiny": {"samples": 16, "image": 16, "batch": 8},
+    "small": {"samples": 64, "image": 16, "batch": 16},
+}
+
+
+def _serve_models() -> list[tuple[str, object]]:
+    """The Table I backbones plus a meta-adapted resnet (the unmergeable case)."""
+    from repro.models import FeatureExtractor, mixer_small, resnet_small
+    from repro.peft import MetaLoRAModel, attach
+    from repro.utils.rng import new_rng
+
+    num_classes = 4
+    models: list[tuple[str, object]] = [
+        ("resnet", resnet_small(num_classes, new_rng(0))),
+        ("mixer", mixer_small(num_classes, new_rng(1))),
+    ]
+    backbone = resnet_small(num_classes, new_rng(2))
+    result = attach(backbone, "meta_tr", rank=2, rng=new_rng(3))
+    extractor = FeatureExtractor(resnet_small(num_classes, new_rng(4)))
+    meta = MetaLoRAModel(backbone, extractor, rng=new_rng(5), adapters=result)
+    # The B-side factors are zero-initialized (adapters start as identity);
+    # randomize them so the exactness check exercises a nonzero delta path.
+    param_rng = np.random.default_rng(6)
+    for param in meta.parameters():
+        if not np.any(param.data):
+            param.data[...] = (
+                param_rng.normal(size=param.data.shape) * 0.2
+            ).astype(param.data.dtype)
+    models.append(("resnet+meta_tr", meta))
+    return models
+
+
+def _time_per_sample(fn: Callable[[int], object], count: int, repeats: int) -> tuple[float, list[float]]:
+    """Best-of-``repeats`` total seconds for ``count`` single-sample calls,
+    plus the per-call latencies of the best pass."""
+    best_total, best_latencies = float("inf"), [0.0]
+    for __ in range(repeats):
+        latencies = []
+        for index in range(count):
+            start = time.perf_counter()
+            fn(index)
+            latencies.append(time.perf_counter() - start)
+        total = sum(latencies)
+        if total < best_total:
+            best_total, best_latencies = total, latencies
+    return best_total, best_latencies
+
+
+def _percentile_ms(latencies: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies) * 1e3, q))
+
+
+def run_serve_bench(scale: str = "tiny", repeats: int = 3) -> dict:
+    """Naive / batched-autograd / compiled-engine serving comparison.
+
+    Unlike :func:`_measure`, every path here runs under the *same*
+    (default) perf flags: the serving claim is that the compiled engine is
+    bit-identical to the reference ``extract_embeddings`` under identical
+    flags — that check is asserted in-process, so a record with a nonzero
+    ``max_abs_diff`` cannot be produced.
+    """
+    from repro.eval.embeddings import extract_embeddings
+    from repro.serve import build_engine
+
+    sizes = _SERVE_SCALES[scale]
+    data_rng = np.random.default_rng(7)
+    images = data_rng.normal(
+        size=(sizes["samples"], 3, sizes["image"], sizes["image"])
+    ).astype(np.float32)
+    samples, batch = images.shape[0], sizes["batch"]
+
+    entries = []
+    for name, model in _serve_models():
+        engine = build_engine(model, cache_size=0)
+        reference = extract_embeddings(model, images, batch_size=batch)
+
+        _clear_caches()
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            compiled = engine.embed(images, batch_size=batch)
+        finally:
+            PROFILER.disable()
+        counters = PROFILER.as_dict()
+        diff = float(np.max(np.abs(reference - compiled)))
+        if diff != 0.0:
+            raise ValueError(
+                f"serve bench: compiled embeddings for {name!r} diverged from "
+                f"extract_embeddings (max_abs_diff={diff})"
+            )
+
+        naive_seconds, naive_latencies = _time_per_sample(
+            lambda i: extract_embeddings(model, images[i : i + 1], batch_size=1),
+            samples,
+            repeats,
+        )
+        compiled_single_seconds, compiled_latencies = _time_per_sample(
+            lambda i: engine.embed(images[i : i + 1], batch_size=1), samples, repeats
+        )
+        batched_seconds, __ = time_calls(
+            lambda: extract_embeddings(model, images, batch_size=batch), repeats=repeats
+        )
+        compiled_seconds, __ = time_calls(
+            lambda: engine.embed(images, batch_size=batch), repeats=repeats
+        )
+        engine.close()
+
+        entries.append(
+            {
+                "name": f"serve.{name}",
+                "reference_seconds": float(naive_seconds),
+                "optimized_seconds": float(compiled_seconds),
+                "speedup": float(naive_seconds / max(compiled_seconds, 1e-12)),
+                "max_abs_diff": diff,
+                "samples": samples,
+                "batch_size": batch,
+                "batched_autograd_seconds": float(batched_seconds),
+                "throughput": {
+                    "naive_per_sample": float(samples / max(naive_seconds, 1e-12)),
+                    "batched_autograd": float(samples / max(batched_seconds, 1e-12)),
+                    "compiled": float(samples / max(compiled_seconds, 1e-12)),
+                },
+                "latency_ms": {
+                    "naive_p50": _percentile_ms(naive_latencies, 50),
+                    "naive_p99": _percentile_ms(naive_latencies, 99),
+                    "compiled_p50": _percentile_ms(compiled_latencies, 50),
+                    "compiled_p99": _percentile_ms(compiled_latencies, 99),
+                },
+                "counters": counters,
+            }
+        )
+    return _finish_record("serve", scale, repeats, entries)
+
+
 # -- record assembly / validation / io ----------------------------------------
 
 
@@ -381,7 +533,10 @@ def validate_bench_record(record: dict) -> None:
 
     expect(isinstance(record, dict), "not a mapping")
     expect(record.get("schema") == SCHEMA, f"schema must be {SCHEMA!r}")
-    expect(record.get("kind") in ("autograd", "table1"), "kind must be autograd|table1")
+    expect(
+        record.get("kind") in ("autograd", "table1", "serve"),
+        "kind must be autograd|table1|serve",
+    )
     expect(record.get("scale") in _SCALES, f"scale must be one of {sorted(_SCALES)}")
     expect(isinstance(record.get("repeats"), int) and record["repeats"] >= 1,
            "repeats must be a positive int")
@@ -400,6 +555,28 @@ def validate_bench_record(record: dict) -> None:
                 isinstance(stats, dict) and {"calls", "seconds", "bytes"} <= set(stats),
                 f"counter {cname!r} must have calls/seconds/bytes",
             )
+        if record.get("kind") == "serve":
+            name = entry.get("name")
+            expect(entry.get("max_abs_diff") == 0.0,
+                   f"entry {name!r}: serve entries must be bit-exact (max_abs_diff == 0.0)")
+            for key in ("samples", "batch_size"):
+                expect(isinstance(entry.get(key), int) and entry[key] >= 1,
+                       f"entry {name!r}: {key} must be a positive int")
+            value = entry.get("batched_autograd_seconds")
+            expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                   f"entry {name!r}: batched_autograd_seconds must be a finite float > 0")
+            for section, keys in (
+                ("throughput", ("naive_per_sample", "batched_autograd", "compiled")),
+                ("latency_ms", ("naive_p50", "naive_p99", "compiled_p50", "compiled_p99")),
+            ):
+                table = entry.get(section)
+                expect(isinstance(table, dict), f"entry {name!r}: {section} must be a dict")
+                for key in keys:
+                    value = table.get(key)
+                    expect(
+                        isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                        f"entry {name!r}: {section}.{key} must be a finite float > 0",
+                    )
     summary = record.get("summary")
     expect(isinstance(summary, dict), "summary must be a dict")
     for key in ("min_speedup", "geomean_speedup"):
@@ -435,17 +612,36 @@ def validate_bench_record(record: dict) -> None:
                "parallel.rows_equal must be True (equality is asserted in-process)")
 
 
-def write_bench_records(
-    out_dir: str = ".", scale: str = "tiny", repeats: int = 3, jobs: int = 1
-) -> list[str]:
-    """Run both benches and write BENCH_autograd.json / BENCH_table1.json.
+#: Suite name -> bench runner, in emission order.
+_BENCH_SUITES = {
+    "autograd": run_autograd_bench,
+    "table1": run_table1_bench,
+    "serve": run_serve_bench,
+}
 
+
+def write_bench_records(
+    out_dir: str = ".",
+    scale: str = "tiny",
+    repeats: int = 3,
+    jobs: int = 1,
+    suites: tuple[str, ...] | None = None,
+) -> list[str]:
+    """Run the selected benches and write one ``BENCH_<kind>.json`` each.
+
+    ``suites`` selects a subset of :data:`_BENCH_SUITES` (default: all).
     ``jobs > 1`` adds the grid-runtime ``parallel`` section to the Table I
     record (markedly slower: it runs the quick Table I grid three times).
     """
+    if suites is None:
+        suites = tuple(_BENCH_SUITES)
+    unknown = [kind for kind in suites if kind not in _BENCH_SUITES]
+    if unknown:
+        raise ValueError(f"unknown bench suite(s): {unknown}; known: {sorted(_BENCH_SUITES)}")
     os.makedirs(out_dir, exist_ok=True)
     paths = []
-    for kind, runner in (("autograd", run_autograd_bench), ("table1", run_table1_bench)):
+    for kind in suites:
+        runner = _BENCH_SUITES[kind]
         kwargs = {"jobs": jobs} if kind == "table1" else {}
         record = runner(scale=scale, repeats=repeats, **kwargs)
         path = os.path.join(out_dir, f"BENCH_{kind}.json")
@@ -474,6 +670,20 @@ def format_bench_record(record: dict) -> str:
         f"{'summary':<28} min {summary['min_speedup']:.2f}x   "
         f"geomean {summary['geomean_speedup']:.2f}x"
     )
+    if record["kind"] == "serve":
+        for entry in record["entries"]:
+            throughput, latency = entry["throughput"], entry["latency_ms"]
+            lines.append(
+                f"{entry['name']:<28} throughput (samples/s): "
+                f"naive {throughput['naive_per_sample']:.1f}   "
+                f"batched {throughput['batched_autograd']:.1f}   "
+                f"compiled {throughput['compiled']:.1f}"
+            )
+            lines.append(
+                f"{'':<28} latency p50/p99 (ms): "
+                f"naive {latency['naive_p50']:.2f}/{latency['naive_p99']:.2f}   "
+                f"compiled {latency['compiled_p50']:.2f}/{latency['compiled_p99']:.2f}"
+            )
     parallel = record.get("parallel")
     if parallel:
         lines.append(

@@ -18,7 +18,8 @@ back up, re-running only the missing cells — bit-identical to an
 uninterrupted run.  ``inspect`` prints a method's adapter layout and
 parameter budget; ``figures`` runs the Figure 1-3 numerical checks;
 ``bench`` times the optimized hot paths against the reference
-implementation and emits ``BENCH_autograd.json`` / ``BENCH_table1.json``.
+implementation and emits ``BENCH_autograd.json`` / ``BENCH_table1.json``
+/ ``BENCH_serve.json`` (``--suite`` selects one).
 
 Flags shared between subcommands (``--backbone``, ``--jobs``, the
 fault-tolerance set ``--max-retries`` / ``--cell-timeout``) are defined
@@ -242,32 +243,29 @@ def _bench(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print(f"repro bench: error: --repeats must be >= 1, got {args.repeats}")
         return 2
-    from repro.bench import (
-        format_bench_record,
-        run_autograd_bench,
-        run_table1_bench,
-        write_bench_records,
-    )
+    from repro.bench import _BENCH_SUITES, format_bench_record, write_bench_records
 
+    suites = tuple(_BENCH_SUITES) if args.suite == "all" else (args.suite,)
     if args.out:
         import json
 
         paths = write_bench_records(
-            args.out, scale=args.scale, repeats=args.repeats, jobs=args.jobs
+            args.out,
+            scale=args.scale,
+            repeats=args.repeats,
+            jobs=args.jobs,
+            suites=suites,
         )
         for path in paths:
             with open(path, encoding="utf-8") as handle:
                 print(format_bench_record(json.load(handle)))
             print(f"wrote {path}\n")
     else:
-        print(format_bench_record(run_autograd_bench(scale=args.scale, repeats=args.repeats)))
-        print()
-        print(
-            format_bench_record(
-                run_table1_bench(scale=args.scale, repeats=args.repeats, jobs=args.jobs)
-            )
-        )
-        print()
+        for kind in suites:
+            kwargs = {"jobs": args.jobs} if kind == "table1" else {}
+            record = _BENCH_SUITES[kind](scale=args.scale, repeats=args.repeats, **kwargs)
+            print(format_bench_record(record))
+            print()
     return 0
 
 
@@ -371,6 +369,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--scale", choices=("tiny", "small"), default="tiny")
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--suite",
+        choices=("all", "autograd", "table1", "serve"),
+        default="all",
+        help="run a single bench suite (default: all)",
+    )
     bench.set_defaults(func=_bench)
     return parser
 

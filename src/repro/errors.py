@@ -53,6 +53,15 @@ class WorkerError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The serving layer was misused or asked to compile the uncompilable.
+
+    Raised when the serve compiler meets a module type it has no lowering
+    rule for, or when an :class:`~repro.serve.engine.EmbeddingEngine` is
+    used after ``close()`` / constructed with invalid batching limits.
+    """
+
+
 class CheckpointError(ReproError):
     """A persisted artifact (adapter checkpoint, run-dir cell) is invalid.
 

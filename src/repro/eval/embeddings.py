@@ -2,30 +2,52 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.errors import EvaluationError
-from repro.nn.module import Module
+from repro.nn.module import Module, eval_mode
+from repro.perf import FLAGS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.engine import EmbeddingEngine
 
 
 def extract_embeddings(
-    model: Module, images: np.ndarray, batch_size: int = 64
+    model: Module,
+    images: np.ndarray,
+    batch_size: int = 64,
+    engine: "EmbeddingEngine | None" = None,
 ) -> np.ndarray:
     """Run ``model.features`` over ``images`` in eval mode, without grads.
 
     Works for plain backbones and for :class:`MetaLoRAModel` alike — meta
-    models regenerate their per-sample seeds inside ``features``.
+    models regenerate their per-sample seeds inside ``features``.  The
+    model's prior train/eval mode is restored afterwards.
+
+    With ``engine`` given — or ``FLAGS.serve_embeddings`` set (env
+    ``REPRO_SERVE_EMBEDDINGS=1``) — extraction routes through the compiled
+    ``repro.serve`` engine instead of the autograd path.  The engine chunks
+    identically, so the result is bit-identical; it also returns freshly
+    allocated buffers, so no defensive copy is needed on that path.
     """
     if not hasattr(model, "features"):
         raise EvaluationError(
             f"{type(model).__name__} does not expose features(); cannot embed"
         )
-    model.eval()
+    if engine is None and FLAGS.serve_embeddings:
+        from repro.serve.engine import shared_engine
+
+        engine = shared_engine(model)
+    if engine is not None:
+        return engine.embed(images, batch_size=batch_size)
     chunks = []
-    with no_grad():
+    with eval_mode(model), no_grad():
         for start in range(0, images.shape[0], batch_size):
             batch = Tensor(images[start : start + batch_size])
-            chunks.append(model.features(batch).data.copy())
-    model.train()
+            # .data is safe to hand out uncopied: the final concatenate
+            # always allocates a fresh result array.
+            chunks.append(model.features(batch).data)
     return np.concatenate(chunks, axis=0)

@@ -1,6 +1,6 @@
 """Neural-network layers built on the autograd engine."""
 
-from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.module import Module, ModuleList, Parameter, eval_mode
 from repro.nn.activations import GELU, ReLU, Sigmoid, Tanh
 from repro.nn.container import Sequential
 from repro.nn.conv import Conv2d
@@ -28,6 +28,7 @@ __all__ = [
     "Sequential",
     "Sigmoid",
     "Tanh",
+    "eval_mode",
     "init",
     "summarize",
 ]

@@ -9,6 +9,7 @@ adapters train.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator, Mapping, Sequence
 
 import numpy as np
@@ -193,3 +194,19 @@ class ModuleList(Module):
 
     def __getitem__(self, index: int) -> Module:
         return self._items[index]
+
+
+@contextlib.contextmanager
+def eval_mode(module: Module) -> Iterator[Module]:
+    """Temporarily put ``module`` in eval mode, restoring the prior mode.
+
+    ``Module.train`` flattens the subtree to a single mode, so restoring
+    the root's flag is exact for the usual case where modes are set at the
+    root (what ``Trainer`` and the evaluation protocol do).
+    """
+    was_training = module.training
+    module.eval()
+    try:
+        yield module
+    finally:
+        module.train(was_training)

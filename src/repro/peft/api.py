@@ -196,6 +196,20 @@ class AttachResult:
         self._state = "merged"
         return self.model
 
+    def serving_model(self, merge: bool = True) -> Module:
+        """The model the serve compiler should lower for inference.
+
+        With ``merge=True`` (and only while still attached), static
+        adapters are baked into their base layers via :meth:`merge` so the
+        compiled program carries no adapter ops.  Meta adapters cannot
+        merge — the model is returned as-is and the compiler uses their
+        pre-planned einsum fast paths instead.  Already-merged or detached
+        results just return the model.
+        """
+        if merge and self._state == "attached" and not self.is_meta:
+            return self.merge()
+        return self.model
+
 
 def attach(
     model: Module,

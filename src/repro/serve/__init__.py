@@ -1,0 +1,27 @@
+"""Graph-free compiled inference for embedding serving.
+
+``compile_features`` lowers a model's ``features()`` into a flat program
+of raw-numpy kernels (no Tensor wrapping, no autograd bookkeeping);
+``EmbeddingEngine`` serves it with micro-batching and an LRU result
+cache.  See docs/serving.md.
+"""
+
+from repro.serve.compile import CompiledProgram, ProgramBuilder, compile_features, compiles, compiles_features
+from repro.serve.engine import (
+    EmbeddingEngine,
+    build_engine,
+    clear_shared_engines,
+    shared_engine,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "EmbeddingEngine",
+    "ProgramBuilder",
+    "build_engine",
+    "clear_shared_engines",
+    "compile_features",
+    "compiles",
+    "compiles_features",
+    "shared_engine",
+]

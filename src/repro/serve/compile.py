@@ -1,0 +1,649 @@
+"""Lowering compiler: a model's ``features()`` as a flat, graph-free program.
+
+The autograd path pays three per-op taxes that inference never needs:
+``Tensor`` wrapping, parent bookkeeping, and grad-fn closure allocation.
+This module removes all three by *lowering* a model once, at compile time,
+into a flat list of steps over raw ``numpy`` arrays:
+
+- every step is a plain callable closed over pre-folded constants (the
+  im2col weight matrix, the batch-norm ``sqrt(var + eps)`` denominator,
+  concatenated meta-head weights, pre-reshaped TR cores), so per-request
+  work is only the arithmetic;
+- steps read and write integer *slots*; a tiny liveness pass frees each
+  intermediate after its last consumer, so peak memory tracks the widest
+  layer instead of the whole forward;
+- the heavy kernels are the *same functions* the autograd ops call
+  (:func:`repro.autograd.conv_ops.conv2d_forward`,
+  :func:`repro.autograd.ops.einsum_forward`, …), so compiled outputs are
+  bit-identical to the reference ``features()`` under the same
+  ``repro.perf.FLAGS`` — including the shared einsum plan cache and conv
+  patch/pad workspaces.
+
+Lowering is rule-based: ``@compiles(ModuleType)`` registers how one module
+forward becomes steps, ``@compiles_features(ModelType)`` does the same for
+a model's top-level ``features()``.  Unknown module types raise
+:class:`~repro.errors.ServeError` — static adapters should be baked with
+``AttachResult.merge()`` first (see :func:`repro.serve.engine.build_engine`),
+while MetaLoRA CP/TR adapters lower to pre-planned einsums fed by seed
+slots produced by the mapping network.
+
+Compilation snapshots the model: folded constants are computed from the
+weights as they are *at compile time* (and batch norms lower in eval mode).
+Mutating parameters afterwards requires recompiling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.conv_ops import conv2d_forward, fold_conv_weight
+from repro.autograd.conv_ops import avg_pool2d_forward, max_pool2d_forward
+from repro.errors import ServeError
+from repro.models.feature_extractor import FeatureExtractor
+from repro.models.mlp_mixer import MixerBlock, MLPMixer
+from repro.models.resnet import BasicBlock, ResNet
+from repro.nn.activations import GELU, ReLU, Sigmoid, Tanh
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module, eval_mode
+from repro.nn.norm import BatchNorm2d, LayerNorm
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.peft.conv_lora import ConvLoRA
+from repro.peft.lora import LoRALinear
+from repro.peft.meta_cp import MetaLoRACPConv, MetaLoRACPLinear
+from repro.peft.meta_model import MetaLoRAModel
+from repro.peft.meta_tr import MetaLoRATRConv, MetaLoRATRLinear
+from repro.peft.multi_lora import MultiLoRAConv, MultiLoRALinear
+from repro.perf import FLAGS
+
+Kernel = Callable[..., np.ndarray]
+
+
+def _scalar(value: float) -> np.ndarray:
+    """A 0-d float64 constant.
+
+    ``Tensor`` arithmetic coerces python scalars through ``np.asarray``,
+    which makes them *strong* float64 operands under NEP 50 — a float32
+    activation times a python float promotes to float64 on the autograd
+    path.  Kernels must multiply by the same 0-d array, not the raw float
+    (which numpy treats as weak and would keep float32), or bit-exactness
+    with the reference path breaks.
+    """
+    return np.asarray(float(value))
+
+
+class Step:
+    """One lowered op: ``slots[output] = fn(*slots[inputs])``."""
+
+    __slots__ = ("name", "fn", "inputs", "output")
+
+    def __init__(self, name: str, fn: Kernel, inputs: tuple[int, ...], output: int) -> None:
+        self.name = name
+        self.fn = fn
+        self.inputs = inputs
+        self.output = output
+
+
+class CompiledProgram:
+    """A flat step list with slot liveness, runnable on raw arrays.
+
+    ``run`` is batch-polymorphic: kernels read batch/spatial sizes from
+    the input at call time, so one program serves any request size.
+    """
+
+    def __init__(
+        self,
+        steps: list[Step],
+        n_slots: int,
+        input_slot: int,
+        output_slot: int,
+        source: str,
+    ) -> None:
+        self.steps = tuple(steps)
+        self.n_slots = n_slots
+        self.input_slot = input_slot
+        self.output_slot = output_slot
+        self.source = source
+        # Last-use liveness: after step i runs, every slot whose final
+        # consumer was step i is dropped (except the program output).
+        last_use: dict[int, int] = {}
+        for index, step in enumerate(self.steps):
+            for slot in step.inputs:
+                last_use[slot] = index
+        release: list[list[int]] = [[] for _ in self.steps]
+        for slot, index in last_use.items():
+            if slot != output_slot:
+                release[index].append(slot)
+        self._release = tuple(tuple(slots) for slots in release)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> list[str]:
+        """Human-readable step listing (for tests and debugging)."""
+        return [
+            f"{index}: %{step.output} = {step.name}({', '.join('%' + str(s) for s in step.inputs)})"
+            for index, step in enumerate(self.steps)
+        ]
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        values: list[np.ndarray | None] = [None] * self.n_slots
+        values[self.input_slot] = x
+        for step, dead in zip(self.steps, self._release):
+            values[step.output] = step.fn(*(values[slot] for slot in step.inputs))
+            for slot in dead:
+                values[slot] = None
+        out = values[self.output_slot]
+        assert out is not None
+        return out
+
+
+class ProgramBuilder:
+    """Accumulates steps while lowering rules walk the module tree."""
+
+    def __init__(self) -> None:
+        self.steps: list[Step] = []
+        self.n_slots = 0
+        #: ``id(adapter) -> slot`` holding that adapter's per-sample seed;
+        #: populated by the MetaLoRAModel rule, consumed by CP/TR rules.
+        #: Absent means the adapter runs its static-seed path.
+        self.seed_slots: dict[int, int] = {}
+
+    def new_slot(self) -> int:
+        self.n_slots += 1
+        return self.n_slots - 1
+
+    def emit(self, name: str, fn: Kernel, *inputs: int) -> int:
+        output = self.new_slot()
+        self.steps.append(Step(name, fn, tuple(inputs), output))
+        return output
+
+    def lower(self, module: Module, x: int) -> int:
+        """Lower one module's forward; returns the output slot."""
+        return _find_rule(_FORWARD_RULES, module)(module, self, x)
+
+    def lower_features(self, model: Module, x: int) -> int:
+        """Lower a model's ``features()``; returns the output slot."""
+        return _find_rule(_FEATURES_RULES, model)(model, self, x)
+
+
+_FORWARD_RULES: dict[type, Callable] = {}
+_FEATURES_RULES: dict[type, Callable] = {}
+
+
+def compiles(*types: type) -> Callable:
+    """Register a lowering rule for one or more module types."""
+
+    def register(rule: Callable) -> Callable:
+        for klass in types:
+            _FORWARD_RULES[klass] = rule
+        return rule
+
+    return register
+
+
+def compiles_features(*types: type) -> Callable:
+    """Register a ``features()`` lowering rule for one or more model types."""
+
+    def register(rule: Callable) -> Callable:
+        for klass in types:
+            _FEATURES_RULES[klass] = rule
+        return rule
+
+    return register
+
+
+def _find_rule(registry: dict[type, Callable], module: Module) -> Callable:
+    for klass in type(module).__mro__:
+        rule = registry.get(klass)
+        if rule is not None:
+            return rule
+    kind = "features()" if registry is _FEATURES_RULES else "forward"
+    raise ServeError(
+        f"no serve lowering rule for the {kind} of {type(module).__name__}; "
+        "merge static adapters first (AttachResult.merge()) or register a "
+        "rule with repro.serve.compile.compiles"
+    )
+
+
+def compile_features(model: Module) -> CompiledProgram:
+    """Compile ``model.features(x)`` into a :class:`CompiledProgram`.
+
+    The model is put in eval mode for the duration of lowering (batch
+    norms fold their running statistics; dropout lowers to identity) and
+    restored afterwards.
+    """
+    builder = ProgramBuilder()
+    x = builder.new_slot()
+    with eval_mode(model):
+        output = builder.lower_features(model, x)
+    return CompiledProgram(builder.steps, builder.n_slots, x, output, type(model).__name__)
+
+
+# -- nn layer rules -----------------------------------------------------------
+
+
+@compiles(Linear)
+def _lower_linear(module: Linear, b: ProgramBuilder, x: int) -> int:
+    w = module.weight.data
+    if module.bias is None:
+        return b.emit("linear", lambda x: x @ w, x)
+    bias = module.bias.data
+    return b.emit("linear", lambda x: x @ w + bias, x)
+
+
+def _conv_kernel(weight: np.ndarray, bias: np.ndarray | None, stride: int, padding: int) -> Kernel:
+    """Convolution closure with the weight folded to its im2col matrix."""
+    kh, kw = weight.shape[0], weight.shape[1]
+    w_mat = fold_conv_weight(weight)
+
+    def kernel(x: np.ndarray) -> np.ndarray:
+        out, _, _, _ = conv2d_forward(x, w_mat, bias, kh, kw, stride, padding)
+        return out
+
+    return kernel
+
+
+@compiles(Conv2d)
+def _lower_conv2d(module: Conv2d, b: ProgramBuilder, x: int) -> int:
+    bias = module.bias.data if module.bias is not None else None
+    return b.emit(
+        "conv2d", _conv_kernel(module.weight.data, bias, module.stride, module.padding), x
+    )
+
+
+@compiles(BatchNorm2d)
+def _lower_batchnorm2d(module: BatchNorm2d, b: ProgramBuilder, x: int) -> int:
+    if module.training:
+        raise ServeError("BatchNorm2d can only be compiled in eval mode")
+    mean4 = module._buffers["running_mean"].reshape(1, -1, 1, 1)
+    var4 = module._buffers["running_var"].reshape(1, -1, 1, 1)
+    # Fold sqrt(var + eps) once; `var + eps` promotes to float64 exactly
+    # as the Tensor path does (eps goes through _scalar).
+    denom = np.sqrt(var4 + _scalar(module.eps))
+    gamma4 = module.gamma.data.reshape(1, module.channels, 1, 1)
+    beta4 = module.beta.data.reshape(1, module.channels, 1, 1)
+    return b.emit("batchnorm2d", lambda x: (x - mean4) / denom * gamma4 + beta4, x)
+
+
+@compiles(LayerNorm)
+def _lower_layernorm(module: LayerNorm, b: ProgramBuilder, x: int) -> int:
+    gamma, beta = module.gamma.data, module.beta.data
+    eps = _scalar(module.eps)
+    # Tensor.mean is sum * (1/count) with the scale coerced to a 0-d
+    # float64 — mirrored exactly here.
+    inv_count = _scalar(1.0 / module.features)
+
+    def kernel(x: np.ndarray) -> np.ndarray:
+        mean = x.sum(axis=-1, keepdims=True) * inv_count
+        centered = x - mean
+        var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+        x_hat = (x - mean) / np.sqrt(var + eps)
+        return x_hat * gamma + beta
+
+    return b.emit("layernorm", kernel, x)
+
+
+@compiles(MaxPool2d)
+def _lower_max_pool2d(module: MaxPool2d, b: ProgramBuilder, x: int) -> int:
+    kernel, stride = module.kernel, module.stride
+    return b.emit("max_pool2d", lambda x: max_pool2d_forward(x, kernel, stride)[0], x)
+
+
+@compiles(AvgPool2d)
+def _lower_avg_pool2d(module: AvgPool2d, b: ProgramBuilder, x: int) -> int:
+    kernel, stride = module.kernel, module.stride
+    return b.emit("avg_pool2d", lambda x: avg_pool2d_forward(x, kernel, stride)[0], x)
+
+
+@compiles(GlobalAvgPool2d)
+def _lower_global_avg_pool2d(module: GlobalAvgPool2d, b: ProgramBuilder, x: int) -> int:
+    def kernel(x: np.ndarray) -> np.ndarray:
+        inv = np.asarray(1.0 / (x.shape[2] * x.shape[3]))
+        return x.sum(axis=(2, 3)) * inv
+
+    return b.emit("global_avg_pool2d", kernel, x)
+
+
+@compiles(Sequential)
+def _lower_sequential(module: Sequential, b: ProgramBuilder, x: int) -> int:
+    for child in module._items:
+        x = b.lower(child, x)
+    return x
+
+
+@compiles(Dropout)
+def _lower_dropout(module: Dropout, b: ProgramBuilder, x: int) -> int:
+    # Inference programs always run in eval mode, where dropout is identity.
+    return x
+
+
+@compiles(ReLU)
+def _lower_relu_module(module: ReLU, b: ProgramBuilder, x: int) -> int:
+    return b.emit("relu", ops.relu_forward, x)
+
+
+@compiles(GELU)
+def _lower_gelu_module(module: GELU, b: ProgramBuilder, x: int) -> int:
+    return b.emit("gelu", ops.gelu_forward, x)
+
+
+@compiles(Tanh)
+def _lower_tanh_module(module: Tanh, b: ProgramBuilder, x: int) -> int:
+    return b.emit("tanh", ops.tanh_forward, x)
+
+
+@compiles(Sigmoid)
+def _lower_sigmoid_module(module: Sigmoid, b: ProgramBuilder, x: int) -> int:
+    return b.emit("sigmoid", ops.sigmoid_forward, x)
+
+
+# -- backbone rules -----------------------------------------------------------
+
+
+@compiles(BasicBlock)
+def _lower_basic_block(module: BasicBlock, b: ProgramBuilder, x: int) -> int:
+    out = b.lower(module.conv1, x)
+    out = b.lower(module.bn1, out)
+    out = b.emit("relu", ops.relu_forward, out)
+    out = b.lower(module.conv2, out)
+    out = b.lower(module.bn2, out)
+    identity = b.lower(module.shortcut, x) if module.shortcut is not None else x
+    return b.emit("residual_relu", lambda a, c: np.maximum(a + c, 0.0), out, identity)
+
+
+@compiles(MixerBlock)
+def _lower_mixer_block(module: MixerBlock, b: ProgramBuilder, x: int) -> int:
+    y = b.lower(module.norm1, x)
+    y = b.emit("transpose(0,2,1)", lambda y: y.transpose(0, 2, 1), y)
+    y = b.lower(module.token_fc1, y)
+    y = b.emit("gelu", ops.gelu_forward, y)
+    y = b.lower(module.token_fc2, y)
+    x = b.emit("token_residual", lambda x, y: x + y.transpose(0, 2, 1), x, y)
+    z = b.lower(module.norm2, x)
+    z = b.lower(module.channel_fc1, z)
+    z = b.emit("gelu", ops.gelu_forward, z)
+    z = b.lower(module.channel_fc2, z)
+    return b.emit("channel_residual", lambda x, z: x + z, x, z)
+
+
+@compiles_features(ResNet)
+def _features_resnet(model: ResNet, b: ProgramBuilder, x: int) -> int:
+    out = b.lower(model.stem, x)
+    out = b.lower(model.stem_bn, out)
+    out = b.emit("relu", ops.relu_forward, out)
+    for block in model.blocks:
+        out = b.lower(block, out)
+    return b.lower(model.pool, out)
+
+
+@compiles_features(MLPMixer)
+def _features_mixer(model: MLPMixer, b: ProgramBuilder, x: int) -> int:
+    p = model.patch_size
+    grid = model.image_size // p
+    c = model.in_channels
+
+    def patchify(x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        tiles = x.reshape(n, c, grid, p, grid, p)
+        tiles = tiles.transpose(0, 2, 4, 1, 3, 5)
+        return tiles.reshape(n, grid * grid, c * p * p)
+
+    tokens = b.emit("patchify", patchify, x)
+    tokens = b.lower(model.embed, tokens)
+    for block in model.mixer_blocks:
+        tokens = b.lower(block, tokens)
+    tokens = b.lower(model.norm, tokens)
+    inv = _scalar(1.0 / model.num_patches)
+    return b.emit("token_mean", lambda t: t.sum(axis=1) * inv, tokens)
+
+
+@compiles(FeatureExtractor)
+def _lower_feature_extractor(module: FeatureExtractor, b: ProgramBuilder, x: int) -> int:
+    feats = b.lower_features(module.backbone, x)
+    normalize = module.normalize
+    include_stats = module.include_stats
+    input_channels = module.input_channels
+
+    # The reference forward operates on raw arrays already (it detaches
+    # through no_grad + .data), so this kernel is the same numpy code.
+    def kernel(feats: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if normalize:
+            norms = np.linalg.norm(feats, axis=1, keepdims=True)
+            feats = feats / np.maximum(norms, 1e-12)
+        if include_stats:
+            if x.ndim == 4:
+                means = x.mean(axis=(2, 3))
+                stds = x.std(axis=(2, 3))
+            else:
+                means = np.zeros((x.shape[0], input_channels), dtype=feats.dtype)
+                stds = np.zeros((x.shape[0], input_channels), dtype=feats.dtype)
+            feats = np.concatenate(
+                [feats, means.astype(feats.dtype), stds.astype(feats.dtype)], axis=1
+            )
+        return feats
+
+    return b.emit("extractor_stats", kernel, feats, x)
+
+
+# -- adapter fast paths -------------------------------------------------------
+
+
+@compiles(LoRALinear)
+def _lower_lora_linear(module: LoRALinear, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    a, bb = module.lora_a.data, module.lora_b.data
+    scale = _scalar(module.scaling)
+    return b.emit("lora_linear", lambda o, x: o + (x @ a @ bb) * scale, base, x)
+
+
+@compiles(ConvLoRA)
+def _lower_conv_lora(module: ConvLoRA, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    # The adapter conv shares geometry with the base conv, so its
+    # _im2col_contiguous call hits the patch cache populated one step ago.
+    mid_conv = _conv_kernel(module.lora_a.data, None, module.base.stride, module.base.padding)
+    lb = module.lora_b.data
+    scale = _scalar(module.scaling)
+
+    def kernel(o: np.ndarray, x: np.ndarray) -> np.ndarray:
+        delta = ops.einsum_forward("nrhw,ro->nohw", mid_conv(x), lb)
+        return o + delta * scale
+
+    return b.emit("conv_lora", kernel, base, x)
+
+
+def _fold_gates(module) -> list[np.ndarray]:
+    """Per-branch ``gates[k] * scaling`` constants (0-d float64, as on the
+    Tensor path where the python-float scaling promotes the product)."""
+    return [
+        module.gates.data[k] * _scalar(module.scaling) for k in range(module.branches)
+    ]
+
+
+@compiles(MultiLoRALinear)
+def _lower_multi_lora_linear(module: MultiLoRALinear, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    branches = [(branch.lora_a.data, branch.lora_b.data) for branch in module.lora_branches]
+    gates = _fold_gates(module)
+
+    def kernel(o: np.ndarray, x: np.ndarray) -> np.ndarray:
+        for (a, bb), gate in zip(branches, gates):
+            o = o + (x @ a @ bb) * gate
+        return o
+
+    return b.emit("multi_lora_linear", kernel, base, x)
+
+
+@compiles(MultiLoRAConv)
+def _lower_multi_lora_conv(module: MultiLoRAConv, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    stride, padding = module.base.stride, module.base.padding
+    branches = [
+        (_conv_kernel(branch.lora_a.data, None, stride, padding), branch.lora_b.data)
+        for branch in module.lora_branches
+    ]
+    gates = _fold_gates(module)
+
+    def kernel(o: np.ndarray, x: np.ndarray) -> np.ndarray:
+        for (mid_conv, lb), gate in zip(branches, gates):
+            delta = ops.einsum_forward("nrhw,ro->nohw", mid_conv(x), lb)
+            o = o + delta * gate
+        return o
+
+    return b.emit("multi_lora_conv", kernel, base, x)
+
+
+@compiles(MetaLoRACPLinear)
+def _lower_meta_cp_linear(module: MetaLoRACPLinear, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    fa, fb = module.factor_a.data, module.factor_b.data
+    rank = module.rank
+    out_features = module.base.out_features
+    scale = _scalar(module.scaling)
+    seed_slot = b.seed_slots.get(id(module))
+    static = module.static_seed.data.reshape(1, 1, rank)
+
+    def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
+        squeeze = x.ndim == 2
+        x3 = x.reshape(x.shape[0], 1, x.shape[1]) if squeeze else x
+        mid = ops.einsum_forward("nti,ir->ntr", x3, fa)
+        if seed is None:
+            mid = mid * static
+        else:
+            mid = mid * seed.reshape(seed.shape[0], 1, rank)
+        delta = ops.einsum_forward("ntr,ro->nto", mid, fb) * scale
+        if squeeze:
+            delta = delta.reshape(x.shape[0], out_features)
+        return o + delta
+
+    if seed_slot is None:
+        return b.emit("meta_cp_linear[static]", kernel, base, x)
+    return b.emit("meta_cp_linear", kernel, base, x, seed_slot)
+
+
+@compiles(MetaLoRACPConv)
+def _lower_meta_cp_conv(module: MetaLoRACPConv, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    mid_conv = _conv_kernel(module.factor_a.data, None, module.base.stride, module.base.padding)
+    fb = module.factor_b.data
+    static = module.static_seed.data
+    scale = _scalar(module.scaling)
+    seed_slot = b.seed_slots.get(id(module))
+
+    def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
+        mid = mid_conv(x)
+        if seed is None:
+            delta = ops.einsum_forward("nrhw,r,ro->nohw", mid, static, fb)
+        else:
+            delta = ops.einsum_forward("nrhw,nr,ro->nohw", mid, seed, fb)
+        return o + delta * scale
+
+    if seed_slot is None:
+        return b.emit("meta_cp_conv[static]", kernel, base, x)
+    return b.emit("meta_cp_conv", kernel, base, x, seed_slot)
+
+
+@compiles(MetaLoRATRLinear)
+def _lower_meta_tr_linear(module: MetaLoRATRLinear, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    ca, cb = module.core_a.data, module.core_b.data
+    static = module.static_seed.data
+    out_features = module.base.out_features
+    scale = _scalar(module.scaling)
+    seed_slot = b.seed_slots.get(id(module))
+
+    def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
+        squeeze = x.ndim == 2
+        x3 = x.reshape(x.shape[0], 1, x.shape[1]) if squeeze else x
+        t1 = ops.einsum_forward("nti,pir->ntpr", x3, ca)
+        if seed is None:
+            delta = ops.einsum_forward("ntpr,roq,qp->nto", t1, cb, static)
+        else:
+            delta = ops.einsum_forward("ntpr,roq,nqp->nto", t1, cb, seed)
+        delta = delta * scale
+        if squeeze:
+            delta = delta.reshape(x.shape[0], out_features)
+        return o + delta
+
+    if seed_slot is None:
+        return b.emit("meta_tr_linear[static]", kernel, base, x)
+    return b.emit("meta_tr_linear", kernel, base, x, seed_slot)
+
+
+@compiles(MetaLoRATRConv)
+def _lower_meta_tr_conv(module: MetaLoRATRConv, b: ProgramBuilder, x: int) -> int:
+    base = b.lower(module.base, x)
+    r = module.rank
+    k = module.base.kernel_size
+    # The Tensor path rebuilds A's (K, K, I, R·R) conv layout every
+    # forward; fold it (and its im2col matrix) once here.
+    a_conv = module.core_a.data.transpose(1, 2, 3, 0, 4).reshape(
+        k, k, module.base.in_channels, r * r
+    )
+    mid_conv = _conv_kernel(a_conv, None, module.base.stride, module.base.padding)
+    cb = module.core_b.data
+    static = module.static_seed.data
+    scale = _scalar(module.scaling)
+    seed_slot = b.seed_slots.get(id(module))
+
+    def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
+        mid = mid_conv(x)
+        n, __, h, w = mid.shape
+        mid = mid.reshape(n, r, r, h, w)
+        if seed is None:
+            delta = ops.einsum_forward("nprhw,roq,qp->nohw", mid, cb, static)
+        else:
+            delta = ops.einsum_forward("nprhw,roq,nqp->nohw", mid, cb, seed)
+        return o + delta * scale
+
+    if seed_slot is None:
+        return b.emit("meta_tr_conv[static]", kernel, base, x)
+    return b.emit("meta_tr_conv", kernel, base, x, seed_slot)
+
+
+# -- MetaLoRA: mapping network + seed-fed backbone ----------------------------
+
+
+@compiles_features(MetaLoRAModel)
+def _features_meta_lora(model: MetaLoRAModel, b: ProgramBuilder, x: int) -> int:
+    feats = b.lower(model.extractor, x)
+    hidden = b.lower(model.trunk, feats)
+    hidden = b.emit("relu", ops.relu_forward, hidden)
+    adapters = model._meta_adapters
+    # Freeze the seed-generation strategy at compile time, mirroring
+    # generate_seeds' dispatch on FLAGS.batched_seeds.
+    if FLAGS.batched_seeds and len(adapters) > 1:
+        fused_w = np.concatenate([head.weight.data for head in model.heads], axis=1)
+        fused_b = np.concatenate([head.bias.data for head in model.heads], axis=0)
+        gains = model.head_gains.data[model._gain_index]
+        scaled = b.emit(
+            "fused_seed_heads",
+            lambda h: np.tanh(h @ fused_w + fused_b) * gains,
+            hidden,
+        )
+        for index, adapter in enumerate(adapters):
+            lo = model._seed_offsets[index]
+            hi = model._seed_offsets[index + 1]
+            shape = adapter.seed_shape
+
+            def slice_seed(s: np.ndarray, lo: int = lo, hi: int = hi, shape=shape) -> np.ndarray:
+                return s[:, lo:hi].reshape(s.shape[0], *shape)
+
+            b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", slice_seed, scaled)
+    else:
+        for index, (adapter, head) in enumerate(zip(adapters, model.heads)):
+            raw = b.lower(head, hidden)
+            gain = np.asarray(model.head_gains.data[index])
+            shape = adapter.seed_shape
+
+            def seed_kernel(r: np.ndarray, gain=gain, shape=shape) -> np.ndarray:
+                return (np.tanh(r) * gain).reshape(r.shape[0], *shape)
+
+            b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", seed_kernel, raw)
+    return b.lower_features(model.backbone, x)

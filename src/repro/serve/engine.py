@@ -1,0 +1,336 @@
+"""The embedding service: compiled program + micro-batcher + result cache.
+
+:class:`EmbeddingEngine` wraps a :class:`~repro.serve.compile.CompiledProgram`
+behind two entry points:
+
+- :meth:`~EmbeddingEngine.embed` — synchronous bulk extraction.  It chunks
+  the input exactly like ``extract_embeddings`` does, so its output is
+  bit-identical to the reference path (the acceptance check the serve
+  bench pins).
+- :meth:`~EmbeddingEngine.submit` — one sample in, a ``Future`` out.  A
+  background worker coalesces queued singles into one program run, up to
+  ``max_batch`` samples or ``max_delay`` seconds after the first arrival,
+  whichever comes first.  An LRU cache keyed by input digest serves
+  repeats without touching the program.
+
+Counters (``serve.*``, via the global profiler when enabled):
+``serve.requests``, ``serve.batches``, ``serve.batch.size.<n>`` (batch-size
+histogram), ``serve.queue_wait`` (seconds spent queued, summed per batch),
+``serve.cache.hit`` / ``serve.cache.miss`` / ``serve.cache.evict``, and
+``serve.run`` (program executions, wall seconds + output bytes).
+
+Program runs are serialized by a lock: the conv workspaces the kernels
+share (:mod:`repro.autograd.conv_ops`) are process-global mutable state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.nn.module import Module
+from repro.serve.compile import CompiledProgram, compile_features
+from repro.utils.profiling import PROFILER
+
+
+def _ingest(sample: object) -> np.ndarray:
+    """Mirror ``Tensor.__init__``'s dtype policy for raw request payloads."""
+    array = np.asarray(sample)
+    if not np.issubdtype(array.dtype, np.floating):
+        array = array.astype(np.float32)
+    return array
+
+
+def _digest(array: np.ndarray) -> bytes:
+    """Content digest for the result cache (shape + dtype + bytes)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((array.shape, array.dtype.str)).encode())
+    h.update(np.ascontiguousarray(array).tobytes())
+    return h.digest()
+
+
+class _Request:
+    __slots__ = ("sample", "key", "future", "enqueued_at")
+
+    def __init__(self, sample: np.ndarray, key: bytes | None, future: Future) -> None:
+        self.sample = sample
+        self.key = key
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class EmbeddingEngine:
+    """Serve embeddings from a compiled ``features()`` program.
+
+    Parameters
+    ----------
+    program:
+        The compiled program (see :func:`build_engine` for the usual
+        model → program path).
+    max_batch:
+        Largest micro-batch the worker will coalesce.
+    max_delay:
+        Seconds the worker waits after the first queued sample for more
+        to arrive before flushing the batch.
+    cache_size:
+        LRU result-cache capacity in entries; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        *,
+        max_batch: int = 32,
+        max_delay: float = 0.002,
+        cache_size: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ServeError(f"max_delay must be >= 0, got {max_delay}")
+        if cache_size < 0:
+            raise ServeError(f"cache_size must be >= 0, got {cache_size}")
+        self.program = program
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self._stats = {
+            "requests": 0,
+            "batches": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+        }
+        self._stats_lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        self._queue: "queue.Queue[_Request]" = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._worker_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._closed = False
+
+    # -- synchronous bulk path ------------------------------------------------
+
+    def embed(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Embeddings for ``images``, chunked like ``extract_embeddings``.
+
+        Chunk boundaries match the reference path's, so the result is
+        bit-identical to it.  Rows are freshly allocated (the concatenate
+        copies), so callers may mutate the result freely.
+        """
+        if self._closed:
+            raise ServeError("embed() on a closed EmbeddingEngine")
+        images = _ingest(images)
+        chunks = []
+        for start in range(0, images.shape[0], batch_size):
+            chunks.append(self._run(images[start : start + batch_size]))
+        return np.concatenate(chunks, axis=0)
+
+    def _run(self, batch: np.ndarray) -> np.ndarray:
+        with self._run_lock:
+            if not PROFILER.enabled:
+                return self.program.run(batch)
+            start = time.perf_counter()
+            out = self.program.run(batch)
+            PROFILER.record("serve.run", time.perf_counter() - start, out.nbytes)
+            return out
+
+    # -- request path: micro-batched singles ----------------------------------
+
+    def submit(self, sample: np.ndarray) -> "Future[np.ndarray]":
+        """Queue one sample ``(C, H, W)``; resolves to its embedding row."""
+        if self._closed:
+            raise ServeError("submit() on a closed EmbeddingEngine")
+        sample = _ingest(sample)
+        key = _digest(sample) if self.cache_size else None
+        future: "Future[np.ndarray]" = Future()
+        if key is not None:
+            cached = self._cache_get(key)
+            if cached is not None:
+                with self._stats_lock:
+                    self._stats["requests"] += 1
+                    self._stats["cache_hits"] += 1
+                if PROFILER.enabled:
+                    PROFILER.bump("serve.requests")
+                    PROFILER.bump("serve.cache.hit")
+                future.set_result(cached)
+                return future
+            with self._stats_lock:
+                self._stats["cache_misses"] += 1
+            if PROFILER.enabled:
+                PROFILER.bump("serve.cache.miss")
+        self._ensure_worker()
+        self._queue.put(_Request(sample, key, future))
+        return future
+
+    def _ensure_worker(self) -> None:
+        with self._worker_lock:
+            if self._worker is not None and self._worker.is_alive():
+                return
+            self._stop.clear()
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-serve-batcher", daemon=True
+            )
+            self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            self._process(self._gather(first))
+
+    def _gather(self, first: _Request) -> list[_Request]:
+        """Coalesce queued requests after ``first``, bounded by
+        ``max_batch`` and by ``max_delay`` seconds since the first."""
+        batch = [first]
+        deadline = time.perf_counter() + self.max_delay
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _process(self, requests: list[_Request]) -> None:
+        queued = time.perf_counter()
+        try:
+            stacked = np.stack([request.sample for request in requests], axis=0)
+            out = self._run(stacked)
+        except BaseException as exc:  # surface kernel errors to every caller
+            for request in requests:
+                request.future.set_exception(exc)
+            return
+        with self._stats_lock:
+            self._stats["requests"] += len(requests)
+            self._stats["batches"] += 1
+        if PROFILER.enabled:
+            PROFILER.add("serve.requests", len(requests))
+            PROFILER.bump("serve.batches")
+            PROFILER.bump(f"serve.batch.size.{len(requests)}")
+            waited = sum(queued - request.enqueued_at for request in requests)
+            PROFILER.add("serve.queue_wait", len(requests), seconds=waited)
+        for index, request in enumerate(requests):
+            row = np.ascontiguousarray(out[index])
+            if request.key is not None:
+                self._cache_put(request.key, row)
+                row = row.copy()
+            request.future.set_result(row)
+
+    # -- LRU result cache -----------------------------------------------------
+
+    def _cache_get(self, key: bytes) -> np.ndarray | None:
+        with self._stats_lock:
+            row = self._cache.get(key)
+            if row is None:
+                return None
+            self._cache.move_to_end(key)
+            return row.copy()
+
+    def _cache_put(self, key: bytes, row: np.ndarray) -> None:
+        with self._stats_lock:
+            self._cache[key] = row
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self._stats["cache_evictions"] += 1
+                if PROFILER.enabled:
+                    PROFILER.bump("serve.cache.evict")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of request/batch/cache counters plus cache occupancy."""
+        with self._stats_lock:
+            snapshot = dict(self._stats)
+            snapshot["cache_size"] = len(self._cache)
+        return snapshot
+
+    def close(self) -> None:
+        """Stop the worker (after draining queued work) and reject new calls."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=10.0)
+        while True:  # belt and braces: fail anything the worker left behind
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            request.future.set_exception(ServeError("EmbeddingEngine closed"))
+
+    def __enter__(self) -> "EmbeddingEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def build_engine(
+    model_or_result: object,
+    *,
+    merge: bool = True,
+    max_batch: int = 32,
+    max_delay: float = 0.002,
+    cache_size: int = 256,
+) -> EmbeddingEngine:
+    """Compile a model (or an ``AttachResult``) into a ready engine.
+
+    Given an :class:`~repro.peft.api.AttachResult` holding static adapters,
+    ``merge=True`` (default) bakes the adapter deltas into the base weights
+    via ``AttachResult.merge()`` before compiling — the served program then
+    contains no adapter ops at all.  Meta adapters cannot merge; they
+    compile to their pre-planned einsum fast paths instead.
+    """
+    model = model_or_result
+    serving_model = getattr(model, "serving_model", None)
+    if serving_model is not None and not isinstance(model, Module):
+        model = serving_model(merge=merge)
+    if not isinstance(model, Module):
+        raise ServeError(
+            f"build_engine expects a Module or AttachResult, got {type(model_or_result).__name__}"
+        )
+    program = compile_features(model)
+    return EmbeddingEngine(
+        program, max_batch=max_batch, max_delay=max_delay, cache_size=cache_size
+    )
+
+
+#: One lazily-compiled engine per model, for the flag-gated protocol path
+#: (``FLAGS.serve_embeddings``).  Weakly keyed: dropping the model drops
+#: its engine.  Weights mutated after compilation are not picked up —
+#: call :func:`clear_shared_engines` (or drop the model) to recompile.
+_SHARED_ENGINES: "weakref.WeakKeyDictionary[Module, EmbeddingEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_engine(model: Module) -> EmbeddingEngine:
+    """The cached engine for ``model``, compiling on first use."""
+    engine = _SHARED_ENGINES.get(model)
+    if engine is None:
+        engine = _SHARED_ENGINES[model] = build_engine(model, cache_size=0)
+    return engine
+
+
+def clear_shared_engines() -> None:
+    """Drop every cached engine (forces recompilation on next use)."""
+    _SHARED_ENGINES.clear()

@@ -27,7 +27,12 @@ fault-tolerance counters: ``retry.attempt`` / ``retry.backoff`` /
 ``retry.recovered`` / ``retry.exhausted`` (the pool's retry machinery),
 ``timeout.cell`` (cells killed by the per-cell soft timeout) and
 ``faults.crash`` / ``faults.stall`` (injected ``REPRO_FAULTS`` test
-faults that fired).
+faults that fired).  The serving engine (``repro.serve``) emits
+``serve.requests`` / ``serve.batches`` / ``serve.batch.size.<n>`` (a
+batch-size histogram), ``serve.queue_wait`` (seconds requests spent
+queued), ``serve.cache.hit`` / ``serve.cache.miss`` /
+``serve.cache.evict`` (its LRU result cache) and ``serve.run``
+(compiled-program executions, wall seconds + output bytes).
 """
 
 from __future__ import annotations

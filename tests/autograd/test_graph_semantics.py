@@ -70,6 +70,18 @@ class TestNoGradInterleaving:
             t = tensor(np.ones(3), requires_grad=True)
         assert not t.requires_grad
 
+    def test_no_grad_results_carry_zero_graph_state(self, rng):
+        # The serve engine relies on this: under no_grad(), _result must
+        # not record parents or grad fns even when inputs have live graphs.
+        x = tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        w = tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        live = x * 2  # a graph exists before entering the block
+        with no_grad():
+            for out in (live @ w, live + x, live * live, live.sum(), -live):
+                assert out._parents == ()
+                assert out._grad_fns == ()
+                assert not out.requires_grad
+
     def test_detach_mid_graph_blocks_upstream(self, rng):
         x = tensor(rng.normal(size=3), requires_grad=True)
         mid = (x * 2).detach()

@@ -9,6 +9,7 @@ from repro.bench import (
     SCHEMA,
     format_bench_record,
     run_autograd_bench,
+    run_serve_bench,
     run_table1_parallel_bench,
     validate_bench_record,
     write_bench_records,
@@ -24,6 +25,7 @@ class TestBenchSmoke:
         paths = write_bench_records(str(tmp_path), scale="tiny", repeats=1)
         assert sorted(p.rsplit("/", 1)[-1] for p in paths) == [
             "BENCH_autograd.json",
+            "BENCH_serve.json",
             "BENCH_table1.json",
         ]
         for path in paths:
@@ -61,6 +63,48 @@ class TestBenchSmoke:
         broken_entry["entries"][0]["speedup"] = float("nan")
         with pytest.raises(ValueError, match="speedup"):
             validate_bench_record(broken_entry)
+
+
+class TestServeBench:
+    def test_serve_bench_is_bit_exact_and_validates(self):
+        record = run_serve_bench(scale="tiny", repeats=1)
+        validate_bench_record(json.loads(json.dumps(record)))
+        assert record["kind"] == "serve"
+        names = [entry["name"] for entry in record["entries"]]
+        assert names == ["serve.resnet", "serve.mixer", "serve.resnet+meta_tr"]
+        for entry in record["entries"]:
+            # Exactness is asserted in-process; the record pins it too.
+            assert entry["max_abs_diff"] == 0.0
+            assert entry["samples"] >= 1 and entry["batch_size"] >= 1
+            assert entry["throughput"]["compiled"] > 0
+            assert entry["latency_ms"]["compiled_p99"] >= entry["latency_ms"]["compiled_p50"]
+        text = format_bench_record(record)
+        assert "throughput (samples/s)" in text
+        assert "latency p50/p99" in text
+
+    def test_validate_rejects_corrupt_serve_records(self):
+        record = json.loads(json.dumps(run_serve_bench(scale="tiny", repeats=1)))
+        for mutate, match in (
+            (lambda e: e.update(max_abs_diff=1e-9), "bit-exact"),
+            (lambda e: e.update(samples=0), "samples"),
+            (lambda e: e.pop("throughput"), "throughput"),
+            (lambda e: e["latency_ms"].pop("compiled_p99"), "compiled_p99"),
+            (lambda e: e.update(batched_autograd_seconds=0.0), "batched_autograd_seconds"),
+        ):
+            corrupt = json.loads(json.dumps(record))
+            mutate(corrupt["entries"][0])
+            with pytest.raises(ValueError, match=match):
+                validate_bench_record(corrupt)
+
+    def test_write_bench_records_rejects_unknown_suites(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            write_bench_records(str(tmp_path), suites=("nope",))
+
+    def test_suite_subset_writes_only_that_file(self, tmp_path):
+        paths = write_bench_records(
+            str(tmp_path), scale="tiny", repeats=1, suites=("serve",)
+        )
+        assert [p.rsplit("/", 1)[-1] for p in paths] == ["BENCH_serve.json"]
 
 
 class TestParallelBenchSection:

@@ -105,3 +105,13 @@ class TestExtractEmbeddings:
 
         with pytest.raises(EvaluationError):
             extract_embeddings(Linear(3, 3, rng=rng), np.zeros((2, 3), np.float32))
+
+    def test_restores_prior_train_eval_mode(self, rng):
+        model = resnet_small(4, rng)
+        images = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        model.train()
+        extract_embeddings(model, images)
+        assert model.training
+        model.eval()
+        extract_embeddings(model, images)
+        assert not model.training  # must NOT be forced back to train mode

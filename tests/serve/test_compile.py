@@ -1,0 +1,156 @@
+"""Compiled-program bit-exactness against the autograd reference path.
+
+The contract under test is exact equality (``max_abs_diff == 0.0``), not
+closeness: the compiled kernels are the same functions the autograd ops
+call, with scalar constants coerced exactly as ``Tensor`` arithmetic
+coerces them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.eval.embeddings import extract_embeddings
+from repro.models import FeatureExtractor, mixer_small, resnet_small
+from repro.peft import MetaLoRAModel, attach
+from repro.perf import perf_overrides
+from repro.serve import build_engine, compile_features
+
+BACKBONES = {
+    "resnet": lambda rng: resnet_small(4, rng),
+    "mixer": lambda rng: mixer_small(4, rng),
+}
+
+#: Every adapter family the compiler has a fast path for.
+ADAPTER_METHODS = ("lora", "multi_lora", "meta_cp", "meta_tr")
+
+
+def images_for(rng, n=5):
+    return rng.normal(size=(n, 3, 16, 16)).astype(np.float32)
+
+
+def randomize_zero_params(model, rng):
+    """Adapter B-side factors start at zero (identity adapters); give them
+    real values so exactness failures cannot hide behind a zero delta."""
+    for param in model.parameters():
+        if not np.any(param.data):
+            param.data[...] = (rng.normal(size=param.data.shape) * 0.2).astype(
+                param.data.dtype
+            )
+
+
+def assert_bit_identical(model, images):
+    program = compile_features(model)
+    reference = extract_embeddings(model, images, batch_size=images.shape[0])
+    compiled = program.run(images)
+    assert compiled.dtype == reference.dtype
+    assert np.array_equal(compiled, reference)
+
+
+class TestBackboneExactness:
+    @pytest.mark.parametrize("backbone", sorted(BACKBONES))
+    def test_plain_backbone(self, backbone, rng):
+        model = BACKBONES[backbone](rng)
+        assert_bit_identical(model, images_for(rng))
+
+    @pytest.mark.parametrize("backbone", sorted(BACKBONES))
+    @pytest.mark.parametrize("method", ADAPTER_METHODS)
+    def test_adapted_backbone(self, backbone, method, rng):
+        model = BACKBONES[backbone](rng)
+        attach(model, method, rank=2, rng=rng)
+        randomize_zero_params(model, rng)
+        assert_bit_identical(model, images_for(rng))
+
+    def test_batch_polymorphic_program(self, rng):
+        model = resnet_small(4, rng)
+        program = compile_features(model)
+        for n in (1, 3, 7):
+            x = images_for(rng, n)
+            assert np.array_equal(program.run(x), extract_embeddings(model, x))
+
+
+class TestMetaModelExactness:
+    @pytest.mark.parametrize("backbone", sorted(BACKBONES))
+    @pytest.mark.parametrize("fmt", ("cp", "tr"))
+    def test_meta_model(self, backbone, fmt, rng):
+        base = BACKBONES[backbone](rng)
+        result = attach(base, f"meta_{fmt}", rank=2, rng=rng)
+        extractor = FeatureExtractor(resnet_small(4, np.random.default_rng(9)))
+        model = MetaLoRAModel(base, extractor, rng=rng, adapters=result)
+        randomize_zero_params(model, rng)
+        assert_bit_identical(model, images_for(rng))
+
+    def test_meta_model_per_head_seed_path(self, rng):
+        # batched_seeds=False freezes the per-head lowering at compile time;
+        # it must match the reference running under the same flag.
+        base = resnet_small(4, rng)
+        result = attach(base, "meta_tr", rank=2, rng=rng)
+        extractor = FeatureExtractor(resnet_small(4, np.random.default_rng(9)))
+        model = MetaLoRAModel(base, extractor, rng=rng, adapters=result)
+        randomize_zero_params(model, rng)
+        with perf_overrides(batched_seeds=False):
+            assert_bit_identical(model, images_for(rng))
+
+
+class TestMergedFastPath:
+    def test_merge_then_compile_matches_merged_reference(self, rng):
+        model = resnet_small(4, rng)
+        result = attach(model, "lora", rank=2, rng=rng)
+        randomize_zero_params(model, rng)
+        images = images_for(rng)
+        engine = build_engine(result)
+        assert result.state == "merged"
+        # The program was compiled from the merged model: no adapter steps.
+        assert not any("lora" in line for line in engine.program.describe())
+        assert np.array_equal(
+            engine.embed(images), extract_embeddings(result.model, images)
+        )
+        engine.close()
+
+    def test_meta_adapters_compile_unmerged(self, rng):
+        model = resnet_small(4, rng)
+        result = attach(model, "meta_tr", rank=2, rng=rng)
+        engine = build_engine(result)
+        assert result.state == "attached"  # meta adapters cannot merge
+        assert any("meta_tr" in line for line in engine.program.describe())
+        engine.close()
+
+
+class TestCompilerErrors:
+    def test_unsupported_adapter_raises(self, rng):
+        from repro.nn import Linear
+
+        model = mixer_small(4, rng)
+        attach(model, "dora", rank=2, targets=(Linear,), rng=rng)
+        with pytest.raises(ServeError, match="no serve lowering rule"):
+            compile_features(model)
+
+    def test_model_without_rule_raises(self):
+        from repro.nn import Linear
+
+        with pytest.raises(ServeError, match="features"):
+            compile_features(Linear(4, 4))
+
+
+class TestProgramStructure:
+    def test_describe_and_len(self, rng):
+        program = compile_features(resnet_small(4, rng))
+        lines = program.describe()
+        assert len(lines) == len(program) > 0
+        assert lines[0].startswith("0: %")
+
+    def test_compile_restores_training_mode(self, rng):
+        model = resnet_small(4, rng)
+        model.train()
+        compile_features(model)
+        assert model.training
+
+    def test_snapshot_semantics(self, rng):
+        # Constants fold at compile time; mutations need a recompile.
+        model = resnet_small(4, rng)
+        x = images_for(rng, 2)
+        program = compile_features(model)
+        before = program.run(x)
+        model.stem.weight.data[...] += 1.0
+        assert np.array_equal(program.run(x), before)
+        assert not np.array_equal(compile_features(model).run(x), before)

@@ -1,0 +1,185 @@
+"""EmbeddingEngine: bulk path, micro-batcher, result cache, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.eval.embeddings import extract_embeddings
+from repro.models import resnet_small
+from repro.perf import perf_overrides
+from repro.serve import EmbeddingEngine, build_engine, clear_shared_engines
+from repro.utils.profiling import PROFILER
+
+
+@pytest.fixture
+def model(rng):
+    return resnet_small(4, rng)
+
+
+@pytest.fixture
+def engine(model):
+    with build_engine(model, cache_size=4) as engine:
+        yield engine
+
+
+def samples_for(rng, n=6):
+    return rng.normal(size=(n, 3, 16, 16)).astype(np.float32)
+
+
+def resolve(futures, timeout=10.0):
+    return [future.result(timeout=timeout) for future in futures]
+
+
+class TestBulkPath:
+    def test_embed_matches_reference_across_chunkings(self, engine, model, rng):
+        images = samples_for(rng, 7)
+        for batch_size in (1, 3, 64):
+            out = engine.embed(images, batch_size=batch_size)
+            assert np.array_equal(
+                out, extract_embeddings(model, images, batch_size=batch_size)
+            )
+
+    def test_embed_returns_fresh_buffers(self, engine, rng):
+        images = samples_for(rng, 2)
+        first = engine.embed(images)
+        first[...] = 0.0  # callers may scribble on their result
+        assert np.any(engine.embed(images))
+
+    def test_embed_accepts_integer_inputs(self, engine):
+        # Mirrors Tensor.__init__: non-float payloads become float32.
+        images = np.zeros((2, 3, 16, 16), dtype=np.int64)
+        out = engine.embed(images)
+        assert out.shape[0] == 2
+
+
+class TestMicroBatcher:
+    def test_submitted_singles_match_bulk_rows(self, model, rng):
+        images = samples_for(rng, 6)
+        with build_engine(model, max_batch=4, max_delay=0.25, cache_size=0) as engine:
+            rows = resolve([engine.submit(sample) for sample in images])
+            bulk = engine.embed(images, batch_size=1)
+            for index, row in enumerate(rows):
+                assert np.array_equal(row, bulk[index])
+            stats = engine.stats()
+            assert stats["requests"] == 6
+            # A generous max_delay lets the worker coalesce: strictly fewer
+            # program runs than requests.
+            assert 1 <= stats["batches"] < 6
+
+    def test_flush_on_timeout_without_filling_batch(self, model, rng):
+        with build_engine(model, max_batch=64, max_delay=0.01, cache_size=0) as engine:
+            future = engine.submit(samples_for(rng, 1)[0])
+            row = future.result(timeout=10.0)
+            assert row.shape == (engine.embed(samples_for(rng, 1)).shape[1],)
+            assert engine.stats()["batches"] == 1
+
+    def test_batch_size_counters(self, model, rng):
+        images = samples_for(rng, 3)
+        with build_engine(model, max_batch=8, max_delay=0.25, cache_size=0) as engine:
+            PROFILER.reset()
+            PROFILER.enable()
+            try:
+                resolve([engine.submit(sample) for sample in images])
+            finally:
+                PROFILER.disable()
+            counters = PROFILER.as_dict()
+            assert counters["serve.requests"]["calls"] == 3
+            assert "serve.queue_wait" in counters
+            assert any(name.startswith("serve.batch.size.") for name in counters)
+
+
+class TestResultCache:
+    def test_repeat_submission_hits_cache(self, model, rng):
+        sample = samples_for(rng, 1)[0]
+        with build_engine(model, max_delay=0.0, cache_size=4) as engine:
+            first = resolve([engine.submit(sample)])[0]
+            second = resolve([engine.submit(sample)])[0]
+            assert np.array_equal(first, second)
+            stats = engine.stats()
+            assert stats["cache_hits"] == 1
+            assert stats["cache_misses"] == 1
+            assert stats["batches"] == 1  # the hit never reached the program
+
+    def test_lru_eviction(self, model, rng):
+        images = samples_for(rng, 3)
+        with build_engine(model, max_delay=0.0, cache_size=2) as engine:
+            resolve([engine.submit(sample) for sample in images])
+            stats = engine.stats()
+            assert stats["cache_evictions"] >= 1
+            assert stats["cache_size"] <= 2
+            # The oldest entry is gone: resubmitting it misses again.
+            resolve([engine.submit(images[0])])
+            assert engine.stats()["cache_misses"] >= 4
+
+    def test_cached_rows_survive_caller_mutation(self, model, rng):
+        sample = samples_for(rng, 1)[0]
+        with build_engine(model, max_delay=0.0, cache_size=4) as engine:
+            first = resolve([engine.submit(sample)])[0]
+            expected = first.copy()
+            first[...] = -1.0
+            assert np.array_equal(resolve([engine.submit(sample)])[0], expected)
+
+    def test_cache_disabled(self, model, rng):
+        sample = samples_for(rng, 1)[0]
+        with build_engine(model, max_delay=0.0, cache_size=0) as engine:
+            resolve([engine.submit(sample), engine.submit(sample)])
+            stats = engine.stats()
+            assert stats["cache_hits"] == 0
+            assert stats["batches"] >= 1
+
+
+class TestLifecycle:
+    def test_invalid_limits_rejected(self, engine):
+        for kwargs in (
+            {"max_batch": 0},
+            {"max_delay": -0.1},
+            {"cache_size": -1},
+        ):
+            with pytest.raises(ServeError):
+                EmbeddingEngine(engine.program, **kwargs)
+
+    def test_closed_engine_rejects_calls(self, model, rng):
+        engine = build_engine(model, cache_size=0)
+        engine.close()
+        with pytest.raises(ServeError, match="closed"):
+            engine.embed(samples_for(rng, 1))
+        with pytest.raises(ServeError, match="closed"):
+            engine.submit(samples_for(rng, 1)[0])
+        engine.close()  # idempotent
+
+    def test_close_drains_pending_work(self, model, rng):
+        images = samples_for(rng, 4)
+        engine = build_engine(model, max_batch=4, max_delay=0.05, cache_size=0)
+        futures = [engine.submit(sample) for sample in images]
+        engine.close()
+        for future in futures:
+            # Either served before shutdown or failed with ServeError —
+            # never left hanging.
+            try:
+                assert future.result(timeout=10.0).ndim == 1
+            except ServeError:
+                pass
+
+    def test_build_engine_rejects_non_models(self):
+        with pytest.raises(ServeError, match="Module or AttachResult"):
+            build_engine(object())
+
+
+class TestProtocolIntegration:
+    def test_flagged_extract_embeddings_is_bit_identical(self, model, rng):
+        images = samples_for(rng, 5)
+        reference = extract_embeddings(model, images)
+        clear_shared_engines()
+        try:
+            with perf_overrides(serve_embeddings=True):
+                flagged = extract_embeddings(model, images)
+                again = extract_embeddings(model, images)  # reuses the engine
+            assert np.array_equal(flagged, reference)
+            assert np.array_equal(again, reference)
+        finally:
+            clear_shared_engines()
+
+    def test_explicit_engine_argument(self, engine, model, rng):
+        images = samples_for(rng, 4)
+        out = extract_embeddings(model, images, engine=engine)
+        assert np.array_equal(out, extract_embeddings(model, images))
