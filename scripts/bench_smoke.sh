@@ -32,4 +32,14 @@ if REPRO_FAULTS="crash:0/meta_lora_tr" PYTHONPATH=src \
 fi
 # Resume re-runs only the crashed cell and must succeed.
 PYTHONPATH=src python -m repro table1 --smoke --resume "$run_dir"
+
+# Observability: both the crashed and the resumed grid export spans into
+# the run directory's trace.jsonl (appended, one trace tag per export).
+# Assert the file exists, parses, and renders cell spans.
+test -f "$run_dir/trace.jsonl" || { echo "bench_smoke: missing trace.jsonl" >&2; exit 1; }
+trace_report="$(PYTHONPATH=src python -m repro trace "$run_dir")"
+case "$trace_report" in
+  *table1.cell*) ;;
+  *) echo "bench_smoke: trace report has no cell spans" >&2; exit 1 ;;
+esac
 rm -rf "$run_dir"

@@ -20,7 +20,7 @@ import numpy as np
 from repro.autograd.tensor import Tensor
 from repro.errors import ShapeError
 from repro.perf import FLAGS
-from repro.utils.profiling import PROFILER
+from repro.obs import OBS
 
 
 def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -137,15 +137,15 @@ def _im2col_contiguous(
         if entry is not None and entry[0] is x and entry[1] == fingerprint:
             _PATCH_CACHE_STATS["hits"] += 1
             _PATCH_CACHE.move_to_end(key)
-            if PROFILER.enabled:
-                PROFILER.bump("conv2d.patches_cache.hit")
+            if OBS.enabled:
+                OBS.inc("conv2d.patches_cache.hit")
             return entry[2], entry[3], entry[4]
     patches, out_h, out_w = _im2col(x, kh, kw, stride, padding, _use_workspace=True)
     cols = np.ascontiguousarray(patches)
     if use_cache:
         _PATCH_CACHE_STATS["misses"] += 1
-        if PROFILER.enabled:
-            PROFILER.bump("conv2d.patches_cache.miss", cols.nbytes)
+        if OBS.enabled:
+            OBS.inc("conv2d.patches_cache.miss", bytes=cols.nbytes)
         _PATCH_CACHE[key] = (x, fingerprint, cols, out_h, out_w)
         if len(_PATCH_CACHE) > _PATCH_CACHE_CAPACITY:
             _PATCH_CACHE.popitem(last=False)
@@ -218,8 +218,8 @@ def conv2d_forward(
     out = out.transpose(0, 3, 1, 2)
     if bias is not None:
         out = out + bias.reshape(1, w_mat.shape[1], 1, 1)
-    if PROFILER.enabled:
-        PROFILER.bump("conv2d.forward", out.nbytes)
+    if OBS.enabled:
+        OBS.inc("conv2d.forward", bytes=out.nbytes)
     return out, cols, out_h, out_w
 
 
@@ -278,16 +278,16 @@ def conv2d(
         d_cols = g_cols @ w_mat.T  # (N, oh, ow, C*kh*kw)
         d_patches = d_cols.reshape(n, out_h, out_w, c_in, kh, kw)
         result = _col2im(d_patches, x_shape, kh, kw, stride, padding)
-        if PROFILER.enabled:
-            PROFILER.bump("conv2d.backward", result.nbytes)
+        if OBS.enabled:
+            OBS.inc("conv2d.backward", bytes=result.nbytes)
         return result
 
     def grad_w(g: np.ndarray) -> np.ndarray:
         g_cols = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
         cols_flat = cols.reshape(-1, c_in * kh * kw)
         d_w_mat = cols_flat.T @ g_cols  # (C*kh*kw, Cout)
-        if PROFILER.enabled:
-            PROFILER.bump("conv2d.backward", d_w_mat.nbytes)
+        if OBS.enabled:
+            OBS.inc("conv2d.backward", bytes=d_w_mat.nbytes)
         return d_w_mat.reshape(c_in, kh, kw, c_out).transpose(1, 2, 0, 3)
 
     parents: tuple[Tensor, ...]

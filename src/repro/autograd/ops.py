@@ -16,7 +16,7 @@ import numpy as np
 from repro.autograd.tensor import GradFn, Tensor, grad_enabled, unbroadcast
 from repro.errors import ShapeError
 from repro.perf import FLAGS
-from repro.utils.profiling import PROFILER
+from repro.obs import OBS
 
 _SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
 
@@ -351,11 +351,11 @@ def _get_plan(spec: str, shapes: tuple[tuple[int, ...], ...], count: int) -> _Ei
     if plan is not None:
         _PLAN_CACHE_STATS["hits"] += 1
         _PLAN_CACHE.move_to_end(key)
-        PROFILER.enabled and PROFILER.bump("einsum.plan_cache.hit")
+        OBS.enabled and OBS.inc("einsum.plan_cache.hit")
         return plan
     plan = _EinsumPlan(spec, shapes, count)
     _PLAN_CACHE_STATS["misses"] += 1
-    PROFILER.enabled and PROFILER.bump("einsum.plan_cache.miss")
+    OBS.enabled and OBS.inc("einsum.plan_cache.miss")
     _PLAN_CACHE[key] = plan
     if len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
         _PLAN_CACHE.popitem(last=False)
@@ -374,8 +374,8 @@ def einsum_forward(spec: str, *arrays: np.ndarray) -> np.ndarray:
     shapes = tuple(a.shape for a in arrays)
     plan = _get_plan(spec, shapes, len(arrays))
     out = _apply_plan(plan, spec, arrays)
-    if PROFILER.enabled:
-        PROFILER.bump("einsum.forward", np.asarray(out).nbytes)
+    if OBS.enabled:
+        OBS.inc("einsum.forward", bytes=np.asarray(out).nbytes)
     return out
 
 
@@ -402,8 +402,8 @@ def einsum(spec: str, *operands: Tensor) -> Tensor:
     plan = _get_plan(spec, shapes, len(operands))
 
     out = _apply_plan(plan, spec, arrays)
-    if PROFILER.enabled:
-        PROFILER.bump("einsum.forward", np.asarray(out).nbytes)
+    if OBS.enabled:
+        OBS.inc("einsum.forward", bytes=np.asarray(out).nbytes)
 
     if not grad_enabled():
         return Tensor(out)
@@ -425,8 +425,8 @@ def einsum(spec: str, *operands: Tensor) -> Tensor:
                     gplan.missing_dims + partial.shape,
                 )
             partial = partial.transpose(gplan.perm)
-            if PROFILER.enabled:
-                PROFILER.bump("einsum.backward", partial.nbytes)
+            if OBS.enabled:
+                OBS.inc("einsum.backward", bytes=partial.nbytes)
             return np.ascontiguousarray(partial)
 
         return grad_fn

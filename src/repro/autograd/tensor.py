@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import GradientError, ShapeError
 from repro.perf import FLAGS
-from repro.utils.profiling import PROFILER
+from repro.obs import OBS
 
 GradFn = Callable[[np.ndarray], np.ndarray]
 
@@ -209,7 +209,7 @@ class Tensor:
 
         inplace = FLAGS.backward_inplace_accum
         release = FLAGS.backward_release
-        profile = PROFILER.enabled
+        profile = OBS.enabled
         start = time.perf_counter() if profile else 0.0
         inplace_adds = 0
         released_nodes = 0
@@ -255,9 +255,9 @@ class Tensor:
                 node._released = True
                 released_nodes += 1
         if profile:
-            PROFILER.record("backward.sweep", time.perf_counter() - start)
-            PROFILER.add("backward.inplace_accum", inplace_adds)
-            PROFILER.add("backward.released", released_nodes)
+            OBS.observe("backward.sweep", time.perf_counter() - start)
+            OBS.inc("backward.inplace_accum", inplace_adds)
+            OBS.inc("backward.released", released_nodes)
 
     def _topological_order(self) -> list["Tensor"]:
         """Nodes reachable from ``self``, outputs first (reverse topo order)."""

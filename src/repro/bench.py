@@ -31,14 +31,17 @@ test round-trips it)::
           "optimized_seconds": float,
           "speedup": float,             # reference / optimized
           "max_abs_diff": float,        # output gap between the paths
-          "counters": {str: {"calls": int, "seconds": float, "bytes": int}},
+          "counters": {str: {"kind": str, "calls": int,
+                             "seconds": float, "bytes": int, ...}},
         }, ...
       ],
       "summary": {"min_speedup": float, "geomean_speedup": float},
     }
 
-``counters`` holds the :data:`~repro.utils.profiling.PROFILER` snapshot
-of the optimized run (cache hit/miss counts, op calls, bytes).
+``counters`` holds the :data:`repro.obs.OBS` snapshot of the optimized
+run (cache hit/miss counts, op calls, bytes) in the unified
+metrics-snapshot schema — the same shape ``EmbeddingEngine.stats()``
+returns, with histograms carrying ``buckets`` and gauges ``value``.
 
 The ``table1`` record optionally carries a ``parallel`` section (when the
 bench ran with ``--jobs N``, N >= 2) — the grid-runtime comparison from
@@ -75,8 +78,9 @@ import numpy as np
 
 from repro.autograd import conv_ops, ops
 from repro.autograd.tensor import Tensor
+from repro.obs import OBS
+from repro.obs.metrics import KINDS
 from repro.perf import reference_mode
-from repro.utils.profiling import PROFILER
 from repro.utils.timing import time_calls
 
 SCHEMA = "repro.bench/v1"
@@ -99,19 +103,20 @@ def _measure(
     """Time ``fn`` under reference then optimized flags.
 
     Returns the timing/diff record fields, the reference output (for
-    callers that chain checks), and the optimized-run profiler counters.
+    callers that chain checks), and the optimized run's metrics snapshot
+    (unified schema, from :data:`repro.obs.OBS`).
     """
     with reference_mode():
         _clear_caches()
         ref_seconds, ref_out = time_calls(fn, repeats=repeats)
     _clear_caches()
-    PROFILER.reset()
-    PROFILER.enable()
+    OBS.reset()
+    OBS.enable()
     try:
         opt_seconds, opt_out = time_calls(fn, repeats=repeats)
     finally:
-        PROFILER.disable()
-    counters = PROFILER.as_dict()
+        OBS.disable()
+    counters = OBS.as_dict()
     diff = float(np.max(np.abs(np.asarray(ref_out) - np.asarray(opt_out))))
     fields = {
         "reference_seconds": float(ref_seconds),
@@ -447,13 +452,13 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3) -> dict:
         reference = extract_embeddings(model, images, batch_size=batch)
 
         _clear_caches()
-        PROFILER.reset()
-        PROFILER.enable()
+        OBS.reset()
+        OBS.enable()
         try:
             compiled = engine.embed(images, batch_size=batch)
         finally:
-            PROFILER.disable()
-        counters = PROFILER.as_dict()
+            OBS.disable()
+        counters = OBS.as_dict()
         diff = float(np.max(np.abs(reference - compiled)))
         if diff != 0.0:
             raise ValueError(
@@ -552,8 +557,14 @@ def validate_bench_record(record: dict) -> None:
         expect(isinstance(counters, dict), f"entry {entry.get('name')!r}: counters must be a dict")
         for cname, stats in counters.items():
             expect(
-                isinstance(stats, dict) and {"calls", "seconds", "bytes"} <= set(stats),
-                f"counter {cname!r} must have calls/seconds/bytes",
+                isinstance(stats, dict)
+                and {"kind", "calls", "seconds", "bytes"} <= set(stats),
+                f"counter {cname!r} must have kind/calls/seconds/bytes "
+                f"(the unified metrics-snapshot schema)",
+            )
+            expect(
+                stats.get("kind") in KINDS,
+                f"counter {cname!r} kind must be one of {list(KINDS)}",
             )
         if record.get("kind") == "serve":
             name = entry.get("name")

@@ -7,6 +7,7 @@ Usage::
     python -m repro table1 --quick --seeds 0 1 2 --jobs 4
     python -m repro table1 --seeds 0 1 2 --jobs 4 --out-dir runs/t1
     python -m repro table1 --resume runs/t1          # rerun only missing cells
+    python -m repro trace runs/t1                    # span-tree report
     python -m repro inspect --method meta_lora_tr
     python -m repro figures
     python -m repro bench --out . --jobs 4
@@ -15,7 +16,10 @@ Usage::
 than one seed is given); with ``--out-dir`` every completed cell is
 checkpointed into a run directory and ``--resume`` picks a killed run
 back up, re-running only the missing cells — bit-identical to an
-uninterrupted run.  ``inspect`` prints a method's adapter layout and
+uninterrupted run.  A run directory also gets the observability layer's
+``trace.jsonl`` span export, which ``trace`` renders as a span-tree
+report (slowest spans, per-phase breakdown — see docs/observability.md).
+``inspect`` prints a method's adapter layout and
 parameter budget; ``figures`` runs the Figure 1-3 numerical checks;
 ``bench`` times the optimized hot paths against the reference
 implementation and emits ``BENCH_autograd.json`` / ``BENCH_table1.json``
@@ -207,6 +211,13 @@ def _figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_trace_target
+
+    print(render_trace_target(args.target, max_depth=args.depth, top=args.top))
+    return 0
+
+
 def _report(args: argparse.Namespace) -> int:
     import glob
     import os
@@ -349,6 +360,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="run the Figure 2/3 numerical checks")
     figures.set_defaults(func=_figures)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a run directory's trace.jsonl as a span-tree report",
+    )
+    trace.add_argument(
+        "target",
+        help="run directory (from table1 --out-dir) or a trace.jsonl path",
+    )
+    trace.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        help="span-tree levels to show before eliding (default: 4)",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        help="how many slowest spans to list (default: 8)",
+    )
+    trace.set_defaults(func=_trace)
 
     report = sub.add_parser(
         "report", help="render saved results/ records as markdown tables"

@@ -83,6 +83,16 @@ class CellTimeoutError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """The observability layer was misused or fed an invalid artifact.
+
+    Raised on metric-kind conflicts (one dotted name used as two
+    different kinds via the typed ``repro.obs`` API), on unparsable
+    ``trace.jsonl`` records, and when ``repro trace`` is pointed at a
+    directory with no trace export.
+    """
+
+
 class FaultInjected(ReproError):
     """A deterministic test fault (``REPRO_FAULTS``) fired in a worker.
 

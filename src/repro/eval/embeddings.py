@@ -9,6 +9,7 @@ import numpy as np
 from repro.autograd.tensor import Tensor, no_grad
 from repro.errors import EvaluationError
 from repro.nn.module import Module, eval_mode
+from repro.obs import TRACER
 from repro.perf import FLAGS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,12 +43,17 @@ def extract_embeddings(
 
         engine = shared_engine(model)
     if engine is not None:
-        return engine.embed(images, batch_size=batch_size)
-    chunks = []
-    with eval_mode(model), no_grad():
+        with TRACER.span(
+            "eval.embed", path="serve", samples=int(images.shape[0])
+        ):
+            return engine.embed(images, batch_size=batch_size)
+    with TRACER.span(
+        "eval.embed", path="autograd", samples=int(images.shape[0])
+    ), eval_mode(model), no_grad():
+        chunks = []
         for start in range(0, images.shape[0], batch_size):
             batch = Tensor(images[start : start + batch_size])
             # .data is safe to hand out uncopied: the final concatenate
             # always allocates a fresh result array.
             chunks.append(model.features(batch).data)
-    return np.concatenate(chunks, axis=0)
+        return np.concatenate(chunks, axis=0)

@@ -1,0 +1,123 @@
+"""Span-tree reporting: what ``repro trace <run-dir>`` renders.
+
+Takes the flat records of a ``trace.jsonl`` export and produces a
+human-readable report with three sections:
+
+- the **span tree** (depth-capped), slowest sibling first, with wall
+  seconds, error markers, and event counts;
+- a **per-phase breakdown** aggregating wall time by span name — the
+  train-vs-eval split, cell time vs context time, serve batch time;
+- the **slowest spans** overall, with their attributes.
+
+Works on any trace the :mod:`repro.obs.trace` exporter wrote; the CLI
+resolves a run directory to its ``trace.jsonl`` first.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ObsError
+from repro.obs.trace import TRACE_FILE, build_trees, load_trace
+
+
+def resolve_trace_path(target: str | os.PathLike) -> str:
+    """A run directory or a direct JSONL path → the trace file path."""
+    target = os.fspath(target)
+    if os.path.isdir(target):
+        path = os.path.join(target, TRACE_FILE)
+        if not os.path.exists(path):
+            raise ObsError(
+                f"{target!r} has no {TRACE_FILE}; run the grid with "
+                f"--out-dir (observability is enabled automatically) first"
+            )
+        return path
+    if not os.path.exists(target):
+        raise ObsError(f"no trace file at {target!r}")
+    return target
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    shown = {k: v for k, v in attrs.items() if k != "error"}
+    if not shown:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+    return f"  [{inner}]"
+
+
+def _tree_lines(node: dict, depth: int, max_depth: int, lines: list[str]) -> None:
+    marker = "" if node.get("status") == "ok" else "  !ERROR"
+    events = node.get("events") or []
+    event_note = f"  ({len(events)} event(s))" if events else ""
+    lines.append(
+        f"{'  ' * depth}{node['name']:<{max(40 - 2 * depth, 8)}} "
+        f"{node.get('seconds', 0.0) * 1e3:>10.1f}ms"
+        f"{marker}{event_note}{_fmt_attrs(node.get('attrs') or {})}"
+    )
+    if depth + 1 >= max_depth:
+        hidden = len(node.get("children") or [])
+        if hidden:
+            lines.append(f"{'  ' * (depth + 1)}... {hidden} child span(s) elided")
+        return
+    children = sorted(
+        node.get("children") or [], key=lambda c: c.get("seconds", 0.0), reverse=True
+    )
+    for child in children:
+        _tree_lines(child, depth + 1, max_depth, lines)
+
+
+def _walk(records: list[dict]):
+    for record in records:
+        yield record
+
+
+def render_trace_report(
+    records: list[dict], max_depth: int = 4, top: int = 8
+) -> str:
+    """The full report for one trace file's flat records."""
+    if not records:
+        return "trace report: no spans recorded"
+    trees = build_trees(records)
+    traces = {record.get("trace", "") for record in records}
+    total = sum(node.get("seconds", 0.0) for node in trees)
+    errors = sum(1 for record in records if record.get("status") != "ok")
+    lines = [
+        f"trace report — {len(records)} span(s) in {len(traces)} trace(s), "
+        f"{total:.2f}s across {len(trees)} root span(s), {errors} error(s)",
+        "",
+        f"span tree (slowest-first, depth <= {max_depth}):",
+    ]
+    for root in sorted(trees, key=lambda n: n.get("seconds", 0.0), reverse=True):
+        _tree_lines(root, 1, max_depth + 1, lines)
+
+    by_name: dict[str, list[float]] = {}
+    for record in _walk(records):
+        by_name.setdefault(record["name"], []).append(record.get("seconds", 0.0))
+    lines += [
+        "",
+        "per-phase breakdown (wall seconds by span name):",
+        f"  {'span':<28} {'count':>6} {'total':>10} {'mean':>10} {'max':>10}",
+    ]
+    for name, seconds in sorted(
+        by_name.items(), key=lambda kv: sum(kv[1]), reverse=True
+    ):
+        lines.append(
+            f"  {name:<28} {len(seconds):>6} {sum(seconds) * 1e3:>8.1f}ms "
+            f"{sum(seconds) / len(seconds) * 1e3:>8.1f}ms {max(seconds) * 1e3:>8.1f}ms"
+        )
+
+    slowest = sorted(records, key=lambda r: r.get("seconds", 0.0), reverse=True)[:top]
+    lines += ["", f"slowest {len(slowest)} span(s):"]
+    for record in slowest:
+        lines.append(
+            f"  {record.get('seconds', 0.0) * 1e3:>10.1f}ms  {record['name']}"
+            f"{_fmt_attrs(record.get('attrs') or {})}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace_target(target: str | os.PathLike, max_depth: int = 4, top: int = 8) -> str:
+    """Resolve ``target`` (run dir or file), load it, and render the report."""
+    return render_trace_report(
+        load_trace(resolve_trace_path(target)), max_depth=max_depth, top=top
+    )

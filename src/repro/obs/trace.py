@@ -1,0 +1,359 @@
+"""Hierarchical spans: the tracing half of ``repro.obs``.
+
+A *span* is one timed region of work — a Table I cell, a training
+epoch, a serve micro-batch — opened as a context manager::
+
+    from repro.obs import TRACER
+
+    with TRACER.span("table1.cell", seed=0, method="lora"):
+        ...
+
+Spans opened inside an open span become its children, forming a tree
+per thread (each thread keeps its own stack, so the serve engine's
+batcher thread produces its own roots).  A span records wall-clock
+start time, duration, ``ok``/``error`` status, point-in-time *events*
+(:meth:`Tracer.event` — retries, timeouts, injected faults), and the
+**metric delta** the region produced: the change in every
+:data:`~repro.obs.metrics.METRICS` series between span entry and exit,
+in the unified snapshot schema.
+
+Tracing is off by default and follows the same cost contract as the
+metrics registry: a disabled ``TRACER.span(...)`` returns a shared
+no-op context manager after a single attribute check, and
+``TRACER.event(...)`` returns after the same check.
+
+Cross-process merge-back mirrors the metrics merge the pool does:
+workers trace into their own (reset) tracer, ship finished roots as
+plain dicts on the ``CellResult``, and the parent re-attaches them
+under its currently open span with :meth:`Tracer.absorb` — so worker
+cell spans land in the parent's tree exactly where in-process cells
+would have put them.
+
+Export is JSONL (``trace.jsonl`` in run directories): one record per
+span, flattened depth-first with ``id``/``parent`` links scoped to a
+per-export ``trace`` tag, so appended exports (a resumed run) never
+collide::
+
+    {"trace": "a1b2c3d4", "id": 1, "parent": null, "name": "table1.grid",
+     "start": 1754467200.12, "seconds": 12.07, "status": "ok",
+     "attrs": {...}, "events": [...], "metrics": {...}}
+
+See ``docs/observability.md`` for the full schema and naming rules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+
+from repro.errors import ObsError
+from repro.obs.metrics import METRICS
+
+#: File name of the trace export inside a run directory.
+TRACE_FILE = "trace.jsonl"
+
+
+class Span:
+    """One finished-or-open region of the trace tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start",
+        "seconds",
+        "status",
+        "events",
+        "metrics",
+        "children",
+    )
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = time.time()
+        self.seconds = 0.0
+        self.status = "ok"
+        self.events: list[dict] = []
+        self.metrics: dict[str, dict] = {}
+        self.children: list["Span"] = []
+
+    def to_dict(self) -> dict:
+        """Nested JSON-friendly form (children inline)."""
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "start": self.start,
+            "seconds": self.seconds,
+            "status": self.status,
+            "events": self.events,
+            "metrics": self.metrics,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        span = cls(str(payload.get("name", "?")), dict(payload.get("attrs") or {}))
+        span.start = float(payload.get("start", 0.0))
+        span.seconds = float(payload.get("seconds", 0.0))
+        span.status = str(payload.get("status", "ok"))
+        span.events = list(payload.get("events") or [])
+        span.metrics = dict(payload.get("metrics") or {})
+        span.children = [
+            cls.from_dict(child) for child in payload.get("children") or []
+        ]
+        return span
+
+
+class _NullSpan:
+    """Shared no-op context manager the disabled path hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "_span", "_t0", "_baseline")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._span = Span(name, attrs)
+        self._t0 = 0.0
+        self._baseline: dict | None = None
+
+    def __enter__(self) -> Span:
+        self._baseline = METRICS.totals() if METRICS.enabled else None
+        self._tracer._stack().append(self._span)
+        self._t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.seconds = time.perf_counter() - self._t0
+        if exc_type is not None:
+            span.status = "error"
+            span.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        if self._baseline is not None:
+            span.metrics = _metric_delta(self._baseline, METRICS.totals())
+        stack = self._tracer._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._tracer._finish(span, stack)
+        return False
+
+
+def _metric_delta(before: dict, after: dict) -> dict[str, dict]:
+    """Per-series change between two :meth:`MetricsRegistry.totals` calls."""
+    delta: dict[str, dict] = {}
+    for name, (calls, seconds, nbytes) in after.items():
+        calls0, seconds0, bytes0 = before.get(name, (0, 0.0, 0))
+        if calls != calls0 or seconds != seconds0 or nbytes != bytes0:
+            delta[name] = {
+                "calls": calls - calls0,
+                "seconds": seconds - seconds0,
+                "bytes": nbytes - bytes0,
+            }
+    return delta
+
+
+class Tracer:
+    """Per-process span collector with per-thread open-span stacks."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def enable(self) -> "Tracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop finished roots and this thread's open stack (worker setup)."""
+        with self._lock:
+            self._roots.clear()
+        self._local.stack = []
+
+    # -- recording ------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: object):
+        """Open a span; a disabled tracer returns a shared no-op manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Attach a point-in-time event to the innermost open span."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if not stack:
+            return
+        span = stack[-1]
+        stack[-1].events.append(
+            {"name": name, "attrs": attrs, "at": time.time() - span.start}
+        )
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _finish(self, span: Span, stack: list[Span]) -> None:
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- merge-back / export --------------------------------------------------
+
+    def absorb(self, span_dicts: list[dict]) -> None:
+        """Attach worker-shipped span dicts under the current open span.
+
+        With no span open they become roots.  Works regardless of
+        ``enabled`` — like the metrics merge, the spans were gated by
+        the worker's own tracer.
+        """
+        if not span_dicts:
+            return
+        spans = [Span.from_dict(payload) for payload in span_dicts]
+        parent = self.current()
+        if parent is not None:
+            parent.children.extend(spans)
+        else:
+            with self._lock:
+                self._roots.extend(spans)
+
+    def drain(self) -> list[dict]:
+        """Pop every finished root span as a nested dict."""
+        with self._lock:
+            roots, self._roots = self._roots, []
+        return [span.to_dict() for span in roots]
+
+
+#: The process-wide tracer every instrumented layer reports into.
+TRACER = Tracer()
+
+
+# -- JSONL export / import -----------------------------------------------------
+
+
+def flatten_spans(roots: list[dict], trace_id: str | None = None) -> list[dict]:
+    """Nested span dicts → flat JSONL records (depth-first ids)."""
+    if trace_id is None:
+        trace_id = uuid.uuid4().hex[:8]
+    records: list[dict] = []
+
+    def visit(span: dict, parent: int | None) -> None:
+        span_id = len(records) + 1
+        records.append(
+            {
+                "trace": trace_id,
+                "id": span_id,
+                "parent": parent,
+                "name": span.get("name", "?"),
+                "start": span.get("start", 0.0),
+                "seconds": span.get("seconds", 0.0),
+                "status": span.get("status", "ok"),
+                "attrs": span.get("attrs") or {},
+                "events": span.get("events") or [],
+                "metrics": span.get("metrics") or {},
+            }
+        )
+        for child in span.get("children") or []:
+            visit(child, span_id)
+
+    for root in roots:
+        visit(root, None)
+    return records
+
+
+def write_trace(path: str | os.PathLike, roots: list[dict]) -> int:
+    """Append ``roots`` (nested span dicts) to a JSONL trace file.
+
+    Returns the number of records written.  Appending keeps resumed
+    runs additive: each call carries its own ``trace`` tag, so
+    ``id``/``parent`` links never collide across appends.
+    """
+    records = flatten_spans(roots)
+    if not records:
+        return 0
+    path = os.fspath(path)
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def load_trace(path: str | os.PathLike) -> list[dict]:
+    """Parse a ``trace.jsonl`` file back into flat records."""
+    path = os.fspath(path)
+    records = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ObsError(f"{path}:{lineno}: unparsable trace record: {exc}") from exc
+                if not isinstance(record, dict) or "name" not in record:
+                    raise ObsError(f"{path}:{lineno}: not a span record")
+                records.append(record)
+    except OSError as exc:
+        raise ObsError(f"cannot read trace file {path!r}: {exc}") from exc
+    return records
+
+
+def build_trees(records: list[dict]) -> list[dict]:
+    """Rebuild nested span dicts from flat JSONL records.
+
+    Records are grouped by their ``trace`` tag; parent links are scoped
+    within a tag.  Orphans (a parent id missing from the file) surface
+    as roots rather than being dropped.
+    """
+    trees: list[dict] = []
+    by_id: dict[tuple[str, int], dict] = {}
+    for record in records:
+        node = dict(record)
+        node["children"] = []
+        by_id[(record.get("trace", ""), record.get("id", 0))] = node
+    for record in records:
+        node = by_id[(record.get("trace", ""), record.get("id", 0))]
+        parent = record.get("parent")
+        parent_node = (
+            by_id.get((record.get("trace", ""), parent)) if parent is not None else None
+        )
+        if parent_node is not None:
+            parent_node["children"].append(node)
+        else:
+            trees.append(node)
+    return trees

@@ -53,7 +53,9 @@ fault specs::
 The attempt number is supplied by the pool (the parent counts retries),
 so fault behavior is a pure function of ``(key, attempt)`` — fully
 deterministic however cells land on workers.  Fired faults bump the
-``faults.crash`` / ``faults.stall`` profiler counters.
+``faults.crash`` / ``faults.stall`` counters in :data:`repro.obs.OBS`
+and attach a ``faults.*`` event to the open cell span, so injected
+faults are visible in ``repro trace`` output.
 """
 
 from __future__ import annotations
@@ -237,17 +239,18 @@ def fire_faults(key: object, attempt: int = 0) -> None:
     faults = active_faults()
     if not faults:
         return
-    from repro.utils.profiling import PROFILER  # local: keep perf import-light
+    from repro.obs import OBS, TRACER  # local: keep perf import-light
 
     rendered = render_fault_key(key)
     for spec in faults:
         if not spec.matches(rendered, attempt):
             continue
+        TRACER.event(f"faults.{spec.kind}", key=rendered, attempt=attempt)
         if spec.kind == "stall":
-            PROFILER.bump("faults.stall")
+            OBS.inc("faults.stall")
             time.sleep(spec.seconds)
         else:
-            PROFILER.bump("faults.crash")
+            OBS.inc("faults.crash")
             raise FaultInjected(
                 f"injected crash on cell {rendered!r} (attempt {attempt})"
             )

@@ -34,12 +34,18 @@ embarrassingly parallel: every cell is a pure function of its key.
   once retries are exhausted) — the hook run directories use to persist
   every finished cell before the grid is done, so a killed run loses at
   most the in-flight cells;
-- **profiler aggregation**: when the parent's profiler is enabled, each
-  worker records into its own profiler and the snapshot is merged back
-  into the parent's (:meth:`repro.utils.profiling.Profiler.merge_counters`).
+- **observability aggregation**: when the parent's metrics registry
+  (:data:`repro.obs.OBS`) is enabled, each worker records into its own
+  registry and the unified snapshot is merged back into the parent's
+  (:meth:`repro.obs.metrics.MetricsRegistry.merge`); when the parent's
+  tracer is enabled, each worker traces its cell execution into its own
+  tracer and the finished spans ship back on the :class:`CellResult`
+  and re-attach under the parent's open span
+  (:meth:`repro.obs.trace.Tracer.absorb`) — so worker cell spans land
+  in the parent's trace tree exactly where in-process cells would.
   Retries and timeouts bump ``retry.attempt`` / ``retry.backoff`` /
   ``retry.recovered`` / ``retry.exhausted`` / ``timeout.cell`` in the
-  parent.
+  parent and attach matching events to the open span.
 
 Workers execute cells under ``perf_overrides(**perf)`` — the Table I
 grid uses this to enable the autograd memory diet
@@ -62,7 +68,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.errors import CellTimeoutError, ConfigError, WorkerError
 from repro.perf import fire_faults, perf_overrides
-from repro.utils.profiling import PROFILER
+from repro.obs import OBS, TRACER
 
 #: How long the parent sleeps between completion polls of the pool.
 _POLL_SECONDS = 0.005
@@ -94,6 +100,7 @@ class CellResult:
     failure: CellFailure | None = None
     seconds: float = 0.0
     counters: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
     attempts: int = 1
 
     @property
@@ -162,33 +169,49 @@ def _execute_cell(
     profile: bool,
     attempt: int = 0,
     timeout: float | None = None,
+    trace: bool = False,
+    span_name: str = "pool.cell",
 ) -> CellResult:
-    """Run one cell, capturing exceptions and (optionally) profiler counters.
+    """Run one cell, capturing exceptions and (optionally) observability.
 
     Module-level so it pickles for the pool; runs verbatim on the serial
     fallback path.  ``attempt`` is supplied by the parent so injected
     faults (and any attempt-aware cell) behave identically wherever the
-    retry lands.
+    retry lands.  ``profile`` / ``trace`` are set only for pool workers:
+    they reset the worker's inherited registry/tracer, record locally,
+    and ship the snapshot/spans back on the result.  In-process (serial)
+    cells record straight into the live parent registry and open their
+    span inside the parent's tree instead.
     """
     start = time.perf_counter()
     counters: dict = {}
+    spans: list = []
     try:
         if profile:
-            PROFILER.reset()
-            PROFILER.enable()
+            OBS.reset()
+            OBS.enable()
+        if trace:
+            # The fork copied the parent's open spans; drop them so the
+            # cell span is this worker's root and drains cleanly.
+            TRACER.reset()
+            TRACER.enable()
         try:
-            with perf_overrides(**(perf or {})), _soft_timeout(timeout, key):
+            with perf_overrides(**(perf or {})), _soft_timeout(timeout, key),                     TRACER.span(span_name, key=str(key), attempt=attempt):
                 fire_faults(key, attempt)
                 value = fn(cell)
         finally:
             if profile:
-                PROFILER.disable()
-                counters = PROFILER.as_dict()
+                OBS.disable()
+                counters = OBS.as_dict()
+            if trace:
+                TRACER.disable()
+                spans = TRACER.drain()
         return CellResult(
             key,
             value=value,
             seconds=time.perf_counter() - start,
             counters=counters,
+            spans=spans,
             attempts=attempt + 1,
         )
     except Exception as exc:  # crash isolation: ship, don't hang the pool
@@ -203,6 +226,7 @@ def _execute_cell(
             failure=failure,
             seconds=time.perf_counter() - start,
             counters=counters,
+            spans=spans,
             attempts=attempt + 1,
         )
 
@@ -240,7 +264,8 @@ def _run_batch(
                 if handle.ready():
                     result = handle.get()
                     results[index] = result
-                    PROFILER.merge_counters(result.counters)
+                    OBS.merge(result.counters)
+                    TRACER.absorb(result.spans)
                     emit(index, result)
                     progressed = True
                 else:
@@ -262,6 +287,7 @@ def run_cells(
     retry_backoff: float = 0.05,
     cell_timeout: float | None = None,
     on_result: Callable[[CellResult], None] | None = None,
+    span_name: str = "pool.cell",
 ) -> list[CellResult]:
     """Execute ``fn(cell)`` for every cell, in order, possibly in parallel.
 
@@ -271,7 +297,8 @@ def run_cells(
     deterministic exponential backoff (``retry_backoff * 2**attempt``
     seconds between rounds); ``cell_timeout`` arms the per-cell soft
     timeout.  ``on_result`` fires in the parent once per cell when its
-    outcome is final.  Results always come back in input order.
+    outcome is final.  ``span_name`` labels the per-cell trace span when
+    the tracer is enabled.  Results always come back in input order.
     """
     if keys is None:
         keys = list(cells)
@@ -284,10 +311,11 @@ def run_cells(
     jobs = resolve_jobs(jobs)
     parallel = jobs > 1 and len(cells) > 1 and fork_available()
 
-    # In-process cells record straight into the parent profiler; pool
-    # workers snapshot their own and the parent merges the counters back,
-    # so `profiled()` spans a parallel region either way.
-    profile_workers = PROFILER.enabled and parallel
+    # In-process cells record straight into the parent registry/tracer;
+    # pool workers snapshot their own and the parent merges back, so an
+    # enabled observability window spans a parallel region either way.
+    profile_workers = OBS.enabled and parallel
+    trace_workers = TRACER.enabled and parallel
 
     def task_for(index: int, attempt: int) -> tuple:
         return (
@@ -298,6 +326,8 @@ def run_cells(
             profile_workers,
             attempt,
             cell_timeout,
+            trace_workers,
+            span_name,
         )
 
     def emit(index: int, result: CellResult) -> None:
@@ -305,15 +335,19 @@ def run_cells(
             if on_result is not None:
                 on_result(result)
         elif result.failure.error_type == CellTimeoutError.__name__:
-            PROFILER.bump("timeout.cell")
+            OBS.inc("timeout.cell")
+            TRACER.event("timeout.cell", key=str(result.key))
 
     results: dict[int, CellResult] = {}
     pending = list(range(len(cells)))
     for attempt in range(max_retries + 1):
         if attempt > 0:
             delay = retry_backoff * 2 ** (attempt - 1)
-            PROFILER.record("retry.backoff", delay)
-            PROFILER.add("retry.attempt", len(pending))
+            OBS.observe("retry.backoff", delay)
+            OBS.inc("retry.attempt", len(pending))
+            TRACER.event(
+                "retry", attempt=attempt, cells=len(pending), backoff=delay
+            )
             if delay > 0:
                 time.sleep(delay)
         batch = _run_batch(
@@ -325,13 +359,13 @@ def run_cells(
         recovered = [
             index for index in pending if attempt > 0 and batch[index].ok
         ]
-        PROFILER.add("retry.recovered", len(recovered))
+        OBS.inc("retry.recovered", len(recovered))
         results.update(batch)
         pending = [index for index in pending if not batch[index].ok]
         if not pending:
             break
     if pending:
-        PROFILER.add("retry.exhausted", len(pending) if max_retries else 0)
+        OBS.inc("retry.exhausted", len(pending) if max_retries else 0)
         if on_result is not None:
             for index in pending:
                 on_result(results[index])

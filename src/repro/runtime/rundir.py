@@ -23,6 +23,12 @@ would mistake for a completed cell.  Resuming validates the manifest —
 format version and config fingerprint — and raises
 :class:`repro.errors.CheckpointError` rather than silently mixing rows
 computed under different configurations.
+
+A run directory is also the landing place for the grid's trace export:
+:meth:`RunDir.write_trace` appends the observability layer's finished
+span trees to ``<run_dir>/trace.jsonl`` (append-only, so a resumed run
+adds its trace next to the original's); ``repro trace <run_dir>``
+renders it.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import numpy as np
 
 from repro.errors import CheckpointError, ConfigError
 from repro.eval.protocol import Table1Config, Table1Row
+from repro.obs.trace import TRACE_FILE, write_trace
 from repro.utils.serialization import load_artifact, save_artifact
 
 #: Version of the run-dir layout.  Bump on incompatible change; resuming
@@ -240,6 +247,22 @@ class RunDir:
             key: self.load_cell(*key)
             for key in sorted(self.completed_cells() & wanted)
         }
+
+    # -- trace export ---------------------------------------------------------
+
+    @property
+    def trace_path(self) -> str:
+        """Path of this run's ``trace.jsonl`` span export."""
+        return os.path.join(self.root, TRACE_FILE)
+
+    def write_trace(self, spans: list[dict]) -> int:
+        """Append finished span trees to the run's trace export.
+
+        Append-only by design: a resumed run's trace lands next to the
+        original's (each append carries its own ``trace`` tag, so span
+        ids never collide).  Returns the number of records written.
+        """
+        return write_trace(self.trace_path, spans)
 
 
 def resolve_run_dirs(

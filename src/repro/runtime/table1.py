@@ -25,14 +25,25 @@ bit-identical to an uninterrupted run.  ``max_retries`` /
 Cells run under the autograd memory diet (``backward_release``), which is
 safe because the training loops never backpropagate a graph twice, and
 bit-identical because releasing graph metadata does not change numerics.
+
+Observability (``obs``) layers on top the same way: when active (the
+default whenever the grid has a run directory) the grid enables
+:data:`repro.obs.OBS` and :data:`repro.obs.TRACER` for its duration and
+builds a span tree — ``table1.grid`` → ``table1.contexts`` /
+``table1.cells`` → one span per cell (with retry/timeout/fault events) —
+exported to ``<run_dir>/trace.jsonl`` and rendered by ``repro trace``.
+Instrumentation never touches an RNG, so obs-on and obs-off grids are
+bit-identical (asserted by ``tests/obs/test_acceptance.py``).
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.obs import OBS, TRACER
 from repro.eval.protocol import (
     Table1Config,
     Table1Row,
@@ -78,6 +89,35 @@ def _run_cell(cell: tuple[Table1Config, Table1SeedContext, str]) -> Table1Row:
     return run_table1_cell(config, context, method)
 
 
+@contextlib.contextmanager
+def _grid_observability(active: bool, rundir: RunDir | None, **attrs: object):
+    """Enable metrics + tracing around the grid, restoring prior state.
+
+    Yields the open ``table1.grid`` span (``None`` when inactive) and
+    exports its finished tree to the run directory on exit — in a
+    ``finally``, so a grid that dies mid-flight (strict failure, ctrl-C)
+    still leaves its partial trace, with the grid span marked ``error``.
+    If this context enabled the tracer itself, the grid root is drained
+    on exit so repeated grids in one process don't accumulate; a
+    caller-enabled tracer keeps its own roots.
+    """
+    if not active:
+        yield None
+        return
+    previous = (OBS.enabled, TRACER.enabled)
+    OBS.enabled = True
+    TRACER.enabled = True
+    try:
+        with TRACER.span("table1.grid", **attrs) as grid_span:
+            yield grid_span
+    finally:
+        OBS.enabled, TRACER.enabled = previous
+        if not previous[1]:
+            TRACER.drain()
+        if rundir is not None:
+            rundir.write_trace([grid_span.to_dict()])
+
+
 def run_table1_grid(
     config: Table1Config,
     seeds: tuple[int, ...] | list[int],
@@ -89,6 +129,7 @@ def run_table1_grid(
     max_retries: int = 0,
     retry_backoff: float = 0.05,
     cell_timeout: float | None = None,
+    obs: bool | None = None,
 ) -> Table1GridResult:
     """Shard the ``seeds × config.methods`` Table I grid over ``jobs`` workers.
 
@@ -106,6 +147,12 @@ def run_table1_grid(
     cells are retried ``max_retries`` times with deterministic
     exponential backoff, and ``cell_timeout`` arms the per-cell soft
     timeout — see :func:`repro.runtime.pool.run_cells`.
+
+    ``obs`` turns the observability layer on (metrics + per-cell trace
+    spans, exported to ``<run_dir>/trace.jsonl``); the default enables
+    it exactly when the grid has a run directory to export into.
+    Instrumentation is RNG-free, so the rows are bit-identical either
+    way.
     """
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
@@ -136,40 +183,54 @@ def run_table1_grid(
         if (seed, method) not in restored
     ]
     context_seeds = sorted({seed for seed, __ in missing})
-    context_results = run_cells(
-        _prepare_seed,
-        [(config, seed) for seed in context_seeds],
-        keys=[("context", seed) for seed in context_seeds],
-        **pool_options,
-    )
-    if strict:
-        raise_failures(context_results)
-    contexts = {
-        result.key[1]: result.value for result in context_results if result.ok
-    }
 
-    cells = []
-    keys = []
-    for seed, method in missing:
-        if seed not in contexts:
-            continue  # non-strict: the seed's context failed; skip its cells
-        cells.append((config, contexts[seed], method))
-        keys.append((seed, method))
+    obs_active = (rundir is not None) if obs is None else bool(obs)
+    with _grid_observability(
+        obs_active,
+        rundir,
+        seeds=list(seeds),
+        methods=list(config.methods),
+        jobs=jobs,
+        restored=len(restored),
+    ) as grid_span:
+        with TRACER.span("table1.contexts", cells=len(context_seeds)):
+            context_results = run_cells(
+                _prepare_seed,
+                [(config, seed) for seed in context_seeds],
+                keys=[("context", seed) for seed in context_seeds],
+                span_name="table1.context",
+                **pool_options,
+            )
+            if strict:
+                raise_failures(context_results)
+        contexts = {
+            result.key[1]: result.value for result in context_results if result.ok
+        }
 
-    def checkpoint(result: CellResult) -> None:
-        if rundir is not None and result.ok:
-            rundir.save_cell(result.key[0], result.key[1], result.value)
+        cells = []
+        keys = []
+        for seed, method in missing:
+            if seed not in contexts:
+                continue  # non-strict: the seed's context failed; skip its cells
+            cells.append((config, contexts[seed], method))
+            keys.append((seed, method))
 
-    cell_results = run_cells(
-        _run_cell,
-        cells,
-        keys=keys,
-        perf=dict(CELL_PERF),
-        on_result=checkpoint,
-        **pool_options,
-    )
-    if strict:
-        raise_failures(cell_results)
+        def checkpoint(result: CellResult) -> None:
+            if rundir is not None and result.ok:
+                rundir.save_cell(result.key[0], result.key[1], result.value)
+
+        with TRACER.span("table1.cells", cells=len(cells)):
+            cell_results = run_cells(
+                _run_cell,
+                cells,
+                keys=keys,
+                perf=dict(CELL_PERF),
+                on_result=checkpoint,
+                span_name="table1.cell",
+                **pool_options,
+            )
+            if strict:
+                raise_failures(cell_results)
 
     fresh = {
         result.key: result.value for result in cell_results if result.ok

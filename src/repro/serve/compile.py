@@ -216,13 +216,21 @@ def compile_features(model: Module) -> CompiledProgram:
 
     The model is put in eval mode for the duration of lowering (batch
     norms fold their running statistics; dropout lowers to identity) and
-    restored afterwards.
+    restored afterwards.  Compilation is observable: a ``serve.compile``
+    span/timer when :mod:`repro.obs` is enabled.
     """
-    builder = ProgramBuilder()
-    x = builder.new_slot()
-    with eval_mode(model):
-        output = builder.lower_features(model, x)
-    return CompiledProgram(builder.steps, builder.n_slots, x, output, type(model).__name__)
+    from repro.obs import OBS, TRACER  # local: keep compile import-light
+
+    with TRACER.span("serve.compile", model=type(model).__name__), OBS.time(
+        "serve.compile"
+    ):
+        builder = ProgramBuilder()
+        x = builder.new_slot()
+        with eval_mode(model):
+            output = builder.lower_features(model, x)
+        return CompiledProgram(
+            builder.steps, builder.n_slots, x, output, type(model).__name__
+        )
 
 
 # -- nn layer rules -----------------------------------------------------------

@@ -13,11 +13,18 @@ behind two entry points:
   whichever comes first.  An LRU cache keyed by input digest serves
   repeats without touching the program.
 
-Counters (``serve.*``, via the global profiler when enabled):
-``serve.requests``, ``serve.batches``, ``serve.batch.size.<n>`` (batch-size
-histogram), ``serve.queue_wait`` (seconds spent queued, summed per batch),
-``serve.cache.hit`` / ``serve.cache.miss`` / ``serve.cache.evict``, and
-``serve.run`` (program executions, wall seconds + output bytes).
+Observability: every engine owns a private, always-on
+:class:`~repro.obs.metrics.MetricsRegistry` — :meth:`EmbeddingEngine.stats`
+is its snapshot in the unified metrics-snapshot schema.  The same events
+mirror into the global :data:`repro.obs.OBS` registry when it is
+enabled, and the bulk path / micro-batcher open ``serve.request`` /
+``serve.batch`` trace spans when :data:`repro.obs.TRACER` is enabled.
+Counters: ``serve.requests``, ``serve.batches``, ``serve.batch.size``
+(batch-size histogram), ``serve.queue_wait`` (seconds spent queued,
+summed per batch), ``serve.cache.hit`` / ``serve.cache.miss`` /
+``serve.cache.evict``, ``serve.cache.size`` (occupancy gauge, set at
+snapshot time) and ``serve.run`` (program executions, wall seconds +
+output bytes).
 
 Program runs are serialized by a lock: the conv workspaces the kernels
 share (:mod:`repro.autograd.conv_ops`) are process-global mutable state.
@@ -37,8 +44,9 @@ import numpy as np
 
 from repro.errors import ServeError
 from repro.nn.module import Module
+from repro.obs import OBS, TRACER
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.compile import CompiledProgram, compile_features
-from repro.utils.profiling import PROFILER
 
 
 def _ingest(sample: object) -> np.ndarray:
@@ -103,13 +111,7 @@ class EmbeddingEngine:
         self.max_delay = float(max_delay)
         self.cache_size = int(cache_size)
         self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
-        self._stats = {
-            "requests": 0,
-            "batches": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "cache_evictions": 0,
-        }
+        self._metrics = MetricsRegistry(enabled=True)
         self._stats_lock = threading.Lock()
         self._run_lock = threading.Lock()
         self._queue: "queue.Queue[_Request]" = queue.Queue()
@@ -117,6 +119,26 @@ class EmbeddingEngine:
         self._worker_lock = threading.Lock()
         self._stop = threading.Event()
         self._closed = False
+
+    # -- metric recording -----------------------------------------------------
+    # The private registry feeds stats(); the global OBS registry gets the
+    # same events when it is enabled (the old PROFILER contract).  Callers
+    # hold no particular lock; the private registry is guarded here.
+
+    def _inc(self, name: str, n: int = 1, *, seconds: float = 0.0) -> None:
+        with self._stats_lock:
+            self._metrics.inc(name, n, seconds=seconds)
+        OBS.enabled and OBS.inc(name, n, seconds=seconds)
+
+    def _hist(self, name: str, value: object) -> None:
+        with self._stats_lock:
+            self._metrics.hist(name, value)
+        OBS.enabled and OBS.hist(name, value)
+
+    def _observe(self, name: str, seconds: float, nbytes: int = 0) -> None:
+        with self._stats_lock:
+            self._metrics.observe(name, seconds, bytes=nbytes)
+        OBS.enabled and OBS.observe(name, seconds, bytes=nbytes)
 
     # -- synchronous bulk path ------------------------------------------------
 
@@ -130,18 +152,19 @@ class EmbeddingEngine:
         if self._closed:
             raise ServeError("embed() on a closed EmbeddingEngine")
         images = _ingest(images)
-        chunks = []
-        for start in range(0, images.shape[0], batch_size):
-            chunks.append(self._run(images[start : start + batch_size]))
-        return np.concatenate(chunks, axis=0)
+        with TRACER.span(
+            "serve.request", kind="bulk", samples=int(images.shape[0])
+        ):
+            chunks = []
+            for start in range(0, images.shape[0], batch_size):
+                chunks.append(self._run(images[start : start + batch_size]))
+            return np.concatenate(chunks, axis=0)
 
     def _run(self, batch: np.ndarray) -> np.ndarray:
         with self._run_lock:
-            if not PROFILER.enabled:
-                return self.program.run(batch)
             start = time.perf_counter()
             out = self.program.run(batch)
-            PROFILER.record("serve.run", time.perf_counter() - start, out.nbytes)
+            self._observe("serve.run", time.perf_counter() - start, out.nbytes)
             return out
 
     # -- request path: micro-batched singles ----------------------------------
@@ -156,18 +179,11 @@ class EmbeddingEngine:
         if key is not None:
             cached = self._cache_get(key)
             if cached is not None:
-                with self._stats_lock:
-                    self._stats["requests"] += 1
-                    self._stats["cache_hits"] += 1
-                if PROFILER.enabled:
-                    PROFILER.bump("serve.requests")
-                    PROFILER.bump("serve.cache.hit")
+                self._inc("serve.requests")
+                self._inc("serve.cache.hit")
                 future.set_result(cached)
                 return future
-            with self._stats_lock:
-                self._stats["cache_misses"] += 1
-            if PROFILER.enabled:
-                PROFILER.bump("serve.cache.miss")
+            self._inc("serve.cache.miss")
         self._ensure_worker()
         self._queue.put(_Request(sample, key, future))
         return future
@@ -209,22 +225,19 @@ class EmbeddingEngine:
 
     def _process(self, requests: list[_Request]) -> None:
         queued = time.perf_counter()
-        try:
-            stacked = np.stack([request.sample for request in requests], axis=0)
-            out = self._run(stacked)
-        except BaseException as exc:  # surface kernel errors to every caller
-            for request in requests:
-                request.future.set_exception(exc)
-            return
-        with self._stats_lock:
-            self._stats["requests"] += len(requests)
-            self._stats["batches"] += 1
-        if PROFILER.enabled:
-            PROFILER.add("serve.requests", len(requests))
-            PROFILER.bump("serve.batches")
-            PROFILER.bump(f"serve.batch.size.{len(requests)}")
+        with TRACER.span("serve.batch", size=len(requests)):
+            try:
+                stacked = np.stack([request.sample for request in requests], axis=0)
+                out = self._run(stacked)
+            except BaseException as exc:  # surface kernel errors to every caller
+                for request in requests:
+                    request.future.set_exception(exc)
+                return
+            self._inc("serve.requests", len(requests))
+            self._inc("serve.batches")
+            self._hist("serve.batch.size", len(requests))
             waited = sum(queued - request.enqueued_at for request in requests)
-            PROFILER.add("serve.queue_wait", len(requests), seconds=waited)
+            self._inc("serve.queue_wait", len(requests), seconds=waited)
         for index, request in enumerate(requests):
             row = np.ascontiguousarray(out[index])
             if request.key is not None:
@@ -248,18 +261,23 @@ class EmbeddingEngine:
             self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
-                self._stats["cache_evictions"] += 1
-                if PROFILER.enabled:
-                    PROFILER.bump("serve.cache.evict")
+                self._metrics.inc("serve.cache.evict")
+                OBS.enabled and OBS.inc("serve.cache.evict")
 
     # -- lifecycle ------------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
-        """Snapshot of request/batch/cache counters plus cache occupancy."""
+    def stats(self) -> dict[str, dict]:
+        """The engine's counters in the unified metrics-snapshot schema.
+
+        Keys are the ``serve.*`` metric names; each value carries
+        ``kind`` / ``calls`` / ``seconds`` / ``bytes`` plus ``buckets``
+        for the batch-size histogram and ``value`` for the
+        ``serve.cache.size`` occupancy gauge (set at snapshot time).
+        See ``docs/observability.md``.
+        """
         with self._stats_lock:
-            snapshot = dict(self._stats)
-            snapshot["cache_size"] = len(self._cache)
-        return snapshot
+            self._metrics.gauge("serve.cache.size", len(self._cache))
+            return self._metrics.snapshot()
 
     def close(self) -> None:
         """Stop the worker (after draining queued work) and reject new calls."""

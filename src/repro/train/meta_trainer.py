@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.data.synthetic import SyntheticTaskData
 from repro.errors import TrainingError
+from repro.obs import OBS, TRACER
 from repro.train.trainer import Trainer
 from repro.utils.logging import get_logger
 
@@ -49,15 +50,19 @@ class MetaTrainer:
         if episodes <= 0:
             raise TrainingError(f"episodes must be positive, got {episodes}")
         log = EpisodeLog()
-        for episode in range(episodes):
-            dataset = self.task_datasets[rng.integers(0, len(self.task_datasets))]
-            index = rng.choice(len(dataset), size=min(batch_size, len(dataset)), replace=False)
-            loss = self.trainer.train_step(dataset.images[index], dataset.labels[index])
-            log.task_ids.append(dataset.task_id)
-            log.losses.append(loss)
-            if log_every and (episode + 1) % log_every == 0:
-                recent = float(np.mean(log.losses[-log_every:]))
-                _logger.info(
-                    "episode %d/%d  loss=%.4f", episode + 1, episodes, recent
-                )
+        with TRACER.span(
+            "train.episodes", episodes=episodes, tasks=len(self.task_datasets)
+        ):
+            for episode in range(episodes):
+                dataset = self.task_datasets[rng.integers(0, len(self.task_datasets))]
+                index = rng.choice(len(dataset), size=min(batch_size, len(dataset)), replace=False)
+                loss = self.trainer.train_step(dataset.images[index], dataset.labels[index])
+                log.task_ids.append(dataset.task_id)
+                log.losses.append(loss)
+                OBS.enabled and OBS.gauge("train.episode_loss", loss)
+                if log_every and (episode + 1) % log_every == 0:
+                    recent = float(np.mean(log.losses[-log_every:]))
+                    _logger.info(
+                        "episode %d/%d  loss=%.4f", episode + 1, episodes, recent
+                    )
         return log

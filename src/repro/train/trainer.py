@@ -1,4 +1,15 @@
-"""Supervised training loop."""
+"""Supervised training loop.
+
+Observability (:mod:`repro.obs`, off by default): ``fit()`` opens a
+``train.fit`` span with one ``train.epoch`` child per epoch,
+``train_step`` opens a ``train.step`` span and bumps the ``train.step``
+counter, and the per-epoch diagnostics land as gauges —
+``train.loss``, ``train.accuracy``, ``train.val_accuracy`` — while
+:meth:`Trainer.evaluate` records an ``eval.score`` span and the
+``eval.accuracy`` gauge, so ``repro trace`` splits training from
+evaluation time.  None of it draws from an RNG: trajectories are
+bit-identical with observability on or off.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +22,7 @@ from repro.autograd.tensor import Tensor, no_grad
 from repro.data.loaders import batches
 from repro.errors import TrainingError
 from repro.nn.module import Module
+from repro.obs import OBS, TRACER
 from repro.train.early_stopping import EarlyStopping
 from repro.train.losses import cross_entropy
 from repro.train.optim import Optimizer
@@ -60,23 +72,25 @@ class Trainer:
 
     def train_step(self, images: np.ndarray, labels: np.ndarray) -> float:
         """One optimization step; returns the batch loss."""
-        if self.schedule is not None:
-            self.optimizer.set_lr(self.schedule(self._step))
-        self.model.train()
-        self.optimizer.zero_grad()
-        logits = self.model(Tensor(images))
-        loss = self.loss_fn(logits, labels)
-        if not np.isfinite(loss.data).all():
-            raise TrainingError(
-                f"non-finite loss at step {self._step}; "
-                "lower the learning rate or enable grad_clip"
-            )
-        loss.backward()
-        if self.grad_clip is not None:
-            self._clip_gradients()
-        self.optimizer.step()
-        self._step += 1
-        return float(loss.data)
+        with TRACER.span("train.step", step=self._step):
+            if self.schedule is not None:
+                self.optimizer.set_lr(self.schedule(self._step))
+            self.model.train()
+            self.optimizer.zero_grad()
+            logits = self.model(Tensor(images))
+            loss = self.loss_fn(logits, labels)
+            if not np.isfinite(loss.data).all():
+                raise TrainingError(
+                    f"non-finite loss at step {self._step}; "
+                    "lower the learning rate or enable grad_clip"
+                )
+            loss.backward()
+            if self.grad_clip is not None:
+                self._clip_gradients()
+            self.optimizer.step()
+            self._step += 1
+            OBS.enabled and OBS.inc("train.step")
+            return float(loss.data)
 
     def _clip_gradients(self) -> None:
         total = 0.0
@@ -137,35 +151,47 @@ class Trainer:
             ).astype(np.int64)
             eval_images, eval_labels = images[subsample], labels[subsample]
         result = TrainResult()
-        for epoch in range(epochs):
-            epoch_losses = []
-            for x_batch, y_batch in batches(images, labels, batch_size, rng):
-                epoch_losses.append(self.train_step(x_batch, y_batch))
-            mean_loss = float(np.mean(epoch_losses))
-            result.losses.append(mean_loss)
-            accuracy = None
-            if train_eval != "off":
-                accuracy = self.evaluate(eval_images, eval_labels, batch_size)
-                result.accuracies.append(accuracy)
-            if validation is not None:
-                val_accuracy = self.evaluate(validation[0], validation[1], batch_size)
-                result.validation_accuracies.append(val_accuracy)
-                if early_stopping is not None and early_stopping.update(val_accuracy):
-                    _logger.info(
-                        "early stop at epoch %d/%d (best val acc %.3f)",
-                        epoch + 1,
-                        epochs,
-                        early_stopping.best,
-                    )
+        with TRACER.span("train.fit", epochs=epochs, batch_size=batch_size):
+            for epoch in range(epochs):
+                with TRACER.span("train.epoch", epoch=epoch):
+                    epoch_losses = []
+                    for x_batch, y_batch in batches(images, labels, batch_size, rng):
+                        epoch_losses.append(self.train_step(x_batch, y_batch))
+                    mean_loss = float(np.mean(epoch_losses))
+                    result.losses.append(mean_loss)
+                    OBS.enabled and OBS.gauge("train.loss", mean_loss)
+                    accuracy = None
+                    if train_eval != "off":
+                        accuracy = self.evaluate(eval_images, eval_labels, batch_size)
+                        result.accuracies.append(accuracy)
+                        OBS.enabled and OBS.gauge("train.accuracy", accuracy)
+                    stop = False
+                    if validation is not None:
+                        val_accuracy = self.evaluate(
+                            validation[0], validation[1], batch_size
+                        )
+                        result.validation_accuracies.append(val_accuracy)
+                        OBS.enabled and OBS.gauge("train.val_accuracy", val_accuracy)
+                        if early_stopping is not None and early_stopping.update(
+                            val_accuracy
+                        ):
+                            _logger.info(
+                                "early stop at epoch %d/%d (best val acc %.3f)",
+                                epoch + 1,
+                                epochs,
+                                early_stopping.best,
+                            )
+                            stop = True
+                    if log_every and (epoch + 1) % log_every == 0:
+                        _logger.info(
+                            "epoch %d/%d  loss=%.4f  acc=%s",
+                            epoch + 1,
+                            epochs,
+                            mean_loss,
+                            "n/a" if accuracy is None else f"{accuracy:.3f}",
+                        )
+                if stop:
                     break
-            if log_every and (epoch + 1) % log_every == 0:
-                _logger.info(
-                    "epoch %d/%d  loss=%.4f  acc=%s",
-                    epoch + 1,
-                    epochs,
-                    mean_loss,
-                    "n/a" if accuracy is None else f"{accuracy:.3f}",
-                )
         return result
 
     def evaluate(
@@ -180,10 +206,12 @@ class Trainer:
         was_training = getattr(self.model, "training", True)
         self.model.eval()
         correct = 0
-        with no_grad():
+        with TRACER.span("eval.score", samples=int(images.shape[0])), no_grad():
             for x_batch, y_batch in batches(images, labels, batch_size):
                 logits = self.model(Tensor(x_batch))
                 predictions = logits.data.argmax(axis=1)
                 correct += int((predictions == y_batch).sum())
         self.model.train(was_training)
-        return correct / images.shape[0]
+        accuracy = correct / images.shape[0]
+        OBS.enabled and OBS.gauge("eval.accuracy", accuracy)
+        return accuracy

@@ -1,53 +1,45 @@
-"""Lightweight per-op profiling registry.
+"""Legacy flat-profiler API — now a compatibility shim over ``repro.obs``.
 
-The autograd hot paths (einsum, conv2d) and the caches in front of them
-report into a process-wide :class:`Profiler`: per-op call counts,
-cumulative wall-time, and bytes allocated for op outputs.  Profiling is
-off by default and costs a single attribute check per op when disabled,
-so instrumentation can stay in the hot paths permanently.
+.. deprecated::
+    The per-op profiling registry this module used to own has been
+    replaced by the structured observability layer in :mod:`repro.obs`
+    (typed metrics + hierarchical trace spans).  Every internal call
+    site now reports into :data:`repro.obs.OBS`; this module keeps the
+    historical surface — :data:`PROFILER`, :class:`Profiler`,
+    :class:`OpStats`, :func:`profiled` — working unchanged on top of it.
 
-Typical use (what ``repro bench`` does)::
+The shim is *live*, not a fork: ``PROFILER`` shares the process-wide
+:data:`~repro.obs.metrics.METRICS` registry, so ``PROFILER.enable()``
+enables the new registry, events recorded through either API land in
+the same series, and ``PROFILER.snapshot()`` / ``as_dict()`` derive the
+**pre-redesign flat format** from the registry: dotted names mapping to
+``calls`` / ``seconds`` / ``bytes``, with histogram buckets flattened
+to their historical ``name.<bucket>`` spellings (``serve.batch.size.8``).
+A regression test pins that derived output equal to what the old
+profiler produced (``tests/utils/test_profiling.py``).
 
-    from repro.utils.profiling import PROFILER
-
-    PROFILER.enable()
-    ... run workload ...
-    for name, stats in PROFILER.snapshot().items():
-        print(name, stats.calls, stats.seconds, stats.bytes)
-    PROFILER.disable()
-
-Counter names are dotted: ``einsum.forward``, ``einsum.backward``,
-``conv2d.forward``, ``conv2d.backward``, ``einsum.plan_cache.hit`` /
-``.miss``, ``conv2d.patches_cache.hit`` / ``.miss``, plus the backward
-sweep counters ``backward.sweep`` (one call per ``backward()``, wall
-seconds), ``backward.inplace_accum`` (in-place gradient accumulations)
-and ``backward.released`` (graph nodes freed under the
-``backward_release`` memory diet).  The experiment runtime adds its
-fault-tolerance counters: ``retry.attempt`` / ``retry.backoff`` /
-``retry.recovered`` / ``retry.exhausted`` (the pool's retry machinery),
-``timeout.cell`` (cells killed by the per-cell soft timeout) and
-``faults.crash`` / ``faults.stall`` (injected ``REPRO_FAULTS`` test
-faults that fired).  The serving engine (``repro.serve``) emits
-``serve.requests`` / ``serve.batches`` / ``serve.batch.size.<n>`` (a
-batch-size histogram), ``serve.queue_wait`` (seconds requests spent
-queued), ``serve.cache.hit`` / ``serve.cache.miss`` /
-``serve.cache.evict`` (its LRU result cache) and ``serve.run``
-(compiled-program executions, wall seconds + output bytes).
+Counter names are unchanged: ``einsum.forward`` / ``einsum.backward``,
+``conv2d.forward`` / ``conv2d.backward``, ``einsum.plan_cache.hit`` /
+``.miss``, ``conv2d.patches_cache.hit`` / ``.miss``, the backward sweep
+counters (``backward.sweep`` / ``backward.inplace_accum`` /
+``backward.released``), the runtime's fault-tolerance counters
+(``retry.*`` / ``timeout.cell`` / ``faults.*``) and the serving
+counters (``serve.*``).  New code should use :data:`repro.obs.OBS`
+directly — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import contextlib
-import time
-from dataclasses import asdict, dataclass, field
-from typing import Callable, Iterator, TypeVar
+from dataclasses import asdict, dataclass
+from typing import Iterator
 
-F = TypeVar("F", bound=Callable)
+from repro.obs.metrics import METRICS, MetricsRegistry
 
 
 @dataclass
 class OpStats:
-    """Accumulated counters for one named operation."""
+    """Accumulated counters for one named operation (legacy view)."""
 
     calls: int = 0
     seconds: float = 0.0
@@ -59,74 +51,81 @@ class OpStats:
         self.bytes += nbytes
 
 
-@dataclass
 class Profiler:
-    """Process-wide registry of :class:`OpStats`, keyed by op name."""
+    """Flat-profiler facade over a :class:`~repro.obs.metrics.MetricsRegistry`.
 
-    enabled: bool = False
-    _stats: dict[str, OpStats] = field(default_factory=dict)
+    A bare ``Profiler()`` owns a private registry (what older tests and
+    callers construct for isolation); the module-level :data:`PROFILER`
+    wraps the shared :data:`repro.obs.METRICS` registry, so the legacy
+    and new APIs observe the same state.
+    """
+
+    def __init__(
+        self, enabled: bool = False, registry: MetricsRegistry | None = None
+    ) -> None:
+        self._registry = (
+            registry if registry is not None else MetricsRegistry(enabled=enabled)
+        )
+        if registry is not None and enabled:
+            self._registry.enable()
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._registry.enabled = bool(value)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing registry (the migration path off this shim)."""
+        return self._registry
 
     def enable(self) -> "Profiler":
-        self.enabled = True
+        self._registry.enable()
         return self
 
     def disable(self) -> "Profiler":
-        self.enabled = False
+        self._registry.disable()
         return self
 
     def reset(self) -> None:
-        self._stats.clear()
+        self._registry.reset()
 
     def record(self, name: str, seconds: float, nbytes: int = 0) -> None:
         """Add one completed call to ``name``'s counters (no-op if disabled)."""
-        if not self.enabled:
-            return
-        stats = self._stats.get(name)
-        if stats is None:
-            stats = self._stats[name] = OpStats()
-        stats.merge(seconds, nbytes)
+        self._registry.record_legacy(name, 1, seconds, nbytes, kind="timer")
 
     def bump(self, name: str, nbytes: int = 0) -> None:
         """Count an event with no duration (cache hits, allocations)."""
-        self.record(name, 0.0, nbytes)
+        self._registry.record_legacy(name, 1, 0.0, nbytes, kind="counter")
 
     def add(self, name: str, calls: int, seconds: float = 0.0, nbytes: int = 0) -> None:
-        """Fold ``calls`` pre-counted events into ``name`` at once.
-
-        Hot loops (e.g. the backward sweep) count locally and report once,
-        so the profiler costs one call per sweep instead of one per node.
-        """
-        if not self.enabled or calls <= 0:
-            return
-        stats = self._stats.get(name)
-        if stats is None:
-            stats = self._stats[name] = OpStats()
-        stats.calls += calls
-        stats.seconds += seconds
-        stats.bytes += nbytes
+        """Fold ``calls`` pre-counted events into ``name`` at once."""
+        self._registry.record_legacy(name, calls, seconds, nbytes, kind="counter")
 
     def merge_counters(self, counters: dict[str, dict[str, float]]) -> None:
         """Fold an :meth:`as_dict`-style snapshot into this profiler.
 
-        The parallel experiment runtime uses this to aggregate per-worker
-        profiler snapshots into the parent process.  Works even when the
-        profiler is disabled, since the events were already gated by the
-        worker's own profiler.
+        Accepts both the legacy flat format and the unified
+        metrics-snapshot schema (entries carrying a ``kind`` merge with
+        full fidelity).  Works even when disabled, since the merged
+        events were gated at their origin.
         """
-        for name, stats in counters.items():
-            own = self._stats.get(name)
-            if own is None:
-                own = self._stats[name] = OpStats()
-            own.calls += int(stats.get("calls", 0))
-            own.seconds += float(stats.get("seconds", 0.0))
-            own.bytes += int(stats.get("bytes", 0))
+        if any(isinstance(s, dict) and "kind" in s for s in counters.values()):
+            self._registry.merge(counters)
+        else:
+            self._registry.merge_legacy(counters)
 
     @contextlib.contextmanager
     def track(self, name: str, nbytes: int = 0) -> Iterator[None]:
         """Time the block and record it under ``name``."""
-        if not self.enabled:
+        if not self._registry.enabled:
             yield
             return
+        import time
+
         start = time.perf_counter()
         try:
             yield
@@ -134,19 +133,21 @@ class Profiler:
             self.record(name, time.perf_counter() - start, nbytes)
 
     def snapshot(self) -> dict[str, OpStats]:
-        """A copy of the current counters (safe to hold across resets)."""
+        """The pre-redesign flat view, derived from the registry."""
         return {
-            name: OpStats(stats.calls, stats.seconds, stats.bytes)
-            for name, stats in sorted(self._stats.items())
+            name: OpStats(
+                int(stats["calls"]), float(stats["seconds"]), int(stats["bytes"])
+            )
+            for name, stats in self._registry.legacy_counters().items()
         }
 
     def as_dict(self) -> dict[str, dict[str, float]]:
-        """JSON-friendly view of the counters."""
+        """JSON-friendly legacy view of the counters."""
         return {name: asdict(stats) for name, stats in self.snapshot().items()}
 
 
-#: The process-wide profiler every instrumented op reports into.
-PROFILER = Profiler()
+#: The process-wide shim; shares state with :data:`repro.obs.METRICS`.
+PROFILER = Profiler(registry=METRICS)
 
 
 @contextlib.contextmanager

@@ -1,0 +1,15 @@
+"""Keep the process-wide observability singletons clean between tests."""
+
+import pytest
+
+from repro.obs import OBS, TRACER
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Restore OBS/TRACER enabled-state and drop recorded data after each test."""
+    previous = (OBS.enabled, TRACER.enabled)
+    yield
+    OBS.enabled, TRACER.enabled = previous
+    OBS.reset()
+    TRACER.reset()

@@ -1,0 +1,87 @@
+"""Cross-process observability: worker span/counter merge-back in the pool."""
+
+import pytest
+
+from repro.obs import OBS, TRACER, observed
+from repro.runtime import fork_available
+from repro.runtime.pool import run_cells
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="no fork start method")
+
+
+def _work(cell: int) -> int:
+    """Module-level so it pickles into pool workers; records one counter."""
+    OBS.enabled and OBS.inc("pooltest.units", cell, bytes=cell)
+    return cell * 2
+
+
+class TestWorkerMergeBack:
+    @needs_fork
+    def test_worker_spans_attach_under_the_open_parent_span(self):
+        with observed():
+            with TRACER.span("batch") as parent:
+                results = run_cells(_work, [1, 2, 3], jobs=2, span_name="test.cell")
+            assert [r.value for r in results] == [2, 4, 6]
+            assert sorted(c.name for c in parent.children) == ["test.cell"] * 3
+            assert sorted(c.attrs["key"] for c in parent.children) == ["1", "2", "3"]
+            snap = OBS.snapshot()
+        assert snap["pooltest.units"]["calls"] == 6
+        assert snap["pooltest.units"]["bytes"] == 6
+
+    @needs_fork
+    def test_worker_spans_carry_their_metric_deltas(self):
+        with observed():
+            with TRACER.span("batch") as parent:
+                run_cells(_work, [4], jobs=2, span_name="test.cell")
+            (cell_span,) = parent.children
+        delta = cell_span.metrics["pooltest.units"]
+        assert delta["calls"] == 4
+        assert delta["bytes"] == 4
+
+    def test_serial_cells_nest_in_process(self):
+        with observed():
+            with TRACER.span("batch") as parent:
+                run_cells(_work, [1, 2], jobs=1, span_name="test.cell")
+            assert [c.name for c in parent.children] == ["test.cell", "test.cell"]
+            snap = OBS.snapshot()
+        assert snap["pooltest.units"]["calls"] == 3
+
+    @needs_fork
+    def test_counters_are_identical_serial_vs_parallel(self):
+        # The merge-back is bit-identical for counter payloads: the same
+        # cells produce the same calls/bytes at any worker count.
+        def counted(jobs: int) -> tuple:
+            with observed(trace=False):
+                OBS.reset()
+                run_cells(_work, [1, 2, 3, 4], jobs=jobs)
+                entry = OBS.snapshot()["pooltest.units"]
+                return entry["calls"], entry["bytes"]
+
+        assert counted(1) == counted(2)
+
+    @needs_fork
+    def test_retry_records_counters_and_a_parent_event(self, monkeypatch):
+        # Crash cell "2" on attempt 0 only; the retry must recover it and
+        # leave both the retry counters and a span event behind.
+        monkeypatch.setenv("REPRO_FAULTS", "crash:2:1")
+        with observed():
+            with TRACER.span("batch") as parent:
+                results = run_cells(
+                    _work,
+                    [1, 2],
+                    jobs=2,
+                    max_retries=1,
+                    retry_backoff=0.0,
+                    span_name="test.cell",
+                )
+            assert all(r.ok for r in results)
+            snap = OBS.snapshot()
+        assert snap["retry.attempt"]["calls"] == 1
+        assert snap["retry.recovered"]["calls"] == 1
+        assert snap["faults.crash"]["calls"] == 1
+        (event,) = [e for e in parent.events if e["name"] == "retry"]
+        assert event["attrs"]["cells"] == 1
+        # The crashed attempt's span ships back too, marked as an error.
+        statuses = sorted((c.attrs["key"], c.status) for c in parent.children)
+        assert ("2", "error") in statuses
+        assert ("2", "ok") in statuses

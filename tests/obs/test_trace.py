@@ -1,0 +1,202 @@
+"""Tracer semantics: nesting, events, deltas, JSONL round-trip, reporting."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    OBS,
+    TRACER,
+    Span,
+    Tracer,
+    build_trees,
+    load_trace,
+    observed,
+    render_trace_report,
+    render_trace_target,
+    resolve_trace_path,
+    write_trace,
+)
+from repro.obs.trace import _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        (root,) = tracer.drain()
+        assert root["name"] == "parent"
+        (child,) = root["children"]
+        assert child["name"] == "child"
+        assert child["children"][0]["name"] == "grandchild"
+
+    def test_sequential_roots_stay_separate(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        roots = tracer.drain()
+        assert [r["name"] for r in roots] == ["first", "second"]
+        assert tracer.drain() == []  # drain pops
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("work", seed=0):
+                raise ValueError("boom")
+        (root,) = tracer.drain()
+        assert root["status"] == "error"
+        assert root["attrs"]["error"] == "ValueError: boom"
+        assert root["attrs"]["seed"] == 0
+
+    def test_event_attaches_to_innermost_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("retry", attempt=1)
+        (root,) = tracer.drain()
+        assert root["events"] == []
+        (event,) = root["children"][0]["events"]
+        assert event["name"] == "retry"
+        assert event["attrs"] == {"attempt": 1}
+
+    def test_event_without_open_span_is_a_noop(self):
+        tracer = Tracer(enabled=True)
+        tracer.event("orphan")
+        assert tracer.drain() == []
+
+    def test_disabled_span_is_the_shared_null_manager(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything", key=1) is _NULL_SPAN
+        with tracer.span("anything"):
+            pass
+        assert tracer.drain() == []
+
+    def test_current_exposes_the_open_span(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current() is None
+        with tracer.span("open") as span:
+            assert tracer.current() is span
+
+
+class TestMetricDeltas:
+    def test_span_records_the_metric_delta_of_its_region(self):
+        with observed():
+            OBS.inc("before.noise", 5)
+            with TRACER.span("region"):
+                OBS.inc("work.done", 2, bytes=10)
+            (root,) = TRACER.drain()
+        assert root["metrics"] == {"work.done": {"calls": 2, "seconds": 0.0, "bytes": 10}}
+
+    def test_no_delta_without_metrics_enabled(self):
+        TRACER.enable()
+        try:
+            with TRACER.span("region"):
+                pass
+            (root,) = TRACER.drain()
+        finally:
+            TRACER.disable()
+        assert root["metrics"] == {}
+
+
+class TestAbsorb:
+    def test_absorb_attaches_under_open_span(self):
+        tracer = Tracer(enabled=True)
+        shipped = Span("worker.cell", {"key": "0/lora"})
+        with tracer.span("parent"):
+            tracer.absorb([shipped.to_dict()])
+        (root,) = tracer.drain()
+        assert [c["name"] for c in root["children"]] == ["worker.cell"]
+
+    def test_absorb_without_open_span_creates_roots(self):
+        tracer = Tracer(enabled=False)  # absorb works regardless of enabled
+        tracer.absorb([Span("worker.cell", {}).to_dict()])
+        (root,) = tracer.drain()
+        assert root["name"] == "worker.cell"
+
+
+class TestJsonlRoundTrip:
+    def roots(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("grid", jobs=2):
+            with tracer.span("cell", key="0/lora"):
+                tracer.event("retry", attempt=1)
+            with tracer.span("cell", key="0/original"):
+                pass
+        return tracer.drain()
+
+    def test_write_load_build_trees_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_trace(path, self.roots())
+        assert written == 3
+        records = load_trace(path)
+        assert len(records) == 3
+        (tree,) = build_trees(records)
+        assert tree["name"] == "grid"
+        assert [c["name"] for c in tree["children"]] == ["cell", "cell"]
+        assert tree["children"][0]["events"][0]["name"] == "retry"
+
+    def test_appended_exports_never_collide(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, self.roots())
+        write_trace(path, self.roots())  # a resumed run appends
+        records = load_trace(path)
+        assert len(records) == 6
+        trees = build_trees(records)
+        assert [t["name"] for t in trees] == ["grid", "grid"]
+        assert len({r["trace"] for r in records}) == 2
+
+    def test_write_trace_with_no_spans_writes_nothing(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(path, []) == 0
+        assert not path.exists()
+
+    def test_load_trace_rejects_junk(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "ok", "id": 1}\nnot json\n')
+        with pytest.raises(ObsError, match="unparsable"):
+            load_trace(path)
+        path.write_text('{"id": 1}\n')
+        with pytest.raises(ObsError, match="not a span record"):
+            load_trace(path)
+
+    def test_orphan_parents_surface_as_roots(self):
+        records = [
+            {"trace": "t", "id": 2, "parent": 99, "name": "orphan"},
+        ]
+        (tree,) = build_trees(records)
+        assert tree["name"] == "orphan"
+
+
+class TestReport:
+    def test_report_renders_tree_phases_and_slowest(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, TestJsonlRoundTrip().roots())
+        report = render_trace_target(tmp_path)
+        assert "trace report" in report
+        assert "grid" in report and "cell" in report
+        assert "per-phase breakdown" in report
+        assert "slowest" in report
+
+    def test_error_spans_are_marked(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("x")
+        report = render_trace_report(
+            [dict(r, trace="t", id=i + 1, parent=None) for i, r in enumerate(tracer.drain())]
+        )
+        assert "!ERROR" in report
+        assert "1 error(s)" in report
+
+    def test_empty_records_render_a_stub(self):
+        assert "no spans" in render_trace_report([])
+
+    def test_resolve_trace_path_errors(self, tmp_path):
+        with pytest.raises(ObsError, match="--out-dir"):
+            resolve_trace_path(tmp_path)  # a dir without a trace export
+        with pytest.raises(ObsError, match="no trace file"):
+            resolve_trace_path(tmp_path / "missing.jsonl")

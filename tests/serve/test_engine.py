@@ -61,17 +61,22 @@ class TestMicroBatcher:
             for index, row in enumerate(rows):
                 assert np.array_equal(row, bulk[index])
             stats = engine.stats()
-            assert stats["requests"] == 6
+            assert stats["serve.requests"]["calls"] == 6
             # A generous max_delay lets the worker coalesce: strictly fewer
             # program runs than requests.
-            assert 1 <= stats["batches"] < 6
+            assert 1 <= stats["serve.batches"]["calls"] < 6
+            # stats() speaks the unified metrics-snapshot schema.
+            assert all("kind" in entry for entry in stats.values())
+            assert sum(stats["serve.batch.size"]["buckets"].values()) == (
+                stats["serve.batches"]["calls"]
+            )
 
     def test_flush_on_timeout_without_filling_batch(self, model, rng):
         with build_engine(model, max_batch=64, max_delay=0.01, cache_size=0) as engine:
             future = engine.submit(samples_for(rng, 1)[0])
             row = future.result(timeout=10.0)
             assert row.shape == (engine.embed(samples_for(rng, 1)).shape[1],)
-            assert engine.stats()["batches"] == 1
+            assert engine.stats()["serve.batches"]["calls"] == 1
 
     def test_batch_size_counters(self, model, rng):
         images = samples_for(rng, 3)
@@ -96,20 +101,21 @@ class TestResultCache:
             second = resolve([engine.submit(sample)])[0]
             assert np.array_equal(first, second)
             stats = engine.stats()
-            assert stats["cache_hits"] == 1
-            assert stats["cache_misses"] == 1
-            assert stats["batches"] == 1  # the hit never reached the program
+            assert stats["serve.cache.hit"]["calls"] == 1
+            assert stats["serve.cache.miss"]["calls"] == 1
+            # The hit never reached the program.
+            assert stats["serve.batches"]["calls"] == 1
 
     def test_lru_eviction(self, model, rng):
         images = samples_for(rng, 3)
         with build_engine(model, max_delay=0.0, cache_size=2) as engine:
             resolve([engine.submit(sample) for sample in images])
             stats = engine.stats()
-            assert stats["cache_evictions"] >= 1
-            assert stats["cache_size"] <= 2
+            assert stats["serve.cache.evict"]["calls"] >= 1
+            assert stats["serve.cache.size"]["value"] <= 2
             # The oldest entry is gone: resubmitting it misses again.
             resolve([engine.submit(images[0])])
-            assert engine.stats()["cache_misses"] >= 4
+            assert engine.stats()["serve.cache.miss"]["calls"] >= 4
 
     def test_cached_rows_survive_caller_mutation(self, model, rng):
         sample = samples_for(rng, 1)[0]
@@ -124,8 +130,8 @@ class TestResultCache:
         with build_engine(model, max_delay=0.0, cache_size=0) as engine:
             resolve([engine.submit(sample), engine.submit(sample)])
             stats = engine.stats()
-            assert stats["cache_hits"] == 0
-            assert stats["batches"] >= 1
+            assert "serve.cache.hit" not in stats  # caching never engaged
+            assert stats["serve.batches"]["calls"] >= 1
 
 
 class TestLifecycle:

@@ -49,6 +49,12 @@ class TestParser:
         inspect = build_parser().parse_args(["inspect", "--backbone", "mixer"])
         assert table1.backbone == inspect.backbone == "mixer"
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "runs/t1"])
+        assert args.target == "runs/t1"
+        assert args.depth == 4
+        assert args.top == 8
+
     def test_inspect_defaults(self):
         args = build_parser().parse_args(["inspect"])
         assert args.method == "meta_lora_tr"
@@ -119,6 +125,24 @@ class TestCommands:
         assert main(["table1", "--jobs", jobs]) == 2
         err = capsys.readouterr().err
         assert "jobs must be >= 1" in err
+
+    def test_trace_renders_exported_spans(self, capsys, tmp_path):
+        from repro.obs import Tracer, write_trace
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("table1.grid", jobs=2):
+            with tracer.span("table1.cell", key="(0, 'lora')"):
+                pass
+        write_trace(tmp_path / "trace.jsonl", tracer.drain())
+        assert main(["trace", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace report" in out
+        assert "table1.grid" in out
+        assert "table1.cell" in out
+
+    def test_trace_without_export_fails_gracefully(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path)]) == 2
+        assert "--out-dir" in capsys.readouterr().err
 
     def test_table1_partial_report_on_failures(self, capsys, monkeypatch):
         import repro.runtime as runtime

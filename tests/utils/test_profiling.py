@@ -1,9 +1,16 @@
-"""Tests for the per-op profiling registry."""
+"""Tests for the legacy profiler shim over ``repro.obs``.
+
+``TestProfiler`` / ``TestGlobalProfilerInstrumentation`` predate the
+redesign and run unchanged — the shim's compatibility contract.
+``TestLegacyShimRegression`` additionally pins the derived output format
+to what the pre-redesign flat profiler produced.
+"""
 
 import numpy as np
 
 from repro.autograd import Tensor
 from repro.autograd import conv_ops, ops
+from repro.obs import OBS
 from repro.utils.profiling import PROFILER, OpStats, Profiler, profiled
 
 
@@ -89,3 +96,67 @@ class TestGlobalProfilerInstrumentation:
             counters = profiler.as_dict()
         assert counters["conv2d.forward"]["calls"] >= 1
         assert counters["conv2d.backward"]["calls"] >= 1
+
+
+class TestLegacyShimRegression:
+    """Pin the shim's derived output to the pre-redesign flat format."""
+
+    def test_global_profiler_shares_the_obs_registry(self):
+        assert PROFILER.registry is OBS
+
+    def test_as_dict_matches_the_pre_redesign_format_exactly(self):
+        profiler = Profiler(enabled=True)
+        profiler.record("einsum.forward", 0.5, 100)
+        profiler.record("einsum.forward", 0.25, 28)
+        profiler.bump("einsum.plan_cache.hit")
+        assert profiler.as_dict() == {
+            "einsum.forward": {"calls": 2, "seconds": 0.75, "bytes": 128},
+            "einsum.plan_cache.hit": {"calls": 1, "seconds": 0.0, "bytes": 0},
+        }
+
+    def test_obs_recorded_events_are_visible_through_the_shim(self):
+        profiler = Profiler(enabled=True)
+        reg = profiler.registry
+        reg.inc("serve.batches", 3)
+        reg.observe("serve.run", 0.5, bytes=64)
+        reg.hist("serve.batch.size", 8)
+        reg.hist("serve.batch.size", 8)
+        reg.hist("serve.batch.size", 32)
+        flat = profiler.as_dict()
+        # Histograms flatten to their historical name.<bucket> spelling.
+        assert flat["serve.batch.size.8"] == {"calls": 2, "seconds": 0.0, "bytes": 0}
+        assert flat["serve.batch.size.32"] == {"calls": 1, "seconds": 0.0, "bytes": 0}
+        assert "serve.batch.size" not in flat
+        assert flat["serve.batches"]["calls"] == 3
+        assert flat["serve.run"] == {"calls": 1, "seconds": 0.5, "bytes": 64}
+
+    def test_snapshot_yields_opstats_values(self):
+        profiler = Profiler(enabled=True)
+        profiler.record("op", 0.5, 10)
+        stats = profiler.snapshot()["op"]
+        assert isinstance(stats, OpStats)
+        assert (stats.calls, stats.seconds, stats.bytes) == (1, 0.5, 10)
+
+    def test_merge_counters_accepts_both_schemas(self):
+        target = Profiler()  # disabled: merges still land, as before
+        target.merge_counters({"op": {"calls": 2, "seconds": 0.5, "bytes": 8}})
+        target.merge_counters(
+            {
+                "op": {"kind": "counter", "calls": 1, "seconds": 0.5, "bytes": 2},
+                "sizes": {"kind": "histogram", "calls": 1, "seconds": 0.0,
+                          "bytes": 0, "buckets": {"8": 1}},
+            }
+        )
+        flat = target.as_dict()
+        assert flat["op"] == {"calls": 3, "seconds": 1.0, "bytes": 10}
+        assert flat["sizes.8"]["calls"] == 1
+
+    def test_enable_disable_round_trip_drives_the_registry(self):
+        profiler = Profiler(enabled=True)
+        assert profiler.registry.enabled
+        profiler.disable()
+        profiler.record("op", 1.0, 1)
+        assert profiler.as_dict() == {}
+        profiler.enable()
+        profiler.bump("op")
+        assert profiler.as_dict()["op"]["calls"] == 1
