@@ -16,10 +16,36 @@ PYTHONPATH=src python -m pytest tests/bench -m bench_smoke -q
 # All three suites run (autograd, table1, serve); the serve suite asserts
 # compiled-vs-reference bit-exactness in-process, so BENCH_serve.json
 # existing at all means the compiled engine matched exactly.
-PYTHONPATH=src python -m repro bench --out "$out_dir" --scale tiny --repeats 2 --jobs 2
+# --tenants 3 sizes the serve suite's multi_tenant section: one static
+# merged-LoRA tenant plus two seed-slot tenants, with one hot swap.
+PYTHONPATH=src python -m repro bench --out "$out_dir" --scale tiny --repeats 2 --jobs 2 --tenants 3
 for record in BENCH_autograd.json BENCH_table1.json BENCH_serve.json; do
   test -f "$out_dir/$record" || { echo "bench_smoke: missing $record" >&2; exit 1; }
 done
+
+# The multi-tenant section must be present, validate against the schema,
+# and pin the cross-tenant stacking identity (bit_identical is asserted
+# in-process while the bench runs; the record carries the pin).
+PYTHONPATH=src python - "$out_dir/BENCH_serve.json" <<'PYEOF'
+import json, sys
+
+from repro.bench import validate_bench_record
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    record = json.load(handle)
+validate_bench_record(record)
+multi = record.get("multi_tenant")
+assert multi, "bench_smoke: BENCH_serve.json has no multi_tenant section"
+assert multi["tenants"] == 3, multi["tenants"]
+assert multi["seed_slot_tenants"] == 2
+assert multi["swaps"] == 1
+assert multi["bit_identical"] is True
+print(
+    "bench_smoke: multi_tenant ok "
+    f"(speedup {multi['speedup']:.2f}x, "
+    f"seed-slot {multi['seed_slot']['speedup']:.2f}x)"
+)
+PYEOF
 
 # Durable-run smoke: inject a crash into one cell so the first run exits 1
 # with a partial report and a checkpointed run dir, then resume it clean.

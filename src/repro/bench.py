@@ -379,6 +379,12 @@ _SERVE_SCALES = {
     "small": {"samples": 64, "image": 16, "batch": 16},
 }
 
+#: request-mix sizes for the multi-tenant serve bench per scale.
+_MULTI_TENANT_SCALES = {
+    "tiny": {"rounds": 4, "per_tenant": 1},
+    "small": {"rounds": 8, "per_tenant": 2},
+}
+
 
 def _serve_models() -> list[tuple[str, object]]:
     """The Table I backbones plus a meta-adapted resnet (the unmergeable case)."""
@@ -427,7 +433,234 @@ def _percentile_ms(latencies: list[float], q: float) -> float:
     return float(np.percentile(np.asarray(latencies) * 1e3, q))
 
 
-def run_serve_bench(scale: str = "tiny", repeats: int = 3) -> dict:
+def _multi_tenant_models(tenants: int) -> tuple[object, list[object]]:
+    """One merged-LoRA static tenant plus ``tenants - 1`` MetaLoRA tenants.
+
+    The meta tenants are built from identical seeds and then given distinct
+    mapping-net weights: byte-identical extractor/backbone states mean the
+    registry shares one extractor and one body program across all of them,
+    which is what makes their requests stackable.
+    """
+    from repro.models import FeatureExtractor, resnet_small
+    from repro.peft import MetaLoRAModel, attach
+    from repro.utils.rng import new_rng
+
+    num_classes = 4
+
+    def randomize_zeros(model: object, rng: np.random.Generator) -> None:
+        for param in model.parameters():
+            if not np.any(param.data):
+                param.data[...] = (
+                    rng.normal(size=param.data.shape) * 0.2
+                ).astype(param.data.dtype)
+
+    backbone = resnet_small(num_classes, new_rng(20))
+    static = attach(backbone, "lora", rank=2, rng=new_rng(21))
+    randomize_zeros(backbone, np.random.default_rng(22))
+
+    metas = []
+    for index in range(tenants - 1):
+        meta_backbone = resnet_small(num_classes, new_rng(30))
+        result = attach(meta_backbone, "meta_tr", rank=2, rng=new_rng(31))
+        extractor = FeatureExtractor(resnet_small(num_classes, new_rng(32)))
+        meta = MetaLoRAModel(meta_backbone, extractor, rng=new_rng(33), adapters=result)
+        randomize_zeros(meta, np.random.default_rng(34))
+        if index:  # tenant-specific fine-tune: perturb only the mapping net
+            mapping_rng = np.random.default_rng(40 + index)
+            meta.trunk.weight.data[...] += (
+                mapping_rng.normal(size=meta.trunk.weight.data.shape) * 0.05
+            )
+            for head in meta.heads:
+                head.weight.data[...] += (
+                    mapping_rng.normal(size=head.weight.data.shape) * 0.05
+                )
+        metas.append(meta)
+    return static, metas
+
+
+def run_multi_tenant_bench(
+    scale: str = "tiny", repeats: int = 3, tenants: int = 4, swaps: int = 1
+) -> dict:
+    """Cross-tenant stacking vs per-tenant serial dispatch, plus churn.
+
+    Serves ``rounds`` rounds of a heterogeneous request mix (every tenant
+    contributes ``per_tenant`` samples per round) two ways through the
+    *same* :class:`~repro.serve.registry.MultiTenantEngine`:
+
+    - **serial**: one ``dispatch()`` call per request — no cross-tenant
+      batching, the per-tenant-deployment baseline;
+    - **grouped**: one ``dispatch()`` call per round — seed-slot tenants
+      sharing extractor/body programs get stacked into shared runs.
+
+    Both paths are asserted bit-identical to per-tenant single-engine
+    references in-process, so a record with ``bit_identical: false``
+    cannot be produced.  ``swaps`` hot-swaps are applied afterwards and
+    asserted to change the swapped tenant's output.
+    """
+    from repro.serve import MultiTenantEngine, build_engine
+
+    if tenants < 3:
+        raise ValueError(
+            f"multi-tenant bench needs >= 3 tenants "
+            f"(>= 2 seed-slot tenants to stack), got {tenants}"
+        )
+    sizes = _SERVE_SCALES[scale]
+    mix = _MULTI_TENANT_SCALES[scale]
+    rounds, per_tenant = mix["rounds"], mix["per_tenant"]
+    static, metas = _multi_tenant_models(tenants)
+    names = ["static"] + [f"meta_{index}" for index in range(len(metas))]
+    sources = dict(zip(names, [static, *metas]))
+
+    data_rng = np.random.default_rng(8)
+    images = {
+        name: data_rng.normal(
+            size=(rounds * per_tenant, 3, sizes["image"], sizes["image"])
+        ).astype(np.float32)
+        for name in names
+    }
+
+    # Per-tenant single-engine references (also merges the static LoRA).
+    # Two chunkings, because the meta mapping net is *not* batch-composition
+    # invariant (that's why grouped dispatch runs it per-tenant): the serial
+    # path serves one row at a time, the grouped path ``per_tenant`` rows.
+    reference_serial, reference_grouped = {}, {}
+    for name in names:
+        with build_engine(sources[name], cache_size=0) as single:
+            reference_serial[name] = single.embed(images[name], batch_size=1)
+            reference_grouped[name] = single.embed(images[name], batch_size=per_tenant)
+
+    engine = MultiTenantEngine(cache_size=0)
+    try:
+        for name in names:
+            engine.register(name, sources[name])
+        meta_entries = [engine.registry.get(name) for name in names[1:]]
+        if any(entry.body is not meta_entries[0].body for entry in meta_entries):
+            raise ValueError(
+                "multi-tenant bench: seed-slot tenants failed to share a body "
+                "program; cross-tenant stacking would be meaningless"
+            )
+
+        round_batches = [
+            [
+                (name, images[name][round_index * per_tenant + offset])
+                for name in names
+                for offset in range(per_tenant)
+            ]
+            for round_index in range(rounds)
+        ]
+        requests = sum(len(batch) for batch in round_batches)
+
+        def check_rows(
+            rows_by_round: list[list[np.ndarray]],
+            reference: dict[str, np.ndarray],
+            label: str,
+        ) -> None:
+            for round_index, rows in enumerate(rows_by_round):
+                for position, ((name, __), row) in enumerate(
+                    zip(round_batches[round_index], rows)
+                ):
+                    offset = position % per_tenant
+                    expected = reference[name][round_index * per_tenant + offset]
+                    if not np.array_equal(row, expected):
+                        raise ValueError(
+                            f"multi-tenant bench: {label} row for tenant "
+                            f"{name!r} diverged from its single-tenant engine"
+                        )
+
+        def serve_serial() -> list[list[np.ndarray]]:
+            return [
+                [engine.dispatch([pair])[0] for pair in batch]
+                for batch in round_batches
+            ]
+
+        def serve_grouped() -> list[list[np.ndarray]]:
+            return [engine.dispatch(batch) for batch in round_batches]
+
+        check_rows(serve_serial(), reference_serial, "serial")
+        check_rows(serve_grouped(), reference_grouped, "grouped")
+
+        serial_seconds, __ = time_calls(serve_serial, repeats=repeats)
+        grouped_seconds, __ = time_calls(serve_grouped, repeats=repeats)
+
+        # Seed-slot tenants only: the stacking claim in isolation.
+        seed_batches = [
+            [pair for pair in batch if pair[0] != "static"]
+            for batch in round_batches
+        ]
+        seed_serial_seconds, __ = time_calls(
+            lambda: [
+                [engine.dispatch([pair]) for pair in batch] for batch in seed_batches
+            ],
+            repeats=repeats,
+        )
+        seed_grouped_seconds, __ = time_calls(
+            lambda: [engine.dispatch(batch) for batch in seed_batches],
+            repeats=repeats,
+        )
+
+        # Churn: hot-swap the last seed-slot tenant with freshly perturbed
+        # mapping weights; the swapped tenant must serve new rows.
+        swapped = names[-1]
+        probe = images[swapped][0]
+        before = engine.dispatch([(swapped, probe)])[0]
+        for swap_index in range(swaps):
+            __, fresh_metas = _multi_tenant_models(tenants)
+            donor = fresh_metas[-1]
+            churn_rng = np.random.default_rng(100 + swap_index)
+            donor.trunk.weight.data[...] += (
+                churn_rng.normal(size=donor.trunk.weight.data.shape) * 0.05
+            )
+            engine.swap(swapped, donor)
+        if swaps:
+            after = engine.dispatch([(swapped, probe)])[0]
+            if np.array_equal(before, after):
+                raise ValueError(
+                    f"multi-tenant bench: hot-swapping {swapped!r} did not "
+                    f"change its served output"
+                )
+
+        cache_stats = engine.registry.stats()
+
+        def cache_calls(name: str) -> int:
+            return int(cache_stats.get(name, {}).get("calls", 0))
+
+        hit = cache_calls("serve.program_cache.hit")
+        miss = cache_calls("serve.program_cache.miss")
+        evict = cache_calls("serve.program_cache.evict")
+    finally:
+        engine.close()
+
+    return {
+        "tenants": tenants,
+        "seed_slot_tenants": len(metas),
+        "static_tenants": 1,
+        "rounds": rounds,
+        "per_tenant": per_tenant,
+        "requests": requests,
+        "swaps": swaps,
+        "serial_seconds": float(serial_seconds),
+        "grouped_seconds": float(grouped_seconds),
+        "speedup": float(serial_seconds / max(grouped_seconds, 1e-12)),
+        "seed_slot": {
+            "serial_seconds": float(seed_serial_seconds),
+            "grouped_seconds": float(seed_grouped_seconds),
+            "speedup": float(seed_serial_seconds / max(seed_grouped_seconds, 1e-12)),
+        },
+        "throughput": {
+            "serial": float(requests / max(serial_seconds, 1e-12)),
+            "grouped": float(requests / max(grouped_seconds, 1e-12)),
+        },
+        "program_cache": {
+            "hit": hit,
+            "miss": miss,
+            "evict": evict,
+            "hit_rate": float(hit / max(hit + miss, 1)),
+        },
+        "bit_identical": True,
+    }
+
+
+def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> dict:
     """Naive / batched-autograd / compiled-engine serving comparison.
 
     Unlike :func:`_measure`, every path here runs under the *same*
@@ -435,6 +668,10 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3) -> dict:
     bit-identical to the reference ``extract_embeddings`` under identical
     flags — that check is asserted in-process, so a record with a nonzero
     ``max_abs_diff`` cannot be produced.
+
+    ``tenants >= 3`` additionally runs :func:`run_multi_tenant_bench` and
+    attaches its result as the record's ``multi_tenant`` section
+    (``tenants=0`` disables it).
     """
     from repro.eval.embeddings import extract_embeddings
     from repro.serve import build_engine
@@ -506,7 +743,13 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3) -> dict:
                 "counters": counters,
             }
         )
-    return _finish_record("serve", scale, repeats, entries)
+    record = _finish_record("serve", scale, repeats, entries)
+    if tenants:
+        record["multi_tenant"] = run_multi_tenant_bench(
+            scale=scale, repeats=repeats, tenants=tenants
+        )
+        validate_bench_record(record)
+    return record
 
 
 # -- record assembly / validation / io ----------------------------------------
@@ -621,6 +864,50 @@ def validate_bench_record(record: dict) -> None:
                    f"parallel.{key} must be a finite float > 0")
         expect(parallel.get("rows_equal") is True,
                "parallel.rows_equal must be True (equality is asserted in-process)")
+    multi = record.get("multi_tenant")
+    if multi is not None:
+        expect(record.get("kind") == "serve", "multi_tenant section is serve-only")
+        expect(isinstance(multi, dict), "multi_tenant must be a dict")
+        for key, floor in (
+            ("tenants", 3),
+            ("seed_slot_tenants", 2),
+            ("static_tenants", 1),
+            ("rounds", 1),
+            ("per_tenant", 1),
+            ("requests", 1),
+            ("swaps", 0),
+        ):
+            value = multi.get(key)
+            expect(isinstance(value, int) and value >= floor,
+                   f"multi_tenant.{key} must be an int >= {floor}")
+        for table, prefix in ((multi, "multi_tenant"), (multi.get("seed_slot"), "multi_tenant.seed_slot")):
+            expect(isinstance(table, dict), f"{prefix} must be a dict")
+            for key in ("serial_seconds", "grouped_seconds", "speedup"):
+                value = table.get(key)
+                expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                       f"{prefix}.{key} must be a finite float > 0")
+        throughput = multi.get("throughput")
+        expect(isinstance(throughput, dict), "multi_tenant.throughput must be a dict")
+        for key in ("serial", "grouped"):
+            value = throughput.get(key)
+            expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                   f"multi_tenant.throughput.{key} must be a finite float > 0")
+        cache = multi.get("program_cache")
+        expect(isinstance(cache, dict), "multi_tenant.program_cache must be a dict")
+        for key in ("hit", "miss", "evict"):
+            value = cache.get(key)
+            expect(isinstance(value, int) and value >= 0,
+                   f"multi_tenant.program_cache.{key} must be an int >= 0")
+        expect(cache.get("hit", 0) >= 1,
+               "multi_tenant.program_cache.hit must be >= 1 "
+               "(seed-slot tenants must share programs)")
+        rate = cache.get("hit_rate")
+        expect(
+            isinstance(rate, (int, float)) and np.isfinite(rate) and 0.0 <= rate <= 1.0,
+            "multi_tenant.program_cache.hit_rate must be in [0, 1]",
+        )
+        expect(multi.get("bit_identical") is True,
+               "multi_tenant.bit_identical must be True (identity is asserted in-process)")
 
 
 #: Suite name -> bench runner, in emission order.
@@ -637,12 +924,15 @@ def write_bench_records(
     repeats: int = 3,
     jobs: int = 1,
     suites: tuple[str, ...] | None = None,
+    tenants: int = 4,
 ) -> list[str]:
     """Run the selected benches and write one ``BENCH_<kind>.json`` each.
 
     ``suites`` selects a subset of :data:`_BENCH_SUITES` (default: all).
     ``jobs > 1`` adds the grid-runtime ``parallel`` section to the Table I
     record (markedly slower: it runs the quick Table I grid three times).
+    ``tenants`` sizes the serve record's ``multi_tenant`` section
+    (``0`` disables it; otherwise >= 3).
     """
     if suites is None:
         suites = tuple(_BENCH_SUITES)
@@ -653,7 +943,11 @@ def write_bench_records(
     paths = []
     for kind in suites:
         runner = _BENCH_SUITES[kind]
-        kwargs = {"jobs": jobs} if kind == "table1" else {}
+        kwargs: dict[str, object] = {}
+        if kind == "table1":
+            kwargs["jobs"] = jobs
+        elif kind == "serve":
+            kwargs["tenants"] = tenants
         record = runner(scale=scale, repeats=repeats, **kwargs)
         path = os.path.join(out_dir, f"BENCH_{kind}.json")
         with open(path, "w", encoding="utf-8") as handle:
@@ -695,6 +989,30 @@ def format_bench_record(record: dict) -> str:
                 f"naive {latency['naive_p50']:.2f}/{latency['naive_p99']:.2f}   "
                 f"compiled {latency['compiled_p50']:.2f}/{latency['compiled_p99']:.2f}"
             )
+    multi = record.get("multi_tenant")
+    if multi:
+        cache = multi["program_cache"]
+        lines.append(
+            f"multi-tenant ({multi['tenants']} tenants: "
+            f"{multi['seed_slot_tenants']} seed-slot + {multi['static_tenants']} static, "
+            f"{multi['requests']} requests, {multi['swaps']} swap(s)):"
+        )
+        lines.append(
+            f"  serial {multi['serial_seconds'] * 1e3:.2f}ms   "
+            f"grouped {multi['grouped_seconds'] * 1e3:.2f}ms   "
+            f"speedup {multi['speedup']:.2f}x  "
+            f"(bit-identical: {multi['bit_identical']})"
+        )
+        seed_slot = multi["seed_slot"]
+        lines.append(
+            f"  seed-slot only: serial {seed_slot['serial_seconds'] * 1e3:.2f}ms   "
+            f"grouped {seed_slot['grouped_seconds'] * 1e3:.2f}ms   "
+            f"speedup {seed_slot['speedup']:.2f}x"
+        )
+        lines.append(
+            f"  program cache: {cache['hit']} hit / {cache['miss']} miss / "
+            f"{cache['evict']} evict  (hit rate {cache['hit_rate']:.2f})"
+        )
     parallel = record.get("parallel")
     if parallel:
         lines.append(

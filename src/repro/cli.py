@@ -254,6 +254,9 @@ def _bench(args: argparse.Namespace) -> int:
     if args.repeats < 1:
         print(f"repro bench: error: --repeats must be >= 1, got {args.repeats}")
         return 2
+    if args.tenants < 0 or args.tenants in (1, 2):
+        print(f"repro bench: error: --tenants must be 0 or >= 3, got {args.tenants}")
+        return 2
     from repro.bench import _BENCH_SUITES, format_bench_record, write_bench_records
 
     suites = tuple(_BENCH_SUITES) if args.suite == "all" else (args.suite,)
@@ -266,6 +269,7 @@ def _bench(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             jobs=args.jobs,
             suites=suites,
+            tenants=args.tenants,
         )
         for path in paths:
             with open(path, encoding="utf-8") as handle:
@@ -273,7 +277,11 @@ def _bench(args: argparse.Namespace) -> int:
             print(f"wrote {path}\n")
     else:
         for kind in suites:
-            kwargs = {"jobs": args.jobs} if kind == "table1" else {}
+            kwargs: dict[str, object] = {}
+            if kind == "table1":
+                kwargs["jobs"] = args.jobs
+            elif kind == "serve":
+                kwargs["tenants"] = args.tenants
             record = _BENCH_SUITES[kind](scale=args.scale, repeats=args.repeats, **kwargs)
             print(format_bench_record(record))
             print()
@@ -407,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("all", "autograd", "table1", "serve"),
         default="all",
         help="run a single bench suite (default: all)",
+    )
+    bench.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        help="tenant count for the serve suite's multi_tenant section "
+        "(>= 3; 0 disables it)",
     )
     bench.set_defaults(func=_bench)
     return parser

@@ -39,9 +39,9 @@ def extract_embeddings(
             f"{type(model).__name__} does not expose features(); cannot embed"
         )
     if engine is None and FLAGS.serve_embeddings:
-        from repro.serve.engine import shared_engine
+        from repro.serve.engine import ENGINES
 
-        engine = shared_engine(model)
+        engine = ENGINES.get(model)
     if engine is not None:
         with TRACER.span(
             "eval.embed", path="serve", samples=int(images.shape[0])

@@ -32,7 +32,9 @@ from repro.peft.checkpoint import (
     adapter_state_dict,
     load_adapter,
     load_adapter_state_dict,
+    model_digest,
     save_adapter,
+    state_digest,
 )
 from repro.peft.multi_lora import MultiLoRAConv, MultiLoRALinear
 from repro.peft.moe_lora import MoELoRALinear
@@ -59,7 +61,9 @@ __all__ = [
     "adapter_state_dict",
     "load_adapter",
     "load_adapter_state_dict",
+    "model_digest",
     "save_adapter",
+    "state_digest",
     "MappingNet",
     "MetaLoRACPConv",
     "MetaLoRACPLinear",

@@ -196,6 +196,20 @@ class AttachResult:
         self._state = "merged"
         return self.model
 
+    def digest(self) -> str:
+        """Stable SHA-256 identity: adapter families, ranks and weights.
+
+        Computed by :func:`repro.peft.checkpoint.state_digest` — the same
+        function adapter-checkpoint manifests embed and the serve
+        registry's program-cache keys use — over the model's full weight
+        state (parameters and buffers).  Two results digest equal iff
+        they would serve identically; any weight mutation (training,
+        merge, checkpoint load) changes it.
+        """
+        from repro.peft.checkpoint import model_digest  # local: avoid cycle
+
+        return model_digest(self.model)
+
     def serving_model(self, merge: bool = True) -> Module:
         """The model the serve compiler should lower for inference.
 

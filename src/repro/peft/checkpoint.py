@@ -25,6 +25,8 @@ failing deep in numpy — the same format the experiment run directories
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 from typing import Mapping
 
@@ -105,6 +107,36 @@ def load_adapter_state_dict(model: Module, state: Mapping[str, np.ndarray]) -> N
             module._buffers[buf_name][...] = value
 
 
+def state_digest(
+    state: Mapping[str, np.ndarray], extra: Mapping | None = None
+) -> str:
+    """Stable SHA-256 over a named array state (plus JSON-able metadata).
+
+    This is the *one* identity function shared by checkpoint manifests
+    (:func:`save_adapter` embeds it as ``meta["digest"]``),
+    ``AttachResult.digest()``, and the serve registry's program-cache
+    keys.  The hash covers sorted array names, shapes, dtypes and raw
+    bytes, so any weight change — and nothing else — changes it.
+    """
+    hasher = hashlib.sha256()
+    if extra:
+        hasher.update(json.dumps(dict(extra), sort_keys=True, default=str).encode())
+    for name in sorted(state):
+        array = np.ascontiguousarray(np.asarray(state[name]))
+        hasher.update(name.encode())
+        hasher.update(repr((array.shape, array.dtype.str)).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def model_digest(model: Module) -> str:
+    """Identity of a model's full weight state (parameters and buffers),
+    tagged with its adapter families/ranks — the serve registry's notion
+    of "same weights, same program"."""
+    meta = _adapter_meta(model)
+    return state_digest(model.state_dict(), extra=meta)
+
+
 def _adapter_meta(model: Module) -> dict:
     """Manifest metadata: which adapter families/ranks the model carries."""
     from repro.peft.base import iter_adapters  # local import: avoid cycle
@@ -124,26 +156,35 @@ def save_adapter(model: Module, path: str | os.PathLike) -> int:
     """Write the adapter checkpoint; returns the number of scalars saved.
 
     The file is a versioned artifact: the trainable/buffer arrays plus a
-    manifest (format version, adapter families, ranks, per-array
-    shapes/dtypes) that :func:`load_adapter` validates against.
+    manifest (format version, adapter families, ranks, a
+    :func:`state_digest` of the saved arrays, per-array shapes/dtypes)
+    that :func:`load_adapter` validates against.
     """
     state = adapter_state_dict(model)
-    save_artifact(path, state, kind=ADAPTER_KIND, meta=_adapter_meta(model))
+    meta = _adapter_meta(model)
+    meta["digest"] = state_digest(state, extra={k: meta[k] for k in ("families", "ranks")})
+    save_artifact(path, state, kind=ADAPTER_KIND, meta=meta)
     return sum(int(np.asarray(v).size) for v in state.values())
 
 
-def load_adapter(model: Module, path: str | os.PathLike) -> None:
+def load_adapter(model: Module, path: str | os.PathLike) -> dict:
     """Load an adapter checkpoint written by :func:`save_adapter`.
 
     Validation happens in two stages, both surfacing as
     :class:`CheckpointError`: the artifact must match its own manifest
     (version, array index, shapes, dtypes), and the stored state must
     match ``model``'s current trainable parameters and buffers.
+
+    Returns the checkpoint's manifest ``meta`` mapping (families, ranks,
+    digest) so callers — e.g. ``AdapterRegistry.register_checkpoint`` —
+    can key the restored model without re-reading the file.
     """
-    state, __ = load_artifact(path, kind=ADAPTER_KIND)
+    state, manifest = load_artifact(path, kind=ADAPTER_KIND)
     try:
         load_adapter_state_dict(model, state)
     except AdapterError as exc:
         raise CheckpointError(
             f"checkpoint {os.fspath(path)!r} does not fit this model: {exc}"
         ) from exc
+    meta = manifest.get("meta", {}) if isinstance(manifest, Mapping) else {}
+    return dict(meta)

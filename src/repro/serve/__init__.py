@@ -2,26 +2,57 @@
 
 ``compile_features`` lowers a model's ``features()`` into a flat program
 of raw-numpy kernels (no Tensor wrapping, no autograd bookkeeping);
-``EmbeddingEngine`` serves it with micro-batching and an LRU result
-cache.  See docs/serving.md.
+``EmbeddingEngine`` serves one program with micro-batching and an LRU
+result cache, while ``AdapterRegistry`` + ``MultiTenantEngine`` serve a
+fleet of *named* adapters — hot register/swap/evict, a shared LRU of
+compiled programs, and cross-tenant micro-batching.  See
+docs/serving.md.
 """
 
-from repro.serve.compile import CompiledProgram, ProgramBuilder, compile_features, compiles, compiles_features
+from repro.serve.compile import (
+    CompiledProgram,
+    ProgramBuilder,
+    compile_features,
+    compile_forward,
+    compile_seed_mapping,
+    compiles,
+    compiles_features,
+)
 from repro.serve.engine import (
+    ENGINES,
     EmbeddingEngine,
+    Engines,
     build_engine,
     clear_shared_engines,
     shared_engine,
 )
+from repro.serve.registry import (
+    AdapterEntry,
+    AdapterRegistry,
+    MultiTenantEngine,
+    ProgramCache,
+    ProgramKey,
+    program_key,
+)
 
 __all__ = [
+    "AdapterEntry",
+    "AdapterRegistry",
     "CompiledProgram",
     "EmbeddingEngine",
+    "ENGINES",
+    "Engines",
+    "MultiTenantEngine",
     "ProgramBuilder",
+    "ProgramCache",
+    "ProgramKey",
     "build_engine",
     "clear_shared_engines",
     "compile_features",
+    "compile_forward",
+    "compile_seed_mapping",
     "compiles",
     "compiles_features",
+    "program_key",
     "shared_engine",
 ]

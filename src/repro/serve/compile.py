@@ -94,19 +94,28 @@ class CompiledProgram:
 
     ``run`` is batch-polymorphic: kernels read batch/spatial sizes from
     the input at call time, so one program serves any request size.
+
+    A program may take more than one input (``input_slot`` accepts a
+    sequence of slots): the seed-fed backbone *body* programs used for
+    multi-tenant serving take ``(images, seeds)``.  ``input_slot`` stays
+    the first input for single-input callers.
     """
 
     def __init__(
         self,
         steps: list[Step],
         n_slots: int,
-        input_slot: int,
+        input_slot: int | tuple[int, ...] | list[int],
         output_slot: int,
         source: str,
     ) -> None:
         self.steps = tuple(steps)
         self.n_slots = n_slots
-        self.input_slot = input_slot
+        if isinstance(input_slot, int):
+            self.input_slots: tuple[int, ...] = (input_slot,)
+        else:
+            self.input_slots = tuple(int(slot) for slot in input_slot)
+        self.input_slot = self.input_slots[0]
         self.output_slot = output_slot
         self.source = source
         # Last-use liveness: after step i runs, every slot whose final
@@ -131,9 +140,15 @@ class CompiledProgram:
             for index, step in enumerate(self.steps)
         ]
 
-    def run(self, x: np.ndarray) -> np.ndarray:
+    def run(self, *inputs: np.ndarray) -> np.ndarray:
+        if len(inputs) != len(self.input_slots):
+            raise ServeError(
+                f"program {self.source!r} takes {len(self.input_slots)} "
+                f"input(s), got {len(inputs)}"
+            )
         values: list[np.ndarray | None] = [None] * self.n_slots
-        values[self.input_slot] = x
+        for slot, array in zip(self.input_slots, inputs):
+            values[slot] = array
         for step, dead in zip(self.steps, self._release):
             values[step.output] = step.fn(*(values[slot] for slot in step.inputs))
             for slot in dead:
@@ -146,17 +161,31 @@ class CompiledProgram:
 class ProgramBuilder:
     """Accumulates steps while lowering rules walk the module tree."""
 
-    def __init__(self) -> None:
+    def __init__(self, external_seeds: bool = False) -> None:
         self.steps: list[Step] = []
         self.n_slots = 0
         #: ``id(adapter) -> slot`` holding that adapter's per-sample seed;
         #: populated by the MetaLoRAModel rule, consumed by CP/TR rules.
         #: Absent means the adapter runs its static-seed path.
         self.seed_slots: dict[int, int] = {}
+        #: When set, the MetaLoRAModel rule does not lower the mapping
+        #: network; per-sample seeds arrive as a second program input (the
+        #: stacked ``(n, total)`` matrix :func:`compile_seed_mapping`
+        #: produces) and are sliced per adapter.  This is what lets the
+        #: multi-tenant engine stack requests from tenants that share a
+        #: backbone but differ in mapping weights.
+        self.external_seeds = external_seeds
+        self.seed_input_slot: int | None = None
 
     def new_slot(self) -> int:
         self.n_slots += 1
         return self.n_slots - 1
+
+    def seed_input(self) -> int:
+        """The (lazily allocated) slot external seeds are fed through."""
+        if self.seed_input_slot is None:
+            self.seed_input_slot = self.new_slot()
+        return self.seed_input_slot
 
     def emit(self, name: str, fn: Kernel, *inputs: int) -> int:
         output = self.new_slot()
@@ -211,25 +240,118 @@ def _find_rule(registry: dict[type, Callable], module: Module) -> Callable:
     )
 
 
-def compile_features(model: Module) -> CompiledProgram:
+def compile_features(model: Module, *, external_seeds: bool = False) -> CompiledProgram:
     """Compile ``model.features(x)`` into a :class:`CompiledProgram`.
 
     The model is put in eval mode for the duration of lowering (batch
     norms fold their running statistics; dropout lowers to identity) and
     restored afterwards.  Compilation is observable: a ``serve.compile``
     span/timer when :mod:`repro.obs` is enabled.
+
+    With ``external_seeds=True`` (MetaLoRA models only) the mapping
+    network is *not* lowered; the program takes ``(images, seeds)`` where
+    ``seeds`` is the stacked per-sample matrix a separately compiled
+    :func:`compile_seed_mapping` program produces.  Splitting the two lets
+    the serve registry share one backbone body program across tenants
+    whose mapping weights differ.
     """
     from repro.obs import OBS, TRACER  # local: keep compile import-light
 
     with TRACER.span("serve.compile", model=type(model).__name__), OBS.time(
         "serve.compile"
     ):
-        builder = ProgramBuilder()
+        builder = ProgramBuilder(external_seeds=external_seeds)
         x = builder.new_slot()
         with eval_mode(model):
             output = builder.lower_features(model, x)
+        inputs: tuple[int, ...] = (x,)
+        if builder.seed_input_slot is not None:
+            inputs = (x, builder.seed_input_slot)
         return CompiledProgram(
-            builder.steps, builder.n_slots, x, output, type(model).__name__
+            builder.steps, builder.n_slots, inputs, output, type(model).__name__
+        )
+
+
+def compile_forward(module: Module) -> CompiledProgram:
+    """Compile one module's ``forward`` (not ``features``) into a program.
+
+    Used by the serve registry to compile a MetaLoRA model's feature
+    extractor on its own, so tenants sharing an extractor share the
+    compiled program.
+    """
+    from repro.obs import OBS, TRACER
+
+    with TRACER.span("serve.compile", model=type(module).__name__), OBS.time(
+        "serve.compile"
+    ):
+        builder = ProgramBuilder()
+        x = builder.new_slot()
+        with eval_mode(module):
+            output = builder.lower(module, x)
+        return CompiledProgram(
+            builder.steps, builder.n_slots, x, output, type(module).__name__
+        )
+
+
+def compile_seed_mapping(model: Module) -> CompiledProgram:
+    """Compile a MetaLoRA model's mapping network: features in, seeds out.
+
+    The program maps extractor features ``(n, F)`` to the stacked scaled
+    seed matrix ``(n, total)`` — exactly the intermediate the fused
+    ``features()`` program computes before slicing per adapter, laid out
+    by ``model._seed_offsets``.  The seed-generation strategy freezes at
+    compile time, mirroring ``generate_seeds``' dispatch on
+    ``FLAGS.batched_seeds``; either way each output column is the same
+    dot product the matching full-program path computes, so feeding the
+    result into an ``external_seeds`` body program is bit-identical to
+    the fused program.
+    """
+    from repro.obs import OBS, TRACER
+
+    if not isinstance(model, MetaLoRAModel):
+        raise ServeError(
+            f"compile_seed_mapping expects a MetaLoRAModel, got {type(model).__name__}"
+        )
+    with TRACER.span("serve.compile", model=f"{type(model).__name__}.seeds"), OBS.time(
+        "serve.compile"
+    ):
+        builder = ProgramBuilder()
+        feats = builder.new_slot()
+        with eval_mode(model):
+            hidden = builder.lower(model.trunk, feats)
+            hidden = builder.emit("relu", ops.relu_forward, hidden)
+            adapters = model._meta_adapters
+            if FLAGS.batched_seeds and len(adapters) > 1:
+                fused_w = np.concatenate([head.weight.data for head in model.heads], axis=1)
+                fused_b = np.concatenate([head.bias.data for head in model.heads], axis=0)
+                gains = model.head_gains.data[model._gain_index]
+                out = builder.emit(
+                    "fused_seed_heads",
+                    lambda h: np.tanh(h @ fused_w + fused_b) * gains,
+                    hidden,
+                )
+            else:
+                flats = []
+                for index, head in enumerate(model.heads):
+                    raw = builder.lower(head, hidden)
+                    gain = np.asarray(model.head_gains.data[index])
+                    flats.append(
+                        builder.emit(
+                            f"seed_flat[{index}]",
+                            lambda r, gain=gain: np.tanh(r) * gain,
+                            raw,
+                        )
+                    )
+                if len(flats) == 1:
+                    out = flats[0]
+                else:
+                    out = builder.emit(
+                        "seed_concat",
+                        lambda *parts: np.concatenate(parts, axis=1),
+                        *flats,
+                    )
+        return CompiledProgram(
+            builder.steps, builder.n_slots, feats, out, f"{type(model).__name__}.seeds"
         )
 
 
@@ -620,10 +742,26 @@ def _lower_meta_tr_conv(module: MetaLoRATRConv, b: ProgramBuilder, x: int) -> in
 
 @compiles_features(MetaLoRAModel)
 def _features_meta_lora(model: MetaLoRAModel, b: ProgramBuilder, x: int) -> int:
+    adapters = model._meta_adapters
+    if b.external_seeds:
+        # Seeds arrive pre-computed as the stacked (n, total) matrix from a
+        # compile_seed_mapping program; only slice them per adapter.  The
+        # slice kernels are the same ones the fused path emits, so the
+        # split program sequence is bit-identical to the fused program.
+        seeds = b.seed_input()
+        for index, adapter in enumerate(adapters):
+            lo = model._seed_offsets[index]
+            hi = model._seed_offsets[index + 1]
+            shape = adapter.seed_shape
+
+            def slice_seed(s: np.ndarray, lo: int = lo, hi: int = hi, shape=shape) -> np.ndarray:
+                return s[:, lo:hi].reshape(s.shape[0], *shape)
+
+            b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", slice_seed, seeds)
+        return b.lower_features(model.backbone, x)
     feats = b.lower(model.extractor, x)
     hidden = b.lower(model.trunk, feats)
     hidden = b.emit("relu", ops.relu_forward, hidden)
-    adapters = model._meta_adapters
     # Freeze the seed-generation strategy at compile time, mirroring
     # generate_seeds' dispatch on FLAGS.batched_seeds.
     if FLAGS.batched_seeds and len(adapters) > 1:

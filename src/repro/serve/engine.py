@@ -1,82 +1,50 @@
-"""The embedding service: compiled program + micro-batcher + result cache.
+"""The single-tenant embedding service, as a wrapper over the tenant core.
 
-:class:`EmbeddingEngine` wraps a :class:`~repro.serve.compile.CompiledProgram`
-behind two entry points:
+:class:`EmbeddingEngine` keeps its original API — ``embed`` for
+synchronous bulk extraction, ``submit`` for micro-batched singles, an
+LRU result cache, ``stats()`` in the unified metrics-snapshot schema —
+but is now a thin single-tenant view over
+:class:`~repro.serve.registry.MultiTenantEngine`: the program it is
+handed is mounted as the sole registry entry and every call delegates.
+Metric names are unchanged (bare ``serve.*`` series; the wrapper turns
+tenant labels off), so existing dashboards and tests read identically.
 
-- :meth:`~EmbeddingEngine.embed` — synchronous bulk extraction.  It chunks
-  the input exactly like ``extract_embeddings`` does, so its output is
-  bit-identical to the reference path (the acceptance check the serve
-  bench pins).
-- :meth:`~EmbeddingEngine.submit` — one sample in, a ``Future`` out.  A
-  background worker coalesces queued singles into one program run, up to
-  ``max_batch`` samples or ``max_delay`` seconds after the first arrival,
-  whichever comes first.  An LRU cache keyed by input digest serves
-  repeats without touching the program.
-
-Observability: every engine owns a private, always-on
-:class:`~repro.obs.metrics.MetricsRegistry` — :meth:`EmbeddingEngine.stats`
-is its snapshot in the unified metrics-snapshot schema.  The same events
-mirror into the global :data:`repro.obs.OBS` registry when it is
-enabled, and the bulk path / micro-batcher open ``serve.request`` /
-``serve.batch`` trace spans when :data:`repro.obs.TRACER` is enabled.
-Counters: ``serve.requests``, ``serve.batches``, ``serve.batch.size``
-(batch-size histogram), ``serve.queue_wait`` (seconds spent queued,
-summed per batch), ``serve.cache.hit`` / ``serve.cache.miss`` /
-``serve.cache.evict``, ``serve.cache.size`` (occupancy gauge, set at
-snapshot time) and ``serve.run`` (program executions, wall seconds +
-output bytes).
-
-Program runs are serialized by a lock: the conv workspaces the kernels
-share (:mod:`repro.autograd.conv_ops`) are process-global mutable state.
+Engine caching moved from the module-level ``shared_engine`` /
+``clear_shared_engines`` pair to an explicit :class:`Engines` handle;
+the old functions remain as shims that emit ``DeprecationWarning`` and
+delegate to the default :data:`ENGINES` handle.
 """
 
 from __future__ import annotations
 
-import hashlib
-import queue
-import threading
-import time
+import warnings
 import weakref
-from collections import OrderedDict
 from concurrent.futures import Future
 
 import numpy as np
 
 from repro.errors import ServeError
 from repro.nn.module import Module
-from repro.obs import OBS, TRACER
-from repro.obs.metrics import MetricsRegistry
 from repro.serve.compile import CompiledProgram, compile_features
+from repro.serve.registry import MultiTenantEngine
 
-
-def _ingest(sample: object) -> np.ndarray:
-    """Mirror ``Tensor.__init__``'s dtype policy for raw request payloads."""
-    array = np.asarray(sample)
-    if not np.issubdtype(array.dtype, np.floating):
-        array = array.astype(np.float32)
-    return array
-
-
-def _digest(array: np.ndarray) -> bytes:
-    """Content digest for the result cache (shape + dtype + bytes)."""
-    h = hashlib.blake2b(digest_size=16)
-    h.update(repr((array.shape, array.dtype.str)).encode())
-    h.update(np.ascontiguousarray(array).tobytes())
-    return h.digest()
-
-
-class _Request:
-    __slots__ = ("sample", "key", "future", "enqueued_at")
-
-    def __init__(self, sample: np.ndarray, key: bytes | None, future: Future) -> None:
-        self.sample = sample
-        self.key = key
-        self.future = future
-        self.enqueued_at = time.perf_counter()
+__all__ = [
+    "EmbeddingEngine",
+    "Engines",
+    "ENGINES",
+    "build_engine",
+    "shared_engine",
+    "clear_shared_engines",
+]
 
 
 class EmbeddingEngine:
-    """Serve embeddings from a compiled ``features()`` program.
+    """Serve embeddings from one compiled ``features()`` program.
+
+    A single-tenant wrapper over :class:`MultiTenantEngine`: the program
+    is registered under one internal name and all traffic routes to it.
+    Output is bit-identical to serving the program directly — the core
+    runs the same program on the same batches.
 
     Parameters
     ----------
@@ -92,6 +60,8 @@ class EmbeddingEngine:
         LRU result-cache capacity in entries; ``0`` disables caching.
     """
 
+    _TENANT = "default"
+
     def __init__(
         self,
         program: CompiledProgram,
@@ -100,171 +70,39 @@ class EmbeddingEngine:
         max_delay: float = 0.002,
         cache_size: int = 256,
     ) -> None:
-        if max_batch < 1:
-            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
-        if max_delay < 0:
-            raise ServeError(f"max_delay must be >= 0, got {max_delay}")
-        if cache_size < 0:
-            raise ServeError(f"cache_size must be >= 0, got {cache_size}")
+        self._core = MultiTenantEngine(
+            max_batch=max_batch,
+            max_delay=max_delay,
+            cache_size=cache_size,
+            tenant_labels=False,
+        )
+        self._core.registry.register_program(self._TENANT, program)
         self.program = program
-        self.max_batch = int(max_batch)
-        self.max_delay = float(max_delay)
-        self.cache_size = int(cache_size)
-        self._cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
-        self._metrics = MetricsRegistry(enabled=True)
-        self._stats_lock = threading.Lock()
-        self._run_lock = threading.Lock()
-        self._queue: "queue.Queue[_Request]" = queue.Queue()
-        self._worker: threading.Thread | None = None
-        self._worker_lock = threading.Lock()
-        self._stop = threading.Event()
-        self._closed = False
 
-    # -- metric recording -----------------------------------------------------
-    # The private registry feeds stats(); the global OBS registry gets the
-    # same events when it is enabled (the old PROFILER contract).  Callers
-    # hold no particular lock; the private registry is guarded here.
+    @property
+    def max_batch(self) -> int:
+        return self._core.max_batch
 
-    def _inc(self, name: str, n: int = 1, *, seconds: float = 0.0) -> None:
-        with self._stats_lock:
-            self._metrics.inc(name, n, seconds=seconds)
-        OBS.enabled and OBS.inc(name, n, seconds=seconds)
+    @property
+    def max_delay(self) -> float:
+        return self._core.max_delay
 
-    def _hist(self, name: str, value: object) -> None:
-        with self._stats_lock:
-            self._metrics.hist(name, value)
-        OBS.enabled and OBS.hist(name, value)
-
-    def _observe(self, name: str, seconds: float, nbytes: int = 0) -> None:
-        with self._stats_lock:
-            self._metrics.observe(name, seconds, bytes=nbytes)
-        OBS.enabled and OBS.observe(name, seconds, bytes=nbytes)
-
-    # -- synchronous bulk path ------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        return self._core.cache_size
 
     def embed(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Embeddings for ``images``, chunked like ``extract_embeddings``.
 
         Chunk boundaries match the reference path's, so the result is
-        bit-identical to it.  Rows are freshly allocated (the concatenate
-        copies), so callers may mutate the result freely.
+        bit-identical to it.  Rows are freshly allocated, so callers may
+        mutate the result freely.
         """
-        if self._closed:
-            raise ServeError("embed() on a closed EmbeddingEngine")
-        images = _ingest(images)
-        with TRACER.span(
-            "serve.request", kind="bulk", samples=int(images.shape[0])
-        ):
-            chunks = []
-            for start in range(0, images.shape[0], batch_size):
-                chunks.append(self._run(images[start : start + batch_size]))
-            return np.concatenate(chunks, axis=0)
-
-    def _run(self, batch: np.ndarray) -> np.ndarray:
-        with self._run_lock:
-            start = time.perf_counter()
-            out = self.program.run(batch)
-            self._observe("serve.run", time.perf_counter() - start, out.nbytes)
-            return out
-
-    # -- request path: micro-batched singles ----------------------------------
+        return self._core.embed(images, self._TENANT, batch_size=batch_size)
 
     def submit(self, sample: np.ndarray) -> "Future[np.ndarray]":
         """Queue one sample ``(C, H, W)``; resolves to its embedding row."""
-        if self._closed:
-            raise ServeError("submit() on a closed EmbeddingEngine")
-        sample = _ingest(sample)
-        key = _digest(sample) if self.cache_size else None
-        future: "Future[np.ndarray]" = Future()
-        if key is not None:
-            cached = self._cache_get(key)
-            if cached is not None:
-                self._inc("serve.requests")
-                self._inc("serve.cache.hit")
-                future.set_result(cached)
-                return future
-            self._inc("serve.cache.miss")
-        self._ensure_worker()
-        self._queue.put(_Request(sample, key, future))
-        return future
-
-    def _ensure_worker(self) -> None:
-        with self._worker_lock:
-            if self._worker is not None and self._worker.is_alive():
-                return
-            self._stop.clear()
-            self._worker = threading.Thread(
-                target=self._worker_loop, name="repro-serve-batcher", daemon=True
-            )
-            self._worker.start()
-
-    def _worker_loop(self) -> None:
-        while True:
-            try:
-                first = self._queue.get(timeout=0.05)
-            except queue.Empty:
-                if self._stop.is_set():
-                    return
-                continue
-            self._process(self._gather(first))
-
-    def _gather(self, first: _Request) -> list[_Request]:
-        """Coalesce queued requests after ``first``, bounded by
-        ``max_batch`` and by ``max_delay`` seconds since the first."""
-        batch = [first]
-        deadline = time.perf_counter() + self.max_delay
-        while len(batch) < self.max_batch:
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0:
-                break
-            try:
-                batch.append(self._queue.get(timeout=remaining))
-            except queue.Empty:
-                break
-        return batch
-
-    def _process(self, requests: list[_Request]) -> None:
-        queued = time.perf_counter()
-        with TRACER.span("serve.batch", size=len(requests)):
-            try:
-                stacked = np.stack([request.sample for request in requests], axis=0)
-                out = self._run(stacked)
-            except BaseException as exc:  # surface kernel errors to every caller
-                for request in requests:
-                    request.future.set_exception(exc)
-                return
-            self._inc("serve.requests", len(requests))
-            self._inc("serve.batches")
-            self._hist("serve.batch.size", len(requests))
-            waited = sum(queued - request.enqueued_at for request in requests)
-            self._inc("serve.queue_wait", len(requests), seconds=waited)
-        for index, request in enumerate(requests):
-            row = np.ascontiguousarray(out[index])
-            if request.key is not None:
-                self._cache_put(request.key, row)
-                row = row.copy()
-            request.future.set_result(row)
-
-    # -- LRU result cache -----------------------------------------------------
-
-    def _cache_get(self, key: bytes) -> np.ndarray | None:
-        with self._stats_lock:
-            row = self._cache.get(key)
-            if row is None:
-                return None
-            self._cache.move_to_end(key)
-            return row.copy()
-
-    def _cache_put(self, key: bytes, row: np.ndarray) -> None:
-        with self._stats_lock:
-            self._cache[key] = row
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-                self._metrics.inc("serve.cache.evict")
-                OBS.enabled and OBS.inc("serve.cache.evict")
-
-    # -- lifecycle ------------------------------------------------------------
+        return self._core.submit(sample, self._TENANT)
 
     def stats(self) -> dict[str, dict]:
         """The engine's counters in the unified metrics-snapshot schema.
@@ -275,25 +113,11 @@ class EmbeddingEngine:
         ``serve.cache.size`` occupancy gauge (set at snapshot time).
         See ``docs/observability.md``.
         """
-        with self._stats_lock:
-            self._metrics.gauge("serve.cache.size", len(self._cache))
-            return self._metrics.snapshot()
+        return self._core.stats()
 
     def close(self) -> None:
         """Stop the worker (after draining queued work) and reject new calls."""
-        if self._closed:
-            return
-        self._closed = True
-        self._stop.set()
-        worker = self._worker
-        if worker is not None and worker.is_alive():
-            worker.join(timeout=10.0)
-        while True:  # belt and braces: fail anything the worker left behind
-            try:
-                request = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            request.future.set_exception(ServeError("EmbeddingEngine closed"))
+        self._core.close()
 
     def __enter__(self) -> "EmbeddingEngine":
         return self
@@ -319,36 +143,94 @@ def build_engine(
     compile to their pre-planned einsum fast paths instead.
     """
     model = model_or_result
-    serving_model = getattr(model, "serving_model", None)
-    if serving_model is not None and not isinstance(model, Module):
-        model = serving_model(merge=merge)
     if not isinstance(model, Module):
-        raise ServeError(
-            f"build_engine expects a Module or AttachResult, got {type(model_or_result).__name__}"
-        )
+        serving_model = getattr(model, "serving_model", None)
+        if serving_model is None:
+            raise ServeError(
+                f"build_engine expects a Module or AttachResult, "
+                f"got {type(model_or_result).__name__}"
+            )
+        if not callable(serving_model):
+            raise ServeError(
+                f"build_engine: {type(model_or_result).__name__}.serving_model is "
+                f"{type(serving_model).__name__}, not callable"
+            )
+        model = serving_model(merge=merge)
+        if not isinstance(model, Module):
+            raise ServeError(
+                f"build_engine: serving_model() on "
+                f"{type(model_or_result).__name__} returned "
+                f"{type(model).__name__}, not a Module"
+            )
     program = compile_features(model)
     return EmbeddingEngine(
         program, max_batch=max_batch, max_delay=max_delay, cache_size=cache_size
     )
 
 
-#: One lazily-compiled engine per model, for the flag-gated protocol path
-#: (``FLAGS.serve_embeddings``).  Weakly keyed: dropping the model drops
-#: its engine.  Weights mutated after compilation are not picked up —
-#: call :func:`clear_shared_engines` (or drop the model) to recompile.
-_SHARED_ENGINES: "weakref.WeakKeyDictionary[Module, EmbeddingEngine]" = (
-    weakref.WeakKeyDictionary()
-)
+class Engines:
+    """An explicit handle over per-model cached engines.
+
+    One lazily-built :class:`EmbeddingEngine` per model, weakly keyed:
+    dropping the model drops its engine.  Weights mutated after
+    compilation are not picked up — :meth:`clear` (or dropping the
+    model) forces recompilation.  This replaces the module-level
+    ``shared_engine`` / ``clear_shared_engines`` globals with something
+    callers can own, scope and close.
+    """
+
+    def __init__(self, *, cache_size: int = 0, max_batch: int = 32, max_delay: float = 0.002) -> None:
+        self._engines: "weakref.WeakKeyDictionary[Module, EmbeddingEngine]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._build_kwargs = {
+            "cache_size": cache_size,
+            "max_batch": max_batch,
+            "max_delay": max_delay,
+        }
+
+    def get(self, model: Module) -> EmbeddingEngine:
+        """The cached engine for ``model``, compiling on first use."""
+        engine = self._engines.get(model)
+        if engine is None:
+            engine = self._engines[model] = build_engine(model, **self._build_kwargs)
+        return engine
+
+    def clear(self) -> None:
+        """Drop every cached engine (forces recompilation on next use)."""
+        for engine in list(self._engines.values()):
+            engine.close()
+        self._engines.clear()
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __contains__(self, model: Module) -> bool:
+        return model in self._engines
+
+
+#: Default handle for the flag-gated protocol path
+#: (``FLAGS.serve_embeddings``); result caching off, as before.
+ENGINES = Engines(cache_size=0)
 
 
 def shared_engine(model: Module) -> EmbeddingEngine:
-    """The cached engine for ``model``, compiling on first use."""
-    engine = _SHARED_ENGINES.get(model)
-    if engine is None:
-        engine = _SHARED_ENGINES[model] = build_engine(model, cache_size=0)
-    return engine
+    """Deprecated alias for ``ENGINES.get(model)``."""
+    warnings.warn(
+        "shared_engine() is deprecated; use repro.serve.ENGINES.get(model) "
+        "(or your own Engines handle)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ENGINES.get(model)
 
 
 def clear_shared_engines() -> None:
-    """Drop every cached engine (forces recompilation on next use)."""
-    _SHARED_ENGINES.clear()
+    """Deprecated alias for ``ENGINES.clear()``."""
+    warnings.warn(
+        "clear_shared_engines() is deprecated; use repro.serve.ENGINES.clear() "
+        "(or your own Engines handle)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    ENGINES.clear()

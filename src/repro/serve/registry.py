@@ -1,0 +1,872 @@
+"""Multi-tenant adapter serving: named adapters behind one engine.
+
+One serving process, many tasks: :class:`AdapterRegistry` manages *named*
+adapters — register, hot-swap, evict at runtime — on top of
+``peft.attach`` / ``AttachResult.serving_model()``, and
+:class:`MultiTenantEngine` serves them behind a tenant-aware API
+(``submit(sample, adapter="name")`` / ``embed(images, adapter=...)``).
+
+Three design points carry the throughput story:
+
+- **Program sharing.**  Compiled slot-programs live in a process-wide-ish
+  LRU (:class:`ProgramCache`) keyed by :class:`ProgramKey` — a
+  ``(backbone_digest, families, ranks, weights_digest)`` tuple built from
+  :func:`repro.peft.checkpoint.state_digest`, the same function checkpoint
+  manifests and ``AttachResult.digest()`` use.  Tenants whose merged
+  static graphs coincide share one program; counters
+  ``serve.program_cache.{hit,miss,evict}`` record the traffic.
+
+- **Split compilation for MetaLoRA tenants.**  A seed-slot tenant
+  compiles to *three* programs — extractor (``x → features``), mapping
+  (``features → stacked seeds``) and body (``(x, seeds) → embeddings``) —
+  keyed independently, so tenants sharing a backbone+extractor but
+  trained to different mapping weights share two of the three.
+
+- **Heterogeneous micro-batching.**  The dispatcher groups queued
+  requests by adapter: static tenants sharing a program are stacked into
+  one run, and seed-slot tenants sharing a body are stacked *across
+  tenants* — extractor once over the union, mapping per tenant (its
+  float64 GEMMs are the one stage whose BLAS results depend on row
+  count, so per-tenant batches keep rows bit-identical to single-tenant
+  serving), then one body run consuming every tenant's seeds.
+
+Metrics mirror :class:`~repro.serve.engine.EmbeddingEngine`'s
+(``serve.requests``, ``serve.batches``, ``serve.batch.size``,
+``serve.queue_wait``, ``serve.cache.*``, ``serve.run``), with two
+additions: a ``serve.batch.tenants`` histogram (distinct adapters per
+dispatch group) and — when ``tenant_labels`` is on — a ``{tenant=name}``
+labeled twin of each per-request series next to the bare aggregate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.nn.module import Module
+from repro.obs import OBS, TRACER
+from repro.obs.metrics import MetricsRegistry
+from repro.peft.meta_model import MetaLoRAModel
+from repro.serve.compile import (
+    CompiledProgram,
+    compile_features,
+    compile_forward,
+    compile_seed_mapping,
+)
+
+#: Label used on ``serve.run`` when one program execution serves rows
+#: from more than one tenant (the cross-tenant stacked runs).
+SHARED_TENANT = "(shared)"
+
+
+def _ingest(sample: object) -> np.ndarray:
+    """Mirror ``Tensor.__init__``'s dtype policy for raw request payloads."""
+    array = np.asarray(sample)
+    if not np.issubdtype(array.dtype, np.floating):
+        array = array.astype(np.float32)
+    return array
+
+
+def _digest(array: np.ndarray) -> bytes:
+    """Content digest for the result cache (shape + dtype + bytes)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((array.shape, array.dtype.str)).encode())
+    h.update(np.ascontiguousarray(array).tobytes())
+    return h.digest()
+
+
+class _Request:
+    __slots__ = ("adapter", "sample", "key", "future", "enqueued_at")
+
+    def __init__(
+        self,
+        adapter: str,
+        sample: np.ndarray,
+        key: tuple | None,
+        future: Future,
+    ) -> None:
+        self.adapter = adapter
+        self.sample = sample
+        self.key = key
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+# -- program identity ---------------------------------------------------------
+
+
+class ProgramKey(tuple):
+    """Identity of one compiled slot-program.
+
+    A ``(backbone, families, ranks, weights)`` tuple: the architecture
+    digest (module-tree class names + state shapes/dtypes, prefixed with
+    the program role), the adapter families and ranks present, and the
+    :func:`~repro.peft.checkpoint.state_digest` of the weights the
+    program folds.  Equal keys ⇒ compiling would produce programs with
+    identical outputs, so the cache may hand out one program to many
+    tenants.
+    """
+
+    __slots__ = ()
+
+    def __new__(
+        cls,
+        backbone: str,
+        families: tuple[str, ...],
+        ranks: tuple[int, ...],
+        weights: str,
+    ) -> "ProgramKey":
+        return tuple.__new__(cls, (backbone, tuple(families), tuple(ranks), weights))
+
+    @property
+    def backbone(self) -> str:
+        return self[0]
+
+    @property
+    def families(self) -> tuple[str, ...]:
+        return self[1]
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return self[2]
+
+    @property
+    def weights(self) -> str:
+        return self[3]
+
+
+def _architecture_digest(role: str, model: Module, state: Mapping[str, np.ndarray]) -> str:
+    hasher = hashlib.sha256()
+    for name, module in model.named_modules():
+        hasher.update(f"{name}={type(module).__name__};".encode())
+    for name in sorted(state):
+        array = np.asarray(state[name])
+        hasher.update(f"{name}:{array.shape}:{array.dtype.str};".encode())
+    return f"{role}:{hasher.hexdigest()}"
+
+
+def program_key(
+    model: Module, *, role: str = "features", extra: Mapping | None = None
+) -> ProgramKey:
+    """The :class:`ProgramKey` compiling ``model`` (in ``role``) would get.
+
+    ``extra`` folds additional compile-time inputs into the weights
+    digest — e.g. the mapping programs fold ``FLAGS.batched_seeds``,
+    which freezes the seed-generation strategy at compile time.
+    """
+    from repro.peft.checkpoint import _adapter_meta, state_digest
+
+    state = model.state_dict()
+    meta = _adapter_meta(model)
+    payload = dict(meta)
+    if extra:
+        payload.update(extra)
+    return ProgramKey(
+        backbone=_architecture_digest(role, model, state),
+        families=tuple(meta["families"]),
+        ranks=tuple(int(rank) for rank in meta["ranks"]),
+        weights=state_digest(state, extra=payload),
+    )
+
+
+def _mapping_key(model: MetaLoRAModel) -> ProgramKey:
+    """Key for the mapping program: trunk + heads + gains only.
+
+    Deliberately excludes the backbone and extractor, so tenants that
+    share them but were trained to different mapping weights get
+    distinct mapping programs while sharing the other two.
+    """
+    from repro.peft.checkpoint import state_digest
+    from repro.perf import FLAGS
+
+    state: dict[str, np.ndarray] = {"head_gains": model.head_gains.data}
+    for name, param in model.trunk.named_parameters():
+        state[f"trunk.{name}"] = param.data
+    for name, param in model.heads.named_parameters():
+        state[f"heads.{name}"] = param.data
+    hasher = hashlib.sha256()
+    for name in sorted(state):
+        array = state[name]
+        hasher.update(f"{name}:{array.shape}:{array.dtype.str};".encode())
+    return ProgramKey(
+        backbone=f"mapping:{hasher.hexdigest()}",
+        families=(),
+        ranks=(),
+        weights=state_digest(state, extra={"batched_seeds": bool(FLAGS.batched_seeds)}),
+    )
+
+
+# -- the compiled-program LRU -------------------------------------------------
+
+
+class ProgramCache:
+    """LRU of compiled slot-programs keyed by :class:`ProgramKey`.
+
+    ``get`` compiles on miss; tenants whose keys coincide receive the
+    *same* program object, which is what lets the dispatcher stack their
+    requests into one run (grouping is by program identity).  Counters:
+    ``serve.program_cache.hit`` / ``.miss`` / ``.evict``.
+    """
+
+    def __init__(self, capacity: int = 64, metrics: MetricsRegistry | None = None) -> None:
+        if capacity < 1:
+            raise ServeError(f"program cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._programs: "OrderedDict[ProgramKey, CompiledProgram]" = OrderedDict()
+        self._metrics = metrics if metrics is not None else MetricsRegistry(enabled=True)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._programs)
+
+    def __contains__(self, key: ProgramKey) -> bool:
+        with self._lock:
+            return key in self._programs
+
+    def _count(self, name: str) -> None:
+        self._metrics.inc(name)
+        OBS.enabled and OBS.inc(name)
+
+    def get(self, key: ProgramKey, compile_fn: Callable[[], CompiledProgram]) -> CompiledProgram:
+        with self._lock:
+            program = self._programs.get(key)
+            if program is not None:
+                self._programs.move_to_end(key)
+                self._count("serve.program_cache.hit")
+                return program
+            self._count("serve.program_cache.miss")
+            program = compile_fn()
+            self._programs[key] = program
+            while len(self._programs) > self.capacity:
+                self._programs.popitem(last=False)
+                self._count("serve.program_cache.evict")
+            return program
+
+    def stats(self) -> dict[str, dict]:
+        return self._metrics.snapshot()
+
+
+# -- named adapter entries ----------------------------------------------------
+
+
+class AdapterEntry:
+    """One registered adapter: compiled program(s), identity, version.
+
+    ``kind`` is ``"static"`` (one ``program``) or ``"seeded"`` (the
+    extractor / mapping / body triple).  ``version`` bumps on every
+    hot-swap, which is what invalidates result-cache rows keyed under
+    the old weights.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "digest",
+        "version",
+        "program",
+        "extractor",
+        "mapping",
+        "body",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        digest: str | None,
+        *,
+        program: CompiledProgram | None = None,
+        extractor: CompiledProgram | None = None,
+        mapping: CompiledProgram | None = None,
+        body: CompiledProgram | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.digest = digest
+        self.version = 1
+        self.program = program
+        self.extractor = extractor
+        self.mapping = mapping
+        self.body = body
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        """This tenant's full pipeline on one batch (no cross-tenant work)."""
+        if self.kind == "static":
+            assert self.program is not None
+            return self.program.run(batch)
+        assert self.extractor is not None and self.mapping is not None
+        assert self.body is not None
+        features = self.extractor.run(batch)
+        return self.body.run(batch, self.mapping.run(features))
+
+
+class AdapterRegistry:
+    """Named adapters plus the shared :class:`ProgramCache`.
+
+    ``register`` compiles (or cache-hits) the adapter's programs;
+    ``swap`` replaces an existing name's weights hot — queued requests
+    resolve their entry at dispatch time, so they serve the new weights;
+    ``evict`` removes a name.  All three are safe under concurrent
+    serving.
+    """
+
+    def __init__(self, *, program_cache_size: int = 64) -> None:
+        self._metrics = MetricsRegistry(enabled=True)
+        self.programs = ProgramCache(program_cache_size, metrics=self._metrics)
+        self._entries: "OrderedDict[str, AdapterEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def names(self) -> list[str]:
+        """Registered adapter names, in registration order."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, name: str) -> AdapterEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise ServeError(f"unknown adapter {name!r}; registered: {known}")
+        return entry
+
+    def register(
+        self,
+        name: str,
+        model_or_result: object,
+        *,
+        merge: bool = True,
+        replace: bool = False,
+    ) -> AdapterEntry:
+        """Compile and install ``name``; ``replace=True`` allows hot-swap.
+
+        Accepts a :class:`~repro.nn.module.Module` or anything exposing
+        ``serving_model(merge=...)`` (an ``AttachResult``).  MetaLoRA
+        models compile to the extractor/mapping/body split; everything
+        else compiles to one ``features()`` program.
+        """
+        with self._lock:
+            previous = self._entries.get(name)
+            if previous is not None and not replace:
+                raise ServeError(
+                    f"adapter {name!r} is already registered; "
+                    f"use swap() (or replace=True) to hot-swap it"
+                )
+            entry = self._compile_entry(name, model_or_result, merge=merge)
+            if previous is not None:
+                entry.version = previous.version + 1
+            self._entries[name] = entry
+            return entry
+
+    def swap(self, name: str, model_or_result: object, *, merge: bool = True) -> AdapterEntry:
+        """Hot-swap ``name``'s weights; the name must already be registered."""
+        with self._lock:
+            if name not in self._entries:
+                known = ", ".join(sorted(self._entries)) or "(none)"
+                raise ServeError(
+                    f"cannot swap unknown adapter {name!r} (registered: {known}); "
+                    f"use register() to add it"
+                )
+            self._metrics.inc("serve.registry.swap")
+            OBS.enabled and OBS.inc("serve.registry.swap")
+            return self.register(name, model_or_result, merge=merge, replace=True)
+
+    def evict(self, name: str) -> AdapterEntry:
+        """Remove ``name``; returns the evicted entry."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            known = ", ".join(sorted(self._entries)) or "(none)"
+            raise ServeError(f"cannot evict unknown adapter {name!r}; registered: {known}")
+        return entry
+
+    def register_program(
+        self, name: str, program: CompiledProgram, *, replace: bool = False
+    ) -> AdapterEntry:
+        """Install a pre-compiled program under ``name`` (bypasses the cache).
+
+        This is how the single-tenant :class:`~repro.serve.engine.EmbeddingEngine`
+        wrapper mounts the program it was handed.
+        """
+        with self._lock:
+            previous = self._entries.get(name)
+            if previous is not None and not replace:
+                raise ServeError(
+                    f"adapter {name!r} is already registered; "
+                    f"use swap() (or replace=True) to hot-swap it"
+                )
+            entry = AdapterEntry(name, "static", None, program=program)
+            if previous is not None:
+                entry.version = previous.version + 1
+            self._entries[name] = entry
+            return entry
+
+    def register_checkpoint(
+        self,
+        name: str,
+        model: Module,
+        path: object,
+        *,
+        merge: bool = True,
+        replace: bool = False,
+    ) -> AdapterEntry:
+        """Load an adapter checkpoint into ``model`` and register the result.
+
+        The checkpoint (written by :func:`repro.peft.save_adapter`) is
+        validated against its manifest and against ``model``, then the
+        restored model is compiled under ``name`` — the straight
+        checkpoint-file → serving-tenant path.
+        """
+        from repro.peft.checkpoint import load_adapter
+
+        load_adapter(model, path)
+        return self.register(name, model, merge=merge, replace=replace)
+
+    def stats(self) -> dict[str, dict]:
+        """Registry counters (program cache + swaps) as a metrics snapshot."""
+        self._metrics.gauge("serve.registry.size", len(self))
+        return self._metrics.snapshot()
+
+    # -- compilation ----------------------------------------------------------
+
+    def _compile_entry(self, name: str, model_or_result: object, merge: bool) -> AdapterEntry:
+        model = model_or_result
+        if not isinstance(model, Module):
+            serving_model = getattr(model, "serving_model", None)
+            if serving_model is None or not callable(serving_model):
+                raise ServeError(
+                    f"register() expects a Module or AttachResult, "
+                    f"got {type(model_or_result).__name__}"
+                )
+            model = serving_model(merge=merge)
+            if not isinstance(model, Module):
+                raise ServeError(
+                    f"serving_model() on {type(model_or_result).__name__} returned "
+                    f"{type(model).__name__}, not a Module"
+                )
+        if isinstance(model, MetaLoRAModel):
+            return self._compile_seeded(name, model)
+        key = program_key(model)
+        program = self.programs.get(key, lambda: compile_features(model))
+        return AdapterEntry(name, "static", key.weights, program=program)
+
+    def _compile_seeded(self, name: str, model: MetaLoRAModel) -> AdapterEntry:
+        from repro.peft.checkpoint import model_digest
+
+        extractor_key = program_key(model.extractor, role="extractor")
+        body_key = program_key(model.backbone, role="body")
+        mapping_key = _mapping_key(model)
+        extractor = self.programs.get(
+            extractor_key, lambda: compile_forward(model.extractor)
+        )
+        mapping = self.programs.get(mapping_key, lambda: compile_seed_mapping(model))
+        body = self.programs.get(
+            body_key, lambda: compile_features(model, external_seeds=True)
+        )
+        return AdapterEntry(
+            name,
+            "seeded",
+            model_digest(model),
+            extractor=extractor,
+            mapping=mapping,
+            body=body,
+        )
+
+
+# -- the tenant-aware engine --------------------------------------------------
+
+
+class MultiTenantEngine:
+    """Serve many named adapters behind one submit/embed/dispatch API.
+
+    Parameters
+    ----------
+    registry:
+        An :class:`AdapterRegistry` to serve from; omitted, the engine
+        owns a fresh one (``program_cache_size`` sizes its LRU).
+    max_batch / max_delay / cache_size:
+        Micro-batcher and result-cache limits, exactly as on
+        :class:`~repro.serve.engine.EmbeddingEngine`.  The result cache
+        is keyed by ``(adapter, version, sample digest)``, so hot-swaps
+        never serve stale rows.
+    tenant_labels:
+        When true (default), per-request metrics also record a
+        ``{tenant=name}`` labeled series next to the bare aggregate.
+    """
+
+    def __init__(
+        self,
+        registry: AdapterRegistry | None = None,
+        *,
+        max_batch: int = 32,
+        max_delay: float = 0.002,
+        cache_size: int = 256,
+        tenant_labels: bool = True,
+        program_cache_size: int = 64,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ServeError(f"max_delay must be >= 0, got {max_delay}")
+        if cache_size < 0:
+            raise ServeError(f"cache_size must be >= 0, got {cache_size}")
+        self.registry = (
+            registry
+            if registry is not None
+            else AdapterRegistry(program_cache_size=program_cache_size)
+        )
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.cache_size = int(cache_size)
+        self.tenant_labels = bool(tenant_labels)
+        self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._metrics = MetricsRegistry(enabled=True)
+        self._stats_lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        self._queue: "queue.Queue[_Request]" = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._worker_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._closed = False
+
+    # -- registry passthroughs ------------------------------------------------
+
+    def register(self, name: str, model_or_result: object, **kwargs: object) -> AdapterEntry:
+        return self.registry.register(name, model_or_result, **kwargs)
+
+    def swap(self, name: str, model_or_result: object, **kwargs: object) -> AdapterEntry:
+        return self.registry.swap(name, model_or_result, **kwargs)
+
+    def evict(self, name: str) -> AdapterEntry:
+        return self.registry.evict(name)
+
+    def adapters(self) -> list[str]:
+        return self.registry.names()
+
+    # -- metric recording -----------------------------------------------------
+
+    def _inc(
+        self, name: str, n: int = 1, *, seconds: float = 0.0, tenant: str | None = None
+    ) -> None:
+        with self._stats_lock:
+            self._metrics.inc(name, n, seconds=seconds)
+            if self.tenant_labels and tenant is not None:
+                self._metrics.inc(name, n, seconds=seconds, tenant=tenant)
+        OBS.enabled and OBS.inc(name, n, seconds=seconds)
+        if self.tenant_labels and tenant is not None:
+            OBS.enabled and OBS.inc(name, n, seconds=seconds, tenant=tenant)
+
+    def _hist(self, name: str, value: object) -> None:
+        with self._stats_lock:
+            self._metrics.hist(name, value)
+        OBS.enabled and OBS.hist(name, value)
+
+    def _observe(
+        self, name: str, seconds: float, nbytes: int = 0, *, tenant: str | None = None
+    ) -> None:
+        with self._stats_lock:
+            self._metrics.observe(name, seconds, bytes=nbytes)
+            if self.tenant_labels and tenant is not None:
+                self._metrics.observe(name, seconds, bytes=nbytes, tenant=tenant)
+        OBS.enabled and OBS.observe(name, seconds, bytes=nbytes)
+        if self.tenant_labels and tenant is not None:
+            OBS.enabled and OBS.observe(name, seconds, bytes=nbytes, tenant=tenant)
+
+    # -- synchronous bulk path ------------------------------------------------
+
+    def embed(self, images: np.ndarray, adapter: str, batch_size: int = 64) -> np.ndarray:
+        """Embeddings for ``images`` under the named adapter.
+
+        Chunk boundaries match ``extract_embeddings``, so rows are
+        bit-identical to the reference path under that adapter's model.
+        """
+        if self._closed:
+            raise ServeError("embed() on a closed MultiTenantEngine")
+        entry = self.registry.get(adapter)
+        images = _ingest(images)
+        with TRACER.span(
+            "serve.request", kind="bulk", tenant=adapter, samples=int(images.shape[0])
+        ):
+            chunks = []
+            for start in range(0, images.shape[0], batch_size):
+                chunks.append(self._run_entry(entry, images[start : start + batch_size]))
+            return np.concatenate(chunks, axis=0)
+
+    def _run_program(
+        self,
+        program: CompiledProgram,
+        inputs: tuple[np.ndarray, ...],
+        tenant: str,
+    ) -> np.ndarray:
+        with self._run_lock:
+            start = time.perf_counter()
+            out = program.run(*inputs)
+            elapsed = time.perf_counter() - start
+        self._observe("serve.run", elapsed, out.nbytes, tenant=tenant)
+        return out
+
+    def _run_entry(self, entry: AdapterEntry, batch: np.ndarray) -> np.ndarray:
+        """One tenant's pipeline on one batch, with per-program metrics."""
+        if entry.kind == "static":
+            return self._run_program(entry.program, (batch,), entry.name)
+        features = self._run_program(entry.extractor, (batch,), entry.name)
+        seeds = self._run_program(entry.mapping, (features,), entry.name)
+        return self._run_program(entry.body, (batch, seeds), entry.name)
+
+    # -- request path: heterogeneous micro-batching ---------------------------
+
+    def submit(self, sample: np.ndarray, adapter: str) -> "Future[np.ndarray]":
+        """Queue one sample for the named adapter; resolves to its row."""
+        if self._closed:
+            raise ServeError("submit() on a closed MultiTenantEngine")
+        entry = self.registry.get(adapter)  # fail unknown names fast
+        sample = _ingest(sample)
+        key = (adapter, entry.version, _digest(sample)) if self.cache_size else None
+        future: "Future[np.ndarray]" = Future()
+        if key is not None:
+            cached = self._cache_get(key)
+            if cached is not None:
+                self._inc("serve.requests", tenant=adapter)
+                self._inc("serve.cache.hit", tenant=adapter)
+                future.set_result(cached)
+                return future
+            self._inc("serve.cache.miss", tenant=adapter)
+        self._ensure_worker()
+        self._queue.put(_Request(adapter, sample, key, future))
+        return future
+
+    def dispatch(self, batch: Sequence[tuple[str, np.ndarray]]) -> list[np.ndarray]:
+        """Serve one heterogeneous batch synchronously.
+
+        ``batch`` is ``(adapter_name, sample)`` pairs; the result is one
+        embedding row per pair, in request order.  This is the same
+        grouping the micro-batcher worker applies to queued requests —
+        exposed directly so callers (and the multi-tenant bench) can
+        drive cross-tenant stacking without the queue.
+        """
+        if self._closed:
+            raise ServeError("dispatch() on a closed MultiTenantEngine")
+        entries = [self.registry.get(name) for name, __ in batch]
+        samples = [_ingest(sample) for __, sample in batch]
+        rows: list[np.ndarray | None] = [None] * len(entries)
+        for indices in self._group_indices(entries):
+            group_rows = self._serve_group(
+                [entries[i] for i in indices], [samples[i] for i in indices]
+            )
+            for j, i in enumerate(indices):
+                rows[i] = group_rows[j]
+        return rows  # type: ignore[return-value]
+
+    @staticmethod
+    def _group_indices(entries: Sequence[AdapterEntry]) -> list[list[int]]:
+        """Group request indices by runnable unit: static tenants by
+        program identity, seeded tenants by body-program identity."""
+        groups: "OrderedDict[tuple, list[int]]" = OrderedDict()
+        for index, entry in enumerate(entries):
+            if entry.kind == "static":
+                key = ("static", id(entry.program))
+            else:
+                key = ("seeded", id(entry.body))
+            groups.setdefault(key, []).append(index)
+        return list(groups.values())
+
+    def _serve_group(
+        self, entries: list[AdapterEntry], samples: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Run one homogeneous group; returns fresh per-request rows.
+
+        Static group: one stacked run.  Seeded group: extractor once per
+        distinct extractor program over the stacked union, mapping per
+        tenant on its own rows (keeping mapping batch shapes identical
+        to single-tenant serving), then one body run over the union with
+        every tenant's seeds stacked in request order.
+        """
+        count = len(entries)
+        tenants = {entry.name for entry in entries}
+        label = next(iter(tenants)) if len(tenants) == 1 else SHARED_TENANT
+        if entries[0].kind == "static":
+            out = self._run_program(entries[0].program, (np.stack(samples),), label)
+            return [np.ascontiguousarray(out[i]) for i in range(count)]
+        x = np.stack(samples)
+        feature_rows: list[np.ndarray | None] = [None] * count
+        by_extractor: "OrderedDict[int, list[int]]" = OrderedDict()
+        for index, entry in enumerate(entries):
+            by_extractor.setdefault(id(entry.extractor), []).append(index)
+        for indices in by_extractor.values():
+            sub = {entries[i].name for i in indices}
+            sub_label = next(iter(sub)) if len(sub) == 1 else SHARED_TENANT
+            features = self._run_program(
+                entries[indices[0]].extractor,
+                (x[np.asarray(indices)] if len(indices) < count else x,),
+                sub_label,
+            )
+            for j, i in enumerate(indices):
+                feature_rows[i] = features[j]
+        seed_rows: list[np.ndarray | None] = [None] * count
+        by_mapping: "OrderedDict[int, list[int]]" = OrderedDict()
+        for index, entry in enumerate(entries):
+            by_mapping.setdefault(id(entry.mapping), []).append(index)
+        for indices in by_mapping.values():
+            entry = entries[indices[0]]
+            features = np.stack([feature_rows[i] for i in indices])
+            seeds = self._run_program(entry.mapping, (features,), entry.name)
+            for j, i in enumerate(indices):
+                seed_rows[i] = seeds[j]
+        out = self._run_program(
+            entries[0].body, (x, np.stack(seed_rows)), label
+        )
+        return [np.ascontiguousarray(out[i]) for i in range(count)]
+
+    # -- worker ---------------------------------------------------------------
+
+    def _ensure_worker(self) -> None:
+        with self._worker_lock:
+            if self._worker is not None and self._worker.is_alive():
+                return
+            self._stop.clear()
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-serve-batcher", daemon=True
+            )
+            self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            self._process(self._gather(first))
+
+    def _gather(self, first: _Request) -> list[_Request]:
+        """Coalesce queued requests after ``first``, bounded by
+        ``max_batch`` and by ``max_delay`` seconds since the first."""
+        batch = [first]
+        deadline = time.perf_counter() + self.max_delay
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch
+
+    def _process(self, requests: list[_Request]) -> None:
+        queued = time.perf_counter()
+        # Resolve entries at dispatch time: a swap() between submit and
+        # dispatch serves the *new* weights; an evict fails the request.
+        resolved: list[tuple[_Request, AdapterEntry]] = []
+        for request in requests:
+            try:
+                resolved.append((request, self.registry.get(request.adapter)))
+            except ServeError as exc:
+                request.future.set_exception(exc)
+        if not resolved:
+            return
+        entries = [entry for __, entry in resolved]
+        with TRACER.span("serve.batch", size=len(resolved)):
+            for indices in self._group_indices(entries):
+                group = [resolved[i] for i in indices]
+                group_entries = [entry for __, entry in group]
+                try:
+                    rows = self._serve_group(
+                        group_entries, [request.sample for request, __ in group]
+                    )
+                except BaseException as exc:  # surface kernel errors to callers
+                    for request, __ in group:
+                        request.future.set_exception(exc)
+                    continue
+                for request, __ in group:
+                    self._inc("serve.requests", tenant=request.adapter)
+                self._inc("serve.batches")
+                self._hist("serve.batch.size", len(group))
+                self._hist(
+                    "serve.batch.tenants", len({entry.name for entry in group_entries})
+                )
+                waited = sum(queued - request.enqueued_at for request, __ in group)
+                self._inc("serve.queue_wait", len(group), seconds=waited)
+                for (request, __), row in zip(group, rows):
+                    if request.key is not None:
+                        self._cache_put(request.key, row)
+                        row = row.copy()
+                    request.future.set_result(row)
+
+    # -- LRU result cache -----------------------------------------------------
+
+    def _cache_get(self, key: tuple) -> np.ndarray | None:
+        with self._stats_lock:
+            row = self._cache.get(key)
+            if row is None:
+                return None
+            self._cache.move_to_end(key)
+            return row.copy()
+
+    def _cache_put(self, key: tuple, row: np.ndarray) -> None:
+        with self._stats_lock:
+            self._cache[key] = row
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                self._metrics.inc("serve.cache.evict")
+                OBS.enabled and OBS.inc("serve.cache.evict")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def stats(self) -> dict[str, dict]:
+        """Engine + registry counters in the unified snapshot schema.
+
+        The engine's own series (bare names, plus ``{tenant=...}``
+        labeled twins when ``tenant_labels`` is on) are merged with its
+        registry's (``serve.program_cache.*``, ``serve.registry.*``).
+        """
+        with self._stats_lock:
+            self._metrics.gauge("serve.cache.size", len(self._cache))
+            snapshot = self._metrics.snapshot()
+        merged = MetricsRegistry(enabled=True)
+        merged.merge(snapshot)
+        merged.merge(self.registry.stats())
+        return merged.snapshot()
+
+    def close(self) -> None:
+        """Stop the worker (after draining queued work) and reject new calls."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=10.0)
+        while True:  # belt and braces: fail anything the worker left behind
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            request.future.set_exception(ServeError("MultiTenantEngine closed"))
+
+    def __enter__(self) -> "MultiTenantEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

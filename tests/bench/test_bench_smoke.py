@@ -9,6 +9,7 @@ from repro.bench import (
     SCHEMA,
     format_bench_record,
     run_autograd_bench,
+    run_multi_tenant_bench,
     run_serve_bench,
     run_table1_parallel_bench,
     validate_bench_record,
@@ -105,6 +106,100 @@ class TestServeBench:
             str(tmp_path), scale="tiny", repeats=1, suites=("serve",)
         )
         assert [p.rsplit("/", 1)[-1] for p in paths] == ["BENCH_serve.json"]
+
+
+class TestMultiTenantBenchSection:
+    def test_multi_tenant_section_validates_and_formats(self):
+        record = run_serve_bench(scale="tiny", repeats=1, tenants=3)
+        multi = record["multi_tenant"]
+        assert multi["tenants"] == 3
+        assert multi["seed_slot_tenants"] == 2
+        assert multi["static_tenants"] == 1
+        assert multi["swaps"] == 1
+        # Identity is asserted in-process; the record pins it too.
+        assert multi["bit_identical"] is True
+        # Seed-slot tenants shared extractor/body compilations.
+        assert multi["program_cache"]["hit"] >= 1
+        assert multi["speedup"] > 0
+        assert multi["seed_slot"]["speedup"] > 0
+        validate_bench_record(json.loads(json.dumps(record)))
+        text = format_bench_record(record)
+        assert "multi-tenant" in text
+        assert "seed-slot only" in text
+        assert "program cache" in text
+
+    def test_tenants_zero_disables_the_section(self):
+        record = run_serve_bench(scale="tiny", repeats=1, tenants=0)
+        assert "multi_tenant" not in record
+
+    def test_too_few_tenants_rejected(self):
+        with pytest.raises(ValueError, match=">= 3 tenants"):
+            run_multi_tenant_bench(scale="tiny", repeats=1, tenants=2)
+
+    def test_validate_rejects_corrupt_multi_tenant_sections(self):
+        base = json.loads(
+            json.dumps(run_serve_bench(scale="tiny", repeats=1, tenants=0))
+        )
+        good = {
+            "tenants": 3,
+            "seed_slot_tenants": 2,
+            "static_tenants": 1,
+            "rounds": 4,
+            "per_tenant": 1,
+            "requests": 12,
+            "swaps": 1,
+            "serial_seconds": 1.0,
+            "grouped_seconds": 0.5,
+            "speedup": 2.0,
+            "seed_slot": {
+                "serial_seconds": 0.8,
+                "grouped_seconds": 0.4,
+                "speedup": 2.0,
+            },
+            "throughput": {"serial": 12.0, "grouped": 24.0},
+            "program_cache": {"hit": 4, "miss": 5, "evict": 0, "hit_rate": 4 / 9},
+            "bit_identical": True,
+        }
+        validate_bench_record({**base, "multi_tenant": good})
+        autograd = run_autograd_bench(scale="tiny", repeats=1)
+        for corrupt, match in (
+            ({**autograd, "multi_tenant": good}, "serve-only"),
+            ({**base, "multi_tenant": {**good, "tenants": 2}}, "tenants"),
+            (
+                {**base, "multi_tenant": {**good, "seed_slot": {}}},
+                "seed_slot",
+            ),
+            (
+                {**base, "multi_tenant": {**good, "speedup": float("nan")}},
+                "speedup",
+            ),
+            (
+                {
+                    **base,
+                    "multi_tenant": {
+                        **good,
+                        "program_cache": {**good["program_cache"], "hit": 0},
+                    },
+                },
+                "hit",
+            ),
+            (
+                {
+                    **base,
+                    "multi_tenant": {
+                        **good,
+                        "program_cache": {**good["program_cache"], "hit_rate": 1.5},
+                    },
+                },
+                "hit_rate",
+            ),
+            (
+                {**base, "multi_tenant": {**good, "bit_identical": False}},
+                "bit_identical",
+            ),
+        ):
+            with pytest.raises(ValueError, match=match):
+                validate_bench_record(corrupt)
 
 
 class TestParallelBenchSection:

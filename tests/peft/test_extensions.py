@@ -187,7 +187,17 @@ class TestCheckpointManifest:
         manifest = read_manifest(path)
         assert manifest["format_version"] == ARTIFACT_VERSION
         assert manifest["kind"] == "adapter"
-        assert manifest["meta"] == {"families": ["LoRALinear"], "ranks": [2]}
+        meta = manifest["meta"]
+        assert meta["families"] == ["LoRALinear"]
+        assert meta["ranks"] == [2]
+        # The manifest also embeds the shared state_digest identity,
+        # which the serving registry reuses as its program-cache key.
+        from repro.peft import state_digest
+
+        assert meta["digest"] == state_digest(
+            adapter_state_dict(net),
+            extra={"families": meta["families"], "ranks": meta["ranks"]},
+        )
         assert all(
             "shape" in spec and "dtype" in spec
             for spec in manifest["arrays"].values()

@@ -7,7 +7,7 @@ from repro.errors import ServeError
 from repro.eval.embeddings import extract_embeddings
 from repro.models import resnet_small
 from repro.perf import perf_overrides
-from repro.serve import EmbeddingEngine, build_engine, clear_shared_engines
+from repro.serve import ENGINES, EmbeddingEngine, build_engine
 from repro.utils.profiling import PROFILER
 
 
@@ -175,7 +175,7 @@ class TestProtocolIntegration:
     def test_flagged_extract_embeddings_is_bit_identical(self, model, rng):
         images = samples_for(rng, 5)
         reference = extract_embeddings(model, images)
-        clear_shared_engines()
+        ENGINES.clear()
         try:
             with perf_overrides(serve_embeddings=True):
                 flagged = extract_embeddings(model, images)
@@ -183,7 +183,7 @@ class TestProtocolIntegration:
             assert np.array_equal(flagged, reference)
             assert np.array_equal(again, reference)
         finally:
-            clear_shared_engines()
+            ENGINES.clear()
 
     def test_explicit_engine_argument(self, engine, model, rng):
         images = samples_for(rng, 4)

@@ -1,0 +1,407 @@
+"""AdapterRegistry + MultiTenantEngine: naming, sharing, churn, identity.
+
+The acceptance contract: a multi-tenant engine serving N named adapters
+produces rows bit-identical to N separate single-tenant engines, even
+though seed-slot tenants are stacked *across* tenants into shared
+extractor/body runs.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.models import FeatureExtractor, resnet_small
+from repro.peft import (
+    MetaLoRAModel,
+    attach,
+    load_adapter,
+    save_adapter,
+    state_digest,
+)
+from repro.serve import (
+    ENGINES,
+    AdapterRegistry,
+    EmbeddingEngine,
+    MultiTenantEngine,
+    build_engine,
+    clear_shared_engines,
+    compile_features,
+    program_key,
+    shared_engine,
+)
+from repro.utils.rng import new_rng
+
+
+def images_for(rng, n=6):
+    return rng.normal(size=(n, 3, 16, 16)).astype(np.float32)
+
+
+def randomize_zero_params(model, rng):
+    for param in model.parameters():
+        if not np.any(param.data):
+            param.data[...] = (rng.normal(size=param.data.shape) * 0.2).astype(
+                param.data.dtype
+            )
+
+
+def static_lora_result(seed=0):
+    backbone = resnet_small(4, new_rng(seed))
+    result = attach(backbone, "lora", rank=2, rng=new_rng(seed + 1))
+    randomize_zero_params(backbone, np.random.default_rng(seed + 2))
+    return result
+
+
+def meta_model(fmt="meta_tr", seed=10, extractor_seed=99):
+    """A MetaLoRA model; same ``extractor_seed`` ⇒ shared extractor weights."""
+    backbone = resnet_small(4, new_rng(seed))
+    result = attach(backbone, fmt, rank=2, rng=new_rng(seed + 1))
+    extractor = FeatureExtractor(resnet_small(4, new_rng(extractor_seed)))
+    model = MetaLoRAModel(backbone, extractor, rng=new_rng(seed + 2), adapters=result)
+    randomize_zero_params(model, np.random.default_rng(seed + 3))
+    return model
+
+
+def perturb_mapping(model, rng):
+    """New mapping weights in place: what a tenant's fine-tune produces."""
+    model.trunk.weight.data[...] += (
+        rng.normal(size=model.trunk.weight.data.shape) * 0.05
+    )
+    for head in model.heads:
+        head.weight.data[...] += rng.normal(size=head.weight.data.shape) * 0.05
+
+
+class TestRegistry:
+    def test_register_get_evict(self):
+        registry = AdapterRegistry()
+        entry = registry.register("a", static_lora_result(0))
+        assert registry.names() == ["a"]
+        assert "a" in registry and len(registry) == 1
+        assert registry.get("a") is entry
+        assert entry.kind == "static" and entry.version == 1
+        evicted = registry.evict("a")
+        assert evicted is entry
+        assert "a" not in registry
+
+    def test_unknown_names_raise(self):
+        registry = AdapterRegistry()
+        with pytest.raises(ServeError, match="unknown adapter"):
+            registry.get("ghost")
+        with pytest.raises(ServeError, match="swap unknown"):
+            registry.swap("ghost", static_lora_result(0))
+        with pytest.raises(ServeError, match="evict unknown"):
+            registry.evict("ghost")
+
+    def test_duplicate_register_requires_replace(self):
+        registry = AdapterRegistry()
+        registry.register("a", static_lora_result(0))
+        with pytest.raises(ServeError, match="already registered"):
+            registry.register("a", static_lora_result(1))
+        entry = registry.register("a", static_lora_result(1), replace=True)
+        assert entry.version == 2
+
+    def test_rejects_non_models(self):
+        registry = AdapterRegistry()
+        with pytest.raises(ServeError, match="Module or AttachResult"):
+            registry.register("a", object())
+
+    def test_identical_static_tenants_share_one_program(self):
+        registry = AdapterRegistry()
+        # Two names over byte-identical merged weights ⇒ one compile.
+        a = registry.register("a", static_lora_result(0))
+        b = registry.register("b", static_lora_result(0))
+        assert a.program is b.program
+        stats = registry.stats()
+        assert stats["serve.program_cache.hit"]["calls"] == 1
+        assert stats["serve.program_cache.miss"]["calls"] == 1
+
+    def test_seeded_tenants_share_extractor_and_body(self):
+        registry = AdapterRegistry()
+        first = meta_model(seed=10)
+        second = meta_model(seed=10)
+        perturb_mapping(second, np.random.default_rng(7))
+        a = registry.register("a", first)
+        b = registry.register("b", second)
+        assert a.kind == b.kind == "seeded"
+        assert a.extractor is b.extractor  # shared backbone/extractor...
+        assert a.body is b.body
+        assert a.mapping is not b.mapping  # ...but tenant-specific mapping
+        stats = registry.stats()
+        assert stats["serve.program_cache.hit"]["calls"] == 2
+        assert stats["serve.program_cache.miss"]["calls"] == 4
+
+    def test_program_cache_evicts_lru(self):
+        registry = AdapterRegistry(program_cache_size=1)
+        registry.register("a", static_lora_result(0))
+        registry.register("b", static_lora_result(1))
+        stats = registry.stats()
+        assert stats["serve.program_cache.evict"]["calls"] >= 1
+
+    def test_register_checkpoint(self, tmp_path):
+        donor = meta_model(seed=10)
+        perturb_mapping(donor, np.random.default_rng(3))
+        path = tmp_path / "adapter.npz"
+        save_adapter(donor, path)
+        target = meta_model(seed=10)  # same shapes, different mapping state
+        registry = AdapterRegistry()
+        entry = registry.register_checkpoint("tenant", target, path)
+        assert entry.kind == "seeded"
+        # The restored tenant serves the donor's weights.
+        images = images_for(np.random.default_rng(0), 3)
+        assert np.array_equal(entry.run(images), compile_features(donor).run(images))
+
+
+class TestDigest:
+    def test_attach_result_digest_tracks_weights(self):
+        result = static_lora_result(0)
+        before = result.digest()
+        assert before == result.digest()  # deterministic
+        next(iter(result.adapters.values())).lora_a.data[...] += 1.0
+        assert result.digest() != before
+
+    def test_checkpoint_manifest_shares_the_digest_function(self, tmp_path):
+        from repro.peft.checkpoint import adapter_state_dict, _adapter_meta
+
+        model = meta_model(seed=10)
+        path = tmp_path / "adapter.npz"
+        save_adapter(model, path)
+        manifest_meta = load_adapter(model, path)
+        meta = _adapter_meta(model)
+        expected = state_digest(
+            adapter_state_dict(model),
+            extra={"families": meta["families"], "ranks": meta["ranks"]},
+        )
+        assert manifest_meta["digest"] == expected
+
+    def test_program_keys_reuse_state_digest(self):
+        result = static_lora_result(0)
+        model = result.serving_model(merge=True)
+        key = program_key(model)
+        # The key's weight component is the shared state_digest over the
+        # model's full state, tagged with families/ranks.
+        from repro.peft.checkpoint import model_digest
+
+        assert key.weights == model_digest(model)
+
+
+class TestMultiTenantServing:
+    def test_single_tenant_engine_matches_embedding_engine(self, rng):
+        """Acceptance: one-tenant MultiTenantEngine ≡ EmbeddingEngine."""
+        model = meta_model(seed=10)
+        images = images_for(rng, 5)
+        with build_engine(model, cache_size=0) as single:
+            reference = single.embed(images)
+        # A generous max_delay lets the worker coalesce all submits into
+        # one flush, so the meta mapping net sees the same row composition
+        # as the 5-row reference chunk (it is not batch-composition
+        # invariant — that is why grouped dispatch runs it per-tenant).
+        engine = MultiTenantEngine(cache_size=0, max_delay=0.25)
+        engine.register("only", model)
+        try:
+            assert np.array_equal(engine.embed(images, "only"), reference)
+            rows = [
+                f.result(timeout=10.0)
+                for f in [engine.submit(sample, "only") for sample in images]
+            ]
+            for index, row in enumerate(rows):
+                assert np.array_equal(row, reference[index])
+        finally:
+            engine.close()
+
+    def test_three_tenants_bit_identical_to_three_engines(self, rng):
+        """Acceptance: N=3 (one merged LoRA, two MetaLoRA seed-slot
+        tenants) — grouped cross-tenant dispatch reproduces three
+        separate single-tenant engines bit for bit."""
+        static = static_lora_result(0)
+        meta_a = meta_model(seed=10)
+        meta_b = meta_model(seed=10)
+        perturb_mapping(meta_b, np.random.default_rng(7))
+        images = {name: images_for(rng, 2) for name in ("static", "meta_a", "meta_b")}
+
+        reference = {}
+        for name, source in (("static", static), ("meta_a", meta_a), ("meta_b", meta_b)):
+            with build_engine(source, cache_size=0) as engine:
+                reference[name] = engine.embed(images[name])
+
+        # Generous max_delay: one flush per submit burst, so each meta
+        # tenant's mapping net sees the same 2-row composition as its
+        # reference chunks.
+        engine = MultiTenantEngine(cache_size=0, max_delay=0.25)
+        engine.register("static", static)  # already merged by build_engine
+        engine.register("meta_a", meta_a)
+        engine.register("meta_b", meta_b)
+        try:
+            # Seed-slot tenants share extractor+body: their requests stack.
+            entries = [engine.registry.get(n) for n in ("meta_a", "meta_b")]
+            assert entries[0].body is entries[1].body
+            batch = [
+                (name, images[name][index])
+                for index in range(2)
+                for name in ("static", "meta_a", "meta_b")
+            ]
+            rows = engine.dispatch(batch)
+            for position, (name, __) in enumerate(batch):
+                index = position // 3
+                assert np.array_equal(rows[position], reference[name][index])
+            # The same identity holds through the queued submit path.
+            futures = [
+                (name, index, engine.submit(images[name][index], name))
+                for index in range(2)
+                for name in ("static", "meta_a", "meta_b")
+            ]
+            for name, index, future in futures:
+                assert np.array_equal(future.result(timeout=10.0), reference[name][index])
+            stats = engine.stats()
+            assert stats["serve.requests"]["calls"] == 6
+            assert "serve.requests{tenant=meta_a}" in stats
+            assert sum(stats["serve.batch.tenants"]["buckets"].values()) >= 1
+        finally:
+            engine.close()
+
+    def test_adapter_churn_swap_serves_new_weights(self, rng):
+        """register → serve → swap → serve: new outputs, correct program
+        cache traffic, no stale result-cache hits."""
+        engine = MultiTenantEngine(cache_size=8)
+        model = meta_model(seed=10)
+        engine.register("tenant", model)
+        sample = images_for(rng, 1)[0]
+        try:
+            before = engine.submit(sample, "tenant").result(timeout=10.0)
+            baseline = engine.stats()
+            # Swap in new mapping weights (same extractor/backbone).
+            perturb_mapping(model, np.random.default_rng(3))
+            entry = engine.swap("tenant", model)
+            assert entry.version == 2
+            after = engine.submit(sample, "tenant").result(timeout=10.0)
+            assert not np.array_equal(before, after)  # new weights serve
+            stats = engine.stats()
+            # The swap recompiled only the mapping program (miss) and
+            # cache-hit the unchanged extractor + body.
+            hits_before = baseline.get("serve.program_cache.hit", {}).get("calls", 0)
+            assert stats["serve.program_cache.hit"]["calls"] - hits_before == 2
+            assert (
+                stats["serve.program_cache.miss"]["calls"]
+                - baseline["serve.program_cache.miss"]["calls"]
+            ) == 1
+            assert stats["serve.registry.swap"]["calls"] == 1
+            # The identical sample missed the result cache after the swap:
+            # rows cached under version 1 are unreachable from version 2.
+            assert stats["serve.cache.miss"]["calls"] == 2
+            assert "serve.cache.hit" not in stats  # zero stale hits
+            # ...and resubmitting now hits under the new version.
+            again = engine.submit(sample, "tenant").result(timeout=10.0)
+            assert np.array_equal(again, after)
+            assert engine.stats()["serve.cache.hit"]["calls"] == 1
+        finally:
+            engine.close()
+
+    def test_unknown_adapter_raises_everywhere(self, rng):
+        engine = MultiTenantEngine(cache_size=0)
+        sample = images_for(rng, 1)
+        try:
+            with pytest.raises(ServeError, match="unknown adapter"):
+                engine.embed(sample, "ghost")
+            with pytest.raises(ServeError, match="unknown adapter"):
+                engine.submit(sample[0], "ghost")
+            with pytest.raises(ServeError, match="unknown adapter"):
+                engine.dispatch([("ghost", sample[0])])
+        finally:
+            engine.close()
+
+    def test_closed_engine_rejects_calls(self, rng):
+        engine = MultiTenantEngine(cache_size=0)
+        engine.register("a", static_lora_result(0))
+        engine.close()
+        with pytest.raises(ServeError, match="closed"):
+            engine.embed(images_for(rng, 1), "a")
+        with pytest.raises(ServeError, match="closed"):
+            engine.submit(images_for(rng, 1)[0], "a")
+        with pytest.raises(ServeError, match="closed"):
+            engine.dispatch([("a", images_for(rng, 1)[0])])
+        engine.close()  # idempotent
+
+    def test_invalid_limits_rejected(self):
+        for kwargs in (
+            {"max_batch": 0},
+            {"max_delay": -0.1},
+            {"cache_size": -1},
+        ):
+            with pytest.raises(ServeError):
+                MultiTenantEngine(**kwargs)
+
+
+class TestBuildEngineValidation:
+    def test_rejects_objects_without_serving_model(self):
+        with pytest.raises(ServeError, match="Module or AttachResult"):
+            build_engine(object())
+
+    def test_rejects_non_callable_serving_model(self):
+        class Impostor:
+            serving_model = "not-a-method"
+
+        with pytest.raises(ServeError, match="not callable"):
+            build_engine(Impostor())
+
+    def test_rejects_serving_model_returning_non_module(self):
+        class Impostor:
+            def serving_model(self, merge=True):
+                return {"weights": 1}
+
+        with pytest.raises(ServeError, match="not a Module"):
+            build_engine(Impostor())
+
+
+class TestEnginesHandle:
+    def test_handle_caches_per_model(self, rng):
+        from repro.serve.engine import Engines
+
+        handle = Engines(cache_size=0)
+        model = resnet_small(4, rng)
+        engine = handle.get(model)
+        assert handle.get(model) is engine
+        assert model in handle and len(handle) == 1
+        handle.clear()
+        assert len(handle) == 0
+        replacement = handle.get(model)
+        assert replacement is not engine
+
+    def test_deprecated_shims_still_serve(self, rng):
+        """Regression: old call sites behave as before, plus a warning."""
+        model = resnet_small(4, rng)
+        images = images_for(rng, 3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # deprecation must be loud
+            with pytest.raises(DeprecationWarning):
+                shared_engine(model)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = shared_engine(model)
+            assert shared_engine(model) is engine  # same cache as before
+            out = engine.embed(images)
+            clear_shared_engines()
+            assert engine is not shared_engine(model)  # cleared ⇒ recompiled
+            clear_shared_engines()
+        assert all(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert np.array_equal(out, ENGINES.get(model).embed(images))
+        ENGINES.clear()
+
+
+class TestMultiInputPrograms:
+    def test_run_arity_checked(self, rng):
+        program = compile_features(resnet_small(4, rng))
+        with pytest.raises(ServeError, match="1 input"):
+            program.run(images_for(rng, 1), images_for(rng, 1))
+
+    def test_external_seed_split_is_bit_identical(self, rng):
+        from repro.serve import compile_forward, compile_seed_mapping
+
+        model = meta_model(seed=10)
+        images = images_for(rng, 4)
+        fused = compile_features(model)
+        extractor = compile_forward(model.extractor)
+        mapping = compile_seed_mapping(model)
+        body = compile_features(model, external_seeds=True)
+        assert len(body.input_slots) == 2
+        seeds = mapping.run(extractor.run(images))
+        assert np.array_equal(body.run(images, seeds), fused.run(images))
