@@ -45,6 +45,22 @@ print(
     f"(speedup {multi['speedup']:.2f}x, "
     f"seed-slot {multi['seed_slot']['speedup']:.2f}x)"
 )
+
+# The precision matrix must be present and validated: every tier covered
+# on both backbones, f64 rows bit-exact, KNN accuracy within budget
+# (asserted in-process while the bench runs; the record carries the pin).
+precision = record.get("precision")
+assert precision, "bench_smoke: BENCH_serve.json has no precision section"
+names = [backbone["name"] for backbone in precision["backbones"]]
+assert names == ["resnet", "mixer"], names
+for backbone in precision["backbones"]:
+    assert backbone["f64_bit_identical"] is True
+    tiers = {row["precision"] for row in backbone["rows"]}
+    assert tiers == {"f64", "f32", "int8"}, tiers
+print(
+    "bench_smoke: precision matrix ok "
+    f"(best f32+fusion speedup {precision['best_speedup_vs_f64']:.2f}x vs f64)"
+)
 PYEOF
 
 # Durable-run smoke: inject a crash into one cell so the first run exits 1

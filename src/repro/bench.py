@@ -660,6 +660,228 @@ def run_multi_tenant_bench(
     }
 
 
+#: precision-tier accuracy budgets: largest allowed Table-I-style KNN
+#: accuracy drop vs the f64 embeddings on the same support/query split.
+PRECISION_ACCURACY_BUDGETS = {"f32": 0.02, "int8": 0.05}
+
+#: KNN split sizes for the precision accuracy check per scale.
+_PRECISION_KNN_SCALES = {
+    "tiny": {"support": 24, "query": 24, "classes": 3, "k": 3},
+    "small": {"support": 48, "query": 48, "classes": 4, "k": 5},
+}
+
+#: workload sizes for the precision matrix, per scale and backbone.  These
+#: are deliberately larger than the serve-suite sizes: the tiers compare
+#: kernel arithmetic, so the workload must be BLAS-bound, not
+#: dispatch-bound, for the rows to mean anything.  The mixer's patchify
+#: grid is baked for the paper's 16x16 images, so it scales by batch only.
+_PRECISION_WORKLOADS = {
+    "tiny": {
+        "resnet": {"image": 32, "batch": 64, "samples": 64},
+        "mixer": {"image": 16, "batch": 64, "samples": 64},
+    },
+    "small": {
+        "resnet": {"image": 32, "batch": 64, "samples": 128},
+        "mixer": {"image": 16, "batch": 64, "samples": 128},
+    },
+}
+
+
+def _knn_accuracy(
+    support: np.ndarray,
+    support_labels: np.ndarray,
+    query: np.ndarray,
+    query_labels: np.ndarray,
+    k: int,
+) -> float:
+    from repro.eval.knn import KNNClassifier
+
+    knn = KNNClassifier(metric="cosine").fit(support, support_labels)
+    return float(np.mean(knn.predict(query, k) == query_labels))
+
+
+def run_precision_bench(
+    scale: str = "tiny", repeats: int = 3, parallel: int | None = None
+) -> dict:
+    """The precision × fusion × parallelism matrix over both backbones.
+
+    Every row times the *compiled program itself* (chunked ``run`` calls,
+    no engine queueing) on the same sample set, against a baseline row
+    compiled exactly like the pre-optimizer serving stack: f64, fusion
+    off, arena off, serial — the configuration the committed BENCH_serve
+    record was produced with.  Checks asserted in-process, so a record
+    can only exist if they passed:
+
+    - both f64 rows are bit-identical to ``extract_embeddings``;
+    - per tier, Table-I-style KNN accuracy (cosine, fresh synthetic
+      support/query split) drops no more than
+      :data:`PRECISION_ACCURACY_BUDGETS` allows vs the f64 embeddings;
+    - the parallel row matches the serial run of the same tier exactly.
+    """
+    from repro.data.synthetic import generate_task_data
+    from repro.data.tasks import TaskDistribution
+    from repro.eval.embeddings import extract_embeddings
+    from repro.models import mixer_small, resnet_small
+    from repro.serve import compile_features
+    from repro.utils.rng import new_rng
+
+    knn_sizes = _PRECISION_KNN_SCALES[scale]
+    workloads = _PRECISION_WORKLOADS[scale]
+    workers = int(parallel) if parallel else min(4, os.cpu_count() or 1)
+    workers = max(workers, 2)
+
+    #: (label, precision, fuse, parallel, arena)
+    configs = [
+        ("f64", "f64", False, 1, False),
+        ("f64+fuse", "f64", True, 1, True),
+        ("f32+fuse", "f32", True, 1, True),
+        (f"f32+fuse+par{workers}", "f32", True, workers, True),
+        ("int8+fuse", "int8", True, 1, True),
+    ]
+
+    backbones = []
+    best_speedup = 0.0
+    for name, model in (
+        ("resnet", resnet_small(4, new_rng(0))),
+        ("mixer", mixer_small(4, new_rng(1))),
+    ):
+        workload = workloads[name]
+        samples, batch, image = workload["samples"], workload["batch"], workload["image"]
+        data_rng = np.random.default_rng(11)
+        images = data_rng.normal(size=(samples, 3, image, image)).astype(np.float32)
+        tasks = TaskDistribution(2, image_size=image, seed=12, noise_level=0.1)
+        knn_rng = np.random.default_rng(13)
+        support_data = generate_task_data(
+            tasks[1], knn_sizes["support"], knn_sizes["classes"], image, knn_rng
+        )
+        query_data = generate_task_data(
+            tasks[1], knn_sizes["query"], knn_sizes["classes"], image, knn_rng
+        )
+        reference = extract_embeddings(model, images, batch_size=batch)
+
+        def run_chunked(program) -> np.ndarray:
+            chunks = [
+                program.run(images[start : start + batch])
+                for start in range(0, samples, batch)
+            ]
+            return np.concatenate(chunks, axis=0)
+
+        def embed_knn(program, data) -> np.ndarray:
+            chunks = [
+                program.run(data.images[start : start + batch])
+                for start in range(0, data.images.shape[0], batch)
+            ]
+            return np.concatenate(chunks, axis=0)
+
+        accuracy: dict[str, float] = {}
+        rows = []
+        baseline_seconds = None
+        serial_outputs: dict[str, np.ndarray] = {}
+        for label, precision, fuse, row_workers, arena in configs:
+            program = compile_features(
+                model, precision=precision, fuse=fuse, parallel=row_workers
+            )
+            program.arena = arena  # explicit: rows must not depend on env knobs
+            out = run_chunked(program)
+            err = float(np.max(np.abs(out - reference)))
+            if precision == "f64" and not np.array_equal(out, reference):
+                raise ValueError(
+                    f"precision bench: f64 row {label!r} on {name!r} is not "
+                    f"bit-identical to extract_embeddings (max err {err})"
+                )
+            if row_workers > 1:
+                serial = serial_outputs.get(precision)
+                if serial is not None and not np.array_equal(out, serial):
+                    raise ValueError(
+                        f"precision bench: parallel row {label!r} on {name!r} "
+                        f"diverged from the serial {precision} run"
+                    )
+            else:
+                serial_outputs[precision] = out
+            if precision not in accuracy:
+                tier_support = embed_knn(program, support_data)
+                tier_query = embed_knn(program, query_data)
+                accuracy[precision] = _knn_accuracy(
+                    tier_support,
+                    support_data.labels,
+                    tier_query,
+                    query_data.labels,
+                    knn_sizes["k"],
+                )
+
+            seconds, __ = time_calls(lambda: run_chunked(program), repeats=repeats)
+            __, latencies = _time_per_sample(
+                lambda i: program.run(images[i : i + 1]), samples, 1
+            )
+            if baseline_seconds is None:
+                baseline_seconds = seconds
+            counters = program.counters()
+            hits, allocs = counters["arena_hits"], counters["arena_allocs"]
+            speedup = float(baseline_seconds / max(seconds, 1e-12))
+            rows.append(
+                {
+                    "label": label,
+                    "precision": precision,
+                    "fusion": bool(fuse),
+                    "parallel": int(row_workers),
+                    "arena": bool(arena),
+                    "seconds": float(seconds),
+                    "throughput": float(samples / max(seconds, 1e-12)),
+                    "latency_ms": {
+                        "p50": _percentile_ms(latencies, 50),
+                        "p99": _percentile_ms(latencies, 99),
+                    },
+                    "max_abs_err_vs_f64": err,
+                    "speedup_vs_f64": speedup,
+                    "fusion_steps_eliminated": int(counters["fusion_eliminated"]),
+                    "quantized_weights": int(counters["quantized"]),
+                    "arena_stats": {
+                        "hits": int(hits),
+                        "allocs": int(allocs),
+                        "reuse_rate": float(hits / max(hits + allocs, 1)),
+                    },
+                }
+            )
+            if precision == "f32" and fuse:
+                best_speedup = max(best_speedup, speedup)
+
+        drops = {
+            tier: max(0.0, accuracy["f64"] - accuracy[tier])
+            for tier in accuracy
+            if tier != "f64"
+        }
+        for tier, drop in drops.items():
+            budget = PRECISION_ACCURACY_BUDGETS[tier]
+            if drop > budget:
+                raise ValueError(
+                    f"precision bench: {tier} KNN accuracy on {name!r} dropped "
+                    f"{drop:.3f} vs f64 (budget {budget})"
+                )
+        backbones.append(
+            {
+                "name": name,
+                "samples": int(samples),
+                "batch_size": int(batch),
+                "f64_bit_identical": True,
+                "knn": {
+                    "support": int(knn_sizes["support"]),
+                    "query": int(knn_sizes["query"]),
+                    "k": int(knn_sizes["k"]),
+                    "accuracy": {tier: float(acc) for tier, acc in accuracy.items()},
+                    "max_drop": {tier: float(drop) for tier, drop in drops.items()},
+                },
+                "rows": rows,
+            }
+        )
+
+    return {
+        "parallel_workers": int(workers),
+        "budgets": dict(PRECISION_ACCURACY_BUDGETS),
+        "backbones": backbones,
+        "best_speedup_vs_f64": float(best_speedup),
+    }
+
+
 def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> dict:
     """Naive / batched-autograd / compiled-engine serving comparison.
 
@@ -671,7 +893,11 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> 
 
     ``tenants >= 3`` additionally runs :func:`run_multi_tenant_bench` and
     attaches its result as the record's ``multi_tenant`` section
-    (``tenants=0`` disables it).
+    (``tenants=0`` disables it).  The record always carries a
+    ``precision`` section from :func:`run_precision_bench` — the
+    precision × fusion × parallelism matrix.  The baseline entries pin
+    ``precision="f64"`` explicitly so their bit-exactness contract holds
+    regardless of ``REPRO_SERVE_PRECISION``.
     """
     from repro.eval.embeddings import extract_embeddings
     from repro.serve import build_engine
@@ -685,7 +911,7 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> 
 
     entries = []
     for name, model in _serve_models():
-        engine = build_engine(model, cache_size=0)
+        engine = build_engine(model, cache_size=0, precision="f64")
         reference = extract_embeddings(model, images, batch_size=batch)
 
         _clear_caches()
@@ -744,6 +970,8 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> 
             }
         )
     record = _finish_record("serve", scale, repeats, entries)
+    record["precision"] = run_precision_bench(scale=scale, repeats=repeats)
+    validate_bench_record(record)
     if tenants:
         record["multi_tenant"] = run_multi_tenant_bench(
             scale=scale, repeats=repeats, tenants=tenants
@@ -864,6 +1092,94 @@ def validate_bench_record(record: dict) -> None:
                    f"parallel.{key} must be a finite float > 0")
         expect(parallel.get("rows_equal") is True,
                "parallel.rows_equal must be True (equality is asserted in-process)")
+    precision = record.get("precision")
+    if precision is not None:
+        expect(record.get("kind") == "serve", "precision section is serve-only")
+        expect(isinstance(precision, dict), "precision must be a dict")
+        expect(
+            isinstance(precision.get("parallel_workers"), int)
+            and precision["parallel_workers"] >= 2,
+            "precision.parallel_workers must be an int >= 2",
+        )
+        budgets = precision.get("budgets")
+        expect(isinstance(budgets, dict) and {"f32", "int8"} <= set(budgets),
+               "precision.budgets must cover f32 and int8")
+        backbones = precision.get("backbones")
+        expect(isinstance(backbones, list) and backbones,
+               "precision.backbones must be a non-empty list")
+        for backbone in backbones:
+            bname = backbone.get("name")
+            expect(isinstance(bname, str) and bname, "precision backbone needs a name")
+            for key in ("samples", "batch_size"):
+                expect(isinstance(backbone.get(key), int) and backbone[key] >= 1,
+                       f"precision backbone {bname!r}: {key} must be a positive int")
+            expect(backbone.get("f64_bit_identical") is True,
+                   f"precision backbone {bname!r}: f64_bit_identical must be True "
+                   f"(identity is asserted in-process)")
+            knn = backbone.get("knn")
+            expect(isinstance(knn, dict), f"precision backbone {bname!r}: knn must be a dict")
+            accuracy = knn.get("accuracy")
+            expect(
+                isinstance(accuracy, dict) and {"f64", "f32", "int8"} <= set(accuracy),
+                f"precision backbone {bname!r}: knn.accuracy must cover every tier",
+            )
+            drops = knn.get("max_drop")
+            expect(isinstance(drops, dict), f"precision backbone {bname!r}: knn.max_drop must be a dict")
+            for tier, drop in drops.items():
+                budget = budgets.get(tier)
+                expect(
+                    isinstance(drop, (int, float)) and np.isfinite(drop)
+                    and isinstance(budget, (int, float)) and drop <= budget,
+                    f"precision backbone {bname!r}: {tier} KNN drop {drop} "
+                    f"exceeds its budget {budget}",
+                )
+            rows = backbone.get("rows")
+            expect(isinstance(rows, list) and len(rows) >= 5,
+                   f"precision backbone {bname!r}: rows must list >= 5 configurations")
+            tiers = {row.get("precision") for row in rows}
+            expect({"f64", "f32", "int8"} <= tiers,
+                   f"precision backbone {bname!r}: rows must cover every tier")
+            expect(any(row.get("parallel", 1) >= 2 for row in rows),
+                   f"precision backbone {bname!r}: rows must include a parallel run")
+            for row in rows:
+                label = row.get("label")
+                expect(isinstance(label, str) and label,
+                       f"precision backbone {bname!r}: every row needs a label")
+                for key in ("seconds", "throughput", "speedup_vs_f64"):
+                    value = row.get(key)
+                    expect(
+                        isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                        f"precision row {label!r}: {key} must be a finite float > 0",
+                    )
+                err = row.get("max_abs_err_vs_f64")
+                expect(isinstance(err, (int, float)) and np.isfinite(err) and err >= 0,
+                       f"precision row {label!r}: max_abs_err_vs_f64 must be >= 0")
+                if row.get("precision") == "f64":
+                    expect(err == 0.0,
+                           f"precision row {label!r}: f64 rows must be bit-exact")
+                latency = row.get("latency_ms")
+                expect(
+                    isinstance(latency, dict)
+                    and all(
+                        isinstance(latency.get(key), (int, float))
+                        and np.isfinite(latency[key]) and latency[key] > 0
+                        for key in ("p50", "p99")
+                    ),
+                    f"precision row {label!r}: latency_ms needs finite p50/p99 > 0",
+                )
+                arena = row.get("arena_stats")
+                expect(isinstance(arena, dict), f"precision row {label!r}: arena_stats must be a dict")
+                for key in ("hits", "allocs"):
+                    expect(isinstance(arena.get(key), int) and arena[key] >= 0,
+                           f"precision row {label!r}: arena_stats.{key} must be an int >= 0")
+                rate = arena.get("reuse_rate")
+                expect(
+                    isinstance(rate, (int, float)) and np.isfinite(rate) and 0.0 <= rate <= 1.0,
+                    f"precision row {label!r}: arena_stats.reuse_rate must be in [0, 1]",
+                )
+        best = precision.get("best_speedup_vs_f64")
+        expect(isinstance(best, (int, float)) and np.isfinite(best) and best > 0,
+               "precision.best_speedup_vs_f64 must be a finite float > 0")
     multi = record.get("multi_tenant")
     if multi is not None:
         expect(record.get("kind") == "serve", "multi_tenant section is serve-only")
@@ -989,6 +1305,38 @@ def format_bench_record(record: dict) -> str:
                 f"naive {latency['naive_p50']:.2f}/{latency['naive_p99']:.2f}   "
                 f"compiled {latency['compiled_p50']:.2f}/{latency['compiled_p99']:.2f}"
             )
+    precision = record.get("precision")
+    if precision:
+        lines.append(
+            f"precision matrix ({precision['parallel_workers']} workers; "
+            f"budgets f32<={precision['budgets']['f32']}, "
+            f"int8<={precision['budgets']['int8']}):"
+        )
+        for backbone in precision["backbones"]:
+            knn = backbone["knn"]
+            accuracy = "  ".join(
+                f"{tier} {knn['accuracy'][tier]:.3f}"
+                for tier in ("f64", "f32", "int8")
+            )
+            lines.append(
+                f"  {backbone['name']}: knn accuracy {accuracy}  "
+                f"(f64 bit-identical: {backbone['f64_bit_identical']})"
+            )
+            for row in backbone["rows"]:
+                arena = row["arena_stats"]
+                lines.append(
+                    f"    {row['label']:<16} {row['seconds'] * 1e3:>8.2f}ms  "
+                    f"{row['throughput']:>7.1f}/s  "
+                    f"x{row['speedup_vs_f64']:<5.2f} "
+                    f"p50/p99 {row['latency_ms']['p50']:.2f}/"
+                    f"{row['latency_ms']['p99']:.2f}ms  "
+                    f"err {row['max_abs_err_vs_f64']:.1e}  "
+                    f"arena {arena['reuse_rate']:.2f}"
+                )
+        lines.append(
+            f"  best f32+fusion speedup vs f64 record: "
+            f"{precision['best_speedup_vs_f64']:.2f}x"
+        )
     multi = record.get("multi_tenant")
     if multi:
         cache = multi["program_cache"]

@@ -9,6 +9,7 @@ Usage::
     python -m repro table1 --resume runs/t1          # rerun only missing cells
     python -m repro trace runs/t1                    # span-tree report
     python -m repro inspect --method meta_lora_tr
+    python -m repro compile --method meta_lora_tr --precision f32 --describe
     python -m repro figures
     python -m repro bench --out . --jobs 4
 
@@ -20,7 +21,10 @@ uninterrupted run.  A run directory also gets the observability layer's
 ``trace.jsonl`` span export, which ``trace`` renders as a span-tree
 report (slowest spans, per-phase breakdown — see docs/observability.md).
 ``inspect`` prints a method's adapter layout and
-parameter budget; ``figures`` runs the Figure 1-3 numerical checks;
+parameter budget; ``compile`` lowers a method into its serving program
+and prints the step listing (``--describe`` adds per-step output
+dtypes/shapes — the view of what the fusion pass and precision tier
+actually produced); ``figures`` runs the Figure 1-3 numerical checks;
 ``bench`` times the optimized hot paths against the reference
 implementation and emits ``BENCH_autograd.json`` / ``BENCH_table1.json``
 / ``BENCH_serve.json`` (``--suite`` selects one).
@@ -164,6 +168,35 @@ def _inspect(args: argparse.Namespace) -> int:
     if rows:
         print()
         print(format_table(rows))
+    return 0
+
+
+def _compile(args: argparse.Namespace) -> int:
+    from repro.serve import compile_features
+
+    config = PAPER if args.backbone == "resnet" else PAPER_MIXER
+    rng = new_rng(args.seed)
+    state = build_backbone(config, rng).state_dict()
+    model = build_adapted_model(args.method, config, state, rng)
+    program = compile_features(model, precision=args.precision)
+    # One dummy batch resolves every step's output dtype/shape so the
+    # listing shows what each kernel actually produces under this tier.
+    program.run(
+        np.zeros((1, 3, config.image_size, config.image_size), dtype=np.float32)
+    )
+    counters = program.counters()
+    print(f"method:    {args.method}")
+    print(f"backbone:  {args.backbone}")
+    print(f"precision: {program.precision}")
+    print(
+        f"steps:     {len(program)}  "
+        f"(fusion eliminated {counters['fusion_eliminated']}, "
+        f"quantized {counters['quantized']} weight matrices)"
+    )
+    if args.describe:
+        print()
+        for line in program.describe():
+            print(line)
     return 0
 
 
@@ -365,6 +398,27 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--method", choices=METHODS, default="meta_lora_tr")
     inspect.add_argument("--seed", type=int, default=0)
     inspect.set_defaults(func=_inspect)
+
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="compile a method's features() program and show the step listing",
+        parents=[backbone_flags],
+    )
+    compile_cmd.add_argument("--method", choices=METHODS, default="meta_lora_tr")
+    compile_cmd.add_argument("--seed", type=int, default=0)
+    compile_cmd.add_argument(
+        "--precision",
+        choices=("f64", "f32", "int8"),
+        default=None,
+        help="precision tier (default: REPRO_SERVE_PRECISION, else f64)",
+    )
+    compile_cmd.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the full per-step listing with resolved output "
+        "dtypes/shapes (after one dummy batch)",
+    )
+    compile_cmd.set_defaults(func=_compile)
 
     figures = sub.add_parser("figures", help="run the Figure 2/3 numerical checks")
     figures.set_defaults(func=_figures)

@@ -5,10 +5,19 @@ of raw-numpy kernels (no Tensor wrapping, no autograd bookkeeping);
 ``EmbeddingEngine`` serves one program with micro-batching and an LRU
 result cache, while ``AdapterRegistry`` + ``MultiTenantEngine`` serve a
 fleet of *named* adapters — hot register/swap/evict, a shared LRU of
-compiled programs, and cross-tenant micro-batching.  See
-docs/serving.md.
+compiled programs, and cross-tenant micro-batching.  ``optimize``
+supplies the compile-time pass pipeline: precision tiers
+(f64/f32/int8), elementwise-chain fusion, the per-run arena allocator
+and the thread-parallel slot scheduler.  See docs/serving.md.
 """
 
+from repro.serve.optimize import (
+    PRECISIONS,
+    Arena,
+    fuse_program,
+    quantize_weight,
+    resolve_precision,
+)
 from repro.serve.compile import (
     CompiledProgram,
     ProgramBuilder,
@@ -38,11 +47,13 @@ from repro.serve.registry import (
 __all__ = [
     "AdapterEntry",
     "AdapterRegistry",
+    "Arena",
     "CompiledProgram",
     "EmbeddingEngine",
     "ENGINES",
     "Engines",
     "MultiTenantEngine",
+    "PRECISIONS",
     "ProgramBuilder",
     "ProgramCache",
     "ProgramKey",
@@ -53,6 +64,9 @@ __all__ = [
     "compile_seed_mapping",
     "compiles",
     "compiles_features",
+    "fuse_program",
     "program_key",
+    "quantize_weight",
+    "resolve_precision",
     "shared_engine",
 ]

@@ -19,6 +19,24 @@ into a flat list of steps over raw ``numpy`` arrays:
   ``repro.perf.FLAGS`` — including the shared einsum plan cache and conv
   patch/pad workspaces.
 
+On top of lowering sit the :mod:`repro.serve.optimize` passes — all
+selected per program at compile time:
+
+- ``precision`` picks the compute tier.  ``"f64"`` (the default) folds
+  constants exactly as the autograd path computes them, preserving the
+  bit-exactness contract above.  ``"f32"`` casts folded constants (and
+  with them all kernel compute) to float32; ``"int8"`` additionally
+  fake-quantizes weight matrices per output channel (see
+  :func:`repro.serve.optimize.quantize_weight`).  Non-f64 programs are
+  held to a KNN-accuracy budget instead of bit-identity — measured by
+  the serve bench and pinned by the tier tests.
+- the **fusion pass** collapses single-consumer kernel chains into
+  composed steps (bit-identical at every tier);
+- the **arena allocator** recycles freed intermediate buffers for steps
+  that declare out-variant kernels;
+- ``parallel > 1`` runs the program under a dependency-graph scheduler
+  with row-sharding of wide elementwise steps.
+
 Lowering is rule-based: ``@compiles(ModuleType)`` registers how one module
 forward becomes steps, ``@compiles_features(ModelType)`` does the same for
 a model's top-level ``features()``.  Unknown module types raise
@@ -34,6 +52,7 @@ Mutating parameters afterwards requires recompiling.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 import numpy as np
@@ -60,6 +79,8 @@ from repro.peft.meta_model import MetaLoRAModel
 from repro.peft.meta_tr import MetaLoRATRConv, MetaLoRATRLinear
 from repro.peft.multi_lora import MultiLoRAConv, MultiLoRALinear
 from repro.perf import FLAGS
+from repro.serve import optimize
+from repro.serve.optimize import Arena, quantize_weight
 
 Kernel = Callable[..., np.ndarray]
 
@@ -78,15 +99,36 @@ def _scalar(value: float) -> np.ndarray:
 
 
 class Step:
-    """One lowered op: ``slots[output] = fn(*slots[inputs])``."""
+    """One lowered op: ``slots[output] = fn(*slots[inputs])``.
 
-    __slots__ = ("name", "fn", "inputs", "output")
+    ``fn_out`` is an optional out-variant (``fn_out(out, *inputs)``
+    applying the exact same ufunc sequence into a caller-provided
+    buffer) with ``out_spec(*inputs) -> (shape, dtype)`` describing that
+    buffer — what lets the arena recycle freed intermediates.
+    ``shardable`` marks row-independent kernels the parallel executor
+    may split along the batch axis.
+    """
 
-    def __init__(self, name: str, fn: Kernel, inputs: tuple[int, ...], output: int) -> None:
+    __slots__ = ("name", "fn", "inputs", "output", "fn_out", "out_spec", "shardable")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Kernel,
+        inputs: tuple[int, ...],
+        output: int,
+        *,
+        fn_out: Callable | None = None,
+        out_spec: Callable | None = None,
+        shardable: bool = False,
+    ) -> None:
         self.name = name
         self.fn = fn
         self.inputs = inputs
         self.output = output
+        self.fn_out = fn_out
+        self.out_spec = out_spec
+        self.shardable = shardable
 
 
 class CompiledProgram:
@@ -99,6 +141,14 @@ class CompiledProgram:
     sequence of slots): the seed-fed backbone *body* programs used for
     multi-tenant serving take ``(images, seeds)``.  ``input_slot`` stays
     the first input for single-input callers.
+
+    Construction applies the :mod:`repro.serve.optimize` passes: the
+    fusion pass (unless ``fuse=False``) rewrites the step list before
+    liveness is computed, ``parallel`` fixes the executor's worker
+    count, and the arena allocator is armed per ``REPRO_SERVE_ARENA``.
+    Programs carry their own optimizer counters (fusion eliminations,
+    arena hits/allocs, parallel concurrency samples), which the serving
+    engines fold into ``stats()``.
     """
 
     def __init__(
@@ -108,9 +158,12 @@ class CompiledProgram:
         input_slot: int | tuple[int, ...] | list[int],
         output_slot: int,
         source: str,
+        *,
+        precision: str = "f64",
+        fuse: bool | None = None,
+        parallel: int | None = None,
+        quantized: int = 0,
     ) -> None:
-        self.steps = tuple(steps)
-        self.n_slots = n_slots
         if isinstance(input_slot, int):
             self.input_slots: tuple[int, ...] = (input_slot,)
         else:
@@ -118,6 +171,23 @@ class CompiledProgram:
         self.input_slot = self.input_slots[0]
         self.output_slot = output_slot
         self.source = source
+        self.precision = precision
+        self.quantized = int(quantized)
+        self.fusion_eliminated = 0
+        steps = list(steps)
+        if fuse if fuse is not None else optimize.fusion_enabled():
+            steps, self.fusion_eliminated = optimize.fuse_program(steps, output_slot)
+        if precision == "f64":
+            # Bit-identity to autograd is contracted only at f64; the
+            # relaxed tiers keep every fn_out/arena/shard opportunity.
+            optimize.pin_layouts(steps)
+        self.steps = tuple(steps)
+        self.n_slots = n_slots
+        self.parallel = optimize.resolve_parallel(parallel)
+        #: Arena recycling on/off; ``arena_poison`` NaN-fills every pooled
+        #: buffer (the booby-trap tests flip it on a live program).
+        self.arena = optimize.arena_enabled()
+        self.arena_poison = False
         # Last-use liveness: after step i runs, every slot whose final
         # consumer was step i is dropped (except the program output).
         last_use: dict[int, int] = {}
@@ -129,16 +199,50 @@ class CompiledProgram:
             if slot != output_slot:
                 release[index].append(slot)
         self._release = tuple(tuple(slots) for slots in release)
+        # Inputs are caller-owned (and the output is caller-visible):
+        # their buffers must never enter the arena pool.
+        self._pool_exempt = set(self.input_slots) | {output_slot}
+        # Optimizer counters + per-step output specs (seen on first run).
+        self._counter_lock = threading.Lock()
+        self.arena_hits = 0
+        self.arena_allocs = 0
+        self.parallel_slot_counts: dict[str, int] = {}
+        self._shapes: list[str | None] = [None] * len(self.steps)
 
     def __len__(self) -> int:
         return len(self.steps)
 
+    def _record_shape(self, index: int, out: np.ndarray) -> None:
+        if self._shapes[index] is None:
+            dims = ", ".join(str(dim) for dim in out.shape)
+            self._shapes[index] = f"{out.dtype}({dims})"
+
     def describe(self) -> list[str]:
-        """Human-readable step listing (for tests and debugging)."""
-        return [
-            f"{index}: %{step.output} = {step.name}({', '.join('%' + str(s) for s in step.inputs)})"
-            for index, step in enumerate(self.steps)
-        ]
+        """Human-readable step listing (for tests and debugging).
+
+        After the program has run at least once each line carries the
+        step's resolved output dtype and shape, so listings show what
+        the fusion pass produced and which tier the program computes in.
+        """
+        lines = []
+        for index, step in enumerate(self.steps):
+            args = ", ".join("%" + str(slot) for slot in step.inputs)
+            line = f"{index}: %{step.output} = {step.name}({args})"
+            if self._shapes[index] is not None:
+                line += f" -> {self._shapes[index]}"
+            lines.append(line)
+        return lines
+
+    def counters(self) -> dict[str, object]:
+        """This program's optimizer counters (cumulative across runs)."""
+        with self._counter_lock:
+            return {
+                "fusion_eliminated": self.fusion_eliminated,
+                "quantized": self.quantized,
+                "arena_hits": self.arena_hits,
+                "arena_allocs": self.arena_allocs,
+                "parallel_slots": dict(self.parallel_slot_counts),
+            }
 
     def run(self, *inputs: np.ndarray) -> np.ndarray:
         if len(inputs) != len(self.input_slots):
@@ -146,24 +250,74 @@ class CompiledProgram:
                 f"program {self.source!r} takes {len(self.input_slots)} "
                 f"input(s), got {len(inputs)}"
             )
+        if self.precision != "f64":
+            inputs = tuple(
+                array.astype(np.float32)
+                if array.dtype.kind == "f" and array.dtype != np.float32
+                else array
+                for array in inputs
+            )
         values: list[np.ndarray | None] = [None] * self.n_slots
         for slot, array in zip(self.input_slots, inputs):
             values[slot] = array
-        for step, dead in zip(self.steps, self._release):
-            values[step.output] = step.fn(*(values[slot] for slot in step.inputs))
-            for slot in dead:
-                values[slot] = None
+        arena = Arena(poison=self.arena_poison) if self.arena else None
+        from repro.obs import OBS  # local: keep the run loop import-light
+
+        if self.parallel > 1 and len(self.steps) > 1:
+            samples = optimize.run_parallel(self, values, arena)
+            with self._counter_lock:
+                for sample in samples:
+                    bucket = str(sample)
+                    self.parallel_slot_counts[bucket] = (
+                        self.parallel_slot_counts.get(bucket, 0) + 1
+                    )
+            if OBS.enabled:
+                for sample in samples:
+                    OBS.hist("serve.parallel.slots", sample)
+        else:
+            exempt = self._pool_exempt
+            for index, (step, dead) in enumerate(zip(self.steps, self._release)):
+                ins = [values[slot] for slot in step.inputs]
+                out = optimize.run_step(step, ins, arena)
+                values[step.output] = out
+                self._record_shape(index, out)
+                for slot in dead:
+                    freed = values[slot]
+                    values[slot] = None
+                    if arena is not None and freed is not None and slot not in exempt:
+                        arena.put(freed, values)
+        if arena is not None:
+            with self._counter_lock:
+                self.arena_hits += arena.hits
+                self.arena_allocs += arena.allocs
+            if OBS.enabled:
+                OBS.inc("serve.arena.hit", arena.hits)
+                OBS.inc("serve.arena.alloc", arena.allocs)
         out = values[self.output_slot]
         assert out is not None
         return out
 
 
 class ProgramBuilder:
-    """Accumulates steps while lowering rules walk the module tree."""
+    """Accumulates steps while lowering rules walk the module tree.
 
-    def __init__(self, external_seeds: bool = False) -> None:
+    ``precision`` fixes how rules fold constants: :meth:`const` casts
+    floating constants to the tier's compute dtype, :meth:`scalar`
+    produces the 0-d strong operand matching ``Tensor`` scalar
+    coercion at that tier, and :meth:`weight` additionally runs int8
+    fake-quantization over weight matrices (suppressed while
+    ``quantize`` is off — the seed-generation path keeps full f32
+    weights at every tier, since seeds parameterize downstream
+    kernels).
+    """
+
+    def __init__(self, external_seeds: bool = False, precision: str = "f64") -> None:
         self.steps: list[Step] = []
         self.n_slots = 0
+        self.precision = precision
+        self.quantize = True
+        #: How many weight matrices int8 fake-quantization touched.
+        self.quantized = 0
         #: ``id(adapter) -> slot`` holding that adapter's per-sample seed;
         #: populated by the MetaLoRAModel rule, consumed by CP/TR rules.
         #: Absent means the adapter runs its static-seed path.
@@ -177,6 +331,32 @@ class ProgramBuilder:
         self.external_seeds = external_seeds
         self.seed_input_slot: int | None = None
 
+    def const(self, array: object) -> np.ndarray:
+        """A folded constant at the program's compute tier.
+
+        At f64 the array passes through untouched (bit-exactness with
+        the autograd path); at f32/int8 floating constants cast to
+        float32 so kernel compute stays in float32 end to end.
+        """
+        array = np.asarray(array)
+        if self.precision != "f64" and array.dtype.kind == "f" and array.dtype != np.float32:
+            return array.astype(np.float32)
+        return array
+
+    def scalar(self, value: float) -> np.ndarray:
+        """A 0-d scalar constant at the tier (strong operand either way)."""
+        if self.precision == "f64":
+            return _scalar(value)
+        return np.asarray(value, dtype=np.float32)
+
+    def weight(self, array: np.ndarray) -> np.ndarray:
+        """A folded weight matrix at the tier (int8 fake-quant applies)."""
+        array = np.asarray(array)
+        if self.precision == "int8" and self.quantize and array.ndim >= 2:
+            self.quantized += 1
+            return quantize_weight(array)
+        return self.const(array)
+
     def new_slot(self) -> int:
         self.n_slots += 1
         return self.n_slots - 1
@@ -187,10 +367,39 @@ class ProgramBuilder:
             self.seed_input_slot = self.new_slot()
         return self.seed_input_slot
 
-    def emit(self, name: str, fn: Kernel, *inputs: int) -> int:
+    def emit(
+        self,
+        name: str,
+        fn: Kernel,
+        *inputs: int,
+        fn_out: Callable | None = None,
+        out_spec: Callable | None = None,
+        shardable: bool = False,
+    ) -> int:
         output = self.new_slot()
-        self.steps.append(Step(name, fn, tuple(inputs), output))
+        self.steps.append(
+            Step(
+                name,
+                fn,
+                tuple(inputs),
+                output,
+                fn_out=fn_out,
+                out_spec=out_spec,
+                shardable=shardable,
+            )
+        )
         return output
+
+    def emit_relu(self, x: int) -> int:
+        """A relu step with the arena/shard-capable out-variant."""
+        return self.emit(
+            "relu",
+            ops.relu_forward,
+            x,
+            fn_out=lambda out, v: np.maximum(v, 0.0, out=out),
+            out_spec=lambda v: (v.shape, v.dtype),
+            shardable=True,
+        )
 
     def lower(self, module: Module, x: int) -> int:
         """Lower one module's forward; returns the output slot."""
@@ -240,13 +449,25 @@ def _find_rule(registry: dict[type, Callable], module: Module) -> Callable:
     )
 
 
-def compile_features(model: Module, *, external_seeds: bool = False) -> CompiledProgram:
+def compile_features(
+    model: Module,
+    *,
+    external_seeds: bool = False,
+    precision: str | None = None,
+    fuse: bool | None = None,
+    parallel: int | None = None,
+) -> CompiledProgram:
     """Compile ``model.features(x)`` into a :class:`CompiledProgram`.
 
     The model is put in eval mode for the duration of lowering (batch
     norms fold their running statistics; dropout lowers to identity) and
     restored afterwards.  Compilation is observable: a ``serve.compile``
     span/timer when :mod:`repro.obs` is enabled.
+
+    ``precision`` selects the compute tier (``None`` resolves through
+    ``REPRO_SERVE_PRECISION``, default f64 — the bit-exact tier);
+    ``fuse`` / ``parallel`` override the fusion pass and executor
+    worker count (``REPRO_SERVE_FUSION`` / ``REPRO_SERVE_PARALLEL``).
 
     With ``external_seeds=True`` (MetaLoRA models only) the mapping
     network is *not* lowered; the program takes ``(images, seeds)`` where
@@ -257,43 +478,85 @@ def compile_features(model: Module, *, external_seeds: bool = False) -> Compiled
     """
     from repro.obs import OBS, TRACER  # local: keep compile import-light
 
-    with TRACER.span("serve.compile", model=type(model).__name__), OBS.time(
-        "serve.compile"
-    ):
-        builder = ProgramBuilder(external_seeds=external_seeds)
+    precision = optimize.resolve_precision(precision)
+    with TRACER.span(
+        "serve.compile", model=type(model).__name__, precision=precision
+    ), OBS.time("serve.compile"):
+        builder = ProgramBuilder(external_seeds=external_seeds, precision=precision)
         x = builder.new_slot()
         with eval_mode(model):
             output = builder.lower_features(model, x)
         inputs: tuple[int, ...] = (x,)
         if builder.seed_input_slot is not None:
             inputs = (x, builder.seed_input_slot)
-        return CompiledProgram(
-            builder.steps, builder.n_slots, inputs, output, type(model).__name__
+        program = CompiledProgram(
+            builder.steps,
+            builder.n_slots,
+            inputs,
+            output,
+            type(model).__name__,
+            precision=precision,
+            fuse=fuse,
+            parallel=parallel,
+            quantized=builder.quantized,
         )
+        OBS.enabled and OBS.inc(
+            "serve.fusion.steps_eliminated", program.fusion_eliminated
+        )
+        return program
 
 
-def compile_forward(module: Module) -> CompiledProgram:
+def compile_forward(
+    module: Module,
+    *,
+    precision: str | None = None,
+    fuse: bool | None = None,
+    parallel: int | None = None,
+    quantize: bool = True,
+) -> CompiledProgram:
     """Compile one module's ``forward`` (not ``features``) into a program.
 
     Used by the serve registry to compile a MetaLoRA model's feature
     extractor on its own, so tenants sharing an extractor share the
-    compiled program.
+    compiled program.  The registry passes ``quantize=False`` for the
+    extractor: it feeds the seed mapping, and the seed-generation path
+    is exempt from int8 weight quantization at every tier.
     """
     from repro.obs import OBS, TRACER
 
-    with TRACER.span("serve.compile", model=type(module).__name__), OBS.time(
-        "serve.compile"
-    ):
-        builder = ProgramBuilder()
+    precision = optimize.resolve_precision(precision)
+    with TRACER.span(
+        "serve.compile", model=type(module).__name__, precision=precision
+    ), OBS.time("serve.compile"):
+        builder = ProgramBuilder(precision=precision)
+        builder.quantize = quantize
         x = builder.new_slot()
         with eval_mode(module):
             output = builder.lower(module, x)
-        return CompiledProgram(
-            builder.steps, builder.n_slots, x, output, type(module).__name__
+        program = CompiledProgram(
+            builder.steps,
+            builder.n_slots,
+            x,
+            output,
+            type(module).__name__,
+            precision=precision,
+            fuse=fuse,
+            parallel=parallel,
+            quantized=builder.quantized,
         )
+        OBS.enabled and OBS.inc(
+            "serve.fusion.steps_eliminated", program.fusion_eliminated
+        )
+        return program
 
 
-def compile_seed_mapping(model: Module) -> CompiledProgram:
+def compile_seed_mapping(
+    model: Module,
+    *,
+    precision: str | None = None,
+    fuse: bool | None = None,
+    parallel: int | None = None,
+) -> CompiledProgram:
     """Compile a MetaLoRA model's mapping network: features in, seeds out.
 
     The program maps extractor features ``(n, F)`` to the stacked scaled
@@ -304,7 +567,8 @@ def compile_seed_mapping(model: Module) -> CompiledProgram:
     ``FLAGS.batched_seeds``; either way each output column is the same
     dot product the matching full-program path computes, so feeding the
     result into an ``external_seeds`` body program is bit-identical to
-    the fused program.
+    the fused program.  Mapping weights are never int8-quantized (the
+    seed path is exempt at every tier), matching the fused rule.
     """
     from repro.obs import OBS, TRACER
 
@@ -312,19 +576,25 @@ def compile_seed_mapping(model: Module) -> CompiledProgram:
         raise ServeError(
             f"compile_seed_mapping expects a MetaLoRAModel, got {type(model).__name__}"
         )
-    with TRACER.span("serve.compile", model=f"{type(model).__name__}.seeds"), OBS.time(
-        "serve.compile"
-    ):
-        builder = ProgramBuilder()
+    precision = optimize.resolve_precision(precision)
+    with TRACER.span(
+        "serve.compile", model=f"{type(model).__name__}.seeds", precision=precision
+    ), OBS.time("serve.compile"):
+        builder = ProgramBuilder(precision=precision)
+        builder.quantize = False
         feats = builder.new_slot()
         with eval_mode(model):
             hidden = builder.lower(model.trunk, feats)
-            hidden = builder.emit("relu", ops.relu_forward, hidden)
+            hidden = builder.emit_relu(hidden)
             adapters = model._meta_adapters
             if FLAGS.batched_seeds and len(adapters) > 1:
-                fused_w = np.concatenate([head.weight.data for head in model.heads], axis=1)
-                fused_b = np.concatenate([head.bias.data for head in model.heads], axis=0)
-                gains = model.head_gains.data[model._gain_index]
+                fused_w = builder.const(
+                    np.concatenate([head.weight.data for head in model.heads], axis=1)
+                )
+                fused_b = builder.const(
+                    np.concatenate([head.bias.data for head in model.heads], axis=0)
+                )
+                gains = builder.const(model.head_gains.data[model._gain_index])
                 out = builder.emit(
                     "fused_seed_heads",
                     lambda h: np.tanh(h @ fused_w + fused_b) * gains,
@@ -334,7 +604,7 @@ def compile_seed_mapping(model: Module) -> CompiledProgram:
                 flats = []
                 for index, head in enumerate(model.heads):
                     raw = builder.lower(head, hidden)
-                    gain = np.asarray(model.head_gains.data[index])
+                    gain = builder.const(np.asarray(model.head_gains.data[index]))
                     flats.append(
                         builder.emit(
                             f"seed_flat[{index}]",
@@ -350,9 +620,20 @@ def compile_seed_mapping(model: Module) -> CompiledProgram:
                         lambda *parts: np.concatenate(parts, axis=1),
                         *flats,
                     )
-        return CompiledProgram(
-            builder.steps, builder.n_slots, feats, out, f"{type(model).__name__}.seeds"
+        program = CompiledProgram(
+            builder.steps,
+            builder.n_slots,
+            feats,
+            out,
+            f"{type(model).__name__}.seeds",
+            precision=precision,
+            fuse=fuse,
+            parallel=parallel,
         )
+        OBS.enabled and OBS.inc(
+            "serve.fusion.steps_eliminated", program.fusion_eliminated
+        )
+        return program
 
 
 # -- nn layer rules -----------------------------------------------------------
@@ -360,17 +641,25 @@ def compile_seed_mapping(model: Module) -> CompiledProgram:
 
 @compiles(Linear)
 def _lower_linear(module: Linear, b: ProgramBuilder, x: int) -> int:
-    w = module.weight.data
+    w = b.weight(module.weight.data)
     if module.bias is None:
         return b.emit("linear", lambda x: x @ w, x)
-    bias = module.bias.data
+    bias = b.const(module.bias.data)
     return b.emit("linear", lambda x: x @ w + bias, x)
 
 
-def _conv_kernel(weight: np.ndarray, bias: np.ndarray | None, stride: int, padding: int) -> Kernel:
+def _conv_kernel(
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    padding: int,
+    b: ProgramBuilder,
+) -> Kernel:
     """Convolution closure with the weight folded to its im2col matrix."""
     kh, kw = weight.shape[0], weight.shape[1]
-    w_mat = fold_conv_weight(weight)
+    w_mat = b.weight(fold_conv_weight(weight))
+    if bias is not None:
+        bias = b.const(bias)
 
     def kernel(x: np.ndarray) -> np.ndarray:
         out, _, _, _ = conv2d_forward(x, w_mat, bias, kh, kw, stride, padding)
@@ -383,7 +672,9 @@ def _conv_kernel(weight: np.ndarray, bias: np.ndarray | None, stride: int, paddi
 def _lower_conv2d(module: Conv2d, b: ProgramBuilder, x: int) -> int:
     bias = module.bias.data if module.bias is not None else None
     return b.emit(
-        "conv2d", _conv_kernel(module.weight.data, bias, module.stride, module.padding), x
+        "conv2d",
+        _conv_kernel(module.weight.data, bias, module.stride, module.padding, b),
+        x,
     )
 
 
@@ -391,23 +682,38 @@ def _lower_conv2d(module: Conv2d, b: ProgramBuilder, x: int) -> int:
 def _lower_batchnorm2d(module: BatchNorm2d, b: ProgramBuilder, x: int) -> int:
     if module.training:
         raise ServeError("BatchNorm2d can only be compiled in eval mode")
-    mean4 = module._buffers["running_mean"].reshape(1, -1, 1, 1)
+    mean4 = b.const(module._buffers["running_mean"].reshape(1, -1, 1, 1))
     var4 = module._buffers["running_var"].reshape(1, -1, 1, 1)
     # Fold sqrt(var + eps) once; `var + eps` promotes to float64 exactly
     # as the Tensor path does (eps goes through _scalar).
-    denom = np.sqrt(var4 + _scalar(module.eps))
-    gamma4 = module.gamma.data.reshape(1, module.channels, 1, 1)
-    beta4 = module.beta.data.reshape(1, module.channels, 1, 1)
-    return b.emit("batchnorm2d", lambda x: (x - mean4) / denom * gamma4 + beta4, x)
+    denom = b.const(np.sqrt(var4 + _scalar(module.eps)))
+    gamma4 = b.const(module.gamma.data.reshape(1, module.channels, 1, 1))
+    beta4 = b.const(module.beta.data.reshape(1, module.channels, 1, 1))
+    cdtype = np.result_type(mean4, denom, gamma4, beta4)
+
+    def fn_out(out: np.ndarray, x: np.ndarray) -> None:
+        np.subtract(x, mean4, out=out)
+        np.divide(out, denom, out=out)
+        np.multiply(out, gamma4, out=out)
+        np.add(out, beta4, out=out)
+
+    return b.emit(
+        "batchnorm2d",
+        lambda x: (x - mean4) / denom * gamma4 + beta4,
+        x,
+        fn_out=fn_out,
+        out_spec=lambda x: (x.shape, np.result_type(x.dtype, cdtype)),
+        shardable=True,
+    )
 
 
 @compiles(LayerNorm)
 def _lower_layernorm(module: LayerNorm, b: ProgramBuilder, x: int) -> int:
-    gamma, beta = module.gamma.data, module.beta.data
-    eps = _scalar(module.eps)
+    gamma, beta = b.const(module.gamma.data), b.const(module.beta.data)
+    eps = b.scalar(module.eps)
     # Tensor.mean is sum * (1/count) with the scale coerced to a 0-d
     # float64 — mirrored exactly here.
-    inv_count = _scalar(1.0 / module.features)
+    inv_count = b.scalar(1.0 / module.features)
 
     def kernel(x: np.ndarray) -> np.ndarray:
         mean = x.sum(axis=-1, keepdims=True) * inv_count
@@ -433,9 +739,16 @@ def _lower_avg_pool2d(module: AvgPool2d, b: ProgramBuilder, x: int) -> int:
 
 @compiles(GlobalAvgPool2d)
 def _lower_global_avg_pool2d(module: GlobalAvgPool2d, b: ProgramBuilder, x: int) -> int:
-    def kernel(x: np.ndarray) -> np.ndarray:
-        inv = np.asarray(1.0 / (x.shape[2] * x.shape[3]))
-        return x.sum(axis=(2, 3)) * inv
+    if b.precision == "f64":
+
+        def kernel(x: np.ndarray) -> np.ndarray:
+            inv = np.asarray(1.0 / (x.shape[2] * x.shape[3]))
+            return x.sum(axis=(2, 3)) * inv
+
+    else:
+
+        def kernel(x: np.ndarray) -> np.ndarray:
+            return x.sum(axis=(2, 3)) * np.float32(1.0 / (x.shape[2] * x.shape[3]))
 
     return b.emit("global_avg_pool2d", kernel, x)
 
@@ -455,7 +768,7 @@ def _lower_dropout(module: Dropout, b: ProgramBuilder, x: int) -> int:
 
 @compiles(ReLU)
 def _lower_relu_module(module: ReLU, b: ProgramBuilder, x: int) -> int:
-    return b.emit("relu", ops.relu_forward, x)
+    return b.emit_relu(x)
 
 
 @compiles(GELU)
@@ -465,7 +778,14 @@ def _lower_gelu_module(module: GELU, b: ProgramBuilder, x: int) -> int:
 
 @compiles(Tanh)
 def _lower_tanh_module(module: Tanh, b: ProgramBuilder, x: int) -> int:
-    return b.emit("tanh", ops.tanh_forward, x)
+    return b.emit(
+        "tanh",
+        ops.tanh_forward,
+        x,
+        fn_out=lambda out, v: np.tanh(v, out=out),
+        out_spec=lambda v: (v.shape, v.dtype),
+        shardable=True,
+    )
 
 
 @compiles(Sigmoid)
@@ -480,11 +800,24 @@ def _lower_sigmoid_module(module: Sigmoid, b: ProgramBuilder, x: int) -> int:
 def _lower_basic_block(module: BasicBlock, b: ProgramBuilder, x: int) -> int:
     out = b.lower(module.conv1, x)
     out = b.lower(module.bn1, out)
-    out = b.emit("relu", ops.relu_forward, out)
+    out = b.emit_relu(out)
     out = b.lower(module.conv2, out)
     out = b.lower(module.bn2, out)
     identity = b.lower(module.shortcut, x) if module.shortcut is not None else x
-    return b.emit("residual_relu", lambda a, c: np.maximum(a + c, 0.0), out, identity)
+
+    def fn_out(out: np.ndarray, a: np.ndarray, c: np.ndarray) -> None:
+        np.add(a, c, out=out)
+        np.maximum(out, 0.0, out=out)
+
+    return b.emit(
+        "residual_relu",
+        lambda a, c: np.maximum(a + c, 0.0),
+        out,
+        identity,
+        fn_out=fn_out,
+        out_spec=lambda a, c: (a.shape, np.result_type(a, c)),
+        shardable=True,
+    )
 
 
 @compiles(MixerBlock)
@@ -494,19 +827,35 @@ def _lower_mixer_block(module: MixerBlock, b: ProgramBuilder, x: int) -> int:
     y = b.lower(module.token_fc1, y)
     y = b.emit("gelu", ops.gelu_forward, y)
     y = b.lower(module.token_fc2, y)
-    x = b.emit("token_residual", lambda x, y: x + y.transpose(0, 2, 1), x, y)
+    x = b.emit(
+        "token_residual",
+        lambda x, y: x + y.transpose(0, 2, 1),
+        x,
+        y,
+        fn_out=lambda out, x, y: np.add(x, y.transpose(0, 2, 1), out=out),
+        out_spec=lambda x, y: (x.shape, np.result_type(x, y)),
+        shardable=True,
+    )
     z = b.lower(module.norm2, x)
     z = b.lower(module.channel_fc1, z)
     z = b.emit("gelu", ops.gelu_forward, z)
     z = b.lower(module.channel_fc2, z)
-    return b.emit("channel_residual", lambda x, z: x + z, x, z)
+    return b.emit(
+        "channel_residual",
+        lambda x, z: x + z,
+        x,
+        z,
+        fn_out=lambda out, x, z: np.add(x, z, out=out),
+        out_spec=lambda x, z: (x.shape, np.result_type(x, z)),
+        shardable=True,
+    )
 
 
 @compiles_features(ResNet)
 def _features_resnet(model: ResNet, b: ProgramBuilder, x: int) -> int:
     out = b.lower(model.stem, x)
     out = b.lower(model.stem_bn, out)
-    out = b.emit("relu", ops.relu_forward, out)
+    out = b.emit_relu(out)
     for block in model.blocks:
         out = b.lower(block, out)
     return b.lower(model.pool, out)
@@ -529,7 +878,7 @@ def _features_mixer(model: MLPMixer, b: ProgramBuilder, x: int) -> int:
     for block in model.mixer_blocks:
         tokens = b.lower(block, tokens)
     tokens = b.lower(model.norm, tokens)
-    inv = _scalar(1.0 / model.num_patches)
+    inv = b.scalar(1.0 / model.num_patches)
     return b.emit("token_mean", lambda t: t.sum(axis=1) * inv, tokens)
 
 
@@ -567,8 +916,8 @@ def _lower_feature_extractor(module: FeatureExtractor, b: ProgramBuilder, x: int
 @compiles(LoRALinear)
 def _lower_lora_linear(module: LoRALinear, b: ProgramBuilder, x: int) -> int:
     base = b.lower(module.base, x)
-    a, bb = module.lora_a.data, module.lora_b.data
-    scale = _scalar(module.scaling)
+    a, bb = b.weight(module.lora_a.data), b.weight(module.lora_b.data)
+    scale = b.scalar(module.scaling)
     return b.emit("lora_linear", lambda o, x: o + (x @ a @ bb) * scale, base, x)
 
 
@@ -577,9 +926,11 @@ def _lower_conv_lora(module: ConvLoRA, b: ProgramBuilder, x: int) -> int:
     base = b.lower(module.base, x)
     # The adapter conv shares geometry with the base conv, so its
     # _im2col_contiguous call hits the patch cache populated one step ago.
-    mid_conv = _conv_kernel(module.lora_a.data, None, module.base.stride, module.base.padding)
-    lb = module.lora_b.data
-    scale = _scalar(module.scaling)
+    mid_conv = _conv_kernel(
+        module.lora_a.data, None, module.base.stride, module.base.padding, b
+    )
+    lb = b.weight(module.lora_b.data)
+    scale = b.scalar(module.scaling)
 
     def kernel(o: np.ndarray, x: np.ndarray) -> np.ndarray:
         delta = ops.einsum_forward("nrhw,ro->nohw", mid_conv(x), lb)
@@ -588,19 +939,24 @@ def _lower_conv_lora(module: ConvLoRA, b: ProgramBuilder, x: int) -> int:
     return b.emit("conv_lora", kernel, base, x)
 
 
-def _fold_gates(module) -> list[np.ndarray]:
-    """Per-branch ``gates[k] * scaling`` constants (0-d float64, as on the
-    Tensor path where the python-float scaling promotes the product)."""
+def _fold_gates(module, b: ProgramBuilder) -> list[np.ndarray]:
+    """Per-branch ``gates[k] * scaling`` constants (0-d, as on the Tensor
+    path where the python-float scaling promotes the product — cast to
+    the tier's compute dtype like every other folded constant)."""
     return [
-        module.gates.data[k] * _scalar(module.scaling) for k in range(module.branches)
+        b.const(module.gates.data[k] * _scalar(module.scaling))
+        for k in range(module.branches)
     ]
 
 
 @compiles(MultiLoRALinear)
 def _lower_multi_lora_linear(module: MultiLoRALinear, b: ProgramBuilder, x: int) -> int:
     base = b.lower(module.base, x)
-    branches = [(branch.lora_a.data, branch.lora_b.data) for branch in module.lora_branches]
-    gates = _fold_gates(module)
+    branches = [
+        (b.weight(branch.lora_a.data), b.weight(branch.lora_b.data))
+        for branch in module.lora_branches
+    ]
+    gates = _fold_gates(module, b)
 
     def kernel(o: np.ndarray, x: np.ndarray) -> np.ndarray:
         for (a, bb), gate in zip(branches, gates):
@@ -615,10 +971,13 @@ def _lower_multi_lora_conv(module: MultiLoRAConv, b: ProgramBuilder, x: int) -> 
     base = b.lower(module.base, x)
     stride, padding = module.base.stride, module.base.padding
     branches = [
-        (_conv_kernel(branch.lora_a.data, None, stride, padding), branch.lora_b.data)
+        (
+            _conv_kernel(branch.lora_a.data, None, stride, padding, b),
+            b.weight(branch.lora_b.data),
+        )
         for branch in module.lora_branches
     ]
-    gates = _fold_gates(module)
+    gates = _fold_gates(module, b)
 
     def kernel(o: np.ndarray, x: np.ndarray) -> np.ndarray:
         for (mid_conv, lb), gate in zip(branches, gates):
@@ -632,12 +991,12 @@ def _lower_multi_lora_conv(module: MultiLoRAConv, b: ProgramBuilder, x: int) -> 
 @compiles(MetaLoRACPLinear)
 def _lower_meta_cp_linear(module: MetaLoRACPLinear, b: ProgramBuilder, x: int) -> int:
     base = b.lower(module.base, x)
-    fa, fb = module.factor_a.data, module.factor_b.data
+    fa, fb = b.weight(module.factor_a.data), b.weight(module.factor_b.data)
     rank = module.rank
     out_features = module.base.out_features
-    scale = _scalar(module.scaling)
+    scale = b.scalar(module.scaling)
     seed_slot = b.seed_slots.get(id(module))
-    static = module.static_seed.data.reshape(1, 1, rank)
+    static = b.const(module.static_seed.data.reshape(1, 1, rank))
 
     def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
         squeeze = x.ndim == 2
@@ -660,10 +1019,12 @@ def _lower_meta_cp_linear(module: MetaLoRACPLinear, b: ProgramBuilder, x: int) -
 @compiles(MetaLoRACPConv)
 def _lower_meta_cp_conv(module: MetaLoRACPConv, b: ProgramBuilder, x: int) -> int:
     base = b.lower(module.base, x)
-    mid_conv = _conv_kernel(module.factor_a.data, None, module.base.stride, module.base.padding)
-    fb = module.factor_b.data
-    static = module.static_seed.data
-    scale = _scalar(module.scaling)
+    mid_conv = _conv_kernel(
+        module.factor_a.data, None, module.base.stride, module.base.padding, b
+    )
+    fb = b.weight(module.factor_b.data)
+    static = b.const(module.static_seed.data)
+    scale = b.scalar(module.scaling)
     seed_slot = b.seed_slots.get(id(module))
 
     def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
@@ -682,10 +1043,10 @@ def _lower_meta_cp_conv(module: MetaLoRACPConv, b: ProgramBuilder, x: int) -> in
 @compiles(MetaLoRATRLinear)
 def _lower_meta_tr_linear(module: MetaLoRATRLinear, b: ProgramBuilder, x: int) -> int:
     base = b.lower(module.base, x)
-    ca, cb = module.core_a.data, module.core_b.data
-    static = module.static_seed.data
+    ca, cb = b.weight(module.core_a.data), b.weight(module.core_b.data)
+    static = b.const(module.static_seed.data)
     out_features = module.base.out_features
-    scale = _scalar(module.scaling)
+    scale = b.scalar(module.scaling)
     seed_slot = b.seed_slots.get(id(module))
 
     def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
@@ -716,10 +1077,10 @@ def _lower_meta_tr_conv(module: MetaLoRATRConv, b: ProgramBuilder, x: int) -> in
     a_conv = module.core_a.data.transpose(1, 2, 3, 0, 4).reshape(
         k, k, module.base.in_channels, r * r
     )
-    mid_conv = _conv_kernel(a_conv, None, module.base.stride, module.base.padding)
-    cb = module.core_b.data
-    static = module.static_seed.data
-    scale = _scalar(module.scaling)
+    mid_conv = _conv_kernel(a_conv, None, module.base.stride, module.base.padding, b)
+    cb = b.weight(module.core_b.data)
+    static = b.const(module.static_seed.data)
+    scale = b.scalar(module.scaling)
     seed_slot = b.seed_slots.get(id(module))
 
     def kernel(o: np.ndarray, x: np.ndarray, seed: np.ndarray | None = None) -> np.ndarray:
@@ -759,37 +1120,49 @@ def _features_meta_lora(model: MetaLoRAModel, b: ProgramBuilder, x: int) -> int:
 
             b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", slice_seed, seeds)
         return b.lower_features(model.backbone, x)
-    feats = b.lower(model.extractor, x)
-    hidden = b.lower(model.trunk, feats)
-    hidden = b.emit("relu", ops.relu_forward, hidden)
-    # Freeze the seed-generation strategy at compile time, mirroring
-    # generate_seeds' dispatch on FLAGS.batched_seeds.
-    if FLAGS.batched_seeds and len(adapters) > 1:
-        fused_w = np.concatenate([head.weight.data for head in model.heads], axis=1)
-        fused_b = np.concatenate([head.bias.data for head in model.heads], axis=0)
-        gains = model.head_gains.data[model._gain_index]
-        scaled = b.emit(
-            "fused_seed_heads",
-            lambda h: np.tanh(h @ fused_w + fused_b) * gains,
-            hidden,
-        )
-        for index, adapter in enumerate(adapters):
-            lo = model._seed_offsets[index]
-            hi = model._seed_offsets[index + 1]
-            shape = adapter.seed_shape
+    # The whole seed-generation path (extractor, trunk, heads) is exempt
+    # from int8 weight quantization: seeds parameterize downstream
+    # kernels, and this matches the registry's split compilation.
+    quantize = b.quantize
+    b.quantize = False
+    try:
+        feats = b.lower(model.extractor, x)
+        hidden = b.lower(model.trunk, feats)
+        hidden = b.emit_relu(hidden)
+        # Freeze the seed-generation strategy at compile time, mirroring
+        # generate_seeds' dispatch on FLAGS.batched_seeds.
+        if FLAGS.batched_seeds and len(adapters) > 1:
+            fused_w = b.const(
+                np.concatenate([head.weight.data for head in model.heads], axis=1)
+            )
+            fused_b = b.const(
+                np.concatenate([head.bias.data for head in model.heads], axis=0)
+            )
+            gains = b.const(model.head_gains.data[model._gain_index])
+            scaled = b.emit(
+                "fused_seed_heads",
+                lambda h: np.tanh(h @ fused_w + fused_b) * gains,
+                hidden,
+            )
+            for index, adapter in enumerate(adapters):
+                lo = model._seed_offsets[index]
+                hi = model._seed_offsets[index + 1]
+                shape = adapter.seed_shape
 
-            def slice_seed(s: np.ndarray, lo: int = lo, hi: int = hi, shape=shape) -> np.ndarray:
-                return s[:, lo:hi].reshape(s.shape[0], *shape)
+                def slice_seed(s: np.ndarray, lo: int = lo, hi: int = hi, shape=shape) -> np.ndarray:
+                    return s[:, lo:hi].reshape(s.shape[0], *shape)
 
-            b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", slice_seed, scaled)
-    else:
-        for index, (adapter, head) in enumerate(zip(adapters, model.heads)):
-            raw = b.lower(head, hidden)
-            gain = np.asarray(model.head_gains.data[index])
-            shape = adapter.seed_shape
+                b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", slice_seed, scaled)
+        else:
+            for index, (adapter, head) in enumerate(zip(adapters, model.heads)):
+                raw = b.lower(head, hidden)
+                gain = b.const(np.asarray(model.head_gains.data[index]))
+                shape = adapter.seed_shape
 
-            def seed_kernel(r: np.ndarray, gain=gain, shape=shape) -> np.ndarray:
-                return (np.tanh(r) * gain).reshape(r.shape[0], *shape)
+                def seed_kernel(r: np.ndarray, gain=gain, shape=shape) -> np.ndarray:
+                    return (np.tanh(r) * gain).reshape(r.shape[0], *shape)
 
-            b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", seed_kernel, raw)
+                b.seed_slots[id(adapter)] = b.emit(f"seed[{index}]", seed_kernel, raw)
+    finally:
+        b.quantize = quantize
     return b.lower_features(model.backbone, x)

@@ -80,6 +80,11 @@ class EmbeddingEngine:
         self.program = program
 
     @property
+    def precision(self) -> str:
+        """The mounted program's precision tier (``f64``/``f32``/``int8``)."""
+        return self.program.precision
+
+    @property
     def max_batch(self) -> int:
         return self._core.max_batch
 
@@ -133,6 +138,7 @@ def build_engine(
     max_batch: int = 32,
     max_delay: float = 0.002,
     cache_size: int = 256,
+    precision: str | None = None,
 ) -> EmbeddingEngine:
     """Compile a model (or an ``AttachResult``) into a ready engine.
 
@@ -140,7 +146,8 @@ def build_engine(
     ``merge=True`` (default) bakes the adapter deltas into the base weights
     via ``AttachResult.merge()`` before compiling — the served program then
     contains no adapter ops at all.  Meta adapters cannot merge; they
-    compile to their pre-planned einsum fast paths instead.
+    compile to their pre-planned einsum fast paths instead.  ``precision``
+    picks the tier (explicit, else ``REPRO_SERVE_PRECISION``, else ``f64``).
     """
     model = model_or_result
     if not isinstance(model, Module):
@@ -162,7 +169,7 @@ def build_engine(
                 f"{type(model_or_result).__name__} returned "
                 f"{type(model).__name__}, not a Module"
             )
-    program = compile_features(model)
+    program = compile_features(model, precision=precision)
     return EmbeddingEngine(
         program, max_batch=max_batch, max_delay=max_delay, cache_size=cache_size
     )
@@ -179,7 +186,14 @@ class Engines:
     callers can own, scope and close.
     """
 
-    def __init__(self, *, cache_size: int = 0, max_batch: int = 32, max_delay: float = 0.002) -> None:
+    def __init__(
+        self,
+        *,
+        cache_size: int = 0,
+        max_batch: int = 32,
+        max_delay: float = 0.002,
+        precision: str | None = None,
+    ) -> None:
         self._engines: "weakref.WeakKeyDictionary[Module, EmbeddingEngine]" = (
             weakref.WeakKeyDictionary()
         )
@@ -187,6 +201,7 @@ class Engines:
             "cache_size": cache_size,
             "max_batch": max_batch,
             "max_delay": max_delay,
+            "precision": precision,
         }
 
     def get(self, model: Module) -> EmbeddingEngine:
@@ -210,8 +225,11 @@ class Engines:
 
 
 #: Default handle for the flag-gated protocol path
-#: (``FLAGS.serve_embeddings``); result caching off, as before.
-ENGINES = Engines(cache_size=0)
+#: (``FLAGS.serve_embeddings``); result caching off, as before.  The
+#: tier is pinned to f64 — routing ``extract_embeddings`` through the
+#: engine is contracted bit-identical to the autograd path, and must
+#: stay so even when ``REPRO_SERVE_PRECISION`` relaxes serving tiers.
+ENGINES = Engines(cache_size=0, precision="f64")
 
 
 def shared_engine(model: Module) -> EmbeddingEngine:

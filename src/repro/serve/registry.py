@@ -61,6 +61,7 @@ from repro.serve.compile import (
     compile_forward,
     compile_seed_mapping,
 )
+from repro.serve.optimize import resolve_precision
 
 #: Label used on ``serve.run`` when one program execution serves rows
 #: from more than one tenant (the cross-tenant stacked runs).
@@ -106,13 +107,16 @@ class _Request:
 class ProgramKey(tuple):
     """Identity of one compiled slot-program.
 
-    A ``(backbone, families, ranks, weights)`` tuple: the architecture
-    digest (module-tree class names + state shapes/dtypes, prefixed with
-    the program role), the adapter families and ranks present, and the
-    :func:`~repro.peft.checkpoint.state_digest` of the weights the
-    program folds.  Equal keys ⇒ compiling would produce programs with
+    A ``(backbone, families, ranks, weights, precision)`` tuple: the
+    architecture digest (module-tree class names + state shapes/dtypes,
+    prefixed with the program role), the adapter families and ranks
+    present, the :func:`~repro.peft.checkpoint.state_digest` of the
+    weights the program folds, and the precision tier the program was
+    compiled at.  Equal keys ⇒ compiling would produce programs with
     identical outputs, so the cache may hand out one program to many
-    tenants.
+    tenants; byte-identical tenants compiled at *different* tiers get
+    distinct keys (an f32 tenant must never be served an f64 program and
+    vice versa).
     """
 
     __slots__ = ()
@@ -123,8 +127,12 @@ class ProgramKey(tuple):
         families: tuple[str, ...],
         ranks: tuple[int, ...],
         weights: str,
+        precision: str = "f64",
     ) -> "ProgramKey":
-        return tuple.__new__(cls, (backbone, tuple(families), tuple(ranks), weights))
+        return tuple.__new__(
+            cls,
+            (backbone, tuple(families), tuple(ranks), weights, str(precision)),
+        )
 
     @property
     def backbone(self) -> str:
@@ -142,6 +150,10 @@ class ProgramKey(tuple):
     def weights(self) -> str:
         return self[3]
 
+    @property
+    def precision(self) -> str:
+        return self[4]
+
 
 def _architecture_digest(role: str, model: Module, state: Mapping[str, np.ndarray]) -> str:
     hasher = hashlib.sha256()
@@ -154,13 +166,19 @@ def _architecture_digest(role: str, model: Module, state: Mapping[str, np.ndarra
 
 
 def program_key(
-    model: Module, *, role: str = "features", extra: Mapping | None = None
+    model: Module,
+    *,
+    role: str = "features",
+    extra: Mapping | None = None,
+    precision: str | None = None,
 ) -> ProgramKey:
     """The :class:`ProgramKey` compiling ``model`` (in ``role``) would get.
 
     ``extra`` folds additional compile-time inputs into the weights
     digest — e.g. the mapping programs fold ``FLAGS.batched_seeds``,
     which freezes the seed-generation strategy at compile time.
+    ``precision`` resolves like the compile entry points (explicit tier,
+    else ``REPRO_SERVE_PRECISION``, else ``f64``).
     """
     from repro.peft.checkpoint import _adapter_meta, state_digest
 
@@ -174,10 +192,11 @@ def program_key(
         families=tuple(meta["families"]),
         ranks=tuple(int(rank) for rank in meta["ranks"]),
         weights=state_digest(state, extra=payload),
+        precision=resolve_precision(precision),
     )
 
 
-def _mapping_key(model: MetaLoRAModel) -> ProgramKey:
+def _mapping_key(model: MetaLoRAModel, precision: str | None = None) -> ProgramKey:
     """Key for the mapping program: trunk + heads + gains only.
 
     Deliberately excludes the backbone and extractor, so tenants that
@@ -201,6 +220,7 @@ def _mapping_key(model: MetaLoRAModel) -> ProgramKey:
         families=(),
         ranks=(),
         weights=state_digest(state, extra={"batched_seeds": bool(FLAGS.batched_seeds)}),
+        precision=resolve_precision(precision),
     )
 
 
@@ -232,23 +252,35 @@ class ProgramCache:
         with self._lock:
             return key in self._programs
 
-    def _count(self, name: str) -> None:
+    def _count(self, name: str, precision: str | None = None) -> None:
+        """Bare counter plus a ``{precision=tier}`` labeled twin.
+
+        The bare series keeps the pre-tier exact-count contract; the
+        labeled twin splits the same traffic by precision tier.
+        """
         self._metrics.inc(name)
         OBS.enabled and OBS.inc(name)
+        if precision is not None:
+            self._metrics.inc(name, precision=precision)
+            OBS.enabled and OBS.inc(name, precision=precision)
 
     def get(self, key: ProgramKey, compile_fn: Callable[[], CompiledProgram]) -> CompiledProgram:
+        precision = getattr(key, "precision", None)
         with self._lock:
             program = self._programs.get(key)
             if program is not None:
                 self._programs.move_to_end(key)
-                self._count("serve.program_cache.hit")
+                self._count("serve.program_cache.hit", precision)
                 return program
-            self._count("serve.program_cache.miss")
+            self._count("serve.program_cache.miss", precision)
             program = compile_fn()
             self._programs[key] = program
             while len(self._programs) > self.capacity:
-                self._programs.popitem(last=False)
-                self._count("serve.program_cache.evict")
+                evicted_key, __ = self._programs.popitem(last=False)
+                self._count(
+                    "serve.program_cache.evict",
+                    getattr(evicted_key, "precision", None),
+                )
             return program
 
     def stats(self) -> dict[str, dict]:
@@ -356,13 +388,16 @@ class AdapterRegistry:
         *,
         merge: bool = True,
         replace: bool = False,
+        precision: str | None = None,
     ) -> AdapterEntry:
         """Compile and install ``name``; ``replace=True`` allows hot-swap.
 
         Accepts a :class:`~repro.nn.module.Module` or anything exposing
         ``serving_model(merge=...)`` (an ``AttachResult``).  MetaLoRA
         models compile to the extractor/mapping/body split; everything
-        else compiles to one ``features()`` program.
+        else compiles to one ``features()`` program.  ``precision``
+        picks the tenant's tier (explicit, else ``REPRO_SERVE_PRECISION``,
+        else ``f64``); tenants at different tiers never share a program.
         """
         with self._lock:
             previous = self._entries.get(name)
@@ -371,13 +406,22 @@ class AdapterRegistry:
                     f"adapter {name!r} is already registered; "
                     f"use swap() (or replace=True) to hot-swap it"
                 )
-            entry = self._compile_entry(name, model_or_result, merge=merge)
+            entry = self._compile_entry(
+                name, model_or_result, merge=merge, precision=precision
+            )
             if previous is not None:
                 entry.version = previous.version + 1
             self._entries[name] = entry
             return entry
 
-    def swap(self, name: str, model_or_result: object, *, merge: bool = True) -> AdapterEntry:
+    def swap(
+        self,
+        name: str,
+        model_or_result: object,
+        *,
+        merge: bool = True,
+        precision: str | None = None,
+    ) -> AdapterEntry:
         """Hot-swap ``name``'s weights; the name must already be registered."""
         with self._lock:
             if name not in self._entries:
@@ -388,7 +432,9 @@ class AdapterRegistry:
                 )
             self._metrics.inc("serve.registry.swap")
             OBS.enabled and OBS.inc("serve.registry.swap")
-            return self.register(name, model_or_result, merge=merge, replace=True)
+            return self.register(
+                name, model_or_result, merge=merge, replace=True, precision=precision
+            )
 
     def evict(self, name: str) -> AdapterEntry:
         """Remove ``name``; returns the evicted entry."""
@@ -428,6 +474,7 @@ class AdapterRegistry:
         *,
         merge: bool = True,
         replace: bool = False,
+        precision: str | None = None,
     ) -> AdapterEntry:
         """Load an adapter checkpoint into ``model`` and register the result.
 
@@ -439,16 +486,56 @@ class AdapterRegistry:
         from repro.peft.checkpoint import load_adapter
 
         load_adapter(model, path)
-        return self.register(name, model, merge=merge, replace=replace)
+        return self.register(
+            name, model, merge=merge, replace=replace, precision=precision
+        )
 
     def stats(self) -> dict[str, dict]:
         """Registry counters (program cache + swaps) as a metrics snapshot."""
         self._metrics.gauge("serve.registry.size", len(self))
         return self._metrics.snapshot()
 
+    def program_counters(self) -> dict[str, object]:
+        """Optimizer counters summed over every distinct in-use program.
+
+        Programs are deduplicated by identity (shared programs count
+        once); histogram buckets are merged.  Feeds the
+        ``serve.fusion.steps_eliminated`` / ``serve.arena.*`` /
+        ``serve.parallel.slots`` series the engines fold into
+        ``stats()``.
+        """
+        totals = {
+            "fusion_eliminated": 0,
+            "quantized": 0,
+            "arena_hits": 0,
+            "arena_allocs": 0,
+        }
+        buckets: dict[str, int] = {}
+        seen: set[int] = set()
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            for program in (entry.program, entry.extractor, entry.mapping, entry.body):
+                if program is None or id(program) in seen:
+                    continue
+                seen.add(id(program))
+                counters = program.counters()
+                for field in totals:
+                    totals[field] += int(counters[field])
+                for bucket, count in counters["parallel_slots"].items():
+                    buckets[bucket] = buckets.get(bucket, 0) + int(count)
+        totals["parallel_slots"] = buckets
+        return totals
+
     # -- compilation ----------------------------------------------------------
 
-    def _compile_entry(self, name: str, model_or_result: object, merge: bool) -> AdapterEntry:
+    def _compile_entry(
+        self,
+        name: str,
+        model_or_result: object,
+        merge: bool,
+        precision: str | None = None,
+    ) -> AdapterEntry:
         model = model_or_result
         if not isinstance(model, Module):
             serving_model = getattr(model, "serving_model", None)
@@ -463,24 +550,35 @@ class AdapterRegistry:
                     f"serving_model() on {type(model_or_result).__name__} returned "
                     f"{type(model).__name__}, not a Module"
                 )
+        precision = resolve_precision(precision)
         if isinstance(model, MetaLoRAModel):
-            return self._compile_seeded(name, model)
-        key = program_key(model)
-        program = self.programs.get(key, lambda: compile_features(model))
+            return self._compile_seeded(name, model, precision)
+        key = program_key(model, precision=precision)
+        program = self.programs.get(
+            key, lambda: compile_features(model, precision=precision)
+        )
         return AdapterEntry(name, "static", key.weights, program=program)
 
-    def _compile_seeded(self, name: str, model: MetaLoRAModel) -> AdapterEntry:
+    def _compile_seeded(
+        self, name: str, model: MetaLoRAModel, precision: str
+    ) -> AdapterEntry:
         from repro.peft.checkpoint import model_digest
 
-        extractor_key = program_key(model.extractor, role="extractor")
-        body_key = program_key(model.backbone, role="body")
-        mapping_key = _mapping_key(model)
+        extractor_key = program_key(model.extractor, role="extractor", precision=precision)
+        body_key = program_key(model.backbone, role="body", precision=precision)
+        mapping_key = _mapping_key(model, precision)
+        # The extractor feeds the mapping net's f64 trunk: quantizing it
+        # would perturb the seeds and break fused==split at int8.
         extractor = self.programs.get(
-            extractor_key, lambda: compile_forward(model.extractor)
+            extractor_key,
+            lambda: compile_forward(model.extractor, precision=precision, quantize=False),
         )
-        mapping = self.programs.get(mapping_key, lambda: compile_seed_mapping(model))
+        mapping = self.programs.get(
+            mapping_key, lambda: compile_seed_mapping(model, precision=precision)
+        )
         body = self.programs.get(
-            body_key, lambda: compile_features(model, external_seeds=True)
+            body_key,
+            lambda: compile_features(model, external_seeds=True, precision=precision),
         )
         return AdapterEntry(
             name,
@@ -511,6 +609,9 @@ class MultiTenantEngine:
     tenant_labels:
         When true (default), per-request metrics also record a
         ``{tenant=name}`` labeled series next to the bare aggregate.
+    precision:
+        Default tier for ``register``/``swap`` calls that don't pick one
+        (explicit, else ``REPRO_SERVE_PRECISION``, else ``f64``).
     """
 
     def __init__(
@@ -522,6 +623,7 @@ class MultiTenantEngine:
         cache_size: int = 256,
         tenant_labels: bool = True,
         program_cache_size: int = 64,
+        precision: str | None = None,
     ) -> None:
         if max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {max_batch}")
@@ -529,6 +631,7 @@ class MultiTenantEngine:
             raise ServeError(f"max_delay must be >= 0, got {max_delay}")
         if cache_size < 0:
             raise ServeError(f"cache_size must be >= 0, got {cache_size}")
+        self.precision = resolve_precision(precision)
         self.registry = (
             registry
             if registry is not None
@@ -551,9 +654,11 @@ class MultiTenantEngine:
     # -- registry passthroughs ------------------------------------------------
 
     def register(self, name: str, model_or_result: object, **kwargs: object) -> AdapterEntry:
+        kwargs.setdefault("precision", self.precision)
         return self.registry.register(name, model_or_result, **kwargs)
 
     def swap(self, name: str, model_or_result: object, **kwargs: object) -> AdapterEntry:
+        kwargs.setdefault("precision", self.precision)
         return self.registry.swap(name, model_or_result, **kwargs)
 
     def evict(self, name: str) -> AdapterEntry:
@@ -839,7 +944,11 @@ class MultiTenantEngine:
 
         The engine's own series (bare names, plus ``{tenant=...}``
         labeled twins when ``tenant_labels`` is on) are merged with its
-        registry's (``serve.program_cache.*``, ``serve.registry.*``).
+        registry's (``serve.program_cache.*``, ``serve.registry.*``) and
+        with the optimizer counters summed over every in-use compiled
+        program (``serve.fusion.steps_eliminated``, ``serve.arena.*``,
+        ``serve.parallel.slots``) — merged, not inc'd, so the series
+        appear even at zero.
         """
         with self._stats_lock:
             self._metrics.gauge("serve.cache.size", len(self._cache))
@@ -847,6 +956,32 @@ class MultiTenantEngine:
         merged = MetricsRegistry(enabled=True)
         merged.merge(snapshot)
         merged.merge(self.registry.stats())
+        programs = self.registry.program_counters()
+        merged.merge(
+            {
+                "serve.fusion.steps_eliminated": {
+                    "kind": "counter",
+                    "calls": int(programs["fusion_eliminated"]),
+                },
+                "serve.quantized.weights": {
+                    "kind": "counter",
+                    "calls": int(programs["quantized"]),
+                },
+                "serve.arena.hit": {
+                    "kind": "counter",
+                    "calls": int(programs["arena_hits"]),
+                },
+                "serve.arena.alloc": {
+                    "kind": "counter",
+                    "calls": int(programs["arena_allocs"]),
+                },
+                "serve.parallel.slots": {
+                    "kind": "histogram",
+                    "calls": sum(programs["parallel_slots"].values()),
+                    "buckets": dict(programs["parallel_slots"]),
+                },
+            }
+        )
         return merged.snapshot()
 
     def close(self) -> None:

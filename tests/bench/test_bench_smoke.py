@@ -108,6 +108,76 @@ class TestServeBench:
         assert [p.rsplit("/", 1)[-1] for p in paths] == ["BENCH_serve.json"]
 
 
+class TestPrecisionSection:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return json.loads(json.dumps(run_serve_bench(scale="tiny", repeats=1)))
+
+    def test_precision_matrix_validates_and_formats(self, record):
+        validate_bench_record(record)
+        precision = record["precision"]
+        assert precision["parallel_workers"] >= 2
+        assert set(precision["budgets"]) == {"f32", "int8"}
+        names = [backbone["name"] for backbone in precision["backbones"]]
+        assert names == ["resnet", "mixer"]
+        for backbone in precision["backbones"]:
+            # Identity + accuracy checks run in-process; the record pins them.
+            assert backbone["f64_bit_identical"] is True
+            accuracy = backbone["knn"]["accuracy"]
+            assert set(accuracy) == {"f64", "f32", "int8"}
+            for tier, drop in backbone["knn"]["max_drop"].items():
+                assert drop <= precision["budgets"][tier]
+            tiers = {row["precision"] for row in backbone["rows"]}
+            assert tiers == {"f64", "f32", "int8"}
+            assert any(row["parallel"] > 1 for row in backbone["rows"])
+            for row in backbone["rows"]:
+                if row["precision"] == "f64":
+                    assert row["max_abs_err_vs_f64"] == 0.0
+        assert precision["best_speedup_vs_f64"] > 0
+        text = format_bench_record(record)
+        assert "precision matrix" in text
+        assert "f32+fuse" in text
+
+    def test_validate_rejects_corrupt_precision_sections(self, record):
+        def corrupted(mutate):
+            clone = json.loads(json.dumps(record))
+            mutate(clone["precision"])
+            return clone
+
+        for mutate, match in (
+            (lambda p: p.update(parallel_workers=1), "parallel_workers"),
+            (lambda p: p.update(budgets={"f32": 0.02}), "budgets"),
+            (lambda p: p.update(backbones=[]), "backbones"),
+            (
+                lambda p: p["backbones"][0].update(f64_bit_identical=False),
+                "f64_bit_identical",
+            ),
+            (
+                lambda p: p["backbones"][0]["knn"]["max_drop"].update(int8=0.9),
+                "KNN drop",
+            ),
+            (
+                lambda p: p["backbones"][0]["rows"][0].update(
+                    max_abs_err_vs_f64=1e-9
+                ),
+                "bit-exact",
+            ),
+            (
+                lambda p: [
+                    row.update(parallel=1) for row in p["backbones"][0]["rows"]
+                ],
+                "parallel run",
+            ),
+            (lambda p: p.update(best_speedup_vs_f64=float("nan")), "best_speedup"),
+        ):
+            with pytest.raises(ValueError, match=match):
+                validate_bench_record(corrupted(mutate))
+        # The section is serve-only.
+        autograd = run_autograd_bench(scale="tiny", repeats=1)
+        with pytest.raises(ValueError, match="serve-only"):
+            validate_bench_record({**autograd, "precision": record["precision"]})
+
+
 class TestMultiTenantBenchSection:
     def test_multi_tenant_section_validates_and_formats(self):
         record = run_serve_bench(scale="tiny", repeats=1, tenants=3)

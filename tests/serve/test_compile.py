@@ -3,7 +3,9 @@
 The contract under test is exact equality (``max_abs_diff == 0.0``), not
 closeness: the compiled kernels are the same functions the autograd ops
 call, with scalar constants coerced exactly as ``Tensor`` arithmetic
-coerces them.
+coerces them.  That contract is pinned to the f64 tier; when the suite
+runs under ``REPRO_SERVE_PRECISION=f32``/``int8`` the same tests assert
+tier-sized closeness instead (see conftest's ``assert_serving_match``).
 """
 
 import numpy as np
@@ -40,11 +42,11 @@ def randomize_zero_params(model, rng):
 
 
 def assert_bit_identical(model, images):
+    from tests.serve.conftest import assert_serving_match
+
     program = compile_features(model)
     reference = extract_embeddings(model, images, batch_size=images.shape[0])
-    compiled = program.run(images)
-    assert compiled.dtype == reference.dtype
-    assert np.array_equal(compiled, reference)
+    assert_serving_match(program.run(images), reference)
 
 
 class TestBackboneExactness:
@@ -62,11 +64,13 @@ class TestBackboneExactness:
         assert_bit_identical(model, images_for(rng))
 
     def test_batch_polymorphic_program(self, rng):
+        from tests.serve.conftest import assert_serving_match
+
         model = resnet_small(4, rng)
         program = compile_features(model)
         for n in (1, 3, 7):
             x = images_for(rng, n)
-            assert np.array_equal(program.run(x), extract_embeddings(model, x))
+            assert_serving_match(program.run(x), extract_embeddings(model, x))
 
 
 class TestMetaModelExactness:
@@ -102,7 +106,9 @@ class TestMergedFastPath:
         assert result.state == "merged"
         # The program was compiled from the merged model: no adapter steps.
         assert not any("lora" in line for line in engine.program.describe())
-        assert np.array_equal(
+        from tests.serve.conftest import assert_serving_match
+
+        assert_serving_match(
             engine.embed(images), extract_embeddings(result.model, images)
         )
         engine.close()

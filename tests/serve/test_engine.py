@@ -32,10 +32,12 @@ def resolve(futures, timeout=10.0):
 
 class TestBulkPath:
     def test_embed_matches_reference_across_chunkings(self, engine, model, rng):
+        from tests.serve.conftest import assert_serving_match
+
         images = samples_for(rng, 7)
         for batch_size in (1, 3, 64):
             out = engine.embed(images, batch_size=batch_size)
-            assert np.array_equal(
+            assert_serving_match(
                 out, extract_embeddings(model, images, batch_size=batch_size)
             )
 
@@ -186,6 +188,8 @@ class TestProtocolIntegration:
             ENGINES.clear()
 
     def test_explicit_engine_argument(self, engine, model, rng):
+        from tests.serve.conftest import assert_serving_match
+
         images = samples_for(rng, 4)
         out = extract_embeddings(model, images, engine=engine)
-        assert np.array_equal(out, extract_embeddings(model, images))
+        assert_serving_match(out, extract_embeddings(model, images))

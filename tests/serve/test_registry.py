@@ -184,6 +184,34 @@ class TestDigest:
 
         assert key.weights == model_digest(model)
 
+    def test_program_keys_split_by_precision(self):
+        model = static_lora_result(0).serving_model(merge=True)
+        f64 = program_key(model, precision="f64")
+        f32 = program_key(model, precision="f32")
+        assert f64.precision == "f64" and f32.precision == "f32"
+        assert f64 != f32  # tiers never collide in the program cache
+        assert program_key(model, precision="f32") == f32
+
+    def test_program_cache_keeps_tiers_apart_and_labels_counters(self):
+        from repro.serve import ProgramCache
+
+        model = static_lora_result(0).serving_model(merge=True)
+        cache = ProgramCache(capacity=4)
+        compiled = []
+        for precision in ("f64", "f32", "f32"):
+            program = cache.get(
+                program_key(model, precision=precision),
+                lambda p=precision: compile_features(model, precision=p),
+            )
+            compiled.append(program)
+        assert compiled[0] is not compiled[1]  # different tier → recompile
+        assert compiled[1] is compiled[2]  # same tier → shared program
+        stats = cache.stats()
+        assert stats["serve.program_cache.miss"]["calls"] == 2
+        assert stats["serve.program_cache.miss{precision=f64}"]["calls"] == 1
+        assert stats["serve.program_cache.miss{precision=f32}"]["calls"] == 1
+        assert stats["serve.program_cache.hit{precision=f32}"]["calls"] == 1
+
 
 class TestMultiTenantServing:
     def test_single_tenant_engine_matches_embedding_engine(self, rng):
@@ -399,7 +427,9 @@ class TestMultiInputPrograms:
         model = meta_model(seed=10)
         images = images_for(rng, 4)
         fused = compile_features(model)
-        extractor = compile_forward(model.extractor)
+        # quantize=False mirrors the registry: the extractor feeds the
+        # seed path, which is exempt from int8 weight quantization.
+        extractor = compile_forward(model.extractor, quantize=False)
         mapping = compile_seed_mapping(model)
         body = compile_features(model, external_seeds=True)
         assert len(body.input_slots) == 2

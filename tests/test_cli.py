@@ -63,6 +63,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["inspect", "--method", "qlora"])
 
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile"])
+        assert args.method == "meta_lora_tr"
+        assert args.precision is None  # resolved env-aware at compile time
+        assert args.describe is False
+
+    def test_compile_rejects_unknown_precision(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "--precision", "f16"])
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -85,6 +95,17 @@ class TestCommands:
         assert main(["inspect", "--method", "original"]) == 0
         out = capsys.readouterr().out
         assert "trainable=0" in out
+
+    def test_compile_describe_lists_steps(self, capsys):
+        assert main(
+            ["compile", "--method", "lora", "--precision", "f32", "--describe"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "precision: f32" in out
+        assert "fusion eliminated" in out
+        # The listing resolved per-step output dtypes from the dummy run.
+        assert "float32(" in out
+        assert "0: %" in out
 
     def test_report_renders_saved_records(self, capsys, tmp_path):
         from repro.eval.protocol import Table1Row
