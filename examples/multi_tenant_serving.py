@@ -3,10 +3,11 @@
 Three tenants share one ``MultiTenantEngine``: a merged static-LoRA
 tenant and two MetaLoRA seed-slot tenants that share a backbone but
 carry tenant-specific mapping networks.  The walkthrough covers the
-full lifecycle — register, heterogeneous dispatch (seed-slot tenants
-stack into shared extractor/body runs), the queued ``submit`` path,
+full lifecycle — register, heterogeneous ``serve`` (seed-slot tenants
+stack into shared extractor/body runs), the queued ``enqueue`` path,
 hot-swapping a retrained tenant, checkpoint-based registration, and
-the per-tenant metrics the engine exports.
+the per-tenant metrics the engine exports.  Everything speaks the typed
+``ServeRequest``/``ServeResult`` surface (see docs/serving.md).
 
 Run:  python examples/multi_tenant_serving.py   (~30 s)
 """
@@ -17,7 +18,7 @@ import numpy as np
 
 from repro.models import FeatureExtractor, resnet_small
 from repro.peft import MetaLoRAModel, attach, save_adapter
-from repro.serve import MultiTenantEngine, build_engine
+from repro.serve import MultiTenantEngine, ServeRequest, build_engine
 from repro.utils.rng import new_rng
 
 NUM_CLASSES = 4
@@ -73,7 +74,12 @@ def main() -> None:
     reference = {}
     for name, source in (("acme", static), ("globex", meta_a), ("initech", meta_b)):
         with build_engine(source, cache_size=0) as single:
-            reference[name] = single.embed(images, batch_size=1)
+            reference[name] = np.stack(
+                [
+                    single.serve(ServeRequest(sample=sample)).require()
+                    for sample in images
+                ]
+            )
 
     engine = MultiTenantEngine()
     engine.register("acme", static)  # static LoRA: merged, adapter-free program
@@ -87,27 +93,33 @@ def main() -> None:
     # Heterogeneous dispatch: one call, three tenants.  Seed-slot rows
     # stack into shared extractor/body runs; outputs stay bit-identical
     # to the per-tenant engines.
-    batch = [("acme", images[0]), ("globex", images[1]), ("initech", images[2])]
-    rows = engine.dispatch(batch)
-    for index, ((name, __), row) in enumerate(zip(batch, rows)):
-        assert np.array_equal(row, reference[name][index])
-    print("dispatch: grouped rows bit-identical to per-tenant engines")
-
-    # The queued path: submit() takes an adapter name and coalesces
-    # requests across tenants into heterogeneous micro-batches.
     tenants = ("acme", "globex", "initech")
+    requests = [
+        ServeRequest(sample=images[index], adapter=name)
+        for index, name in enumerate(tenants)
+    ]
+    results = engine.serve(requests)
+    for index, (name, result) in enumerate(zip(tenants, results)):
+        assert result.ok and np.array_equal(result.require(), reference[name][index])
+    print("serve: grouped rows bit-identical to per-tenant engines")
+
+    # The queued path: enqueue() resolves each request to a future
+    # ServeResult and coalesces requests across tenants into
+    # heterogeneous micro-batches.
     futures = [
-        engine.submit(images[index], adapter=name)
+        engine.enqueue(ServeRequest(sample=images[index], adapter=name))
         for index, name in enumerate(tenants)
     ]
     for index, (name, future) in enumerate(zip(tenants, futures)):
-        assert np.array_equal(future.result(timeout=10.0), reference[name][index])
-    print("submit: queued rows bit-identical too")
+        result = future.result(timeout=10.0)
+        assert np.array_equal(result.require(), reference[name][index])
+    print("enqueue: queued rows bit-identical too")
 
     # Hot swap: retrain globex (new mapping weights), swap it in live.
-    before = engine.dispatch([("globex", images[0])])[0]
+    probe = ServeRequest(sample=images[0], adapter="globex")
+    before = engine.serve(probe).require()
     engine.swap("globex", seed_slot_tenant(mapping_seed=99))
-    after = engine.dispatch([("globex", images[0])])[0]
+    after = engine.serve(probe).require()
     print(f"hot swap changed globex's output: {not np.array_equal(before, after)} "
           f"(entry version {engine.registry.get('globex').version})")
 

@@ -63,6 +63,34 @@ print(
 )
 PYEOF
 
+# Load smoke: a real frontend + open-loop load generator run, two seconds
+# per offered-load level.  The bench asserts server-vs-direct bit-identity
+# per recorded micro-batch in-process, so BENCH_load.json existing at all
+# means the wire path matched direct dispatch exactly; re-validate the
+# record schema and the shape of the load curve here.
+PYTHONPATH=src python -m repro bench --suite load --out "$out_dir" --scale tiny --load-duration 2
+test -f "$out_dir/BENCH_load.json" || { echo "bench_smoke: missing BENCH_load.json" >&2; exit 1; }
+PYTHONPATH=src python - "$out_dir/BENCH_load.json" <<'PYEOF'
+import json, sys
+
+from repro.bench import validate_bench_record
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    record = json.load(handle)
+validate_bench_record(record)
+levels = record["load"]["levels"]
+assert len(levels) >= 3, len(levels)
+assert record["bit_identical"] is True
+assert record["replayed_batches"] >= 1
+print(
+    "bench_smoke: load curve ok "
+    f"({len(levels)} levels, capacity est. "
+    f"{record['capacity_estimate_rps']:.0f} req/s, peak achieved "
+    f"{record['summary']['peak_achieved_rate']:.0f} req/s, "
+    f"{record['replayed_batches']} batch(es) replayed bit-identical)"
+)
+PYEOF
+
 # Durable-run smoke: inject a crash into one cell so the first run exits 1
 # with a partial report and a checkpointed run dir, then resume it clean.
 run_dir="$out_dir/table1_smoke_run"

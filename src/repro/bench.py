@@ -2,7 +2,7 @@
 
 Times the optimized hot paths against the reference implementation —
 in the same process, flipped via :func:`repro.perf.perf_overrides` — and
-writes two JSON records:
+writes one JSON record per suite:
 
 - ``BENCH_autograd.json`` — micro-benchmarks of the einsum plan cache /
   contraction planner and the conv2d patch cache, with per-case speedup
@@ -14,14 +14,23 @@ writes two JSON records:
   per-request latency of the compiled ``repro.serve`` engine against the
   naive per-sample and batched autograd paths, with the compiled-vs-
   reference bit-exactness check asserted in-process (``max_abs_diff``
-  is exactly ``0.0`` or the bench raises).
+  is exactly ``0.0`` or the bench raises);
+- ``BENCH_load.json`` (opt-in, ``--suite load``) — the end-to-end load
+  bench: an open-loop Poisson generator drives the asyncio TCP
+  ``ServingFrontend`` over real sockets at >= 3 offered-load levels
+  bracketing measured capacity, recording throughput vs offered load,
+  p50/p99/p999 latency, rejected / deadline-missed counts and the
+  queue-depth and batch-size distributions; the first dispatched
+  batches are replayed through ``MultiTenantEngine.serve`` directly and
+  asserted bit-identical (``bit_identical`` is ``true`` or the bench
+  raises).
 
 Record schema (``validate_bench_record`` enforces it; the bench smoke
 test round-trips it)::
 
     {
       "schema": "repro.bench/v1",
-      "kind": "autograd" | "table1" | "serve",
+      "kind": "autograd" | "table1" | "serve",   # "load" has its own shape
       "scale": "tiny" | "small",
       "repeats": int,
       "entries": [
@@ -478,6 +487,23 @@ def _multi_tenant_models(tenants: int) -> tuple[object, list[object]]:
     return static, metas
 
 
+def _embed_chunked(engine, images: np.ndarray, batch_size: int) -> np.ndarray:
+    """Bulk embeddings through the typed API, chunked like the old ``embed``.
+
+    Chunk boundaries match ``extract_embeddings``, so rows stay
+    bit-identical to the reference path.
+    """
+    from repro.serve import ServeRequest
+
+    requests = [
+        ServeRequest(sample=images[start : start + batch_size])
+        for start in range(0, images.shape[0], batch_size)
+    ]
+    return np.concatenate(
+        [result.require() for result in engine.serve(requests)], axis=0
+    )
+
+
 def run_multi_tenant_bench(
     scale: str = "tiny", repeats: int = 3, tenants: int = 4, swaps: int = 1
 ) -> dict:
@@ -497,7 +523,11 @@ def run_multi_tenant_bench(
     cannot be produced.  ``swaps`` hot-swaps are applied afterwards and
     asserted to change the swapped tenant's output.
     """
-    from repro.serve import MultiTenantEngine, build_engine
+    from repro.serve import MultiTenantEngine, ServeRequest, build_engine
+
+    def serve_pairs(engine: MultiTenantEngine, pairs: list) -> list[np.ndarray]:
+        requests = [ServeRequest(sample=sample, adapter=name) for name, sample in pairs]
+        return [result.require() for result in engine.serve(requests)]
 
     if tenants < 3:
         raise ValueError(
@@ -526,8 +556,8 @@ def run_multi_tenant_bench(
     reference_serial, reference_grouped = {}, {}
     for name in names:
         with build_engine(sources[name], cache_size=0) as single:
-            reference_serial[name] = single.embed(images[name], batch_size=1)
-            reference_grouped[name] = single.embed(images[name], batch_size=per_tenant)
+            reference_serial[name] = _embed_chunked(single, images[name], 1)
+            reference_grouped[name] = _embed_chunked(single, images[name], per_tenant)
 
     engine = MultiTenantEngine(cache_size=0)
     try:
@@ -569,12 +599,12 @@ def run_multi_tenant_bench(
 
         def serve_serial() -> list[list[np.ndarray]]:
             return [
-                [engine.dispatch([pair])[0] for pair in batch]
+                [serve_pairs(engine, [pair])[0] for pair in batch]
                 for batch in round_batches
             ]
 
         def serve_grouped() -> list[list[np.ndarray]]:
-            return [engine.dispatch(batch) for batch in round_batches]
+            return [serve_pairs(engine, batch) for batch in round_batches]
 
         check_rows(serve_serial(), reference_serial, "serial")
         check_rows(serve_grouped(), reference_grouped, "grouped")
@@ -589,12 +619,13 @@ def run_multi_tenant_bench(
         ]
         seed_serial_seconds, __ = time_calls(
             lambda: [
-                [engine.dispatch([pair]) for pair in batch] for batch in seed_batches
+                [serve_pairs(engine, [pair]) for pair in batch]
+                for batch in seed_batches
             ],
             repeats=repeats,
         )
         seed_grouped_seconds, __ = time_calls(
-            lambda: [engine.dispatch(batch) for batch in seed_batches],
+            lambda: [serve_pairs(engine, batch) for batch in seed_batches],
             repeats=repeats,
         )
 
@@ -602,7 +633,7 @@ def run_multi_tenant_bench(
         # mapping weights; the swapped tenant must serve new rows.
         swapped = names[-1]
         probe = images[swapped][0]
-        before = engine.dispatch([(swapped, probe)])[0]
+        before = serve_pairs(engine, [(swapped, probe)])[0]
         for swap_index in range(swaps):
             __, fresh_metas = _multi_tenant_models(tenants)
             donor = fresh_metas[-1]
@@ -612,7 +643,7 @@ def run_multi_tenant_bench(
             )
             engine.swap(swapped, donor)
         if swaps:
-            after = engine.dispatch([(swapped, probe)])[0]
+            after = serve_pairs(engine, [(swapped, probe)])[0]
             if np.array_equal(before, after):
                 raise ValueError(
                     f"multi-tenant bench: hot-swapping {swapped!r} did not "
@@ -918,7 +949,7 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> 
         OBS.reset()
         OBS.enable()
         try:
-            compiled = engine.embed(images, batch_size=batch)
+            compiled = _embed_chunked(engine, images, batch)
         finally:
             OBS.disable()
         counters = OBS.as_dict()
@@ -935,13 +966,13 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> 
             repeats,
         )
         compiled_single_seconds, compiled_latencies = _time_per_sample(
-            lambda i: engine.embed(images[i : i + 1], batch_size=1), samples, repeats
+            lambda i: _embed_chunked(engine, images[i : i + 1], 1), samples, repeats
         )
         batched_seconds, __ = time_calls(
             lambda: extract_embeddings(model, images, batch_size=batch), repeats=repeats
         )
         compiled_seconds, __ = time_calls(
-            lambda: engine.embed(images, batch_size=batch), repeats=repeats
+            lambda: _embed_chunked(engine, images, batch), repeats=repeats
         )
         engine.close()
 
@@ -980,6 +1011,219 @@ def run_serve_bench(scale: str = "tiny", repeats: int = 3, tenants: int = 4) -> 
     return record
 
 
+def _percentiles_ms(latencies_ms: list[float]) -> dict[str, float]:
+    values = np.asarray(latencies_ms, dtype=float)
+    return {
+        "p50": float(np.percentile(values, 50)),
+        "p99": float(np.percentile(values, 99)),
+        "p999": float(np.percentile(values, 99.9)),
+    }
+
+
+def _counter_delta(before: dict, after: dict, name: str) -> int:
+    return int(
+        (after.get(name) or {}).get("calls", 0)
+        - (before.get(name) or {}).get("calls", 0)
+    )
+
+
+def _bucket_delta(before: dict, after: dict, name: str) -> dict[str, int]:
+    old = (before.get(name) or {}).get("buckets") or {}
+    new = (after.get(name) or {}).get("buckets") or {}
+    delta = {
+        bucket: int(count) - int(old.get(bucket, 0)) for bucket, count in new.items()
+    }
+    return {bucket: count for bucket, count in delta.items() if count > 0}
+
+
+def run_load_bench(
+    scale: str = "tiny",
+    repeats: int = 1,
+    tenants: int = 3,
+    duration: float = 1.0,
+    load_factors: tuple[float, ...] = (0.25, 0.75, 1.5),
+    deadline: float = 0.5,
+    queue_limit: int = 64,
+    seed: int = 0,
+) -> dict:
+    """End-to-end load test of the asyncio serving frontend.
+
+    Starts a real :class:`~repro.serve.frontend.ServingFrontend` (TCP,
+    continuous batching) over a multi-tenant engine, estimates the
+    server's single-stream capacity, then offers ``load_factors`` ×
+    capacity of open-loop Poisson traffic (``duration`` seconds per
+    level) through :func:`repro.serve.loadgen.run_load` — the
+    throughput-vs-offered-load curve, with client-side p50/p99/p999
+    latency and the server's queue-depth / batch-size histograms per
+    level.
+
+    Bit-identity is asserted in-process: the scheduler records its first
+    dispatched micro-batches, and each fully-``ok`` recorded batch is
+    replayed through ``engine.serve`` directly — the server's rows must
+    match the direct dispatch *exactly* (the mapping net is batch-
+    composition sensitive, so identity is contracted per dispatched
+    batch, not per isolated request).  A record with ``bit_identical:
+    false`` cannot be produced.  ``repeats`` is accepted for suite-
+    runner symmetry (arrival schedules are seeded, not repeated).
+    """
+    from repro.serve import MultiTenantEngine, ServeRequest, ServingFrontend
+    from repro.serve.loadgen import run_load
+
+    if len(load_factors) < 3:
+        raise ValueError(
+            f"load bench needs >= 3 offered-load levels, got {load_factors}"
+        )
+    if sorted(load_factors) != list(load_factors):
+        raise ValueError(f"load factors must be increasing, got {load_factors}")
+    sizes = _SERVE_SCALES[scale]
+    static, metas = _multi_tenant_models(tenants)
+    names = ["static"] + [f"meta_{index}" for index in range(len(metas))]
+
+    data_rng = np.random.default_rng(seed + 70)
+    pools = {
+        name: data_rng.normal(
+            size=(16, 3, sizes["image"], sizes["image"])
+        ).astype(np.float32)
+        for name in names
+    }
+
+    engine = MultiTenantEngine(cache_size=0)
+    frontend = None
+    try:
+        for name, source in zip(names, [static, *metas]):
+            engine.register(name, source)
+
+        # Warm the compiled programs, then estimate single-stream capacity
+        # from a timed mixed batch — load levels scale off the measurement,
+        # so the curve brackets saturation on fast and slow hosts alike.
+        probe = [
+            ServeRequest(sample=pools[name][index], adapter=name)
+            for index in range(4)
+            for name in names
+        ]
+        for result in engine.serve(probe):
+            result.require()
+        start = time.perf_counter()
+        for result in engine.serve(probe):
+            result.require()
+        per_sample = (time.perf_counter() - start) / len(probe)
+        capacity = 1.0 / max(per_sample, 1e-6)
+
+        frontend = ServingFrontend(
+            engine,
+            queue_limit=queue_limit,
+            record_batches=8,
+            target_batch_seconds=0.05,
+        )
+        host, port = frontend.start_in_thread()
+
+        levels = []
+        for index, factor in enumerate(load_factors):
+            rate = max(5.0, capacity * factor)
+            before = frontend.scheduler.stats()
+            report = run_load(
+                host,
+                port,
+                pools,
+                adapters=names,
+                rate=rate,
+                duration=duration,
+                deadline=deadline,
+                seed=seed + index,
+            )
+            after = frontend.scheduler.stats()
+            statuses = report["statuses"]
+            if not report["latencies_ms"]:
+                raise ValueError(
+                    f"load bench: level {factor}x ({rate:.0f}/s) completed no "
+                    f"requests; statuses: {statuses}"
+                )
+            levels.append(
+                {
+                    "load_factor": float(factor),
+                    "offered_rate": float(report["offered_rate"]),
+                    "duration_seconds": float(report["duration_seconds"]),
+                    "sent": int(report["sent"]),
+                    "completed": int(report["completed"]),
+                    "ok": int(statuses.get("ok", 0)),
+                    "rejected": int(statuses.get("rejected", 0)),
+                    "deadline_missed": int(statuses.get("deadline_missed", 0)),
+                    "achieved_rate": float(report["achieved_rate"]),
+                    "max_lateness_seconds": float(report["max_lateness_seconds"]),
+                    "latency_ms": _percentiles_ms(report["latencies_ms"]),
+                    "queue_depth": _bucket_delta(before, after, "serve.queue.depth"),
+                    "batch_size": _bucket_delta(before, after, "serve.batch.size"),
+                    "counters": {
+                        "serve.request.rejected": _counter_delta(
+                            before, after, "serve.request.rejected"
+                        ),
+                        "serve.request.deadline_missed": _counter_delta(
+                            before, after, "serve.request.deadline_missed"
+                        ),
+                    },
+                }
+            )
+
+        recorded = list(frontend.scheduler.recorded)
+        frontend.stop_in_thread()
+        frontend = None
+
+        # Replay every fully-ok recorded micro-batch through the engine
+        # directly; the server's rows must match exactly.
+        replayed = 0
+        for requests, results in recorded:
+            if not all(result.ok for result in results):
+                continue
+            replay = engine.serve(
+                [
+                    ServeRequest(sample=request.sample, adapter=request.adapter)
+                    for request in requests
+                ]
+            )
+            for served, direct in zip(results, replay):
+                if not np.array_equal(served.embedding, direct.require()):
+                    raise ValueError(
+                        "load bench: served batch diverged from direct "
+                        "engine dispatch of the same micro-batch"
+                    )
+            replayed += 1
+        if replayed < 1:
+            raise ValueError(
+                "load bench: no fully-served micro-batch was recorded; "
+                "cannot assert server-vs-direct bit-identity"
+            )
+    finally:
+        if frontend is not None:
+            frontend.stop_in_thread()
+        engine.close()
+
+    record = {
+        "schema": SCHEMA,
+        "kind": "load",
+        "scale": scale,
+        "repeats": int(repeats),
+        "tenants": int(tenants),
+        "capacity_estimate_rps": float(capacity),
+        "server": {
+            "queue_limit": int(queue_limit),
+            "max_batch": int(engine.max_batch),
+            "target_batch_seconds": 0.05,
+            "deadline_seconds": float(deadline),
+        },
+        "load": {"levels": levels},
+        "bit_identical": True,
+        "replayed_batches": int(replayed),
+        "summary": {
+            "peak_achieved_rate": float(
+                max(level["achieved_rate"] for level in levels)
+            ),
+            "levels": len(levels),
+        },
+    }
+    validate_bench_record(record)
+    return record
+
+
 # -- record assembly / validation / io ----------------------------------------
 
 
@@ -1000,6 +1244,80 @@ def _finish_record(kind: str, scale: str, repeats: int, entries: list[dict]) -> 
     return record
 
 
+def _validate_load_record(record: dict, expect: Callable[[bool, str], None]) -> None:
+    """The ``kind == "load"`` branch of :func:`validate_bench_record`."""
+    expect(isinstance(record.get("tenants"), int) and record["tenants"] >= 1,
+           "tenants must be a positive int")
+    value = record.get("capacity_estimate_rps")
+    expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+           "capacity_estimate_rps must be a finite float > 0")
+    server = record.get("server")
+    expect(isinstance(server, dict), "server must be a dict")
+    for key in ("queue_limit", "max_batch"):
+        expect(isinstance(server.get(key), int) and server[key] >= 1,
+               f"server.{key} must be a positive int")
+    for key in ("target_batch_seconds", "deadline_seconds"):
+        value = server.get(key)
+        expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+               f"server.{key} must be a finite float > 0")
+    load = record.get("load")
+    expect(isinstance(load, dict), "load must be a dict")
+    levels = load.get("levels")
+    expect(isinstance(levels, list) and len(levels) >= 3,
+           "load.levels must list >= 3 offered-load levels")
+    previous = 0.0
+    for level in levels:
+        rate = level.get("offered_rate")
+        expect(
+            isinstance(rate, (int, float)) and np.isfinite(rate) and rate > previous,
+            "load.levels must carry strictly increasing finite offered_rate values",
+        )
+        previous = float(rate)
+        for key in ("duration_seconds", "achieved_rate"):
+            value = level.get(key)
+            expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                   f"load level {rate}: {key} must be a finite float > 0")
+        for key in ("sent", "completed", "ok", "rejected", "deadline_missed"):
+            value = level.get(key)
+            expect(isinstance(value, int) and value >= 0,
+                   f"load level {rate}: {key} must be an int >= 0")
+        expect(level.get("sent", 0) >= 1, f"load level {rate}: sent must be >= 1")
+        latency = level.get("latency_ms")
+        expect(isinstance(latency, dict), f"load level {rate}: latency_ms must be a dict")
+        for key in ("p50", "p99", "p999"):
+            value = latency.get(key)
+            expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+                   f"load level {rate}: latency_ms.{key} must be a finite float > 0")
+        expect(latency["p50"] <= latency["p99"] <= latency["p999"],
+               f"load level {rate}: latency percentiles must be non-decreasing")
+        for key in ("queue_depth", "batch_size"):
+            buckets = level.get(key)
+            expect(
+                isinstance(buckets, dict) and buckets
+                and all(isinstance(count, int) and count >= 1
+                        for count in buckets.values()),
+                f"load level {rate}: {key} must be a non-empty bucket histogram",
+            )
+        counters = level.get("counters")
+        expect(
+            isinstance(counters, dict)
+            and {"serve.request.rejected", "serve.request.deadline_missed"}
+            <= set(counters),
+            f"load level {rate}: counters must carry the serve.request.* series",
+        )
+    expect(record.get("bit_identical") is True,
+           "bit_identical must be True (server-vs-direct identity is asserted "
+           "in-process)")
+    expect(isinstance(record.get("replayed_batches"), int)
+           and record["replayed_batches"] >= 1,
+           "replayed_batches must be an int >= 1")
+    summary = record.get("summary")
+    expect(isinstance(summary, dict), "summary must be a dict")
+    value = summary.get("peak_achieved_rate")
+    expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+           "summary.peak_achieved_rate must be a finite float > 0")
+
+
 def validate_bench_record(record: dict) -> None:
     """Raise ``ValueError`` unless ``record`` matches the repro.bench/v1 schema."""
 
@@ -1010,12 +1328,15 @@ def validate_bench_record(record: dict) -> None:
     expect(isinstance(record, dict), "not a mapping")
     expect(record.get("schema") == SCHEMA, f"schema must be {SCHEMA!r}")
     expect(
-        record.get("kind") in ("autograd", "table1", "serve"),
-        "kind must be autograd|table1|serve",
+        record.get("kind") in ("autograd", "table1", "serve", "load"),
+        "kind must be autograd|table1|serve|load",
     )
     expect(record.get("scale") in _SCALES, f"scale must be one of {sorted(_SCALES)}")
     expect(isinstance(record.get("repeats"), int) and record["repeats"] >= 1,
            "repeats must be a positive int")
+    if record.get("kind") == "load":
+        _validate_load_record(record, expect)
+        return
     entries = record.get("entries")
     expect(isinstance(entries, list) and entries, "entries must be a non-empty list")
     for entry in entries:
@@ -1226,12 +1547,18 @@ def validate_bench_record(record: dict) -> None:
                "multi_tenant.bit_identical must be True (identity is asserted in-process)")
 
 
-#: Suite name -> bench runner, in emission order.
+#: Suite name -> bench runner, in emission order.  ``load`` is opt-in
+#: (not part of the default sweep): it binds a TCP port and runs
+#: ``>= 3 * load_duration`` seconds of wall-clock traffic.
 _BENCH_SUITES = {
     "autograd": run_autograd_bench,
     "table1": run_table1_bench,
     "serve": run_serve_bench,
+    "load": run_load_bench,
 }
+
+#: Suites the no-``--suite`` default runs (everything but ``load``).
+_DEFAULT_SUITES = ("autograd", "table1", "serve")
 
 
 def write_bench_records(
@@ -1241,17 +1568,20 @@ def write_bench_records(
     jobs: int = 1,
     suites: tuple[str, ...] | None = None,
     tenants: int = 4,
+    load_duration: float = 1.0,
 ) -> list[str]:
     """Run the selected benches and write one ``BENCH_<kind>.json`` each.
 
-    ``suites`` selects a subset of :data:`_BENCH_SUITES` (default: all).
+    ``suites`` selects a subset of :data:`_BENCH_SUITES` (default:
+    :data:`_DEFAULT_SUITES` — everything but the opt-in ``load`` suite).
     ``jobs > 1`` adds the grid-runtime ``parallel`` section to the Table I
     record (markedly slower: it runs the quick Table I grid three times).
     ``tenants`` sizes the serve record's ``multi_tenant`` section
-    (``0`` disables it; otherwise >= 3).
+    (``0`` disables it; otherwise >= 3).  ``load_duration`` is the
+    seconds of traffic per offered-load level in the ``load`` suite.
     """
     if suites is None:
-        suites = tuple(_BENCH_SUITES)
+        suites = _DEFAULT_SUITES
     unknown = [kind for kind in suites if kind not in _BENCH_SUITES]
     if unknown:
         raise ValueError(f"unknown bench suite(s): {unknown}; known: {sorted(_BENCH_SUITES)}")
@@ -1264,6 +1594,8 @@ def write_bench_records(
             kwargs["jobs"] = jobs
         elif kind == "serve":
             kwargs["tenants"] = tenants
+        elif kind == "load":
+            kwargs["duration"] = load_duration
         record = runner(scale=scale, repeats=repeats, **kwargs)
         path = os.path.join(out_dir, f"BENCH_{kind}.json")
         with open(path, "w", encoding="utf-8") as handle:
@@ -1273,8 +1605,52 @@ def write_bench_records(
     return paths
 
 
+def _format_load_record(record: dict) -> str:
+    """Human-readable table for the ``load`` record."""
+    server = record["server"]
+    lines = [
+        f"load bench  (scale={record['scale']}, {record['tenants']} tenants, "
+        f"capacity est. {record['capacity_estimate_rps']:.1f} req/s)",
+        f"server: queue_limit={server['queue_limit']}  max_batch={server['max_batch']}  "
+        f"target_batch={server['target_batch_seconds'] * 1e3:.0f}ms  "
+        f"deadline={server['deadline_seconds'] * 1e3:.0f}ms",
+        f"{'offered':>9} {'achieved':>9} {'ok':>6} {'rej':>5} {'miss':>5}  "
+        f"{'p50':>8} {'p99':>8} {'p999':>8}",
+    ]
+    for level in record["load"]["levels"]:
+        latency = level["latency_ms"]
+        lines.append(
+            f"{level['offered_rate']:>7.1f}/s {level['achieved_rate']:>7.1f}/s "
+            f"{level['ok']:>6} {level['rejected']:>5} {level['deadline_missed']:>5}  "
+            f"{latency['p50']:>6.2f}ms {latency['p99']:>6.2f}ms "
+            f"{latency['p999']:>6.2f}ms"
+        )
+        depth = ", ".join(
+            f"{bucket}:{count}"
+            for bucket, count in sorted(
+                level["queue_depth"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        size = ", ".join(
+            f"{bucket}:{count}"
+            for bucket, count in sorted(
+                level["batch_size"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        lines.append(f"{'':>9} queue depth {{{depth}}}  batch size {{{size}}}")
+    summary = record["summary"]
+    lines.append(
+        f"summary: peak achieved {summary['peak_achieved_rate']:.1f} req/s  "
+        f"(replayed {record['replayed_batches']} batch(es) bit-identical: "
+        f"{record['bit_identical']})"
+    )
+    return "\n".join(lines)
+
+
 def format_bench_record(record: dict) -> str:
     """Human-readable table for one record (what the CLI prints)."""
+    if record.get("kind") == "load":
+        return _format_load_record(record)
     lines = [
         f"{record['kind']} bench  (scale={record['scale']}, "
         f"best of {record['repeats']})",

@@ -12,6 +12,9 @@ Usage::
     python -m repro compile --method meta_lora_tr --precision f32 --describe
     python -m repro figures
     python -m repro bench --out . --jobs 4
+    python -m repro bench --suite load --load-duration 2
+    python -m repro serve --port 7070
+    python -m repro serve --selftest
 
 ``table1`` regenerates the paper's Table I (with t-test markers when more
 than one seed is given); with ``--out-dir`` every completed cell is
@@ -27,7 +30,12 @@ dtypes/shapes — the view of what the fusion pass and precision tier
 actually produced); ``figures`` runs the Figure 1-3 numerical checks;
 ``bench`` times the optimized hot paths against the reference
 implementation and emits ``BENCH_autograd.json`` / ``BENCH_table1.json``
-/ ``BENCH_serve.json`` (``--suite`` selects one).
+/ ``BENCH_serve.json`` (``--suite`` selects one; ``--suite load`` is
+the opt-in end-to-end traffic bench emitting ``BENCH_load.json``);
+``serve`` binds the asyncio TCP frontend (continuous batching,
+admission control, SLO-aware ordering — see docs/serving_frontend.md)
+over a demo multi-tenant fleet, with ``--selftest`` doing one
+round-trip per tenant asserted bit-identical to in-process dispatch.
 
 Flags shared between subcommands (``--backbone``, ``--jobs``, the
 fault-tolerance set ``--max-retries`` / ``--cell-timeout``) are defined
@@ -290,9 +298,22 @@ def _bench(args: argparse.Namespace) -> int:
     if args.tenants < 0 or args.tenants in (1, 2):
         print(f"repro bench: error: --tenants must be 0 or >= 3, got {args.tenants}")
         return 2
-    from repro.bench import _BENCH_SUITES, format_bench_record, write_bench_records
+    if args.load_duration <= 0:
+        print(
+            f"repro bench: error: --load-duration must be > 0, "
+            f"got {args.load_duration}"
+        )
+        return 2
+    from repro.bench import (
+        _BENCH_SUITES,
+        _DEFAULT_SUITES,
+        format_bench_record,
+        write_bench_records,
+    )
 
-    suites = tuple(_BENCH_SUITES) if args.suite == "all" else (args.suite,)
+    # ``all`` is the default sweep; the load suite binds a TCP port and
+    # runs wall-clock traffic, so it only runs when named explicitly.
+    suites = _DEFAULT_SUITES if args.suite == "all" else (args.suite,)
     if args.out:
         import json
 
@@ -303,6 +324,7 @@ def _bench(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             suites=suites,
             tenants=args.tenants,
+            load_duration=args.load_duration,
         )
         for path in paths:
             with open(path, encoding="utf-8") as handle:
@@ -315,10 +337,75 @@ def _bench(args: argparse.Namespace) -> int:
                 kwargs["jobs"] = args.jobs
             elif kind == "serve":
                 kwargs["tenants"] = args.tenants
+            elif kind == "load":
+                kwargs["duration"] = args.load_duration
             record = _BENCH_SUITES[kind](scale=args.scale, repeats=args.repeats, **kwargs)
             print(format_bench_record(record))
             print()
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.bench import _SERVE_SCALES, _multi_tenant_models
+    from repro.serve import MultiTenantEngine, ServeClient, ServeRequest, ServingFrontend
+
+    if args.tenants < 3:
+        print(f"repro serve: error: --tenants must be >= 3, got {args.tenants}")
+        return 2
+    static, metas = _multi_tenant_models(args.tenants)
+    names = ["static"] + [f"meta_{index}" for index in range(len(metas))]
+    engine = MultiTenantEngine()
+    frontend = None
+    try:
+        for name, source in zip(names, [static, *metas]):
+            engine.register(name, source)
+        frontend = ServingFrontend(
+            engine,
+            host=args.host,
+            port=args.port,
+            queue_limit=args.queue_limit,
+            target_batch_seconds=args.target_batch_ms / 1000.0,
+        )
+        host, port = frontend.start_in_thread()
+        print(f"serving {len(names)} tenant(s) [{', '.join(names)}] on {host}:{port}")
+        if args.selftest:
+            # One round trip per tenant over a real socket, each asserted
+            # bit-identical to direct in-process dispatch.
+            image = _SERVE_SCALES[args.scale]["image"]
+            rng = np.random.default_rng(0)
+            with ServeClient(host, port) as client:
+                if not client.ping():
+                    print("repro serve: selftest: ping failed")
+                    return 1
+                for name in names:
+                    sample = rng.normal(size=(3, image, image)).astype(np.float32)
+                    wire = client.serve(sample, adapter=name).require()
+                    direct = engine.serve(
+                        ServeRequest(sample=sample, adapter=name)
+                    ).require()
+                    if not np.array_equal(wire, direct):
+                        print(f"repro serve: selftest: tenant {name!r} diverged")
+                        return 1
+                depth = client.stats().get("serve.queue.depth")
+                print(
+                    f"selftest ok: {len(names)} tenant(s) bit-identical over "
+                    f"the wire; queue-depth samples: "
+                    f"{depth['calls'] if depth else 0}"
+                )
+            return 0
+        print("press Ctrl-C to drain and stop")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("\ndraining ...")
+        return 0
+    finally:
+        if frontend is not None:
+            frontend.stop_in_thread()
+        engine.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -466,9 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument(
         "--suite",
-        choices=("all", "autograd", "table1", "serve"),
+        choices=("all", "autograd", "table1", "serve", "load"),
         default="all",
-        help="run a single bench suite (default: all)",
+        help="run a single bench suite; the load suite (open-loop traffic "
+        "against the TCP frontend) is opt-in and not part of 'all' "
+        "(default: all)",
     )
     bench.add_argument(
         "--tenants",
@@ -477,7 +566,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="tenant count for the serve suite's multi_tenant section "
         "(>= 3; 0 disables it)",
     )
+    bench.add_argument(
+        "--load-duration",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="load suite: seconds of traffic per offered-load level "
+        "(3 levels; default: 1.0)",
+    )
     bench.set_defaults(func=_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the TCP serving frontend over a demo multi-tenant fleet",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind (default: 0, an ephemeral port printed at start)",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=3,
+        help="demo fleet size: 1 static + N-1 MetaLoRA tenants (>= 3; default: 3)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="admission bound; arrivals past it are answered 'rejected' "
+        "(default: 256)",
+    )
+    serve.add_argument(
+        "--target-batch-ms",
+        type=float,
+        default=25.0,
+        help="cost budget one micro-batch aims for (default: 25)",
+    )
+    serve.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    serve.add_argument(
+        "--selftest",
+        action="store_true",
+        help="serve one request per tenant over the wire, assert "
+        "bit-identity against direct dispatch, and exit",
+    )
+    serve.set_defaults(func=_serve)
     return parser
 
 

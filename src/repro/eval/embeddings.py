@@ -43,10 +43,22 @@ def extract_embeddings(
 
         engine = ENGINES.get(model)
     if engine is not None:
+        from repro.serve.api import ServeRequest, ingest_sample
+
         with TRACER.span(
             "eval.embed", path="serve", samples=int(images.shape[0])
         ):
-            return engine.embed(images, batch_size=batch_size)
+            # Chunk exactly like the autograd loop below, so the served
+            # rows stay bit-identical to the reference path.
+            ingested = ingest_sample(images)
+            requests = [
+                ServeRequest(sample=ingested[start : start + batch_size])
+                for start in range(0, ingested.shape[0], batch_size)
+            ]
+            results = engine.serve(requests)
+            return np.concatenate(
+                [result.require() for result in results], axis=0
+            )
     with TRACER.span(
         "eval.embed", path="autograd", samples=int(images.shape[0])
     ), eval_mode(model), no_grad():

@@ -8,9 +8,26 @@ fleet of *named* adapters — hot register/swap/evict, a shared LRU of
 compiled programs, and cross-tenant micro-batching.  ``optimize``
 supplies the compile-time pass pipeline: precision tiers
 (f64/f32/int8), elementwise-chain fusion, the per-run arena allocator
-and the thread-parallel slot scheduler.  See docs/serving.md.
+and the thread-parallel slot scheduler.
+
+Every path speaks one typed surface (``api``): ``ServeRequest`` in,
+``ServeResult`` out — the engines' ``serve``/``enqueue``, the asyncio
+TCP ``frontend`` with its continuous-batching ``scheduler``, and the
+open-loop ``loadgen``.  See docs/serving.md and
+docs/serving_frontend.md.
 """
 
+from repro.serve.api import (
+    DEADLINE_MISSED,
+    ERROR,
+    OK,
+    REJECTED,
+    STATUSES,
+    ServeRequest,
+    ServeResult,
+    Timings,
+    ingest_sample,
+)
 from repro.serve.optimize import (
     PRECISIONS,
     Arena,
@@ -43,20 +60,34 @@ from repro.serve.registry import (
     ProgramKey,
     program_key,
 )
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.frontend import ServeClient, ServingFrontend
+from repro.serve.loadgen import run_load
 
 __all__ = [
     "AdapterEntry",
     "AdapterRegistry",
     "Arena",
+    "BatchScheduler",
     "CompiledProgram",
+    "DEADLINE_MISSED",
     "EmbeddingEngine",
     "ENGINES",
+    "ERROR",
     "Engines",
     "MultiTenantEngine",
+    "OK",
     "PRECISIONS",
     "ProgramBuilder",
     "ProgramCache",
     "ProgramKey",
+    "REJECTED",
+    "STATUSES",
+    "ServeClient",
+    "ServeRequest",
+    "ServeResult",
+    "ServingFrontend",
+    "Timings",
     "build_engine",
     "clear_shared_engines",
     "compile_features",
@@ -65,8 +96,10 @@ __all__ = [
     "compiles",
     "compiles_features",
     "fuse_program",
+    "ingest_sample",
     "program_key",
     "quantize_weight",
     "resolve_precision",
+    "run_load",
     "shared_engine",
 ]

@@ -1,18 +1,22 @@
 """The single-tenant embedding service, as a wrapper over the tenant core.
 
-:class:`EmbeddingEngine` keeps its original API — ``embed`` for
-synchronous bulk extraction, ``submit`` for micro-batched singles, an
-LRU result cache, ``stats()`` in the unified metrics-snapshot schema —
-but is now a thin single-tenant view over
+:class:`EmbeddingEngine` speaks the unified typed API —
+``serve(ServeRequest(...))`` for synchronous work, ``enqueue(...)`` for
+micro-batched singles, an LRU result cache, ``stats()`` in the unified
+metrics-snapshot schema — as a thin single-tenant view over
 :class:`~repro.serve.registry.MultiTenantEngine`: the program it is
-handed is mounted as the sole registry entry and every call delegates.
-Metric names are unchanged (bare ``serve.*`` series; the wrapper turns
-tenant labels off), so existing dashboards and tests read identically.
+handed is mounted as the sole registry entry (and as the core's
+``default_adapter``, so requests may leave ``adapter`` unset) and every
+call delegates.  Metric names are unchanged (bare ``serve.*`` series;
+the wrapper turns tenant labels off), so existing dashboards and tests
+read identically.
 
-Engine caching moved from the module-level ``shared_engine`` /
-``clear_shared_engines`` pair to an explicit :class:`Engines` handle;
-the old functions remain as shims that emit ``DeprecationWarning`` and
-delegate to the default :data:`ENGINES` handle.
+The pre-redesign calls — ``embed(images)`` and ``submit(sample)`` —
+remain as shims that emit ``DeprecationWarning`` and delegate to the
+typed path, bit-identically.  Engine caching moved from the
+module-level ``shared_engine`` / ``clear_shared_engines`` pair to an
+explicit :class:`Engines` handle; the old functions remain as shims as
+well.
 """
 
 from __future__ import annotations
@@ -20,13 +24,15 @@ from __future__ import annotations
 import warnings
 import weakref
 from concurrent.futures import Future
+from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ServeError
 from repro.nn.module import Module
+from repro.serve.api import ServeRequest, ServeResult, ingest_sample
 from repro.serve.compile import CompiledProgram, compile_features
-from repro.serve.registry import MultiTenantEngine
+from repro.serve.registry import MultiTenantEngine, _legacy_future
 
 __all__ = [
     "EmbeddingEngine",
@@ -58,6 +64,9 @@ class EmbeddingEngine:
         to arrive before flushing the batch.
     cache_size:
         LRU result-cache capacity in entries; ``0`` disables caching.
+    drain_timeout:
+        Seconds :meth:`close` waits for queued work before failing the
+        remainder with typed errors (see the core engine).
     """
 
     _TENANT = "default"
@@ -69,14 +78,17 @@ class EmbeddingEngine:
         max_batch: int = 32,
         max_delay: float = 0.002,
         cache_size: int = 256,
+        drain_timeout: float = 10.0,
     ) -> None:
         self._core = MultiTenantEngine(
             max_batch=max_batch,
             max_delay=max_delay,
             cache_size=cache_size,
             tenant_labels=False,
+            drain_timeout=drain_timeout,
         )
         self._core.registry.register_program(self._TENANT, program)
+        self._core.default_adapter = self._TENANT
         self.program = program
 
     @property
@@ -96,18 +108,52 @@ class EmbeddingEngine:
     def cache_size(self) -> int:
         return self._core.cache_size
 
+    def serve(
+        self, requests: "ServeRequest | Sequence[ServeRequest]"
+    ) -> "ServeResult | list[ServeResult]":
+        """The canonical synchronous path (see the core engine's ``serve``).
+
+        Requests may leave ``adapter`` unset — the wrapper's sole tenant
+        is the core's default.  Batched (rank-4) samples each run
+        standalone; chunk like ``extract_embeddings`` (``batch_size``
+        slices) to stay bit-identical to the reference path.
+        """
+        return self._core.serve(requests)
+
+    def enqueue(self, request: ServeRequest) -> "Future[ServeResult]":
+        """Queue one single-sample request; resolves to a ``ServeResult``."""
+        return self._core.enqueue(request)
+
     def embed(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
-        """Embeddings for ``images``, chunked like ``extract_embeddings``.
+        """Deprecated: wrap chunks in :class:`ServeRequest` and ``serve()``.
 
         Chunk boundaries match the reference path's, so the result is
         bit-identical to it.  Rows are freshly allocated, so callers may
         mutate the result freely.
         """
-        return self._core.embed(images, self._TENANT, batch_size=batch_size)
+        warnings.warn(
+            "EmbeddingEngine.embed() is deprecated; build batched "
+            "ServeRequest objects and call serve()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        images = ingest_sample(images)
+        requests = [
+            ServeRequest(sample=images[start : start + batch_size])
+            for start in range(0, images.shape[0], batch_size)
+        ]
+        results = self._core.serve(requests)
+        return np.concatenate([result.require() for result in results], axis=0)
 
     def submit(self, sample: np.ndarray) -> "Future[np.ndarray]":
-        """Queue one sample ``(C, H, W)``; resolves to its embedding row."""
-        return self._core.submit(sample, self._TENANT)
+        """Deprecated: ``enqueue(ServeRequest(sample))`` is the queue path now."""
+        warnings.warn(
+            "EmbeddingEngine.submit() is deprecated; use "
+            "enqueue(ServeRequest(sample)) and read the ServeResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _legacy_future(self._core.enqueue(ServeRequest(sample=sample)))
 
     def stats(self) -> dict[str, dict]:
         """The engine's counters in the unified metrics-snapshot schema.
@@ -120,9 +166,9 @@ class EmbeddingEngine:
         """
         return self._core.stats()
 
-    def close(self) -> None:
-        """Stop the worker (after draining queued work) and reject new calls."""
-        self._core.close()
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Stop the worker and answer every pending request (see the core)."""
+        self._core.close(drain_timeout=drain_timeout)
 
     def __enter__(self) -> "EmbeddingEngine":
         return self

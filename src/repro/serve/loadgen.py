@@ -1,0 +1,184 @@
+"""Open-loop Poisson-arrival load generator for the serving frontend.
+
+Drives a :class:`~repro.serve.frontend.ServingFrontend` over real
+sockets with an *open-loop* arrival process: request send times are
+drawn up front from a Poisson process at the offered rate and each
+request is sent at its scheduled instant whether or not earlier ones
+have completed — the load does not back off when the server slows down,
+which is what makes offered-vs-achieved throughput and tail latency
+meaningful (a closed loop would coordinate-omit the queueing delay).
+
+Mechanics:
+
+- arrivals are pre-drawn (``rng.exponential(1/rate)`` gaps, seeded, so a
+  run is reproducible), each tagged with a tenant drawn from the mix
+  and a sample drawn from that tenant's pool;
+- arrivals are distributed round-robin over ``workers`` blocking
+  :class:`~repro.serve.frontend.ServeClient` connections, each on its
+  own thread; a worker sleeps until an arrival's scheduled time, sends,
+  and records the outcome;
+- per-request latency is measured from the *scheduled* arrival to
+  completion (not from the actual send), so generator lateness cannot
+  hide server queueing; ``max_lateness_seconds`` reports how far the
+  generator itself fell behind (large values mean: add workers).
+
+:func:`run_load` returns a plain dict — counts by status, latencies in
+milliseconds, offered vs achieved rate — which ``repro bench --suite
+load`` aggregates into ``BENCH_load.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.frontend import ServeClient
+
+__all__ = ["run_load"]
+
+
+def _plan_arrivals(
+    rate: float,
+    duration: float,
+    adapters: list[str | None],
+    pools: dict[str | None, np.ndarray],
+    rng: np.random.Generator,
+) -> list[tuple[float, str | None, int]]:
+    """Pre-draw the whole arrival schedule: (offset, tenant, sample index)."""
+    arrivals: list[tuple[float, str | None, int]] = []
+    clock = float(rng.exponential(1.0 / rate))
+    while clock < duration:
+        adapter = adapters[int(rng.integers(len(adapters)))]
+        index = int(rng.integers(pools[adapter].shape[0]))
+        arrivals.append((clock, adapter, index))
+        clock += float(rng.exponential(1.0 / rate))
+    return arrivals
+
+
+def run_load(
+    host: str,
+    port: int,
+    samples: "np.ndarray | dict[str, np.ndarray]",
+    *,
+    rate: float,
+    duration: float,
+    adapters: "list[str] | None" = None,
+    deadline: float | None = None,
+    priority: int = 0,
+    seed: int = 0,
+    workers: int | None = None,
+    timeout: float = 30.0,
+) -> dict:
+    """Offer ``rate`` requests/second for ``duration`` seconds; report back.
+
+    ``samples`` is one shared pool of rank-4 samples, or a per-tenant
+    ``{adapter: pool}`` dict; ``adapters`` names the tenant mix (uniform
+    draw per request; ``None`` sends requests without an adapter, for
+    single-tenant servers).  The returned dict carries ``sent`` /
+    ``statuses`` / ``latencies_ms`` (scheduled-arrival → completion) /
+    ``achieved_rate`` (``ok`` completions per second of wall time) and
+    ``max_lateness_seconds``.
+    """
+    if rate <= 0:
+        raise ServeError(f"offered rate must be > 0, got {rate}")
+    if duration <= 0:
+        raise ServeError(f"duration must be > 0, got {duration}")
+    if isinstance(samples, dict):
+        if adapters is None:
+            adapters = list(samples)
+        pools: dict[str | None, np.ndarray] = {
+            name: np.asarray(pool) for name, pool in samples.items()
+        }
+    else:
+        pool = np.asarray(samples)
+        names: list[str | None] = list(adapters) if adapters else [None]
+        pools = {name: pool for name in names}
+        adapters = names
+    if not adapters:
+        raise ServeError("load generator needs at least one adapter (or [None])")
+    for name, pool in pools.items():
+        if pool.ndim != 4 or pool.shape[0] == 0:
+            raise ServeError(
+                f"sample pool for adapter {name!r} must be non-empty rank-4, "
+                f"got shape {pool.shape}"
+            )
+
+    rng = np.random.default_rng(seed)
+    arrivals = _plan_arrivals(rate, duration, list(adapters), pools, rng)
+    worker_count = (
+        int(workers)
+        if workers is not None
+        else int(min(32, max(4, round(rate * 0.25))))
+    )
+    lanes: list[list[tuple[float, str | None, int]]] = [
+        arrivals[lane::worker_count] for lane in range(worker_count)
+    ]
+
+    lock = threading.Lock()
+    outcomes: list[tuple[str, float]] = []  # (status, latency seconds)
+    lateness: list[float] = [0.0]
+    errors: list[str] = []
+    barrier = threading.Barrier(worker_count + 1)
+
+    def lane_worker(schedule: list[tuple[float, str | None, int]]) -> None:
+        client = ServeClient(host, port, timeout=timeout)
+        try:
+            barrier.wait(timeout=timeout)
+            start = time.perf_counter()
+            for offset, adapter, index in schedule:
+                scheduled = start + offset
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                late = time.perf_counter() - scheduled
+                result = client.serve(
+                    pools[adapter][index],
+                    adapter=adapter,
+                    deadline=deadline,
+                    priority=priority,
+                )
+                finished = time.perf_counter()
+                with lock:
+                    outcomes.append((result.status, finished - scheduled))
+                    if late > lateness[0]:
+                        lateness[0] = late
+        except BaseException as exc:
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=lane_worker, args=(lane,), daemon=True)
+        for lane in lanes
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=timeout)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=duration + timeout)
+    wall = time.perf_counter() - wall_start
+    if errors:
+        raise ServeError(f"load generator worker failed: {errors[0]}")
+
+    statuses: dict[str, int] = {}
+    for status, __ in outcomes:
+        statuses[status] = statuses.get(status, 0) + 1
+    ok_latencies = sorted(
+        latency * 1000.0 for status, latency in outcomes if status == "ok"
+    )
+    return {
+        "offered_rate": float(rate),
+        "duration_seconds": float(duration),
+        "workers": worker_count,
+        "sent": len(arrivals),
+        "completed": len(outcomes),
+        "statuses": statuses,
+        "latencies_ms": [float(value) for value in ok_latencies],
+        "achieved_rate": float(statuses.get("ok", 0) / max(wall, 1e-9)),
+        "max_lateness_seconds": float(lateness[0]),
+    }

@@ -3,8 +3,10 @@
 One serving process, many tasks: :class:`AdapterRegistry` manages *named*
 adapters — register, hot-swap, evict at runtime — on top of
 ``peft.attach`` / ``AttachResult.serving_model()``, and
-:class:`MultiTenantEngine` serves them behind a tenant-aware API
-(``submit(sample, adapter="name")`` / ``embed(images, adapter=...)``).
+:class:`MultiTenantEngine` serves them behind the unified typed API
+(``serve(ServeRequest(...))`` synchronously, ``enqueue(...)`` through
+the micro-batcher; the pre-redesign ``submit``/``embed``/``dispatch``
+forms survive as deprecated shims).
 
 Three design points carry the throughput story:
 
@@ -44,6 +46,7 @@ import hashlib
 import queue
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable, Iterator, Mapping, Sequence
@@ -55,6 +58,14 @@ from repro.nn.module import Module
 from repro.obs import OBS, TRACER
 from repro.obs.metrics import MetricsRegistry
 from repro.peft.meta_model import MetaLoRAModel
+from repro.serve.api import (
+    DEADLINE_MISSED,
+    ERROR,
+    ServeRequest,
+    ServeResult,
+    Timings,
+    ingest_sample as _ingest,
+)
 from repro.serve.compile import (
     CompiledProgram,
     compile_features,
@@ -67,13 +78,15 @@ from repro.serve.optimize import resolve_precision
 #: from more than one tenant (the cross-tenant stacked runs).
 SHARED_TENANT = "(shared)"
 
-
-def _ingest(sample: object) -> np.ndarray:
-    """Mirror ``Tensor.__init__``'s dtype policy for raw request payloads."""
-    array = np.asarray(sample)
-    if not np.issubdtype(array.dtype, np.floating):
-        array = array.astype(np.float32)
-    return array
+#: ``serve.*`` series the engines promise to expose even at zero, so
+#: dashboards and ``BENCH_*.json`` counter sections never miss a name.
+#: ``serve.request.rejected`` is recorded by admission control (the
+#: frontend scheduler); the other two by the engine's queue path.
+ZERO_SERIES = {
+    "serve.request.rejected": {"kind": "counter", "calls": 0},
+    "serve.request.deadline_missed": {"kind": "counter", "calls": 0},
+    "serve.queue.depth": {"kind": "histogram", "calls": 0, "buckets": {}},
+}
 
 
 def _digest(array: np.ndarray) -> bytes:
@@ -85,20 +98,47 @@ def _digest(array: np.ndarray) -> bytes:
 
 
 class _Request:
-    __slots__ = ("adapter", "sample", "key", "future", "enqueued_at")
+    """One queued unit of work: the typed request plus engine bookkeeping.
+
+    ``adapter`` is the *resolved* tenant name (``request.adapter`` may be
+    ``None`` when a default adapter filled it in); ``future`` resolves to
+    a :class:`~repro.serve.api.ServeResult` — the queue path never sets
+    exceptions for serving outcomes, only results with a status.
+    """
+
+    __slots__ = ("request", "adapter", "key", "future", "enqueued_at")
 
     def __init__(
         self,
+        request: ServeRequest,
         adapter: str,
-        sample: np.ndarray,
         key: tuple | None,
-        future: Future,
+        future: "Future[ServeResult]",
     ) -> None:
+        self.request = request
         self.adapter = adapter
-        self.sample = sample
         self.key = key
         self.future = future
         self.enqueued_at = time.perf_counter()
+
+
+def _legacy_future(result_future: "Future[ServeResult]") -> "Future[np.ndarray]":
+    """Adapt ``Future[ServeResult]`` to the old ``Future[np.ndarray]`` contract.
+
+    Pre-redesign futures resolved to the raw embedding row and carried
+    serving failures as exceptions; the adapter re-raises any non-``ok``
+    result as the typed :class:`ServeError` that ``require()`` produces.
+    """
+    legacy: "Future[np.ndarray]" = Future()
+
+    def _transfer(done: "Future[ServeResult]") -> None:
+        try:
+            legacy.set_result(done.result().require())
+        except BaseException as exc:
+            legacy.set_exception(exc)
+
+    result_future.add_done_callback(_transfer)
+    return legacy
 
 
 # -- program identity ---------------------------------------------------------
@@ -594,7 +634,15 @@ class AdapterRegistry:
 
 
 class MultiTenantEngine:
-    """Serve many named adapters behind one submit/embed/dispatch API.
+    """Serve many named adapters behind one typed request/response API.
+
+    The canonical surface is :meth:`serve` (synchronous, single request
+    or heterogeneous batch) and :meth:`enqueue` (the micro-batched queue
+    path), both speaking :class:`~repro.serve.api.ServeRequest` /
+    :class:`~repro.serve.api.ServeResult`.  The pre-redesign call forms
+    — ``embed(images, adapter)``, ``submit(sample, adapter)``,
+    ``dispatch(pairs)`` — survive as deprecated shims pinned
+    bit-identical to the typed path.
 
     Parameters
     ----------
@@ -612,6 +660,11 @@ class MultiTenantEngine:
     precision:
         Default tier for ``register``/``swap`` calls that don't pick one
         (explicit, else ``REPRO_SERVE_PRECISION``, else ``f64``).
+    drain_timeout:
+        Seconds :meth:`close` waits for the worker to finish queued work
+        before abandoning the drain and failing the remaining requests
+        with a typed error (``close(drain_timeout=...)`` overrides per
+        call).
     """
 
     def __init__(
@@ -624,6 +677,7 @@ class MultiTenantEngine:
         tenant_labels: bool = True,
         program_cache_size: int = 64,
         precision: str | None = None,
+        drain_timeout: float = 10.0,
     ) -> None:
         if max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {max_batch}")
@@ -631,6 +685,8 @@ class MultiTenantEngine:
             raise ServeError(f"max_delay must be >= 0, got {max_delay}")
         if cache_size < 0:
             raise ServeError(f"cache_size must be >= 0, got {cache_size}")
+        if drain_timeout < 0:
+            raise ServeError(f"drain_timeout must be >= 0, got {drain_timeout}")
         self.precision = resolve_precision(precision)
         self.registry = (
             registry
@@ -641,6 +697,11 @@ class MultiTenantEngine:
         self.max_delay = float(max_delay)
         self.cache_size = int(cache_size)
         self.tenant_labels = bool(tenant_labels)
+        self.drain_timeout = float(drain_timeout)
+        #: Tenant a ``ServeRequest`` with ``adapter=None`` resolves to
+        #: (the single-tenant wrapper sets it; bare engines require an
+        #: explicit adapter on every request).
+        self.default_adapter: str | None = None
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._metrics = MetricsRegistry(enabled=True)
         self._stats_lock = threading.Lock()
@@ -649,6 +710,7 @@ class MultiTenantEngine:
         self._worker: threading.Thread | None = None
         self._worker_lock = threading.Lock()
         self._stop = threading.Event()
+        self._abort = threading.Event()
         self._closed = False
 
     # -- registry passthroughs ------------------------------------------------
@@ -696,25 +758,140 @@ class MultiTenantEngine:
         if self.tenant_labels and tenant is not None:
             OBS.enabled and OBS.observe(name, seconds, bytes=nbytes, tenant=tenant)
 
-    # -- synchronous bulk path ------------------------------------------------
+    # -- canonical typed surface ----------------------------------------------
 
-    def embed(self, images: np.ndarray, adapter: str, batch_size: int = 64) -> np.ndarray:
-        """Embeddings for ``images`` under the named adapter.
+    def _resolve_adapter(self, request: ServeRequest) -> str:
+        name = request.adapter if request.adapter is not None else self.default_adapter
+        if name is None:
+            raise ServeError(
+                "ServeRequest.adapter is None and this engine has no "
+                "default_adapter; name the tenant on the request"
+            )
+        return name
 
-        Chunk boundaries match ``extract_embeddings``, so rows are
-        bit-identical to the reference path under that adapter's model.
+    def serve(
+        self, requests: "ServeRequest | Sequence[ServeRequest]"
+    ) -> "ServeResult | list[ServeResult]":
+        """The canonical synchronous path: typed requests in, results out.
+
+        Accepts one :class:`~repro.serve.api.ServeRequest` or a
+        heterogeneous sequence of them; returns the matching shape.
+        Single-sample requests are grouped across tenants exactly like
+        the micro-batcher (stacked static runs, shared seeded bodies);
+        batched requests (rank-4 ``sample``) each run standalone, with
+        chunking left to the caller.  Unknown adapters raise up front
+        (nothing is served); per-request failures — lapsed deadlines,
+        kernel errors — come back as non-``ok`` results instead.
         """
         if self._closed:
+            raise ServeError("serve() on a closed MultiTenantEngine")
+        single = isinstance(requests, ServeRequest)
+        batch = [requests] if single else list(requests)
+        for request in batch:
+            if not isinstance(request, ServeRequest):
+                raise ServeError(
+                    f"serve() takes ServeRequest objects, got "
+                    f"{type(request).__name__} (migrating from embed/dispatch? "
+                    f"wrap samples in ServeRequest)"
+                )
+        results = self._serve_batch(batch)
+        return results[0] if single else results
+
+    def _serve_batch(self, requests: list[ServeRequest]) -> list[ServeResult]:
+        names = [self._resolve_adapter(request) for request in requests]
+        entries = [self.registry.get(name) for name in names]  # fail-fast
+        results: list[ServeResult | None] = [None] * len(requests)
+        now = time.perf_counter()
+        live: list[int] = []
+        for i, request in enumerate(requests):
+            if request.expired(now):
+                self._inc("serve.request.deadline_missed", tenant=names[i])
+                elapsed = now - request.created_at
+                results[i] = ServeResult.failure(
+                    DEADLINE_MISSED,
+                    f"SLO budget of {request.deadline}s lapsed before serving",
+                    Timings(total_seconds=elapsed),
+                )
+            else:
+                live.append(i)
+        singles = [i for i in live if not requests[i].batched]
+        if singles:
+            started = time.perf_counter()
+            sub_entries = [entries[i] for i in singles]
+            for indices in self._group_indices(sub_entries):
+                group = [singles[j] for j in indices]
+                try:
+                    rows = self._serve_group(
+                        [entries[i] for i in group],
+                        [requests[i].sample for i in group],
+                    )
+                except BaseException as exc:
+                    for i in group:
+                        results[i] = ServeResult.failure(
+                            ERROR, f"serving failed: {exc}"
+                        )
+                    continue
+                done = time.perf_counter()
+                for i, row in zip(group, rows):
+                    results[i] = ServeResult(
+                        embedding=row,
+                        timings=Timings(
+                            queue_seconds=started - requests[i].created_at,
+                            run_seconds=done - started,
+                            total_seconds=done - requests[i].created_at,
+                        ),
+                    )
+        for i in live:
+            request = requests[i]
+            if not request.batched:
+                continue
+            started = time.perf_counter()
+            try:
+                with TRACER.span(
+                    "serve.request",
+                    kind="bulk",
+                    tenant=names[i],
+                    samples=int(request.sample.shape[0]),
+                ):
+                    out = self._run_entry(entries[i], request.sample)
+            except BaseException as exc:
+                results[i] = ServeResult.failure(ERROR, f"serving failed: {exc}")
+                continue
+            done = time.perf_counter()
+            results[i] = ServeResult(
+                embedding=out,
+                timings=Timings(
+                    queue_seconds=started - request.created_at,
+                    run_seconds=done - started,
+                    total_seconds=done - request.created_at,
+                ),
+            )
+        return results  # type: ignore[return-value]
+
+    # -- deprecated pre-redesign call forms -----------------------------------
+
+    def embed(self, images: np.ndarray, adapter: str, batch_size: int = 64) -> np.ndarray:
+        """Deprecated: wrap chunks in :class:`ServeRequest` and ``serve()``.
+
+        Chunk boundaries match ``extract_embeddings``, so rows stay
+        bit-identical to the reference path under that adapter's model.
+        """
+        warnings.warn(
+            "MultiTenantEngine.embed() is deprecated; build batched "
+            "ServeRequest objects and call serve()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._closed:
             raise ServeError("embed() on a closed MultiTenantEngine")
-        entry = self.registry.get(adapter)
+        self.registry.get(adapter)  # fail unknown names before ingesting
         images = _ingest(images)
-        with TRACER.span(
-            "serve.request", kind="bulk", tenant=adapter, samples=int(images.shape[0])
-        ):
-            chunks = []
-            for start in range(0, images.shape[0], batch_size):
-                chunks.append(self._run_entry(entry, images[start : start + batch_size]))
-            return np.concatenate(chunks, axis=0)
+        requests = [
+            ServeRequest(sample=images[start : start + batch_size], adapter=adapter)
+            for start in range(0, images.shape[0], batch_size)
+        ]
+        results = self.serve(requests)
+        return np.concatenate([result.require() for result in results], axis=0)
 
     def _run_program(
         self,
@@ -739,47 +916,74 @@ class MultiTenantEngine:
 
     # -- request path: heterogeneous micro-batching ---------------------------
 
-    def submit(self, sample: np.ndarray, adapter: str) -> "Future[np.ndarray]":
-        """Queue one sample for the named adapter; resolves to its row."""
+    def enqueue(self, request: ServeRequest) -> "Future[ServeResult]":
+        """Queue one single-sample request; resolves to a :class:`ServeResult`.
+
+        The future never carries serving failures as exceptions — lapsed
+        deadlines, evicted tenants and kernel errors resolve to results
+        whose ``status`` says what happened (``require()`` re-raises).
+        """
         if self._closed:
-            raise ServeError("submit() on a closed MultiTenantEngine")
-        entry = self.registry.get(adapter)  # fail unknown names fast
-        sample = _ingest(sample)
-        key = (adapter, entry.version, _digest(sample)) if self.cache_size else None
-        future: "Future[np.ndarray]" = Future()
+            raise ServeError("enqueue() on a closed MultiTenantEngine")
+        if not isinstance(request, ServeRequest):
+            raise ServeError(
+                f"enqueue() takes a ServeRequest, got {type(request).__name__}"
+            )
+        if request.batched:
+            raise ServeError(
+                "enqueue() takes single-sample requests (batching is the "
+                "queue's job); use serve() for pre-batched samples"
+            )
+        name = self._resolve_adapter(request)
+        entry = self.registry.get(name)  # fail unknown names fast
+        key = (name, entry.version, _digest(request.sample)) if self.cache_size else None
+        future: "Future[ServeResult]" = Future()
         if key is not None:
             cached = self._cache_get(key)
             if cached is not None:
-                self._inc("serve.requests", tenant=adapter)
-                self._inc("serve.cache.hit", tenant=adapter)
-                future.set_result(cached)
+                self._inc("serve.requests", tenant=name)
+                self._inc("serve.cache.hit", tenant=name)
+                future.set_result(ServeResult(embedding=cached))
                 return future
-            self._inc("serve.cache.miss", tenant=adapter)
+            self._inc("serve.cache.miss", tenant=name)
         self._ensure_worker()
-        self._queue.put(_Request(adapter, sample, key, future))
+        self._queue.put(_Request(request, name, key, future))
         return future
 
+    def submit(self, sample: np.ndarray, adapter: str) -> "Future[np.ndarray]":
+        """Deprecated: ``enqueue(ServeRequest(...))`` is the queue path now.
+
+        The returned future keeps the old contract — it resolves to the
+        raw embedding row and carries serving failures as exceptions.
+        """
+        warnings.warn(
+            "MultiTenantEngine.submit() is deprecated; use "
+            "enqueue(ServeRequest(sample, adapter=...)) and read the "
+            "ServeResult",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._closed:
+            raise ServeError("submit() on a closed MultiTenantEngine")
+        return _legacy_future(self.enqueue(ServeRequest(sample=sample, adapter=adapter)))
+
     def dispatch(self, batch: Sequence[tuple[str, np.ndarray]]) -> list[np.ndarray]:
-        """Serve one heterogeneous batch synchronously.
+        """Deprecated: build :class:`ServeRequest` lists and ``serve()``.
 
         ``batch`` is ``(adapter_name, sample)`` pairs; the result is one
-        embedding row per pair, in request order.  This is the same
-        grouping the micro-batcher worker applies to queued requests —
-        exposed directly so callers (and the multi-tenant bench) can
-        drive cross-tenant stacking without the queue.
+        embedding row per pair, in request order, with the same
+        cross-tenant grouping the micro-batcher applies.
         """
+        warnings.warn(
+            "MultiTenantEngine.dispatch() is deprecated; build a list of "
+            "ServeRequest objects and call serve()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self._closed:
             raise ServeError("dispatch() on a closed MultiTenantEngine")
-        entries = [self.registry.get(name) for name, __ in batch]
-        samples = [_ingest(sample) for __, sample in batch]
-        rows: list[np.ndarray | None] = [None] * len(entries)
-        for indices in self._group_indices(entries):
-            group_rows = self._serve_group(
-                [entries[i] for i in indices], [samples[i] for i in indices]
-            )
-            for j, i in enumerate(indices):
-                rows[i] = group_rows[j]
-        return rows  # type: ignore[return-value]
+        requests = [ServeRequest(sample=sample, adapter=name) for name, sample in batch]
+        return [result.require() for result in self.serve(requests)]
 
     @staticmethod
     def _group_indices(entries: Sequence[AdapterEntry]) -> list[list[int]]:
@@ -880,14 +1084,38 @@ class MultiTenantEngine:
 
     def _process(self, requests: list[_Request]) -> None:
         queued = time.perf_counter()
-        # Resolve entries at dispatch time: a swap() between submit and
+        if self._abort.is_set():
+            # close() gave up on the drain: answer, never hang a caller.
+            for item in requests:
+                item.future.set_result(
+                    ServeResult.failure(
+                        ERROR, "MultiTenantEngine closed before serving this request"
+                    )
+                )
+            return
+        self._hist("serve.queue.depth", self._queue.qsize())
+        live: list[_Request] = []
+        for item in requests:
+            if item.request.expired(queued):
+                self._inc("serve.request.deadline_missed", tenant=item.adapter)
+                elapsed = queued - item.request.created_at
+                item.future.set_result(
+                    ServeResult.failure(
+                        DEADLINE_MISSED,
+                        f"SLO budget of {item.request.deadline}s lapsed in queue",
+                        Timings(queue_seconds=elapsed, total_seconds=elapsed),
+                    )
+                )
+            else:
+                live.append(item)
+        # Resolve entries at dispatch time: a swap() between enqueue and
         # dispatch serves the *new* weights; an evict fails the request.
         resolved: list[tuple[_Request, AdapterEntry]] = []
-        for request in requests:
+        for item in live:
             try:
-                resolved.append((request, self.registry.get(request.adapter)))
+                resolved.append((item, self.registry.get(item.adapter)))
             except ServeError as exc:
-                request.future.set_exception(exc)
+                item.future.set_result(ServeResult.failure(ERROR, str(exc)))
         if not resolved:
             return
         entries = [entry for __, entry in resolved]
@@ -895,28 +1123,41 @@ class MultiTenantEngine:
             for indices in self._group_indices(entries):
                 group = [resolved[i] for i in indices]
                 group_entries = [entry for __, entry in group]
+                run_started = time.perf_counter()
                 try:
                     rows = self._serve_group(
-                        group_entries, [request.sample for request, __ in group]
+                        group_entries, [item.request.sample for item, __ in group]
                     )
                 except BaseException as exc:  # surface kernel errors to callers
-                    for request, __ in group:
-                        request.future.set_exception(exc)
+                    for item, __ in group:
+                        item.future.set_result(
+                            ServeResult.failure(ERROR, f"serving failed: {exc}")
+                        )
                     continue
-                for request, __ in group:
-                    self._inc("serve.requests", tenant=request.adapter)
+                run_done = time.perf_counter()
+                for item, __ in group:
+                    self._inc("serve.requests", tenant=item.adapter)
                 self._inc("serve.batches")
                 self._hist("serve.batch.size", len(group))
                 self._hist(
                     "serve.batch.tenants", len({entry.name for entry in group_entries})
                 )
-                waited = sum(queued - request.enqueued_at for request, __ in group)
+                waited = sum(queued - item.enqueued_at for item, __ in group)
                 self._inc("serve.queue_wait", len(group), seconds=waited)
-                for (request, __), row in zip(group, rows):
-                    if request.key is not None:
-                        self._cache_put(request.key, row)
+                for (item, __), row in zip(group, rows):
+                    if item.key is not None:
+                        self._cache_put(item.key, row)
                         row = row.copy()
-                    request.future.set_result(row)
+                    item.future.set_result(
+                        ServeResult(
+                            embedding=row,
+                            timings=Timings(
+                                queue_seconds=run_started - item.request.created_at,
+                                run_seconds=run_done - run_started,
+                                total_seconds=run_done - item.request.created_at,
+                            ),
+                        )
+                    )
 
     # -- LRU result cache -----------------------------------------------------
 
@@ -954,6 +1195,7 @@ class MultiTenantEngine:
             self._metrics.gauge("serve.cache.size", len(self._cache))
             snapshot = self._metrics.snapshot()
         merged = MetricsRegistry(enabled=True)
+        merged.merge(ZERO_SERIES)
         merged.merge(snapshot)
         merged.merge(self.registry.stats())
         programs = self.registry.program_counters()
@@ -984,21 +1226,36 @@ class MultiTenantEngine:
         )
         return merged.snapshot()
 
-    def close(self) -> None:
-        """Stop the worker (after draining queued work) and reject new calls."""
+    def close(self, drain_timeout: float | None = None) -> None:
+        """Stop the worker and answer every pending request — never hang.
+
+        Waits up to ``drain_timeout`` seconds (default: the constructor
+        knob) for the worker to finish queued work.  If the drain times
+        out — a stalled program, a flooded queue — the engine aborts:
+        every request still queued (or picked up after the abort)
+        resolves to an ``error`` :class:`ServeResult`, so callers
+        blocked on futures get a typed failure instead of a hang.
+        """
         if self._closed:
             return
         self._closed = True
+        timeout = self.drain_timeout if drain_timeout is None else float(drain_timeout)
         self._stop.set()
         worker = self._worker
         if worker is not None and worker.is_alive():
-            worker.join(timeout=10.0)
+            worker.join(timeout=timeout)
+            if worker.is_alive():
+                self._abort.set()
         while True:  # belt and braces: fail anything the worker left behind
             try:
-                request = self._queue.get_nowait()
+                item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            request.future.set_exception(ServeError("MultiTenantEngine closed"))
+            item.future.set_result(
+                ServeResult.failure(
+                    ERROR, "MultiTenantEngine closed before serving this request"
+                )
+            )
 
     def __enter__(self) -> "MultiTenantEngine":
         return self

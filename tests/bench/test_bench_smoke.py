@@ -9,6 +9,7 @@ from repro.bench import (
     SCHEMA,
     format_bench_record,
     run_autograd_bench,
+    run_load_bench,
     run_multi_tenant_bench,
     run_serve_bench,
     run_table1_parallel_bench,
@@ -270,6 +271,96 @@ class TestMultiTenantBenchSection:
         ):
             with pytest.raises(ValueError, match=match):
                 validate_bench_record(corrupt)
+
+
+class TestLoadBench:
+    @pytest.fixture(scope="class")
+    def record(self):
+        # A real frontend + loadgen run, shortened: three offered-load
+        # levels at 0.3 s each still exercise admission, batching and the
+        # per-batch replay identity check end to end.
+        return json.loads(
+            json.dumps(run_load_bench(scale="tiny", repeats=1, duration=0.3))
+        )
+
+    def test_load_record_validates_and_formats(self, record):
+        validate_bench_record(record)
+        assert record["kind"] == "load"
+        assert record["capacity_estimate_rps"] > 0
+        levels = record["load"]["levels"]
+        assert len(levels) >= 3
+        offered = [level["offered_rate"] for level in levels]
+        assert offered == sorted(offered) and len(set(offered)) == len(offered)
+        for level in levels:
+            assert level["sent"] >= 1
+            assert level["completed"] == (
+                level["ok"] + level["rejected"] + level["deadline_missed"]
+            )
+            latency = level["latency_ms"]
+            assert latency["p50"] <= latency["p99"] <= latency["p999"]
+            assert level["queue_depth"] and level["batch_size"]
+        # Identity is asserted in-process; the record pins it too.
+        assert record["bit_identical"] is True
+        assert record["replayed_batches"] >= 1
+        text = format_bench_record(record)
+        assert "offered" in text and "p999" in text
+        assert "bit-identical: True" in text
+
+    def test_validate_rejects_corrupt_load_records(self, record):
+        def corrupted(mutate):
+            clone = json.loads(json.dumps(record))
+            mutate(clone)
+            return clone
+
+        for mutate, match in (
+            (lambda r: r["load"]["levels"].pop(), ">= 3 offered-load levels"),
+            (
+                lambda r: r["load"]["levels"][2].update(
+                    offered_rate=r["load"]["levels"][0]["offered_rate"]
+                ),
+                "strictly increasing",
+            ),
+            (lambda r: r["load"]["levels"][0].update(sent=0), "sent"),
+            (
+                lambda r: r["load"]["levels"][0]["latency_ms"].pop("p999"),
+                "latency_ms.p999",
+            ),
+            (
+                lambda r: r["load"]["levels"][0]["latency_ms"].update(p50=9e9),
+                "non-decreasing",
+            ),
+            (
+                lambda r: r["load"]["levels"][0].update(queue_depth={}),
+                "queue_depth",
+            ),
+            (
+                lambda r: r["load"]["levels"][0]["counters"].pop(
+                    "serve.request.rejected"
+                ),
+                "counters",
+            ),
+            (lambda r: r.update(bit_identical=False), "bit_identical"),
+            (lambda r: r.update(replayed_batches=0), "replayed_batches"),
+            (lambda r: r.update(summary={}), "peak_achieved_rate"),
+            (lambda r: r["server"].update(queue_limit=0), "queue_limit"),
+        ):
+            with pytest.raises(ValueError, match=match):
+                validate_bench_record(corrupted(mutate))
+
+    def test_load_bench_rejects_bad_level_plans(self):
+        with pytest.raises(ValueError, match=">= 3 offered-load levels"):
+            run_load_bench(scale="tiny", load_factors=(0.5, 1.0))
+        with pytest.raises(ValueError, match="increasing"):
+            run_load_bench(scale="tiny", load_factors=(1.0, 0.5, 2.0))
+
+    def test_load_suite_is_opt_in(self, tmp_path):
+        paths = write_bench_records(
+            str(tmp_path), scale="tiny", repeats=1, suites=("load",),
+            load_duration=0.3,
+        )
+        assert [p.rsplit("/", 1)[-1] for p in paths] == ["BENCH_load.json"]
+        with open(paths[0], encoding="utf-8") as handle:
+            validate_bench_record(json.load(handle))
 
 
 class TestParallelBenchSection:

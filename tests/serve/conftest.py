@@ -11,7 +11,7 @@ same tier stay exact at every tier and keep using ``np.array_equal``.
 
 import numpy as np
 
-from repro.serve import resolve_precision
+from repro.serve import ServeRequest, resolve_precision
 
 #: max-abs error allowed vs the f64 reference per relaxed tier.  f32 is
 #: rounding noise; int8 reflects 127-step weight quantization (KNN
@@ -37,3 +37,19 @@ def assert_serving_match(actual, reference, precision=None):
             atol=TIER_ATOL[precision],
             rtol=0,
         )
+
+
+def serve_bulk(engine, images, batch_size=64, adapter=None):
+    """Bulk-embed via the typed API, chunked like ``extract_embeddings``.
+
+    The new-API equivalent of the deprecated ``embed`` shim: one batched
+    :class:`ServeRequest` per chunk, rows concatenated in order.
+    """
+    images = np.asarray(images)
+    requests = [
+        ServeRequest(sample=images[start : start + batch_size], adapter=adapter)
+        for start in range(0, images.shape[0], batch_size)
+    ]
+    return np.concatenate(
+        [result.require() for result in engine.serve(requests)], axis=0
+    )

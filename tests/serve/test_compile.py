@@ -106,10 +106,10 @@ class TestMergedFastPath:
         assert result.state == "merged"
         # The program was compiled from the merged model: no adapter steps.
         assert not any("lora" in line for line in engine.program.describe())
-        from tests.serve.conftest import assert_serving_match
+        from tests.serve.conftest import assert_serving_match, serve_bulk
 
         assert_serving_match(
-            engine.embed(images), extract_embeddings(result.model, images)
+            serve_bulk(engine, images), extract_embeddings(result.model, images)
         )
         engine.close()
 

@@ -1,4 +1,8 @@
-"""EmbeddingEngine: bulk path, micro-batcher, result cache, lifecycle."""
+"""EmbeddingEngine: bulk path, micro-batcher, result cache, lifecycle.
+
+Exercises the typed ``serve``/``enqueue`` surface (see
+tests/serve/test_api.py for the deprecated ``embed``/``submit`` shims).
+"""
 
 import numpy as np
 import pytest
@@ -7,7 +11,7 @@ from repro.errors import ServeError
 from repro.eval.embeddings import extract_embeddings
 from repro.models import resnet_small
 from repro.perf import perf_overrides
-from repro.serve import ENGINES, EmbeddingEngine, build_engine
+from repro.serve import ENGINES, EmbeddingEngine, ServeRequest, build_engine
 from repro.utils.profiling import PROFILER
 
 
@@ -27,39 +31,51 @@ def samples_for(rng, n=6):
 
 
 def resolve(futures, timeout=10.0):
-    return [future.result(timeout=timeout) for future in futures]
+    return [future.result(timeout=timeout).require() for future in futures]
 
 
 class TestBulkPath:
-    def test_embed_matches_reference_across_chunkings(self, engine, model, rng):
-        from tests.serve.conftest import assert_serving_match
+    def test_serve_matches_reference_across_chunkings(self, engine, model, rng):
+        from tests.serve.conftest import assert_serving_match, serve_bulk
 
         images = samples_for(rng, 7)
         for batch_size in (1, 3, 64):
-            out = engine.embed(images, batch_size=batch_size)
+            out = serve_bulk(engine, images, batch_size)
             assert_serving_match(
                 out, extract_embeddings(model, images, batch_size=batch_size)
             )
 
-    def test_embed_returns_fresh_buffers(self, engine, rng):
-        images = samples_for(rng, 2)
-        first = engine.embed(images)
-        first[...] = 0.0  # callers may scribble on their result
-        assert np.any(engine.embed(images))
+    def test_serve_returns_fresh_buffers(self, engine, rng):
+        from tests.serve.conftest import serve_bulk
 
-    def test_embed_accepts_integer_inputs(self, engine):
+        images = samples_for(rng, 2)
+        first = serve_bulk(engine, images)
+        first[...] = 0.0  # callers may scribble on their result
+        assert np.any(serve_bulk(engine, images))
+
+    def test_serve_accepts_integer_inputs(self, engine):
         # Mirrors Tensor.__init__: non-float payloads become float32.
         images = np.zeros((2, 3, 16, 16), dtype=np.int64)
-        out = engine.embed(images)
-        assert out.shape[0] == 2
+        result = engine.serve(ServeRequest(sample=images))
+        assert result.require().shape[0] == 2
+
+    def test_serve_reports_timings(self, engine, rng):
+        result = engine.serve(ServeRequest(sample=samples_for(rng, 2)))
+        timings = result.timings
+        assert timings.run_seconds > 0
+        assert timings.total_seconds >= timings.run_seconds
 
 
 class TestMicroBatcher:
-    def test_submitted_singles_match_bulk_rows(self, model, rng):
+    def test_enqueued_singles_match_bulk_rows(self, model, rng):
+        from tests.serve.conftest import serve_bulk
+
         images = samples_for(rng, 6)
         with build_engine(model, max_batch=4, max_delay=0.25, cache_size=0) as engine:
-            rows = resolve([engine.submit(sample) for sample in images])
-            bulk = engine.embed(images, batch_size=1)
+            rows = resolve(
+                [engine.enqueue(ServeRequest(sample=sample)) for sample in images]
+            )
+            bulk = serve_bulk(engine, images, batch_size=1)
             for index, row in enumerate(rows):
                 assert np.array_equal(row, bulk[index])
             stats = engine.stats()
@@ -75,10 +91,16 @@ class TestMicroBatcher:
 
     def test_flush_on_timeout_without_filling_batch(self, model, rng):
         with build_engine(model, max_batch=64, max_delay=0.01, cache_size=0) as engine:
-            future = engine.submit(samples_for(rng, 1)[0])
-            row = future.result(timeout=10.0)
-            assert row.shape == (engine.embed(samples_for(rng, 1)).shape[1],)
-            assert engine.stats()["serve.batches"]["calls"] == 1
+            future = engine.enqueue(ServeRequest(sample=samples_for(rng, 1)[0]))
+            result = future.result(timeout=10.0)
+            assert result.ok
+            width = engine.serve(
+                ServeRequest(sample=samples_for(rng, 1))
+            ).require().shape[1]
+            assert result.embedding.shape == (width,)
+            # The queue path stamps queue/run/total wall-clock timings.
+            assert result.timings.total_seconds >= result.timings.run_seconds > 0
+            assert engine.stats()["serve.batches"]["calls"] >= 1
 
     def test_batch_size_counters(self, model, rng):
         images = samples_for(rng, 3)
@@ -86,7 +108,9 @@ class TestMicroBatcher:
             PROFILER.reset()
             PROFILER.enable()
             try:
-                resolve([engine.submit(sample) for sample in images])
+                resolve(
+                    [engine.enqueue(ServeRequest(sample=sample)) for sample in images]
+                )
             finally:
                 PROFILER.disable()
             counters = PROFILER.as_dict()
@@ -96,11 +120,11 @@ class TestMicroBatcher:
 
 
 class TestResultCache:
-    def test_repeat_submission_hits_cache(self, model, rng):
+    def test_repeat_enqueue_hits_cache(self, model, rng):
         sample = samples_for(rng, 1)[0]
         with build_engine(model, max_delay=0.0, cache_size=4) as engine:
-            first = resolve([engine.submit(sample)])[0]
-            second = resolve([engine.submit(sample)])[0]
+            first = resolve([engine.enqueue(ServeRequest(sample=sample))])[0]
+            second = resolve([engine.enqueue(ServeRequest(sample=sample))])[0]
             assert np.array_equal(first, second)
             stats = engine.stats()
             assert stats["serve.cache.hit"]["calls"] == 1
@@ -111,26 +135,33 @@ class TestResultCache:
     def test_lru_eviction(self, model, rng):
         images = samples_for(rng, 3)
         with build_engine(model, max_delay=0.0, cache_size=2) as engine:
-            resolve([engine.submit(sample) for sample in images])
+            resolve([engine.enqueue(ServeRequest(sample=sample)) for sample in images])
             stats = engine.stats()
             assert stats["serve.cache.evict"]["calls"] >= 1
             assert stats["serve.cache.size"]["value"] <= 2
             # The oldest entry is gone: resubmitting it misses again.
-            resolve([engine.submit(images[0])])
+            resolve([engine.enqueue(ServeRequest(sample=images[0]))])
             assert engine.stats()["serve.cache.miss"]["calls"] >= 4
 
     def test_cached_rows_survive_caller_mutation(self, model, rng):
         sample = samples_for(rng, 1)[0]
         with build_engine(model, max_delay=0.0, cache_size=4) as engine:
-            first = resolve([engine.submit(sample)])[0]
+            first = resolve([engine.enqueue(ServeRequest(sample=sample))])[0]
             expected = first.copy()
             first[...] = -1.0
-            assert np.array_equal(resolve([engine.submit(sample)])[0], expected)
+            assert np.array_equal(
+                resolve([engine.enqueue(ServeRequest(sample=sample))])[0], expected
+            )
 
     def test_cache_disabled(self, model, rng):
         sample = samples_for(rng, 1)[0]
         with build_engine(model, max_delay=0.0, cache_size=0) as engine:
-            resolve([engine.submit(sample), engine.submit(sample)])
+            resolve(
+                [
+                    engine.enqueue(ServeRequest(sample=sample)),
+                    engine.enqueue(ServeRequest(sample=sample)),
+                ]
+            )
             stats = engine.stats()
             assert "serve.cache.hit" not in stats  # caching never engaged
             assert stats["serve.batches"]["calls"] >= 1
@@ -142,6 +173,7 @@ class TestLifecycle:
             {"max_batch": 0},
             {"max_delay": -0.1},
             {"cache_size": -1},
+            {"drain_timeout": -1.0},
         ):
             with pytest.raises(ServeError):
                 EmbeddingEngine(engine.program, **kwargs)
@@ -150,23 +182,26 @@ class TestLifecycle:
         engine = build_engine(model, cache_size=0)
         engine.close()
         with pytest.raises(ServeError, match="closed"):
-            engine.embed(samples_for(rng, 1))
+            engine.serve(ServeRequest(sample=samples_for(rng, 1)))
         with pytest.raises(ServeError, match="closed"):
-            engine.submit(samples_for(rng, 1)[0])
+            engine.enqueue(ServeRequest(sample=samples_for(rng, 1)[0]))
         engine.close()  # idempotent
 
     def test_close_drains_pending_work(self, model, rng):
         images = samples_for(rng, 4)
         engine = build_engine(model, max_batch=4, max_delay=0.05, cache_size=0)
-        futures = [engine.submit(sample) for sample in images]
+        futures = [engine.enqueue(ServeRequest(sample=sample)) for sample in images]
         engine.close()
         for future in futures:
-            # Either served before shutdown or failed with ServeError —
-            # never left hanging.
-            try:
-                assert future.result(timeout=10.0).ndim == 1
-            except ServeError:
-                pass
+            # Either served before shutdown or resolved to a typed error
+            # result — never left hanging, never an exception on the future.
+            result = future.result(timeout=10.0)
+            if result.ok:
+                assert result.embedding.ndim == 1
+            else:
+                assert result.status == "error"
+                with pytest.raises(ServeError):
+                    result.require()
 
     def test_build_engine_rejects_non_models(self):
         with pytest.raises(ServeError, match="Module or AttachResult"):

@@ -326,10 +326,12 @@ class TestPrecisionTiers:
 
 class TestEngineCounters:
     def test_stats_carry_optimizer_series(self, rng):
+        from tests.serve.conftest import serve_bulk
+
         with build_engine(
             resnet_small(4, rng), cache_size=0, precision="f32"
         ) as engine:
-            engine.embed(images_for(rng, 4))
+            serve_bulk(engine, images_for(rng, 4))
             stats = engine.stats()
         for name in (
             "serve.fusion.steps_eliminated",

@@ -25,6 +25,7 @@ from repro.serve import (
     AdapterRegistry,
     EmbeddingEngine,
     MultiTenantEngine,
+    ServeRequest,
     build_engine,
     clear_shared_engines,
     compile_features,
@@ -32,6 +33,7 @@ from repro.serve import (
     shared_engine,
 )
 from repro.utils.rng import new_rng
+from tests.serve.conftest import serve_bulk
 
 
 def images_for(rng, n=6):
@@ -219,18 +221,21 @@ class TestMultiTenantServing:
         model = meta_model(seed=10)
         images = images_for(rng, 5)
         with build_engine(model, cache_size=0) as single:
-            reference = single.embed(images)
-        # A generous max_delay lets the worker coalesce all submits into
+            reference = serve_bulk(single, images)
+        # A generous max_delay lets the worker coalesce all enqueues into
         # one flush, so the meta mapping net sees the same row composition
         # as the 5-row reference chunk (it is not batch-composition
         # invariant — that is why grouped dispatch runs it per-tenant).
         engine = MultiTenantEngine(cache_size=0, max_delay=0.25)
         engine.register("only", model)
         try:
-            assert np.array_equal(engine.embed(images, "only"), reference)
+            assert np.array_equal(serve_bulk(engine, images, adapter="only"), reference)
             rows = [
-                f.result(timeout=10.0)
-                for f in [engine.submit(sample, "only") for sample in images]
+                f.result(timeout=10.0).require()
+                for f in [
+                    engine.enqueue(ServeRequest(sample=sample, adapter="only"))
+                    for sample in images
+                ]
             ]
             for index, row in enumerate(rows):
                 assert np.array_equal(row, reference[index])
@@ -250,7 +255,7 @@ class TestMultiTenantServing:
         reference = {}
         for name, source in (("static", static), ("meta_a", meta_a), ("meta_b", meta_b)):
             with build_engine(source, cache_size=0) as engine:
-                reference[name] = engine.embed(images[name])
+                reference[name] = serve_bulk(engine, images[name])
 
         # Generous max_delay: one flush per submit burst, so each meta
         # tenant's mapping net sees the same 2-row composition as its
@@ -268,18 +273,30 @@ class TestMultiTenantServing:
                 for index in range(2)
                 for name in ("static", "meta_a", "meta_b")
             ]
-            rows = engine.dispatch(batch)
+            results = engine.serve(
+                [ServeRequest(sample=sample, adapter=name) for name, sample in batch]
+            )
             for position, (name, __) in enumerate(batch):
                 index = position // 3
-                assert np.array_equal(rows[position], reference[name][index])
-            # The same identity holds through the queued submit path.
+                assert np.array_equal(
+                    results[position].require(), reference[name][index]
+                )
+            # The same identity holds through the queued enqueue path.
             futures = [
-                (name, index, engine.submit(images[name][index], name))
+                (
+                    name,
+                    index,
+                    engine.enqueue(
+                        ServeRequest(sample=images[name][index], adapter=name)
+                    ),
+                )
                 for index in range(2)
                 for name in ("static", "meta_a", "meta_b")
             ]
             for name, index, future in futures:
-                assert np.array_equal(future.result(timeout=10.0), reference[name][index])
+                assert np.array_equal(
+                    future.result(timeout=10.0).require(), reference[name][index]
+                )
             stats = engine.stats()
             assert stats["serve.requests"]["calls"] == 6
             assert "serve.requests{tenant=meta_a}" in stats
@@ -294,14 +311,18 @@ class TestMultiTenantServing:
         model = meta_model(seed=10)
         engine.register("tenant", model)
         sample = images_for(rng, 1)[0]
+        def embed_one(sample):
+            future = engine.enqueue(ServeRequest(sample=sample, adapter="tenant"))
+            return future.result(timeout=10.0).require()
+
         try:
-            before = engine.submit(sample, "tenant").result(timeout=10.0)
+            before = embed_one(sample)
             baseline = engine.stats()
             # Swap in new mapping weights (same extractor/backbone).
             perturb_mapping(model, np.random.default_rng(3))
             entry = engine.swap("tenant", model)
             assert entry.version == 2
-            after = engine.submit(sample, "tenant").result(timeout=10.0)
+            after = embed_one(sample)
             assert not np.array_equal(before, after)  # new weights serve
             stats = engine.stats()
             # The swap recompiled only the mapping program (miss) and
@@ -318,7 +339,7 @@ class TestMultiTenantServing:
             assert stats["serve.cache.miss"]["calls"] == 2
             assert "serve.cache.hit" not in stats  # zero stale hits
             # ...and resubmitting now hits under the new version.
-            again = engine.submit(sample, "tenant").result(timeout=10.0)
+            again = embed_one(sample)
             assert np.array_equal(again, after)
             assert engine.stats()["serve.cache.hit"]["calls"] == 1
         finally:
@@ -329,11 +350,9 @@ class TestMultiTenantServing:
         sample = images_for(rng, 1)
         try:
             with pytest.raises(ServeError, match="unknown adapter"):
-                engine.embed(sample, "ghost")
+                engine.serve(ServeRequest(sample=sample, adapter="ghost"))
             with pytest.raises(ServeError, match="unknown adapter"):
-                engine.submit(sample[0], "ghost")
-            with pytest.raises(ServeError, match="unknown adapter"):
-                engine.dispatch([("ghost", sample[0])])
+                engine.enqueue(ServeRequest(sample=sample[0], adapter="ghost"))
         finally:
             engine.close()
 
@@ -342,11 +361,9 @@ class TestMultiTenantServing:
         engine.register("a", static_lora_result(0))
         engine.close()
         with pytest.raises(ServeError, match="closed"):
-            engine.embed(images_for(rng, 1), "a")
+            engine.serve(ServeRequest(sample=images_for(rng, 1), adapter="a"))
         with pytest.raises(ServeError, match="closed"):
-            engine.submit(images_for(rng, 1)[0], "a")
-        with pytest.raises(ServeError, match="closed"):
-            engine.dispatch([("a", images_for(rng, 1)[0])])
+            engine.enqueue(ServeRequest(sample=images_for(rng, 1)[0], adapter="a"))
         engine.close()  # idempotent
 
     def test_invalid_limits_rejected(self):
@@ -354,6 +371,7 @@ class TestMultiTenantServing:
             {"max_batch": 0},
             {"max_delay": -0.1},
             {"cache_size": -1},
+            {"drain_timeout": -1.0},
         ):
             with pytest.raises(ServeError):
                 MultiTenantEngine(**kwargs)
@@ -411,7 +429,7 @@ class TestEnginesHandle:
             assert engine is not shared_engine(model)  # cleared ⇒ recompiled
             clear_shared_engines()
         assert all(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert np.array_equal(out, ENGINES.get(model).embed(images))
+        assert np.array_equal(out, serve_bulk(ENGINES.get(model), images))
         ENGINES.clear()
 
 
