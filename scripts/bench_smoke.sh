@@ -67,8 +67,11 @@ PYEOF
 # per offered-load level.  The bench asserts server-vs-direct bit-identity
 # per recorded micro-batch in-process, so BENCH_load.json existing at all
 # means the wire path matched direct dispatch exactly; re-validate the
-# record schema and the shape of the load curve here.
-PYTHONPATH=src python -m repro bench --suite load --out "$out_dir" --scale tiny --load-duration 2
+# record schema and the shape of the load curve here.  --shards 2 adds
+# the horizontal scaling sweep: 1- and 2-shard fleets probed for
+# capacity, loaded through the frontend, per-shard recorded batches
+# replayed bit-identically against a single-process reference.
+PYTHONPATH=src python -m repro bench --suite load --out "$out_dir" --scale tiny --load-duration 2 --shards 2
 test -f "$out_dir/BENCH_load.json" || { echo "bench_smoke: missing BENCH_load.json" >&2; exit 1; }
 PYTHONPATH=src python - "$out_dir/BENCH_load.json" <<'PYEOF'
 import json, sys
@@ -82,12 +85,22 @@ levels = record["load"]["levels"]
 assert len(levels) >= 3, len(levels)
 assert record["bit_identical"] is True
 assert record["replayed_batches"] >= 1
+scaling = record.get("scaling")
+assert scaling, "bench_smoke: BENCH_load.json has no scaling section"
+assert scaling["shard_counts"] == [1, 2], scaling["shard_counts"]
+for entry in scaling["entries"]:
+    assert entry["bit_identical"] is True
+    assert entry["replayed_batches"] >= 1
+ratio = scaling["summary"]["capacity_ratio"]
+assert ratio >= 1.3, ratio  # the 2-shard floor; 1.7 holds from 4 shards
 print(
     "bench_smoke: load curve ok "
     f"({len(levels)} levels, capacity est. "
     f"{record['capacity_estimate_rps']:.0f} req/s, peak achieved "
     f"{record['summary']['peak_achieved_rate']:.0f} req/s, "
-    f"{record['replayed_batches']} batch(es) replayed bit-identical)"
+    f"{record['replayed_batches']} batch(es) replayed bit-identical; "
+    f"scaling {ratio:.2f}x at {scaling['summary']['top_shards']} shards, "
+    f"start method {scaling['start_method']})"
 )
 PYEOF
 

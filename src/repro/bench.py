@@ -87,6 +87,7 @@ import numpy as np
 
 from repro.autograd import conv_ops, ops
 from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
 from repro.obs import OBS
 from repro.obs.metrics import KINDS
 from repro.perf import reference_mode
@@ -487,6 +488,31 @@ def _multi_tenant_models(tenants: int) -> tuple[object, list[object]]:
     return static, metas
 
 
+def build_shard_tenant(kind: str, index: int = 0) -> object:
+    """Rebuild one load-bench tenant *architecture* in a shard process.
+
+    The importable builder :class:`~repro.serve.shard.ShardedEngine`
+    ships to its workers: it only has to recreate the module graph with
+    the right shapes — the authoritative weights arrive separately as
+    the parent's ``state_dict`` and overwrite whatever the seeds here
+    produce (the digest check proves it).  Seeds mirror
+    :func:`_multi_tenant_models` so the architectures are identical.
+    """
+    from repro.models import FeatureExtractor, resnet_small
+    from repro.peft import MetaLoRAModel, attach
+    from repro.utils.rng import new_rng
+
+    if kind == "static":
+        backbone = resnet_small(4, new_rng(20))
+        return attach(backbone, "lora", rank=2, rng=new_rng(21))
+    if kind != "meta":
+        raise ConfigError(f"unknown shard tenant kind {kind!r} (static|meta)")
+    meta_backbone = resnet_small(4, new_rng(30))
+    result = attach(meta_backbone, "meta_tr", rank=2, rng=new_rng(31))
+    extractor = FeatureExtractor(resnet_small(4, new_rng(32)))
+    return MetaLoRAModel(meta_backbone, extractor, rng=new_rng(33), adapters=result)
+
+
 def _embed_chunked(engine, images: np.ndarray, batch_size: int) -> np.ndarray:
     """Bulk embeddings through the typed API, chunked like the old ``embed``.
 
@@ -813,6 +839,9 @@ def run_precision_bench(
                 model, precision=precision, fuse=fuse, parallel=row_workers
             )
             program.arena = arena  # explicit: rows must not depend on env knobs
+            # The parallel row measures the thread scheduler itself, so
+            # the serial-seconds cost gate is pinned off per row too.
+            program.parallel_threshold = 0.0
             out = run_chunked(program)
             err = float(np.max(np.abs(out - reference)))
             if precision == "f64" and not np.array_equal(out, reference):
@@ -1045,6 +1074,7 @@ def run_load_bench(
     deadline: float = 0.5,
     queue_limit: int = 64,
     seed: int = 0,
+    shards: int = 4,
 ) -> dict:
     """End-to-end load test of the asyncio serving frontend.
 
@@ -1056,6 +1086,15 @@ def run_load_bench(
     throughput-vs-offered-load curve, with client-side p50/p99/p999
     latency and the server's queue-depth / batch-size histograms per
     level.
+
+    With ``shards >= 2`` the record also carries a ``scaling`` section:
+    the same tenants served by a
+    :class:`~repro.serve.shard.ShardedEngine` at each power-of-two
+    shard count up to ``shards``, with per-shard isolated capacity
+    probes (their sum is the fleet-sizing ``capacity_estimate_rps`` —
+    ``host_cpus`` is recorded so single-core hosts read honestly), an
+    offered-load curve through the sharded frontend, and a per-shard
+    recorded-batch replay asserting server-vs-direct bit-identity.
 
     Bit-identity is asserted in-process: the scheduler records its first
     dispatched micro-batches, and each fully-``ok`` recorded batch is
@@ -1197,6 +1236,20 @@ def run_load_bench(
             frontend.stop_in_thread()
         engine.close()
 
+    scaling = None
+    if shards >= 2:
+        scaling = _run_scaling_sweep(
+            [static, *metas],
+            names,
+            pools,
+            duration=duration,
+            deadline=deadline,
+            queue_limit=queue_limit,
+            seed=seed,
+            shard_counts=_shard_counts(shards),
+            load_factors=tuple(load_factors)[:2],
+        )
+
     record = {
         "schema": SCHEMA,
         "kind": "load",
@@ -1220,8 +1273,188 @@ def run_load_bench(
             "levels": len(levels),
         },
     }
+    if scaling is not None:
+        record["scaling"] = scaling
     validate_bench_record(record)
     return record
+
+
+def _shard_counts(shards: int) -> list[int]:
+    """Power-of-two shard counts up to ``shards`` (4 -> [1, 2, 4])."""
+    counts = []
+    count = 1
+    while count <= shards:
+        counts.append(count)
+        count *= 2
+    return counts
+
+
+def _run_scaling_sweep(
+    models: list,
+    names: list[str],
+    pools: dict,
+    *,
+    duration: float,
+    deadline: float,
+    queue_limit: int,
+    seed: int,
+    shard_counts: list[int],
+    load_factors: tuple[float, ...],
+) -> dict:
+    """The ``scaling`` section: the load tenants on 1/2/.../N shards.
+
+    For each shard count: register every tenant on a
+    :class:`~repro.serve.shard.ShardedEngine`, probe each shard's
+    capacity in isolation (the sum is the fleet-sizing estimate — on a
+    single-core host the shards time-slice, which is why ``host_cpus``
+    is part of the record), drive the offered-load curve through the
+    real sharded frontend, then pull every shard's recorded
+    micro-batches and replay them through a direct single-process
+    engine — each shard must serve bit-identically to direct dispatch,
+    so a section with ``bit_identical: false`` cannot be produced.
+    """
+    from repro.runtime.pool import resolve_start_method
+    from repro.serve import (
+        MultiTenantEngine,
+        ServeRequest,
+        ServingFrontend,
+        ShardedEngine,
+    )
+    from repro.serve.loadgen import run_load
+
+    def tenant_builder_args(name: str) -> tuple[str, int]:
+        if name == "static":
+            return ("static", 0)
+        return ("meta", int(name.rsplit("_", 1)[1]))
+
+    reference = MultiTenantEngine(cache_size=0)
+    entries = []
+    try:
+        for name, model in zip(names, models):
+            reference.register(name, model)
+        for count in shard_counts:
+            sharded = ShardedEngine(
+                count,
+                queue_limit=queue_limit,
+                record_batches=4,
+                target_batch_seconds=0.05,
+            )
+            frontend = None
+            try:
+                for name, model in zip(names, models):
+                    kind, index = tenant_builder_args(name)
+                    sharded.register(
+                        name, model, builder=build_shard_tenant, args=(kind, index)
+                    )
+
+                def probe_requests() -> list:
+                    return [
+                        ServeRequest(sample=pools[name][index], adapter=name)
+                        for index in range(4)
+                        for name in names
+                    ]
+
+                per_shard = []
+                for shard_id in range(count):
+                    for result in sharded.serve_on(shard_id, probe_requests()):
+                        result.require()  # warm the shard's compiled programs
+                    start = time.perf_counter()
+                    served = sharded.serve_on(shard_id, probe_requests())
+                    elapsed = time.perf_counter() - start
+                    for result in served:
+                        result.require()
+                    per_shard.append(len(served) / max(elapsed, 1e-6))
+
+                frontend = ServingFrontend(scheduler=sharded)
+                host, port = frontend.start_in_thread()
+                base_rate = entries[0]["capacity_estimate_rps"] if entries else sum(per_shard)
+                levels = []
+                for index, factor in enumerate(load_factors):
+                    rate = max(5.0, base_rate * factor)
+                    report = run_load(
+                        host,
+                        port,
+                        pools,
+                        adapters=names,
+                        rate=rate,
+                        duration=duration,
+                        deadline=deadline,
+                        seed=seed + 100 * count + index,
+                    )
+                    statuses = report["statuses"]
+                    levels.append(
+                        {
+                            "load_factor": float(factor),
+                            "offered_rate": float(report["offered_rate"]),
+                            "achieved_rate": float(report["achieved_rate"]),
+                            "sent": int(report["sent"]),
+                            "completed": int(report["completed"]),
+                            "ok": int(statuses.get("ok", 0)),
+                            "rejected": int(statuses.get("rejected", 0)),
+                            "deadline_missed": int(
+                                statuses.get("deadline_missed", 0)
+                            ),
+                        }
+                    )
+
+                recorded = sharded.recorded_batches()
+                replayed = 0
+                for batches in recorded.values():
+                    for batch in batches:
+                        if not all(status == "ok" for status in batch["statuses"]):
+                            continue
+                        replay = reference.serve(
+                            [
+                                ServeRequest(sample=sample, adapter=adapter)
+                                for sample, adapter in zip(
+                                    batch["samples"], batch["adapters"]
+                                )
+                            ]
+                        )
+                        for embedding, direct in zip(batch["embeddings"], replay):
+                            if not np.array_equal(embedding, direct.require()):
+                                raise ValueError(
+                                    f"scaling sweep: a {count}-shard recorded "
+                                    f"batch diverged from direct dispatch"
+                                )
+                        replayed += 1
+                if replayed < 1:
+                    raise ValueError(
+                        f"scaling sweep: no fully-served batch recorded at "
+                        f"{count} shard(s); cannot assert bit-identity"
+                    )
+                entries.append(
+                    {
+                        "shards": int(count),
+                        "capacity_estimate_rps": float(sum(per_shard)),
+                        "per_shard_capacity_rps": [
+                            float(value) for value in per_shard
+                        ],
+                        "levels": levels,
+                        "bit_identical": True,
+                        "replayed_batches": int(replayed),
+                    }
+                )
+            finally:
+                if frontend is not None:
+                    frontend.stop_in_thread()  # drains + closes the ShardedEngine
+                else:
+                    sharded.close()
+    finally:
+        reference.close()
+
+    base = entries[0]["capacity_estimate_rps"]
+    top = entries[-1]
+    return {
+        "host_cpus": int(os.cpu_count() or 1),
+        "start_method": resolve_start_method(),
+        "shard_counts": [int(count) for count in shard_counts],
+        "entries": entries,
+        "summary": {
+            "capacity_ratio": float(top["capacity_estimate_rps"] / base),
+            "top_shards": int(top["shards"]),
+        },
+    }
 
 
 # -- record assembly / validation / io ----------------------------------------
@@ -1316,6 +1549,89 @@ def _validate_load_record(record: dict, expect: Callable[[bool, str], None]) -> 
     value = summary.get("peak_achieved_rate")
     expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
            "summary.peak_achieved_rate must be a finite float > 0")
+    if "scaling" in record:
+        _validate_scaling_section(record["scaling"], expect)
+
+
+def _validate_scaling_section(
+    scaling: dict, expect: Callable[[bool, str], None]
+) -> None:
+    """The optional ``scaling`` section of a ``load`` record."""
+    expect(isinstance(scaling, dict), "scaling must be a dict")
+    expect(isinstance(scaling.get("host_cpus"), int) and scaling["host_cpus"] >= 1,
+           "scaling.host_cpus must be a positive int")
+    expect(scaling.get("start_method") in ("fork", "spawn", "forkserver"),
+           "scaling.start_method must be a multiprocessing start method")
+    counts = scaling.get("shard_counts")
+    expect(
+        isinstance(counts, list) and len(counts) >= 2 and counts[0] == 1
+        and all(isinstance(count, int) for count in counts)
+        and counts == sorted(set(counts)),
+        "scaling.shard_counts must be strictly increasing ints starting at 1",
+    )
+    entries = scaling.get("entries")
+    expect(isinstance(entries, list) and len(entries) == len(counts),
+           "scaling.entries must carry one entry per shard count")
+    for count, entry in zip(counts, entries):
+        expect(isinstance(entry, dict) and entry.get("shards") == count,
+               f"scaling entry for {count} shard(s) is missing or misordered")
+        value = entry.get("capacity_estimate_rps")
+        expect(isinstance(value, (int, float)) and np.isfinite(value) and value > 0,
+               f"scaling[{count}]: capacity_estimate_rps must be a finite float > 0")
+        per_shard = entry.get("per_shard_capacity_rps")
+        expect(
+            isinstance(per_shard, list) and len(per_shard) == count
+            and all(isinstance(value, (int, float)) and np.isfinite(value)
+                    and value > 0 for value in per_shard),
+            f"scaling[{count}]: per_shard_capacity_rps must list {count} "
+            f"finite floats > 0",
+        )
+        levels = entry.get("levels")
+        expect(isinstance(levels, list) and len(levels) >= 1,
+               f"scaling[{count}]: levels must list >= 1 offered-load levels")
+        previous = 0.0
+        for level in levels:
+            rate = level.get("offered_rate")
+            expect(
+                isinstance(rate, (int, float)) and np.isfinite(rate)
+                and rate > previous,
+                f"scaling[{count}]: offered_rate values must strictly increase",
+            )
+            previous = float(rate)
+            value = level.get("achieved_rate")
+            expect(isinstance(value, (int, float)) and np.isfinite(value)
+                   and value > 0,
+                   f"scaling[{count}]: achieved_rate must be a finite float > 0")
+            for key in ("sent", "completed", "ok", "rejected", "deadline_missed"):
+                value = level.get(key)
+                expect(isinstance(value, int) and value >= 0,
+                       f"scaling[{count}]: {key} must be an int >= 0")
+        expect(entry.get("bit_identical") is True,
+               f"scaling[{count}]: bit_identical must be True (per-shard replay "
+               f"is asserted in-process)")
+        expect(isinstance(entry.get("replayed_batches"), int)
+               and entry["replayed_batches"] >= 1,
+               f"scaling[{count}]: replayed_batches must be an int >= 1")
+    summary = scaling.get("summary")
+    expect(isinstance(summary, dict), "scaling.summary must be a dict")
+    expect(summary.get("top_shards") == counts[-1],
+           "scaling.summary.top_shards must match the largest shard count")
+    ratio = summary.get("capacity_ratio")
+    expect(isinstance(ratio, (int, float)) and np.isfinite(ratio),
+           "scaling.summary.capacity_ratio must be a finite float")
+    expect(
+        abs(ratio - entries[-1]["capacity_estimate_rps"]
+            / entries[0]["capacity_estimate_rps"]) < 1e-9,
+        "scaling.summary.capacity_ratio must equal top/base capacity",
+    )
+    # The headline contract is >= 1.7x at 4 shards.  A 2-shard smoke
+    # sweep ideally doubles, but single-core probe jitter can eat most
+    # of a shard's margin — hold it to a looser floor that still proves
+    # the fleet scales at all.
+    floor = 1.7 if counts[-1] >= 4 else 1.3
+    expect(ratio >= floor,
+           f"scaling.summary.capacity_ratio must be >= {floor} at "
+           f"{counts[-1]} shards vs 1, got {ratio}")
 
 
 def validate_bench_record(record: dict) -> None:
@@ -1569,6 +1885,7 @@ def write_bench_records(
     suites: tuple[str, ...] | None = None,
     tenants: int = 4,
     load_duration: float = 1.0,
+    shards: int = 4,
 ) -> list[str]:
     """Run the selected benches and write one ``BENCH_<kind>.json`` each.
 
@@ -1578,7 +1895,8 @@ def write_bench_records(
     record (markedly slower: it runs the quick Table I grid three times).
     ``tenants`` sizes the serve record's ``multi_tenant`` section
     (``0`` disables it; otherwise >= 3).  ``load_duration`` is the
-    seconds of traffic per offered-load level in the ``load`` suite.
+    seconds of traffic per offered-load level in the ``load`` suite;
+    ``shards`` caps its ``scaling`` sweep (``< 2`` skips the section).
     """
     if suites is None:
         suites = _DEFAULT_SUITES
@@ -1596,6 +1914,7 @@ def write_bench_records(
             kwargs["tenants"] = tenants
         elif kind == "load":
             kwargs["duration"] = load_duration
+            kwargs["shards"] = shards
         record = runner(scale=scale, repeats=repeats, **kwargs)
         path = os.path.join(out_dir, f"BENCH_{kind}.json")
         with open(path, "w", encoding="utf-8") as handle:
@@ -1644,6 +1963,25 @@ def _format_load_record(record: dict) -> str:
         f"(replayed {record['replayed_batches']} batch(es) bit-identical: "
         f"{record['bit_identical']})"
     )
+    scaling = record.get("scaling")
+    if scaling:
+        lines.append(
+            f"scaling ({scaling['start_method']}, host_cpus="
+            f"{scaling['host_cpus']}):"
+        )
+        for entry in scaling["entries"]:
+            peak = max(level["achieved_rate"] for level in entry["levels"])
+            lines.append(
+                f"  {entry['shards']} shard(s): capacity est. "
+                f"{entry['capacity_estimate_rps']:>7.1f}/s  peak achieved "
+                f"{peak:>7.1f}/s  (replayed {entry['replayed_batches']} "
+                f"batch(es) bit-identical: {entry['bit_identical']})"
+            )
+        ratio = scaling["summary"]["capacity_ratio"]
+        lines.append(
+            f"  capacity ratio {scaling['summary']['top_shards']} vs 1 shard: "
+            f"{ratio:.2f}x"
+        )
     return "\n".join(lines)
 
 

@@ -325,6 +325,7 @@ def _bench(args: argparse.Namespace) -> int:
             suites=suites,
             tenants=args.tenants,
             load_duration=args.load_duration,
+            shards=args.shards,
         )
         for path in paths:
             with open(path, encoding="utf-8") as handle:
@@ -339,6 +340,7 @@ def _bench(args: argparse.Namespace) -> int:
                 kwargs["tenants"] = args.tenants
             elif kind == "load":
                 kwargs["duration"] = args.load_duration
+                kwargs["shards"] = args.shards
             record = _BENCH_SUITES[kind](scale=args.scale, repeats=args.repeats, **kwargs)
             print(format_bench_record(record))
             print()
@@ -348,28 +350,64 @@ def _bench(args: argparse.Namespace) -> int:
 def _serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.bench import _SERVE_SCALES, _multi_tenant_models
-    from repro.serve import MultiTenantEngine, ServeClient, ServeRequest, ServingFrontend
+    from repro.bench import _SERVE_SCALES, _multi_tenant_models, build_shard_tenant
+    from repro.serve import (
+        MultiTenantEngine,
+        ServeClient,
+        ServeRequest,
+        ServingFrontend,
+        ShardedEngine,
+    )
 
     if args.tenants < 3:
         print(f"repro serve: error: --tenants must be >= 3, got {args.tenants}")
         return 2
+    if args.shards < 1:
+        print(f"repro serve: error: --shards must be >= 1, got {args.shards}")
+        return 2
     static, metas = _multi_tenant_models(args.tenants)
     names = ["static"] + [f"meta_{index}" for index in range(len(metas))]
     engine = MultiTenantEngine()
+    sharded = None
     frontend = None
     try:
         for name, source in zip(names, [static, *metas]):
             engine.register(name, source)
-        frontend = ServingFrontend(
-            engine,
-            host=args.host,
-            port=args.port,
-            queue_limit=args.queue_limit,
-            target_batch_seconds=args.target_batch_ms / 1000.0,
-        )
+        if args.shards > 1:
+            # The in-process engine stays as the selftest reference; the
+            # fleet serves from worker processes behind the same frontend.
+            sharded = ShardedEngine(
+                args.shards,
+                queue_limit=args.queue_limit,
+                target_batch_seconds=args.target_batch_ms / 1000.0,
+            )
+            for name, source in zip(names, [static, *metas]):
+                kind = "static" if name == "static" else "meta"
+                index = 0 if name == "static" else int(name.rsplit("_", 1)[1])
+                sharded.register(
+                    name, source, builder=build_shard_tenant, args=(kind, index)
+                )
+            frontend = ServingFrontend(
+                scheduler=sharded, host=args.host, port=args.port
+            )
+        else:
+            frontend = ServingFrontend(
+                engine,
+                host=args.host,
+                port=args.port,
+                queue_limit=args.queue_limit,
+                target_batch_seconds=args.target_batch_ms / 1000.0,
+            )
         host, port = frontend.start_in_thread()
-        print(f"serving {len(names)} tenant(s) [{', '.join(names)}] on {host}:{port}")
+        topology = (
+            f"{args.shards} shard processes ({sharded.start_method})"
+            if sharded is not None
+            else "in-process engine"
+        )
+        print(
+            f"serving {len(names)} tenant(s) [{', '.join(names)}] on "
+            f"{host}:{port} via {topology}"
+        )
         if args.selftest:
             # One round trip per tenant over a real socket, each asserted
             # bit-identical to direct in-process dispatch.
@@ -404,7 +442,9 @@ def _serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         if frontend is not None:
-            frontend.stop_in_thread()
+            frontend.stop_in_thread()  # also drains a sharded scheduler
+        elif sharded is not None:
+            sharded.close()
         engine.close()
 
 
@@ -574,6 +614,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="load suite: seconds of traffic per offered-load level "
         "(3 levels; default: 1.0)",
     )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="load suite: top shard count for the scaling sweep "
+        "(powers of two up to N; < 2 skips the section; default: 4)",
+    )
     bench.set_defaults(func=_bench)
 
     serve = sub.add_parser(
@@ -607,6 +654,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cost budget one micro-batch aims for (default: 25)",
     )
     serve.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve the fleet from N worker processes behind the frontend "
+        "(1 = in-process engine, no workers; default: 1)",
+    )
     serve.add_argument(
         "--selftest",
         action="store_true",

@@ -233,16 +233,22 @@ class Tracer:
 
     # -- merge-back / export --------------------------------------------------
 
-    def absorb(self, span_dicts: list[dict]) -> None:
+    def absorb(self, span_dicts: list[dict], **attrs: object) -> None:
         """Attach worker-shipped span dicts under the current open span.
 
         With no span open they become roots.  Works regardless of
         ``enabled`` — like the metrics merge, the spans were gated by
-        the worker's own tracer.
+        the worker's own tracer.  ``attrs`` are stamped onto each
+        absorbed root span (without clobbering existing keys) — how
+        long-lived serving shards label their spans ``shard=<id>``.
         """
         if not span_dicts:
             return
         spans = [Span.from_dict(payload) for payload in span_dicts]
+        if attrs:
+            for span in spans:
+                for key, value in attrs.items():
+                    span.attrs.setdefault(key, value)
         parent = self.current()
         if parent is not None:
             parent.children.extend(spans)

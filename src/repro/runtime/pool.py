@@ -113,6 +113,45 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def resolve_start_method(method: str | None = None) -> str:
+    """Pick a multiprocessing start method for worker processes.
+
+    Explicit ``method`` wins (validated against the platform), then the
+    ``REPRO_SHARD_START`` environment variable, then ``fork`` where
+    available (cheapest: workers inherit the parent's imports), else
+    ``spawn``.  Long-lived serving shards honour this so CI can force
+    the portable ``spawn`` path.
+    """
+    import os
+
+    if method is None:
+        method = os.environ.get("REPRO_SHARD_START", "").strip() or None
+    available = multiprocessing.get_all_start_methods()
+    if method is not None:
+        if method not in available:
+            raise ConfigError(
+                f"start method {method!r} unavailable here; choose one of "
+                f"{', '.join(available)}"
+            )
+        return method
+    return "fork" if "fork" in available else "spawn"
+
+
+def merge_worker_obs(counters: dict, spans: list, **attrs: object) -> None:
+    """Fold one worker's shipped observability back into the parent.
+
+    The merge-back half of the pool contract: the worker recorded into
+    its own registry/tracer and shipped the snapshot + finished spans;
+    this merges the counters into :data:`repro.obs.OBS` and re-attaches
+    the spans under the parent's open span
+    (:meth:`repro.obs.trace.Tracer.absorb`).  ``attrs`` tag the absorbed
+    root spans — long-lived workers (serving shards) use this to label
+    everything they ship with ``shard=<id>``.
+    """
+    OBS.merge(counters)
+    TRACER.absorb(spans, **attrs)
+
+
 def resolve_jobs(jobs: int | None) -> int:
     """Normalize a ``--jobs`` value: ``None`` means one CPU's worth.
 
@@ -264,8 +303,7 @@ def _run_batch(
                 if handle.ready():
                     result = handle.get()
                     results[index] = result
-                    OBS.merge(result.counters)
-                    TRACER.absorb(result.spans)
+                    merge_worker_obs(result.counters, result.spans)
                     emit(index, result)
                     progressed = True
                 else:

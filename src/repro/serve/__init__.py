@@ -61,8 +61,10 @@ from repro.serve.registry import (
     program_key,
 )
 from repro.serve.scheduler import BatchScheduler
+from repro.serve.shard import ShardedEngine, TenantSpec
 from repro.serve.frontend import ServeClient, ServingFrontend
 from repro.serve.loadgen import run_load
+from repro.serve.codec import MAX_SEGMENT, decode_payload, encode_payload
 
 __all__ = [
     "AdapterEntry",
@@ -75,6 +77,7 @@ __all__ = [
     "ENGINES",
     "ERROR",
     "Engines",
+    "MAX_SEGMENT",
     "MultiTenantEngine",
     "OK",
     "PRECISIONS",
@@ -87,6 +90,8 @@ __all__ = [
     "ServeRequest",
     "ServeResult",
     "ServingFrontend",
+    "ShardedEngine",
+    "TenantSpec",
     "Timings",
     "build_engine",
     "clear_shared_engines",
@@ -95,6 +100,8 @@ __all__ = [
     "compile_seed_mapping",
     "compiles",
     "compiles_features",
+    "decode_payload",
+    "encode_payload",
     "fuse_program",
     "ingest_sample",
     "program_key",

@@ -53,6 +53,7 @@ Mutating parameters afterwards requires recompiling.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
 
 import numpy as np
@@ -184,6 +185,10 @@ class CompiledProgram:
         self.steps = tuple(steps)
         self.n_slots = n_slots
         self.parallel = optimize.resolve_parallel(parallel)
+        #: Serial-seconds gate before the thread scheduler engages (the
+        #: cost model for "does parallelism pay off here"); 0 disables
+        #: the gate.  See :func:`repro.serve.optimize.resolve_parallel_threshold`.
+        self.parallel_threshold = optimize.resolve_parallel_threshold()
         #: Arena recycling on/off; ``arena_poison`` NaN-fills every pooled
         #: buffer (the booby-trap tests flip it on a live program).
         self.arena = optimize.arena_enabled()
@@ -207,6 +212,11 @@ class CompiledProgram:
         self.arena_hits = 0
         self.arena_allocs = 0
         self.parallel_slot_counts: dict[str, int] = {}
+        self.parallel_skipped = 0
+        #: EMA of measured serial run seconds (None until the first
+        #: serial run of a parallel-capable program) — the cost-model
+        #: input the gate compares against :attr:`parallel_threshold`.
+        self._serial_seconds: float | None = None
         self._shapes: list[str | None] = [None] * len(self.steps)
 
     def __len__(self) -> int:
@@ -242,6 +252,7 @@ class CompiledProgram:
                 "arena_hits": self.arena_hits,
                 "arena_allocs": self.arena_allocs,
                 "parallel_slots": dict(self.parallel_slot_counts),
+                "parallel_skipped": self.parallel_skipped,
             }
 
     def run(self, *inputs: np.ndarray) -> np.ndarray:
@@ -263,7 +274,18 @@ class CompiledProgram:
         arena = Arena(poison=self.arena_poison) if self.arena else None
         from repro.obs import OBS  # local: keep the run loop import-light
 
-        if self.parallel > 1 and len(self.steps) > 1:
+        # Cost-model gate: a parallel-capable program engages the thread
+        # scheduler only once its *measured* serial run time clears the
+        # threshold — tiny programs stay serial (submit/wait overhead
+        # would dominate) and count a skip instead.
+        capable = self.parallel > 1 and len(self.steps) > 1
+        if capable and self.parallel_threshold > 0.0:
+            with self._counter_lock:
+                measured = self._serial_seconds
+            engage = measured is not None and measured >= self.parallel_threshold
+        else:
+            engage = capable
+        if engage:
             samples = optimize.run_parallel(self, values, arena)
             with self._counter_lock:
                 for sample in samples:
@@ -275,6 +297,7 @@ class CompiledProgram:
                 for sample in samples:
                     OBS.hist("serve.parallel.slots", sample)
         else:
+            serial_start = time.perf_counter() if capable else 0.0
             exempt = self._pool_exempt
             for index, (step, dead) in enumerate(zip(self.steps, self._release)):
                 ins = [values[slot] for slot in step.inputs]
@@ -286,6 +309,17 @@ class CompiledProgram:
                     values[slot] = None
                     if arena is not None and freed is not None and slot not in exempt:
                         arena.put(freed, values)
+            if capable:
+                elapsed = time.perf_counter() - serial_start
+                with self._counter_lock:
+                    self._serial_seconds = (
+                        elapsed
+                        if self._serial_seconds is None
+                        else 0.7 * self._serial_seconds + 0.3 * elapsed
+                    )
+                    self.parallel_skipped += 1
+                if OBS.enabled:
+                    OBS.inc("serve.parallel.skipped")
         if arena is not None:
             with self._counter_lock:
                 self.arena_hits += arena.hits

@@ -32,10 +32,7 @@ the load bench use.
 from __future__ import annotations
 
 import asyncio
-import io
-import json
 import socket
-import struct
 import threading
 
 import numpy as np
@@ -43,6 +40,17 @@ import numpy as np
 from repro.errors import ServeError
 from repro.obs import OBS
 from repro.serve.api import ERROR, OK, ServeRequest, ServeResult, Timings
+from repro.serve.codec import (
+    _LEN,
+    MAX_SEGMENT,
+    _checked_length,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame as _read_frame,
+    read_frame_sync as _read_frame_sync,
+    recv_exactly as _recv_exactly,
+)
 from repro.serve.registry import MultiTenantEngine
 from repro.serve.scheduler import BatchScheduler
 
@@ -54,84 +62,8 @@ __all__ = [
     "encode_payload",
 ]
 
-_LEN = struct.Struct(">I")
-
-#: Largest accepted header or payload, a sanity bound against garbage
-#: frames (64 MiB covers any realistic batch of image samples here).
-MAX_SEGMENT = 64 * 1024 * 1024
-
-
-# -- framing ------------------------------------------------------------------
-
-
-def encode_payload(array: np.ndarray | None) -> bytes:
-    """``.npy`` bytes for ``array`` (empty bytes for ``None``)."""
-    if array is None:
-        return b""
-    buffer = io.BytesIO()
-    np.save(buffer, np.asarray(array), allow_pickle=False)
-    return buffer.getvalue()
-
-
-def decode_payload(payload: bytes) -> np.ndarray | None:
-    """Inverse of :func:`encode_payload` (lossless round trip)."""
-    if not payload:
-        return None
-    return np.load(io.BytesIO(payload), allow_pickle=False)
-
-
-def encode_frame(header: dict, payload: bytes = b"") -> bytes:
-    """One wire frame: length-prefixed JSON header + length-prefixed payload."""
-    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    return _LEN.pack(len(head)) + head + _LEN.pack(len(payload)) + payload
-
-
-def _checked_length(raw: bytes, what: str) -> int:
-    (length,) = _LEN.unpack(raw)
-    if length > MAX_SEGMENT:
-        raise ServeError(f"frame {what} of {length} bytes exceeds {MAX_SEGMENT}")
-    return length
-
-
-async def _read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes] | None:
-    """Read one frame; ``None`` on clean EOF at a frame boundary."""
-    try:
-        raw = await reader.readexactly(_LEN.size)
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            return None
-        raise ServeError("connection closed mid-frame") from exc
-    head = await reader.readexactly(_checked_length(raw, "header"))
-    try:
-        header = json.loads(head.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ServeError(f"undecodable frame header: {exc}") from exc
-    if not isinstance(header, dict):
-        raise ServeError(f"frame header must be a JSON object, got {header!r}")
-    raw = await reader.readexactly(_LEN.size)
-    payload = await reader.readexactly(_checked_length(raw, "payload"))
-    return header, payload
-
-
-def _recv_exactly(sock: socket.socket, count: int) -> bytes:
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise ServeError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def _read_frame_sync(sock: socket.socket) -> tuple[dict, bytes]:
-    head = _recv_exactly(sock, _checked_length(_recv_exactly(sock, _LEN.size), "header"))
-    header = json.loads(head.decode("utf-8"))
-    payload = _recv_exactly(
-        sock, _checked_length(_recv_exactly(sock, _LEN.size), "payload")
-    )
-    return header, payload
+# Framing lives in repro.serve.codec (shared with the shard IPC links);
+# the private names above are re-exported for backwards compatibility.
 
 
 # -- the server ---------------------------------------------------------------
@@ -144,21 +76,30 @@ class ServingFrontend:
     (which the frontend owns unless handed one); ``host``/``port`` pick
     the bind address, ``port=0`` an ephemeral port (read it back from
     :attr:`address` after ``start``).
+
+    ``scheduler`` may be anything speaking the scheduler surface —
+    ``submit(request) -> Future[ServeResult]``, ``stats()``,
+    ``close(drain_timeout)`` — which is how a
+    :class:`~repro.serve.shard.ShardedEngine` mounts behind the same
+    frontend (pass ``engine=None`` then; the frontend never touches the
+    engine directly).
     """
 
     def __init__(
         self,
-        engine: MultiTenantEngine,
+        engine: MultiTenantEngine | None = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        scheduler: BatchScheduler | None = None,
+        scheduler: object | None = None,
         queue_limit: int = 256,
         max_batch: int | None = None,
         target_batch_seconds: float = 0.025,
         drain_timeout: float | None = None,
         record_batches: int = 0,
     ) -> None:
+        if scheduler is None and engine is None:
+            raise ServeError("ServingFrontend needs an engine or a scheduler")
         self.engine = engine
         self.scheduler = (
             scheduler
@@ -269,11 +210,17 @@ class ServingFrontend:
                 await self._respond(writer, write_lock, {"id": request_id, "status": OK})
                 return
             if op == "stats":
-                await self._respond(
-                    writer,
-                    write_lock,
-                    {"id": request_id, "status": OK, "stats": self.scheduler.stats()},
-                )
+                header_out = {
+                    "id": request_id,
+                    "status": OK,
+                    "stats": self.scheduler.stats(),
+                }
+                # Sharded schedulers also expose the per-shard breakdown;
+                # the merged snapshot above stays the primary answer.
+                shard_stats = getattr(self.scheduler, "shard_stats", None)
+                if callable(shard_stats):
+                    header_out["shards"] = shard_stats()
+                await self._respond(writer, write_lock, header_out)
                 return
             if op != "serve":
                 raise ServeError(f"unknown op {op!r}")
@@ -422,12 +369,20 @@ class ServeClient:
             error=response.get("error"),
         )
 
-    def stats(self) -> dict:
-        """The server's unified metrics snapshot."""
+    def stats(self, per_shard: bool = False) -> dict:
+        """The server's unified metrics snapshot.
+
+        ``per_shard=True`` returns ``{"merged": ..., "shards": {...}}``
+        — the cross-shard breakdown a sharded server attaches (an empty
+        ``shards`` dict on single-process servers).
+        """
         response, __ = self._roundtrip({"op": "stats"})
         if response.get("status") != OK:
             raise ServeError(f"stats failed: {response.get('error')}")
-        return response.get("stats") or {}
+        merged = response.get("stats") or {}
+        if per_shard:
+            return {"merged": merged, "shards": response.get("shards") or {}}
+        return merged
 
     def ping(self) -> bool:
         response, __ = self._roundtrip({"op": "ping"})

@@ -98,6 +98,36 @@ def resolve_parallel(parallel: int | None) -> int:
     return parallel
 
 
+#: Measured serial run seconds below which the thread scheduler is a
+#: net loss: on programs this small the submit/wait overhead dominates
+#: the kernels and parallel execution *slows the program down* (the
+#: "when does sharding pay off" headroom from the PR 7 matrix).  The
+#: crossover on the bench backbones sits around a couple of
+#: milliseconds of serial work per run.
+PARALLEL_MIN_SERIAL_SECONDS = 0.002
+
+
+def resolve_parallel_threshold(threshold: float | None = None) -> float:
+    """Serial-seconds gate for the thread scheduler.
+
+    A program compiled with ``parallel > 1`` first runs serially and
+    measures itself; the dependency-graph scheduler engages only once
+    the measured serial run time reaches this threshold
+    (``REPRO_SERVE_PARALLEL_MIN_SECONDS``, default
+    :data:`PARALLEL_MIN_SERIAL_SECONDS`).  ``0`` disables the gate and
+    engages parallel execution unconditionally.
+    """
+    if threshold is None:
+        raw = os.environ.get("REPRO_SERVE_PARALLEL_MIN_SECONDS", "").strip()
+        threshold = float(raw) if raw else PARALLEL_MIN_SERIAL_SECONDS
+    threshold = float(threshold)
+    if threshold < 0:
+        raise ServeError(
+            f"serve parallel threshold must be >= 0 seconds, got {threshold}"
+        )
+    return threshold
+
+
 def quantize_weight(array: np.ndarray) -> np.ndarray:
     """Symmetric per-channel int8 fake-quantization of a weight matrix.
 

@@ -549,6 +549,7 @@ class AdapterRegistry:
             "quantized": 0,
             "arena_hits": 0,
             "arena_allocs": 0,
+            "parallel_skipped": 0,
         }
         buckets: dict[str, int] = {}
         seen: set[int] = set()
@@ -1221,6 +1222,10 @@ class MultiTenantEngine:
                     "kind": "histogram",
                     "calls": sum(programs["parallel_slots"].values()),
                     "buckets": dict(programs["parallel_slots"]),
+                },
+                "serve.parallel.skipped": {
+                    "kind": "counter",
+                    "calls": int(programs["parallel_skipped"]),
                 },
             }
         )

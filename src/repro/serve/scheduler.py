@@ -59,8 +59,11 @@ from repro.serve.registry import MultiTenantEngine
 
 __all__ = ["BatchScheduler"]
 
-#: Per-sample cost assumed for an adapter before its first measured
-#: batch (seconds); only shapes the very first batch size.
+#: Per-sample cost assumed before *any* batch has been measured
+#: (seconds); only shapes the very first batch the scheduler ever
+#: packs.  Once one batch has run, unknown adapters are seeded from the
+#: first observed batch instead — a new tenant on a fast host is not
+#: mis-packed against this flat prior.
 DEFAULT_SAMPLE_SECONDS = 0.005
 
 #: EMA smoothing for per-adapter sample-cost estimates.
@@ -146,6 +149,9 @@ class BatchScheduler:
         self._seq = 0
         self._batches = 0
         self._costs: dict[str, float] = {}
+        #: Per-sample seconds of the first measured batch; the cold-start
+        #: prior for adapters with no EMA entry yet (None until then).
+        self._default_cost: float | None = None
         self._metrics = MetricsRegistry(enabled=True)
         self._closed = False
         self._worker: threading.Thread | None = None
@@ -233,10 +239,15 @@ class BatchScheduler:
             batch: list[_Pending] = []
             cost = 0.0
             taken = 0
+            unknown = (
+                DEFAULT_SAMPLE_SECONDS
+                if self._default_cost is None
+                else self._default_cost
+            )
             for item in self._pending:
                 if len(batch) >= self.max_batch:
                     break
-                predicted = self._costs.get(item.adapter, DEFAULT_SAMPLE_SECONDS)
+                predicted = self._costs.get(item.adapter, unknown)
                 if batch and cost + predicted > self.target_batch_seconds:
                     break
                 batch.append(item)
@@ -288,6 +299,8 @@ class BatchScheduler:
                 return
         elapsed = time.perf_counter() - started
         per_sample = elapsed / max(len(live), 1)
+        if self._default_cost is None:
+            self._default_cost = per_sample
         for item in live:
             previous = self._costs.get(item.adapter)
             self._costs[item.adapter] = (
@@ -306,6 +319,18 @@ class BatchScheduler:
         """Current per-adapter EMA of per-sample run seconds."""
         with self._lock:
             return dict(self._costs)
+
+    def default_sample_cost(self) -> float:
+        """Predicted per-sample cost for an adapter never batched before.
+
+        The flat :data:`DEFAULT_SAMPLE_SECONDS` prior only until the
+        first batch is measured; the first observed batch's per-sample
+        seconds afterwards.
+        """
+        with self._lock:
+            if self._default_cost is None:
+                return DEFAULT_SAMPLE_SECONDS
+            return self._default_cost
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -278,9 +278,12 @@ class TestLoadBench:
     def record(self):
         # A real frontend + loadgen run, shortened: three offered-load
         # levels at 0.3 s each still exercise admission, batching and the
-        # per-batch replay identity check end to end.
+        # per-batch replay identity check end to end.  ``shards=0`` skips
+        # the scaling sweep — TestScalingSection covers it separately.
         return json.loads(
-            json.dumps(run_load_bench(scale="tiny", repeats=1, duration=0.3))
+            json.dumps(
+                run_load_bench(scale="tiny", repeats=1, duration=0.3, shards=0)
+            )
         )
 
     def test_load_record_validates_and_formats(self, record):
@@ -353,14 +356,86 @@ class TestLoadBench:
         with pytest.raises(ValueError, match="increasing"):
             run_load_bench(scale="tiny", load_factors=(1.0, 0.5, 2.0))
 
+    def test_shards_below_two_skip_the_scaling_section(self, record):
+        assert "scaling" not in record
+
     def test_load_suite_is_opt_in(self, tmp_path):
         paths = write_bench_records(
             str(tmp_path), scale="tiny", repeats=1, suites=("load",),
-            load_duration=0.3,
+            load_duration=0.3, shards=0,
         )
         assert [p.rsplit("/", 1)[-1] for p in paths] == ["BENCH_load.json"]
         with open(paths[0], encoding="utf-8") as handle:
             validate_bench_record(json.load(handle))
+
+
+class TestScalingSection:
+    @pytest.fixture(scope="class")
+    def record(self):
+        # 1 and 2 shards, two short offered-load levels each, per-shard
+        # capacity probes and recorded-batch replays included — the full
+        # scaling machinery at the smallest non-trivial size.
+        return json.loads(
+            json.dumps(
+                run_load_bench(scale="tiny", repeats=1, duration=0.25, shards=2)
+            )
+        )
+
+    def test_scaling_section_validates_and_formats(self, record):
+        validate_bench_record(record)
+        scaling = record["scaling"]
+        assert scaling["host_cpus"] >= 1
+        assert scaling["start_method"] in ("fork", "spawn", "forkserver")
+        assert scaling["shard_counts"] == [1, 2]
+        for count, entry in zip([1, 2], scaling["entries"]):
+            assert entry["shards"] == count
+            assert len(entry["per_shard_capacity_rps"]) == count
+            assert entry["capacity_estimate_rps"] == pytest.approx(
+                sum(entry["per_shard_capacity_rps"])
+            )
+            # Identity is asserted in-process; the record pins it too.
+            assert entry["bit_identical"] is True
+            assert entry["replayed_batches"] >= 1
+            for level in entry["levels"]:
+                assert level["completed"] == (
+                    level["ok"] + level["rejected"] + level["deadline_missed"]
+                )
+        # Two isolated single-shard probes must sum to near-2x capacity
+        # (the validator's 2-shard floor; 1.7 is enforced from 4 shards).
+        assert scaling["summary"]["capacity_ratio"] >= 1.3
+        text = format_bench_record(record)
+        assert "scaling" in text and "capacity ratio" in text
+
+    def test_validate_rejects_corrupt_scaling_sections(self, record):
+        def corrupted(mutate):
+            clone = json.loads(json.dumps(record))
+            mutate(clone["scaling"])
+            return clone
+
+        for mutate, match in (
+            (lambda s: s.update(host_cpus=0), "host_cpus"),
+            (lambda s: s.update(start_method="thread"), "start_method"),
+            (lambda s: s.update(shard_counts=[2, 1]), "shard_counts"),
+            (lambda s: s["entries"].reverse(), "misordered"),
+            (lambda s: s["entries"][1].update(per_shard_capacity_rps=[1.0]),
+             "per_shard_capacity_rps"),
+            (lambda s: s["entries"][0].update(levels=[]), "levels"),
+            (lambda s: s["entries"][0].update(bit_identical=False),
+             "bit_identical"),
+            (lambda s: s["entries"][0].update(replayed_batches=0),
+             "replayed_batches"),
+            (lambda s: s["summary"].update(top_shards=4), "top_shards"),
+        ):
+            with pytest.raises(ValueError, match=match):
+                validate_bench_record(corrupted(mutate))
+        # A fleet that stopped scaling cannot validate: pin both entries to
+        # the same capacity (ratio 1.0) and the ratio floor trips.
+        flat = json.loads(json.dumps(record))
+        base = flat["scaling"]["entries"][0]["capacity_estimate_rps"]
+        flat["scaling"]["entries"][1]["capacity_estimate_rps"] = base
+        flat["scaling"]["summary"]["capacity_ratio"] = 1.0
+        with pytest.raises(ValueError, match="capacity_ratio must be >="):
+            validate_bench_record(flat)
 
 
 class TestParallelBenchSection:

@@ -206,6 +206,69 @@ class TestBatchScheduler:
         finally:
             scheduler.close()
 
+    def test_cold_start_prior_seeds_from_the_first_measured_batch(self, engine, rng):
+        from repro.serve.scheduler import DEFAULT_SAMPLE_SECONDS
+
+        scheduler = BatchScheduler(engine, queue_limit=8)
+        try:
+            # Before any batch, the prior is the flat default.
+            assert scheduler.default_sample_cost() == DEFAULT_SAMPLE_SECONDS
+            done = scheduler.submit(
+                ServeRequest(sample=images_for(rng, 1)[0], adapter="solo")
+            )
+            assert done.result(timeout=10.0).ok
+            deadline = time.perf_counter() + 5.0
+            while (
+                scheduler.default_sample_cost() == DEFAULT_SAMPLE_SECONDS
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.005)
+            seeded = scheduler.default_sample_cost()
+            # A never-seen adapter now packs with measured reality, not
+            # the flat 5 ms guess.
+            assert seeded > 0 and seeded != DEFAULT_SAMPLE_SECONDS
+        finally:
+            scheduler.close()
+
+    def test_warm_adapter_packing_ignores_the_cold_start_prior(self, engine, rng):
+        release = threading.Event()
+        original = engine.serve
+
+        def blocked(requests):
+            release.wait(timeout=30.0)
+            return original(requests)
+
+        scheduler = BatchScheduler(engine, queue_limit=8, record_batches=8)
+        try:
+            samples = images_for(rng, 3)
+            warm = scheduler.submit(ServeRequest(sample=samples[0], adapter="solo"))
+            assert warm.result(timeout=10.0).ok  # "solo" now has an EMA entry
+            engine.serve = blocked
+            futures = [scheduler.submit(ServeRequest(sample=samples[0], adapter="solo"))]
+            deadline = time.perf_counter() + 5.0
+            while scheduler.depth() > 0 and time.perf_counter() < deadline:
+                time.sleep(0.005)
+            # Queue two more while blocked, with an absurd cold-start prior:
+            # a warm adapter's packing must use its own EMA, so both still
+            # ride one batch.
+            with scheduler._lock:
+                scheduler._default_cost = 1e6
+            futures += [
+                scheduler.submit(ServeRequest(sample=sample, adapter="solo"))
+                for sample in samples[1:3]
+            ]
+            release.set()
+            assert all(future.result(timeout=10.0).ok for future in futures)
+            assert [len(requests) for requests, __ in scheduler.recorded][:3] == [
+                1,
+                1,
+                2,
+            ]
+        finally:
+            release.set()
+            engine.serve = original
+            scheduler.close()
+
 
 class TestFrontendIntegration:
     def test_ping_stats_and_single_round_trip(self, engine, rng):

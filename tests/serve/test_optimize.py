@@ -277,6 +277,7 @@ class TestParallelIdentity:
         images = images_for(rng, 6)
         serial = compile_features(model, precision=precision, parallel=1)
         threaded = compile_features(model, precision=precision, parallel=4)
+        threaded.parallel_threshold = 0.0  # pin the cost gate off
         assert threaded.parallel == 4
         assert np.array_equal(threaded.run(images), serial.run(images))
         counters = threaded.counters()
@@ -287,7 +288,47 @@ class TestParallelIdentity:
         images = images_for(rng, 4)
         serial = compile_features(model, precision="f64", parallel=1)
         threaded = compile_features(model, precision="f64", parallel=3)
+        threaded.parallel_threshold = 0.0
         assert np.array_equal(threaded.run(images), serial.run(images))
+
+
+class TestParallelCostGate:
+    def test_gate_skips_below_threshold_then_engages(self, rng):
+        model = resnet_small(4, rng)
+        images = images_for(rng, 4)
+        program = compile_features(model, precision="f64", parallel=4)
+        program.parallel_threshold = 1e9  # nothing clears this bar
+        serial = compile_features(model, precision="f64", parallel=1)
+        for _ in range(3):
+            assert np.array_equal(program.run(images), serial.run(images))
+        counters = program.counters()
+        assert counters["parallel_skipped"] == 3
+        assert sum(counters["parallel_slots"].values()) == 0
+        # Once the measured serial time clears the threshold, the thread
+        # scheduler engages and skips stop accruing.
+        program.parallel_threshold = 1e-9
+        assert np.array_equal(program.run(images), serial.run(images))
+        counters = program.counters()
+        assert counters["parallel_skipped"] == 3
+        assert sum(counters["parallel_slots"].values()) > 0
+
+    def test_first_run_measures_before_engaging(self, rng):
+        # With a finite threshold the first run is always serial — the
+        # gate needs a measurement before it can decide.
+        program = compile_features(resnet_small(4, rng), parallel=4)
+        assert program.parallel_threshold > 0.0
+        program.run(images_for(rng, 2))
+        assert program.counters()["parallel_skipped"] >= 1
+
+    def test_threshold_env_override(self, monkeypatch):
+        from repro.serve.optimize import resolve_parallel_threshold
+
+        monkeypatch.setenv("REPRO_SERVE_PARALLEL_MIN_SECONDS", "0.5")
+        assert resolve_parallel_threshold(None) == 0.5
+        monkeypatch.setenv("REPRO_SERVE_PARALLEL_MIN_SECONDS", "0")
+        assert resolve_parallel_threshold(None) == 0.0
+        with pytest.raises(ServeError):
+            resolve_parallel_threshold(-1.0)
 
 
 class TestPrecisionTiers:
@@ -339,6 +380,7 @@ class TestEngineCounters:
             "serve.arena.hit",
             "serve.arena.alloc",
             "serve.parallel.slots",
+            "serve.parallel.skipped",
         ):
             assert name in stats, name
         assert stats["serve.fusion.steps_eliminated"]["calls"] > 0
