@@ -104,6 +104,42 @@ print(
 )
 PYEOF
 
+# Robustness smoke: the opt-in corruption-shift matrix at its smallest
+# headline-capable size (2 methods x 1 corruption x 2 severities).  The
+# bench asserts its three bit-identity pins in-process — severity-0 ==
+# clean Table I, parallel == serial, resumed == serial — so the record
+# existing at all means they held; re-validate the schema round-trip.
+PYTHONPATH=src python - "$out_dir/BENCH_robustness.json" <<'PYEOF'
+import json, sys
+
+from repro.bench import run_robustness_bench, validate_bench_record
+
+record = run_robustness_bench(
+    scale="tiny",
+    repeats=1,
+    jobs=2,
+    methods=("lora", "meta_lora_cp"),
+    corruptions=("contrast",),
+    severities=(0, 3),
+)
+with open(sys.argv[1], "w", encoding="utf-8") as handle:
+    json.dump(record, handle, indent=2, sort_keys=True)
+    handle.write("\n")
+with open(sys.argv[1], encoding="utf-8") as handle:
+    loaded = json.load(handle)
+validate_bench_record(loaded)
+assert loaded["severity0_bit_identical"] is True
+assert loaded["parallel"]["cells_equal"] is True
+assert loaded["resume"]["cells_equal"] is True
+print(
+    "bench_smoke: robustness ok "
+    f"({len(loaded['cells'])} cells, headline delta "
+    f"{loaded['headline']['corrupted_delta']:+.4f}, "
+    f"{loaded['resume']['restored_cells']} cell(s) restored on resume)"
+)
+PYEOF
+test -f "$out_dir/BENCH_robustness.json" || { echo "bench_smoke: missing BENCH_robustness.json" >&2; exit 1; }
+
 # Durable-run smoke: inject a crash into one cell so the first run exits 1
 # with a partial report and a checkpointed run dir, then resume it clean.
 run_dir="$out_dir/table1_smoke_run"

@@ -381,6 +381,239 @@ def run_table1_parallel_bench(
     }
 
 
+# -- robustness-under-shift bench ---------------------------------------------
+
+#: seeds for the robustness grid bench per scale.
+_ROBUSTNESS_SEEDS = {"tiny": (0,), "small": (0, 1)}
+
+
+def _robustness_bench_config(
+    methods: tuple[str, ...] | None = None,
+    corruptions: tuple[str, ...] | None = None,
+    severities: tuple[int, ...] | None = None,
+):
+    """The seeded robustness grid the bench runs: the quick Table I
+    protocol (training is the bottleneck; corruption cells are
+    evaluation-only) over the full corruption catalog by default."""
+    from dataclasses import replace as dc_replace
+
+    from repro.eval.robustness import RobustnessConfig
+
+    config = RobustnessConfig().quick()
+    overrides: dict = {}
+    if methods is not None:
+        overrides["table1"] = dc_replace(config.table1, methods=tuple(methods))
+        stream_methods = tuple(
+            m for m in config.stream_methods if m in methods
+        ) or (methods[0],)
+        overrides["stream_methods"] = stream_methods
+    if corruptions is not None:
+        overrides["corruptions"] = tuple(corruptions)
+    if severities is not None:
+        overrides["severities"] = tuple(severities)
+    return dc_replace(config, **overrides) if overrides else config
+
+
+def _cells_equal(a: dict, b: dict) -> bool:
+    """Exact (bit-level) equality of two key->RobustnessCell mappings."""
+    if set(a) != set(b):
+        return False
+    return all(a[key].accuracy_by_k == b[key].accuracy_by_k for key in a)
+
+
+def run_robustness_bench(
+    scale: str = "tiny",
+    repeats: int = 1,
+    jobs: int = 2,
+    seeds: tuple[int, ...] | None = None,
+    methods: tuple[str, ...] | None = None,
+    corruptions: tuple[str, ...] | None = None,
+    severities: tuple[int, ...] | None = None,
+) -> dict:
+    """The robustness-under-shift benchmark matrix (``BENCH_robustness.json``).
+
+    Runs the ``seeds × methods × corruptions × severities`` grid
+    (:func:`repro.runtime.run_robustness_grid`) and asserts its three
+    bit-identity pins **in-process** — the record only exists if every
+    check passed:
+
+    - **severity-0** cells equal the clean Table I evaluation
+      (``run_table1``) exactly;
+    - the **parallel** grid (``jobs`` workers) equals the serial one;
+    - a **resumed** grid (two checkpoints deleted, then ``resume=``)
+      equals the serial one.
+
+    On top of the per-cell accuracies the record carries per-method
+    degradation slopes (accuracy lost per severity rung, least squares),
+    the MetaLoRA-vs-static-LoRA delta on corrupted cells (the headline
+    number), and the streaming-drift section
+    (:func:`repro.eval.robustness.run_robustness_stream`).
+    """
+    import shutil
+    import tempfile
+
+    from repro.eval.protocol import run_table1
+    from repro.eval.robustness import degradation_slope, run_robustness_stream
+    from repro.runtime import run_robustness_grid
+
+    if scale not in _SCALES:
+        raise ConfigError(f"scale must be one of {sorted(_SCALES)}")
+    config = _robustness_bench_config(methods, corruptions, severities)
+    table1 = config.table1
+    if seeds is None:
+        seeds = _ROBUSTNESS_SEEDS.get(scale, _ROBUSTNESS_SEEDS["tiny"])
+    seeds = tuple(int(s) for s in seeds)
+    if 0 not in config.severities:
+        raise ConfigError("the robustness bench needs severity 0 (the clean pin)")
+
+    # Serial grid, checkpointing into a scratch run dir (reused by the
+    # resume pin below).  Timing includes checkpoint writes.
+    scratch = tempfile.mkdtemp(prefix="robustness_bench_")
+    try:
+        start = time.perf_counter()
+        serial = run_robustness_grid(config, seeds, jobs=1, out_dir=scratch)
+        serial_seconds = time.perf_counter() - start
+
+        # Pin 1: severity-0 cells == the clean Table I evaluation.
+        for seed in seeds:
+            clean = run_table1(table1, seed)
+            for method in table1.methods:
+                for corruption in config.corruptions:
+                    cell = serial.cells[(seed, method, corruption, 0)]
+                    if cell.accuracy_by_k != clean[method].accuracy_by_k:
+                        raise ValueError(
+                            f"severity-0 cell {(seed, method, corruption)} "
+                            f"diverged from the clean Table I evaluation"
+                        )
+
+        # Pin 2: parallel == serial.
+        start = time.perf_counter()
+        parallel = run_robustness_grid(config, seeds, jobs=jobs)
+        parallel_seconds = time.perf_counter() - start
+        if not _cells_equal(serial.cells, parallel.cells):
+            raise ValueError("parallel robustness cells diverged from serial")
+
+        # Pin 3: resumed == serial.  Drop two checkpoints (first and last
+        # in filename order, typically different (seed, method) groups so
+        # the resume also rebuilds contexts) and resume the run dir.
+        cells_dir = os.path.join(scratch, "cells")
+        files = sorted(
+            name for name in os.listdir(cells_dir) if name.endswith(".npz")
+        )
+        removed = [files[0], files[-1]]
+        for name in removed:
+            os.unlink(os.path.join(cells_dir, name))
+        resumed = run_robustness_grid(config, seeds, jobs=1, resume=scratch)
+        if not _cells_equal(serial.cells, resumed.cells):
+            raise ValueError("resumed robustness cells diverged from serial")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    # Mean accuracy over seeds and ks per (method, corruption, severity).
+    def mean_accuracy(method: str, corruption: str, severity: int) -> float:
+        values = []
+        for seed in seeds:
+            cell = serial.cells[(seed, method, corruption, severity)]
+            values.extend(cell.accuracy_by_k[k] for k in table1.ks)
+        return float(np.mean(values))
+
+    severities_sorted = sorted(config.severities)
+    slopes: dict[str, dict] = {}
+    for method in table1.methods:
+        per_corruption = {}
+        for corruption in config.corruptions:
+            per_corruption[corruption] = degradation_slope(
+                severities_sorted,
+                [mean_accuracy(method, corruption, s) for s in severities_sorted],
+            )
+        slopes[method] = {
+            "per_corruption": per_corruption,
+            "mean": float(np.mean(list(per_corruption.values()))),
+        }
+
+    # Headline: MetaLoRA-vs-static-LoRA accuracy delta, on corrupted cells.
+    baseline = "lora"
+    meta_methods = [
+        m for m in table1.methods if m in ("meta_lora_cp", "meta_lora_tr")
+    ]
+    if baseline not in table1.methods or not meta_methods:
+        raise ConfigError(
+            "the robustness bench needs 'lora' plus a meta method "
+            "for the headline delta"
+        )
+
+    def delta_at(severity_filter) -> float:
+        deltas = []
+        for corruption in config.corruptions:
+            for severity in config.severities:
+                if not severity_filter(severity):
+                    continue
+                meta = np.mean(
+                    [mean_accuracy(m, corruption, severity) for m in meta_methods]
+                )
+                deltas.append(meta - mean_accuracy(baseline, corruption, severity))
+        return float(np.mean(deltas))
+
+    headline = {
+        "baseline": baseline,
+        "meta_methods": meta_methods,
+        "corrupted_delta": delta_at(lambda s: s > 0),
+        "clean_delta": delta_at(lambda s: s == 0),
+    }
+
+    stream = run_robustness_stream(config, seeds[0])
+
+    cells = [
+        {
+            "seed": int(seed),
+            "method": method,
+            "corruption": corruption,
+            "severity": int(severity),
+            "accuracy_by_k": {
+                str(k): float(v) for k, v in cell.accuracy_by_k.items()
+            },
+        }
+        for (seed, method, corruption, severity), cell in sorted(
+            serial.cells.items()
+        )
+    ]
+
+    record = {
+        "schema": SCHEMA,
+        "kind": "robustness",
+        "scale": scale,
+        "repeats": int(repeats),
+        "grid": {
+            "backbone": table1.backbone,
+            "seeds": [int(s) for s in seeds],
+            "methods": list(table1.methods),
+            "corruptions": list(config.corruptions),
+            "severities": [int(s) for s in config.severities],
+            "ks": [int(k) for k in table1.ks],
+        },
+        "cells": cells,
+        "severity0_bit_identical": True,
+        "parallel": {
+            "jobs": int(jobs),
+            "host_cpus": int(os.cpu_count() or 1),
+            "serial_seconds": float(serial_seconds),
+            "parallel_seconds": float(parallel_seconds),
+            "cells_equal": True,
+        },
+        "resume": {
+            "removed_cells": len(removed),
+            "restored_cells": len(resumed.restored),
+            "cells_equal": True,
+        },
+        "slopes": slopes,
+        "headline": headline,
+        "stream": stream,
+        "summary": {"headline_delta": headline["corrupted_delta"]},
+    }
+    validate_bench_record(record)
+    return record
+
+
 # -- serving bench -------------------------------------------------------------
 
 #: sample-set and chunk sizes for the serve bench per scale.
@@ -1634,6 +1867,148 @@ def _validate_scaling_section(
            f"{counts[-1]} shards vs 1, got {ratio}")
 
 
+def _validate_robustness_record(
+    record: dict, expect: Callable[[bool, str], None]
+) -> None:
+    """The ``kind == "robustness"`` branch of :func:`validate_bench_record`."""
+
+    def finite(value) -> bool:
+        return isinstance(value, (int, float)) and np.isfinite(value)
+
+    grid = record.get("grid")
+    expect(isinstance(grid, dict), "grid must be a dict")
+    seeds = grid.get("seeds")
+    expect(isinstance(seeds, list) and seeds
+           and all(isinstance(s, int) for s in seeds),
+           "grid.seeds must be a non-empty list of ints")
+    methods = grid.get("methods")
+    expect(isinstance(methods, list) and len(methods) >= 2
+           and all(isinstance(m, str) and m for m in methods),
+           "grid.methods must list >= 2 methods")
+    corruptions = grid.get("corruptions")
+    expect(isinstance(corruptions, list) and corruptions
+           and all(isinstance(c, str) and c for c in corruptions),
+           "grid.corruptions must be a non-empty list of names")
+    severities = grid.get("severities")
+    expect(isinstance(severities, list) and len(severities) >= 2
+           and all(isinstance(s, int) and 0 <= s <= 5 for s in severities)
+           and len(set(severities)) == len(severities),
+           "grid.severities must list >= 2 distinct severities in 0..5")
+    expect(0 in (severities or []),
+           "grid.severities must include 0 (the clean pin)")
+    ks = grid.get("ks")
+    expect(isinstance(ks, list) and ks and all(isinstance(k, int) and k >= 1 for k in ks),
+           "grid.ks must be a non-empty list of positive ints")
+
+    cells = record.get("cells")
+    expect(isinstance(cells, list) and cells, "cells must be a non-empty list")
+    wanted = {
+        (seed, method, corruption, severity)
+        for seed in seeds for method in methods
+        for corruption in corruptions for severity in severities
+    }
+    seen = set()
+    for cell in cells:
+        expect(isinstance(cell, dict), "every cell must be a dict")
+        key = (cell.get("seed"), cell.get("method"),
+               cell.get("corruption"), cell.get("severity"))
+        expect(key in wanted, f"cell {key} is outside the declared grid")
+        expect(key not in seen, f"duplicate cell {key}")
+        seen.add(key)
+        accuracy = cell.get("accuracy_by_k")
+        expect(isinstance(accuracy, dict) and accuracy,
+               f"cell {key}: accuracy_by_k must be a non-empty dict")
+        expect({int(k) for k in accuracy} == set(ks),
+               f"cell {key}: accuracy_by_k must cover grid.ks exactly")
+        for k, value in accuracy.items():
+            expect(finite(value) and 0.0 <= value <= 1.0,
+                   f"cell {key}: accuracy_by_k[{k}] must be a float in [0, 1]")
+    expect(seen == wanted,
+           f"cells must cover the full grid ({len(seen)}/{len(wanted)} present)")
+
+    expect(record.get("severity0_bit_identical") is True,
+           "severity0_bit_identical must be True (the clean Table I pin is "
+           "asserted in-process)")
+    parallel = record.get("parallel")
+    expect(isinstance(parallel, dict), "parallel must be a dict")
+    expect(isinstance(parallel.get("jobs"), int) and parallel["jobs"] >= 2,
+           "parallel.jobs must be an int >= 2")
+    expect(isinstance(parallel.get("host_cpus"), int) and parallel["host_cpus"] >= 1,
+           "parallel.host_cpus must be a positive int")
+    for key in ("serial_seconds", "parallel_seconds"):
+        value = parallel.get(key)
+        expect(finite(value) and value > 0,
+               f"parallel.{key} must be a finite float > 0")
+    expect(parallel.get("cells_equal") is True,
+           "parallel.cells_equal must be True (equality is asserted in-process)")
+    resume = record.get("resume")
+    expect(isinstance(resume, dict), "resume must be a dict")
+    for key in ("removed_cells", "restored_cells"):
+        expect(isinstance(resume.get(key), int) and resume[key] >= 1,
+               f"resume.{key} must be an int >= 1")
+    expect(resume.get("cells_equal") is True,
+           "resume.cells_equal must be True (equality is asserted in-process)")
+
+    slopes = record.get("slopes")
+    expect(isinstance(slopes, dict) and set(slopes) == set(methods),
+           "slopes must carry one entry per method")
+    for method, entry in slopes.items():
+        expect(isinstance(entry, dict), f"slopes[{method}] must be a dict")
+        per_corruption = entry.get("per_corruption")
+        expect(isinstance(per_corruption, dict)
+               and set(per_corruption) == set(corruptions),
+               f"slopes[{method}].per_corruption must cover every corruption")
+        for corruption, slope in per_corruption.items():
+            expect(finite(slope),
+                   f"slopes[{method}].per_corruption[{corruption}] must be finite")
+        expect(finite(entry.get("mean")), f"slopes[{method}].mean must be finite")
+
+    headline = record.get("headline")
+    expect(isinstance(headline, dict), "headline must be a dict")
+    expect(headline.get("baseline") in methods,
+           "headline.baseline must be one of grid.methods")
+    meta_methods = headline.get("meta_methods")
+    expect(isinstance(meta_methods, list) and meta_methods
+           and all(m in methods for m in meta_methods),
+           "headline.meta_methods must be a non-empty subset of grid.methods")
+    for key in ("corrupted_delta", "clean_delta"):
+        expect(finite(headline.get(key)), f"headline.{key} must be finite")
+
+    stream = record.get("stream")
+    expect(isinstance(stream, dict), "stream must be a dict")
+    expect(isinstance(stream.get("steps"), int) and stream["steps"] >= 2,
+           "stream.steps must be an int >= 2")
+    stream_methods = stream.get("methods")
+    expect(isinstance(stream_methods, dict) and stream_methods,
+           "stream.methods must be a non-empty dict")
+    for method, entry in stream_methods.items():
+        steps = entry.get("steps") if isinstance(entry, dict) else None
+        expect(isinstance(steps, list) and len(steps) == stream["steps"],
+               f"stream.methods[{method}].steps must list every step")
+        for step in steps:
+            expect(isinstance(step, dict)
+                   and isinstance(step.get("corruption"), str)
+                   and isinstance(step.get("severity"), int)
+                   and 0 <= step["severity"] <= 5,
+                   f"stream.methods[{method}]: every step needs "
+                   f"corruption/severity")
+            accuracy = step.get("accuracy")
+            expect(finite(accuracy) and 0.0 <= accuracy <= 1.0,
+                   f"stream.methods[{method}]: step accuracy must be in [0, 1]")
+            latency = step.get("refit_latency_s")
+            expect(finite(latency) and latency >= 0,
+                   f"stream.methods[{method}]: refit_latency_s must be >= 0")
+        expect(finite(entry.get("mean_accuracy")),
+               f"stream.methods[{method}].mean_accuracy must be finite")
+        expect(finite(entry.get("mean_refit_latency_s")),
+               f"stream.methods[{method}].mean_refit_latency_s must be finite")
+
+    summary = record.get("summary")
+    expect(isinstance(summary, dict), "summary must be a dict")
+    expect(summary.get("headline_delta") == headline.get("corrupted_delta"),
+           "summary.headline_delta must equal headline.corrupted_delta")
+
+
 def validate_bench_record(record: dict) -> None:
     """Raise ``ValueError`` unless ``record`` matches the repro.bench/v1 schema."""
 
@@ -1644,14 +2019,17 @@ def validate_bench_record(record: dict) -> None:
     expect(isinstance(record, dict), "not a mapping")
     expect(record.get("schema") == SCHEMA, f"schema must be {SCHEMA!r}")
     expect(
-        record.get("kind") in ("autograd", "table1", "serve", "load"),
-        "kind must be autograd|table1|serve|load",
+        record.get("kind") in ("autograd", "table1", "serve", "load", "robustness"),
+        "kind must be autograd|table1|serve|load|robustness",
     )
     expect(record.get("scale") in _SCALES, f"scale must be one of {sorted(_SCALES)}")
     expect(isinstance(record.get("repeats"), int) and record["repeats"] >= 1,
            "repeats must be a positive int")
     if record.get("kind") == "load":
         _validate_load_record(record, expect)
+        return
+    if record.get("kind") == "robustness":
+        _validate_robustness_record(record, expect)
         return
     entries = record.get("entries")
     expect(isinstance(entries, list) and entries, "entries must be a non-empty list")
@@ -1871,9 +2249,11 @@ _BENCH_SUITES = {
     "table1": run_table1_bench,
     "serve": run_serve_bench,
     "load": run_load_bench,
+    "robustness": run_robustness_bench,
 }
 
-#: Suites the no-``--suite`` default runs (everything but ``load``).
+#: Suites the no-``--suite`` default runs (everything but the opt-in
+#: ``load`` and ``robustness`` suites, which run whole grids).
 _DEFAULT_SUITES = ("autograd", "table1", "serve")
 
 
@@ -1915,6 +2295,8 @@ def write_bench_records(
         elif kind == "load":
             kwargs["duration"] = load_duration
             kwargs["shards"] = shards
+        elif kind == "robustness":
+            kwargs["jobs"] = max(jobs, 2)  # the parallel pin needs >= 2
         record = runner(scale=scale, repeats=repeats, **kwargs)
         path = os.path.join(out_dir, f"BENCH_{kind}.json")
         with open(path, "w", encoding="utf-8") as handle:
@@ -1985,10 +2367,57 @@ def _format_load_record(record: dict) -> str:
     return "\n".join(lines)
 
 
+def _format_robustness_record(record: dict) -> str:
+    """Human-readable table for the ``robustness`` record."""
+    grid = record["grid"]
+    headline = record["headline"]
+    lines = [
+        f"robustness bench  (scale={record['scale']}, backbone={grid['backbone']}, "
+        f"{len(grid['seeds'])} seed(s))",
+        f"grid: {len(grid['methods'])} methods x {len(grid['corruptions'])} "
+        f"corruptions x {len(grid['severities'])} severities "
+        f"= {len(record['cells'])} cells",
+        f"headline: MetaLoRA vs {headline['baseline']} under corruption: "
+        f"{headline['corrupted_delta']:+.4f} accuracy "
+        f"(clean: {headline['clean_delta']:+.4f})",
+        f"{'method':<14} {'mean slope':>11}  per-corruption slope (acc/severity)",
+    ]
+    for method in grid["methods"]:
+        entry = record["slopes"][method]
+        worst = min(entry["per_corruption"], key=entry["per_corruption"].get)
+        lines.append(
+            f"{method:<14} {entry['mean']:>+10.4f}   worst {worst} "
+            f"({entry['per_corruption'][worst]:+.4f})"
+        )
+    parallel = record["parallel"]
+    lines.append(
+        f"grid runs: serial {parallel['serial_seconds']:.2f}s   "
+        f"parallel({parallel['jobs']}) {parallel['parallel_seconds']:.2f}s   "
+        f"(cells bit-identical: {parallel['cells_equal']}; severity-0 == "
+        f"clean Table I: {record['severity0_bit_identical']})"
+    )
+    resume = record["resume"]
+    lines.append(
+        f"resume: {resume['removed_cells']} cell(s) recomputed, "
+        f"{resume['restored_cells']} restored  "
+        f"(bit-identical: {resume['cells_equal']})"
+    )
+    stream = record["stream"]
+    lines.append(f"streaming drift ({stream['steps']} steps, K={stream['k']}):")
+    for method, entry in stream["methods"].items():
+        lines.append(
+            f"  {method:<14} mean accuracy {entry['mean_accuracy']:.3f}   "
+            f"mean re-fit {entry['mean_refit_latency_s'] * 1e3:.1f}ms"
+        )
+    return "\n".join(lines)
+
+
 def format_bench_record(record: dict) -> str:
     """Human-readable table for one record (what the CLI prints)."""
     if record.get("kind") == "load":
         return _format_load_record(record)
+    if record.get("kind") == "robustness":
+        return _format_robustness_record(record)
     lines = [
         f"{record['kind']} bench  (scale={record['scale']}, "
         f"best of {record['repeats']})",

@@ -7,6 +7,8 @@ Usage::
     python -m repro table1 --quick --seeds 0 1 2 --jobs 4
     python -m repro table1 --seeds 0 1 2 --jobs 4 --out-dir runs/t1
     python -m repro table1 --resume runs/t1          # rerun only missing cells
+    python -m repro robustness --smoke --severities 0 3
+    python -m repro robustness --seeds 0 1 --jobs 4 --out-dir runs/rob
     python -m repro trace runs/t1                    # span-tree report
     python -m repro inspect --method meta_lora_tr
     python -m repro compile --method meta_lora_tr --precision f32 --describe
@@ -23,7 +25,10 @@ back up, re-running only the missing cells — bit-identical to an
 uninterrupted run.  A run directory also gets the observability layer's
 ``trace.jsonl`` span export, which ``trace`` renders as a span-tree
 report (slowest spans, per-phase breakdown — see docs/observability.md).
-``inspect`` prints a method's adapter layout and
+``robustness`` runs the corruption-shift matrix (methods × corruptions ×
+severities — see docs/robustness.md) over the same run-dir/resume
+machinery; severity-0 cells are bit-identical to the clean Table I
+evaluation.  ``inspect`` prints a method's adapter layout and
 parameter budget; ``compile`` lowers a method into its serving program
 and prints the step listing (``--describe`` adds per-step output
 dtypes/shapes — the view of what the fusion pass and precision tier
@@ -156,6 +161,66 @@ def _table1(args: argparse.Namespace) -> int:
         return 1
     if len(args.seeds) >= 2:
         _print_significance(config, rows_by_seed)
+    return 0
+
+
+def _robustness(args: argparse.Namespace) -> int:
+    from repro.eval.robustness import RobustnessConfig, format_robustness_grid
+    from repro.runtime import fork_available, resolve_jobs, run_robustness_grid
+
+    table1 = PAPER if args.backbone == "resnet" else PAPER_MIXER
+    if args.smoke:
+        table1 = table1.quick()
+    overrides = {}
+    if args.corruptions is not None:
+        overrides["corruptions"] = tuple(args.corruptions)
+    if args.severities is not None:
+        overrides["severities"] = tuple(args.severities)
+    config = RobustnessConfig(table1=table1, **overrides)
+    jobs = resolve_jobs(args.jobs)
+    if jobs > 1 and not fork_available():
+        print("(fork unavailable on this platform; falling back to jobs=1)")
+    seeds = tuple(args.seeds)
+    cells = (
+        len(seeds)
+        * len(config.table1.methods)
+        * len(config.corruptions)
+        * len(config.severities)
+    )
+    print(
+        f"running {cells} cells ({len(seeds)} seed(s) x "
+        f"{len(config.table1.methods)} methods x {len(config.corruptions)} "
+        f"corruptions x {len(config.severities)} severities) on "
+        f"{jobs} worker(s) ...",
+        flush=True,
+    )
+    # Non-strict, like table1: a failed cell degrades the report instead
+    # of aborting the grid; completed cells are still checkpointed.
+    grid = run_robustness_grid(
+        config,
+        seeds,
+        jobs=jobs,
+        strict=False,
+        out_dir=args.out_dir,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+    )
+    if grid.restored:
+        print(
+            f"resumed {len(grid.restored)} completed cell(s) from "
+            f"{grid.run_dir}; re-ran only the missing ones"
+        )
+    print()
+    print(format_robustness_grid(config, seeds, grid.cells))
+    if grid.failures:
+        print(f"\nWARNING: partial results — {len(grid.failures)} cell(s) failed:")
+        for failure in grid.failures:
+            print(f"  {failure}")
+        if args.out_dir is not None or args.resume is not None:
+            rerun_dir = args.resume if args.resume is not None else args.out_dir
+            print(f"fix the cause and rerun with --resume {rerun_dir}")
+        return 1
     return 0
 
 
@@ -341,6 +406,8 @@ def _bench(args: argparse.Namespace) -> int:
             elif kind == "load":
                 kwargs["duration"] = args.load_duration
                 kwargs["shards"] = args.shards
+            elif kind == "robustness":
+                kwargs["jobs"] = max(args.jobs, 2)  # the parallel pin needs >= 2
             record = _BENCH_SUITES[kind](scale=args.scale, repeats=args.repeats, **kwargs)
             print(format_bench_record(record))
             print()
@@ -489,35 +556,61 @@ def build_parser() -> argparse.ArgumentParser:
         "counts as failed (default: no limit)",
     )
 
-    table1 = sub.add_parser(
-        "table1",
-        help="regenerate Table I",
-        parents=[backbone_flags, jobs_flags, fault_flags],
-    )
-    table1.add_argument("--seeds", type=int, nargs="+", default=[0])
-    table1.add_argument(
-        "--quick", action="store_true", help="reduced scale (~2 min instead of ~7/seed)"
-    )
-    table1.add_argument(
+    run_flags = argparse.ArgumentParser(add_help=False)
+    run_flags.add_argument("--seeds", type=int, nargs="+", default=[0])
+    run_flags.add_argument(
         "--smoke",
         action="store_true",
         help="test-suite scale (seconds); for CI smoke runs, not paper numbers",
     )
-    table1.add_argument(
+    run_flags.add_argument(
         "--out-dir",
         default=None,
         metavar="DIR",
         help="run directory: checkpoint each completed cell so a killed run "
         "can be picked up with --resume",
     )
-    table1.add_argument(
+    run_flags.add_argument(
         "--resume",
         default=None,
         metavar="DIR",
         help="resume a previous --out-dir run: re-run only the missing "
         "cells; results are bit-identical to an uninterrupted run",
     )
+
+    table1 = sub.add_parser(
+        "table1",
+        help="regenerate Table I",
+        parents=[backbone_flags, jobs_flags, fault_flags, run_flags],
+    )
+    table1.add_argument(
+        "--quick", action="store_true", help="reduced scale (~2 min instead of ~7/seed)"
+    )
     table1.set_defaults(func=_table1)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="run the robustness-under-shift grid "
+        "(methods x corruptions x severities)",
+        parents=[backbone_flags, jobs_flags, fault_flags, run_flags],
+    )
+    robustness.add_argument(
+        "--corruptions",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="corruption families to evaluate (default: the full catalog; "
+        "see docs/robustness.md)",
+    )
+    robustness.add_argument(
+        "--severities",
+        type=int,
+        nargs="+",
+        default=None,
+        help="severity rungs in 0..5; 0 is the clean (Table I) pin "
+        "(default: 0 1 3 5)",
+    )
+    robustness.set_defaults(func=_robustness)
 
     inspect = sub.add_parser(
         "inspect", help="show a method's adapter layout", parents=[backbone_flags]
@@ -593,11 +686,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument(
         "--suite",
-        choices=("all", "autograd", "table1", "serve", "load"),
+        choices=("all", "autograd", "table1", "serve", "load", "robustness"),
         default="all",
         help="run a single bench suite; the load suite (open-loop traffic "
-        "against the TCP frontend) is opt-in and not part of 'all' "
-        "(default: all)",
+        "against the TCP frontend) and the robustness suite (the full "
+        "shift grid with its bit-identity pins) are opt-in and not part "
+        "of 'all' (default: all)",
     )
     bench.add_argument(
         "--tenants",

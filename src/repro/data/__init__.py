@@ -5,15 +5,27 @@ from repro.data.tasks import TaskDistribution, TaskSpec
 from repro.data.synthetic import SyntheticTaskData, generate_task_data, merge_tasks
 from repro.data.loaders import batches
 from repro.data.stream import StreamStep, TaskStream, interpolate_tasks
+from repro.data.corruptions import (
+    CORRUPTIONS,
+    DEFAULT_CORRUPTIONS,
+    Corruption,
+    corruption_rng,
+    get_corruption,
+)
 
 __all__ = [
+    "CORRUPTIONS",
+    "Corruption",
+    "DEFAULT_CORRUPTIONS",
     "StreamStep",
     "SyntheticTaskData",
     "TaskDistribution",
     "TaskSpec",
     "TaskStream",
     "batches",
+    "corruption_rng",
     "generate_task_data",
+    "get_corruption",
     "interpolate_tasks",
     "merge_tasks",
 ]

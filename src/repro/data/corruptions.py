@@ -1,0 +1,282 @@
+"""Deterministic, seeded input corruptions for the robustness grid.
+
+Every corruption is a *pure function of its inputs*: the image batch, an
+integer ``severity`` in ``0..5``, and an explicit
+:class:`numpy.random.Generator`.  The contract the robustness benchmark
+rests on:
+
+- **severity 0 is a bit-identical no-op** — ``apply`` returns the input
+  array unchanged (the very same object), so severity-0 grid rows are
+  structurally guaranteed to match the clean Table I evaluation;
+- **determinism** — the same ``(images, severity, rng state)`` always
+  produces the same pixels, so corrupted evaluations are bit-identical
+  across processes, resumes, and execution orders;
+- **RNG hygiene** — corruptions draw *only* from the generator they are
+  handed and never touch numpy's global RNG state, so interleaving
+  corrupted evaluations with training leaves every training trajectory
+  bit-identical (pinned by ``tests/data/test_corruptions.py``);
+- **shape/dtype preservation** — the output has the input's
+  ``(N, 3, H, W)`` shape and ``float32`` dtype;
+- **monotone distortion** — mean ``|corrupted - clean|`` grows with
+  severity, so degradation slopes are measured against a real axis.
+
+Use :func:`corruption_rng` to derive the per-cell child generator from
+``(seed, corruption, severity)``; the derivation is hash-based, so cells
+are independent of each other and of every protocol RNG stream
+(:func:`repro.eval.protocol.method_rng` spawns from a different root).
+
+The catalog (see ``docs/robustness.md``) covers blur, two noise models,
+occlusion, photometric shifts, and a foveated retina-warp-style
+transform (RBlur-inspired): acuity falls off with distance from a
+fixation point, implemented as a radial blend between a mildly and a
+heavily blurred rendering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigError, DataError
+
+#: The valid severity ladder; 0 is the bit-identical no-op rung.
+SEVERITIES = (0, 1, 2, 3, 4, 5)
+
+
+def corruption_rng(
+    seed: int, corruption: str, severity: int
+) -> np.random.Generator:
+    """The per-cell child generator for ``(seed, corruption, severity)``.
+
+    Derived by hashing the key into a :class:`numpy.random.SeedSequence`
+    entropy, so every grid cell gets an independent stream that never
+    collides with the protocol's :func:`~repro.utils.rng.spawn_rngs`
+    fan-out and never reads or writes numpy's global RNG state.
+    """
+    payload = f"repro.corruption:{int(seed)}:{corruption}:{int(severity)}"
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    entropy = int.from_bytes(digest[:16], "little")
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(entropy)))
+
+
+def _check_images(images: np.ndarray) -> None:
+    if images.ndim != 4 or images.shape[1] != 3:
+        raise DataError(
+            f"corruptions expect (N, 3, H, W) images, got shape {images.shape}"
+        )
+
+
+def _gaussian_kernel(sigma: float) -> np.ndarray:
+    radius = max(1, int(np.ceil(3.0 * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (xs / sigma) ** 2)
+    return (kernel / kernel.sum()).astype(np.float64)
+
+
+def _blur_batch(images: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur over H and W with reflect padding."""
+    kernel = _gaussian_kernel(sigma)
+    radius = (len(kernel) - 1) // 2
+    work = images.astype(np.float64)
+    for axis in (2, 3):
+        padded = np.pad(
+            work,
+            [(0, 0), (0, 0)] + [(radius, radius) if a == axis else (0, 0) for a in (2, 3)],
+            mode="reflect",
+        )
+        out = np.zeros_like(work)
+        for offset, weight in enumerate(kernel):
+            sl = [slice(None)] * 4
+            sl[axis] = slice(offset, offset + work.shape[axis])
+            out += weight * padded[tuple(sl)]
+        work = out
+    return work.astype(np.float32)
+
+
+class Corruption:
+    """One corruption family pinned at one severity.
+
+    Subclasses set :attr:`name` and implement :meth:`_apply`, which only
+    sees severities ``1..5`` — :meth:`apply` short-circuits severity 0 to
+    the untouched input array.
+    """
+
+    #: registry key; subclasses override.
+    name: str = ""
+
+    def __init__(self, severity: int) -> None:
+        if severity not in SEVERITIES:
+            raise ConfigError(
+                f"severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        self.severity = int(severity)
+
+    def apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Corrupted copy of ``images``; severity 0 returns them untouched."""
+        _check_images(images)
+        if self.severity == 0:
+            return images
+        out = self._apply(images, rng)
+        return np.ascontiguousarray(out, dtype=np.float32)
+
+    def _apply(self, images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(severity={self.severity})"
+
+
+class GaussianBlur(Corruption):
+    """Isotropic Gaussian blur; sigma grows with severity."""
+
+    name = "gaussian_blur"
+    _SIGMAS = (0.4, 0.7, 1.0, 1.5, 2.2)
+
+    def _apply(self, images, rng):
+        return _blur_batch(images, self._SIGMAS[self.severity - 1])
+
+
+class AdditiveNoise(Corruption):
+    """Zero-mean Gaussian pixel noise; sigma grows with severity."""
+
+    name = "additive_noise"
+    _SIGMAS = (0.08, 0.16, 0.28, 0.45, 0.7)
+
+    def _apply(self, images, rng):
+        sigma = self._SIGMAS[self.severity - 1]
+        noise = rng.normal(0.0, sigma, size=images.shape).astype(np.float32)
+        return images + noise
+
+
+class ShotNoise(Corruption):
+    """Poisson (photon-count) noise; fewer counts at higher severity.
+
+    Images are signed, so each image is mapped to ``[0, 1]`` over its own
+    range, resampled as Poisson counts at ``lam`` photons per unit, and
+    mapped back — the standard shot-noise model lifted to signed data.
+    """
+
+    name = "shot_noise"
+    _LAMBDAS = (80.0, 35.0, 16.0, 8.0, 4.0)
+
+    def _apply(self, images, rng):
+        lam = self._LAMBDAS[self.severity - 1]
+        out = np.empty_like(images, dtype=np.float32)
+        for index in range(images.shape[0]):
+            image = images[index].astype(np.float64)
+            low, high = float(image.min()), float(image.max())
+            span = max(high - low, 1e-8)
+            unit = (image - low) / span
+            counts = rng.poisson(unit * lam).astype(np.float64) / lam
+            out[index] = (counts * span + low).astype(np.float32)
+        return out
+
+
+class Occlusion(Corruption):
+    """Square patches filled with the image mean; count and size grow."""
+
+    name = "occlusion"
+    _FRACTIONS = (0.2, 0.28, 0.36, 0.45, 0.55)
+
+    def _apply(self, images, rng):
+        out = images.copy()
+        side_fraction = self._FRACTIONS[self.severity - 1]
+        patches = self.severity
+        height, width = images.shape[2], images.shape[3]
+        side = max(1, int(round(side_fraction * min(height, width))))
+        for index in range(images.shape[0]):
+            fill = float(images[index].mean())
+            for __ in range(patches):
+                top = int(rng.integers(0, max(height - side, 0) + 1))
+                left = int(rng.integers(0, max(width - side, 0) + 1))
+                out[index, :, top : top + side, left : left + side] = fill
+        return out
+
+
+class Contrast(Corruption):
+    """Contrast collapse toward the per-image mean."""
+
+    name = "contrast"
+    _FACTORS = (0.75, 0.55, 0.4, 0.28, 0.18)
+
+    def _apply(self, images, rng):
+        factor = self._FACTORS[self.severity - 1]
+        means = images.mean(axis=(1, 2, 3), keepdims=True)
+        return (means + factor * (images - means)).astype(np.float32)
+
+
+class Brightness(Corruption):
+    """Global additive brightness shift, scaled by the image's own spread."""
+
+    name = "brightness"
+    _SHIFTS = (0.35, 0.7, 1.1, 1.6, 2.2)
+
+    def _apply(self, images, rng):
+        shift = self._SHIFTS[self.severity - 1]
+        spread = images.std(axis=(1, 2, 3), keepdims=True).astype(np.float32)
+        return images + shift * spread
+
+
+class RetinaWarp(Corruption):
+    """Foveated retina-warp-style transform (RBlur-inspired).
+
+    Visual acuity falls off with eccentricity: pixels near a fixation
+    point keep a mild blur while the periphery gets a heavy one, blended
+    by a radial mask.  Severity raises the peripheral sigma and shrinks
+    the fovea; the fixation point jitters around the center per image
+    (drawn from the cell's child generator), modelling saccade scatter.
+    """
+
+    name = "retina_warp"
+    _PERIPHERY_SIGMAS = (0.8, 1.3, 1.9, 2.7, 3.6)
+    _FOVEA_RADII = (0.45, 0.38, 0.31, 0.25, 0.2)
+    _FOVEA_SIGMA = 0.3
+
+    def _apply(self, images, rng):
+        sigma = self._PERIPHERY_SIGMAS[self.severity - 1]
+        fovea = self._FOVEA_RADII[self.severity - 1]
+        height, width = images.shape[2], images.shape[3]
+        mild = _blur_batch(images, self._FOVEA_SIGMA)
+        heavy = _blur_batch(images, sigma)
+        ys = (np.arange(height, dtype=np.float64) + 0.5) / height
+        xs = (np.arange(width, dtype=np.float64) + 0.5) / width
+        out = np.empty_like(images, dtype=np.float32)
+        for index in range(images.shape[0]):
+            jitter = rng.uniform(-0.1, 0.1, size=2)
+            cy, cx = 0.5 + jitter[0], 0.5 + jitter[1]
+            radius = np.sqrt(
+                (ys[:, None] - cy) ** 2 + (xs[None, :] - cx) ** 2
+            )
+            # 0 inside the fovea, ramping to 1 at ~2x the fovea radius.
+            weight = np.clip((radius - fovea) / max(fovea, 1e-6), 0.0, 1.0)
+            weight = weight.astype(np.float32)[None]
+            out[index] = (1.0 - weight) * mild[index] + weight * heavy[index]
+        return out
+
+
+#: Registry of corruption families, in catalog order.
+CORRUPTIONS: dict[str, type[Corruption]] = {
+    cls.name: cls
+    for cls in (
+        GaussianBlur,
+        AdditiveNoise,
+        ShotNoise,
+        Occlusion,
+        Contrast,
+        Brightness,
+        RetinaWarp,
+    )
+}
+
+#: The default shift-type axis of the robustness grid.
+DEFAULT_CORRUPTIONS = tuple(CORRUPTIONS)
+
+
+def get_corruption(name: str, severity: int) -> Corruption:
+    """Instantiate a registered corruption at ``severity``."""
+    if name not in CORRUPTIONS:
+        raise ConfigError(
+            f"unknown corruption {name!r}; known: {sorted(CORRUPTIONS)}"
+        )
+    return CORRUPTIONS[name](severity)

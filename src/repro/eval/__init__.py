@@ -16,10 +16,20 @@ from repro.eval.protocol import (
     build_adapted_model,
     pretrain_backbone,
     run_table1,
+    train_table1_model,
+)
+from repro.eval.robustness import (
+    RobustnessCell,
+    RobustnessConfig,
+    degradation_slope,
+    run_robustness_cell,
+    run_robustness_stream,
 )
 
 __all__ = [
     "KNNClassifier",
+    "RobustnessCell",
+    "RobustnessConfig",
     "SignificanceResult",
     "Table1Config",
     "Table1Row",
@@ -27,12 +37,16 @@ __all__ = [
     "build_adapted_model",
     "class_centroid_separation",
     "confusion_matrix",
+    "degradation_slope",
     "extract_embeddings",
     "intra_inter_ratio",
     "mean_average_precision",
     "recall_at_k",
     "silhouette_score",
     "pretrain_backbone",
+    "run_robustness_cell",
+    "run_robustness_stream",
     "run_table1",
+    "train_table1_model",
     "two_sided_t_test",
 ]

@@ -333,6 +333,26 @@ def prepare_table1_seed(config: Table1Config, seed: int) -> Table1SeedContext:
     )
 
 
+def train_table1_model(
+    config: Table1Config, context: Table1SeedContext, method: str
+) -> Module:
+    """Build and episodically adapt ``method``'s model on the seed's splits.
+
+    The training half of :func:`run_table1_cell`, shared with the
+    robustness grid (which trains once per ``(seed, method)`` and
+    evaluates the resulting weights across every corruption cell).  All
+    randomness derives from ``(context.seed, method)`` via
+    :func:`method_rng`, so the trained weights are bit-identical wherever
+    and whenever this runs.
+    """
+    rng = method_rng(config, context.seed, method)
+    model = build_adapted_model(
+        method, config, context.state, rng, extractor_state=context.extractor_state
+    )
+    _adapt(model, context.train_sets, config, rng)
+    return model
+
+
 def run_table1_cell(
     config: Table1Config, context: Table1SeedContext, method: str
 ) -> Table1Row:
@@ -342,11 +362,7 @@ def run_table1_cell(
     executing cells in any order — or in separate processes — yields
     results bit-identical to the serial :func:`run_table1` loop.
     """
-    rng = method_rng(config, context.seed, method)
-    model = build_adapted_model(
-        method, config, context.state, rng, extractor_state=context.extractor_state
-    )
-    _adapt(model, context.train_sets, config, rng)
+    model = train_table1_model(config, context, method)
     row = Table1Row(method=method)
     for k in config.ks:
         row.accuracy_by_k[k] = _knn_accuracy(

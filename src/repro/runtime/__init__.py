@@ -6,10 +6,16 @@ Public surface:
   generic deterministic cell runner with crash isolation, retry with
   deterministic backoff, per-cell soft timeouts, streamed results and a
   serial fallback (``jobs=1`` or no ``fork``);
+- :class:`GridSpec` / :func:`run_grid` / :class:`GridResult` — the
+  generic typed experiment grid: axes, cell fn, artifact kind; owns
+  checkpointing, ``--resume``, retry/backoff, per-cell timeouts, and obs
+  spans once for every grid family;
 - :func:`run_table1_grid` / :class:`Table1GridResult` — the Table I
-  ``seeds × methods`` grid on top of ``run_cells``, bit-identical to the
-  serial protocol loop, with optional run-directory checkpointing and
-  resume (``out_dir=`` / ``resume=``);
+  ``seeds × methods`` grid, a thin shim over :func:`run_grid`,
+  bit-identical to the serial protocol loop;
+- :func:`run_robustness_grid` / :class:`RobustnessGridResult` — the
+  robustness-under-shift ``seeds × methods × corruptions × severities``
+  grid, the second :class:`GridSpec` client;
 - :class:`RunDir` / :func:`config_fingerprint` — the run-directory
   layer: a JSON manifest plus one versioned artifact per completed cell;
 - :func:`fork_available` / :func:`resolve_jobs` — platform helpers the
@@ -28,12 +34,17 @@ from repro.runtime.pool import (
     resolve_jobs,
     run_cells,
 )
+from repro.runtime.grid import GridResult, GridSpec, run_grid
 from repro.runtime.rundir import RunDir, config_fingerprint
 from repro.runtime.table1 import Table1GridResult, run_table1_grid
+from repro.runtime.robustness import RobustnessGridResult, run_robustness_grid
 
 __all__ = [
     "CellFailure",
     "CellResult",
+    "GridResult",
+    "GridSpec",
+    "RobustnessGridResult",
     "RunDir",
     "Table1GridResult",
     "config_fingerprint",
@@ -41,5 +52,7 @@ __all__ = [
     "raise_failures",
     "resolve_jobs",
     "run_cells",
+    "run_grid",
+    "run_robustness_grid",
     "run_table1_grid",
 ]

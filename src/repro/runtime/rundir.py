@@ -57,7 +57,7 @@ _MANIFEST = "manifest.json"
 _CELLS = "cells"
 
 
-def config_fingerprint(config: Table1Config) -> str:
+def config_fingerprint(config: object) -> str:
     """A stable content hash of the full experiment configuration.
 
     Two runs share a fingerprint iff every knob that feeds the grid's
@@ -98,26 +98,64 @@ class RunDir:
         config: Table1Config,
         seeds: tuple[int, ...],
     ) -> "RunDir":
-        """Create (or adopt) a run dir for this grid.
+        """Create (or adopt) a Table I run dir (compat for direct callers).
 
-        A fresh directory gets a new manifest.  An existing run dir is
-        adopted only if its manifest matches this grid's configuration —
-        that is what makes ``--out-dir`` idempotent and ``--resume``
-        safe; a mismatch raises :class:`CheckpointError` instead of
-        contaminating the directory with rows from a different grid.
+        Equivalent to :meth:`create_for` with the ``table1_run`` kind and
+        the Table I grid section; :func:`run_table1_grid` goes through the
+        generic :class:`~repro.runtime.grid.GridSpec` path instead.
+        """
+        return cls.create_for(
+            root,
+            "table1_run",
+            config,
+            {
+                "backbone": config.backbone,
+                "methods": list(config.methods),
+                "seeds": sorted(int(s) for s in seeds),
+            },
+        )
+
+    @classmethod
+    def create_for(
+        cls,
+        root: str | os.PathLike,
+        kind: str,
+        config: object,
+        grid: dict,
+    ) -> "RunDir":
+        """Create (or adopt) a run dir for one grid of the given ``kind``.
+
+        A fresh directory gets a new manifest recording the grid section
+        and the config fingerprint.  An existing run dir is adopted only
+        if its manifest matches this grid's kind and configuration — that
+        is what makes ``--out-dir`` idempotent and ``--resume`` safe; a
+        mismatch raises :class:`CheckpointError` instead of contaminating
+        the directory with cells from a different grid.  Integer-list
+        grid entries (extendable axes like ``seeds``) are unioned into
+        the manifest when new values appear; every other entry is pinned
+        by the config fingerprint.
         """
         root = os.fspath(root)
         os.makedirs(os.path.join(root, _CELLS), exist_ok=True)
         manifest_path = os.path.join(root, _MANIFEST)
         fingerprint = config_fingerprint(config)
         if os.path.exists(manifest_path):
-            rundir = cls.open(root)
+            rundir = cls.open(root, kind=kind)
             rundir.validate(config)
-            known = set(rundir.manifest["grid"]["seeds"])
-            if not set(seeds) <= known:
-                rundir.manifest["grid"]["seeds"] = sorted(
-                    known | {int(s) for s in seeds}
-                )
+            changed = False
+            for axis, values in grid.items():
+                known = rundir.manifest["grid"].get(axis)
+                if not (
+                    isinstance(values, list)
+                    and isinstance(known, list)
+                    and all(isinstance(v, int) for v in values)
+                    and all(isinstance(v, int) for v in known)
+                ):
+                    continue
+                if not set(values) <= set(known):
+                    rundir.manifest["grid"][axis] = sorted(set(known) | set(values))
+                    changed = True
+            if changed:
                 _atomic_write_text(
                     manifest_path,
                     json.dumps(rundir.manifest, indent=2, sort_keys=True) + "\n",
@@ -125,13 +163,9 @@ class RunDir:
             return rundir
         manifest = {
             "format_version": RUNDIR_VERSION,
-            "kind": "table1_run",
+            "kind": kind,
             "config_fingerprint": fingerprint,
-            "grid": {
-                "backbone": config.backbone,
-                "methods": list(config.methods),
-                "seeds": sorted(int(s) for s in seeds),
-            },
+            "grid": dict(grid),
             "config": dataclasses.asdict(config),
         }
         _atomic_write_text(
@@ -140,9 +174,10 @@ class RunDir:
         return cls(root, manifest)
 
     @classmethod
-    def open(cls, root: str | os.PathLike) -> "RunDir":
-        """Open an existing run dir; raises :class:`CheckpointError` if
-        the manifest is absent, unparsable, or from another version."""
+    def open(cls, root: str | os.PathLike, kind: str = "table1_run") -> "RunDir":
+        """Open an existing run dir of the given ``kind``; raises
+        :class:`CheckpointError` if the manifest is absent, unparsable,
+        of another kind, or from another version."""
         root = os.fspath(root)
         manifest_path = os.path.join(root, _MANIFEST)
         if not os.path.exists(manifest_path):
@@ -157,9 +192,9 @@ class RunDir:
             raise CheckpointError(
                 f"run dir {root!r} has a corrupt manifest: {exc}"
             ) from exc
-        if not isinstance(manifest, dict) or manifest.get("kind") != "table1_run":
+        if not isinstance(manifest, dict) or manifest.get("kind") != kind:
             raise CheckpointError(
-                f"run dir {root!r} manifest is not a table1_run manifest"
+                f"run dir {root!r} manifest is not a {kind} manifest"
             )
         version = manifest.get("format_version")
         if version != RUNDIR_VERSION:
@@ -169,7 +204,7 @@ class RunDir:
             )
         return cls(root, manifest)
 
-    def validate(self, config: Table1Config) -> None:
+    def validate(self, config: object) -> None:
         """Refuse to mix this run dir with a different configuration."""
         recorded = self.manifest.get("config_fingerprint")
         actual = config_fingerprint(config)
@@ -181,7 +216,26 @@ class RunDir:
                 f"use a fresh --out-dir"
             )
 
-    # -- cells ----------------------------------------------------------------
+    # -- generic cell artifacts (GridSpec path) -------------------------------
+
+    def artifact_path(self, filename: str) -> str:
+        """Absolute path of a cell checkpoint under ``cells/``."""
+        return os.path.join(self.root, _CELLS, filename)
+
+    def save_cell_artifact(
+        self, filename: str, arrays: dict, kind: str, meta: dict
+    ) -> str:
+        """Persist one completed cell as a versioned artifact; returns path."""
+        path = self.artifact_path(filename)
+        save_artifact(path, arrays, kind=kind, meta=meta)
+        return path
+
+    def load_cell_artifact(self, filename: str, kind: str) -> tuple[dict, dict]:
+        """Load one cell checkpoint; returns ``(arrays, meta)``."""
+        arrays, manifest = load_artifact(self.artifact_path(filename), kind=kind)
+        return arrays, manifest.get("meta", {})
+
+    # -- cells (table1 compat) ------------------------------------------------
 
     def cell_path(self, seed: int, method: str) -> str:
         return os.path.join(self.root, _CELLS, f"s{int(seed)}__{method}.npz")

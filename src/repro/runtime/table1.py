@@ -1,6 +1,10 @@
 """Process-pool sharding of the Table I experiment grid.
 
-The grid has two phases, both sharded over the same pool:
+This module is a thin shim: the fault-tolerant grid machinery —
+run-directory checkpointing, ``--resume``, retry/backoff, per-cell
+timeouts, and the observability span tree — lives generically in
+:mod:`repro.runtime.grid`, and :func:`run_table1_grid` mounts the Table I
+protocol onto it as a :class:`~repro.runtime.grid.GridSpec`:
 
 1. **Seed contexts** — one :class:`~repro.eval.protocol.Table1SeedContext`
    per seed: pretrain the backbone once, freeze the task splits.  Workers
@@ -13,37 +17,26 @@ The grid has two phases, both sharded over the same pool:
    to the serial :func:`repro.eval.protocol.run_table1` loop at any
    worker count — the property the bench harness asserts in-process.
 
-Durability (``out_dir`` / ``resume``) layers on top without touching the
-numerics: with a run directory (:class:`repro.runtime.rundir.RunDir`)
-every completed cell is checkpointed as it finishes, and a resumed grid
-loads the persisted rows and schedules **only the missing cells** —
-contexts are rebuilt only for seeds that still have work.  Because the
-RNG scheme is key-derived, restored + freshly computed rows are
-bit-identical to an uninterrupted run.  ``max_retries`` /
-``cell_timeout`` pass straight through to :func:`~repro.runtime.pool.run_cells`.
-
 Cells run under the autograd memory diet (``backward_release``), which is
 safe because the training loops never backpropagate a graph twice, and
 bit-identical because releasing graph metadata does not change numerics.
 
-Observability (``obs``) layers on top the same way: when active (the
-default whenever the grid has a run directory) the grid enables
-:data:`repro.obs.OBS` and :data:`repro.obs.TRACER` for its duration and
-builds a span tree — ``table1.grid`` → ``table1.contexts`` /
-``table1.cells`` → one span per cell (with retry/timeout/fault events) —
-exported to ``<run_dir>/trace.jsonl`` and rendered by ``repro trace``.
-Instrumentation never touches an RNG, so obs-on and obs-off grids are
-bit-identical (asserted by ``tests/obs/test_acceptance.py``).
+The shim is pinned bit-identical to the pre-``GridSpec`` implementation
+by the resume/parallel acceptance tests (``tests/runtime/test_resume.py``,
+``tests/obs/test_acceptance.py``): same span names (``table1.grid`` →
+``table1.contexts`` / ``table1.cells``), same run-dir layout and manifest
+kind (``table1_run``), same rows at any worker count.
 """
 
 from __future__ import annotations
 
-import contextlib
 import os
+
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
-from repro.obs import OBS, TRACER
+import numpy as np
+
+from repro.errors import CheckpointError, ConfigError
 from repro.eval.protocol import (
     Table1Config,
     Table1Row,
@@ -51,8 +44,9 @@ from repro.eval.protocol import (
     prepare_table1_seed,
     run_table1_cell,
 )
-from repro.runtime.pool import CellResult, raise_failures, run_cells
-from repro.runtime.rundir import RunDir, resolve_run_dirs
+from repro.runtime.grid import GridSpec, run_grid
+from repro.runtime.pool import CellResult
+from repro.runtime.rundir import CELL_KIND
 
 #: Perf overrides applied around every grid cell (see module docstring).
 CELL_PERF = {"backward_release": True}
@@ -89,33 +83,54 @@ def _run_cell(cell: tuple[Table1Config, Table1SeedContext, str]) -> Table1Row:
     return run_table1_cell(config, context, method)
 
 
-@contextlib.contextmanager
-def _grid_observability(active: bool, rundir: RunDir | None, **attrs: object):
-    """Enable metrics + tracing around the grid, restoring prior state.
+def _encode_row(key: tuple[int, str], row: Table1Row) -> tuple[dict, dict]:
+    ks = sorted(row.accuracy_by_k)
+    arrays = {
+        "ks": np.asarray(ks, dtype=np.int64),
+        "accuracy": np.asarray(
+            [row.accuracy_by_k[k] for k in ks], dtype=np.float64
+        ),
+    }
+    return arrays, {"seed": int(key[0]), "method": key[1]}
 
-    Yields the open ``table1.grid`` span (``None`` when inactive) and
-    exports its finished tree to the run directory on exit — in a
-    ``finally``, so a grid that dies mid-flight (strict failure, ctrl-C)
-    still leaves its partial trace, with the grid span marked ``error``.
-    If this context enabled the tracer itself, the grid root is drained
-    on exit so repeated grids in one process don't accumulate; a
-    caller-enabled tracer keeps its own roots.
-    """
-    if not active:
-        yield None
-        return
-    previous = (OBS.enabled, TRACER.enabled)
-    OBS.enabled = True
-    TRACER.enabled = True
-    try:
-        with TRACER.span("table1.grid", **attrs) as grid_span:
-            yield grid_span
-    finally:
-        OBS.enabled, TRACER.enabled = previous
-        if not previous[1]:
-            TRACER.drain()
-        if rundir is not None:
-            rundir.write_trace([grid_span.to_dict()])
+
+def _decode_row(
+    key: tuple[int, str], arrays: dict, meta: dict, path: str
+) -> Table1Row:
+    seed, method = key
+    if meta.get("seed") != int(seed) or meta.get("method") != method:
+        raise CheckpointError(
+            f"cell artifact {path!r} claims "
+            f"(seed={meta.get('seed')!r}, method={meta.get('method')!r}) "
+            f"but was indexed as (seed={seed}, method={method!r})"
+        )
+    return Table1Row(
+        method=method,
+        accuracy_by_k={
+            int(k): float(a) for k, a in zip(arrays["ks"], arrays["accuracy"])
+        },
+    )
+
+
+def _table1_spec(config: Table1Config, seeds: tuple[int, ...]) -> GridSpec:
+    # Built at call time so monkeypatched module globals (`_run_cell`,
+    # `_prepare_seed` in tests) are honored.
+    return GridSpec(
+        name="table1",
+        config=config,
+        axes={"seeds": seeds, "methods": tuple(config.methods)},
+        cell_fn=_run_cell,
+        cell_payload=lambda cfg, context, key: (cfg, context, key[1]),
+        artifact_kind=CELL_KIND,
+        cell_filename=lambda key: f"s{int(key[0])}__{key[1]}.npz",
+        encode_cell=_encode_row,
+        decode_cell=_decode_row,
+        context_fn=_prepare_seed,
+        context_payload=lambda cfg, seed: (cfg, seed),
+        context_key=lambda key: key[0],
+        manifest_extra={"backbone": config.backbone},
+        perf=CELL_PERF,
+    )
 
 
 def run_table1_grid(
@@ -153,93 +168,32 @@ def run_table1_grid(
     it exactly when the grid has a run directory to export into.
     Instrumentation is RNG-free, so the rows are bit-identical either
     way.
+
+    All of the above is :func:`repro.runtime.grid.run_grid` semantics;
+    this shim only contributes the Table I :class:`GridSpec` and the
+    ``rows_by_seed`` result shape.
     """
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
         raise ConfigError("run_table1_grid needs at least one seed")
 
-    root, resuming = resolve_run_dirs(out_dir, resume)
-    rundir = None
-    if root is not None:
-        if resuming:
-            RunDir.open(root)  # a resume target must already exist
-        rundir = RunDir.create(root, config, seeds)
-    restored: dict[tuple[int, str], Table1Row] = {}
-    if rundir is not None and resuming:
-        restored = rundir.load_completed(seeds, config.methods)
-
-    pool_options = {
-        "jobs": jobs,
-        "max_retries": max_retries,
-        "retry_backoff": retry_backoff,
-        "cell_timeout": cell_timeout,
-    }
-
-    # Contexts are rebuilt only for seeds that still have missing cells.
-    missing = [
-        (seed, method)
-        for seed in seeds
-        for method in config.methods
-        if (seed, method) not in restored
-    ]
-    context_seeds = sorted({seed for seed, __ in missing})
-
-    obs_active = (rundir is not None) if obs is None else bool(obs)
-    with _grid_observability(
-        obs_active,
-        rundir,
-        seeds=list(seeds),
-        methods=list(config.methods),
+    result = run_grid(
+        _table1_spec(config, seeds),
         jobs=jobs,
-        restored=len(restored),
-    ) as grid_span:
-        with TRACER.span("table1.contexts", cells=len(context_seeds)):
-            context_results = run_cells(
-                _prepare_seed,
-                [(config, seed) for seed in context_seeds],
-                keys=[("context", seed) for seed in context_seeds],
-                span_name="table1.context",
-                **pool_options,
-            )
-            if strict:
-                raise_failures(context_results)
-        contexts = {
-            result.key[1]: result.value for result in context_results if result.ok
-        }
+        strict=strict,
+        out_dir=out_dir,
+        resume=resume,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        cell_timeout=cell_timeout,
+        obs=obs,
+    )
 
-        cells = []
-        keys = []
-        for seed, method in missing:
-            if seed not in contexts:
-                continue  # non-strict: the seed's context failed; skip its cells
-            cells.append((config, contexts[seed], method))
-            keys.append((seed, method))
-
-        def checkpoint(result: CellResult) -> None:
-            if rundir is not None and result.ok:
-                rundir.save_cell(result.key[0], result.key[1], result.value)
-
-        with TRACER.span("table1.cells", cells=len(cells)):
-            cell_results = run_cells(
-                _run_cell,
-                cells,
-                keys=keys,
-                perf=dict(CELL_PERF),
-                on_result=checkpoint,
-                span_name="table1.cell",
-                **pool_options,
-            )
-            if strict:
-                raise_failures(cell_results)
-
-    fresh = {
-        result.key: result.value for result in cell_results if result.ok
-    }
     rows_by_seed: list[dict[str, Table1Row]] = []
     for seed in seeds:
         rows = {}
         for method in config.methods:
-            row = restored.get((seed, method)) or fresh.get((seed, method))
+            row = result.values.get((seed, method))
             if row is not None:
                 rows[method] = row
         rows_by_seed.append(rows)
@@ -247,7 +201,7 @@ def run_table1_grid(
         config=config,
         seeds=seeds,
         rows_by_seed=rows_by_seed,
-        cell_results=context_results + cell_results,
-        restored=sorted(restored),
-        run_dir=rundir.root if rundir is not None else None,
+        cell_results=result.cell_results,
+        restored=result.restored,
+        run_dir=result.run_dir,
     )

@@ -49,8 +49,6 @@ from repro.serve.engine import (
     EmbeddingEngine,
     Engines,
     build_engine,
-    clear_shared_engines,
-    shared_engine,
 )
 from repro.serve.registry import (
     AdapterEntry,
@@ -94,7 +92,6 @@ __all__ = [
     "TenantSpec",
     "Timings",
     "build_engine",
-    "clear_shared_engines",
     "compile_features",
     "compile_forward",
     "compile_seed_mapping",
@@ -108,5 +105,4 @@ __all__ = [
     "quantize_weight",
     "resolve_precision",
     "run_load",
-    "shared_engine",
 ]

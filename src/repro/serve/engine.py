@@ -13,10 +13,9 @@ read identically.
 
 The pre-redesign calls — ``embed(images)`` and ``submit(sample)`` —
 remain as shims that emit ``DeprecationWarning`` and delegate to the
-typed path, bit-identically.  Engine caching moved from the
-module-level ``shared_engine`` / ``clear_shared_engines`` pair to an
-explicit :class:`Engines` handle; the old functions remain as shims as
-well.
+typed path, bit-identically.  Engine caching lives on an explicit
+:class:`Engines` handle (the old module-level ``shared_engine`` /
+``clear_shared_engines`` pair is gone).
 """
 
 from __future__ import annotations
@@ -39,8 +38,6 @@ __all__ = [
     "Engines",
     "ENGINES",
     "build_engine",
-    "shared_engine",
-    "clear_shared_engines",
 ]
 
 
@@ -227,9 +224,8 @@ class Engines:
     One lazily-built :class:`EmbeddingEngine` per model, weakly keyed:
     dropping the model drops its engine.  Weights mutated after
     compilation are not picked up — :meth:`clear` (or dropping the
-    model) forces recompilation.  This replaces the module-level
-    ``shared_engine`` / ``clear_shared_engines`` globals with something
-    callers can own, scope and close.
+    model) forces recompilation.  A handle callers can own, scope and
+    close, rather than module-level global state.
     """
 
     def __init__(
@@ -276,25 +272,3 @@ class Engines:
 #: engine is contracted bit-identical to the autograd path, and must
 #: stay so even when ``REPRO_SERVE_PRECISION`` relaxes serving tiers.
 ENGINES = Engines(cache_size=0, precision="f64")
-
-
-def shared_engine(model: Module) -> EmbeddingEngine:
-    """Deprecated alias for ``ENGINES.get(model)``."""
-    warnings.warn(
-        "shared_engine() is deprecated; use repro.serve.ENGINES.get(model) "
-        "(or your own Engines handle)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return ENGINES.get(model)
-
-
-def clear_shared_engines() -> None:
-    """Deprecated alias for ``ENGINES.clear()``."""
-    warnings.warn(
-        "clear_shared_engines() is deprecated; use repro.serve.ENGINES.clear() "
-        "(or your own Engines handle)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    ENGINES.clear()

@@ -1,0 +1,140 @@
+"""Property tests for the seeded corruption catalog.
+
+Every registered family is held to the contract the robustness grid
+rests on: determinism under a fixed ``(seed, corruption, severity)``
+key, severity-0 bit-identity (the very same array object), monotone
+mean distortion along the severity ladder, shape/dtype preservation,
+and RNG hygiene — corruptions draw only from the generator they are
+handed, so interleaving them with training leaves every trajectory
+bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CORRUPTIONS,
+    DEFAULT_CORRUPTIONS,
+    corruption_rng,
+    get_corruption,
+)
+from repro.data.corruptions import SEVERITIES
+from repro.errors import ConfigError, DataError
+
+ALL_NAMES = sorted(CORRUPTIONS)
+
+
+@pytest.fixture(scope="module")
+def images():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(4, 3, 16, 16)).astype(np.float32)
+
+
+class TestCatalog:
+    def test_default_axis_is_the_full_registry(self):
+        assert DEFAULT_CORRUPTIONS == tuple(CORRUPTIONS)
+        assert len(DEFAULT_CORRUPTIONS) == 7
+
+    def test_unknown_name_refused(self):
+        with pytest.raises(ConfigError, match="unknown corruption"):
+            get_corruption("solarize", 1)
+
+    @pytest.mark.parametrize("severity", [-1, 6, 2.5])
+    def test_out_of_range_severity_refused(self, severity):
+        with pytest.raises(ConfigError, match="severity"):
+            get_corruption("contrast", severity)
+
+    def test_bad_shape_refused(self, images):
+        transform = get_corruption("contrast", 3)
+        with pytest.raises(DataError, match=r"\(N, 3, H, W\)"):
+            transform.apply(images[0], corruption_rng(0, "contrast", 3))
+
+
+class TestPerFamilyContract:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_deterministic_under_cell_key(self, name, images):
+        transform = get_corruption(name, 3)
+        first = transform.apply(images, corruption_rng(7, name, 3))
+        second = transform.apply(images, corruption_rng(7, name, 3))
+        assert np.array_equal(first, second)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_severity_zero_is_the_same_object(self, name, images):
+        transform = get_corruption(name, 0)
+        assert transform.apply(images, corruption_rng(0, name, 0)) is images
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_shape_and_dtype_preserved(self, name, images):
+        for severity in SEVERITIES[1:]:
+            out = get_corruption(name, severity).apply(
+                images, corruption_rng(0, name, severity)
+            )
+            assert out.shape == images.shape
+            assert out.dtype == np.float32
+            assert out is not images
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_mean_distortion_monotone_in_severity(self, name, images):
+        distortions = []
+        for severity in SEVERITIES[1:]:
+            out = get_corruption(name, severity).apply(
+                images, corruption_rng(0, name, severity)
+            )
+            distortions.append(float(np.mean(np.abs(out - images))))
+        assert all(
+            later > earlier
+            for earlier, later in zip(distortions, distortions[1:])
+        ), f"{name}: distortion not monotone: {distortions}"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_nonzero_severity_actually_corrupts(self, name, images):
+        out = get_corruption(name, 1).apply(images, corruption_rng(0, name, 1))
+        assert not np.array_equal(out, images)
+
+
+class TestCellRng:
+    def test_same_key_same_stream(self):
+        a = corruption_rng(3, "occlusion", 2)
+        b = corruption_rng(3, "occlusion", 2)
+        assert np.array_equal(a.normal(size=8), b.normal(size=8))
+
+    def test_distinct_keys_distinct_streams(self):
+        draws = {
+            key: corruption_rng(*key).normal(size=8).tobytes()
+            for key in [
+                (0, "occlusion", 2),
+                (1, "occlusion", 2),
+                (0, "contrast", 2),
+                (0, "occlusion", 3),
+            ]
+        }
+        assert len(set(draws.values())) == len(draws)
+
+
+class TestRngHygiene:
+    def test_global_numpy_state_untouched(self, images):
+        before = np.random.get_state()
+        for name in ALL_NAMES:
+            get_corruption(name, 4).apply(images, corruption_rng(0, name, 4))
+        after = np.random.get_state()
+        assert before[0] == after[0]
+        assert np.array_equal(before[1], after[1])
+        assert before[2:] == after[2:]
+
+    def test_interleaving_leaves_training_draws_bit_identical(self, images):
+        """A global-RNG 'training trajectory' is bit-identical whether or
+        not corrupted evaluations run in between its draws."""
+
+        def trajectory(interleave: bool) -> list[bytes]:
+            np.random.seed(1234)
+            draws = []
+            for step, name in enumerate(ALL_NAMES):
+                draws.append(np.random.normal(size=16).tobytes())
+                if interleave:
+                    get_corruption(name, 3).apply(
+                        images, corruption_rng(step, name, 3)
+                    )
+            draws.append(np.random.normal(size=16).tobytes())
+            return draws
+
+        assert trajectory(interleave=False) == trajectory(interleave=True)

@@ -1,0 +1,129 @@
+"""Unit tests for the generic typed grid (:mod:`repro.runtime.grid`).
+
+A toy two-axis spec exercises the machinery without any training:
+cartesian cell ordering, manifest canonicalization, spec validation,
+checkpoint/resume round-trips, and strict/non-strict failure handling.
+The real clients (`run_table1_grid`, `run_robustness_grid`) are pinned
+by their own acceptance tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, WorkerError
+from repro.runtime.grid import GridSpec, run_grid
+
+
+@dataclass(frozen=True)
+class ToyConfig:
+    scale: int = 10
+
+
+def _toy_cell(payload):
+    config, _context, key = payload
+    seed, method = key
+    if method == "boom":
+        raise ValueError("boom cell failed")
+    return f"{seed}:{method}:{config.scale}"
+
+
+def _toy_spec(config=ToyConfig(), seeds=(0, 1), methods=("a", "b")):
+    return GridSpec(
+        name="toy",
+        config=config,
+        axes={"seeds": seeds, "methods": methods},
+        cell_fn=_toy_cell,
+        cell_payload=lambda cfg, context, key: (cfg, context, key),
+        artifact_kind="toy_cell",
+        cell_filename=lambda key: f"s{key[0]}__{key[1]}.npz",
+        encode_cell=lambda key, value: (
+            {"scale": np.asarray([int(value.rsplit(":", 1)[1])])},
+            {"seed": int(key[0]), "method": key[1]},
+        ),
+        decode_cell=lambda key, arrays, meta, path: (
+            f"{key[0]}:{key[1]}:{int(arrays['scale'][0])}"
+        ),
+    )
+
+
+class TestGridSpec:
+    def test_cells_are_the_cartesian_product_in_axis_order(self):
+        spec = _toy_spec(seeds=(1, 0), methods=("b", "a"))
+        assert spec.cells() == [(1, "b"), (1, "a"), (0, "b"), (0, "a")]
+
+    def test_run_kind_derives_from_name(self):
+        assert _toy_spec().run_kind == "toy_run"
+
+    def test_manifest_grid_canonicalizes_int_axes(self):
+        spec = _toy_spec(seeds=(2, 0, 2), methods=("b", "a"))
+        spec.manifest_extra = {"backbone": "toy"}
+        grid = spec.manifest_grid()
+        assert grid["seeds"] == [0, 2]  # sorted, deduplicated
+        assert grid["methods"] == ["b", "a"]  # categorical: kept in order
+        assert grid["backbone"] == "toy"
+
+    def test_empty_axes_refused(self):
+        spec = _toy_spec()
+        spec.axes = {}
+        with pytest.raises(ConfigError, match="has no axes"):
+            spec.validate()
+
+    def test_empty_axis_values_refused(self):
+        spec = _toy_spec(seeds=())
+        with pytest.raises(ConfigError, match="axis 'seeds' has no values"):
+            spec.validate()
+
+    def test_partial_context_hooks_refused(self):
+        spec = _toy_spec()
+        spec.context_fn = lambda payload: None
+        with pytest.raises(ConfigError, match="all of context_fn"):
+            spec.validate()
+
+
+class TestRunGrid:
+    def test_serial_values(self):
+        result = run_grid(_toy_spec())
+        assert result.values == {
+            (0, "a"): "0:a:10",
+            (0, "b"): "0:b:10",
+            (1, "a"): "1:a:10",
+            (1, "b"): "1:b:10",
+        }
+        assert result.restored == []
+        assert result.run_dir is None
+        assert result.failures == []
+
+    def test_parallel_matches_serial(self):
+        serial = run_grid(_toy_spec())
+        parallel = run_grid(_toy_spec(), jobs=2)
+        assert parallel.values == serial.values
+
+    def test_resume_restores_completed_cells(self, tmp_path):
+        root = tmp_path / "run"
+        first = run_grid(_toy_spec(), out_dir=root)
+        resumed = run_grid(_toy_spec(), resume=root)
+        assert resumed.values == first.values
+        assert resumed.restored == sorted(first.values)
+        assert resumed.cell_results == []  # nothing re-ran
+
+    def test_resume_reruns_only_missing_cells(self, tmp_path):
+        root = tmp_path / "run"
+        first = run_grid(_toy_spec(), out_dir=root)
+        (root / "cells" / "s1__b.npz").unlink()
+        resumed = run_grid(_toy_spec(), resume=root)
+        assert [r.key for r in resumed.cell_results] == [(1, "b")]
+        assert resumed.values == first.values
+
+    def test_strict_failure_raises_worker_error(self):
+        with pytest.raises(WorkerError, match="boom"):
+            run_grid(_toy_spec(methods=("a", "boom")))
+
+    def test_non_strict_failure_reported_not_raised(self):
+        result = run_grid(_toy_spec(methods=("a", "boom")), strict=False)
+        assert set(result.values) == {(0, "a"), (1, "a")}
+        assert len(result.failures) == 2  # one boom cell per seed
+        assert all("boom" in str(f) for f in result.failures)

@@ -6,8 +6,6 @@ though seed-slot tenants are stacked *across* tenants into shared
 extractor/body runs.
 """
 
-import warnings
-
 import numpy as np
 import pytest
 
@@ -27,10 +25,8 @@ from repro.serve import (
     MultiTenantEngine,
     ServeRequest,
     build_engine,
-    clear_shared_engines,
     compile_features,
     program_key,
-    shared_engine,
 )
 from repro.utils.rng import new_rng
 from tests.serve.conftest import serve_bulk
@@ -412,25 +408,16 @@ class TestEnginesHandle:
         replacement = handle.get(model)
         assert replacement is not engine
 
-    def test_deprecated_shims_still_serve(self, rng):
-        """Regression: old call sites behave as before, plus a warning."""
-        model = resnet_small(4, rng)
-        images = images_for(rng, 3)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # deprecation must be loud
-            with pytest.raises(DeprecationWarning):
-                shared_engine(model)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            engine = shared_engine(model)
-            assert shared_engine(model) is engine  # same cache as before
-            out = engine.embed(images)
-            clear_shared_engines()
-            assert engine is not shared_engine(model)  # cleared ⇒ recompiled
-            clear_shared_engines()
-        assert all(issubclass(w.category, DeprecationWarning) for w in caught)
-        assert np.array_equal(out, serve_bulk(ENGINES.get(model), images))
-        ENGINES.clear()
+    def test_module_level_shims_removed(self):
+        """The deprecated globals are gone — ``Engines`` is the only API."""
+        import repro.serve
+        import repro.serve.engine
+
+        for mod in (repro.serve, repro.serve.engine):
+            assert not hasattr(mod, "shared_engine")
+            assert not hasattr(mod, "clear_shared_engines")
+            assert "shared_engine" not in mod.__all__
+            assert "clear_shared_engines" not in mod.__all__
 
 
 class TestMultiInputPrograms:

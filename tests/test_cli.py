@@ -44,6 +44,40 @@ class TestParser:
         bench = build_parser().parse_args(["bench"])
         assert table1.jobs == bench.jobs == 1
 
+    def test_robustness_defaults(self):
+        args = build_parser().parse_args(["robustness"])
+        assert args.backbone == "resnet"
+        assert args.seeds == [0]
+        assert args.corruptions is None  # None = the full catalog
+        assert args.severities is None  # None = the config default ladder
+        assert not args.smoke
+        assert args.out_dir is None and args.resume is None
+
+    def test_robustness_options(self):
+        args = build_parser().parse_args(
+            [
+                "robustness", "--smoke", "--seeds", "0", "1",
+                "--corruptions", "contrast", "occlusion",
+                "--severities", "0", "3", "--jobs", "2",
+            ]
+        )
+        assert args.smoke
+        assert args.seeds == [0, 1]
+        assert args.corruptions == ["contrast", "occlusion"]
+        assert args.severities == [0, 3]
+        assert args.jobs == 2
+
+    def test_shared_run_flags_consistent_across_subcommands(self):
+        # --smoke/--out-dir/--resume live on one parent parser: both grid
+        # subcommands parse them identically.
+        for command in ("table1", "robustness"):
+            args = build_parser().parse_args(
+                [command, "--smoke", "--out-dir", "runs/x"]
+            )
+            assert args.smoke and args.out_dir == "runs/x"
+            resumed = build_parser().parse_args([command, "--resume", "runs/x"])
+            assert resumed.resume == "runs/x"
+
     def test_shared_backbone_flag_consistent_across_subcommands(self):
         table1 = build_parser().parse_args(["table1", "--backbone", "mixer"])
         inspect = build_parser().parse_args(["inspect", "--backbone", "mixer"])
@@ -201,3 +235,73 @@ class TestCommands:
         assert "FAILED" in out
         assert "partial results" in out
         assert "1 cell(s) failed" in out
+
+    def test_robustness_command_drives_grid(self, capsys, monkeypatch):
+        import itertools
+
+        import repro.runtime as runtime
+        from repro.eval.robustness import RobustnessCell
+        from repro.runtime.robustness import RobustnessGridResult
+
+        def fake_grid(config, seeds, **kwargs):
+            assert kwargs["strict"] is False
+            cells = {
+                (seed, method, corruption, severity): RobustnessCell(
+                    method=method,
+                    corruption=corruption,
+                    severity=severity,
+                    accuracy_by_k={k: 0.5 for k in config.table1.ks},
+                )
+                for seed, method, corruption, severity in itertools.product(
+                    seeds,
+                    config.table1.methods,
+                    config.corruptions,
+                    config.severities,
+                )
+            }
+            return RobustnessGridResult(
+                config=config, seeds=tuple(seeds), cells=cells
+            )
+
+        monkeypatch.setattr(runtime, "run_robustness_grid", fake_grid)
+        assert main(
+            ["robustness", "--smoke", "--corruptions", "contrast",
+             "--severities", "0", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "running 10 cells" in out  # 1 seed x 5 methods x 1 x 2
+        assert "contrast:" in out
+        assert "slope" in out
+
+    def test_robustness_partial_report_on_failures(self, capsys, monkeypatch):
+        import repro.runtime as runtime
+        from repro.runtime.pool import CellFailure, CellResult
+        from repro.runtime.robustness import RobustnessGridResult
+
+        def fake_grid(config, seeds, **kwargs):
+            key = (0, "lora", "contrast", 3)
+            failed = CellResult(
+                key=key,
+                value=None,
+                failure=CellFailure(
+                    key=key,
+                    error_type="FaultInjected",
+                    message="boom",
+                    traceback="",
+                ),
+            )
+            return RobustnessGridResult(
+                config=config,
+                seeds=tuple(seeds),
+                cells={},
+                cell_results=[failed],
+            )
+
+        monkeypatch.setattr(runtime, "run_robustness_grid", fake_grid)
+        assert main(
+            ["robustness", "--smoke", "--out-dir", "runs/rob"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "partial results" in out
+        assert "1 cell(s) failed" in out
+        assert "--resume runs/rob" in out
